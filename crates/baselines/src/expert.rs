@@ -1,0 +1,203 @@
+//! Expert-designed parallelization strategies (paper §2 and §8.2):
+//!
+//! - **CNNs** — "one weird trick" \[27\]: data parallelism for
+//!   convolutional and pooling layers, switching to model parallelism
+//!   (parameter-dimension splits) for the densely-connected layers.
+//! - **RNNs** — the GNMT recipe \[42\]: data parallelism across compute
+//!   nodes (each node holds a full replica) combined with model parallelism
+//!   within a node (operations at the same depth share a GPU).
+
+use flexflow_core::soap::ParallelConfig;
+use flexflow_core::strategy::Strategy;
+use flexflow_device::{DeviceId, Topology};
+use flexflow_opgraph::{OpGraph, OpId, OpKind};
+
+/// Picks the expert strategy appropriate for the model: the GNMT recipe if
+/// the graph contains recurrent cells, otherwise one weird trick.
+pub fn strategy(graph: &OpGraph, topo: &Topology) -> Strategy {
+    let is_rnn = graph
+        .ops()
+        .any(|o| matches!(o.kind(), OpKind::LstmCell { .. }));
+    if is_rnn {
+        rnn(graph, topo)
+    } else {
+        cnn(graph, topo)
+    }
+}
+
+/// Largest divisor of `extent` that is at most `cap`.
+fn divisor_at_most(extent: u64, cap: u64) -> u64 {
+    let mut d = cap.max(1).min(extent);
+    while extent % d != 0 {
+        d -= 1;
+    }
+    d
+}
+
+/// "One weird trick" for CNNs: conv/pool data-parallel across every GPU,
+/// dense layers split in their parameter/channel dimension across every
+/// GPU (each GPU holds a slice of the weights and sees the whole batch).
+pub fn cnn(graph: &OpGraph, topo: &Topology) -> Strategy {
+    let n = topo.num_devices() as u64;
+    let all_devices: Vec<DeviceId> = topo.device_ids().collect();
+    let configs = graph
+        .ids()
+        .map(|id| {
+            let node = graph.op(id);
+            match node.kind() {
+                OpKind::Linear { .. } | OpKind::Softmax => {
+                    let channels = node.output_shape().dim(1);
+                    let deg = divisor_at_most(channels, n);
+                    let mut degrees = vec![1; node.output_shape().ndims()];
+                    degrees[1] = deg;
+                    let devices = all_devices[..deg as usize].to_vec();
+                    ParallelConfig::new(node, degrees, devices)
+                }
+                _ => ParallelConfig::data_parallel(node, topo),
+            }
+        })
+        .collect();
+    Strategy::from_configs(graph, configs)
+}
+
+/// Depth of each op for the GNMT recipe: parameter layers are numbered in
+/// creation order (embedding 0, stacked LSTM layers 1..k, then attention /
+/// projection); parameter-free ops inherit the depth of their producer.
+fn depths(graph: &OpGraph) -> Vec<usize> {
+    let mut depth = vec![0usize; graph.len()];
+    for id in graph.ids() {
+        let node = graph.op(id);
+        depth[id.index()] = match node.layer() {
+            Some(layer) => layer.index(),
+            None => node
+                .inputs()
+                .iter()
+                .map(|p| depth[p.index()])
+                .max()
+                .unwrap_or(0),
+        };
+    }
+    depth
+}
+
+/// The GNMT expert recipe for RNNs: replicate the graph across nodes
+/// (sample-dimension split) and pin each layer depth to one GPU per node.
+pub fn rnn(graph: &OpGraph, topo: &Topology) -> Strategy {
+    let nodes = topo.num_nodes() as u64;
+    let depth = depths(graph);
+    let configs = graph
+        .ids()
+        .map(|id| {
+            let node = graph.op(id);
+            let batch = node.output_shape().dim(0);
+            let deg = divisor_at_most(batch, nodes);
+            let mut degrees = vec![1; node.output_shape().ndims()];
+            degrees[0] = deg;
+            let devices: Vec<DeviceId> = (0..deg)
+                .map(|replica| {
+                    let gpus = topo.devices_on_node(replica as u32 % topo.num_nodes() as u32);
+                    gpus[depth[id.index()] % gpus.len()]
+                })
+                .collect();
+            ParallelConfig::new(node, degrees, devices)
+        })
+        .collect();
+    Strategy::from_configs(graph, configs)
+}
+
+/// Ops whose expert placement differs from plain data parallelism (used by
+/// diagnostics and tests).
+pub fn non_dp_ops(graph: &OpGraph, topo: &Topology) -> Vec<OpId> {
+    let expert = strategy(graph, topo);
+    let dp = Strategy::data_parallel(graph, topo);
+    graph
+        .ids()
+        .filter(|&id| expert.config(id) != dp.config(id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_core::sim::{simulate_full, SimConfig};
+    use flexflow_core::taskgraph::TaskGraph;
+    use flexflow_costmodel::MeasuredCostModel;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::zoo;
+
+    #[test]
+    fn owt_splits_dense_layers_by_parameters() {
+        let g = zoo::alexnet(64);
+        let topo = clusters::p100_cluster(1);
+        let s = cnn(&g, &topo);
+        for id in g.ids() {
+            let node = g.op(id);
+            match node.kind() {
+                OpKind::Linear { .. } => {
+                    assert_eq!(s.config(id).degrees()[0], 1, "dense: whole batch");
+                    assert!(s.config(id).degrees()[1] > 1, "dense: split channels");
+                }
+                OpKind::Conv2d { .. } => {
+                    assert_eq!(s.config(id).degrees()[0], 4, "conv: data parallel");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn gnmt_replicates_across_nodes_and_pins_layers() {
+        let g = zoo::rnnlm(64, 4);
+        let topo = clusters::p100_cluster(2); // 2 nodes x 4 GPUs
+        let s = rnn(&g, &topo);
+        for id in g.ids() {
+            let node = g.op(id);
+            if matches!(node.kind(), OpKind::LstmCell { .. }) {
+                let c = s.config(id);
+                assert_eq!(c.degrees()[0], 2, "one replica per node");
+                // replicas on different nodes
+                let n0 = topo.device(c.device(0)).node;
+                let n1 = topo.device(c.device(1)).node;
+                assert_ne!(n0, n1);
+            }
+        }
+        // all ops of the same LSTM layer live on the same GPU within a node
+        let groups = g.ops_by_layer();
+        for grp in groups.iter().filter(|g| g.len() > 1) {
+            let first = s.config(grp[0]).device(0);
+            for &op in grp {
+                assert_eq!(s.config(op).device(0), first);
+            }
+        }
+    }
+
+    #[test]
+    fn expert_dispatches_by_model_family() {
+        let topo = clusters::p100_cluster(1);
+        let cnn_model = zoo::lenet(64);
+        let rnn_model = zoo::rnnlm(64, 2);
+        // CNN: dense layer not data parallel
+        assert!(!non_dp_ops(&cnn_model, &topo).is_empty());
+        // RNN: sample degree equals node count (1 node -> degree 1)
+        let s = strategy(&rnn_model, &topo);
+        let lstm = rnn_model
+            .ids()
+            .find(|&id| matches!(rnn_model.op(id).kind(), OpKind::LstmCell { .. }))
+            .unwrap();
+        assert_eq!(s.config(lstm).degrees()[0], 1);
+    }
+
+    #[test]
+    fn expert_strategies_simulate_cleanly() {
+        let cost = MeasuredCostModel::paper_default();
+        for (g, topo) in [
+            (zoo::alexnet(64), clusters::p100_cluster(2)),
+            (zoo::rnntc(64, 4), clusters::k80_cluster(2)),
+        ] {
+            let s = strategy(&g, &topo);
+            let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+            let state = simulate_full(&tg);
+            assert!(state.makespan_us() > 0.0);
+        }
+    }
+}

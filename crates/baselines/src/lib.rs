@@ -1,0 +1,110 @@
+//! Baseline parallelization approaches the paper compares against (§8.2):
+//!
+//! - [`model_parallel`] — contiguous layer partitions, one device each
+//!   (§2, "Model parallelism");
+//! - [`expert`] — the expert-designed strategies: "one weird trick" for
+//!   CNNs \[27\] and the per-node data parallelism + per-layer device
+//!   assignment of GNMT \[42\] for RNNs;
+//! - [`optcnn`] — the OptCNN dynamic-programming optimizer \[25\], which
+//!   explores intra-op {S, A, P} parallelism but assumes operations never
+//!   overlap (linear computation graphs);
+//! - [`reinforce`] — a REINFORCE-style policy-gradient device-placement
+//!   learner \[33\], which explores the operation dimension only.
+//!
+//! Data parallelism itself lives in
+//! [`flexflow_core::Strategy::data_parallel`].
+//!
+//! # Example
+//!
+//! ```
+//! use flexflow_baselines::expert;
+//! use flexflow_device::clusters;
+//! use flexflow_opgraph::zoo;
+//!
+//! let g = zoo::alexnet(64);
+//! let topo = clusters::p100_cluster(1);
+//! let strategy = expert::strategy(&g, &topo);
+//! assert_eq!(strategy.configs().len(), g.len());
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod expert;
+pub mod model_parallel;
+pub mod optcnn;
+pub mod reinforce;
+
+pub use model_parallel::model_parallel;
+
+use flexflow_device::{DeviceId, Topology};
+use flexflow_opgraph::OpNode;
+use flexflow_core::soap::ParallelConfig;
+
+/// Power-of-two-aligned candidate configurations for an op: every legal
+/// degree vector whose degrees are powers of two with product at most the
+/// device count, paired with aligned contiguous device blocks.
+///
+/// This is the candidate set used by the OptCNN and REINFORCE baselines to
+/// keep their inner optimizations tractable; FlexFlow's own MCMC samples
+/// the unrestricted space.
+pub fn aligned_configs(node: &OpNode, topo: &Topology) -> Vec<ParallelConfig> {
+    let n = topo.num_devices() as u64;
+    let mut out = Vec::new();
+    for degrees in flexflow_core::soap::legal_degree_vectors(node, n) {
+        if !degrees.iter().all(|d| d.is_power_of_two()) {
+            continue;
+        }
+        let tasks: u64 = degrees.iter().product();
+        if tasks > n {
+            continue;
+        }
+        // Aligned blocks: starts at multiples of the task count when the
+        // device count is a multiple; otherwise every start.
+        let starts: Vec<u64> = if n % tasks == 0 {
+            (0..n / tasks).map(|b| b * tasks).collect()
+        } else {
+            (0..=(n - tasks)).collect()
+        };
+        for start in starts {
+            let devices: Vec<DeviceId> = (0..tasks)
+                .map(|k| topo.device_id((start + k) as usize))
+                .collect();
+            out.push(ParallelConfig::new(node, degrees.clone(), devices));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::{OpGraph, OpKind};
+    use flexflow_tensor::TensorShape;
+
+    #[test]
+    fn aligned_configs_are_powers_of_two() {
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[64, 96]));
+        let y = g
+            .add_op(OpKind::Linear { out_features: 96 }, &[x], "fc")
+            .unwrap();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let configs = aligned_configs(g.op(y), &topo);
+        assert!(!configs.is_empty());
+        for c in &configs {
+            for &d in c.degrees() {
+                assert!(d.is_power_of_two());
+            }
+            let tasks = c.num_tasks() as u64;
+            assert_eq!(
+                c.device(0).index() as u64 % tasks,
+                0,
+                "block must be aligned"
+            );
+        }
+        // 96 admits degree 2 and 4 on the parameter dim; 3 is excluded.
+        assert!(configs.iter().any(|c| c.degrees()[1] == 4));
+        assert!(!configs.iter().any(|c| c.degrees()[1] == 3));
+    }
+}

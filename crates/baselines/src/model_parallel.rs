@@ -1,0 +1,90 @@
+//! Plain model parallelism (paper §2): the operator graph is split into
+//! contiguous groups of operations, each group running unpartitioned on a
+//! dedicated device. Parameters are never replicated, so no gradient
+//! synchronization is needed, but parallelism is limited to pipeline
+//! overlap between groups.
+
+use flexflow_core::soap::ParallelConfig;
+use flexflow_core::strategy::Strategy;
+use flexflow_costmodel::CostModel;
+use flexflow_device::Topology;
+use flexflow_opgraph::OpGraph;
+use flexflow_tensor::Rect;
+
+/// Builds a model-parallel strategy: ops in topological order are packed
+/// into `num_devices` contiguous groups with approximately equal compute
+/// time, and each group is assigned to one device.
+pub fn model_parallel(graph: &OpGraph, topo: &Topology, cost: &dyn CostModel) -> Strategy {
+    let n = topo.num_devices();
+    // Per-op single-device compute time on device 0's kind (used only for
+    // balancing the split points).
+    let kind = topo.device(topo.device_id(0)).kind;
+    let weights: Vec<f64> = graph
+        .ids()
+        .map(|id| {
+            let node = graph.op(id);
+            cost.task_time_us(node, &Rect::full(node.output_shape()), kind)
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let per_group = total / n as f64;
+
+    let mut configs = Vec::with_capacity(graph.len());
+    let mut acc = 0.0;
+    let mut group = 0usize;
+    for id in graph.ids() {
+        let node = graph.op(id);
+        configs.push(ParallelConfig::on_device(node, topo.device_id(group)));
+        acc += weights[id.index()];
+        if acc >= per_group * (group + 1) as f64 && group + 1 < n {
+            group += 1;
+        }
+    }
+    Strategy::from_configs(graph, configs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_core::metrics::SimMetrics;
+    use flexflow_core::sim::{simulate_full, SimConfig};
+    use flexflow_core::taskgraph::{TaskGraph, TaskKind};
+    use flexflow_costmodel::MeasuredCostModel;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::zoo;
+
+    #[test]
+    fn groups_are_contiguous_and_cover_devices() {
+        let g = zoo::alexnet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let s = model_parallel(&g, &topo, &cost);
+        let mut last_dev = 0usize;
+        for id in g.ids() {
+            let c = s.config(id);
+            assert_eq!(c.num_tasks(), 1, "model parallelism: one task per op");
+            let d = c.device(0).index();
+            assert!(d >= last_dev, "groups must be contiguous in topo order");
+            last_dev = d;
+        }
+        assert_eq!(last_dev, 3, "all devices should be used");
+    }
+
+    #[test]
+    fn no_parameter_sync_under_model_parallelism() {
+        let g = zoo::alexnet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let s = model_parallel(&g, &topo, &cost);
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+        let sync = tg
+            .iter()
+            .filter(|(_, t)| matches!(t.kind, TaskKind::SyncComm { .. }))
+            .count();
+        assert_eq!(sync, 0, "unreplicated parameters need no sync");
+        // but tensors do cross device boundaries
+        let state = simulate_full(&tg);
+        let m = SimMetrics::collect(&tg, &state);
+        assert!(m.activation_bytes > 0);
+    }
+}

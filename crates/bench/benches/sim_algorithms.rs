@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for the execution simulator: the cost of one
+//! MCMC proposal evaluation under the full vs the delta simulation
+//! algorithm (the per-proposal version of Table 4), at increasing device
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexflow_core::sim::{simulate_delta, simulate_full, SimConfig};
+use flexflow_core::soap::{random_config, ConfigSpace};
+use flexflow_core::strategy::Strategy;
+use flexflow_core::taskgraph::TaskGraph;
+use flexflow_costmodel::MeasuredCostModel;
+use flexflow_device::clusters;
+use flexflow_opgraph::zoo;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_proposal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proposal_evaluation");
+    group.sample_size(20);
+    for gpus in [4usize, 8, 16] {
+        let graph = zoo::rnnlm(64, 10);
+        let topo = clusters::uniform_cluster(gpus.div_ceil(4), gpus.min(4), 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = SimConfig::default();
+        let searchable = Strategy::searchable_ops(&graph);
+
+        group.bench_with_input(BenchmarkId::new("full", gpus), &gpus, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut s = Strategy::data_parallel(&graph, &topo);
+            b.iter(|| {
+                let op = searchable[rng.gen_range(0..searchable.len())];
+                let config = random_config(graph.op(op), &topo, ConfigSpace::Full, &mut rng);
+                s.replace(op, config);
+                let tg = TaskGraph::build(&graph, &topo, &s, &cost, &cfg);
+                black_box(simulate_full(&tg).makespan_us())
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("delta", gpus), &gpus, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut s = Strategy::data_parallel(&graph, &topo);
+            let mut tg = TaskGraph::build(&graph, &topo, &s, &cost, &cfg);
+            let mut state = simulate_full(&tg);
+            b.iter(|| {
+                let op = searchable[rng.gen_range(0..searchable.len())];
+                let config = random_config(graph.op(op), &topo, ConfigSpace::Full, &mut rng);
+                s.replace(op, config);
+                let report = tg.rebuild_op(&graph, &topo, &s, &cost, &cfg, op);
+                black_box(simulate_delta(&tg, &mut state, &report))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_taskgraph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taskgraph_build");
+    group.sample_size(20);
+    for model in ["lenet", "alexnet", "inception_v3"] {
+        let graph = zoo::by_name(model, 64);
+        let topo = clusters::p100_cluster(1);
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = SimConfig::default();
+        let s = Strategy::data_parallel(&graph, &topo);
+        // warm the measurement cache so the bench isolates graph assembly
+        let _ = TaskGraph::build(&graph, &topo, &s, &cost, &cfg);
+        group.bench_function(model, |b| {
+            b.iter(|| black_box(TaskGraph::build(&graph, &topo, &s, &cost, &cfg).num_tasks()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proposal, bench_taskgraph_build);
+criterion_main!(benches);

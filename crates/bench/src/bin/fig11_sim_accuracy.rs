@@ -1,0 +1,135 @@
+//! Reproduces **Figure 11**: simulator accuracy. For each DNN and device
+//! topology, a spread of strategies is both *simulated* (the execution
+//! simulator) and *executed* (the ground-truth executor standing in for
+//! the real clusters — see DESIGN.md). The paper's two claims:
+//!
+//! 1. the relative difference between simulated and real time stays under
+//!    30%;
+//! 2. simulated times preserve the real-execution *ordering* of
+//!    strategies for a given model/topology.
+
+use flexflow_baselines::expert;
+use flexflow_bench::sim_config;
+use flexflow_core::sim::simulate_full;
+use flexflow_core::soap::ConfigSpace;
+use flexflow_core::strategy::Strategy;
+use flexflow_core::taskgraph::TaskGraph;
+use flexflow_costmodel::MeasuredCostModel;
+use flexflow_device::{clusters, DeviceKind};
+use flexflow_opgraph::zoo;
+use flexflow_runtime::ground_truth::{GroundTruthConfig, GroundTruthExecutor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    model: String,
+    cluster: String,
+    strategy: String,
+    simulated_s: f64,
+    real_s: f64,
+    relative_diff: f64,
+}
+
+fn main() {
+    let cost = MeasuredCostModel::paper_default();
+    let cfg = sim_config();
+    let gt = GroundTruthExecutor::new(GroundTruthConfig::default());
+    let mut points: Vec<Point> = Vec::new();
+
+    let models: Vec<String> = std::env::var("FIG11_MODELS")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|_| {
+            vec![
+                "alexnet".into(),
+                "inception_v3".into(),
+                "resnet101".into(),
+                "rnntc".into(),
+                "rnnlm".into(),
+                "nmt".into(),
+            ]
+        });
+
+    println!("Figure 11: simulated vs real execution time");
+    println!(
+        "{:<14} {:<10} {:<14} {:>12} {:>12} {:>9}",
+        "model", "cluster", "strategy", "sim (s)", "real (s)", "diff"
+    );
+    for model in &models {
+        let batch = if model == "alexnet" { 256 } else { 64 };
+        let graph = zoo::by_name(model, batch);
+        for (kind, gpus) in [
+            (DeviceKind::P100, 4),
+            (DeviceKind::P100, 16),
+            (DeviceKind::K80, 4),
+            (DeviceKind::K80, 16),
+        ] {
+            let topo = clusters::paper_cluster(kind, gpus);
+            let mut rng = StdRng::seed_from_u64(0xF11 ^ gpus as u64);
+            let mut strategies: Vec<(String, Strategy)> = vec![
+                ("data-parallel".into(), Strategy::data_parallel(&graph, &topo)),
+                ("expert".into(), expert::strategy(&graph, &topo)),
+            ];
+            for i in 0..3 {
+                strategies.push((
+                    format!("random{i}"),
+                    Strategy::random(&graph, &topo, ConfigSpace::Canonical, &mut rng),
+                ));
+            }
+            let mut cell: Vec<(f64, f64)> = Vec::new();
+            for (name, s) in &strategies {
+                let tg = TaskGraph::build(&graph, &topo, s, &cost, &cfg);
+                let sim = simulate_full(&tg).makespan_us() / 1e6;
+                let real = gt.execute(&tg, &topo) / 1e6;
+                let diff = (sim - real).abs() / real;
+                println!(
+                    "{:<14} {:<10} {:<14} {:>12.4} {:>12.4} {:>8.1}%",
+                    model,
+                    format!("{kind}x{gpus}"),
+                    name,
+                    sim,
+                    real,
+                    diff * 100.0
+                );
+                cell.push((sim, real));
+                points.push(Point {
+                    model: model.clone(),
+                    cluster: format!("{kind}x{gpus}"),
+                    strategy: name.clone(),
+                    simulated_s: sim,
+                    real_s: real,
+                    relative_diff: diff,
+                });
+            }
+            // ordering preservation within the cell
+            let mut violations = 0;
+            for i in 0..cell.len() {
+                for j in (i + 1)..cell.len() {
+                    let sim_order = cell[i].0 < cell[j].0;
+                    let real_order = cell[i].1 < cell[j].1;
+                    if sim_order != real_order {
+                        violations += 1;
+                    }
+                }
+            }
+            if violations > 0 {
+                println!("   ordering violations in this cell: {violations}");
+            }
+        }
+    }
+
+    let max_diff = points
+        .iter()
+        .map(|p| p.relative_diff)
+        .fold(0.0f64, f64::max);
+    let within = points.iter().filter(|p| p.relative_diff < 0.30).count();
+    println!(
+        "\nmax relative difference: {:.1}% ({}/{} points within the paper's 30% band)",
+        max_diff * 100.0,
+        within,
+        points.len()
+    );
+
+    flexflow_bench::write_json("fig11_sim_accuracy", &points);
+}

@@ -1,0 +1,69 @@
+//! Reproduces **Figure 12**: best-found strategy cost over elapsed search
+//! time for the NMT model on 16 P100 GPUs, comparing the full and delta
+//! simulation algorithms under the same wall-clock budget.
+
+use flexflow_bench::{eval_model, sim_config};
+use flexflow_core::optimizer::{Budget, McmcOptimizer, SimAlgorithm};
+use flexflow_core::strategy::Strategy;
+use flexflow_costmodel::MeasuredCostModel;
+use flexflow_device::{clusters, DeviceKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CurvePoint {
+    algorithm: String,
+    elapsed_s: f64,
+    best_cost_ms: f64,
+}
+
+fn main() {
+    let seconds: f64 = std::env::var("FIG12_SECONDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+    let graph = eval_model("nmt");
+    let topo = clusters::paper_cluster(DeviceKind::P100, 16);
+    let cost = MeasuredCostModel::paper_default();
+
+    println!("Figure 12: search progress on NMT, 16 P100 GPUs ({seconds}s budget per algorithm)");
+    let mut all_points: Vec<CurvePoint> = Vec::new();
+    for (name, algo) in [("full", SimAlgorithm::Full), ("delta", SimAlgorithm::Delta)] {
+        let mut opt = McmcOptimizer::new(12);
+        opt.algorithm = algo;
+        let result = opt.search(
+            &graph,
+            &topo,
+            &cost,
+            &[Strategy::data_parallel(&graph, &topo)],
+            Budget {
+                max_evals: u64::MAX,
+                max_seconds: seconds,
+                patience_fraction: 1.0, // run the clock out for the curve
+            },
+            sim_config(),
+        );
+        println!(
+            "\n{name} simulation: {} proposals evaluated, best {:.2} ms",
+            result.evals,
+            result.best_cost_us / 1e3
+        );
+        println!("{:>10} {:>14}", "elapsed(s)", "best cost(ms)");
+        for &(t, c) in &result.trace {
+            println!("{:>10.2} {:>14.2}", t, c / 1e3);
+            all_points.push(CurvePoint {
+                algorithm: name.into(),
+                elapsed_s: t,
+                best_cost_ms: c / 1e3,
+            });
+        }
+    }
+
+    // Headline: evaluations per second of both algorithms.
+    let count = |a: &str| all_points.iter().filter(|p| p.algorithm == a).count();
+    println!(
+        "\ntrace points: full {}, delta {} (delta evaluates more proposals in the same budget)",
+        count("full"),
+        count("delta")
+    );
+    flexflow_bench::write_json("fig12_search_curve", &all_points);
+}

@@ -1,0 +1,90 @@
+//! Reproduces **Figure 7**: per-iteration training throughput
+//! (samples/second/GPU) for the six DNN benchmarks on both clusters,
+//! sweeping 1–64 GPUs and comparing data parallelism, the expert-designed
+//! strategy, and FlexFlow.
+//!
+//! Environment knobs: `FIG7_EVALS` (MCMC proposals per cell, default 300),
+//! `FIG7_MAX_GPUS` (default 64), `FIG7_MODELS` (comma list).
+
+use flexflow_bench::{eval_model, paper_cluster, run_contenders, scaled_evals, Contenders, FIG7_GPU_COUNTS};
+use flexflow_device::DeviceKind;
+use flexflow_opgraph::zoo::EVAL_MODELS;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    model: String,
+    cluster: String,
+    gpus: usize,
+    nodes: usize,
+    #[serde(flatten)]
+    contenders: Contenders,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let evals = env_u64("FIG7_EVALS", 300);
+    let max_gpus = env_u64("FIG7_MAX_GPUS", 64) as usize;
+    let models: Vec<String> = std::env::var("FIG7_MODELS")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|_| EVAL_MODELS.iter().map(|s| s.to_string()).collect());
+
+    println!("Figure 7: per-iteration training performance (samples/second/GPU)");
+    println!("(numbers in parentheses are compute nodes)");
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for model in &models {
+        let graph = eval_model(model);
+        let batch = if model == "alexnet" { 256 } else { 64 };
+        println!("\n== {model} (batch size = {batch}) ==");
+        println!(
+            "{:>10} {:>14} {:>14} {:>14}   {:>14} {:>14} {:>14}",
+            "gpus", "DP(P100)", "Expert(P100)", "FlexFlow(P100)", "DP(K80)", "Expert(K80)", "FlexFlow(K80)"
+        );
+        for &gpus in FIG7_GPU_COUNTS.iter().filter(|&&g| g <= max_gpus) {
+            if batch % (gpus as u64) != 0 {
+                continue;
+            }
+            let mut row: Vec<String> = vec![format!("{gpus}({})", gpus.div_ceil(4).max(1))];
+            for kind in [DeviceKind::P100, DeviceKind::K80] {
+                let topo = paper_cluster(kind, gpus);
+                let c = run_contenders(&graph, &topo, batch, scaled_evals(evals, gpus), 0xF167 ^ gpus as u64);
+                row.push(format!("{:.1}", c.data_parallel));
+                row.push(format!("{:.1}", c.expert));
+                row.push(format!("{:.1}", c.flexflow));
+                cells.push(Cell {
+                    model: model.clone(),
+                    cluster: format!("{kind}"),
+                    gpus,
+                    nodes: gpus.div_ceil(4).max(1),
+                    contenders: c,
+                });
+            }
+            println!(
+                "{:>10} {:>14} {:>14} {:>14}   {:>14} {:>14} {:>14}",
+                row[0], row[1], row[2], row[3], row[4], row[5], row[6]
+            );
+        }
+        // Headline per model: best FlexFlow speedup over each baseline.
+        let best_speedup = |f: fn(&Contenders) -> f64| {
+            cells
+                .iter()
+                .filter(|c| &c.model == model)
+                .map(|c| c.contenders.flexflow / f(&c.contenders))
+                .fold(0.0f64, f64::max)
+        };
+        println!(
+            "   max FlexFlow speedup: {:.2}x over DP, {:.2}x over expert",
+            best_speedup(|c| c.data_parallel),
+            best_speedup(|c| c.expert)
+        );
+        // Write incrementally so interrupted sweeps still leave an artifact.
+        flexflow_bench::write_json("fig7_throughput", &cells);
+    }
+}

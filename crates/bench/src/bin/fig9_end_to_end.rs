@@ -1,0 +1,81 @@
+//! Reproduces **Figure 9**: end-to-end training curves of Inception-v3 on
+//! 16 P100 GPUs (4 nodes) for a TensorFlow-like data-parallel system and
+//! FlexFlow. Both systems perform the same computation per iteration
+//! (identical loss-versus-iteration behaviour); the win is throughput.
+
+use flexflow_bench::{cost_of, eval_model, run_search};
+use flexflow_core::strategy::Strategy;
+use flexflow_costmodel::MeasuredCostModel;
+use flexflow_device::{clusters, DeviceKind};
+use flexflow_runtime::training::{time_reduction, TrainingCurve};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Curve {
+    system: String,
+    throughput_samples_per_s: f64,
+    points: Vec<(f64, f64)>,
+}
+
+fn main() {
+    let graph = eval_model("inception_v3");
+    let topo = clusters::paper_cluster(DeviceKind::P100, 16);
+    let cost = MeasuredCostModel::paper_default();
+    let batch = 64u64;
+
+    // TensorFlow baseline = data parallelism (§8.2.1 reports FlexFlow's DP
+    // implementation matches TensorFlow's numbers).
+    let dp_cost = cost_of(&graph, &topo, &cost, &Strategy::data_parallel(&graph, &topo));
+    let evals: u64 = std::env::var("FIG9_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    let ff_cost = run_search(&graph, &topo, &cost, evals, 9).best_cost_us;
+
+    let tf = TrainingCurve::inception_v3(batch as f64 / (dp_cost / 1e6), batch);
+    let ff = TrainingCurve::inception_v3(batch as f64 / (ff_cost / 1e6), batch);
+
+    // Loss corresponding to 72% top-1 in our curve model.
+    let target_loss = 2.2;
+    let t_tf = tf.hours_to_loss(target_loss);
+    let t_ff = ff.hours_to_loss(target_loss);
+    let reduction = time_reduction(&ff, &tf, target_loss);
+
+    println!("Figure 9: Inception-v3 end-to-end training on 16 P100 GPUs");
+    println!(
+        "TensorFlow(DP): {:.0} samples/s -> {:.1} h to target loss {target_loss}",
+        tf.throughput, t_tf
+    );
+    println!(
+        "FlexFlow:       {:.0} samples/s -> {:.1} h to target loss {target_loss}",
+        ff.throughput, t_ff
+    );
+    println!(
+        "end-to-end training time reduction: {:.0}% (paper reports 38%)",
+        reduction * 100.0
+    );
+
+    println!("\n{:>7} {:>12} {:>12}", "hours", "TF loss", "FF loss");
+    let horizon = t_tf * 1.1;
+    let tf_pts = tf.sample(horizon, 21);
+    let ff_pts = ff.sample(horizon, 21);
+    for (a, b) in tf_pts.iter().zip(&ff_pts) {
+        println!("{:>7.1} {:>12.3} {:>12.3}", a.0, a.1, b.1);
+    }
+
+    flexflow_bench::write_json(
+        "fig9_end_to_end",
+        &vec![
+            Curve {
+                system: "TensorFlow (data parallel)".into(),
+                throughput_samples_per_s: tf.throughput,
+                points: tf_pts,
+            },
+            Curve {
+                system: "FlexFlow".into(),
+                throughput_samples_per_s: ff.throughput,
+                points: ff_pts,
+            },
+        ],
+    );
+}

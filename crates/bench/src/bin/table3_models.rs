@@ -1,0 +1,62 @@
+//! Reproduces **Table 3** (the DNN benchmarks and their datasets) from the
+//! model zoo's metadata plus structural statistics computed from the built
+//! graphs, and **Figure 6** (the two GPU cluster architectures) from the
+//! topology builders.
+
+use flexflow_device::clusters;
+use flexflow_opgraph::zoo;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table3Row {
+    name: String,
+    description: String,
+    dataset: String,
+    reported: String,
+    paper_measured: String,
+    ops: usize,
+    parameters_m: f64,
+    fwd_gflops_per_iter: f64,
+}
+
+fn main() {
+    println!("Table 3: DNNs and datasets used in the evaluation");
+    println!(
+        "{:<14} {:<55} {:<22} {:>9} {:>9} {:>6} {:>9} {:>10}",
+        "DNN", "Description", "Dataset", "Reported", "Measured", "Ops", "Params(M)", "GFLOP/iter"
+    );
+    let mut rows = Vec::new();
+    for meta in zoo::model_metas() {
+        let g = zoo::by_name(meta.name, meta.default_batch);
+        let row = Table3Row {
+            name: meta.name.to_string(),
+            description: meta.description.to_string(),
+            dataset: meta.dataset.to_string(),
+            reported: meta.reported.to_string(),
+            paper_measured: meta.paper_measured.to_string(),
+            ops: g.len(),
+            parameters_m: g.total_params() as f64 / 1e6,
+            fwd_gflops_per_iter: g.total_fwd_flops() as f64 / 1e9,
+        };
+        println!(
+            "{:<14} {:<55} {:<22} {:>9} {:>9} {:>6} {:>9.1} {:>10.1}",
+            row.name,
+            row.description,
+            row.dataset,
+            row.reported,
+            row.paper_measured,
+            row.ops,
+            row.parameters_m,
+            row.fwd_gflops_per_iter
+        );
+        rows.push(row);
+    }
+
+    println!("\nFigure 6: GPU cluster architectures");
+    let p100 = clusters::p100_cluster(4);
+    let k80 = clusters::k80_cluster(16);
+    println!("(a) {}", p100.describe());
+    println!("(b) {}", k80.describe());
+
+    flexflow_bench::write_json("table3_models", &rows);
+}

@@ -1,0 +1,63 @@
+//! FlexFlow core: the SOAP search space, the execution simulator, and the
+//! MCMC execution optimizer (the paper's primary contribution).
+//!
+//! The pipeline mirrors Fig. 2 of the paper:
+//!
+//! ```text
+//!   OpGraph + Topology
+//!         |
+//!         v
+//!   ExecutionOptimizer (MCMC over SOAP strategies)          §6
+//!         |      ^
+//!  candidate     | simulated cost
+//!         v      |
+//!   ExecutionSimulator (task graph; full / delta algorithm)  §5
+//!         |
+//!         v
+//!   best discovered Strategy  ->  distributed runtime (flexflow-runtime)
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flexflow_core::{Budget, McmcOptimizer, SimConfig, Strategy};
+//! use flexflow_costmodel::MeasuredCostModel;
+//! use flexflow_device::clusters;
+//! use flexflow_opgraph::zoo;
+//!
+//! let graph = zoo::lenet(64);
+//! let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+//! let cost = MeasuredCostModel::paper_default();
+//!
+//! let dp = Strategy::data_parallel(&graph, &topo);
+//! let mut opt = McmcOptimizer::new(0xF1EF);
+//! let result = opt.search(
+//!     &graph,
+//!     &topo,
+//!     &cost,
+//!     &[dp],
+//!     Budget::evaluations(200),
+//!     SimConfig::default(),
+//! );
+//! assert!(result.best_cost_us > 0.0);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod exhaustive;
+pub mod memory;
+pub mod metrics;
+pub mod optimizer;
+pub mod sim;
+pub mod soap;
+pub mod strategy;
+pub mod strategy_io;
+pub mod taskgraph;
+
+pub use exhaustive::{ExhaustiveOutcome, ExhaustiveSearch};
+pub use metrics::SimMetrics;
+pub use optimizer::{AcceptanceRule, Budget, McmcOptimizer, SearchResult, SimAlgorithm};
+pub use sim::{SimConfig, SimState, Simulator};
+pub use soap::{ConfigSpace, ParallelConfig};
+pub use strategy::Strategy;
+pub use taskgraph::{ExecUnit, Task, TaskGraph, TaskId, TaskKind};

@@ -1,0 +1,165 @@
+//! Device-memory feasibility checking.
+//!
+//! The FlexFlow runtime can only execute a strategy if every device can
+//! hold its share of the model: parameters of the tasks placed on it,
+//! their activations (output tiles), and the input slices they gather.
+//! This module estimates that footprint and rejects infeasible strategies
+//! — the check real systems apply before launching (and one reason pure
+//! data parallelism stops scaling for very large models: every device
+//! holds a full replica).
+
+use crate::strategy::Strategy;
+use flexflow_device::{DeviceId, Topology};
+use flexflow_opgraph::OpGraph;
+
+/// Estimated per-device memory footprint of a strategy, in bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryFootprint {
+    /// Parameter bytes per device (weights + a same-size gradient buffer).
+    pub params: Vec<u64>,
+    /// Activation bytes per device (forward outputs kept for backward).
+    pub activations: Vec<u64>,
+    /// Input-slice bytes per device (gathered remote tiles).
+    pub gathers: Vec<u64>,
+}
+
+impl MemoryFootprint {
+    /// Total bytes on a device.
+    pub fn total(&self, dev: DeviceId) -> u64 {
+        self.params[dev.index()] + self.activations[dev.index()] + self.gathers[dev.index()]
+    }
+
+    /// The most loaded device and its footprint.
+    pub fn peak(&self) -> (usize, u64) {
+        (0..self.params.len())
+            .map(|i| (i, self.params[i] + self.activations[i] + self.gathers[i]))
+            .max_by_key(|&(_, b)| b)
+            .unwrap_or((0, 0))
+    }
+}
+
+/// Estimates the per-device footprint of `strategy`.
+pub fn footprint(graph: &OpGraph, topo: &Topology, strategy: &Strategy) -> MemoryFootprint {
+    let n = topo.num_devices();
+    let mut fp = MemoryFootprint {
+        params: vec![0; n],
+        activations: vec![0; n],
+        gathers: vec![0; n],
+    };
+    let elem = 4u64;
+    for id in graph.ids() {
+        let node = graph.op(id);
+        let config = strategy.config(id);
+        for k in 0..config.num_tasks() {
+            let dev = config.device(k).index();
+            let tile = config.tile(node, k);
+            // weights + gradients
+            fp.params[dev] += 2 * node.params_for_tile(&tile) * elem;
+            // forward activation kept for the backward pass
+            fp.activations[dev] += tile.volume() * elem;
+            // gathered input slices
+            for rect in node.input_rects(&tile).into_iter().flatten() {
+                fp.gathers[dev] += rect.volume() * elem;
+            }
+        }
+    }
+    fp
+}
+
+/// Checks that every device's footprint fits its memory.
+///
+/// Returns `Ok(())` or the first offending device with its footprint and
+/// capacity in bytes.
+///
+/// # Errors
+///
+/// Returns `Err((device, needed_bytes, capacity_bytes))` when a device
+/// overflows.
+pub fn check_fits(
+    graph: &OpGraph,
+    topo: &Topology,
+    strategy: &Strategy,
+) -> Result<(), (DeviceId, u64, u64)> {
+    let fp = footprint(graph, topo, strategy);
+    for dev in topo.device_ids() {
+        let capacity = (topo.device(dev).memory_gb * 1e9) as u64;
+        let needed = fp.total(dev);
+        if needed > capacity {
+            return Err((dev, needed, capacity));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_device::{clusters, DeviceKind, TopologyBuilder};
+    use flexflow_opgraph::zoo;
+
+    #[test]
+    fn data_parallel_replicates_parameters() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let dp = Strategy::data_parallel(&g, &topo);
+        let fp = footprint(&g, &topo, &dp);
+        // every device holds the full parameter set (x2 for gradients)
+        let full = 2 * g.total_params() * 4;
+        for d in 0..4 {
+            assert_eq!(fp.params[d], full);
+        }
+        // activations split across devices
+        assert!(fp.activations.iter().all(|&a| a > 0));
+    }
+
+    #[test]
+    fn parameter_splits_shrink_per_device_params() {
+        let g = zoo::alexnet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let dp = Strategy::data_parallel(&g, &topo);
+        let expert = flexflow_costmodel::MeasuredCostModel::paper_default();
+        let _ = &expert;
+        let fp_dp = footprint(&g, &topo, &dp);
+        // single-device: all params on one GPU, none elsewhere
+        let single = Strategy::single_device(&g, &topo, 0);
+        let fp_single = footprint(&g, &topo, &single);
+        assert!(fp_single.params[0] > fp_dp.params[0] / 2);
+        assert_eq!(fp_single.params[1], 0);
+        assert_eq!(fp_single.total(topo.device_id(1)), 0);
+    }
+
+    #[test]
+    fn small_memory_device_rejects_big_model() {
+        let mut b = TopologyBuilder::new("tiny-mem");
+        let g0 = b.add_device(DeviceKind::Test, 0, 0.0001); // 100 KB
+        let g1 = b.add_device(DeviceKind::Test, 0, 0.0001);
+        let l = b.add_link("wire-0", 10.0, 1.0);
+        b.connect_symmetric(g0, g1, l);
+        let topo = b.build();
+        let g = zoo::lenet(64);
+        let dp = Strategy::data_parallel(&g, &topo);
+        let err = check_fits(&g, &topo, &dp).unwrap_err();
+        assert!(err.1 > err.2, "needed must exceed capacity");
+    }
+
+    #[test]
+    fn paper_clusters_fit_the_benchmarks() {
+        let topo = clusters::p100_cluster(1);
+        for name in ["lenet", "alexnet", "inception_v3"] {
+            let g = zoo::by_name(name, 64);
+            let dp = Strategy::data_parallel(&g, &topo);
+            assert!(check_fits(&g, &topo, &dp).is_ok(), "{name} should fit a P100");
+        }
+    }
+
+    #[test]
+    fn peak_finds_most_loaded_device() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let single = Strategy::single_device(&g, &topo, 2);
+        let fp = footprint(&g, &topo, &single);
+        let (dev, bytes) = fp.peak();
+        assert_eq!(dev, 2);
+        assert!(bytes > 0);
+    }
+}

@@ -1,0 +1,465 @@
+//! The execution optimizer (paper §6): Metropolis-Hastings MCMC over the
+//! SOAP strategy space, using the execution simulator as the cost oracle.
+//!
+//! Proposals pick a random operation and replace its configuration with a
+//! uniformly random one (§6.2), a symmetric proposal distribution, so the
+//! acceptance rule is
+//! `alpha = min(1, exp(beta * (cost(S) - cost(S*))))` (Eq. 2).
+//!
+//! The search restarts from each supplied initial strategy (existing
+//! strategies such as data parallelism plus random ones, §6.2) and stops a
+//! restart when its share of the budget is exhausted or when the best
+//! strategy has not improved for half of that share.
+
+use crate::sim::{SimConfig, Simulator};
+use crate::soap::{self, ConfigSpace};
+use crate::strategy::Strategy;
+use flexflow_costmodel::CostModel;
+use flexflow_device::Topology;
+use flexflow_opgraph::OpGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Which simulation algorithm evaluates proposals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimAlgorithm {
+    /// Rebuild the task graph and simulate from scratch per proposal
+    /// (paper §5.2, the baseline).
+    Full,
+    /// Incrementally repair the previous timeline (paper §5.3).
+    #[default]
+    Delta,
+}
+
+/// Search budget: a maximum number of proposal evaluations and/or a
+/// wall-clock limit, applied per initial candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budget {
+    /// Maximum simulated proposals per initial strategy.
+    pub max_evals: u64,
+    /// Wall-clock limit per initial strategy in seconds.
+    pub max_seconds: f64,
+    /// Stop a restart early when the best cost has not improved within
+    /// this fraction of the eval budget (the paper uses one half).
+    pub patience_fraction: f64,
+}
+
+impl Budget {
+    /// An evaluation-count budget with the paper's half-budget patience.
+    pub fn evaluations(max_evals: u64) -> Self {
+        Self {
+            max_evals,
+            max_seconds: f64::INFINITY,
+            patience_fraction: 0.5,
+        }
+    }
+
+    /// A wall-clock budget with the paper's half-budget patience.
+    pub fn seconds(max_seconds: f64) -> Self {
+        Self {
+            max_evals: u64::MAX,
+            max_seconds,
+            patience_fraction: 0.5,
+        }
+    }
+}
+
+/// Outcome of a search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best strategy discovered.
+    pub best: Strategy,
+    /// Its simulated per-iteration time in microseconds.
+    pub best_cost_us: f64,
+    /// Total proposals simulated.
+    pub evals: u64,
+    /// Proposals accepted by the Metropolis rule.
+    pub accepted: u64,
+    /// Wall-clock seconds spent searching.
+    pub elapsed_seconds: f64,
+    /// `(elapsed_seconds, best_cost_us)` samples recorded whenever the
+    /// best cost improves (Fig. 12's search curve).
+    pub trace: Vec<(f64, f64)>,
+    /// Delta-simulation fallbacks observed (non-zero on models whose
+    /// deep dependency chains make incremental repair costlier than a
+    /// fresh sweep).
+    pub fallbacks: u64,
+}
+
+/// The acceptance rule family (the paper uses MCMC but notes "other
+/// search strategies could also be used", §1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AcceptanceRule {
+    /// Metropolis-Hastings at a fixed temperature (the paper's default).
+    #[default]
+    Metropolis,
+    /// Metropolis-Hastings with the temperature annealed: `beta` grows
+    /// linearly from `beta_scale` to `beta_scale * anneal_factor` over the
+    /// restart's evaluation budget (exploration first, exploitation last).
+    Annealed {
+        /// Final-to-initial `beta` ratio (> 1 cools the chain down).
+        anneal_factor: f64,
+    },
+    /// Greedy hill climbing: only improvements are accepted. Cheap but
+    /// gets stuck in the local optima MCMC is designed to escape.
+    Greedy,
+}
+
+/// Metropolis-Hastings search over parallelization strategies.
+#[derive(Debug, Clone)]
+pub struct McmcOptimizer {
+    rng: StdRng,
+    /// Acceptance temperature `beta`, scaled by the initial cost: the
+    /// effective exponent is `beta_scale * (cost - cost*) / cost_initial`.
+    pub beta_scale: f64,
+    /// Which slice of the configuration space proposals are drawn from.
+    pub space: ConfigSpace,
+    /// Which simulation algorithm evaluates proposals.
+    pub algorithm: SimAlgorithm,
+    /// How proposals are accepted.
+    pub acceptance: AcceptanceRule,
+}
+
+impl McmcOptimizer {
+    /// A new optimizer with the evaluation defaults (delta simulation,
+    /// full configuration space, `beta_scale = 20`: a proposal 5% worse
+    /// than the current strategy is accepted with probability `e^-1`).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            beta_scale: 20.0,
+            space: ConfigSpace::Full,
+            algorithm: SimAlgorithm::Delta,
+            acceptance: AcceptanceRule::Metropolis,
+        }
+    }
+
+    /// Runs the search from every initial strategy and returns the best
+    /// strategy found overall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty or the graph has no searchable ops.
+    pub fn search(
+        &mut self,
+        graph: &OpGraph,
+        topo: &Topology,
+        cost: &dyn CostModel,
+        initial: &[Strategy],
+        budget: Budget,
+        cfg: SimConfig,
+    ) -> SearchResult {
+        assert!(!initial.is_empty(), "need at least one initial strategy");
+        let searchable = Strategy::searchable_ops(graph);
+        assert!(!searchable.is_empty(), "graph has no searchable ops");
+        let t0 = Instant::now();
+
+        let mut best: Option<(Strategy, f64)> = None;
+        let mut trace: Vec<(f64, f64)> = Vec::new();
+        let mut evals = 0u64;
+        let mut accepted = 0u64;
+        let mut fallbacks = 0u64;
+
+        for init in initial {
+            let mut sim = Simulator::new(graph, topo, cost, cfg, init.clone());
+            let mut current_cost = sim.cost_us();
+            let initial_cost = current_cost;
+            if best.as_ref().map_or(true, |(_, c)| current_cost < *c) {
+                best = Some((init.clone(), current_cost));
+                trace.push((t0.elapsed().as_secs_f64(), current_cost));
+            }
+            let mut since_improvement = 0u64;
+            let patience = ((budget.max_evals as f64) * budget.patience_fraction) as u64;
+            let restart_start = Instant::now();
+            let mut restart_evals = 0u64;
+
+            while restart_evals < budget.max_evals
+                && restart_start.elapsed().as_secs_f64() < budget.max_seconds
+            {
+                // Propose: one random op gets a fresh random configuration.
+                let op = searchable[self.rng.gen_range(0..searchable.len())];
+                let proposal = soap::random_config(graph.op(op), topo, self.space, &mut self.rng);
+                let old = sim.strategy().config(op).clone();
+                let new_cost = match self.algorithm {
+                    SimAlgorithm::Delta => sim.apply(op, proposal),
+                    SimAlgorithm::Full => {
+                        let mut s = sim.strategy().clone();
+                        s.replace(op, proposal);
+                        sim.reset(s)
+                    }
+                };
+                evals += 1;
+                restart_evals += 1;
+
+                // Acceptance (Eq. 2 by default), with beta normalized by
+                // the restart's initial cost so one temperature suits all
+                // models.
+                let beta = match self.acceptance {
+                    AcceptanceRule::Metropolis => self.beta_scale / initial_cost,
+                    AcceptanceRule::Annealed { anneal_factor } => {
+                        let progress =
+                            restart_evals as f64 / budget.max_evals.max(1) as f64;
+                        self.beta_scale * (1.0 + (anneal_factor - 1.0) * progress.min(1.0))
+                            / initial_cost
+                    }
+                    AcceptanceRule::Greedy => f64::INFINITY,
+                };
+                let accept = new_cost <= current_cost
+                    || self.rng.gen::<f64>() < (beta * (current_cost - new_cost)).exp();
+                if accept {
+                    accepted += 1;
+                    current_cost = new_cost;
+                    if best.as_ref().map_or(true, |(_, c)| new_cost < *c) {
+                        best = Some((sim.strategy().clone(), new_cost));
+                        trace.push((t0.elapsed().as_secs_f64(), new_cost));
+                        since_improvement = 0;
+                    } else {
+                        since_improvement += 1;
+                    }
+                } else {
+                    // Revert the rejected proposal (a second incremental
+                    // repair under Delta; a rebuild under Full).
+                    match self.algorithm {
+                        SimAlgorithm::Delta => {
+                            sim.apply(op, old);
+                        }
+                        SimAlgorithm::Full => {
+                            let mut s = sim.strategy().clone();
+                            s.replace(op, old);
+                            sim.reset(s);
+                        }
+                    }
+                    since_improvement += 1;
+                }
+                if patience > 0 && since_improvement >= patience {
+                    break; // §6.2 criterion (2)
+                }
+            }
+            fallbacks += sim.state().fallbacks;
+        }
+
+        let (best, best_cost_us) = best.expect("at least one candidate evaluated");
+        SearchResult {
+            best,
+            best_cost_us,
+            evals,
+            accepted,
+            elapsed_seconds: t0.elapsed().as_secs_f64(),
+            trace,
+            fallbacks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_costmodel::MeasuredCostModel;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::zoo;
+
+    fn setup() -> (OpGraph, Topology, MeasuredCostModel) {
+        (
+            zoo::lenet(64),
+            clusters::uniform_cluster(1, 4, 16.0, 4.0),
+            MeasuredCostModel::paper_default(),
+        )
+    }
+    use flexflow_device::Topology;
+
+    #[test]
+    fn search_never_worse_than_initial() {
+        let (g, topo, cost) = setup();
+        let dp = Strategy::data_parallel(&g, &topo);
+        let dp_cost = Simulator::new(&g, &topo, &cost, SimConfig::default(), dp.clone()).cost_us();
+        let mut opt = McmcOptimizer::new(1);
+        let r = opt.search(
+            &g,
+            &topo,
+            &cost,
+            &[dp],
+            Budget::evaluations(100),
+            SimConfig::default(),
+        );
+        assert!(r.best_cost_us <= dp_cost + 1e-9);
+        assert!(r.evals > 0);
+    }
+
+    #[test]
+    fn search_improves_on_random_start() {
+        // Starting from a random strategy, the search must make progress
+        // (random strategies scatter ops across devices and pay heavy
+        // communication, leaving lots of headroom).
+        let (g, topo, cost) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+        let random = Strategy::random(&g, &topo, crate::soap::ConfigSpace::Full, &mut rng);
+        let random_cost =
+            Simulator::new(&g, &topo, &cost, SimConfig::default(), random.clone()).cost_us();
+        let mut opt = McmcOptimizer::new(7);
+        let r = opt.search(
+            &g,
+            &topo,
+            &cost,
+            &[random],
+            Budget::evaluations(400),
+            SimConfig::default(),
+        );
+        assert!(
+            r.best_cost_us < random_cost,
+            "search should beat a random start: {} vs {random_cost}",
+            r.best_cost_us
+        );
+    }
+
+    #[test]
+    fn trace_is_monotone_decreasing() {
+        let (g, topo, cost) = setup();
+        let mut opt = McmcOptimizer::new(3);
+        let r = opt.search(
+            &g,
+            &topo,
+            &cost,
+            &[Strategy::data_parallel(&g, &topo)],
+            Budget::evaluations(150),
+            SimConfig::default(),
+        );
+        for w in r.trace.windows(2) {
+            assert!(w[1].1 <= w[0].1, "trace must only improve");
+            assert!(w[1].0 >= w[0].0, "trace times must be ordered");
+        }
+    }
+
+    #[test]
+    fn full_and_delta_find_comparable_strategies() {
+        let (g, topo, cost) = setup();
+        let init = [Strategy::data_parallel(&g, &topo)];
+        let budget = Budget::evaluations(120);
+        let mut a = McmcOptimizer::new(11);
+        a.algorithm = SimAlgorithm::Delta;
+        let ra = a.search(&g, &topo, &cost, &init, budget, SimConfig::default());
+        let mut b = McmcOptimizer::new(11);
+        b.algorithm = SimAlgorithm::Full;
+        let rb = b.search(&g, &topo, &cost, &init, budget, SimConfig::default());
+        // identical seeds + identical proposal streams -> identical results
+        assert!(
+            (ra.best_cost_us - rb.best_cost_us).abs() < 1e-6,
+            "delta {} vs full {}",
+            ra.best_cost_us,
+            rb.best_cost_us
+        );
+    }
+
+    #[test]
+    fn multiple_initials_take_the_best() {
+        let (g, topo, cost) = setup();
+        let mut opt = McmcOptimizer::new(5);
+        let inits = [
+            Strategy::single_device(&g, &topo, 0),
+            Strategy::data_parallel(&g, &topo),
+        ];
+        let r = opt.search(
+            &g,
+            &topo,
+            &cost,
+            &inits,
+            Budget::evaluations(50),
+            SimConfig::default(),
+        );
+        // with both initials, the result is at least as good as plain DP
+        let dp_cost = Simulator::new(
+            &g,
+            &topo,
+            &cost,
+            SimConfig::default(),
+            Strategy::data_parallel(&g, &topo),
+        )
+        .cost_us();
+        assert!(r.best_cost_us <= dp_cost + 1e-9);
+    }
+
+    #[test]
+    fn greedy_never_accepts_regressions() {
+        let (g, topo, cost) = setup();
+        let mut opt = McmcOptimizer::new(21);
+        opt.acceptance = AcceptanceRule::Greedy;
+        let r = opt.search(
+            &g,
+            &topo,
+            &cost,
+            &[Strategy::data_parallel(&g, &topo)],
+            Budget::evaluations(200),
+            SimConfig::default(),
+        );
+        // with greedy acceptance, accepted count == number of improvements,
+        // and the final best equals the walk's end (no escapes needed)
+        assert!(r.accepted <= r.evals);
+        let dp_cost = Simulator::new(
+            &g,
+            &topo,
+            &cost,
+            SimConfig::default(),
+            Strategy::data_parallel(&g, &topo),
+        )
+        .cost_us();
+        assert!(r.best_cost_us <= dp_cost + 1e-9);
+    }
+
+    #[test]
+    fn annealed_accepts_fewer_late_regressions_than_flat() {
+        let (g, topo, cost) = setup();
+        let budget = Budget {
+            max_evals: 300,
+            max_seconds: f64::INFINITY,
+            patience_fraction: 1.0,
+        };
+        let mut flat = McmcOptimizer::new(33);
+        flat.beta_scale = 5.0;
+        let rf = flat.search(
+            &g,
+            &topo,
+            &cost,
+            &[Strategy::data_parallel(&g, &topo)],
+            budget,
+            SimConfig::default(),
+        );
+        let mut annealed = McmcOptimizer::new(33);
+        annealed.beta_scale = 5.0;
+        annealed.acceptance = AcceptanceRule::Annealed { anneal_factor: 50.0 };
+        let ra = annealed.search(
+            &g,
+            &topo,
+            &cost,
+            &[Strategy::data_parallel(&g, &topo)],
+            budget,
+            SimConfig::default(),
+        );
+        assert!(
+            ra.accepted < rf.accepted,
+            "cooling must reject more: annealed {} vs flat {}",
+            ra.accepted,
+            rf.accepted
+        );
+        assert!(ra.best_cost_us > 0.0);
+    }
+
+    #[test]
+    fn patience_stops_early() {
+        let (g, topo, cost) = setup();
+        let mut opt = McmcOptimizer::new(9);
+        let budget = Budget {
+            max_evals: 10_000,
+            max_seconds: f64::INFINITY,
+            patience_fraction: 0.01, // give up after 100 stale evals
+        };
+        let r = opt.search(
+            &g,
+            &topo,
+            &cost,
+            &[Strategy::data_parallel(&g, &topo)],
+            budget,
+            SimConfig::default(),
+        );
+        assert!(r.evals < 10_000, "patience must cut the run short");
+    }
+}

@@ -1,0 +1,726 @@
+//! The execution simulator (paper §5): the full simulation algorithm
+//! (Algorithm 1) and the delta simulation algorithm (Algorithm 2).
+//!
+//! Both algorithms fill in the simulation-time task properties of paper
+//! Table 2 (`readyTime`, `startTime`, `endTime`, and the per-device FIFO
+//! order giving `preTask`/`nextTask`) and return the predicted
+//! per-iteration execution time (the latest `endTime`).
+//!
+//! The FIFO tie-break is `(readyTime, seq)` where `seq` is the task's
+//! creation sequence number; both algorithms use the same key, which makes
+//! their timelines identical ("The full and delta simulation algorithms
+//! always produce the same timeline for a given task graph", §5.3) — a
+//! property the test-suite checks exhaustively.
+
+use crate::taskgraph::{ExecUnit, RebuildReport, TaskGraph, TaskId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+pub use crate::taskgraph::SimConfig;
+
+/// Order key for the ready queue and the per-unit FIFO order.
+///
+/// Times are finite and non-negative, so `f64::to_bits` is order-preserving.
+fn key(ready: f64, seq: u128) -> (u64, u128) {
+    debug_assert!(ready >= 0.0 && ready.is_finite());
+    (ready.to_bits(), seq)
+}
+
+/// Simulation-time state: per-task times and per-unit execution order.
+///
+/// Unit orders are B-trees keyed by `(ready, seq)`, so delta repairs
+/// reposition a task in `O(log n)` — heavy proposals can add or move
+/// hundreds of thousands of communication tasks on one link queue.
+#[derive(Debug, Clone, Default)]
+pub struct SimState {
+    ready: Vec<f64>,
+    start: Vec<f64>,
+    end: Vec<f64>,
+    /// Scheduled unit of each live slot (mirrors the task's unit; kept here
+    /// so delta updates can unschedule slots whose task has been replaced).
+    unit_of: Vec<Option<ExecUnit>>,
+    /// The FIFO key each slot was scheduled under. Kept per slot (rather
+    /// than recomputed from the task) so a slot recycled to a *new* task by
+    /// a rebuild can still be unscheduled from its old position.
+    sched_key: Vec<(u64, u128)>,
+    /// Execution order per unit, sorted by `(ready, seq)`.
+    unit_order: HashMap<ExecUnit, BTreeMap<(u64, u128), TaskId>>,
+    makespan: f64,
+    /// Number of times the delta algorithm bailed out to a full
+    /// re-simulation because incremental repair would have cost more than
+    /// a from-scratch sweep (deep dependency chains; see
+    /// [`simulate_delta`]). Timelines stay exact either way.
+    pub fallbacks: u64,
+}
+
+impl SimState {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            ready: vec![0.0; cap],
+            start: vec![0.0; cap],
+            end: vec![0.0; cap],
+            unit_of: vec![None; cap],
+            sched_key: vec![(0, 0); cap],
+            unit_order: HashMap::new(),
+            makespan: 0.0,
+            fallbacks: 0,
+        }
+    }
+
+    fn ensure_capacity(&mut self, cap: usize) {
+        if self.ready.len() < cap {
+            self.ready.resize(cap, 0.0);
+            self.start.resize(cap, 0.0);
+            self.end.resize(cap, 0.0);
+            self.unit_of.resize(cap, None);
+            self.sched_key.resize(cap, (0, 0));
+        }
+    }
+
+    /// The simulated per-iteration execution time in microseconds.
+    pub fn makespan_us(&self) -> f64 {
+        self.makespan
+    }
+
+    /// `(readyTime, startTime, endTime)` of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was never simulated.
+    pub fn times(&self, id: TaskId) -> (f64, f64, f64) {
+        assert!(
+            self.unit_of[id.index()].is_some(),
+            "task {id} is not scheduled"
+        );
+        (
+            self.ready[id.index()],
+            self.start[id.index()],
+            self.end[id.index()],
+        )
+    }
+
+    /// The execution order of a unit (empty if the unit never ran a task).
+    pub fn order(&self, unit: ExecUnit) -> Vec<TaskId> {
+        self.unit_order
+            .get(&unit)
+            .map(|m| m.values().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All units that executed at least one task.
+    pub fn units(&self) -> impl Iterator<Item = ExecUnit> + '_ {
+        self.unit_order.keys().copied()
+    }
+
+    /// Removes `id` from its unit order; returns its old follower (whose
+    /// `preTask` changed), if any. Works even when the slot has been
+    /// recycled to a new task, thanks to the stored schedule key.
+    fn unschedule(&mut self, id: TaskId) -> Option<TaskId> {
+        let unit = self.unit_of[id.index()]
+            .take()
+            .unwrap_or_else(|| panic!("unscheduling unscheduled task {id}"));
+        let k = self.sched_key[id.index()];
+        let order = self.unit_order.get_mut(&unit).expect("unit has an order");
+        let removed = order.remove(&k);
+        debug_assert_eq!(removed, Some(id));
+        order
+            .range((std::ops::Bound::Excluded(k), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(_, &t)| t)
+    }
+
+    /// Inserts `id` into its unit order at the position dictated by
+    /// `(ready, seq)`; returns the task that follows it (whose `preTask`
+    /// changed), if any.
+    fn schedule(
+        &mut self,
+        tg: &TaskGraph,
+        id: TaskId,
+        unit: ExecUnit,
+        ready: f64,
+    ) -> Option<TaskId> {
+        let k = key(ready, tg.task(id).seq);
+        self.unit_of[id.index()] = Some(unit);
+        self.ready[id.index()] = ready;
+        self.sched_key[id.index()] = k;
+        let order = self.unit_order.entry(unit).or_default();
+        let prior = order.insert(k, id);
+        debug_assert!(prior.is_none(), "duplicate FIFO key");
+        order
+            .range((std::ops::Bound::Excluded(k), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(_, &t)| t)
+    }
+
+    /// End time of the task preceding `id` on its unit (0 when first).
+    fn pre_end(&self, id: TaskId, unit: ExecUnit) -> f64 {
+        let k = self.sched_key[id.index()];
+        self.unit_order[&unit]
+            .range(..k)
+            .next_back()
+            .map_or(0.0, |(_, &pre)| self.end[pre.index()])
+    }
+
+    /// The task following `id` on its unit.
+    fn next_of(&self, id: TaskId, unit: ExecUnit) -> Option<TaskId> {
+        let k = self.sched_key[id.index()];
+        self.unit_order[&unit]
+            .range((std::ops::Bound::Excluded(k), std::ops::Bound::Unbounded))
+            .next()
+            .map(|(_, &t)| t)
+    }
+
+    fn recompute_makespan(&mut self, tg: &TaskGraph) {
+        self.makespan = tg
+            .iter()
+            .map(|(id, _)| self.end[id.index()])
+            .fold(0.0, f64::max);
+    }
+}
+
+/// The full simulation algorithm (paper Algorithm 1): a Dijkstra-style
+/// sweep that dequeues tasks in `(readyTime, seq)` order and appends each
+/// to its device's FIFO.
+pub fn simulate_full(tg: &TaskGraph) -> SimState {
+    let cap = tg.capacity();
+    let mut state = SimState::with_capacity(cap);
+    let mut remaining: Vec<usize> = vec![0; cap];
+    let mut heap: BinaryHeap<Reverse<((u64, u128), TaskId)>> = BinaryHeap::new();
+    for (id, t) in tg.iter() {
+        remaining[id.index()] = t.preds.len();
+        if t.preds.is_empty() {
+            state.ready[id.index()] = 0.0;
+            heap.push(Reverse((key(0.0, t.seq), id)));
+        }
+    }
+    let mut last_end: HashMap<ExecUnit, f64> = HashMap::new();
+    let mut processed = 0usize;
+    while let Some(Reverse((_, id))) = heap.pop() {
+        let t = tg.task(id);
+        let ready = state.ready[id.index()];
+        let free_at = last_end.get(&t.unit).copied().unwrap_or(0.0);
+        let start = ready.max(free_at);
+        let end = start + t.exe_us;
+        state.start[id.index()] = start;
+        state.end[id.index()] = end;
+        last_end.insert(t.unit, end);
+        let k = key(ready, t.seq);
+        state.sched_key[id.index()] = k;
+        state.unit_order.entry(t.unit).or_default().insert(k, id);
+        state.unit_of[id.index()] = Some(t.unit);
+        state.makespan = state.makespan.max(end);
+        processed += 1;
+        for &s in &t.succs {
+            let si = s.index();
+            state.ready[si] = state.ready[si].max(end);
+            remaining[si] -= 1;
+            if remaining[si] == 0 {
+                heap.push(Reverse((key(state.ready[si], tg.task(s).seq), s)));
+            }
+        }
+    }
+    assert_eq!(
+        processed,
+        tg.num_tasks(),
+        "task graph has a cycle or dangling dependency"
+    );
+    state
+}
+
+/// The delta simulation algorithm (paper Algorithm 2): given the previous
+/// timeline and the [`RebuildReport`] of a single-op configuration change,
+/// repairs only the affected portion of the timeline.
+///
+/// Returns the new makespan. The resulting state is identical to running
+/// [`simulate_full`] on the updated graph; if the internal iteration bound
+/// is ever exceeded (a safety valve), the function falls back to a full
+/// re-simulation and increments [`SimState::fallbacks`].
+pub fn simulate_delta(tg: &TaskGraph, state: &mut SimState, report: &RebuildReport) -> f64 {
+    state.ensure_capacity(tg.capacity());
+    let mut heap: BinaryHeap<Reverse<((u64, u128), TaskId)>> = BinaryHeap::new();
+    // Dedup queued work: a task with many dirty predecessors would
+    // otherwise be enqueued (and its ready-max rescanned) once per
+    // predecessor update; since the heap pops in ready order, one visit
+    // after the wave has settled usually suffices.
+    let mut queued: Vec<bool> = vec![false; tg.capacity()];
+    let push = |state: &SimState,
+                heap: &mut BinaryHeap<_>,
+                queued: &mut Vec<bool>,
+                id: TaskId| {
+        if !queued[id.index()] {
+            if let Some(t) = tg.get(id) {
+                queued[id.index()] = true;
+                heap.push(Reverse((key(state.ready[id.index()], t.seq), id)));
+            }
+        }
+    };
+
+    // 1. Unschedule removed slots (their old unit is recorded in the state;
+    //    the slot may already host a replacement task).
+    for &id in &report.removed {
+        if state.unit_of[id.index()].is_some() {
+            if let Some(shifted) = state.unschedule(id) {
+                push(state, &mut heap, &mut queued, shifted);
+            }
+        }
+    }
+    // 2. Schedule added tasks. Seeding their provisional ready times from
+    //    their predecessors' current end times (zeroing added slots first
+    //    so recycled slots contribute nothing stale) makes the heap process
+    //    most tasks once, after their inputs have settled — seeding at 0
+    //    would pop every added task once before its wave arrives.
+    for &id in &report.added {
+        state.start[id.index()] = 0.0;
+        state.end[id.index()] = 0.0;
+    }
+    for &id in &report.added {
+        let t = tg.task(id);
+        let init_ready = t
+            .preds
+            .iter()
+            .map(|p| state.end[p.index()])
+            .fold(0.0, f64::max);
+        if let Some(follower) = state.schedule(tg, id, t.unit, init_ready) {
+            push(state, &mut heap, &mut queued, follower);
+        }
+        push(state, &mut heap, &mut queued, id);
+    }
+    // 3. Surviving tasks that lost predecessors may become ready earlier.
+    for &id in &report.pred_changed {
+        push(state, &mut heap, &mut queued, id);
+    }
+
+    // 4. Fixpoint propagation in (ready, seq) order. If the repair takes
+    //    more pops than a few full sweeps it is already costlier than
+    //    re-simulating from scratch (deep chains re-process each wave), so
+    //    the budget bails out early and the fallback handles it — an
+    //    adaptive escape hatch rather than an error path.
+    let budget = 8 * tg.num_tasks().max(64);
+    let mut steps = 0usize;
+    while let Some(Reverse((_, id))) = heap.pop() {
+        queued[id.index()] = false;
+        let Some(t) = tg.get(id) else { continue };
+        steps += 1;
+        if steps > budget {
+            // Safety valve: abandon incremental repair.
+            state.fallbacks += 1;
+            let fallbacks = state.fallbacks;
+            *state = simulate_full(tg);
+            state.fallbacks = fallbacks;
+            return state.makespan;
+        }
+        let new_ready = t
+            .preds
+            .iter()
+            .map(|p| state.end[p.index()])
+            .fold(0.0, f64::max);
+        let i = id.index();
+        if new_ready != state.ready[i] {
+            // Reposition within the FIFO order (the "swap" of Algorithm 2).
+            if let Some(shifted) = state.unschedule(id) {
+                push(state, &mut heap, &mut queued, shifted);
+            }
+            if let Some(follower) = state.schedule(tg, id, t.unit, new_ready) {
+                push(state, &mut heap, &mut queued, follower);
+            }
+        }
+        let unit = state.unit_of[i].expect("scheduled");
+        let new_start = new_ready.max(state.pre_end(id, unit));
+        let new_end = new_start + t.exe_us;
+        if new_start != state.start[i] || new_end != state.end[i] {
+            state.start[i] = new_start;
+            state.end[i] = new_end;
+            for &s in &t.succs {
+                push(state, &mut heap, &mut queued, s);
+            }
+            if let Some(next) = state.next_of(id, unit) {
+                push(state, &mut heap, &mut queued, next);
+            }
+        }
+    }
+    state.recompute_makespan(tg);
+    state.makespan
+}
+
+/// Convenience owner tying together a strategy, its task graph and its
+/// timeline; the execution optimizer drives the search through this.
+pub struct Simulator<'a> {
+    graph: &'a flexflow_opgraph::OpGraph,
+    topo: &'a flexflow_device::Topology,
+    cost: &'a dyn flexflow_costmodel::CostModel,
+    cfg: SimConfig,
+    strategy: crate::strategy::Strategy,
+    tg: TaskGraph,
+    state: SimState,
+    /// Number of delta simulations performed.
+    pub delta_sims: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds the task graph for `strategy` and runs a full simulation.
+    pub fn new(
+        graph: &'a flexflow_opgraph::OpGraph,
+        topo: &'a flexflow_device::Topology,
+        cost: &'a dyn flexflow_costmodel::CostModel,
+        cfg: SimConfig,
+        strategy: crate::strategy::Strategy,
+    ) -> Self {
+        let tg = TaskGraph::build(graph, topo, &strategy, cost, &cfg);
+        let state = simulate_full(&tg);
+        Self {
+            graph,
+            topo,
+            cost,
+            cfg,
+            strategy,
+            tg,
+            state,
+            delta_sims: 0,
+        }
+    }
+
+    /// The current strategy.
+    pub fn strategy(&self) -> &crate::strategy::Strategy {
+        &self.strategy
+    }
+
+    /// The current predicted iteration time in microseconds.
+    pub fn cost_us(&self) -> f64 {
+        self.state.makespan_us()
+    }
+
+    /// The current task graph.
+    pub fn task_graph(&self) -> &TaskGraph {
+        &self.tg
+    }
+
+    /// The current timeline.
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Applies a configuration change to one op with a delta simulation and
+    /// returns the new cost. The change can be reverted by applying the old
+    /// configuration the same way, or more cheaply via
+    /// [`Simulator::snapshot`] / [`Simulator::restore`].
+    pub fn apply(
+        &mut self,
+        op: flexflow_opgraph::OpId,
+        config: crate::soap::ParallelConfig,
+    ) -> f64 {
+        self.strategy.replace(op, config);
+        let report =
+            self.tg
+                .rebuild_op(self.graph, self.topo, &self.strategy, self.cost, &self.cfg, op);
+        self.delta_sims += 1;
+        simulate_delta(&self.tg, &mut self.state, &report)
+    }
+
+    /// Captures the current task graph, timeline and strategy so a
+    /// speculative [`Simulator::apply`] can be undone with
+    /// [`Simulator::restore`] — one memcpy-style clone instead of a second
+    /// incremental repair (rejected proposals dominate an MCMC walk).
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            strategy: self.strategy.clone(),
+            tg: self.tg.clone(),
+            state: self.state.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Simulator::snapshot`].
+    pub fn restore(&mut self, snap: SimSnapshot) {
+        self.strategy = snap.strategy;
+        self.tg = snap.tg;
+        self.state = snap.state;
+    }
+
+    /// Replaces the entire strategy, rebuilding and fully re-simulating.
+    pub fn reset(&mut self, strategy: crate::strategy::Strategy) -> f64 {
+        self.strategy = strategy;
+        self.tg = TaskGraph::build(self.graph, self.topo, &self.strategy, self.cost, &self.cfg);
+        self.state = simulate_full(&self.tg);
+        self.state.makespan_us()
+    }
+}
+
+/// A saved simulator state for speculative proposals (see
+/// [`Simulator::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    strategy: crate::strategy::Strategy,
+    tg: TaskGraph,
+    state: SimState,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soap::ParallelConfig;
+    use crate::strategy::Strategy;
+    use flexflow_costmodel::{CostModel, MeasuredCostModel};
+    use flexflow_device::{clusters, DeviceKind, Topology};
+    use flexflow_opgraph::{zoo, OpGraph, OpKind, OpNode};
+    use flexflow_tensor::{Rect, TensorShape};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A cost model with fixed per-op-kind times, for hand-checkable
+    /// timelines.
+    struct FixedCost;
+
+    impl CostModel for FixedCost {
+        fn task_time_us(&self, node: &OpNode, _out: &Rect, _device: DeviceKind) -> f64 {
+            match node.kind() {
+                OpKind::Input { .. } => 0.0,
+                OpKind::Embedding { .. } => 2.0,
+                OpKind::LstmCell { .. } => 1.0,
+                OpKind::Linear { .. } => 3.0,
+                _ => 1.0,
+            }
+        }
+    }
+
+    /// The paper's Fig. 5 setting: a 3-layer RNN (embedding, recurrent,
+    /// linear), 2 unroll steps, model parallelism with one layer per GPU.
+    fn fig5_graph() -> OpGraph {
+        let mut g = OpGraph::new("fig5");
+        let x1 = g.add_input("x1", TensorShape::with_dtype(&[2, 1], flexflow_tensor::DataType::I32));
+        let x2 = g.add_input("x2", TensorShape::with_dtype(&[2, 1], flexflow_tensor::DataType::I32));
+        let h0 = g.add_input("h0", TensorShape::new(&[2, 4]));
+        let o1 = g.add_op(OpKind::Embedding { vocab: 16, dim: 4 }, &[x1], "o1").unwrap();
+        let o2 = g.add_op(OpKind::Embedding { vocab: 16, dim: 4 }, &[x2], "o2").unwrap();
+        let o3 = g.add_op(OpKind::LstmCell { hidden: 4 }, &[o1, h0], "o3").unwrap();
+        let o4 = g.add_op(OpKind::LstmCell { hidden: 4 }, &[o2, o3], "o4").unwrap();
+        let _o5 = g.add_op(OpKind::Linear { out_features: 4 }, &[o3], "o5").unwrap();
+        let _o6 = g.add_op(OpKind::Linear { out_features: 4 }, &[o4], "o6").unwrap();
+        g
+    }
+
+    /// A 3-GPU chain topology: transfer of any size takes exactly 1us
+    /// (huge bandwidth, 1us latency), mirroring Fig. 5's unit-time
+    /// transfers.
+    fn fig5_topo() -> Topology {
+        clusters::uniform_cluster(1, 3, 1e9, 1e9)
+    }
+
+    fn fig5_strategy(g: &OpGraph, topo: &Topology) -> Strategy {
+        // inputs on the GPU of their consumer layer; o1,o2 -> gpu0;
+        // o3,o4 -> gpu1; o5,o6 -> gpu2. No intra-op parallelism.
+        let dev = |i: usize| topo.device_id(i);
+        let place = |name: &str| -> usize {
+            match name {
+                "x1" | "x2" | "o1" | "o2" => 0,
+                "h0" | "o3" | "o4" => 1,
+                _ => 2,
+            }
+        };
+        let configs = g
+            .ids()
+            .map(|id| ParallelConfig::on_device(g.op(id), dev(place(g.op(id).name()))))
+            .collect();
+        Strategy::from_configs(g, configs)
+    }
+
+    fn fig5_cfg() -> SimConfig {
+        SimConfig {
+            activation_comm_multiplier: 1.0,
+            include_param_sync: false,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Transfers in the Fig. 5 topology take 1us latency plus a negligible
+    /// bandwidth term; compare with a loose epsilon.
+    fn assert_close(got: f64, want: f64) {
+        assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn fig5_model_parallel_timeline() {
+        let g = fig5_graph();
+        let topo = fig5_topo();
+        let s = fig5_strategy(&g, &topo);
+        let tg = TaskGraph::build(&g, &topo, &s, &FixedCost, &fig5_cfg());
+        let state = simulate_full(&tg);
+
+        let task_of = |name: &str| {
+            let id = g.ids().find(|&i| g.op(i).name() == name).unwrap();
+            tg.tasks_of_op(id)[0]
+        };
+        // GPU0 runs o1 then o2 back to back (exe 2 each).
+        let (r1, s1, e1) = state.times(task_of("o1"));
+        assert_close(r1, 0.0);
+        assert_close(s1, 0.0);
+        assert_close(e1, 2.0);
+        let (_, s2, e2) = state.times(task_of("o2"));
+        assert_close(s2, 2.0);
+        assert_close(e2, 4.0);
+        // o3 waits for o1's transfer (1us): ready 3, exe 1.
+        let (r3, _, e3) = state.times(task_of("o3"));
+        assert_close(r3, 3.0);
+        assert_close(e3, 4.0);
+        // o4 needs o2's transfer (ends 5) and o3 (ends 4): ready 5.
+        let (r4, _, e4) = state.times(task_of("o4"));
+        assert_close(r4, 5.0);
+        assert_close(e4, 6.0);
+        // o5 needs o3's transfer (ends 5): exe 3 -> ends 8.
+        let (r5, _, e5) = state.times(task_of("o5"));
+        assert_close(r5, 5.0);
+        assert_close(e5, 8.0);
+        // o6 needs o4's transfer (ends 7) but GPU2 is busy until 8.
+        let (r6, s6, e6) = state.times(task_of("o6"));
+        assert_close(r6, 7.0);
+        assert_close(s6, 8.0);
+        assert_close(e6, 11.0);
+        assert_close(state.makespan_us(), 11.0);
+    }
+
+    #[test]
+    fn communication_overlaps_computation() {
+        // In the Fig.5 timeline, the o2 compute (2..4 on GPU0) overlaps the
+        // o1->o3 transfer (2..3 on the link): verify the link order.
+        let g = fig5_graph();
+        let topo = fig5_topo();
+        let s = fig5_strategy(&g, &topo);
+        let tg = TaskGraph::build(&g, &topo, &s, &FixedCost, &fig5_cfg());
+        let state = simulate_full(&tg);
+        let link_tasks: Vec<TaskId> = tg
+            .iter()
+            .filter(|(_, t)| matches!(t.unit, ExecUnit::Link(_)))
+            .map(|(id, _)| id)
+            .collect();
+        assert!(!link_tasks.is_empty());
+        let first_comm_start = link_tasks
+            .iter()
+            .map(|&id| state.times(id).1)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            (first_comm_start - 2.0).abs() < 1e-6,
+            "transfer starts as soon as o1 ends, got {first_comm_start}"
+        );
+    }
+
+    #[test]
+    fn fifo_contention_serializes_same_unit() {
+        // Two ops on one GPU with no dependency: FIFO forces them back to
+        // back even though both are ready at 0... here o1/o2 already cover
+        // this; check the sum matches serial execution.
+        let g = fig5_graph();
+        let topo = fig5_topo();
+        let s = fig5_strategy(&g, &topo);
+        let tg = TaskGraph::build(&g, &topo, &s, &FixedCost, &fig5_cfg());
+        let state = simulate_full(&tg);
+        let gpu0 = ExecUnit::Gpu(topo.device_id(0));
+        let order = state.order(gpu0);
+        // input tasks (exe 0) then o1 then o2
+        let compute: Vec<TaskId> = order
+            .iter()
+            .copied()
+            .filter(|&t| tg.task(t).exe_us > 0.0)
+            .collect();
+        assert_eq!(compute.len(), 2);
+        let (_, s_a, e_a) = state.times(compute[0]);
+        let (_, s_b, _) = state.times(compute[1]);
+        assert!(s_b >= e_a, "no overlap on one device");
+        assert_eq!(s_a, 0.0);
+    }
+
+    #[test]
+    fn delta_equals_full_after_single_change() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = SimConfig::default();
+        let mut s = Strategy::data_parallel(&g, &topo);
+        let mut tg = TaskGraph::build(&g, &topo, &s, &cost, &cfg);
+        let mut state = simulate_full(&tg);
+
+        let op = g.ids().nth(3).unwrap(); // conv2
+        s.replace(op, ParallelConfig::on_device(g.op(op), topo.device_id(2)));
+        let report = tg.rebuild_op(&g, &topo, &s, &cost, &cfg, op);
+        let delta_cost = simulate_delta(&tg, &mut state, &report);
+
+        let fresh = simulate_full(&TaskGraph::build(&g, &topo, &s, &cost, &cfg));
+        assert!(
+            (delta_cost - fresh.makespan_us()).abs() < 1e-6,
+            "delta {delta_cost} vs full {}",
+            fresh.makespan_us()
+        );
+    }
+
+    #[test]
+    fn delta_equals_full_over_random_walk() {
+        let g = zoo::lenet(32);
+        let topo = clusters::uniform_cluster(2, 2, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = SimConfig::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let searchable = Strategy::searchable_ops(&g);
+
+        let mut s = Strategy::data_parallel(&g, &topo);
+        let mut tg = TaskGraph::build(&g, &topo, &s, &cost, &cfg);
+        let mut state = simulate_full(&tg);
+        for step in 0..60 {
+            let op = searchable[rng.gen_range(0..searchable.len())];
+            let config = crate::soap::random_config(
+                g.op(op),
+                &topo,
+                crate::soap::ConfigSpace::Full,
+                &mut rng,
+            );
+            s.replace(op, config);
+            let report = tg.rebuild_op(&g, &topo, &s, &cost, &cfg, op);
+            let delta_cost = simulate_delta(&tg, &mut state, &report);
+            let fresh = simulate_full(&TaskGraph::build(&g, &topo, &s, &cost, &cfg));
+            assert!(
+                (delta_cost - fresh.makespan_us()).abs() < 1e-6,
+                "step {step}: delta {delta_cost} vs full {}",
+                fresh.makespan_us()
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_apply_and_revert_roundtrip() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let s = Strategy::data_parallel(&g, &topo);
+        let mut sim = Simulator::new(&g, &topo, &cost, SimConfig::default(), s);
+        let c0 = sim.cost_us();
+        let op = Strategy::searchable_ops(&g)[2];
+        let old = sim.strategy().config(op).clone();
+        let _c1 = sim.apply(op, ParallelConfig::on_device(g.op(op), topo.device_id(0)));
+        let c2 = sim.apply(op, old);
+        assert!((c0 - c2).abs() < 1e-6, "revert must restore cost: {c0} vs {c2}");
+    }
+
+    #[test]
+    fn makespan_positive_and_monotone_in_device_count() {
+        // Single device should be slower than 4 devices under data
+        // parallelism for a compute-heavy CNN.
+        let g = zoo::lenet(64);
+        let cost = MeasuredCostModel::paper_default();
+        let topo1 = clusters::uniform_cluster(1, 1, 16.0, 4.0);
+        let topo4 = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let c1 = Simulator::new(
+            &g,
+            &topo1,
+            &cost,
+            SimConfig::default(),
+            Strategy::data_parallel(&g, &topo1),
+        )
+        .cost_us();
+        let c4 = Simulator::new(
+            &g,
+            &topo4,
+            &cost,
+            SimConfig::default(),
+            Strategy::data_parallel(&g, &topo4),
+        )
+        .cost_us();
+        assert!(c1 > 0.0 && c4 > 0.0);
+        assert!(c4 < c1, "4-GPU DP should beat 1 GPU: {c4} vs {c1}");
+    }
+}

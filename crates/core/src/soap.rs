@@ -1,0 +1,415 @@
+//! Parallelization configurations in the SOAP space (paper §4).
+//!
+//! A configuration `c_i` for operation `o_i` gives a positive degree of
+//! parallelism for every parallelizable dimension of the op's output tensor
+//! and a device for each of the `|c_i|` resulting tasks. Equal-size
+//! partitions keep the workload balanced; the flattened (row-major) tile
+//! order defines task numbering.
+
+use flexflow_device::{DeviceId, Topology};
+use flexflow_opgraph::{DimKind, OpNode};
+use flexflow_tensor::{partition, Rect};
+use rand::Rng;
+use std::fmt;
+
+/// A parallelization configuration for one operation.
+///
+/// `degrees` has one entry per output dimension (1 for dimensions the op
+/// cannot split); `devices` has one entry per task, in row-major tile
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParallelConfig {
+    degrees: Vec<u64>,
+    devices: Vec<DeviceId>,
+}
+
+impl ParallelConfig {
+    /// Creates a configuration after validating it against the operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the degrees do not tile the op's output evenly, a
+    /// non-parallelizable dimension has degree > 1, or the device list
+    /// length differs from the degree product. Configurations are built by
+    /// the enumeration/sampling helpers below, so violations indicate bugs.
+    pub fn new(node: &OpNode, degrees: Vec<u64>, devices: Vec<DeviceId>) -> Self {
+        let shape = node.output_shape();
+        partition::validate(shape, &degrees)
+            .unwrap_or_else(|e| panic!("invalid degrees for {}: {e}", node.name()));
+        let allowed: Vec<usize> = node.parallel_dims().iter().map(|p| p.dim).collect();
+        for (d, &deg) in degrees.iter().enumerate() {
+            assert!(
+                deg == 1 || allowed.contains(&d),
+                "{}: dimension {d} is not parallelizable",
+                node.name()
+            );
+        }
+        let tasks: u64 = degrees.iter().product();
+        assert_eq!(
+            devices.len() as u64,
+            tasks,
+            "{}: need {tasks} device assignments, got {}",
+            node.name(),
+            devices.len()
+        );
+        Self { degrees, devices }
+    }
+
+    /// Degree of parallelism per output dimension.
+    pub fn degrees(&self) -> &[u64] {
+        &self.degrees
+    }
+
+    /// Number of tasks `|c_i|`.
+    pub fn num_tasks(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Device of task `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn device(&self, k: usize) -> DeviceId {
+        self.devices[k]
+    }
+
+    /// Devices of all tasks in task order.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// Output tile written by task `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn tile(&self, node: &OpNode, k: usize) -> Rect {
+        let idx = partition::unflatten_index(&self.degrees, k as u64);
+        partition::tile(node.output_shape(), &self.degrees, &idx)
+            .expect("degrees validated at construction")
+    }
+
+    /// All output tiles in task order.
+    pub fn tiles(&self, node: &OpNode) -> Vec<Rect> {
+        partition::tile_all(node.output_shape(), &self.degrees)
+            .expect("degrees validated at construction")
+    }
+
+    /// Total degree in dimensions of the given kind.
+    pub fn degree_of_kind(&self, node: &OpNode, kind: DimKind) -> u64 {
+        node.parallel_dims()
+            .iter()
+            .filter(|p| p.kind == kind)
+            .map(|p| self.degrees[p.dim])
+            .product()
+    }
+
+    /// The single-device configuration running the whole op on `dev`.
+    pub fn on_device(node: &OpNode, dev: DeviceId) -> Self {
+        let degrees = vec![1; node.output_shape().ndims()];
+        Self::new(node, degrees, vec![dev])
+    }
+
+    /// Pure data parallelism: split the sample dimension across all
+    /// `topo` devices (or the largest divisor of the batch that fits).
+    pub fn data_parallel(node: &OpNode, topo: &Topology) -> Self {
+        let shape = node.output_shape();
+        let batch = shape.dim(0);
+        let mut deg = topo.num_devices() as u64;
+        while batch % deg != 0 {
+            deg -= 1;
+        }
+        let mut degrees = vec![1; shape.ndims()];
+        degrees[0] = deg;
+        let devices: Vec<DeviceId> = (0..deg as usize).map(|k| topo.device_id(k)).collect();
+        Self::new(node, degrees, devices)
+    }
+}
+
+impl fmt::Display for ParallelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deg{:?} on [", self.degrees)?;
+        for (i, d) in self.devices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Which slice of the SOAP configuration space to draw from.
+///
+/// - [`ConfigSpace::Full`] — every legal degree vector, devices sampled
+///   independently per task. This is what the MCMC proposal distribution
+///   uses (§6.2: "replaced by a random configuration").
+/// - [`ConfigSpace::Canonical`] — every legal degree vector, devices
+///   assigned as a contiguous round-robin block identified by a starting
+///   offset. This finite, enumerable subset is used by the exhaustive
+///   optimality study (§8.4) and the local-optimality neighborhood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigSpace {
+    /// Unrestricted device assignment (sampling only).
+    Full,
+    /// Contiguous round-robin device blocks (enumerable).
+    Canonical,
+}
+
+/// Enumerates all legal degree vectors for `node` with at most
+/// `max_tasks` tasks (degree products), honoring divisibility and
+/// parallelizable-dimension constraints.
+pub fn legal_degree_vectors(node: &OpNode, max_tasks: u64) -> Vec<Vec<u64>> {
+    let shape = node.output_shape();
+    let pdims = node.parallel_dims();
+    let mut out = Vec::new();
+    let mut current = vec![1u64; shape.ndims()];
+    fn rec(
+        pdims: &[flexflow_opgraph::ParallelDim],
+        extents: &[u64],
+        i: usize,
+        budget: u64,
+        current: &mut Vec<u64>,
+        out: &mut Vec<Vec<u64>>,
+    ) {
+        if i == pdims.len() {
+            out.push(current.clone());
+            return;
+        }
+        let dim = pdims[i].dim;
+        let extent = extents[dim];
+        for deg in 1..=extent.min(budget) {
+            if extent % deg == 0 {
+                current[dim] = deg;
+                rec(pdims, extents, i + 1, budget / deg, current, out);
+            }
+        }
+        current[dim] = 1;
+    }
+    rec(
+        &pdims,
+        shape.dims(),
+        0,
+        max_tasks.max(1),
+        &mut current,
+        &mut out,
+    );
+    out
+}
+
+/// Enumerates the canonical configuration set for `node` on `topo`:
+/// every legal degree vector with at most `num_devices` tasks, each paired
+/// with every contiguous round-robin device block.
+pub fn enumerate_canonical(node: &OpNode, topo: &Topology) -> Vec<ParallelConfig> {
+    let n = topo.num_devices() as u64;
+    let mut out = Vec::new();
+    for degrees in legal_degree_vectors(node, n) {
+        let tasks: u64 = degrees.iter().product();
+        for start in 0..(n - tasks + 1) {
+            let devices: Vec<DeviceId> = (0..tasks)
+                .map(|k| topo.device_id((start + k) as usize))
+                .collect();
+            out.push(ParallelConfig::new(node, degrees.clone(), devices));
+        }
+    }
+    out
+}
+
+/// Samples a uniformly random configuration from the requested space.
+pub fn random_config<R: Rng>(
+    node: &OpNode,
+    topo: &Topology,
+    space: ConfigSpace,
+    rng: &mut R,
+) -> ParallelConfig {
+    random_config_capped(node, topo, space, topo.num_devices() as u64, rng)
+}
+
+/// Samples a random configuration whose degree product is at most
+/// `max_tasks`.
+///
+/// Full-scale random *strategies* (one random config per op) pair
+/// high-degree producers with high-degree consumers on every edge, which
+/// makes their task graphs quadratically large; capping the degree keeps
+/// random initial candidates cheap while single-op proposals continue to
+/// sample the full space.
+pub fn random_config_capped<R: Rng>(
+    node: &OpNode,
+    topo: &Topology,
+    space: ConfigSpace,
+    max_tasks: u64,
+    rng: &mut R,
+) -> ParallelConfig {
+    let n = topo.num_devices() as u64;
+    let budget = n.min(max_tasks.max(1));
+    let vectors = legal_degree_vectors(node, budget);
+    let degrees = vectors[rng.gen_range(0..vectors.len())].clone();
+    let tasks: u64 = degrees.iter().product();
+    let devices: Vec<DeviceId> = match space {
+        ConfigSpace::Full => (0..tasks)
+            .map(|_| topo.device_id(rng.gen_range(0..n as usize)))
+            .collect(),
+        ConfigSpace::Canonical => {
+            let start = rng.gen_range(0..(n - tasks + 1));
+            (0..tasks)
+                .map(|k| topo.device_id((start + k) as usize))
+                .collect()
+        }
+    };
+    ParallelConfig::new(node, degrees, devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::{OpGraph, OpKind};
+    use flexflow_tensor::TensorShape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn linear_graph() -> OpGraph {
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[8, 16]));
+        g.add_op(OpKind::Linear { out_features: 4 }, &[x], "fc")
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn data_parallel_splits_samples() {
+        let g = linear_graph();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let node = g.op(g.ids().nth(1).unwrap());
+        let c = ParallelConfig::data_parallel(node, &topo);
+        assert_eq!(c.degrees(), &[4, 1]);
+        assert_eq!(c.num_tasks(), 4);
+        let tiles = c.tiles(node);
+        assert!(tiles.iter().all(|t| t.extent(0) == 2 && t.extent(1) == 4));
+    }
+
+    #[test]
+    fn data_parallel_respects_divisibility() {
+        // batch of 6 on 4 devices -> largest divisor is 3
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[6, 16]));
+        let y = g
+            .add_op(OpKind::Linear { out_features: 4 }, &[x], "fc")
+            .unwrap();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let c = ParallelConfig::data_parallel(g.op(y), &topo);
+        assert_eq!(c.degrees()[0], 3);
+    }
+
+    #[test]
+    fn degree_of_kind_splits_sample_and_parameter() {
+        let g = linear_graph();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let node = g.op(g.ids().nth(1).unwrap());
+        let devs: Vec<_> = (0..4).map(|i| topo.device_id(i)).collect();
+        let c = ParallelConfig::new(node, vec![2, 2], devs);
+        assert_eq!(c.degree_of_kind(node, DimKind::Sample), 2);
+        assert_eq!(c.degree_of_kind(node, DimKind::Parameter), 2);
+        assert_eq!(c.degree_of_kind(node, DimKind::Attribute), 1);
+    }
+
+    #[test]
+    fn legal_degree_vectors_respect_divisibility_and_budget() {
+        let g = linear_graph();
+        let node = g.op(g.ids().nth(1).unwrap());
+        // output [8, 4]; both dims parallelizable (S, P)
+        let vecs = legal_degree_vectors(node, 4);
+        assert!(vecs.contains(&vec![1, 1]));
+        assert!(vecs.contains(&vec![4, 1]));
+        assert!(vecs.contains(&vec![2, 2]));
+        assert!(vecs.contains(&vec![1, 4]));
+        // products never exceed 4 and degrees always divide extents
+        for v in &vecs {
+            assert!(v.iter().product::<u64>() <= 4);
+            assert_eq!(8 % v[0], 0);
+            assert_eq!(4 % v[1], 0);
+        }
+        // no vector splits beyond the budget
+        assert!(!vecs.contains(&vec![8, 1]));
+    }
+
+    #[test]
+    fn input_ops_only_split_samples() {
+        let g = linear_graph();
+        let node = g.op(g.ids().next().unwrap());
+        let vecs = legal_degree_vectors(node, 8);
+        assert!(vecs.iter().all(|v| v[1] == 1), "input channel must stay 1");
+    }
+
+    #[test]
+    fn canonical_enumeration_uses_contiguous_blocks() {
+        let g = linear_graph();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let node = g.op(g.ids().nth(1).unwrap());
+        let configs = enumerate_canonical(node, &topo);
+        assert!(!configs.is_empty());
+        for c in &configs {
+            let ids: Vec<usize> = c.devices().iter().map(|d| d.index()).collect();
+            for w in ids.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "devices must be contiguous");
+            }
+        }
+        // single-task configs appear once per device
+        let singles = configs.iter().filter(|c| c.num_tasks() == 1).count();
+        // degree vectors with product 1: exactly [1,1] -> 4 placements
+        assert_eq!(singles, 4);
+    }
+
+    #[test]
+    fn random_config_is_legal_in_both_spaces() {
+        let g = linear_graph();
+        let topo = clusters::uniform_cluster(2, 2, 16.0, 4.0);
+        let node = g.op(g.ids().nth(1).unwrap());
+        let mut rng = StdRng::seed_from_u64(7);
+        for space in [ConfigSpace::Full, ConfigSpace::Canonical] {
+            for _ in 0..50 {
+                let c = random_config(node, &topo, space, &mut rng);
+                assert_eq!(c.num_tasks(), c.devices().len());
+                let total: u64 = c.degrees().iter().product();
+                assert_eq!(total as usize, c.num_tasks());
+                // tiles partition the output
+                let vol: u64 = c.tiles(node).iter().map(|t| t.volume()).sum();
+                assert_eq!(vol, node.output_shape().volume());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not parallelizable")]
+    fn rejects_splitting_forbidden_dim() {
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[8, 16]));
+        let s = g.add_op(OpKind::Softmax, &[x], "sm").unwrap();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        // Softmax allows sample + attribute(channel)... use Flatten instead,
+        // which only allows the sample dim.
+        let f = g.add_op(OpKind::Flatten, &[s], "flat").unwrap();
+        let devs: Vec<_> = (0..2).map(|i| topo.device_id(i)).collect();
+        let _ = ParallelConfig::new(g.op(f), vec![1, 2], devs);
+    }
+
+    #[test]
+    #[should_panic(expected = "device assignments")]
+    fn rejects_wrong_device_count() {
+        let g = linear_graph();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let node = g.op(g.ids().nth(1).unwrap());
+        let _ = ParallelConfig::new(node, vec![2, 1], vec![topo.device_id(0)]);
+    }
+
+    #[test]
+    fn on_device_runs_whole_op() {
+        let g = linear_graph();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let node = g.op(g.ids().nth(1).unwrap());
+        let c = ParallelConfig::on_device(node, topo.device_id(2));
+        assert_eq!(c.num_tasks(), 1);
+        assert_eq!(c.tile(node, 0), Rect::full(node.output_shape()));
+    }
+}

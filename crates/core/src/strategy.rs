@@ -1,0 +1,219 @@
+//! Parallelization strategies: one configuration per operation (paper §4).
+
+use crate::soap::{self, ConfigSpace, ParallelConfig};
+use flexflow_device::Topology;
+use flexflow_opgraph::{OpGraph, OpId, OpKind};
+use rand::Rng;
+use std::fmt;
+
+/// A parallelization strategy `S`: a [`ParallelConfig`] for every operation
+/// of an [`OpGraph`], chosen independently per op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Strategy {
+    configs: Vec<ParallelConfig>,
+}
+
+impl Strategy {
+    /// Builds a strategy from per-op configurations in op-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of configurations differs from the number of
+    /// operations.
+    pub fn from_configs(graph: &OpGraph, configs: Vec<ParallelConfig>) -> Self {
+        assert_eq!(
+            configs.len(),
+            graph.len(),
+            "need one config per op ({} ops, {} configs)",
+            graph.len(),
+            configs.len()
+        );
+        Self { configs }
+    }
+
+    /// The configuration of operation `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn config(&self, id: OpId) -> &ParallelConfig {
+        &self.configs[id.index()]
+    }
+
+    /// All configurations in op-id order.
+    pub fn configs(&self) -> &[ParallelConfig] {
+        &self.configs
+    }
+
+    /// Replaces the configuration of `id`, returning the old one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn replace(&mut self, id: OpId, config: ParallelConfig) -> ParallelConfig {
+        std::mem::replace(&mut self.configs[id.index()], config)
+    }
+
+    /// Classic data parallelism: every op splits its sample dimension over
+    /// all devices (paper §2).
+    pub fn data_parallel(graph: &OpGraph, topo: &Topology) -> Self {
+        let configs = graph
+            .ids()
+            .map(|id| ParallelConfig::data_parallel(graph.op(id), topo))
+            .collect();
+        Self { configs }
+    }
+
+    /// Whole-model single-device execution.
+    pub fn single_device(graph: &OpGraph, topo: &Topology, device: usize) -> Self {
+        let dev = topo.device_id(device);
+        let configs = graph
+            .ids()
+            .map(|id| ParallelConfig::on_device(graph.op(id), dev))
+            .collect();
+        Self { configs }
+    }
+
+    /// A uniformly random strategy (used as an initial search candidate,
+    /// §6.2). Input ops stay data-parallel: they model the data loader and
+    /// are not searchable.
+    pub fn random<R: Rng>(
+        graph: &OpGraph,
+        topo: &Topology,
+        space: ConfigSpace,
+        rng: &mut R,
+    ) -> Self {
+        Self::random_with_max_degree(graph, topo, space, topo.num_devices() as u64, rng)
+    }
+
+    /// A random strategy whose per-op degree products are capped.
+    ///
+    /// On large clusters an unrestricted random strategy pairs high-degree
+    /// producers and consumers on every tensor edge, which makes the
+    /// resulting task graph quadratically large; capping the initial
+    /// candidate keeps search start-up cheap without restricting the space
+    /// the per-op proposals explore.
+    pub fn random_with_max_degree<R: Rng>(
+        graph: &OpGraph,
+        topo: &Topology,
+        space: ConfigSpace,
+        max_tasks: u64,
+        rng: &mut R,
+    ) -> Self {
+        let configs = graph
+            .ids()
+            .map(|id| {
+                let node = graph.op(id);
+                if matches!(node.kind(), OpKind::Input { .. }) {
+                    ParallelConfig::data_parallel(node, topo)
+                } else {
+                    soap::random_config_capped(node, topo, space, max_tasks, rng)
+                }
+            })
+            .collect();
+        Self { configs }
+    }
+
+    /// Ids of operations the optimizer may reassign (everything except
+    /// `Input` data loaders).
+    pub fn searchable_ops(graph: &OpGraph) -> Vec<OpId> {
+        graph
+            .ids()
+            .filter(|&id| !matches!(graph.op(id).kind(), OpKind::Input { .. }))
+            .collect()
+    }
+
+    /// A compact human-readable rendering: per op, the degree vector and
+    /// devices (used by the Fig. 13/14 case-study printers).
+    pub fn describe(&self, graph: &OpGraph) -> String {
+        let mut s = String::new();
+        for id in graph.ids() {
+            let node = graph.op(id);
+            s.push_str(&format!(
+                "{:<24} {}\n",
+                node.name(),
+                self.config(id)
+            ));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Strategy({} ops)", self.configs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::zoo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn data_parallel_covers_every_op() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let s = Strategy::data_parallel(&g, &topo);
+        assert_eq!(s.configs().len(), g.len());
+        for id in g.ids() {
+            assert_eq!(s.config(id).degrees()[0], 4);
+        }
+    }
+
+    #[test]
+    fn single_device_strategy_uses_one_gpu() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let s = Strategy::single_device(&g, &topo, 2);
+        for id in g.ids() {
+            assert_eq!(s.config(id).num_tasks(), 1);
+            assert_eq!(s.config(id).device(0), topo.device_id(2));
+        }
+    }
+
+    #[test]
+    fn random_strategies_differ_but_stay_legal() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Strategy::random(&g, &topo, ConfigSpace::Full, &mut rng);
+        let b = Strategy::random(&g, &topo, ConfigSpace::Full, &mut rng);
+        assert_ne!(a, b, "two random strategies should differ");
+    }
+
+    #[test]
+    fn searchable_ops_exclude_inputs() {
+        let g = zoo::rnnlm(8, 2);
+        let searchable = Strategy::searchable_ops(&g);
+        assert!(searchable.len() < g.len());
+        for id in searchable {
+            assert!(!matches!(g.op(id).kind(), OpKind::Input { .. }));
+        }
+    }
+
+    #[test]
+    fn replace_swaps_config() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let mut s = Strategy::data_parallel(&g, &topo);
+        let id = Strategy::searchable_ops(&g)[0];
+        let new = ParallelConfig::on_device(g.op(id), topo.device_id(0));
+        let old = s.replace(id, new.clone());
+        assert_eq!(s.config(id), &new);
+        assert_ne!(old, new);
+    }
+
+    #[test]
+    fn describe_lists_all_ops() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let s = Strategy::data_parallel(&g, &topo);
+        let d = s.describe(&g);
+        assert_eq!(d.lines().count(), g.len());
+        assert!(d.contains("conv1"));
+    }
+}

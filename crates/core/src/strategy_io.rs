@@ -1,0 +1,210 @@
+//! Saving and loading parallelization strategies.
+//!
+//! A search can take minutes; the discovered strategy should be reusable
+//! without re-searching. [`StrategyDump`] is a portable, human-auditable
+//! representation (op names, degree vectors, device indices) that survives
+//! across processes as long as the operator graph is rebuilt identically.
+
+use crate::soap::ParallelConfig;
+use crate::strategy::Strategy;
+use flexflow_device::Topology;
+use flexflow_opgraph::OpGraph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Portable form of one op's configuration.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct OpConfigDump {
+    /// Operation name (must match the rebuilt graph).
+    pub op: String,
+    /// Degree of parallelism per output dimension.
+    pub degrees: Vec<u64>,
+    /// Device index per task, in tile order.
+    pub devices: Vec<usize>,
+}
+
+/// Portable form of a whole strategy.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct StrategyDump {
+    /// Model name the strategy was searched for.
+    pub model: String,
+    /// Number of devices of the topology it targets.
+    pub num_devices: usize,
+    /// Per-op configurations in op order.
+    pub ops: Vec<OpConfigDump>,
+}
+
+/// Why a dump failed to load against a graph/topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The dump's model name differs from the graph's.
+    ModelMismatch {
+        /// Name recorded in the dump.
+        dump: String,
+        /// Name of the supplied graph.
+        graph: String,
+    },
+    /// Op count or names do not line up.
+    GraphShapeMismatch {
+        /// Explanation.
+        reason: String,
+    },
+    /// The dump references more devices than the topology has.
+    TopologyTooSmall {
+        /// Devices required by the dump.
+        needed: usize,
+        /// Devices available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::ModelMismatch { dump, graph } => {
+                write!(f, "strategy was saved for model {dump:?}, not {graph:?}")
+            }
+            ImportError::GraphShapeMismatch { reason } => {
+                write!(f, "graph does not match the saved strategy: {reason}")
+            }
+            ImportError::TopologyTooSmall { needed, available } => write!(
+                f,
+                "strategy needs {needed} devices but the topology has {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Exports a strategy into its portable form.
+pub fn export(graph: &OpGraph, topo: &Topology, strategy: &Strategy) -> StrategyDump {
+    StrategyDump {
+        model: graph.name().to_string(),
+        num_devices: topo.num_devices(),
+        ops: graph
+            .ids()
+            .map(|id| {
+                let c = strategy.config(id);
+                OpConfigDump {
+                    op: graph.op(id).name().to_string(),
+                    degrees: c.degrees().to_vec(),
+                    devices: c.devices().iter().map(|d| d.index()).collect(),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Imports a dump against a freshly built graph and topology.
+///
+/// # Errors
+///
+/// Returns an [`ImportError`] when the dump does not match the graph's
+/// shape or the topology is too small.
+pub fn import(
+    graph: &OpGraph,
+    topo: &Topology,
+    dump: &StrategyDump,
+) -> Result<Strategy, ImportError> {
+    if dump.model != graph.name() {
+        return Err(ImportError::ModelMismatch {
+            dump: dump.model.clone(),
+            graph: graph.name().to_string(),
+        });
+    }
+    if dump.ops.len() != graph.len() {
+        return Err(ImportError::GraphShapeMismatch {
+            reason: format!("{} ops saved, graph has {}", dump.ops.len(), graph.len()),
+        });
+    }
+    let max_dev = dump
+        .ops
+        .iter()
+        .flat_map(|o| o.devices.iter().copied())
+        .max()
+        .unwrap_or(0);
+    if max_dev >= topo.num_devices() {
+        return Err(ImportError::TopologyTooSmall {
+            needed: max_dev + 1,
+            available: topo.num_devices(),
+        });
+    }
+    let mut configs = Vec::with_capacity(graph.len());
+    for (id, od) in graph.ids().zip(&dump.ops) {
+        let node = graph.op(id);
+        if node.name() != od.op {
+            return Err(ImportError::GraphShapeMismatch {
+                reason: format!("op {} is named {:?}, dump says {:?}", id, node.name(), od.op),
+            });
+        }
+        let devices = od.devices.iter().map(|&d| topo.device_id(d)).collect();
+        configs.push(ParallelConfig::new(node, od.degrees.clone(), devices));
+    }
+    Ok(Strategy::from_configs(graph, configs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::zoo;
+
+    #[test]
+    fn export_import_roundtrip() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let s = Strategy::data_parallel(&g, &topo);
+        let dump = export(&g, &topo, &s);
+        let restored = import(&g, &topo, &dump).unwrap();
+        assert_eq!(&restored, &s);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = zoo::lenet(32);
+        let topo = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        let s = Strategy::single_device(&g, &topo, 1);
+        let dump = export(&g, &topo, &s);
+        let json = serde_json::to_string(&dump).unwrap();
+        let back: StrategyDump = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dump);
+        let restored = import(&g, &topo, &back).unwrap();
+        assert_eq!(&restored, &s);
+    }
+
+    #[test]
+    fn model_mismatch_is_rejected() {
+        let g = zoo::lenet(64);
+        let g2 = zoo::alexnet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let dump = export(&g, &topo, &Strategy::data_parallel(&g, &topo));
+        assert!(matches!(
+            import(&g2, &topo, &dump),
+            Err(ImportError::ModelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn small_topology_is_rejected() {
+        let g = zoo::lenet(64);
+        let big = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let small = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        let dump = export(&g, &big, &Strategy::data_parallel(&g, &big));
+        let err = import(&g, &small, &dump).unwrap_err();
+        assert!(matches!(err, ImportError::TopologyTooSmall { .. }));
+        assert!(err.to_string().contains("devices"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let g = zoo::rnnlm(64, 2);
+        let g_longer = zoo::rnnlm(64, 3);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let dump = export(&g, &topo, &Strategy::data_parallel(&g, &topo));
+        assert!(matches!(
+            import(&g_longer, &topo, &dump),
+            Err(ImportError::GraphShapeMismatch { .. })
+        ));
+    }
+}

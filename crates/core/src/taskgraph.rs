@@ -1,0 +1,1009 @@
+//! Task graph construction (paper §5.1).
+//!
+//! Given an operator graph, a device topology and a parallelization
+//! strategy, the task graph contains:
+//!
+//! - one **compute task** per tile of every operation (`t_{i:1} ..
+//!   t_{i:|c_i|}`), placed on the device its configuration assigns;
+//! - one **communication task** per producer/consumer task pair that share
+//!   tensor data across devices, placed on the *communication device* (the
+//!   bottleneck link of the route); same-device sharing becomes a plain
+//!   dependency edge;
+//! - **parameter-synchronization tasks**: for every parameter shard
+//!   replicated on several devices, gradient pushes to a root replica and
+//!   broadcasts back (a sharded parameter-server reduction — shards hash
+//!   to different roots — matching the deep-learning systems of the
+//!   paper's era). These are what make data parallelism expensive for
+//!   large-parameter layers.
+//!
+//! Edges are pure ordering constraints; all data movement appears as
+//! communication tasks, so compute and communication overlap naturally
+//! (§5.1).
+//!
+//! The graph supports **incremental surgery** ([`TaskGraph::rebuild_op`]):
+//! replacing one operation's configuration removes and recreates only the
+//! tasks attached to that op, which is what the delta simulation algorithm
+//! (§5.3) builds on.
+
+use crate::strategy::Strategy;
+use flexflow_costmodel::CostModel;
+use flexflow_device::{DeviceId, LinkId, Topology};
+use flexflow_opgraph::{LayerId, OpGraph, OpId, OpKind};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Identifier of a task (a slot index; slots are recycled by delta
+/// updates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// Slot index of the task.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Where a task executes: a compute device or a communication device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExecUnit {
+    /// A GPU.
+    Gpu(DeviceId),
+    /// A hardware connection acting as a communication device.
+    Link(LinkId),
+}
+
+impl fmt::Display for ExecUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecUnit::Gpu(d) => write!(f, "{d}"),
+            ExecUnit::Link(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// What a task does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskKind {
+    /// Task `k` of operation `op` (forward + backward compute of one tile).
+    Compute {
+        /// The operation.
+        op: OpId,
+        /// Task index within the op's configuration.
+        k: u32,
+    },
+    /// Tensor data transfer between a producer and a consumer task.
+    Comm {
+        /// Bytes moved (activations forward + gradients backward).
+        bytes: u64,
+    },
+    /// Parameter-gradient push or broadcast for a shared layer.
+    SyncComm {
+        /// Bytes moved (one direction of the shard synchronization).
+        bytes: u64,
+        /// The parameter-sharing layer being synchronized.
+        layer: LayerId,
+    },
+}
+
+/// One node of the task graph. Fields mirror the construction-time
+/// properties of paper Table 2 (`exeTime`, `device`, `I(t)`, `O(t)`);
+/// simulation-time properties live in [`crate::sim::SimState`].
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// What the task does.
+    pub kind: TaskKind,
+    /// The device (compute or communication) executing the task.
+    pub unit: ExecUnit,
+    /// Execution time in microseconds (`exeTime`).
+    pub exe_us: f64,
+    /// Tasks that must complete before this one starts (`I(t)`).
+    pub preds: Vec<TaskId>,
+    /// Tasks waiting on this one (`O(t)`).
+    pub succs: Vec<TaskId>,
+    /// Stable identity-derived ordering key; FIFO ties break on `(ready,
+    /// seq)`. Because `seq` is a pure function of the task's identity
+    /// (operation/tile for compute, edge endpoints for communication,
+    /// layer/shard for synchronization), the simulated cost of a strategy
+    /// is independent of the delta-update history that produced its task
+    /// graph, and the full and delta algorithms yield identical timelines.
+    pub seq: u128,
+}
+
+/// Packs a stable ordering key. Fields must stay below 2^30.
+fn seq_key(phase: u8, a: u64, b: u64, c: u64, d: u64) -> u128 {
+    debug_assert!(a < (1 << 30) && b < (1 << 30) && c < (1 << 30) && d < (1 << 30));
+    ((phase as u128) << 120)
+        | ((a as u128) << 90)
+        | ((b as u128) << 60)
+        | ((c as u128) << 30)
+        | (d as u128)
+}
+
+/// How replicated parameter shards synchronize their gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Parameter-server star: R-1 pushes to the lowest-id replica followed
+    /// by R-1 broadcasts — the deep-learning-systems default of the
+    /// paper's era, and the model behind its data-parallelism costs.
+    #[default]
+    ParameterServer,
+    /// Bandwidth-optimal ring allreduce: each replica exchanges
+    /// `2 (R-1) / R` of the shard with its ring neighbour; transfers on
+    /// distinct links proceed in parallel.
+    Ring,
+}
+
+/// Tuning knobs for task-graph construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Multiplier on tensor-edge bytes: 2.0 accounts for the forward
+    /// activation plus the backward gradient riding the same route.
+    pub activation_comm_multiplier: f64,
+    /// Whether to model parameter-gradient synchronization.
+    pub include_param_sync: bool,
+    /// Gradient-synchronization algorithm.
+    pub sync_mode: SyncMode,
+    /// Bytes per tensor element.
+    pub elem_bytes: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            activation_comm_multiplier: 2.0,
+            include_param_sync: true,
+            sync_mode: SyncMode::ParameterServer,
+            elem_bytes: 4,
+        }
+    }
+}
+
+/// The task graph (paper §5.1). Holds its tasks in recyclable slots and
+/// remembers which tasks belong to which op / tensor edge / layer so that
+/// [`TaskGraph::rebuild_op`] can surgically replace them.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    tasks: Vec<Option<Task>>,
+    free: Vec<TaskId>,
+    /// Ids allocated since the last `rebuild_op` began (the "added" set).
+    created_log: Vec<TaskId>,
+    /// Compute tasks per op (indexed by op id).
+    op_tasks: Vec<Vec<TaskId>>,
+    /// Communication tasks per tensor edge `(producer, consumer)`.
+    edge_comms: HashMap<(OpId, OpId), Vec<TaskId>>,
+    /// Synchronization tasks per layer (indexed by layer id).
+    sync_tasks: Vec<Vec<TaskId>>,
+    alive: usize,
+}
+
+impl TaskGraph {
+    /// Builds the task graph for `strategy` from scratch.
+    pub fn build(
+        graph: &OpGraph,
+        topo: &Topology,
+        strategy: &Strategy,
+        cost: &dyn CostModel,
+        cfg: &SimConfig,
+    ) -> Self {
+        let mut tg = TaskGraph {
+            tasks: Vec::new(),
+            free: Vec::new(),
+            created_log: Vec::new(),
+            op_tasks: vec![Vec::new(); graph.len()],
+            edge_comms: HashMap::new(),
+            sync_tasks: vec![Vec::new(); graph.num_layers()],
+            alive: 0,
+        };
+        for op in graph.ids() {
+            tg.create_compute_tasks(graph, topo, strategy, cost, op);
+        }
+        let mut seen = HashSet::new();
+        for (src, dst) in graph.edges() {
+            // connect_edge handles every argument slot of `dst` fed by
+            // `src` at once; dedup multi-slot consumption (e.g. Add(x, x)).
+            if seen.insert((src, dst)) {
+                tg.connect_edge(graph, topo, strategy, cfg, src, dst);
+            }
+        }
+        if cfg.include_param_sync {
+            for layer in graph.layer_ids() {
+                tg.build_layer_sync(graph, topo, strategy, cfg, layer);
+            }
+        }
+        tg
+    }
+
+    /// Number of live tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.alive
+    }
+
+    /// Capacity of the slot table (including dead slots).
+    pub fn capacity(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The task in a slot, or `None` if the slot is free.
+    pub fn get(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(id.index()).and_then(|t| t.as_ref())
+    }
+
+    /// The task in a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free — callers must hold a live id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        self.tasks[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("task {id} is dead"))
+    }
+
+    /// Iterates over `(id, task)` for all live tasks.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (TaskId(i as u32), t)))
+    }
+
+    /// Compute tasks of an operation, in task (tile) order.
+    pub fn tasks_of_op(&self, op: OpId) -> &[TaskId] {
+        &self.op_tasks[op.index()]
+    }
+
+    /// Replaces operation `op`'s configuration inside `strategy` context:
+    /// removes the op's compute tasks, every communication task on its
+    /// tensor edges, and the synchronization tasks of its layer; then
+    /// recreates them for the configuration recorded in `strategy`.
+    ///
+    /// Returns the set of *dirty* tasks whose inputs changed (new tasks and
+    /// surviving tasks that lost or gained predecessors) — the seed set for
+    /// the delta simulation algorithm.
+    pub fn rebuild_op(
+        &mut self,
+        graph: &OpGraph,
+        topo: &Topology,
+        strategy: &Strategy,
+        cost: &dyn CostModel,
+        cfg: &SimConfig,
+        op: OpId,
+    ) -> RebuildReport {
+        let mut report = RebuildReport::default();
+        // 1. Collect and remove everything attached to `op`.
+        let mut doomed: Vec<TaskId> = self.op_tasks[op.index()].clone();
+        let node = graph.op(op);
+        for &src in node.inputs() {
+            if let Some(comms) = self.edge_comms.remove(&(src, op)) {
+                doomed.extend(comms);
+            }
+        }
+        for dst in graph.consumers(op) {
+            if let Some(comms) = self.edge_comms.remove(&(op, dst)) {
+                doomed.extend(comms);
+            }
+        }
+        if cfg.include_param_sync {
+            if let Some(layer) = node.layer() {
+                doomed.extend(std::mem::take(&mut self.sync_tasks[layer.index()]));
+            }
+        }
+        // Batched removal: take all doomed tasks first, then clean each
+        // surviving neighbour's adjacency lists in ONE retain pass. A
+        // per-task retain would be quadratic in the degree — heavy
+        // configurations attach 10^5 communication tasks to one producer.
+        let doomed_set: HashSet<TaskId> = doomed.iter().copied().collect();
+        let mut succ_touched: HashSet<TaskId> = HashSet::new();
+        let mut pred_touched: HashSet<TaskId> = HashSet::new();
+        for &id in &doomed {
+            let task = self.tasks[id.index()]
+                .take()
+                .unwrap_or_else(|| panic!("removing dead task {id}"));
+            self.alive -= 1;
+            self.free.push(id);
+            for p in task.preds {
+                if !doomed_set.contains(&p) {
+                    succ_touched.insert(p);
+                }
+            }
+            for s in task.succs {
+                if !doomed_set.contains(&s) {
+                    pred_touched.insert(s);
+                }
+            }
+        }
+        for &p in &succ_touched {
+            self.tasks[p.index()]
+                .as_mut()
+                .expect("survivor is live")
+                .succs
+                .retain(|t| !doomed_set.contains(t));
+        }
+        for &s in &pred_touched {
+            self.tasks[s.index()]
+                .as_mut()
+                .expect("survivor is live")
+                .preds
+                .retain(|t| !doomed_set.contains(t));
+            // A surviving task lost a predecessor: dirty.
+            report.pred_changed.push(s);
+        }
+        self.op_tasks[op.index()].clear();
+
+        // 2. Recreate the op's tasks and its attachments.
+        self.created_log.clear();
+        self.create_compute_tasks(graph, topo, strategy, cost, op);
+        let mut seen = HashSet::new();
+        for &src in node.inputs() {
+            if seen.insert(src) {
+                self.connect_edge(graph, topo, strategy, cfg, src, op);
+            }
+        }
+        for dst in graph.consumers(op) {
+            if seen.insert(dst) {
+                self.connect_edge(graph, topo, strategy, cfg, op, dst);
+            }
+        }
+        if cfg.include_param_sync {
+            if let Some(layer) = node.layer() {
+                self.build_layer_sync(graph, topo, strategy, cfg, layer);
+            }
+        }
+        report.added = std::mem::take(&mut self.created_log);
+        report.removed = doomed;
+        report
+    }
+
+    fn alloc(&mut self, task: Task) -> TaskId {
+        self.alive += 1;
+        let id = if let Some(id) = self.free.pop() {
+            self.tasks[id.index()] = Some(task);
+            id
+        } else {
+            let id = TaskId(self.tasks.len() as u32);
+            self.tasks.push(Some(task));
+            id
+        };
+        self.created_log.push(id);
+        id
+    }
+
+    /// Adds a dependency edge known not to exist yet — either one endpoint
+    /// is freshly created, or the caller dedups pairs itself. No scan: the
+    /// adjacency lists of heavy configurations reach 10^5 entries and a
+    /// `contains` check per insert would be quadratic.
+    fn add_edge_fresh(&mut self, from: TaskId, to: TaskId) {
+        self.tasks[from.index()]
+            .as_mut()
+            .expect("live from-task")
+            .succs
+            .push(to);
+        self.tasks[to.index()]
+            .as_mut()
+            .expect("live to-task")
+            .preds
+            .push(from);
+    }
+
+    fn create_compute_tasks(
+        &mut self,
+        graph: &OpGraph,
+        topo: &Topology,
+        strategy: &Strategy,
+        cost: &dyn CostModel,
+        op: OpId,
+    ) {
+        let node = graph.op(op);
+        let config = strategy.config(op);
+        let tiles = config.tiles(node);
+        let mut ids = Vec::with_capacity(tiles.len());
+        for (k, tile) in tiles.iter().enumerate() {
+            let dev = config.device(k);
+            let exe_us = cost.task_time_us(node, tile, topo.device(dev).kind);
+            let id = self.alloc(Task {
+                kind: TaskKind::Compute {
+                    op,
+                    k: k as u32,
+                },
+                unit: ExecUnit::Gpu(dev),
+                exe_us,
+                preds: Vec::new(),
+                succs: Vec::new(),
+                seq: seq_key(0, op.index() as u64, k as u64, 0, 0),
+            });
+            ids.push(id);
+        }
+        self.op_tasks[op.index()] = ids;
+    }
+
+    /// Paper §5.1 step 2: wire the tensor edge `src -> dst`, adding plain
+    /// dependencies for same-device sharing and communication tasks across
+    /// devices. Edges from `Input` ops model the data loader: always plain
+    /// dependencies, never communication.
+    fn connect_edge(
+        &mut self,
+        graph: &OpGraph,
+        topo: &Topology,
+        strategy: &Strategy,
+        cfg: &SimConfig,
+        src: OpId,
+        dst: OpId,
+    ) {
+        let src_node = graph.op(src);
+        let dst_node = graph.op(dst);
+        let src_cfg = strategy.config(src);
+        let dst_cfg = strategy.config(dst);
+        let src_tiles = src_cfg.tiles(src_node);
+        let src_is_input = matches!(src_node.kind(), OpKind::Input { .. });
+        // Which argument slots of dst are fed by src (an op may consume the
+        // same tensor several times, e.g. Add(x, x)).
+        let slots: Vec<usize> = dst_node
+            .inputs()
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == src)
+            .map(|(s, _)| s)
+            .collect();
+        let mut comms: Vec<TaskId> = Vec::new();
+        let dst_tasks = self.op_tasks[dst.index()].clone();
+        let src_tasks = self.op_tasks[src.index()].clone();
+        // Direct dependencies can repeat across argument slots; all edges
+        // of this (src, dst) pair are created here and nowhere else, so a
+        // per-call set is a complete dedup.
+        let mut dep_seen: HashSet<(TaskId, TaskId)> = HashSet::new();
+        for (kj, &tj) in dst_tasks.iter().enumerate() {
+            let out_tile = dst_cfg.tile(dst_node, kj);
+            let needs = dst_node.input_rects(&out_tile);
+            for &slot in &slots {
+                let Some(need) = needs[slot] else { continue };
+                for (ki, &ti) in src_tasks.iter().enumerate() {
+                    let Some(overlap) = src_tiles[ki].intersection(&need) else {
+                        continue;
+                    };
+                    let sdev = src_cfg.device(ki);
+                    let ddev = dst_cfg.device(kj);
+                    if src_is_input || sdev == ddev {
+                        if dep_seen.insert((ti, tj)) {
+                            self.add_edge_fresh(ti, tj);
+                        }
+                        continue;
+                    }
+                    let channel = topo
+                        .channel(sdev, ddev)
+                        .expect("distinct devices have a channel");
+                    let bytes = (overlap.volume() * cfg.elem_bytes) as f64
+                        * cfg.activation_comm_multiplier;
+                    let bytes = bytes.round() as u64;
+                    let exe_us = channel.transfer_time_us(bytes);
+                    let c = self.alloc(Task {
+                        kind: TaskKind::Comm { bytes },
+                        unit: ExecUnit::Link(channel.link),
+                        exe_us,
+                        preds: Vec::new(),
+                        succs: Vec::new(),
+                        seq: seq_key(
+                            1,
+                            dst.index() as u64,
+                            (slot * 1000 + kj) as u64,
+                            ki as u64,
+                            src.index() as u64,
+                        ),
+                    });
+                    self.add_edge_fresh(ti, c);
+                    self.add_edge_fresh(c, tj);
+                    comms.push(c);
+                }
+            }
+        }
+        if !comms.is_empty() {
+            self.edge_comms.insert((src, dst), comms);
+        }
+    }
+
+    /// Parameter-server synchronization for one parameter-sharing layer:
+    /// for every shard replicated on R > 1 devices, R-1 gradient pushes to
+    /// the lowest-id replica followed by R-1 broadcasts back.
+    fn build_layer_sync(
+        &mut self,
+        graph: &OpGraph,
+        topo: &Topology,
+        strategy: &Strategy,
+        cfg: &SimConfig,
+        layer: LayerId,
+    ) {
+        let members: Vec<OpId> = graph
+            .ids()
+            .filter(|&id| graph.op(id).layer() == Some(layer))
+            .collect();
+        if members.is_empty() {
+            return;
+        }
+        // Shard key: the parameter-dimension intervals of a task's tile.
+        type ShardKey = Vec<(usize, u64, u64)>;
+        let mut shards: HashMap<ShardKey, (u64, HashMap<DeviceId, Vec<TaskId>>)> = HashMap::new();
+        for &op in &members {
+            let node = graph.op(op);
+            let config = strategy.config(op);
+            let pdims: Vec<usize> = node
+                .parallel_dims()
+                .iter()
+                .filter(|p| p.kind == flexflow_opgraph::DimKind::Parameter)
+                .map(|p| p.dim)
+                .collect();
+            let tasks = self.op_tasks[op.index()].clone();
+            for (k, &tid) in tasks.iter().enumerate() {
+                let tile = config.tile(node, k);
+                let key: ShardKey = pdims
+                    .iter()
+                    .map(|&d| (d, tile.lo()[d], tile.hi()[d]))
+                    .collect();
+                let params = node.params_for_tile(&tile);
+                if params == 0 {
+                    continue;
+                }
+                let entry = shards.entry(key).or_insert_with(|| (params, HashMap::new()));
+                entry.0 = entry.0.max(params);
+                entry
+                    .1
+                    .entry(config.device(k))
+                    .or_default()
+                    .push(tid);
+            }
+        }
+        let mut sync_ids: Vec<TaskId> = Vec::new();
+        // Deterministic iteration order for reproducible graphs.
+        let mut shard_list: Vec<(ShardKey, (u64, HashMap<DeviceId, Vec<TaskId>>))> =
+            shards.into_iter().collect();
+        shard_list.sort_by(|a, b| a.0.cmp(&b.0));
+        for (shard_idx, (_key, (params, replicas))) in shard_list.into_iter().enumerate() {
+            if replicas.len() < 2 {
+                continue;
+            }
+            let bytes = params * cfg.elem_bytes;
+            let mut devices: Vec<DeviceId> = replicas.keys().copied().collect();
+            devices.sort();
+            if cfg.sync_mode == SyncMode::Ring {
+                // Ring allreduce: each replica streams 2(R-1)/R of the
+                // shard to its ring successor; transfers proceed in
+                // parallel on distinct links and gate the iteration end.
+                let r = devices.len() as u64;
+                let ring_bytes = (2 * bytes * (r - 1)) / r;
+                for (i, &dev) in devices.iter().enumerate() {
+                    let next = devices[(i + 1) % devices.len()];
+                    let channel = topo.channel(dev, next).expect("replicas are distinct");
+                    let c = self.alloc(Task {
+                        kind: TaskKind::SyncComm { bytes: ring_bytes, layer },
+                        unit: ExecUnit::Link(channel.link),
+                        exe_us: channel.transfer_time_us(ring_bytes),
+                        preds: Vec::new(),
+                        succs: Vec::new(),
+                        seq: seq_key(2, layer.index() as u64, shard_idx as u64, 2, i as u64),
+                    });
+                    // The ring cannot start until every replica's gradient
+                    // contribution is ready.
+                    for tasks in replicas.values() {
+                        for &t in tasks {
+                            self.add_edge_fresh(t, c);
+                        }
+                    }
+                    sync_ids.push(c);
+                }
+                continue;
+            }
+            // Shard the parameter server: different layers/shards hash to
+            // different roots so their synchronizations use different
+            // links, as sharded PS deployments do.
+            let root = devices[(layer.index() + shard_idx) % devices.len()];
+            // Gradient pushes to the root.
+            let mut pushes: Vec<TaskId> = Vec::new();
+            for (r, &dev) in devices.iter().enumerate().filter(|(_, &d)| d != root) {
+                let channel = topo.channel(dev, root).expect("replicas are distinct");
+                let c = self.alloc(Task {
+                    kind: TaskKind::SyncComm { bytes, layer },
+                    unit: ExecUnit::Link(channel.link),
+                    exe_us: channel.transfer_time_us(bytes),
+                    preds: Vec::new(),
+                    succs: Vec::new(),
+                    seq: seq_key(2, layer.index() as u64, shard_idx as u64, 0, r as u64),
+                });
+                for &t in &replicas[&dev] {
+                    self.add_edge_fresh(t, c);
+                }
+                pushes.push(c);
+                sync_ids.push(c);
+            }
+            // Broadcasts of the aggregated gradient back to the replicas.
+            for (r, &dev) in devices.iter().enumerate().filter(|(_, &d)| d != root) {
+                let channel = topo.channel(root, dev).expect("replicas are distinct");
+                let b = self.alloc(Task {
+                    kind: TaskKind::SyncComm { bytes, layer },
+                    unit: ExecUnit::Link(channel.link),
+                    exe_us: channel.transfer_time_us(bytes),
+                    preds: Vec::new(),
+                    succs: Vec::new(),
+                    seq: seq_key(2, layer.index() as u64, shard_idx as u64, 1, r as u64),
+                });
+                for &p in &pushes {
+                    self.add_edge_fresh(p, b);
+                }
+                // The root's own gradient must be ready before broadcast.
+                for &t in &replicas[&root] {
+                    self.add_edge_fresh(t, b);
+                }
+                sync_ids.push(b);
+            }
+        }
+        self.sync_tasks[layer.index()] = sync_ids;
+    }
+}
+
+/// Outcome of [`TaskGraph::rebuild_op`]: the removed ids, the freshly
+/// created ids, and surviving tasks whose predecessor sets changed.
+#[derive(Debug, Default, Clone)]
+pub struct RebuildReport {
+    /// Ids removed (now free slots).
+    pub removed: Vec<TaskId>,
+    /// Ids created by the rebuild.
+    pub added: Vec<TaskId>,
+    /// Surviving ids that lost a predecessor (their ready time may drop).
+    pub pred_changed: Vec<TaskId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soap::ParallelConfig;
+    use crate::strategy::Strategy;
+    use flexflow_costmodel::MeasuredCostModel;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::zoo;
+    use flexflow_tensor::TensorShape;
+
+    fn setup() -> (OpGraph, Topology, MeasuredCostModel) {
+        (
+            zoo::lenet(64),
+            clusters::uniform_cluster(1, 4, 16.0, 4.0),
+            MeasuredCostModel::paper_default(),
+        )
+    }
+    use flexflow_device::Topology;
+
+    #[test]
+    fn data_parallel_task_counts() {
+        let (g, topo, cost) = setup();
+        let s = Strategy::data_parallel(&g, &topo);
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+        // every op has 4 tasks
+        for op in g.ids() {
+            assert_eq!(tg.tasks_of_op(op).len(), 4);
+        }
+        // aligned sample splits: no activation comm tasks at all
+        let comm = tg
+            .iter()
+            .filter(|(_, t)| matches!(t.kind, TaskKind::Comm { .. }))
+            .count();
+        assert_eq!(comm, 0, "aligned data parallelism needs no tensor comm");
+        // ...but parameter sync traffic exists (replicated weights)
+        let sync = tg
+            .iter()
+            .filter(|(_, t)| matches!(t.kind, TaskKind::SyncComm { .. }))
+            .count();
+        assert!(sync > 0, "data parallelism must synchronize gradients");
+    }
+
+    #[test]
+    fn single_device_strategy_has_no_comm_at_all() {
+        let (g, topo, cost) = setup();
+        let s = Strategy::single_device(&g, &topo, 0);
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+        assert_eq!(
+            tg.iter()
+                .filter(|(_, t)| !matches!(t.kind, TaskKind::Compute { .. }))
+                .count(),
+            0
+        );
+        // chain dependencies exist
+        let with_preds = tg.iter().filter(|(_, t)| !t.preds.is_empty()).count();
+        assert!(with_preds > 0);
+    }
+
+    #[test]
+    fn model_parallel_chain_creates_comm() {
+        let (g, topo, cost) = setup();
+        // ops round-robin across devices, one task each
+        let configs = g
+            .ids()
+            .map(|id| {
+                ParallelConfig::on_device(g.op(id), topo.device_id(id.index() % 4))
+            })
+            .collect();
+        let s = Strategy::from_configs(&g, configs);
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+        let comm = tg
+            .iter()
+            .filter(|(_, t)| matches!(t.kind, TaskKind::Comm { .. }))
+            .count();
+        assert!(comm > 0, "cross-device tensor edges need communication");
+        // model parallelism with unreplicated params: no sync traffic
+        let sync = tg
+            .iter()
+            .filter(|(_, t)| matches!(t.kind, TaskKind::SyncComm { .. }))
+            .count();
+        assert_eq!(sync, 0);
+    }
+
+    #[test]
+    fn input_edges_never_generate_comm() {
+        let (g, topo, cost) = setup();
+        // Inputs on device 0, conv1 on device 3: still no comm task.
+        let mut s = Strategy::single_device(&g, &topo, 0);
+        let conv1 = g.ids().nth(1).unwrap();
+        s.replace(conv1, ParallelConfig::on_device(g.op(conv1), topo.device_id(3)));
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+        let input_id = g.ids().next().unwrap();
+        let input_task = tg.tasks_of_op(input_id)[0];
+        let succs = &tg.task(input_task).succs;
+        assert!(!succs.is_empty());
+        for &s in succs {
+            assert!(matches!(tg.task(s).kind, TaskKind::Compute { .. }));
+        }
+    }
+
+    #[test]
+    fn comm_bytes_scale_with_overlap_and_multiplier() {
+        let mut g = OpGraph::new("pair");
+        let x = g.add_input("x", TensorShape::new(&[8, 64]));
+        let a = g
+            .add_op(OpKind::Linear { out_features: 64 }, &[x], "a")
+            .unwrap();
+        let b = g.add_op(OpKind::Relu, &[a], "b").unwrap();
+        let topo = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let mut configs = vec![
+            ParallelConfig::on_device(g.op(x), topo.device_id(0)),
+            ParallelConfig::on_device(g.op(a), topo.device_id(0)),
+            ParallelConfig::on_device(g.op(b), topo.device_id(1)),
+        ];
+        let s = Strategy::from_configs(&g, configs.clone());
+        let cfg = SimConfig::default();
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &cfg);
+        let comm: Vec<u64> = tg
+            .iter()
+            .filter_map(|(_, t)| match t.kind {
+                TaskKind::Comm { bytes } => Some(bytes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(comm.len(), 1);
+        // full tensor (8 * 64 f32) * multiplier 2
+        assert_eq!(comm[0], 8 * 64 * 4 * 2);
+
+        // fwd-only multiplier halves the bytes
+        let cfg1 = SimConfig {
+            activation_comm_multiplier: 1.0,
+            ..SimConfig::default()
+        };
+        configs[2] = ParallelConfig::on_device(g.op(b), topo.device_id(1));
+        let s = Strategy::from_configs(&g, configs);
+        let tg1 = TaskGraph::build(&g, &topo, &s, &cost, &cfg1);
+        let comm1: u64 = tg1
+            .iter()
+            .filter_map(|(_, t)| match t.kind {
+                TaskKind::Comm { bytes } => Some(bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(comm1, 8 * 64 * 4);
+    }
+
+    #[test]
+    fn param_sync_star_has_2r_minus_2_tasks_per_shard() {
+        let mut g = OpGraph::new("one-linear");
+        let x = g.add_input("x", TensorShape::new(&[8, 16]));
+        let a = g
+            .add_op(OpKind::Linear { out_features: 16 }, &[x], "fc")
+            .unwrap();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        // pure sample split over 4 devices: one shard replicated 4x
+        let s = Strategy::data_parallel(&g, &topo);
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+        let sync: Vec<&Task> = tg
+            .iter()
+            .filter(|(_, t)| matches!(t.kind, TaskKind::SyncComm { .. }))
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(sync.len(), 2 * (4 - 1));
+        // every sync task moves the full parameter set of fc
+        let params = g.op(a).param_count() * 4;
+        for t in &sync {
+            match t.kind {
+                TaskKind::SyncComm { bytes, .. } => assert_eq!(bytes, params),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_split_avoids_sync() {
+        let mut g = OpGraph::new("one-linear");
+        let x = g.add_input("x", TensorShape::new(&[8, 16]));
+        let a = g
+            .add_op(OpKind::Linear { out_features: 16 }, &[x], "fc")
+            .unwrap();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        // split the parameter dim 4 ways: each shard lives on one device
+        let devs: Vec<_> = (0..4).map(|i| topo.device_id(i)).collect();
+        let configs = vec![
+            ParallelConfig::data_parallel(g.op(x), &topo),
+            ParallelConfig::new(g.op(a), vec![1, 4], devs),
+        ];
+        let s = Strategy::from_configs(&g, configs);
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+        let sync = tg
+            .iter()
+            .filter(|(_, t)| matches!(t.kind, TaskKind::SyncComm { .. }))
+            .count();
+        assert_eq!(sync, 0, "unreplicated shards need no synchronization");
+    }
+
+    #[test]
+    fn shared_layer_sync_counts_shard_once_across_ops() {
+        // Two weight-tied embeddings on different devices: their shared
+        // shard is replicated on 2 devices -> exactly 2 sync tasks.
+        let mut g = OpGraph::new("tied");
+        let x1 = g.add_input("x1", TensorShape::with_dtype(&[8, 1], flexflow_tensor::DataType::I32));
+        let x2 = g.add_input("x2", TensorShape::with_dtype(&[8, 1], flexflow_tensor::DataType::I32));
+        let layer = g.fresh_layer();
+        let e1 = g
+            .add_op_in_layer(OpKind::Embedding { vocab: 100, dim: 8 }, &[x1], "e1", layer)
+            .unwrap();
+        let e2 = g
+            .add_op_in_layer(OpKind::Embedding { vocab: 100, dim: 8 }, &[x2], "e2", layer)
+            .unwrap();
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let configs = vec![
+            ParallelConfig::on_device(g.op(x1), topo.device_id(0)),
+            ParallelConfig::on_device(g.op(x2), topo.device_id(1)),
+            ParallelConfig::on_device(g.op(e1), topo.device_id(0)),
+            ParallelConfig::on_device(g.op(e2), topo.device_id(1)),
+        ];
+        let s = Strategy::from_configs(&g, configs);
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+        let sync = tg
+            .iter()
+            .filter(|(_, t)| matches!(t.kind, TaskKind::SyncComm { .. }))
+            .count();
+        assert_eq!(sync, 2, "one push + one broadcast for two replicas");
+    }
+
+    #[test]
+    fn rebuild_op_preserves_structure_vs_fresh_build() {
+        let (g, topo, cost) = setup();
+        let cfg = SimConfig::default();
+        let mut s = Strategy::data_parallel(&g, &topo);
+        let mut tg = TaskGraph::build(&g, &topo, &s, &cost, &cfg);
+        // change conv2 to single-device
+        let conv2 = g.ids().nth(3).unwrap();
+        assert_eq!(g.op(conv2).name(), "conv2");
+        s.replace(conv2, ParallelConfig::on_device(g.op(conv2), topo.device_id(1)));
+        let report = tg.rebuild_op(&g, &topo, &s, &cost, &cfg, conv2);
+        assert!(!report.removed.is_empty());
+        assert!(!report.added.is_empty());
+
+        let fresh = TaskGraph::build(&g, &topo, &s, &cost, &cfg);
+        assert_eq!(tg.num_tasks(), fresh.num_tasks());
+        // same multiset of (kind-discriminant, unit, exe) across both graphs
+        let sig = |tg: &TaskGraph| {
+            let mut v: Vec<(u8, ExecUnit, u64)> = tg
+                .iter()
+                .map(|(_, t)| {
+                    let d = match t.kind {
+                        TaskKind::Compute { .. } => 0u8,
+                        TaskKind::Comm { .. } => 1,
+                        TaskKind::SyncComm { .. } => 2,
+                    };
+                    (d, t.unit, t.exe_us.to_bits())
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sig(&tg), sig(&fresh));
+    }
+
+    #[test]
+    fn rebuild_reuses_slots() {
+        let (g, topo, cost) = setup();
+        let cfg = SimConfig::default();
+        let mut s = Strategy::data_parallel(&g, &topo);
+        let mut tg = TaskGraph::build(&g, &topo, &s, &cost, &cfg);
+        let cap_before = tg.capacity();
+        let conv2 = g.ids().nth(3).unwrap();
+        // flip back and forth 10 times; capacity should stay bounded
+        for i in 0..10 {
+            let new = if i % 2 == 0 {
+                ParallelConfig::on_device(g.op(conv2), topo.device_id(1))
+            } else {
+                ParallelConfig::data_parallel(g.op(conv2), &topo)
+            };
+            s.replace(conv2, new);
+            tg.rebuild_op(&g, &topo, &s, &cost, &cfg, conv2);
+        }
+        assert!(
+            tg.capacity() <= cap_before + 16,
+            "slots must be recycled: {} -> {}",
+            cap_before,
+            tg.capacity()
+        );
+    }
+
+    #[test]
+    fn ring_sync_builds_r_tasks_and_beats_parameter_server_at_scale() {
+        let g = zoo::rnnlm(64, 2);
+        // cross-node cluster where the PS root NIC becomes the bottleneck
+        let topo = clusters::uniform_cluster(4, 1, 16.0, 2.0);
+        let cost = MeasuredCostModel::paper_default();
+        let s = Strategy::data_parallel(&g, &topo);
+        let ps_cfg = SimConfig::default();
+        let ring_cfg = SimConfig {
+            sync_mode: SyncMode::Ring,
+            ..SimConfig::default()
+        };
+        let tg_ps = TaskGraph::build(&g, &topo, &s, &cost, &ps_cfg);
+        let tg_ring = TaskGraph::build(&g, &topo, &s, &cost, &ring_cfg);
+        let count_sync = |tg: &TaskGraph| {
+            tg.iter()
+                .filter(|(_, t)| matches!(t.kind, TaskKind::SyncComm { .. }))
+                .count()
+        };
+        // PS: 2(R-1) per shard; ring: R per shard (R = 4)
+        assert_eq!(count_sync(&tg_ps) / 6, count_sync(&tg_ring) / 4);
+        let ps = crate::sim::simulate_full(&tg_ps).makespan_us();
+        let ring = crate::sim::simulate_full(&tg_ring).makespan_us();
+        assert!(
+            ring < ps,
+            "ring allreduce should beat the PS star across nodes: {ring} vs {ps}"
+        );
+    }
+
+    #[test]
+    fn ring_sync_delta_still_matches_full() {
+        let g = zoo::lenet(32);
+        let topo = clusters::uniform_cluster(2, 2, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = SimConfig {
+            sync_mode: SyncMode::Ring,
+            ..SimConfig::default()
+        };
+        let mut s = Strategy::data_parallel(&g, &topo);
+        let mut tg = TaskGraph::build(&g, &topo, &s, &cost, &cfg);
+        let mut state = crate::sim::simulate_full(&tg);
+        let op = g.ids().nth(3).unwrap();
+        s.replace(op, ParallelConfig::on_device(g.op(op), topo.device_id(1)));
+        let report = tg.rebuild_op(&g, &topo, &s, &cost, &cfg, op);
+        let delta = crate::sim::simulate_delta(&tg, &mut state, &report);
+        let fresh =
+            crate::sim::simulate_full(&TaskGraph::build(&g, &topo, &s, &cost, &cfg));
+        assert!((delta - fresh.makespan_us()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rnn_graph_builds_with_hundreds_of_tasks() {
+        let g = zoo::rnnlm(64, 4);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let s = Strategy::data_parallel(&g, &topo);
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+        assert!(tg.num_tasks() > g.len(), "multiple tasks per op");
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the execution simulator's core invariants:
+//!
+//! 1. **Delta == Full** (paper §5.3): after any sequence of single-op
+//!    configuration changes, the delta-repaired timeline matches a full
+//!    re-simulation of a freshly built task graph.
+//! 2. **Timeline sanity**: per-unit executions never overlap, dependencies
+//!    are respected, and makespan equals the latest end time.
+//! 3. **Cost purity**: the simulated cost of a strategy does not depend on
+//!    the history of delta updates that produced it.
+
+use flexflow_core::sim::{simulate_delta, simulate_full, SimConfig};
+use flexflow_core::soap::{random_config, ConfigSpace};
+use flexflow_core::strategy::Strategy;
+use flexflow_core::taskgraph::TaskGraph;
+use flexflow_costmodel::MeasuredCostModel;
+use flexflow_device::{clusters, Topology};
+use flexflow_opgraph::{OpGraph, OpKind, zoo};
+use flexflow_tensor::TensorShape;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small random layered DNN: a mix of op kinds with occasional skip
+/// connections, exercising Concat/Add fan-in and all dimension kinds.
+fn random_model(seed: u64, depth: usize) -> OpGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = OpGraph::new(format!("rand{seed}"));
+    let x = g.add_input("x", TensorShape::new(&[16, 8]));
+    let mut frontier = vec![x];
+    for d in 0..depth {
+        let prev = *frontier.last().unwrap();
+        let choice = rng.gen_range(0..4);
+        let id = match choice {
+            0 => g
+                .add_op(OpKind::Linear { out_features: 8 << (d % 2) }, &[prev], format!("fc{d}"))
+                .unwrap(),
+            1 => g.add_op(OpKind::Relu, &[prev], format!("relu{d}")).unwrap(),
+            2 if frontier.len() >= 2 => {
+                // residual add when shapes allow, else relu
+                let a = frontier[rng.gen_range(0..frontier.len())];
+                if g.op(a).output_shape() == g.op(prev).output_shape() {
+                    g.add_op(OpKind::Add, &[prev, a], format!("add{d}")).unwrap()
+                } else {
+                    g.add_op(OpKind::Tanh, &[prev], format!("tanh{d}")).unwrap()
+                }
+            }
+            _ => g.add_op(OpKind::Softmax, &[prev], format!("sm{d}")).unwrap(),
+        };
+        frontier.push(id);
+    }
+    g
+}
+
+fn check_walk(g: &OpGraph, topo: &Topology, seed: u64, steps: usize) {
+    let cost = MeasuredCostModel::paper_default();
+    let cfg = SimConfig::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let searchable = Strategy::searchable_ops(g);
+    let mut s = Strategy::data_parallel(g, topo);
+    let mut tg = TaskGraph::build(g, topo, &s, &cost, &cfg);
+    let mut state = simulate_full(&tg);
+    for step in 0..steps {
+        let op = searchable[rng.gen_range(0..searchable.len())];
+        let config = random_config(g.op(op), topo, ConfigSpace::Full, &mut rng);
+        s.replace(op, config);
+        let report = tg.rebuild_op(g, topo, &s, &cost, &cfg, op);
+        let delta_cost = simulate_delta(&tg, &mut state, &report);
+        let fresh = simulate_full(&TaskGraph::build(g, topo, &s, &cost, &cfg));
+        assert!(
+            (delta_cost - fresh.makespan_us()).abs() < 1e-6,
+            "model {} step {step}: delta {delta_cost} vs full {}",
+            g.name(),
+            fresh.makespan_us()
+        );
+    }
+    // Fallbacks are allowed (an adaptive escape hatch for deep chains);
+    // equality with the full simulation is what matters.
+    let _ = state.fallbacks;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn delta_matches_full_on_random_models(seed in 0u64..500, depth in 3usize..10) {
+        let g = random_model(seed, depth);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        check_walk(&g, &topo, seed ^ 0xABCD, 25);
+    }
+
+    #[test]
+    fn timeline_is_consistent(seed in 0u64..500) {
+        let g = random_model(seed, 6);
+        let topo = clusters::uniform_cluster(2, 2, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = Strategy::random(&g, &topo, ConfigSpace::Full, &mut rng);
+        let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
+        let state = simulate_full(&tg);
+
+        // 1. dependencies: succ.start >= pred.end (ready = max preds end)
+        for (id, t) in tg.iter() {
+            let (ready, start, end) = state.times(id);
+            prop_assert!(start >= ready);
+            prop_assert!((end - (start + t.exe_us)).abs() < 1e-9);
+            for &p in &t.preds {
+                let (_, _, p_end) = state.times(p);
+                prop_assert!(start >= p_end - 1e-9, "dependency violated");
+            }
+            prop_assert!(end <= state.makespan_us() + 1e-9);
+        }
+        // 2. no overlap per unit
+        for unit in state.units() {
+            let order = state.order(unit);
+            for w in order.windows(2) {
+                let (_, _, e0) = state.times(w[0]);
+                let (_, s1, _) = state.times(w[1]);
+                prop_assert!(s1 >= e0 - 1e-9, "unit {unit} overlaps");
+            }
+        }
+    }
+}
+
+#[test]
+fn delta_matches_full_on_zoo_models() {
+    // Heavier deterministic sweep over the actual paper benchmarks
+    // (small unrolls to keep runtime in check).
+    let topo = clusters::p100_cluster(1);
+    for g in [zoo::lenet(64), zoo::rnnlm(64, 3), zoo::alexnet(64)] {
+        check_walk(&g, &topo, 7, 30);
+    }
+}
+
+#[test]
+fn cost_is_pure_function_of_strategy() {
+    // Reaching the same strategy via two different delta histories must
+    // give the same cost.
+    let g = zoo::lenet(32);
+    let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+    let cost = MeasuredCostModel::paper_default();
+    let cfg = SimConfig::default();
+    let searchable = Strategy::searchable_ops(&g);
+    let target = {
+        let mut rng = StdRng::seed_from_u64(99);
+        Strategy::random(&g, &topo, ConfigSpace::Full, &mut rng)
+    };
+
+    // History A: start from DP, morph op by op in order.
+    let mut sa = Strategy::data_parallel(&g, &topo);
+    let mut tga = TaskGraph::build(&g, &topo, &sa, &cost, &cfg);
+    let mut sta = simulate_full(&tga);
+    let mut cost_a = sta.makespan_us();
+    for &op in &searchable {
+        sa.replace(op, target.config(op).clone());
+        let report = tga.rebuild_op(&g, &topo, &sa, &cost, &cfg, op);
+        cost_a = simulate_delta(&tga, &mut sta, &report);
+    }
+
+    // History B: start from single-device, morph in reverse order.
+    let mut sb = Strategy::single_device(&g, &topo, 0);
+    let mut tgb = TaskGraph::build(&g, &topo, &sb, &cost, &cfg);
+    let mut stb = simulate_full(&tgb);
+    let mut cost_b = stb.makespan_us();
+    for &op in searchable.iter().rev() {
+        sb.replace(op, target.config(op).clone());
+        let report = tgb.rebuild_op(&g, &topo, &sb, &cost, &cfg, op);
+        cost_b = simulate_delta(&tgb, &mut stb, &report);
+    }
+
+    assert!(
+        (cost_a - cost_b).abs() < 1e-6,
+        "history-dependent cost: {cost_a} vs {cost_b}"
+    );
+    // And both match a fresh evaluation of the target strategy.
+    let fresh = simulate_full(&TaskGraph::build(&g, &topo, &target, &cost, &cfg));
+    assert!((cost_a - fresh.makespan_us()).abs() < 1e-6);
+}

@@ -1,0 +1,471 @@
+//! Operator cost oracle for the FlexFlow reproduction.
+//!
+//! The execution simulator needs one number per task: its `exeTime`
+//! (paper Table 2). The original system obtains it by running each distinct
+//! (operator type, output size) pair once on the real GPU and caching the
+//! average of a few trials (assumption A1: execution time is low-variance
+//! and content-independent). This crate substitutes the GPU with an
+//! analytic roofline model and keeps everything else:
+//!
+//! - [`profile`] maps a [`DeviceKind`] to a performance profile (peak
+//!   FLOP/s, memory bandwidth, kernel launch overhead, an efficiency curve
+//!   that penalizes small kernels — the non-linear, hardware-dependent
+//!   scaling the paper calls out in §1);
+//! - [`AnalyticCostModel`] converts a task's FLOPs and bytes into
+//!   microseconds deterministically;
+//! - [`MeasuredCostModel`] mimics the paper's measurement procedure: it
+//!   draws a handful of noisy "trials" from an underlying hardware model
+//!   and caches the average per (operator signature, output size, device
+//!   kind). Cache statistics are exposed for the measurement-reuse
+//!   ablation.
+//!
+//! # Example
+//!
+//! ```
+//! use flexflow_costmodel::{CostModel, MeasuredCostModel};
+//! use flexflow_device::DeviceKind;
+//! use flexflow_opgraph::{OpGraph, OpKind};
+//! use flexflow_tensor::{Rect, TensorShape};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = OpGraph::new("m");
+//! let x = g.add_input("x", TensorShape::new(&[64, 1024]));
+//! let y = g.add_op(OpKind::Linear { out_features: 4096 }, &[x], "fc")?;
+//! let model = MeasuredCostModel::paper_default();
+//! let out = Rect::full(g.op(y).output_shape());
+//! let t = model.task_time_us(g.op(y), &out, DeviceKind::P100);
+//! assert!(t > 0.0);
+//! // Same (type, size, device) -> cached, identical answer.
+//! assert_eq!(t, model.task_time_us(g.op(y), &out, DeviceKind::P100));
+//! # Ok(())
+//! # }
+//! ```
+
+
+#![warn(missing_docs)]
+use flexflow_device::DeviceKind;
+use flexflow_opgraph::{OpKind, OpNode};
+use flexflow_tensor::Rect;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Performance profile of a device flavour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Peak fp32 throughput in TFLOP/s.
+    pub peak_tflops: f64,
+    /// Sustained memory bandwidth in GB/s.
+    pub mem_bw_gb_s: f64,
+    /// Fixed per-kernel launch overhead in microseconds.
+    pub kernel_overhead_us: f64,
+    /// Fraction of peak a large, well-tiled kernel achieves.
+    pub max_efficiency: f64,
+    /// FLOP count at which a kernel reaches half of `max_efficiency`
+    /// (smaller kernels waste the device — this is what makes
+    /// over-partitioning unprofitable, a key trade-off in the search).
+    pub half_saturation_flops: f64,
+}
+
+/// The profile for a device flavour.
+///
+/// The P100/K80 numbers follow the public datasheets; see DESIGN.md for why
+/// only their *ordering* matters to the reproduction.
+pub fn profile(kind: DeviceKind) -> DeviceProfile {
+    match kind {
+        DeviceKind::P100 => DeviceProfile {
+            peak_tflops: 10.6,
+            mem_bw_gb_s: 732.0,
+            kernel_overhead_us: 8.0,
+            max_efficiency: 0.62,
+            half_saturation_flops: 5.0e7,
+        },
+        DeviceKind::K80 => DeviceProfile {
+            peak_tflops: 2.8,
+            mem_bw_gb_s: 240.0,
+            kernel_overhead_us: 10.0,
+            max_efficiency: 0.55,
+            half_saturation_flops: 2.0e7,
+        },
+        DeviceKind::Test => DeviceProfile {
+            peak_tflops: 5.0,
+            mem_bw_gb_s: 500.0,
+            kernel_overhead_us: 5.0,
+            max_efficiency: 0.60,
+            half_saturation_flops: 3.0e7,
+        },
+    }
+}
+
+/// Relative compute efficiency of an operator family (how well its kernels
+/// use the device compared to a dense GEMM).
+fn op_factor(kind: &OpKind) -> f64 {
+    match kind {
+        OpKind::Conv2d { .. } | OpKind::Conv1d { .. } => 1.0,
+        OpKind::Linear { .. } => 0.9,
+        OpKind::LstmCell { .. } => 0.8,
+        OpKind::Attention { .. } => 0.7,
+        OpKind::Pool2d { .. } | OpKind::Pool1d { .. } => 0.5,
+        OpKind::Softmax | OpKind::BatchNorm | OpKind::Tanh => 0.4,
+        OpKind::Add | OpKind::Relu | OpKind::Concat { .. } | OpKind::Flatten => 0.5,
+        OpKind::Embedding { .. } => 1.0, // purely bandwidth-bound; FLOPs negligible
+        OpKind::Input { .. } => 1.0,
+    }
+}
+
+/// Bytes a task moves through device memory: inputs + output + parameters.
+fn task_bytes(node: &OpNode, out: &Rect) -> u64 {
+    let elem = 4u64; // fp32
+    let out_bytes = out.volume() * elem;
+    let in_bytes: u64 = node
+        .input_rects(out)
+        .iter()
+        .flatten()
+        .map(|r| r.volume() * elem)
+        .sum();
+    let param_bytes = node.params_for_tile(out) * elem;
+    out_bytes + in_bytes + param_bytes
+}
+
+/// A source of per-task execution times, in microseconds.
+///
+/// Implementations must be deterministic for a given (operator, tile,
+/// device) triple — the simulator relies on stable `exeTime`s (paper A1).
+pub trait CostModel: Send + Sync {
+    /// Execution time of the task of `node` writing output tile `out` on a
+    /// device of the given kind, covering forward and backward passes of
+    /// one training iteration.
+    fn task_time_us(&self, node: &OpNode, out: &Rect, device: DeviceKind) -> f64;
+}
+
+/// Deterministic roofline model.
+///
+/// `time = overhead + max(flops / attained_flops, bytes / bandwidth)`,
+/// where attained FLOP/s saturate with kernel size. Forward work is scaled
+/// by `1 + backward_multiplier` to account for the backward pass of one
+/// training iteration.
+#[derive(Debug, Clone)]
+pub struct AnalyticCostModel {
+    backward_multiplier: f64,
+}
+
+impl AnalyticCostModel {
+    /// Model with the conventional backward/forward ratio of 2.0 (backward
+    /// computes both input and weight gradients).
+    pub fn new() -> Self {
+        Self {
+            backward_multiplier: 2.0,
+        }
+    }
+
+    /// Overrides the backward/forward work ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is negative.
+    pub fn with_backward_multiplier(m: f64) -> Self {
+        assert!(m >= 0.0, "backward multiplier must be non-negative");
+        Self {
+            backward_multiplier: m,
+        }
+    }
+
+    /// Forward+backward time for a task given raw FLOPs and bytes.
+    pub fn time_from_counts_us(
+        &self,
+        kind: &OpKind,
+        flops: u64,
+        bytes: u64,
+        device: DeviceKind,
+    ) -> f64 {
+        if matches!(kind, OpKind::Input { .. }) {
+            return 0.0; // data loading is off the critical path (§ zoo docs)
+        }
+        let p = profile(device);
+        let total_flops = flops as f64 * (1.0 + self.backward_multiplier);
+        let total_bytes = bytes as f64 * (1.0 + self.backward_multiplier);
+        let eff = p.max_efficiency * total_flops / (total_flops + p.half_saturation_flops);
+        let attained = (p.peak_tflops * 1e6) * eff * op_factor(kind); // FLOP per us
+        let compute_us = if total_flops > 0.0 {
+            total_flops / attained.max(1e-9)
+        } else {
+            0.0
+        };
+        let memory_us = total_bytes / (p.mem_bw_gb_s * 1e3); // bytes per us
+        p.kernel_overhead_us + compute_us.max(memory_us)
+    }
+}
+
+impl Default for AnalyticCostModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CostModel for AnalyticCostModel {
+    fn task_time_us(&self, node: &OpNode, out: &Rect, device: DeviceKind) -> f64 {
+        self.time_from_counts_us(
+            node.kind(),
+            node.flops_for_tile(out),
+            task_bytes(node, out),
+            device,
+        )
+    }
+}
+
+/// Cache key: operator signature x output extents x device kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SigKey {
+    op_sig: u64,
+    out_extents: [u64; 4],
+    device: DeviceKind,
+}
+
+fn op_signature(node: &OpNode) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    node.kind().hash(&mut h);
+    for s in node.input_shapes() {
+        s.dims().hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The paper's measurement procedure over a simulated device.
+///
+/// "The FlexFlow simulator measures the execution time of an operation once
+/// for each input size and uses the measured time to predict all operations
+/// with the same type" (§1). Each *measurement* averages `trials` noisy
+/// executions of the analytic hardware (deterministic, seeded by the cache
+/// key), and the average is memoized.
+#[derive(Debug)]
+pub struct MeasuredCostModel {
+    inner: AnalyticCostModel,
+    noise_amplitude: f64,
+    trials: u32,
+    cache: RwLock<HashMap<SigKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MeasuredCostModel {
+    /// Measurement model with the defaults used throughout the evaluation:
+    /// 2% per-trial noise averaged over 5 trials.
+    pub fn paper_default() -> Self {
+        Self::new(AnalyticCostModel::new(), 0.02, 5)
+    }
+
+    /// Builds a measurement model over an analytic hardware model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_amplitude` is negative or `trials` is zero.
+    pub fn new(inner: AnalyticCostModel, noise_amplitude: f64, trials: u32) -> Self {
+        assert!(noise_amplitude >= 0.0, "noise must be non-negative");
+        assert!(trials > 0, "need at least one trial");
+        Self {
+            inner,
+            noise_amplitude,
+            trials,
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// `(hits, misses)` of the measurement cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct measurements performed (cache entries).
+    pub fn distinct_measurements(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Deterministic pseudo-noise in `[-amplitude, +amplitude]` for trial
+    /// `trial` of key `key`.
+    fn trial_noise(&self, key: &SigKey, trial: u32) -> f64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        trial.hash(&mut h);
+        let u = (h.finish() >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        (2.0 * u - 1.0) * self.noise_amplitude
+    }
+}
+
+impl CostModel for MeasuredCostModel {
+    fn task_time_us(&self, node: &OpNode, out: &Rect, device: DeviceKind) -> f64 {
+        let mut extents = [0u64; 4];
+        for (i, e) in out.extents().iter().enumerate() {
+            extents[i] = *e;
+        }
+        let key = SigKey {
+            op_sig: op_signature(node),
+            out_extents: extents,
+            device,
+        };
+        if let Some(&t) = self.cache.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return t;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let base = self.inner.task_time_us(node, out, device);
+        let avg = (0..self.trials)
+            .map(|trial| base * (1.0 + self.trial_noise(&key, trial)))
+            .sum::<f64>()
+            / self.trials as f64;
+        self.cache.write().insert(key, avg);
+        avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_opgraph::OpGraph;
+    use flexflow_tensor::TensorShape;
+
+    fn linear_node() -> (OpGraph, usize) {
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[64, 1024]));
+        let y = g
+            .add_op(OpKind::Linear { out_features: 4096 }, &[x], "fc")
+            .unwrap();
+        (g, y.index())
+    }
+
+    #[test]
+    fn profiles_order_correctly() {
+        let p = profile(DeviceKind::P100);
+        let k = profile(DeviceKind::K80);
+        assert!(p.peak_tflops > k.peak_tflops);
+        assert!(p.mem_bw_gb_s > k.mem_bw_gb_s);
+    }
+
+    #[test]
+    fn bigger_tiles_cost_more() {
+        let (g, y) = linear_node();
+        let node = g.op(g.ids().nth(y).unwrap());
+        let m = AnalyticCostModel::new();
+        let full = Rect::full(node.output_shape());
+        let half = full.with_dim(0, 0, 32);
+        let t_full = m.task_time_us(node, &full, DeviceKind::P100);
+        let t_half = m.task_time_us(node, &half, DeviceKind::P100);
+        assert!(t_full > t_half);
+        // Sub-linear speedup: half the work does NOT halve the time
+        // (overhead + efficiency loss), the non-linear scaling of §1.
+        assert!(t_half > t_full / 2.0);
+    }
+
+    #[test]
+    fn k80_slower_than_p100() {
+        let (g, y) = linear_node();
+        let node = g.op(g.ids().nth(y).unwrap());
+        let m = AnalyticCostModel::new();
+        let full = Rect::full(node.output_shape());
+        assert!(
+            m.task_time_us(node, &full, DeviceKind::K80)
+                > m.task_time_us(node, &full, DeviceKind::P100)
+        );
+    }
+
+    #[test]
+    fn input_ops_are_free() {
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[64, 1024]));
+        let node = g.op(x);
+        let m = AnalyticCostModel::new();
+        assert_eq!(
+            m.task_time_us(node, &Rect::full(node.output_shape()), DeviceKind::P100),
+            0.0
+        );
+    }
+
+    #[test]
+    fn backward_multiplier_scales_time() {
+        let (g, y) = linear_node();
+        let node = g.op(g.ids().nth(y).unwrap());
+        let full = Rect::full(node.output_shape());
+        let fwd_only = AnalyticCostModel::with_backward_multiplier(0.0);
+        let fwd_bwd = AnalyticCostModel::new();
+        assert!(
+            fwd_bwd.task_time_us(node, &full, DeviceKind::P100)
+                > fwd_only.task_time_us(node, &full, DeviceKind::P100)
+        );
+    }
+
+    #[test]
+    fn measurement_is_cached_and_deterministic() {
+        let (g, y) = linear_node();
+        let node = g.op(g.ids().nth(y).unwrap());
+        let m = MeasuredCostModel::paper_default();
+        let full = Rect::full(node.output_shape());
+        let t1 = m.task_time_us(node, &full, DeviceKind::P100);
+        let t2 = m.task_time_us(node, &full, DeviceKind::P100);
+        assert_eq!(t1, t2);
+        let (hits, misses) = m.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+        assert_eq!(m.distinct_measurements(), 1);
+
+        // A fresh model reproduces the same measurement (determinism).
+        let m2 = MeasuredCostModel::paper_default();
+        assert_eq!(m2.task_time_us(node, &full, DeviceKind::P100), t1);
+    }
+
+    #[test]
+    fn measurement_noise_is_bounded() {
+        let (g, y) = linear_node();
+        let node = g.op(g.ids().nth(y).unwrap());
+        let full = Rect::full(node.output_shape());
+        let base = AnalyticCostModel::new().task_time_us(node, &full, DeviceKind::P100);
+        let m = MeasuredCostModel::new(AnalyticCostModel::new(), 0.02, 5);
+        let measured = m.task_time_us(node, &full, DeviceKind::P100);
+        assert!((measured - base).abs() <= 0.02 * base);
+    }
+
+    #[test]
+    fn same_type_same_size_shares_measurement() {
+        // Two LSTM cells with identical shapes in different graph positions
+        // must share one cache entry (the paper's key observation: an NMT
+        // model has hundreds of ops but few distinct ones).
+        let mut g = OpGraph::new("m");
+        let x1 = g.add_input("x1", TensorShape::new(&[64, 1024]));
+        let h0 = g.add_input("h0", TensorShape::new(&[64, 1024]));
+        let c1 = g
+            .add_op(OpKind::LstmCell { hidden: 1024 }, &[x1, h0], "l1")
+            .unwrap();
+        let c2 = g
+            .add_op(OpKind::LstmCell { hidden: 1024 }, &[c1, h0], "l2")
+            .unwrap();
+        let m = MeasuredCostModel::paper_default();
+        let full = Rect::full(g.op(c1).output_shape());
+        let t1 = m.task_time_us(g.op(c1), &full, DeviceKind::P100);
+        let t2 = m.task_time_us(g.op(c2), &full, DeviceKind::P100);
+        assert_eq!(t1, t2);
+        assert_eq!(m.distinct_measurements(), 1, "one measurement for both");
+    }
+
+    #[test]
+    fn memory_bound_ops_follow_bandwidth() {
+        // Embedding moves bytes but does no FLOPs: K80 (240 GB/s) must be
+        // ~3x slower than P100 (732 GB/s) once overhead is subtracted.
+        let mut g = OpGraph::new("m");
+        let x = g.add_input(
+            "x",
+            TensorShape::with_dtype(&[64, 1], flexflow_tensor::DataType::I32),
+        );
+        let e = g
+            .add_op(OpKind::Embedding { vocab: 100_000, dim: 4096 }, &[x], "emb")
+            .unwrap();
+        let m = AnalyticCostModel::new();
+        let full = Rect::full(g.op(e).output_shape());
+        let p = m.task_time_us(g.op(e), &full, DeviceKind::P100) - profile(DeviceKind::P100).kernel_overhead_us;
+        let k = m.task_time_us(g.op(e), &full, DeviceKind::K80) - profile(DeviceKind::K80).kernel_overhead_us;
+        let ratio = k / p;
+        assert!((2.5..=3.6).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the cost oracle: times are positive, finite,
+//! monotone in tile volume, consistent across identical queries, and the
+//! measurement cache never changes an answer (paper assumption A1).
+
+use flexflow_costmodel::{AnalyticCostModel, CostModel, MeasuredCostModel};
+use flexflow_device::DeviceKind;
+use flexflow_opgraph::{OpGraph, OpKind};
+use flexflow_tensor::{Rect, TensorShape};
+use proptest::prelude::*;
+
+fn linear_probe(cin: u64, cout: u64, batch: u64) -> (OpGraph, flexflow_opgraph::OpId) {
+    let mut g = OpGraph::new("probe");
+    let x = g.add_input("x", TensorShape::new(&[batch, cin]));
+    let y = g
+        .add_op(OpKind::Linear { out_features: cout }, &[x], "fc")
+        .unwrap();
+    (g, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn times_positive_finite_and_monotone(
+        cin in 1u64..512,
+        cout in 2u64..512,
+        batch in 2u64..128,
+        device in prop_oneof![
+            Just(DeviceKind::P100),
+            Just(DeviceKind::K80),
+            Just(DeviceKind::Test)
+        ],
+    ) {
+        let cout = cout * 2;
+        let batch = batch * 2;
+        let (g, y) = linear_probe(cin, cout, batch);
+        let node = g.op(y);
+        let m = AnalyticCostModel::new();
+        let full = Rect::full(node.output_shape());
+        let t_full = m.task_time_us(node, &full, device);
+        prop_assert!(t_full.is_finite() && t_full > 0.0);
+
+        // halving the batch never increases the time
+        let half = full.with_dim(0, 0, batch / 2);
+        let t_half = m.task_time_us(node, &half, device);
+        prop_assert!(t_half <= t_full + 1e-9);
+        // and never better than perfectly linear (overhead + efficiency)
+        prop_assert!(t_half >= t_full / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn measured_cache_is_transparent(
+        cin in 1u64..128,
+        cout in 2u64..128,
+        queries in 2usize..10,
+    ) {
+        let (g, y) = linear_probe(cin, cout * 2, 16);
+        let node = g.op(y);
+        let m = MeasuredCostModel::paper_default();
+        let full = Rect::full(node.output_shape());
+        let first = m.task_time_us(node, &full, DeviceKind::P100);
+        for _ in 0..queries {
+            prop_assert_eq!(m.task_time_us(node, &full, DeviceKind::P100), first);
+        }
+        let (hits, misses) = m.cache_stats();
+        prop_assert_eq!(misses, 1);
+        prop_assert_eq!(hits as usize, queries);
+    }
+
+    #[test]
+    fn measurement_noise_stays_within_amplitude(
+        cin in 1u64..128,
+        amplitude in 0.0f64..0.2,
+    ) {
+        let (g, y) = linear_probe(cin, 32, 16);
+        let node = g.op(y);
+        let base = AnalyticCostModel::new();
+        let full = Rect::full(node.output_shape());
+        let ideal = base.task_time_us(node, &full, DeviceKind::K80);
+        let measured = MeasuredCostModel::new(AnalyticCostModel::new(), amplitude, 5)
+            .task_time_us(node, &full, DeviceKind::K80);
+        prop_assert!((measured - ideal).abs() <= amplitude * ideal + 1e-12);
+    }
+
+    #[test]
+    fn devices_order_consistently(cin in 8u64..512, batch in 8u64..128) {
+        // A faster device is faster for every op of meaningful size.
+        let (g, y) = linear_probe(cin, 64, batch);
+        let node = g.op(y);
+        let m = AnalyticCostModel::new();
+        let full = Rect::full(node.output_shape());
+        let p100 = m.task_time_us(node, &full, DeviceKind::P100);
+        let k80 = m.task_time_us(node, &full, DeviceKind::K80);
+        prop_assert!(p100 <= k80);
+    }
+}

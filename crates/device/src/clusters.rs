@@ -1,0 +1,298 @@
+//! Builders for the paper's two evaluation clusters (Fig. 6) and synthetic
+//! test topologies.
+//!
+//! | constant | value | source |
+//! |---|---|---|
+//! | NVLink | 20 GB/s, 1 µs | P100 NVLink gen-1 per-direction link |
+//! | P100 inter-node | 12.5 GB/s, 5 µs | "100 Gb/s EDR Infiniband" |
+//! | K80 private PCIe switch | 10 GB/s, 3 µs | PCIe 3.0 x16 pair switch |
+//! | K80 shared PCIe switch | 8 GB/s, 3 µs | shared-switch effective rate |
+//! | K80 inter-node | 7 GB/s, 5 µs | "56 Gb/s EDR Infiniband" |
+//!
+//! These absolute numbers only need to preserve the *ordering* of link
+//! speeds (NVLink > PCIe > network); the search behaviour the paper reports
+//! depends on that ordering, not on exact constants (see DESIGN.md).
+
+use crate::topology::{DeviceId, DeviceKind, Topology, TopologyBuilder};
+
+/// GPUs per node in both paper clusters.
+pub const GPUS_PER_NODE: usize = 4;
+
+/// The P100 cluster of Fig. 6a: `nodes` compute nodes, each with 4 P100
+/// GPUs fully connected by NVLink; nodes connected by EDR InfiniBand.
+///
+/// The paper's cluster has 4 nodes (16 GPUs); larger node counts follow the
+/// same pattern for the scalability sweeps.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn p100_cluster(nodes: usize) -> Topology {
+    assert!(nodes > 0, "cluster needs at least one node");
+    let mut b = TopologyBuilder::new(format!("p100x{}", nodes * GPUS_PER_NODE));
+    let mut gpus: Vec<Vec<DeviceId>> = Vec::with_capacity(nodes);
+    for n in 0..nodes {
+        let ids: Vec<DeviceId> = (0..GPUS_PER_NODE)
+            .map(|_| b.add_device(DeviceKind::P100, n as u32, 16.0))
+            .collect();
+        // All-pairs NVLink inside the node (arrows in Fig. 6a).
+        for i in 0..GPUS_PER_NODE {
+            for j in (i + 1)..GPUS_PER_NODE {
+                let l = b.add_link(format!("nvlink-n{n}-g{i}-g{j}"), 20.0, 1.0);
+                b.connect_symmetric(ids[i], ids[j], l);
+            }
+        }
+        gpus.push(ids);
+    }
+    // One EDR NIC per node; outbound inter-node traffic queues on the
+    // source node's NIC.
+    let nics: Vec<_> = (0..nodes)
+        .map(|n| b.add_link(format!("ib-n{n}"), 12.5, 5.0))
+        .collect();
+    for src_node in 0..nodes {
+        for dst_node in 0..nodes {
+            if src_node == dst_node {
+                continue;
+            }
+            for &src in &gpus[src_node] {
+                for &dst in &gpus[dst_node] {
+                    b.connect(src, dst, nics[src_node]);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// The K80 cluster of Fig. 6b: `nodes` compute nodes, each with 4 K80 GPUs.
+/// Adjacent GPU pairs (0,1) and (2,3) share a private PCIe switch; the
+/// remaining intra-node pairs cross the shared PCIe switch; nodes connect
+/// over 56 Gb/s InfiniBand.
+///
+/// The paper's cluster has 16 nodes (64 GPUs).
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn k80_cluster(nodes: usize) -> Topology {
+    assert!(nodes > 0, "cluster needs at least one node");
+    let mut b = TopologyBuilder::new(format!("k80x{}", nodes * GPUS_PER_NODE));
+    let mut gpus: Vec<Vec<DeviceId>> = Vec::with_capacity(nodes);
+    for n in 0..nodes {
+        let ids: Vec<DeviceId> = (0..GPUS_PER_NODE)
+            .map(|_| b.add_device(DeviceKind::K80, n as u32, 12.0))
+            .collect();
+        // Private switches for adjacent pairs.
+        let p01 = b.add_link(format!("pcie-n{n}-s0"), 10.0, 3.0);
+        b.connect_symmetric(ids[0], ids[1], p01);
+        let p23 = b.add_link(format!("pcie-n{n}-s1"), 10.0, 3.0);
+        b.connect_symmetric(ids[2], ids[3], p23);
+        // Shared switch for the cross pairs.
+        let shared = b.add_link(format!("pcieshared-n{n}"), 8.0, 3.0);
+        for i in 0..2 {
+            for j in 2..4 {
+                b.connect_symmetric(ids[i], ids[j], shared);
+            }
+        }
+        gpus.push(ids);
+    }
+    let nics: Vec<_> = (0..nodes)
+        .map(|n| b.add_link(format!("ib-n{n}"), 7.0, 5.0))
+        .collect();
+    for src_node in 0..nodes {
+        for dst_node in 0..nodes {
+            if src_node == dst_node {
+                continue;
+            }
+            for &src in &gpus[src_node] {
+                for &dst in &gpus[dst_node] {
+                    b.connect(src, dst, nics[src_node]);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// A cluster for the given paper hardware flavour and total GPU count
+/// (rounded up to whole nodes of four GPUs).
+///
+/// GPU counts of 1 and 2 build a single partially-populated node, matching
+/// the 1/2-GPU points of Fig. 7.
+///
+/// # Panics
+///
+/// Panics if `gpus` is zero or `kind` is [`DeviceKind::Test`] (use
+/// [`uniform_cluster`] for synthetic devices).
+pub fn paper_cluster(kind: DeviceKind, gpus: usize) -> Topology {
+    assert!(gpus > 0, "need at least one GPU");
+    let full = match kind {
+        DeviceKind::P100 => p100_cluster(gpus.div_ceil(GPUS_PER_NODE)),
+        DeviceKind::K80 => k80_cluster(gpus.div_ceil(GPUS_PER_NODE)),
+        DeviceKind::Test => panic!("use uniform_cluster for Test devices"),
+    };
+    if gpus % GPUS_PER_NODE == 0 {
+        full
+    } else {
+        // Rebuild keeping only the first `gpus` devices (single node case).
+        match kind {
+            DeviceKind::P100 => truncate_single_node(kind, gpus, 20.0, 1.0, 16.0, "nvlink"),
+            DeviceKind::K80 => truncate_single_node(kind, gpus, 10.0, 3.0, 12.0, "pcie"),
+            DeviceKind::Test => unreachable!(),
+        }
+    }
+}
+
+fn truncate_single_node(
+    kind: DeviceKind,
+    gpus: usize,
+    bw: f64,
+    lat: f64,
+    mem: f64,
+    family: &str,
+) -> Topology {
+    let mut b = TopologyBuilder::new(format!("{kind}x{gpus}").to_lowercase());
+    let ids: Vec<DeviceId> = (0..gpus).map(|_| b.add_device(kind, 0, mem)).collect();
+    for i in 0..gpus {
+        for j in (i + 1)..gpus {
+            let l = b.add_link(format!("{family}-n0-g{i}-g{j}"), bw, lat);
+            b.connect_symmetric(ids[i], ids[j], l);
+        }
+    }
+    b.build()
+}
+
+/// A synthetic uniform cluster for tests: `nodes` nodes of `gpus_per_node`
+/// [`DeviceKind::Test`] devices, intra-node links at `intra_gb_s`, one NIC
+/// per node at `inter_gb_s`.
+///
+/// # Panics
+///
+/// Panics if any count is zero or bandwidth non-positive.
+pub fn uniform_cluster(
+    nodes: usize,
+    gpus_per_node: usize,
+    intra_gb_s: f64,
+    inter_gb_s: f64,
+) -> Topology {
+    assert!(nodes > 0 && gpus_per_node > 0, "counts must be positive");
+    let mut b = TopologyBuilder::new(format!("test{}x{}", nodes, gpus_per_node));
+    let mut gpus: Vec<Vec<DeviceId>> = Vec::new();
+    for n in 0..nodes {
+        let ids: Vec<DeviceId> = (0..gpus_per_node)
+            .map(|_| b.add_device(DeviceKind::Test, n as u32, 16.0))
+            .collect();
+        for i in 0..gpus_per_node {
+            for j in (i + 1)..gpus_per_node {
+                let l = b.add_link(format!("intra-n{n}-g{i}-g{j}"), intra_gb_s, 1.0);
+                b.connect_symmetric(ids[i], ids[j], l);
+            }
+        }
+        gpus.push(ids);
+    }
+    let nics: Vec<_> = (0..nodes)
+        .map(|n| b.add_link(format!("nic-n{n}"), inter_gb_s, 5.0))
+        .collect();
+    for s in 0..nodes {
+        for d in 0..nodes {
+            if s == d {
+                continue;
+            }
+            for &src in &gpus[s] {
+                for &dst in &gpus[d] {
+                    b.connect(src, dst, nics[s]);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p100_cluster_matches_fig6a() {
+        let t = p100_cluster(4);
+        assert_eq!(t.num_devices(), 16);
+        assert_eq!(t.num_nodes(), 4);
+        // 6 NVLinks per node + 1 NIC per node
+        assert_eq!(t.num_links(), 4 * 6 + 4);
+        let (g0, g1, g4) = (t.device_id(0), t.device_id(1), t.device_id(4));
+        let intra = t.channel(g0, g1).unwrap();
+        let inter = t.channel(g0, g4).unwrap();
+        assert_eq!(intra.bandwidth_gb_s, 20.0);
+        assert_eq!(inter.bandwidth_gb_s, 12.5);
+        assert!(inter.latency_us > intra.latency_us);
+    }
+
+    #[test]
+    fn k80_cluster_matches_fig6b() {
+        let t = k80_cluster(16);
+        assert_eq!(t.num_devices(), 64);
+        assert_eq!(t.num_nodes(), 16);
+        let (g0, g1, g2) = (t.device_id(0), t.device_id(1), t.device_id(2));
+        // adjacent pair: private switch
+        assert_eq!(t.channel(g0, g1).unwrap().bandwidth_gb_s, 10.0);
+        // cross pair: shared switch (slower)
+        assert_eq!(t.channel(g0, g2).unwrap().bandwidth_gb_s, 8.0);
+        // cross-pair transfers share one queue per node
+        let c02 = t.channel(g0, g2).unwrap();
+        let c13 = t.channel(g1, g2).unwrap();
+        assert_eq!(c02.link, c13.link, "shared switch is a single queue");
+        // inter-node slowest
+        let g4 = t.device_id(4);
+        assert_eq!(t.channel(g0, g4).unwrap().bandwidth_gb_s, 7.0);
+    }
+
+    #[test]
+    fn outbound_traffic_queues_on_source_nic() {
+        let t = p100_cluster(2);
+        let (g0, g1, g4, g5) = (
+            t.device_id(0),
+            t.device_id(1),
+            t.device_id(4),
+            t.device_id(5),
+        );
+        let a = t.channel(g0, g4).unwrap();
+        let b = t.channel(g1, g5).unwrap();
+        assert_eq!(a.link, b.link, "same source node, same NIC queue");
+        let c = t.channel(g4, g0).unwrap();
+        assert_ne!(a.link, c.link, "reverse direction uses the other NIC");
+    }
+
+    #[test]
+    fn paper_cluster_partial_node() {
+        let t = paper_cluster(DeviceKind::P100, 2);
+        assert_eq!(t.num_devices(), 2);
+        assert_eq!(t.num_nodes(), 1);
+        let t = paper_cluster(DeviceKind::K80, 1);
+        assert_eq!(t.num_devices(), 1);
+        let t = paper_cluster(DeviceKind::P100, 8);
+        assert_eq!(t.num_devices(), 8);
+        assert_eq!(t.num_nodes(), 2);
+    }
+
+    #[test]
+    fn uniform_cluster_routes_everything() {
+        let t = uniform_cluster(2, 3, 16.0, 4.0);
+        assert_eq!(t.num_devices(), 6);
+        for a in t.device_ids() {
+            for b in t.device_ids() {
+                if a != b {
+                    assert!(t.channel(a, b).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_ordering_nvlink_faster_than_ib() {
+        let t = p100_cluster(2);
+        let bytes = 64 * 1024 * 1024;
+        let intra = t.transfer_time_us(t.device_id(0), t.device_id(1), bytes);
+        let inter = t.transfer_time_us(t.device_id(0), t.device_id(4), bytes);
+        assert!(intra < inter);
+    }
+}

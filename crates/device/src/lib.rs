@@ -1,0 +1,38 @@
+//! Device topologies for the FlexFlow reproduction.
+//!
+//! FlexFlow takes a *device topology* `D = (D_N, D_E)` as input (paper §3.1):
+//! nodes are devices and edges are hardware connections labelled with
+//! bandwidth and latency. The simulator treats every hardware connection as
+//! a *communication device* with its own FIFO queue, so transfers crossing
+//! the same link contend with each other while transfers on different links
+//! overlap with computation (§5.1).
+//!
+//! This crate provides the topology graph, pairwise routing ([`Channel`]s
+//! keyed by their bottleneck link), and builders for the two GPU clusters of
+//! the paper's evaluation (Fig. 6):
+//!
+//! - [`clusters::p100_cluster`] — 4 P100 GPUs per node, all-pairs NVLink
+//!   within a node, EDR InfiniBand between nodes;
+//! - [`clusters::k80_cluster`] — 4 K80 GPUs per node, adjacent GPUs on a
+//!   private PCIe switch, the rest over a shared switch, FDR InfiniBand
+//!   between nodes.
+//!
+//! # Example
+//!
+//! ```
+//! use flexflow_device::clusters;
+//!
+//! let topo = clusters::p100_cluster(2);
+//! assert_eq!(topo.num_devices(), 8);
+//! // Intra-node NVLink is faster than the inter-node NIC.
+//! let intra = topo.channel(topo.device_id(0), topo.device_id(1)).unwrap();
+//! let inter = topo.channel(topo.device_id(0), topo.device_id(4)).unwrap();
+//! assert!(intra.bandwidth_gb_s > inter.bandwidth_gb_s);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod clusters;
+pub mod topology;
+
+pub use topology::{Channel, Device, DeviceId, DeviceKind, Link, LinkId, Topology, TopologyBuilder};

@@ -1,0 +1,446 @@
+//! The device-topology graph and pairwise routing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a compute device (GPU) within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub(crate) u32);
+
+impl DeviceId {
+    /// Dense index of the device.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Identifier of a hardware connection (NVLink, PCIe switch, NIC, ...).
+///
+/// Each link acts as a *communication device* with its own FIFO queue in the
+/// execution simulator (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// Dense index of the link.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// Hardware flavour of a compute device; the cost model maps this to a
+/// performance profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// NVIDIA Tesla P100 (the paper's first cluster).
+    P100,
+    /// NVIDIA Tesla K80 (one logical GPU of the dual-GPU board; the paper's
+    /// second cluster).
+    K80,
+    /// A synthetic uniform device for tests and examples.
+    Test,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::P100 => write!(f, "P100"),
+            DeviceKind::K80 => write!(f, "K80"),
+            DeviceKind::Test => write!(f, "TestGPU"),
+        }
+    }
+}
+
+/// A compute device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Hardware flavour.
+    pub kind: DeviceKind,
+    /// Index of the compute node hosting this device.
+    pub node: u32,
+    /// Device memory in GiB (used for strategy feasibility checks).
+    pub memory_gb: f64,
+}
+
+/// A hardware connection, modelled as a communication device with a FIFO
+/// queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Human-readable name (e.g. `nvlink-n0-g0-g1`, `ib-n2`).
+    pub name: String,
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gb_s: f64,
+    /// One-way latency in microseconds.
+    pub latency_us: f64,
+}
+
+/// The route between an ordered pair of distinct devices.
+///
+/// The route is keyed by its *bottleneck link*: transfers between the pair
+/// queue on that link, so transfers sharing the bottleneck contend while
+/// transfers on disjoint links proceed in parallel. End-to-end bandwidth is
+/// the bottleneck's; latency accumulates along the path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Channel {
+    /// The bottleneck link whose FIFO queue serializes these transfers.
+    pub link: LinkId,
+    /// End-to-end bandwidth in GB/s (the bottleneck link's).
+    pub bandwidth_gb_s: f64,
+    /// End-to-end one-way latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Channel {
+    /// Time in microseconds to move `bytes` across this channel, following
+    /// the paper's assumption A2 (`s / b`, bandwidth fully utilized) plus
+    /// the wire latency.
+    pub fn transfer_time_us(&self, bytes: u64) -> f64 {
+        // GB/s == 1e3 bytes/us
+        self.latency_us + bytes as f64 / (self.bandwidth_gb_s * 1e3)
+    }
+}
+
+/// A complete device topology: compute devices, links, and pairwise routes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    channels: HashMap<(DeviceId, DeviceId), Channel>,
+}
+
+impl Topology {
+    /// The topology's name (e.g. `p100x16`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of compute devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of links (communication devices).
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of distinct compute nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.devices
+            .iter()
+            .map(|d| d.node)
+            .max()
+            .map_or(0, |m| m as usize + 1)
+    }
+
+    /// The `i`-th device id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn device_id(&self, i: usize) -> DeviceId {
+        assert!(i < self.devices.len(), "device index {i} out of range");
+        DeviceId(i as u32)
+    }
+
+    /// All device ids in index order.
+    pub fn device_ids(&self) -> impl Iterator<Item = DeviceId> {
+        (0..self.devices.len() as u32).map(DeviceId)
+    }
+
+    /// Device ids hosted on compute node `node`.
+    pub fn devices_on_node(&self, node: u32) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.node == node)
+            .map(|(i, _)| DeviceId(i as u32))
+            .collect()
+    }
+
+    /// The device record for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// The link record for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The route between two distinct devices, or `None` when `src == dst`
+    /// (no transfer is needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the devices belong to a different topology (unroutable
+    /// pair), which indicates a construction bug.
+    pub fn channel(&self, src: DeviceId, dst: DeviceId) -> Option<&Channel> {
+        if src == dst {
+            return None;
+        }
+        Some(
+            self.channels
+                .get(&(src, dst))
+                .unwrap_or_else(|| panic!("no route between {src} and {dst}")),
+        )
+    }
+
+    /// Time in microseconds to transfer `bytes` from `src` to `dst`; zero
+    /// when they are the same device.
+    pub fn transfer_time_us(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> f64 {
+        match self.channel(src, dst) {
+            None => 0.0,
+            Some(ch) => ch.transfer_time_us(bytes),
+        }
+    }
+
+    /// A short multi-line description of the topology (used by the Fig. 6
+    /// reproduction).
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "{}: {} GPUs on {} nodes, {} links\n",
+            self.name,
+            self.num_devices(),
+            self.num_nodes(),
+            self.num_links()
+        );
+        for node in 0..self.num_nodes() as u32 {
+            let devs = self.devices_on_node(node);
+            let kind = self.device(devs[0]).kind;
+            s.push_str(&format!("  node {node}: {} x {kind}\n", devs.len()));
+        }
+        let mut kinds: Vec<(&str, f64, f64, usize)> = Vec::new();
+        for l in &self.links {
+            let family = l.name.split('-').next().unwrap_or("link");
+            if let Some(e) = kinds.iter_mut().find(|k| k.0 == family) {
+                e.3 += 1;
+            } else {
+                kinds.push((family, l.bandwidth_gb_s, l.latency_us, 1));
+            }
+        }
+        for (family, bw, lat, count) in kinds {
+            s.push_str(&format!(
+                "  {count} x {family}: {bw} GB/s, {lat} us latency\n"
+            ));
+        }
+        s
+    }
+}
+
+/// Incremental builder for [`Topology`].
+///
+/// ```
+/// use flexflow_device::{TopologyBuilder, DeviceKind};
+///
+/// let mut b = TopologyBuilder::new("two-gpus");
+/// let g0 = b.add_device(DeviceKind::Test, 0, 16.0);
+/// let g1 = b.add_device(DeviceKind::Test, 0, 16.0);
+/// let l = b.add_link("pcie-0", 12.0, 2.0);
+/// b.connect_symmetric(g0, g1, l);
+/// let topo = b.build();
+/// assert!(topo.channel(g0, g1).is_some());
+/// ```
+#[derive(Debug)]
+pub struct TopologyBuilder {
+    name: String,
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    channels: HashMap<(DeviceId, DeviceId), Channel>,
+}
+
+impl TopologyBuilder {
+    /// Starts building a topology.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            devices: Vec::new(),
+            links: Vec::new(),
+            channels: HashMap::new(),
+        }
+    }
+
+    /// Adds a compute device and returns its id.
+    pub fn add_device(&mut self, kind: DeviceKind, node: u32, memory_gb: f64) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(Device {
+            kind,
+            node,
+            memory_gb,
+        });
+        id
+    }
+
+    /// Adds a link (communication device) and returns its id.
+    pub fn add_link(
+        &mut self,
+        name: impl Into<String>,
+        bandwidth_gb_s: f64,
+        latency_us: f64,
+    ) -> LinkId {
+        assert!(bandwidth_gb_s > 0.0, "bandwidth must be positive");
+        assert!(latency_us >= 0.0, "latency must be non-negative");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            name: name.into(),
+            bandwidth_gb_s,
+            latency_us,
+        });
+        id
+    }
+
+    /// Declares that transfers from `src` to `dst` ride `link` end to end.
+    pub fn connect(&mut self, src: DeviceId, dst: DeviceId, link: LinkId) {
+        let l = &self.links[link.index()];
+        self.connect_via(src, dst, link, l.bandwidth_gb_s, l.latency_us);
+    }
+
+    /// Declares a route in both directions over `link`.
+    pub fn connect_symmetric(&mut self, a: DeviceId, b: DeviceId, link: LinkId) {
+        self.connect(a, b, link);
+        self.connect(b, a, link);
+    }
+
+    /// Declares a route whose bottleneck queue is `link` but whose
+    /// end-to-end bandwidth/latency differ from the link's label (multi-hop
+    /// paths: the latency sums over hops while the queue forms at the
+    /// bottleneck).
+    pub fn connect_via(
+        &mut self,
+        src: DeviceId,
+        dst: DeviceId,
+        link: LinkId,
+        bandwidth_gb_s: f64,
+        latency_us: f64,
+    ) {
+        assert!(src != dst, "cannot route a device to itself");
+        assert!(src.index() < self.devices.len(), "unknown src {src}");
+        assert!(dst.index() < self.devices.len(), "unknown dst {dst}");
+        assert!(link.index() < self.links.len(), "unknown link {link}");
+        self.channels.insert(
+            (src, dst),
+            Channel {
+                link,
+                bandwidth_gb_s,
+                latency_us,
+            },
+        );
+    }
+
+    /// Finalizes the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ordered device pair lacks a route — the simulator must
+    /// be able to move a tensor between any two devices.
+    pub fn build(self) -> Topology {
+        for (i, _) in self.devices.iter().enumerate() {
+            for (j, _) in self.devices.iter().enumerate() {
+                if i != j {
+                    let key = (DeviceId(i as u32), DeviceId(j as u32));
+                    assert!(
+                        self.channels.contains_key(&key),
+                        "missing route between gpu{i} and gpu{j}"
+                    );
+                }
+            }
+        }
+        Topology {
+            name: self.name,
+            devices: self.devices,
+            links: self.links,
+            channels: self.channels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Topology {
+        let mut b = TopologyBuilder::new("tiny");
+        let g0 = b.add_device(DeviceKind::Test, 0, 16.0);
+        let g1 = b.add_device(DeviceKind::Test, 0, 16.0);
+        let l = b.add_link("wire-0", 10.0, 2.0);
+        b.connect_symmetric(g0, g1, l);
+        b.build()
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let t = tiny();
+        let (g0, g1) = (t.device_id(0), t.device_id(1));
+        // 10 GB/s == 10_000 bytes/us; 100_000 bytes -> 10us + 2us latency.
+        let us = t.transfer_time_us(g0, g1, 100_000);
+        assert!((us - 12.0).abs() < 1e-9, "got {us}");
+        assert_eq!(t.transfer_time_us(g0, g0, 100_000), 0.0);
+    }
+
+    #[test]
+    fn same_device_has_no_channel() {
+        let t = tiny();
+        assert!(t.channel(t.device_id(0), t.device_id(0)).is_none());
+        assert!(t.channel(t.device_id(0), t.device_id(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "missing route")]
+    fn build_requires_full_routing() {
+        let mut b = TopologyBuilder::new("broken");
+        let g0 = b.add_device(DeviceKind::Test, 0, 16.0);
+        let g1 = b.add_device(DeviceKind::Test, 0, 16.0);
+        let l = b.add_link("wire-0", 10.0, 2.0);
+        b.connect(g0, g1, l); // only one direction
+        let _ = b.build();
+    }
+
+    #[test]
+    fn node_queries() {
+        let mut b = TopologyBuilder::new("nodes");
+        let g0 = b.add_device(DeviceKind::Test, 0, 16.0);
+        let g1 = b.add_device(DeviceKind::Test, 1, 16.0);
+        let l = b.add_link("wire-0", 5.0, 1.0);
+        b.connect_symmetric(g0, g1, l);
+        let t = b.build();
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.devices_on_node(0), vec![g0]);
+        assert_eq!(t.devices_on_node(1), vec![g1]);
+    }
+
+    #[test]
+    fn describe_mentions_links_and_devices() {
+        let t = tiny();
+        let d = t.describe();
+        assert!(d.contains("2 GPUs"));
+        assert!(d.contains("wire"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        let mut b = TopologyBuilder::new("bad");
+        b.add_link("l", 0.0, 1.0);
+    }
+}

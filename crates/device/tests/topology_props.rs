@@ -1,0 +1,82 @@
+//! Property-based tests for topology invariants: full pairwise routing,
+//! sensible bandwidth ordering, and transfer-time monotonicity.
+
+use flexflow_device::{clusters, DeviceKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn paper_clusters_route_every_pair(nodes in 1usize..6, k80 in proptest::bool::ANY) {
+        let topo = if k80 {
+            clusters::k80_cluster(nodes)
+        } else {
+            clusters::p100_cluster(nodes)
+        };
+        prop_assert_eq!(topo.num_devices(), nodes * clusters::GPUS_PER_NODE);
+        for a in topo.device_ids() {
+            for b in topo.device_ids() {
+                if a == b {
+                    prop_assert!(topo.channel(a, b).is_none());
+                } else {
+                    let ch = topo.channel(a, b).unwrap();
+                    prop_assert!(ch.bandwidth_gb_s > 0.0);
+                    prop_assert!(ch.latency_us > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intra_node_is_never_slower_than_inter_node(nodes in 2usize..5, k80 in proptest::bool::ANY) {
+        let topo = if k80 {
+            clusters::k80_cluster(nodes)
+        } else {
+            clusters::p100_cluster(nodes)
+        };
+        let bytes = 1 << 20;
+        let g0 = topo.device_id(0);
+        for b in topo.device_ids().skip(1) {
+            let t = topo.transfer_time_us(g0, b, bytes);
+            let same_node = topo.device(g0).node == topo.device(b).node;
+            let cross = topo.transfer_time_us(g0, topo.device_id(4), bytes);
+            if same_node {
+                prop_assert!(t <= cross + 1e-9, "intra-node {t} > inter-node {cross}");
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes(
+        nodes in 1usize..4,
+        a in 0usize..4,
+        b in 0usize..4,
+        small in 1u64..1_000_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let topo = clusters::p100_cluster(nodes);
+        let (da, db) = (topo.device_id(a), topo.device_id(b % topo.num_devices()));
+        let t1 = topo.transfer_time_us(da, db, small);
+        let t2 = topo.transfer_time_us(da, db, small + extra);
+        prop_assert!(t2 >= t1);
+        if da == db {
+            prop_assert_eq!(t1, 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_cluster_truncation_counts(gpus in 1usize..=16) {
+        for kind in [DeviceKind::P100, DeviceKind::K80] {
+            let topo = clusters::paper_cluster(kind, gpus);
+            prop_assert_eq!(topo.num_devices(), gpus);
+            // single-GPU topologies still build (no channels needed)
+            if gpus >= 2 {
+                let ch = topo
+                    .channel(topo.device_id(0), topo.device_id(1))
+                    .unwrap();
+                prop_assert!(ch.bandwidth_gb_s > 0.0);
+            }
+        }
+    }
+}

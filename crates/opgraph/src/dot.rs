@@ -1,0 +1,110 @@
+//! Graphviz DOT export of operator graphs.
+//!
+//! Handy for inspecting the zoo models and for presenting discovered
+//! strategies (the bench case studies color ops by device).
+
+use crate::graph::{OpGraph, OpId};
+use crate::op::OpKind;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// `annotate` supplies an optional extra label line and a fill-color index
+/// per op (e.g. the device of a strategy's first task); return `None` for
+/// plain nodes.
+pub fn to_dot(graph: &OpGraph, annotate: impl Fn(OpId) -> Option<(String, usize)>) -> String {
+    // A qualitative palette; indices wrap.
+    const PALETTE: [&str; 8] = [
+        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(graph.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, style=filled, fillcolor=white];");
+    for id in graph.ids() {
+        let node = graph.op(id);
+        let shape = if matches!(node.kind(), OpKind::Input { .. }) {
+            ", shape=ellipse"
+        } else {
+            ""
+        };
+        match annotate(id) {
+            Some((extra, color)) => {
+                let _ = writeln!(
+                    out,
+                    "  {} [label=\"{}\\n{}\", fillcolor=\"{}\"{shape}];",
+                    id.index(),
+                    sanitize(node.name()),
+                    sanitize(&extra),
+                    PALETTE[color % PALETTE.len()],
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {} [label=\"{}\"{shape}];",
+                    id.index(),
+                    sanitize(node.name()),
+                );
+            }
+        }
+    }
+    for (src, dst) in graph.edges() {
+        let _ = writeln!(out, "  {} -> {};", src.index(), dst.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the graph without annotations.
+pub fn to_dot_plain(graph: &OpGraph) -> String {
+    to_dot(graph, |_| None)
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' || c == '.' || c == ' ' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn dot_contains_every_op_and_edge() {
+        let g = zoo::lenet(8);
+        let dot = to_dot_plain(&g);
+        assert!(dot.starts_with("digraph lenet {"));
+        for op in g.ops() {
+            assert!(dot.contains(op.name()), "{} missing", op.name());
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.edges().len());
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn annotations_set_labels_and_colors() {
+        let g = zoo::lenet(8);
+        let dot = to_dot(&g, |id| Some((format!("dev{}", id.index() % 4), id.index() % 4)));
+        assert!(dot.contains("dev0"));
+        assert!(dot.contains("fillcolor=\"#a6cee3\""));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let mut g = OpGraph::new("we/ird\"name");
+        g.add_input("x{0}", flexflow_tensor::TensorShape::new(&[2, 2]));
+        let dot = to_dot_plain(&g);
+        assert!(!dot.contains('{') || dot.contains("digraph we_ird_name {"));
+        assert!(dot.contains("x_0_"));
+    }
+
+    #[test]
+    fn inputs_are_ellipses() {
+        let g = zoo::lenet(8);
+        let dot = to_dot_plain(&g);
+        assert!(dot.contains("shape=ellipse"));
+    }
+}

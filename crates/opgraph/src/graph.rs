@@ -1,0 +1,434 @@
+//! The operator graph: nodes, edges, and parameter-sharing layers.
+
+use crate::op::{OpKind, ParallelDim, ShapeError};
+use flexflow_tensor::{Rect, TensorShape};
+use std::fmt;
+
+/// Identifier of an operation inside an [`OpGraph`].
+///
+/// Ids are dense indices assigned in insertion order, which is also a valid
+/// topological order (an operation may only consume tensors produced by
+/// operations added before it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) u32);
+
+impl OpId {
+    /// The dense index of this operation.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Identifier of a parameter-sharing layer.
+///
+/// Operations in the same layer share trainable parameters — e.g. the 40
+/// unrolled steps of one LSTM layer (paper Fig. 14: "Each grey box denotes a
+/// layer, whose operations share the same network parameters"). Gradient
+/// synchronization is accounted per layer, not per op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerId(pub(crate) u32);
+
+impl LayerId {
+    /// The dense index of this layer.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// One operation in the graph.
+#[derive(Debug, Clone)]
+pub struct OpNode {
+    kind: OpKind,
+    name: String,
+    inputs: Vec<OpId>,
+    input_shapes: Vec<TensorShape>,
+    output: TensorShape,
+    layer: Option<LayerId>,
+}
+
+impl OpNode {
+    /// The operator kind.
+    pub fn kind(&self) -> &OpKind {
+        &self.kind
+    }
+
+    /// Human-readable name (unique within the graph by construction).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Producers of this op's inputs, in argument order.
+    pub fn inputs(&self) -> &[OpId] {
+        &self.inputs
+    }
+
+    /// Shapes of this op's inputs, in argument order.
+    pub fn input_shapes(&self) -> &[TensorShape] {
+        &self.input_shapes
+    }
+
+    /// Shape of the produced tensor.
+    pub fn output_shape(&self) -> &TensorShape {
+        &self.output
+    }
+
+    /// The parameter-sharing layer, if the op has parameters.
+    pub fn layer(&self) -> Option<LayerId> {
+        self.layer
+    }
+
+    /// Parallelizable dimensions of the output (see [`OpKind::parallel_dims`]).
+    pub fn parallel_dims(&self) -> Vec<ParallelDim> {
+        self.kind.parallel_dims(&self.output)
+    }
+
+    /// Total trainable parameters of this op.
+    pub fn param_count(&self) -> u64 {
+        self.kind.param_count(&self.input_shapes)
+    }
+
+    /// Parameters needed by the task writing tile `out`.
+    pub fn params_for_tile(&self, out: &Rect) -> u64 {
+        self.kind.params_for_tile(&self.input_shapes, out)
+    }
+
+    /// Forward FLOPs for the task writing tile `out`.
+    pub fn flops_for_tile(&self, out: &Rect) -> u64 {
+        self.kind.flops_for_tile(&self.input_shapes, out)
+    }
+
+    /// Input slices required to produce tile `out` (see
+    /// [`OpKind::input_rects`]).
+    pub fn input_rects(&self, out: &Rect) -> Vec<Option<Rect>> {
+        self.kind.input_rects(&self.input_shapes, out)
+    }
+}
+
+/// A directed acyclic operator graph (paper §3.1).
+///
+/// ```
+/// use flexflow_opgraph::{OpGraph, OpKind};
+/// use flexflow_tensor::TensorShape;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = OpGraph::new("tiny-mlp");
+/// let x = g.add_input("x", TensorShape::new(&[64, 784]));
+/// let h = g.add_op(OpKind::Linear { out_features: 256 }, &[x], "fc1")?;
+/// let r = g.add_op(OpKind::Relu, &[h], "relu1")?;
+/// let y = g.add_op(OpKind::Linear { out_features: 10 }, &[r], "fc2")?;
+/// let _ = g.add_op(OpKind::Softmax, &[y], "softmax")?;
+/// assert_eq!(g.len(), 5);
+/// assert_eq!(g.consumers(x), vec![h]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpGraph {
+    name: String,
+    nodes: Vec<OpNode>,
+    consumers: Vec<Vec<OpId>>,
+    num_layers: u32,
+}
+
+impl OpGraph {
+    /// Creates an empty graph with a model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            consumers: Vec::new(),
+            num_layers: 0,
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of parameter-sharing layers allocated so far.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers as usize
+    }
+
+    /// Adds a graph input (training data source).
+    pub fn add_input(&mut self, name: impl Into<String>, shape: TensorShape) -> OpId {
+        self.push(OpNode {
+            kind: OpKind::Input { shape },
+            name: name.into(),
+            inputs: vec![],
+            input_shapes: vec![],
+            output: shape,
+            layer: None,
+        })
+    }
+
+    /// Adds an operation in its own (fresh) parameter-sharing layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the input shapes are incompatible with
+    /// the operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input id does not refer to an earlier node.
+    pub fn add_op(
+        &mut self,
+        kind: OpKind,
+        inputs: &[OpId],
+        name: impl Into<String>,
+    ) -> Result<OpId, ShapeError> {
+        let layer = self.fresh_layer();
+        self.add_op_in_layer(kind, inputs, name, layer)
+    }
+
+    /// Allocates a new parameter-sharing layer id.
+    pub fn fresh_layer(&mut self) -> LayerId {
+        let id = LayerId(self.num_layers);
+        self.num_layers += 1;
+        id
+    }
+
+    /// Adds an operation into an existing parameter-sharing layer (used for
+    /// weight-tied unrolled RNN steps).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the input shapes are incompatible with
+    /// the operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input id is out of range or the layer was not allocated
+    /// by this graph.
+    pub fn add_op_in_layer(
+        &mut self,
+        kind: OpKind,
+        inputs: &[OpId],
+        name: impl Into<String>,
+        layer: LayerId,
+    ) -> Result<OpId, ShapeError> {
+        assert!(
+            layer.0 < self.num_layers,
+            "layer {layer} was not allocated by this graph"
+        );
+        let input_shapes: Vec<TensorShape> = inputs
+            .iter()
+            .map(|&id| {
+                assert!(id.index() < self.nodes.len(), "input {id} out of range");
+                *self.nodes[id.index()].output_shape()
+            })
+            .collect();
+        let output = kind.infer_shape(&input_shapes)?;
+        let has_params = kind.param_count(&input_shapes) > 0;
+        let id = self.push(OpNode {
+            kind,
+            name: name.into(),
+            inputs: inputs.to_vec(),
+            input_shapes,
+            output,
+            layer: has_params.then_some(layer),
+        });
+        Ok(id)
+    }
+
+    fn push(&mut self, node: OpNode) -> OpId {
+        let id = OpId(self.nodes.len() as u32);
+        for &inp in &node.inputs {
+            self.consumers[inp.index()].push(id);
+        }
+        self.nodes.push(node);
+        self.consumers.push(Vec::new());
+        id
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn op(&self, id: OpId) -> &OpNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in insertion (topological) order.
+    pub fn ops(&self) -> impl Iterator<Item = &OpNode> {
+        self.nodes.iter()
+    }
+
+    /// All ids in topological order.
+    pub fn ids(&self) -> impl Iterator<Item = OpId> {
+        (0..self.nodes.len() as u32).map(OpId)
+    }
+
+    /// Operations that consume the output of `id`.
+    pub fn consumers(&self, id: OpId) -> Vec<OpId> {
+        self.consumers[id.index()].clone()
+    }
+
+    /// All `(producer, consumer)` tensor edges.
+    pub fn edges(&self) -> Vec<(OpId, OpId)> {
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &inp in &node.inputs {
+                out.push((inp, OpId(i as u32)));
+            }
+        }
+        out
+    }
+
+    /// Total trainable parameters across all layers (each shared layer
+    /// counted once).
+    pub fn total_params(&self) -> u64 {
+        let mut per_layer: Vec<u64> = vec![0; self.num_layers as usize];
+        for node in &self.nodes {
+            if let Some(layer) = node.layer {
+                let p = node.param_count();
+                // All ops in a layer share the same parameters; record once.
+                per_layer[layer.index()] = per_layer[layer.index()].max(p);
+            }
+        }
+        per_layer.iter().sum()
+    }
+
+    /// Total forward FLOPs for one iteration at the graph's batch size.
+    pub fn total_fwd_flops(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.flops_for_tile(&Rect::full(n.output_shape())))
+            .sum()
+    }
+
+    /// All allocated layer ids.
+    pub fn layer_ids(&self) -> impl Iterator<Item = LayerId> {
+        (0..self.num_layers).map(LayerId)
+    }
+
+    /// Ops grouped by layer (ops without parameters are omitted).
+    pub fn ops_by_layer(&self) -> Vec<Vec<OpId>> {
+        let mut groups: Vec<Vec<OpId>> = vec![Vec::new(); self.num_layers as usize];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(layer) = node.layer {
+                groups[layer.index()].push(OpId(i as u32));
+            }
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::PoolType;
+
+    fn mlp() -> OpGraph {
+        let mut g = OpGraph::new("mlp");
+        let x = g.add_input("x", TensorShape::new(&[8, 32]));
+        let a = g.add_op(OpKind::Linear { out_features: 16 }, &[x], "fc1").unwrap();
+        let r = g.add_op(OpKind::Relu, &[a], "relu").unwrap();
+        let _ = g.add_op(OpKind::Linear { out_features: 4 }, &[r], "fc2").unwrap();
+        g
+    }
+
+    #[test]
+    fn insertion_order_is_topological() {
+        let g = mlp();
+        for (i, node) in g.ops().enumerate() {
+            for inp in node.inputs() {
+                assert!(inp.index() < i);
+            }
+        }
+    }
+
+    #[test]
+    fn consumers_and_edges() {
+        let g = mlp();
+        let x = OpId(0);
+        assert_eq!(g.consumers(x), vec![OpId(1)]);
+        assert_eq!(g.edges().len(), 3);
+    }
+
+    #[test]
+    fn shared_layer_counts_params_once() {
+        let mut g = OpGraph::new("tied");
+        let x1 = g.add_input("x1", TensorShape::new(&[8, 1]));
+        let x2 = g.add_input("x2", TensorShape::new(&[8, 1]));
+        let layer = g.fresh_layer();
+        let e1 = g
+            .add_op_in_layer(OpKind::Embedding { vocab: 100, dim: 8 }, &[x1], "e1", layer)
+            .unwrap();
+        let _e2 = g
+            .add_op_in_layer(OpKind::Embedding { vocab: 100, dim: 8 }, &[x2], "e2", layer)
+            .unwrap();
+        assert_eq!(g.total_params(), 800, "tied embeddings counted once");
+        assert_eq!(g.op(e1).layer(), Some(layer));
+        let groups = g.ops_by_layer();
+        assert_eq!(groups[layer.index()].len(), 2);
+    }
+
+    #[test]
+    fn param_free_ops_have_no_layer() {
+        let mut g = OpGraph::new("g");
+        let x = g.add_input("x", TensorShape::new(&[8, 4, 8, 8]));
+        let p = g
+            .add_op(
+                OpKind::Pool2d {
+                    kernel: (2, 2),
+                    stride: (2, 2),
+                    padding: (0, 0),
+                    pool: PoolType::Max,
+                },
+                &[x],
+                "pool",
+            )
+            .unwrap();
+        assert_eq!(g.op(p).layer(), None);
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let mut g = OpGraph::new("bad");
+        let x = g.add_input("x", TensorShape::new(&[8, 32]));
+        let err = g.add_op(OpKind::Add, &[x], "add").unwrap_err();
+        assert!(err.to_string().contains("add"));
+        // graph unchanged after failed insert
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn totals_are_positive_for_mlp() {
+        let g = mlp();
+        assert_eq!(g.total_params(), (32 * 16 + 16) + (16 * 4 + 4));
+        assert!(g.total_fwd_flops() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dangling_input_panics() {
+        let mut g = OpGraph::new("g");
+        let _ = g.add_op(OpKind::Relu, &[OpId(7)], "bad");
+    }
+}

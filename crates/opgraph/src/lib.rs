@@ -1,0 +1,41 @@
+//! Operator graph IR and model zoo for the FlexFlow reproduction.
+//!
+//! A DNN is described by an *operator graph* `G` (paper §3.1): each node is
+//! an operation (convolution, matrix multiplication, LSTM cell, ...) and each
+//! edge is a tensor flowing from a producer to a consumer. This crate
+//! provides:
+//!
+//! - [`OpKind`] — the operator vocabulary with shape inference, SOAP
+//!   dimension classification (Table 1), FLOP and parameter counts, and
+//!   *input-rect inference*: given the output tile a task writes, which
+//!   slice of each input it must read (the key primitive behind task-graph
+//!   construction, §5.1);
+//! - [`OpGraph`] — the graph itself, with layers as parameter-sharing groups
+//!   (Fig. 14: "operations [in a layer] share the same network parameters");
+//! - [`zoo`] — builders for the paper's benchmarks: LeNet, AlexNet,
+//!   Inception-v3, ResNet-101, RNNTC, RNNLM and NMT.
+//!
+//! # Example
+//!
+//! ```
+//! use flexflow_opgraph::zoo;
+//!
+//! let g = zoo::lenet(64);
+//! assert!(g.len() > 6);
+//! // Every non-input op consumes tensors produced earlier in the graph.
+//! for op in g.ops() {
+//!     for &inp in op.inputs() {
+//!         assert!(inp.index() < g.len());
+//!     }
+//! }
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod dot;
+pub mod graph;
+pub mod op;
+pub mod zoo;
+
+pub use graph::{LayerId, OpGraph, OpId, OpNode};
+pub use op::{DimKind, OpKind, ParallelDim, PoolType, ShapeError};

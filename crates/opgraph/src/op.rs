@@ -1,0 +1,1026 @@
+//! Operator vocabulary: shape inference, SOAP dimension classification,
+//! FLOP/parameter accounting, and input-rect inference.
+//!
+//! Layout conventions (dimension 0 is always the sample dimension):
+//!
+//! | tensor class | layout |
+//! |---|---|
+//! | 2-D image activations | `[N, C, H, W]` |
+//! | 1-D sequence activations | `[N, C, L]` |
+//! | dense activations | `[N, C]` |
+//! | token indices | `[N, 1]` (i32) |
+
+use flexflow_tensor::{DataType, Rect, TensorShape};
+use std::fmt;
+
+/// Classification of a parallelizable output dimension (paper §4, Table 1).
+///
+/// - [`DimKind::Sample`] — indexes training samples; partitioning it is data
+///   parallelism.
+/// - [`DimKind::Attribute`] — indexes positions *within* a sample (image
+///   height/width, sequence length) whose partitioning does **not** split
+///   model parameters.
+/// - [`DimKind::Parameter`] — partitioning it splits the operation's
+///   trainable parameters across tasks (e.g. output channels of a
+///   convolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DimKind {
+    /// The sample (batch) dimension.
+    Sample,
+    /// An intra-sample position dimension; no parameters are split.
+    Attribute,
+    /// A dimension whose partitioning splits model parameters.
+    Parameter,
+}
+
+impl fmt::Display for DimKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimKind::Sample => write!(f, "S"),
+            DimKind::Attribute => write!(f, "A"),
+            DimKind::Parameter => write!(f, "P"),
+        }
+    }
+}
+
+/// A parallelizable dimension of an operation's output tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParallelDim {
+    /// Index of the dimension in the output shape.
+    pub dim: usize,
+    /// SOAP classification of that dimension.
+    pub kind: DimKind,
+}
+
+/// Pooling flavour for [`OpKind::Pool2d`] / [`OpKind::Pool1d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolType {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// Error produced during shape inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// An operation received the wrong number of inputs.
+    Arity {
+        /// Operation description.
+        op: String,
+        /// Expected input count (or minimum for variadic ops).
+        expected: usize,
+        /// Actual input count.
+        got: usize,
+    },
+    /// An input tensor's shape is incompatible with the operation.
+    Incompatible {
+        /// Operation description.
+        op: String,
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::Arity { op, expected, got } => {
+                write!(f, "{op}: expected {expected} inputs, got {got}")
+            }
+            ShapeError::Incompatible { op, reason } => write!(f, "{op}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// The operator vocabulary.
+///
+/// Every operator produces exactly one output tensor; operators with several
+/// logical outputs (e.g. LSTM cells carrying `(h, c)`) are modelled by their
+/// dominant output — the recurrence dependency structure and the byte volume
+/// are what the simulator consumes, and both are preserved.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Graph source producing a tensor of the given shape (training data).
+    Input {
+        /// Shape of the produced tensor.
+        shape: TensorShape,
+    },
+    /// 2-D convolution over `[N, C, H, W]`.
+    Conv2d {
+        /// Number of output channels (filters).
+        out_channels: u64,
+        /// Kernel size `(kh, kw)`.
+        kernel: (u64, u64),
+        /// Stride `(sh, sw)`.
+        stride: (u64, u64),
+        /// Zero padding `(ph, pw)`.
+        padding: (u64, u64),
+    },
+    /// 2-D pooling over `[N, C, H, W]`.
+    Pool2d {
+        /// Kernel size `(kh, kw)`.
+        kernel: (u64, u64),
+        /// Stride `(sh, sw)`.
+        stride: (u64, u64),
+        /// Zero padding `(ph, pw)`.
+        padding: (u64, u64),
+        /// Max or average pooling.
+        pool: PoolType,
+    },
+    /// 1-D convolution over `[N, C, L]` (Table 1's example operator).
+    Conv1d {
+        /// Number of output channels.
+        out_channels: u64,
+        /// Kernel length.
+        kernel: u64,
+        /// Stride.
+        stride: u64,
+        /// Zero padding.
+        padding: u64,
+    },
+    /// 1-D pooling over `[N, C, L]`.
+    Pool1d {
+        /// Kernel length.
+        kernel: u64,
+        /// Stride.
+        stride: u64,
+        /// Zero padding.
+        padding: u64,
+        /// Max or average pooling.
+        pool: PoolType,
+    },
+    /// Fully-connected layer `[N, Cin] -> [N, out_features]` (the paper's
+    /// matrix multiplication `Y = W X`, Fig. 4).
+    Linear {
+        /// Number of output features.
+        out_features: u64,
+    },
+    /// Embedding lookup `[N, 1] (i32) -> [N, dim]`.
+    Embedding {
+        /// Vocabulary size (number of table rows).
+        vocab: u64,
+        /// Embedding width.
+        dim: u64,
+    },
+    /// One LSTM time step: inputs `x [N, I]` and `h_prev [N, H]`, output
+    /// `h [N, H]`. The cell state `c` stays on the producing device and
+    /// shares `h`'s partitioning, so it is not modelled as a separate edge.
+    LstmCell {
+        /// Hidden size `H`.
+        hidden: u64,
+    },
+    /// Concatenation along `axis` (used by Inception branches).
+    Concat {
+        /// Axis along which inputs are concatenated.
+        axis: usize,
+    },
+    /// Element-wise addition of two tensors of equal shape (residual links).
+    Add,
+    /// Element-wise ReLU.
+    Relu,
+    /// Element-wise tanh.
+    Tanh,
+    /// Batch normalization over `[N, C, H, W]`; parameters are the per-channel
+    /// scale and shift.
+    BatchNorm,
+    /// Softmax over the channel dimension of `[N, C]`.
+    Softmax,
+    /// Flatten `[N, ...] -> [N, prod(...)]`.
+    Flatten,
+    /// Attention over encoder states: inputs are the decoder hidden state
+    /// `[N, H]` followed by `L` encoder hidden states `[N, H]`; output is the
+    /// attended context `[N, H]` (Bahdanau-style, as in the paper's NMT).
+    Attention {
+        /// Hidden size `H`.
+        hidden: u64,
+    },
+}
+
+impl OpKind {
+    /// A short lowercase name for the operator family.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Input { .. } => "input",
+            OpKind::Conv2d { .. } => "conv2d",
+            OpKind::Pool2d { .. } => "pool2d",
+            OpKind::Conv1d { .. } => "conv1d",
+            OpKind::Pool1d { .. } => "pool1d",
+            OpKind::Linear { .. } => "linear",
+            OpKind::Embedding { .. } => "embedding",
+            OpKind::LstmCell { .. } => "lstm",
+            OpKind::Concat { .. } => "concat",
+            OpKind::Add => "add",
+            OpKind::Relu => "relu",
+            OpKind::Tanh => "tanh",
+            OpKind::BatchNorm => "batchnorm",
+            OpKind::Softmax => "softmax",
+            OpKind::Flatten => "flatten",
+            OpKind::Attention { .. } => "attention",
+        }
+    }
+
+    fn arity_err(&self, expected: usize, got: usize) -> ShapeError {
+        ShapeError::Arity {
+            op: self.name().to_string(),
+            expected,
+            got,
+        }
+    }
+
+    fn incompat(&self, reason: impl Into<String>) -> ShapeError {
+        ShapeError::Incompatible {
+            op: self.name().to_string(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Infers the output shape from the input shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the input count or input shapes are
+    /// incompatible with the operator.
+    pub fn infer_shape(&self, inputs: &[TensorShape]) -> Result<TensorShape, ShapeError> {
+        match self {
+            OpKind::Input { shape } => {
+                if !inputs.is_empty() {
+                    return Err(self.arity_err(0, inputs.len()));
+                }
+                Ok(*shape)
+            }
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
+                let x = self.only_input(inputs, 4)?;
+                let (h, w) = (x.dim(2), x.dim(3));
+                let ho = conv_extent(h, kernel.0, stride.0, padding.0)
+                    .ok_or_else(|| self.incompat(format!("kernel {kernel:?} too large for H={h}")))?;
+                let wo = conv_extent(w, kernel.1, stride.1, padding.1)
+                    .ok_or_else(|| self.incompat(format!("kernel {kernel:?} too large for W={w}")))?;
+                Ok(TensorShape::new(&[x.dim(0), *out_channels, ho, wo]))
+            }
+            OpKind::Pool2d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let x = self.only_input(inputs, 4)?;
+                let (h, w) = (x.dim(2), x.dim(3));
+                let ho = conv_extent(h, kernel.0, stride.0, padding.0)
+                    .ok_or_else(|| self.incompat(format!("kernel {kernel:?} too large for H={h}")))?;
+                let wo = conv_extent(w, kernel.1, stride.1, padding.1)
+                    .ok_or_else(|| self.incompat(format!("kernel {kernel:?} too large for W={w}")))?;
+                Ok(TensorShape::new(&[x.dim(0), x.dim(1), ho, wo]))
+            }
+            OpKind::Conv1d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
+                let x = self.only_input(inputs, 3)?;
+                let lo = conv_extent(x.dim(2), *kernel, *stride, *padding)
+                    .ok_or_else(|| self.incompat("kernel too large for L"))?;
+                Ok(TensorShape::new(&[x.dim(0), *out_channels, lo]))
+            }
+            OpKind::Pool1d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let x = self.only_input(inputs, 3)?;
+                let lo = conv_extent(x.dim(2), *kernel, *stride, *padding)
+                    .ok_or_else(|| self.incompat("kernel too large for L"))?;
+                Ok(TensorShape::new(&[x.dim(0), x.dim(1), lo]))
+            }
+            OpKind::Linear { out_features } => {
+                let x = self.only_input(inputs, 2)?;
+                Ok(TensorShape::new(&[x.dim(0), *out_features]))
+            }
+            OpKind::Embedding { dim, .. } => {
+                let x = self.only_input(inputs, 2)?;
+                Ok(TensorShape::new(&[x.dim(0), *dim]))
+            }
+            OpKind::LstmCell { hidden } => {
+                if inputs.len() != 2 {
+                    return Err(self.arity_err(2, inputs.len()));
+                }
+                let (x, h) = (&inputs[0], &inputs[1]);
+                if x.ndims() != 2 || h.ndims() != 2 {
+                    return Err(self.incompat("LSTM inputs must be rank-2"));
+                }
+                if h.dim(1) != *hidden {
+                    return Err(self.incompat(format!(
+                        "h_prev width {} does not match hidden {hidden}",
+                        h.dim(1)
+                    )));
+                }
+                if x.dim(0) != h.dim(0) {
+                    return Err(self.incompat("batch mismatch between x and h_prev"));
+                }
+                Ok(TensorShape::new(&[x.dim(0), *hidden]))
+            }
+            OpKind::Concat { axis } => {
+                if inputs.len() < 2 {
+                    return Err(self.arity_err(2, inputs.len()));
+                }
+                let first = inputs[0];
+                if *axis == 0 {
+                    return Err(self.incompat("cannot concatenate along the sample dimension"));
+                }
+                if *axis >= first.ndims() {
+                    return Err(self.incompat(format!("axis {axis} out of range")));
+                }
+                let mut total = 0;
+                for s in inputs {
+                    if s.ndims() != first.ndims() {
+                        return Err(self.incompat("rank mismatch between concat inputs"));
+                    }
+                    for d in 0..s.ndims() {
+                        if d != *axis && s.dim(d) != first.dim(d) {
+                            return Err(self.incompat(format!(
+                                "dimension {d} mismatch: {} vs {}",
+                                s.dim(d),
+                                first.dim(d)
+                            )));
+                        }
+                    }
+                    total += s.dim(*axis);
+                }
+                Ok(first.with_dim(*axis, total))
+            }
+            OpKind::Add => {
+                if inputs.len() != 2 {
+                    return Err(self.arity_err(2, inputs.len()));
+                }
+                if inputs[0] != inputs[1] {
+                    return Err(self.incompat("operand shapes differ"));
+                }
+                Ok(inputs[0])
+            }
+            OpKind::Relu | OpKind::Tanh | OpKind::BatchNorm => {
+                if inputs.len() != 1 {
+                    return Err(self.arity_err(1, inputs.len()));
+                }
+                Ok(inputs[0])
+            }
+            OpKind::Softmax => {
+                let x = self.only_input(inputs, 2)?;
+                Ok(x)
+            }
+            OpKind::Flatten => {
+                if inputs.len() != 1 {
+                    return Err(self.arity_err(1, inputs.len()));
+                }
+                let x = inputs[0];
+                let rest: u64 = x.dims()[1..].iter().product();
+                Ok(TensorShape::new(&[x.dim(0), rest]))
+            }
+            OpKind::Attention { hidden } => {
+                if inputs.len() < 2 {
+                    return Err(self.arity_err(2, inputs.len()));
+                }
+                for s in inputs {
+                    if s.ndims() != 2 || s.dim(1) != *hidden {
+                        return Err(self.incompat(format!(
+                            "attention inputs must be [N, {hidden}], got {s}"
+                        )));
+                    }
+                }
+                Ok(TensorShape::new(&[inputs[0].dim(0), *hidden]))
+            }
+        }
+    }
+
+    fn only_input(
+        &self,
+        inputs: &[TensorShape],
+        want_rank: usize,
+    ) -> Result<TensorShape, ShapeError> {
+        if inputs.len() != 1 {
+            return Err(self.arity_err(1, inputs.len()));
+        }
+        let x = inputs[0];
+        if x.ndims() != want_rank {
+            return Err(self.incompat(format!("expected rank-{want_rank} input, got {x}")));
+        }
+        Ok(x)
+    }
+
+    /// The parallelizable dimensions of the output tensor and their SOAP
+    /// classification (paper Table 1).
+    ///
+    /// The sample dimension (dim 0) is always parallelizable. Dimensions not
+    /// listed here must keep a degree of 1 in every configuration.
+    pub fn parallel_dims(&self, output: &TensorShape) -> Vec<ParallelDim> {
+        use DimKind::*;
+        let sample = ParallelDim {
+            dim: 0,
+            kind: Sample,
+        };
+        match self {
+            // Training data can only be split by sample.
+            OpKind::Input { .. } => vec![sample],
+            // Table 1: 2D convolution — S: sample; A: height, width; P: channel.
+            OpKind::Conv2d { .. } => vec![
+                sample,
+                ParallelDim { dim: 1, kind: Parameter },
+                ParallelDim { dim: 2, kind: Attribute },
+                ParallelDim { dim: 3, kind: Attribute },
+            ],
+            // Table 1: pooling has no parameters — channel is an attribute.
+            OpKind::Pool2d { .. } => vec![
+                sample,
+                ParallelDim { dim: 1, kind: Attribute },
+                ParallelDim { dim: 2, kind: Attribute },
+                ParallelDim { dim: 3, kind: Attribute },
+            ],
+            // Table 1: 1D convolution — S: sample; A: length; P: channel.
+            OpKind::Conv1d { .. } => vec![
+                sample,
+                ParallelDim { dim: 1, kind: Parameter },
+                ParallelDim { dim: 2, kind: Attribute },
+            ],
+            // Table 1: 1D pooling — S: sample; A: length, channel.
+            OpKind::Pool1d { .. } => vec![
+                sample,
+                ParallelDim { dim: 1, kind: Attribute },
+                ParallelDim { dim: 2, kind: Attribute },
+            ],
+            // Table 1: matrix multiplication — S: sample; P: channel.
+            OpKind::Linear { .. } => vec![sample, ParallelDim { dim: 1, kind: Parameter }],
+            // Splitting the embedding width splits the table rows' columns.
+            OpKind::Embedding { .. } => vec![sample, ParallelDim { dim: 1, kind: Parameter }],
+            // Splitting the hidden dimension splits the 4H x (I + H) weights.
+            OpKind::LstmCell { .. } => vec![sample, ParallelDim { dim: 1, kind: Parameter }],
+            OpKind::Concat { .. } | OpKind::Relu | OpKind::Tanh | OpKind::Add => {
+                let mut dims = vec![sample];
+                for d in 1..output.ndims() {
+                    dims.push(ParallelDim { dim: d, kind: Attribute });
+                }
+                dims
+            }
+            // Per-channel scale/shift: channel is a parameter dimension.
+            OpKind::BatchNorm => {
+                let mut dims = vec![sample, ParallelDim { dim: 1, kind: Parameter }];
+                for d in 2..output.ndims() {
+                    dims.push(ParallelDim { dim: d, kind: Attribute });
+                }
+                dims
+            }
+            // Splitting the class dimension is legal (each tile recomputes the
+            // normalizer from the full input row) but communication-heavy.
+            OpKind::Softmax => vec![sample, ParallelDim { dim: 1, kind: Attribute }],
+            OpKind::Flatten => vec![sample],
+            OpKind::Attention { .. } => vec![sample, ParallelDim { dim: 1, kind: Parameter }],
+        }
+    }
+
+    /// Total number of trainable parameters of the operation.
+    pub fn param_count(&self, input_shapes: &[TensorShape]) -> u64 {
+        match self {
+            OpKind::Conv2d {
+                out_channels,
+                kernel,
+                ..
+            } => {
+                let cin = input_shapes[0].dim(1);
+                out_channels * cin * kernel.0 * kernel.1 + out_channels
+            }
+            OpKind::Conv1d {
+                out_channels,
+                kernel,
+                ..
+            } => {
+                let cin = input_shapes[0].dim(1);
+                out_channels * cin * kernel + out_channels
+            }
+            OpKind::Linear { out_features } => {
+                let cin = input_shapes[0].dim(1);
+                out_features * cin + out_features
+            }
+            OpKind::Embedding { vocab, dim } => vocab * dim,
+            OpKind::LstmCell { hidden } => {
+                let i = input_shapes[0].dim(1);
+                4 * hidden * (i + hidden) + 4 * hidden
+            }
+            OpKind::BatchNorm => 2 * input_shapes[0].dim(1),
+            OpKind::Attention { hidden } => 2 * hidden * hidden,
+            _ => 0,
+        }
+    }
+
+    /// Number of parameters a task needs when it computes the output tile
+    /// `out` (used for parameter-synchronization accounting: tasks whose
+    /// parameter-dimension intervals coincide share the same shard).
+    pub fn params_for_tile(&self, input_shapes: &[TensorShape], out: &Rect) -> u64 {
+        match self {
+            OpKind::Conv2d { kernel, .. } => {
+                let cin = input_shapes[0].dim(1);
+                let co = out.extent(1);
+                co * cin * kernel.0 * kernel.1 + co
+            }
+            OpKind::Conv1d { kernel, .. } => {
+                let cin = input_shapes[0].dim(1);
+                let co = out.extent(1);
+                co * cin * kernel + co
+            }
+            OpKind::Linear { .. } => {
+                let cin = input_shapes[0].dim(1);
+                let co = out.extent(1);
+                co * cin + co
+            }
+            OpKind::Embedding { vocab, .. } => vocab * out.extent(1),
+            OpKind::LstmCell { hidden } => {
+                let i = input_shapes[0].dim(1);
+                let hr = out.extent(1);
+                4 * hr * (i + hidden) + 4 * hr
+            }
+            OpKind::BatchNorm => 2 * out.extent(1),
+            OpKind::Attention { hidden } => 2 * hidden * out.extent(1),
+            _ => 0,
+        }
+    }
+
+    /// Forward-pass floating point operations required to compute the output
+    /// tile `out`.
+    ///
+    /// The counts follow the usual multiply-accumulate conventions (2 FLOPs
+    /// per MAC). Backward-pass work is applied as a multiplier by the cost
+    /// model, matching the paper's per-iteration accounting.
+    pub fn flops_for_tile(&self, input_shapes: &[TensorShape], out: &Rect) -> u64 {
+        let outvol = out.volume();
+        match self {
+            OpKind::Input { .. } => 0,
+            OpKind::Conv2d { kernel, .. } => {
+                let cin = input_shapes[0].dim(1);
+                2 * outvol * cin * kernel.0 * kernel.1
+            }
+            OpKind::Conv1d { kernel, .. } => {
+                let cin = input_shapes[0].dim(1);
+                2 * outvol * cin * kernel
+            }
+            OpKind::Pool2d { kernel, .. } => outvol * kernel.0 * kernel.1,
+            OpKind::Pool1d { kernel, .. } => outvol * kernel,
+            OpKind::Linear { .. } => 2 * outvol * input_shapes[0].dim(1),
+            // Table lookup: one read per output element.
+            OpKind::Embedding { .. } => outvol,
+            OpKind::LstmCell { hidden } => {
+                // Each output unit takes 4 gate rows of (I + H) MACs plus
+                // a handful of element-wise ops.
+                let i = input_shapes[0].dim(1);
+                let n = out.extent(0);
+                let hr = out.extent(1);
+                2 * n * 4 * hr * (i + hidden) + 10 * n * hr
+            }
+            OpKind::Concat { .. } | OpKind::Flatten => outvol,
+            OpKind::Add | OpKind::Relu => outvol,
+            OpKind::Tanh => 4 * outvol,
+            OpKind::BatchNorm => 4 * outvol,
+            // exp + sum + divide over the full row for each tile.
+            OpKind::Softmax => {
+                let n = out.extent(0);
+                let c = input_shapes[0].dim(1);
+                5 * n * c
+            }
+            OpKind::Attention { hidden } => {
+                // score each encoder state (L x H MACs), softmax, weighted sum,
+                // and the output projection rows for this tile.
+                let l = (input_shapes.len() - 1) as u64;
+                let n = out.extent(0);
+                let hr = out.extent(1);
+                2 * n * l * hidden + 2 * n * hr * hidden + 4 * n * l
+            }
+        }
+    }
+
+    /// For a task writing output tile `out`, the slice of each input tensor
+    /// it must read. Entry `i` corresponds to input `i`; `None` means the
+    /// task reads nothing from that input (possible for
+    /// [`OpKind::Concat`]).
+    ///
+    /// This is the primitive behind task-graph construction (paper §5.1,
+    /// step 2): producer/consumer task pairs with intersecting rects get a
+    /// dependency, and a communication task when placed on different devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not a valid tile of the operation's output shape
+    /// inferred from `input_shapes`.
+    pub fn input_rects(
+        &self,
+        input_shapes: &[TensorShape],
+        out: &Rect,
+    ) -> Vec<Option<Rect>> {
+        match self {
+            OpKind::Input { .. } => vec![],
+            OpKind::Conv2d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let x = input_shapes[0];
+                let (h_lo, h_hi) =
+                    window(out.lo()[2], out.hi()[2], kernel.0, stride.0, padding.0, x.dim(2));
+                let (w_lo, w_hi) =
+                    window(out.lo()[3], out.hi()[3], kernel.1, stride.1, padding.1, x.dim(3));
+                vec![Some(Rect::new(
+                    &[out.lo()[0], 0, h_lo, w_lo],
+                    &[out.hi()[0], x.dim(1), h_hi, w_hi],
+                ))]
+            }
+            OpKind::Pool2d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let x = input_shapes[0];
+                let (h_lo, h_hi) =
+                    window(out.lo()[2], out.hi()[2], kernel.0, stride.0, padding.0, x.dim(2));
+                let (w_lo, w_hi) =
+                    window(out.lo()[3], out.hi()[3], kernel.1, stride.1, padding.1, x.dim(3));
+                vec![Some(Rect::new(
+                    &[out.lo()[0], out.lo()[1], h_lo, w_lo],
+                    &[out.hi()[0], out.hi()[1], h_hi, w_hi],
+                ))]
+            }
+            OpKind::Conv1d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let x = input_shapes[0];
+                let (l_lo, l_hi) =
+                    window(out.lo()[2], out.hi()[2], *kernel, *stride, *padding, x.dim(2));
+                vec![Some(Rect::new(
+                    &[out.lo()[0], 0, l_lo],
+                    &[out.hi()[0], x.dim(1), l_hi],
+                ))]
+            }
+            OpKind::Pool1d {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let x = input_shapes[0];
+                let (l_lo, l_hi) =
+                    window(out.lo()[2], out.hi()[2], *kernel, *stride, *padding, x.dim(2));
+                vec![Some(Rect::new(
+                    &[out.lo()[0], out.lo()[1], l_lo],
+                    &[out.hi()[0], out.hi()[1], l_hi],
+                ))]
+            }
+            // Reduction over the full input row.
+            OpKind::Linear { .. } => {
+                let x = input_shapes[0];
+                vec![Some(Rect::new(
+                    &[out.lo()[0], 0],
+                    &[out.hi()[0], x.dim(1)],
+                ))]
+            }
+            OpKind::Embedding { .. } => {
+                let x = input_shapes[0];
+                vec![Some(Rect::new(
+                    &[out.lo()[0], 0],
+                    &[out.hi()[0], x.dim(1)],
+                ))]
+            }
+            OpKind::LstmCell { hidden } => {
+                let x = input_shapes[0];
+                vec![
+                    // Gates mix the whole input vector...
+                    Some(Rect::new(&[out.lo()[0], 0], &[out.hi()[0], x.dim(1)])),
+                    // ...and the whole previous hidden state.
+                    Some(Rect::new(&[out.lo()[0], 0], &[out.hi()[0], *hidden])),
+                ]
+            }
+            OpKind::Concat { axis } => {
+                let mut rects = Vec::with_capacity(input_shapes.len());
+                let mut offset = 0u64;
+                for s in input_shapes {
+                    let span = s.dim(*axis);
+                    let lo = out.lo()[*axis].max(offset);
+                    let hi = out.hi()[*axis].min(offset + span);
+                    if lo < hi {
+                        let r = out.with_dim(*axis, lo - offset, hi - offset);
+                        rects.push(Some(r));
+                    } else {
+                        rects.push(None);
+                    }
+                    offset += span;
+                }
+                rects
+            }
+            OpKind::Add => vec![Some(*out), Some(*out)],
+            OpKind::Relu | OpKind::Tanh | OpKind::BatchNorm => vec![Some(*out)],
+            // Softmax needs the full row to compute the normalizer.
+            OpKind::Softmax => {
+                let x = input_shapes[0];
+                vec![Some(Rect::new(
+                    &[out.lo()[0], 0],
+                    &[out.hi()[0], x.dim(1)],
+                ))]
+            }
+            // Flatten mixes all non-sample dims; read them fully.
+            OpKind::Flatten => {
+                let x = input_shapes[0];
+                let mut lo = vec![out.lo()[0]];
+                let mut hi = vec![out.hi()[0]];
+                for d in 1..x.ndims() {
+                    lo.push(0);
+                    hi.push(x.dim(d));
+                }
+                vec![Some(Rect::new(&lo, &hi))]
+            }
+            OpKind::Attention { hidden } => {
+                // The scores need every encoder state and the full decoder
+                // hidden vector for the samples in this tile.
+                input_shapes
+                    .iter()
+                    .map(|_| Some(Rect::new(&[out.lo()[0], 0], &[out.hi()[0], *hidden])))
+                    .collect()
+            }
+        }
+    }
+
+    /// Whether the operation owns trainable parameters.
+    pub fn has_params(&self, input_shapes: &[TensorShape]) -> bool {
+        self.param_count(input_shapes) > 0
+    }
+
+    /// Output element type.
+    pub fn output_dtype(&self) -> DataType {
+        match self {
+            OpKind::Input { shape } => shape.dtype(),
+            _ => DataType::F32,
+        }
+    }
+}
+
+/// Output extent of a convolution/pooling window.
+fn conv_extent(input: u64, kernel: u64, stride: u64, padding: u64) -> Option<u64> {
+    let padded = input + 2 * padding;
+    if padded < kernel || stride == 0 {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+/// Input interval `[lo, hi)` read by output interval `[out_lo, out_hi)` of a
+/// strided window op, clamped to the input extent.
+fn window(out_lo: u64, out_hi: u64, kernel: u64, stride: u64, padding: u64, input: u64) -> (u64, u64) {
+    debug_assert!(out_lo < out_hi);
+    let lo = (out_lo * stride).saturating_sub(padding);
+    let hi = ((out_hi - 1) * stride + kernel).saturating_sub(padding).min(input);
+    (lo.min(input - 1), hi.max(lo + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv() -> OpKind {
+        OpKind::Conv2d {
+            out_channels: 16,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: (1, 1),
+        }
+    }
+
+    #[test]
+    fn conv2d_shape_inference_same_padding() {
+        let out = conv()
+            .infer_shape(&[TensorShape::new(&[8, 4, 28, 28])])
+            .unwrap();
+        assert_eq!(out.dims(), &[8, 16, 28, 28]);
+    }
+
+    #[test]
+    fn conv2d_strided_shape() {
+        let op = OpKind::Conv2d {
+            out_channels: 96,
+            kernel: (11, 11),
+            stride: (4, 4),
+            padding: (2, 2),
+        };
+        let out = op
+            .infer_shape(&[TensorShape::new(&[256, 3, 224, 224])])
+            .unwrap();
+        // AlexNet conv1: (224 + 4 - 11)/4 + 1 = 55
+        assert_eq!(out.dims(), &[256, 96, 55, 55]);
+    }
+
+    #[test]
+    fn pool_shape() {
+        let op = OpKind::Pool2d {
+            kernel: (2, 2),
+            stride: (2, 2),
+            padding: (0, 0),
+            pool: PoolType::Max,
+        };
+        let out = op
+            .infer_shape(&[TensorShape::new(&[8, 16, 28, 28])])
+            .unwrap();
+        assert_eq!(out.dims(), &[8, 16, 14, 14]);
+    }
+
+    #[test]
+    fn linear_and_softmax_shapes() {
+        let lin = OpKind::Linear { out_features: 10 };
+        let out = lin.infer_shape(&[TensorShape::new(&[8, 84])]).unwrap();
+        assert_eq!(out.dims(), &[8, 10]);
+        let sm = OpKind::Softmax;
+        assert_eq!(sm.infer_shape(&[out]).unwrap().dims(), &[8, 10]);
+    }
+
+    #[test]
+    fn lstm_shape_and_mismatch() {
+        let op = OpKind::LstmCell { hidden: 32 };
+        let x = TensorShape::new(&[4, 16]);
+        let h = TensorShape::new(&[4, 32]);
+        assert_eq!(op.infer_shape(&[x, h]).unwrap().dims(), &[4, 32]);
+        let bad_h = TensorShape::new(&[4, 31]);
+        assert!(op.infer_shape(&[x, bad_h]).is_err());
+    }
+
+    #[test]
+    fn concat_shape_and_axis_checks() {
+        let op = OpKind::Concat { axis: 1 };
+        let a = TensorShape::new(&[8, 64, 35, 35]);
+        let b = TensorShape::new(&[8, 96, 35, 35]);
+        assert_eq!(op.infer_shape(&[a, b]).unwrap().dims(), &[8, 160, 35, 35]);
+        let bad = OpKind::Concat { axis: 0 };
+        assert!(bad.infer_shape(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn table1_parallel_dims() {
+        // Reproduces paper Table 1 row by row.
+        let n = TensorShape::new(&[8, 16, 32]);
+        let pool1d = OpKind::Pool1d {
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+            pool: PoolType::Max,
+        };
+        let dims = pool1d.parallel_dims(&n);
+        assert!(dims
+            .iter()
+            .all(|p| p.kind != DimKind::Parameter), "1D pooling has no parameter dims");
+
+        let conv1d = OpKind::Conv1d {
+            out_channels: 16,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let dims = conv1d.parallel_dims(&n);
+        assert_eq!(dims[1].kind, DimKind::Parameter, "conv channel is P");
+        assert_eq!(dims[2].kind, DimKind::Attribute, "conv length is A");
+
+        let c2 = conv().parallel_dims(&TensorShape::new(&[8, 16, 28, 28]));
+        assert_eq!(c2[1].kind, DimKind::Parameter);
+        assert_eq!(c2[2].kind, DimKind::Attribute);
+        assert_eq!(c2[3].kind, DimKind::Attribute);
+
+        let mm = OpKind::Linear { out_features: 4 }.parallel_dims(&TensorShape::new(&[8, 4]));
+        assert_eq!(mm.len(), 2);
+        assert_eq!(mm[0].kind, DimKind::Sample);
+        assert_eq!(mm[1].kind, DimKind::Parameter);
+    }
+
+    #[test]
+    fn conv_input_window_interior() {
+        let op = conv();
+        let x = TensorShape::new(&[8, 4, 28, 28]);
+        // Interior tile rows [8,16) with 3x3 kernel, pad 1 -> reads rows [7,17).
+        let out = Rect::new(&[0, 0, 8, 8], &[8, 16, 16, 16]);
+        let rects = op.input_rects(&[x], &out);
+        let r = rects[0].unwrap();
+        assert_eq!(r.lo(), &[0, 0, 7, 7]);
+        assert_eq!(r.hi(), &[8, 4, 17, 17]);
+    }
+
+    #[test]
+    fn conv_input_window_clamps_at_borders() {
+        let op = conv();
+        let x = TensorShape::new(&[8, 4, 28, 28]);
+        let out = Rect::new(&[0, 0, 0, 0], &[8, 16, 14, 28]);
+        let r = op.input_rects(&[x], &out)[0].unwrap();
+        assert_eq!(r.lo()[2], 0, "padding clamps to 0");
+        assert_eq!(r.hi()[2], 15);
+        assert_eq!(r.hi()[3], 28, "clamped to input extent");
+    }
+
+    #[test]
+    fn concat_input_rects_route_to_owners() {
+        let op = OpKind::Concat { axis: 1 };
+        let a = TensorShape::new(&[8, 64, 35, 35]);
+        let b = TensorShape::new(&[8, 96, 35, 35]);
+        // Tile covering channels [0, 80): 64 from a, 16 from b.
+        let out = Rect::new(&[0, 0, 0, 0], &[8, 80, 35, 35]);
+        let rects = op.input_rects(&[a, b], &out);
+        assert_eq!(rects[0].unwrap().extent(1), 64);
+        assert_eq!(rects[1].unwrap().extent(1), 16);
+        // Tile fully inside a: b contributes nothing.
+        let out = Rect::new(&[0, 0, 0, 0], &[8, 32, 35, 35]);
+        let rects = op.input_rects(&[a, b], &out);
+        assert!(rects[0].is_some());
+        assert!(rects[1].is_none());
+    }
+
+    #[test]
+    fn linear_reads_full_reduction_dim() {
+        let op = OpKind::Linear { out_features: 100 };
+        let x = TensorShape::new(&[64, 4096]);
+        let out = Rect::new(&[0, 25], &[32, 50]);
+        let r = op.input_rects(&[x], &out)[0].unwrap();
+        assert_eq!(r.lo(), &[0, 0]);
+        assert_eq!(r.hi(), &[32, 4096]);
+    }
+
+    #[test]
+    fn param_counts() {
+        let x = [TensorShape::new(&[8, 4, 28, 28])];
+        assert_eq!(conv().param_count(&x), 16 * 4 * 9 + 16);
+        let lin = OpKind::Linear { out_features: 10 };
+        assert_eq!(lin.param_count(&[TensorShape::new(&[8, 84])]), 84 * 10 + 10);
+        let emb = OpKind::Embedding { vocab: 1000, dim: 64 };
+        assert_eq!(emb.param_count(&[TensorShape::new(&[8, 1])]), 64000);
+        let lstm = OpKind::LstmCell { hidden: 32 };
+        let xs = [TensorShape::new(&[4, 16]), TensorShape::new(&[4, 32])];
+        assert_eq!(lstm.param_count(&xs), 4 * 32 * 48 + 128);
+        assert!(!OpKind::Relu.has_params(&[TensorShape::new(&[4, 4])]));
+    }
+
+    #[test]
+    fn tile_params_sum_to_total_under_parameter_split() {
+        let x = [TensorShape::new(&[8, 4, 28, 28])];
+        let op = conv();
+        let out_shape = op.infer_shape(&x).unwrap();
+        let full = Rect::full(&out_shape);
+        let total = op.param_count(&x);
+        // split channel dim into 4: shards partition the parameters
+        let mut sum = 0;
+        for k in 0..4 {
+            let tile = full.with_dim(1, k * 4, (k + 1) * 4);
+            sum += op.params_for_tile(&x, &tile);
+        }
+        assert_eq!(sum, total);
+        // sample split replicates parameters instead
+        let half = full.with_dim(0, 0, 4);
+        assert_eq!(op.params_for_tile(&x, &half), total);
+    }
+
+    #[test]
+    fn flops_scale_with_tile_volume() {
+        let x = [TensorShape::new(&[8, 4, 28, 28])];
+        let op = conv();
+        let out_shape = op.infer_shape(&x).unwrap();
+        let full = Rect::full(&out_shape);
+        let half = full.with_dim(0, 0, 4);
+        assert_eq!(op.flops_for_tile(&x, &full), 2 * op.flops_for_tile(&x, &half));
+    }
+
+    #[test]
+    fn shape_error_display() {
+        let err = OpKind::Add
+            .infer_shape(&[TensorShape::new(&[4, 4])])
+            .unwrap_err();
+        assert!(err.to_string().contains("add"));
+        let err = conv().infer_shape(&[]).unwrap_err();
+        assert!(err.to_string().contains("expected 1 inputs"));
+    }
+
+    #[test]
+    fn attention_shapes_and_rects() {
+        let op = OpKind::Attention { hidden: 64 };
+        let dec = TensorShape::new(&[8, 64]);
+        let encs: Vec<TensorShape> = (0..5).map(|_| TensorShape::new(&[8, 64])).collect();
+        let mut inputs = vec![dec];
+        inputs.extend(encs);
+        let out = op.infer_shape(&inputs).unwrap();
+        assert_eq!(out.dims(), &[8, 64]);
+        let tile = Rect::new(&[0, 0], &[4, 32]);
+        let rects = op.input_rects(&inputs, &tile);
+        assert_eq!(rects.len(), 6);
+        for r in rects {
+            let r = r.unwrap();
+            assert_eq!(r.lo(), &[0, 0]);
+            assert_eq!(r.hi(), &[4, 64]);
+        }
+    }
+}

@@ -1,0 +1,794 @@
+//! Model zoo: builders for the paper's DNN benchmarks (Table 3).
+//!
+//! | model | paper description |
+//! |---|---|
+//! | [`lenet`] | 6-layer CNN used for the §8.4 optimality study |
+//! | [`alexnet`] | 12-layer CNN (synthetic data, batch 256) |
+//! | [`inception_v3`] | 102-layer CNN with Inception modules |
+//! | [`resnet101`] | 101-layer residual CNN with shortcut connections |
+//! | [`rnntc`] | 4 LSTM layers (hidden 1024) + softmax, unroll 40 |
+//! | [`rnnlm`] | 2 LSTM layers (hidden 2048) + per-step softmax, unroll 40 |
+//! | [`nmt`] | 2+2 encoder/decoder LSTM layers (hidden 1024) + attention + softmax |
+//!
+//! Modelling notes (documented substitutions):
+//!
+//! - Activations (ReLU) after convolutions/dense layers are folded into the
+//!   producing op, as the FlexFlow runtime does (its operators carry an
+//!   `activation` attribute); standalone [`crate::OpKind::Relu`] remains in
+//!   the vocabulary and in residual blocks where it follows an `Add`.
+//! - Batch-normalization is folded into the preceding convolution
+//!   (inference-style folding), a standard practice in performance studies;
+//!   [`crate::OpKind::BatchNorm`] remains available.
+//! - Graph `Input` ops model the training-data loader: they cost nothing and
+//!   their outgoing edges never generate communication (each device reads
+//!   its shard directly from the host), so they are excluded from the
+//!   search space.
+
+use crate::graph::{LayerId, OpGraph, OpId};
+use crate::op::{OpKind, PoolType};
+use flexflow_tensor::{DataType, TensorShape};
+
+/// Metric used by a model's reported accuracy in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Top-1 accuracy, higher is better.
+    Top1Accuracy,
+    /// Word-level perplexity, lower is better.
+    Perplexity,
+    /// BLEU score, higher is better.
+    Bleu,
+    /// No published metric (synthetic benchmark).
+    None,
+}
+
+/// Static metadata about a zoo model, reproducing the columns of Table 3.
+#[derive(Debug, Clone)]
+pub struct ModelMeta {
+    /// Model name, matching [`OpGraph::name`].
+    pub name: &'static str,
+    /// One-line description from the paper.
+    pub description: &'static str,
+    /// Training dataset from the paper.
+    pub dataset: &'static str,
+    /// Accuracy reported by the original work.
+    pub reported: &'static str,
+    /// Accuracy reproduced by the paper's authors.
+    pub paper_measured: &'static str,
+    /// Metric semantics.
+    pub metric: MetricKind,
+    /// Default batch size used in the evaluation (§8.1).
+    pub default_batch: u64,
+}
+
+/// Metadata for the six evaluation benchmarks plus LeNet.
+pub fn model_metas() -> Vec<ModelMeta> {
+    vec![
+        ModelMeta {
+            name: "alexnet",
+            description: "A 12-layer CNN",
+            dataset: "Synthetic data",
+            reported: "-",
+            paper_measured: "-",
+            metric: MetricKind::None,
+            default_batch: 256,
+        },
+        ModelMeta {
+            name: "inception_v3",
+            description: "A 102-layer CNN with Inception modules",
+            dataset: "ImageNet",
+            reported: "78.0%",
+            paper_measured: "78.0%",
+            metric: MetricKind::Top1Accuracy,
+            default_batch: 64,
+        },
+        ModelMeta {
+            name: "resnet101",
+            description: "A 101-layer residual CNN with shortcut connections",
+            dataset: "ImageNet",
+            reported: "76.4%",
+            paper_measured: "76.5%",
+            metric: MetricKind::Top1Accuracy,
+            default_batch: 64,
+        },
+        ModelMeta {
+            name: "rnntc",
+            description: "4 recurrent layers followed by a softmax layer",
+            dataset: "Movie Reviews",
+            reported: "79.8%",
+            paper_measured: "80.3%",
+            metric: MetricKind::Top1Accuracy,
+            default_batch: 64,
+        },
+        ModelMeta {
+            name: "rnnlm",
+            description: "2 recurrent layers followed by a softmax layer",
+            dataset: "Penn Treebank",
+            reported: "78.4",
+            paper_measured: "76.1",
+            metric: MetricKind::Perplexity,
+            default_batch: 64,
+        },
+        ModelMeta {
+            name: "nmt",
+            description: "4 recurrent layers followed by an attention and a softmax layer",
+            dataset: "WMT English-German",
+            reported: "19.67",
+            paper_measured: "19.85",
+            metric: MetricKind::Bleu,
+            default_batch: 64,
+        },
+        ModelMeta {
+            name: "lenet",
+            description: "A 6-layer CNN for the optimality study (§8.4)",
+            dataset: "MNIST",
+            reported: "-",
+            paper_measured: "-",
+            metric: MetricKind::None,
+            default_batch: 64,
+        },
+    ]
+}
+
+/// Builds a zoo model by name with its evaluation-default unroll settings.
+///
+/// # Panics
+///
+/// Panics if `name` is unknown. Valid names match [`model_metas`].
+pub fn by_name(name: &str, batch: u64) -> OpGraph {
+    match name {
+        "lenet" => lenet(batch),
+        "alexnet" => alexnet(batch),
+        "vgg16" => vgg16(batch),
+        "inception_v3" => inception_v3(batch),
+        "resnet101" => resnet101(batch),
+        "rnntc" => rnntc(batch, 40),
+        "rnnlm" => rnnlm(batch, 40),
+        "nmt" => nmt(batch, 40),
+        other => panic!("unknown zoo model {other:?}"),
+    }
+}
+
+/// Names of the six evaluation benchmarks in Figure 7 order.
+pub const EVAL_MODELS: [&str; 6] = [
+    "alexnet",
+    "inception_v3",
+    "resnet101",
+    "rnntc",
+    "rnnlm",
+    "nmt",
+];
+
+// ---------------------------------------------------------------------------
+// CNN helpers
+// ---------------------------------------------------------------------------
+
+fn conv(
+    g: &mut OpGraph,
+    x: OpId,
+    out_channels: u64,
+    kernel: (u64, u64),
+    stride: (u64, u64),
+    padding: (u64, u64),
+    name: &str,
+) -> OpId {
+    g.add_op(
+        OpKind::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        },
+        &[x],
+        name,
+    )
+    .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn maxpool(g: &mut OpGraph, x: OpId, k: u64, s: u64, p: u64, name: &str) -> OpId {
+    g.add_op(
+        OpKind::Pool2d {
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+            pool: PoolType::Max,
+        },
+        &[x],
+        name,
+    )
+    .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn avgpool(g: &mut OpGraph, x: OpId, k: u64, s: u64, p: u64, name: &str) -> OpId {
+    g.add_op(
+        OpKind::Pool2d {
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+            pool: PoolType::Avg,
+        },
+        &[x],
+        name,
+    )
+    .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn linear(g: &mut OpGraph, x: OpId, out: u64, name: &str) -> OpId {
+    g.add_op(OpKind::Linear { out_features: out }, &[x], name)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// LeNet
+// ---------------------------------------------------------------------------
+
+/// LeNet-5-style 6-layer CNN on 28x28 single-channel images.
+///
+/// Small enough that the §8.4 optimality study can exhaustively search its
+/// strategy space on 4 devices.
+pub fn lenet(batch: u64) -> OpGraph {
+    let mut g = OpGraph::new("lenet");
+    let x = g.add_input("x", TensorShape::new(&[batch, 1, 28, 28]));
+    let c1 = conv(&mut g, x, 6, (5, 5), (1, 1), (2, 2), "conv1");
+    let p1 = maxpool(&mut g, c1, 2, 2, 0, "pool1");
+    let c2 = conv(&mut g, p1, 16, (5, 5), (1, 1), (0, 0), "conv2");
+    let p2 = maxpool(&mut g, c2, 2, 2, 0, "pool2");
+    let f = g.add_op(OpKind::Flatten, &[p2], "flatten").unwrap();
+    let l1 = linear(&mut g, f, 120, "fc1");
+    let l2 = linear(&mut g, l1, 84, "fc2");
+    let l3 = linear(&mut g, l2, 10, "fc3");
+    g.add_op(OpKind::Softmax, &[l3], "softmax").unwrap();
+    g
+}
+
+// ---------------------------------------------------------------------------
+// AlexNet
+// ---------------------------------------------------------------------------
+
+/// The 12-layer AlexNet CNN (paper batch size 256, synthetic data).
+pub fn alexnet(batch: u64) -> OpGraph {
+    let mut g = OpGraph::new("alexnet");
+    let x = g.add_input("x", TensorShape::new(&[batch, 3, 224, 224]));
+    let c1 = conv(&mut g, x, 96, (11, 11), (4, 4), (2, 2), "conv1");
+    let p1 = maxpool(&mut g, c1, 3, 2, 0, "pool1");
+    let c2 = conv(&mut g, p1, 256, (5, 5), (1, 1), (2, 2), "conv2");
+    let p2 = maxpool(&mut g, c2, 3, 2, 0, "pool2");
+    let c3 = conv(&mut g, p2, 384, (3, 3), (1, 1), (1, 1), "conv3");
+    let c4 = conv(&mut g, c3, 384, (3, 3), (1, 1), (1, 1), "conv4");
+    let c5 = conv(&mut g, c4, 256, (3, 3), (1, 1), (1, 1), "conv5");
+    let p5 = maxpool(&mut g, c5, 3, 2, 0, "pool5");
+    let f = g.add_op(OpKind::Flatten, &[p5], "flatten").unwrap();
+    let l1 = linear(&mut g, f, 4096, "fc6");
+    let l2 = linear(&mut g, l1, 4096, "fc7");
+    let l3 = linear(&mut g, l2, 1000, "fc8");
+    g.add_op(OpKind::Softmax, &[l3], "softmax").unwrap();
+    g
+}
+
+/// VGG-16 (cited by the paper's intro as a canonical linear CNN): thirteen
+/// 3x3 convolutions in five pooled stages plus three dense layers. A good
+/// stress test for OptCNN's exact chain DP.
+pub fn vgg16(batch: u64) -> OpGraph {
+    let mut g = OpGraph::new("vgg16");
+    let mut cur = g.add_input("x", TensorShape::new(&[batch, 3, 224, 224]));
+    let stages: [(u64, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    for (si, &(channels, convs)) in stages.iter().enumerate() {
+        for ci in 0..convs {
+            cur = conv(
+                &mut g,
+                cur,
+                channels,
+                (3, 3),
+                (1, 1),
+                (1, 1),
+                &format!("conv{}_{}", si + 1, ci + 1),
+            );
+        }
+        cur = maxpool(&mut g, cur, 2, 2, 0, &format!("pool{}", si + 1));
+    }
+    let f = g.add_op(OpKind::Flatten, &[cur], "flatten").unwrap();
+    let l1 = linear(&mut g, f, 4096, "fc6");
+    let l2 = linear(&mut g, l1, 4096, "fc7");
+    let l3 = linear(&mut g, l2, 1000, "fc8");
+    g.add_op(OpKind::Softmax, &[l3], "softmax").unwrap();
+    g
+}
+
+// ---------------------------------------------------------------------------
+// Inception-v3
+// ---------------------------------------------------------------------------
+
+struct InceptionBuilder {
+    g: OpGraph,
+    n: usize,
+}
+
+impl InceptionBuilder {
+    fn conv(&mut self, x: OpId, c: u64, k: (u64, u64), s: (u64, u64), p: (u64, u64)) -> OpId {
+        self.n += 1;
+        let name = format!("conv{}_{}x{}", self.n, k.0, k.1);
+        conv(&mut self.g, x, c, k, s, p, &name)
+    }
+
+    fn concat(&mut self, parts: &[OpId], name: &str) -> OpId {
+        self.g
+            .add_op(OpKind::Concat { axis: 1 }, parts, name)
+            .unwrap()
+    }
+
+    /// 35x35 Inception-A block.
+    fn block_a(&mut self, x: OpId, pool_ch: u64, tag: &str) -> OpId {
+        let b1 = self.conv(x, 64, (1, 1), (1, 1), (0, 0));
+        let b2a = self.conv(x, 48, (1, 1), (1, 1), (0, 0));
+        let b2 = self.conv(b2a, 64, (5, 5), (1, 1), (2, 2));
+        let b3a = self.conv(x, 64, (1, 1), (1, 1), (0, 0));
+        let b3b = self.conv(b3a, 96, (3, 3), (1, 1), (1, 1));
+        let b3 = self.conv(b3b, 96, (3, 3), (1, 1), (1, 1));
+        let bp = avgpool(&mut self.g, x, 3, 1, 1, &format!("{tag}_pool"));
+        let b4 = self.conv(bp, pool_ch, (1, 1), (1, 1), (0, 0));
+        self.concat(&[b1, b2, b3, b4], &format!("{tag}_concat"))
+    }
+
+    /// 35 -> 17 reduction block.
+    fn block_reduce_a(&mut self, x: OpId, tag: &str) -> OpId {
+        let b1 = self.conv(x, 384, (3, 3), (2, 2), (0, 0));
+        let b2a = self.conv(x, 64, (1, 1), (1, 1), (0, 0));
+        let b2b = self.conv(b2a, 96, (3, 3), (1, 1), (1, 1));
+        let b2 = self.conv(b2b, 96, (3, 3), (2, 2), (0, 0));
+        let b3 = maxpool(&mut self.g, x, 3, 2, 0, &format!("{tag}_pool"));
+        self.concat(&[b1, b2, b3], &format!("{tag}_concat"))
+    }
+
+    /// 17x17 Inception-B block with factorized 7x7 convolutions.
+    fn block_b(&mut self, x: OpId, c7: u64, tag: &str) -> OpId {
+        let b1 = self.conv(x, 192, (1, 1), (1, 1), (0, 0));
+        let b2a = self.conv(x, c7, (1, 1), (1, 1), (0, 0));
+        let b2b = self.conv(b2a, c7, (1, 7), (1, 1), (0, 3));
+        let b2 = self.conv(b2b, 192, (7, 1), (1, 1), (3, 0));
+        let b3a = self.conv(x, c7, (1, 1), (1, 1), (0, 0));
+        let b3b = self.conv(b3a, c7, (7, 1), (1, 1), (3, 0));
+        let b3c = self.conv(b3b, c7, (1, 7), (1, 1), (0, 3));
+        let b3d = self.conv(b3c, c7, (7, 1), (1, 1), (3, 0));
+        let b3 = self.conv(b3d, 192, (1, 7), (1, 1), (0, 3));
+        let bp = avgpool(&mut self.g, x, 3, 1, 1, &format!("{tag}_pool"));
+        let b4 = self.conv(bp, 192, (1, 1), (1, 1), (0, 0));
+        self.concat(&[b1, b2, b3, b4], &format!("{tag}_concat"))
+    }
+
+    /// 17 -> 8 reduction block.
+    fn block_reduce_b(&mut self, x: OpId, tag: &str) -> OpId {
+        let b1a = self.conv(x, 192, (1, 1), (1, 1), (0, 0));
+        let b1 = self.conv(b1a, 320, (3, 3), (2, 2), (0, 0));
+        let b2a = self.conv(x, 192, (1, 1), (1, 1), (0, 0));
+        let b2b = self.conv(b2a, 192, (1, 7), (1, 1), (0, 3));
+        let b2c = self.conv(b2b, 192, (7, 1), (1, 1), (3, 0));
+        let b2 = self.conv(b2c, 192, (3, 3), (2, 2), (0, 0));
+        let b3 = maxpool(&mut self.g, x, 3, 2, 0, &format!("{tag}_pool"));
+        self.concat(&[b1, b2, b3], &format!("{tag}_concat"))
+    }
+
+    /// 8x8 Inception-C block with split 1x3/3x1 branches.
+    fn block_c(&mut self, x: OpId, tag: &str) -> OpId {
+        let b1 = self.conv(x, 320, (1, 1), (1, 1), (0, 0));
+        let b2a = self.conv(x, 384, (1, 1), (1, 1), (0, 0));
+        let b2l = self.conv(b2a, 384, (1, 3), (1, 1), (0, 1));
+        let b2r = self.conv(b2a, 384, (3, 1), (1, 1), (1, 0));
+        let b2 = self.concat(&[b2l, b2r], &format!("{tag}_c2"));
+        let b3a = self.conv(x, 448, (1, 1), (1, 1), (0, 0));
+        let b3b = self.conv(b3a, 384, (3, 3), (1, 1), (1, 1));
+        let b3l = self.conv(b3b, 384, (1, 3), (1, 1), (0, 1));
+        let b3r = self.conv(b3b, 384, (3, 1), (1, 1), (1, 0));
+        let b3 = self.concat(&[b3l, b3r], &format!("{tag}_c3"));
+        let bp = avgpool(&mut self.g, x, 3, 1, 1, &format!("{tag}_pool"));
+        let b4 = self.conv(bp, 192, (1, 1), (1, 1), (0, 0));
+        self.concat(&[b1, b2, b3, b4], &format!("{tag}_concat"))
+    }
+}
+
+/// Inception-v3 (102 layers, ImageNet 299x299 inputs).
+///
+/// The non-linear branch structure is what lets FlexFlow exploit
+/// inter-operation parallelism (paper Fig. 13).
+pub fn inception_v3(batch: u64) -> OpGraph {
+    let mut b = InceptionBuilder {
+        g: OpGraph::new("inception_v3"),
+        n: 0,
+    };
+    let x = b.g.add_input("x", TensorShape::new(&[batch, 3, 299, 299]));
+    // Stem
+    let s = b.conv(x, 32, (3, 3), (2, 2), (0, 0)); // 149
+    let s = b.conv(s, 32, (3, 3), (1, 1), (0, 0)); // 147
+    let s = b.conv(s, 64, (3, 3), (1, 1), (1, 1)); // 147
+    let s = maxpool(&mut b.g, s, 3, 2, 0, "stem_pool1"); // 73
+    let s = b.conv(s, 80, (1, 1), (1, 1), (0, 0));
+    let s = b.conv(s, 192, (3, 3), (1, 1), (0, 0)); // 71
+    let s = maxpool(&mut b.g, s, 3, 2, 0, "stem_pool2"); // 35
+    // Inception blocks
+    let m = b.block_a(s, 32, "mixed5b");
+    let m = b.block_a(m, 64, "mixed5c");
+    let m = b.block_a(m, 64, "mixed5d");
+    let m = b.block_reduce_a(m, "mixed6a"); // 17
+    let m = b.block_b(m, 128, "mixed6b");
+    let m = b.block_b(m, 160, "mixed6c");
+    let m = b.block_b(m, 160, "mixed6d");
+    let m = b.block_b(m, 192, "mixed6e");
+    let m = b.block_reduce_b(m, "mixed7a"); // 8
+    let m = b.block_c(m, "mixed7b");
+    let m = b.block_c(m, "mixed7c");
+    // Head
+    let p = avgpool(&mut b.g, m, 8, 1, 0, "head_pool"); // 1x1x2048
+    let f = b.g.add_op(OpKind::Flatten, &[p], "flatten").unwrap();
+    let l = linear(&mut b.g, f, 1000, "fc");
+    b.g.add_op(OpKind::Softmax, &[l], "softmax").unwrap();
+    b.g
+}
+
+// ---------------------------------------------------------------------------
+// ResNet-101
+// ---------------------------------------------------------------------------
+
+/// ResNet-101 (bottleneck blocks [3, 4, 23, 3], ImageNet 224x224 inputs).
+pub fn resnet101(batch: u64) -> OpGraph {
+    let mut g = OpGraph::new("resnet101");
+    let x = g.add_input("x", TensorShape::new(&[batch, 3, 224, 224]));
+    let c1 = conv(&mut g, x, 64, (7, 7), (2, 2), (3, 3), "conv1"); // 112
+    let mut cur = maxpool(&mut g, c1, 3, 2, 1, "pool1"); // 56
+
+    let stages: [(u64, u64, usize, u64); 4] = [
+        // (bottleneck planes, output channels, blocks, first-block stride)
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 23, 2),
+        (512, 2048, 3, 2),
+    ];
+    let mut in_ch = 64u64;
+    for (si, &(planes, out_ch, blocks, first_stride)) in stages.iter().enumerate() {
+        for blk in 0..blocks {
+            let stride = if blk == 0 { first_stride } else { 1 };
+            let tag = format!("s{}b{}", si + 2, blk);
+            let shortcut = if blk == 0 || in_ch != out_ch {
+                conv(
+                    &mut g,
+                    cur,
+                    out_ch,
+                    (1, 1),
+                    (stride, stride),
+                    (0, 0),
+                    &format!("{tag}_proj"),
+                )
+            } else {
+                cur
+            };
+            let a = conv(&mut g, cur, planes, (1, 1), (1, 1), (0, 0), &format!("{tag}_c1"));
+            let bconv = conv(
+                &mut g,
+                a,
+                planes,
+                (3, 3),
+                (stride, stride),
+                (1, 1),
+                &format!("{tag}_c2"),
+            );
+            let c = conv(&mut g, bconv, out_ch, (1, 1), (1, 1), (0, 0), &format!("{tag}_c3"));
+            cur = g
+                .add_op(OpKind::Add, &[c, shortcut], format!("{tag}_add"))
+                .unwrap();
+            in_ch = out_ch;
+        }
+    }
+    let p = avgpool(&mut g, cur, 7, 1, 0, "head_pool");
+    let f = g.add_op(OpKind::Flatten, &[p], "flatten").unwrap();
+    let l = linear(&mut g, f, 1000, "fc");
+    g.add_op(OpKind::Softmax, &[l], "softmax").unwrap();
+    g
+}
+
+// ---------------------------------------------------------------------------
+// Recurrent models
+// ---------------------------------------------------------------------------
+
+/// An unrolled LSTM stack sharing parameters per layer.
+///
+/// Returns the per-timestep outputs of the top layer.
+fn lstm_stack(
+    g: &mut OpGraph,
+    inputs: &[OpId],
+    num_layers: usize,
+    hidden: u64,
+    batch: u64,
+    tag: &str,
+) -> Vec<OpId> {
+    let mut layer_ids: Vec<LayerId> = Vec::new();
+    let mut h0s: Vec<OpId> = Vec::new();
+    for l in 0..num_layers {
+        layer_ids.push(g.fresh_layer());
+        h0s.push(g.add_input(
+            format!("{tag}_h0_l{l}"),
+            TensorShape::new(&[batch, hidden]),
+        ));
+    }
+    let mut below: Vec<OpId> = inputs.to_vec();
+    for l in 0..num_layers {
+        let mut prev_h = h0s[l];
+        let mut outs = Vec::with_capacity(below.len());
+        for (t, &x) in below.iter().enumerate() {
+            let h = g
+                .add_op_in_layer(
+                    OpKind::LstmCell { hidden },
+                    &[x, prev_h],
+                    format!("{tag}_lstm{l}_t{t}"),
+                    layer_ids[l],
+                )
+                .unwrap();
+            prev_h = h;
+            outs.push(h);
+        }
+        below = outs;
+    }
+    below
+}
+
+/// Token inputs and a weight-tied embedding per timestep.
+fn embedding_sequence(
+    g: &mut OpGraph,
+    unroll: usize,
+    batch: u64,
+    vocab: u64,
+    dim: u64,
+    tag: &str,
+) -> Vec<OpId> {
+    let layer = g.fresh_layer();
+    (0..unroll)
+        .map(|t| {
+            let tok = g.add_input(
+                format!("{tag}_tok_t{t}"),
+                TensorShape::with_dtype(&[batch, 1], DataType::I32),
+            );
+            g.add_op_in_layer(
+                OpKind::Embedding { vocab, dim },
+                &[tok],
+                format!("{tag}_embed_t{t}"),
+                layer,
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// RNNTC: 4 LSTM layers (hidden 1024) over `unroll` steps, classifying from
+/// the final step (paper uses unroll 40, batch 64).
+pub fn rnntc(batch: u64, unroll: usize) -> OpGraph {
+    let mut g = OpGraph::new("rnntc");
+    let hidden = 1024;
+    let embeds = embedding_sequence(&mut g, unroll, batch, 10_000, hidden, "tc");
+    let tops = lstm_stack(&mut g, &embeds, 4, hidden, batch, "tc");
+    let last = *tops.last().expect("unroll must be positive");
+    let l = linear(&mut g, last, 2, "fc");
+    g.add_op(OpKind::Softmax, &[l], "softmax").unwrap();
+    g
+}
+
+/// RNNLM: 2 LSTM layers (hidden 2048) with a weight-tied softmax projection
+/// at every step (paper uses unroll 40, batch 64; §8.4 uses unroll 2).
+pub fn rnnlm(batch: u64, unroll: usize) -> OpGraph {
+    let mut g = OpGraph::new("rnnlm");
+    let hidden = 2048;
+    let vocab = 10_000;
+    let embeds = embedding_sequence(&mut g, unroll, batch, vocab, hidden, "lm");
+    let tops = lstm_stack(&mut g, &embeds, 2, hidden, batch, "lm");
+    let proj_layer = g.fresh_layer();
+    for (t, &h) in tops.iter().enumerate() {
+        let l = g
+            .add_op_in_layer(
+                OpKind::Linear { out_features: vocab },
+                &[h],
+                format!("lm_proj_t{t}"),
+                proj_layer,
+            )
+            .unwrap();
+        g.add_op(OpKind::Softmax, &[l], format!("lm_softmax_t{t}"))
+            .unwrap();
+    }
+    g
+}
+
+/// NMT: 2-layer LSTM encoder + 2-layer LSTM decoder (hidden 1024) with
+/// per-step attention over all encoder states and a weight-tied softmax
+/// projection (paper Fig. 14; unroll 40, batch 64).
+pub fn nmt(batch: u64, unroll: usize) -> OpGraph {
+    let mut g = OpGraph::new("nmt");
+    let hidden = 1024;
+    let vocab = 32_000;
+    // Encoder
+    let enc_embeds = embedding_sequence(&mut g, unroll, batch, vocab, hidden, "enc");
+    let enc_tops = lstm_stack(&mut g, &enc_embeds, 2, hidden, batch, "enc");
+    // Decoder
+    let dec_embeds = embedding_sequence(&mut g, unroll, batch, vocab, hidden, "dec");
+    let dec_tops = lstm_stack(&mut g, &dec_embeds, 2, hidden, batch, "dec");
+    // Attention + projection per decoder step
+    let attn_layer = g.fresh_layer();
+    let proj_layer = g.fresh_layer();
+    for (t, &h) in dec_tops.iter().enumerate() {
+        let mut attn_inputs = vec![h];
+        attn_inputs.extend_from_slice(&enc_tops);
+        let ctx = g
+            .add_op_in_layer(
+                OpKind::Attention { hidden },
+                &attn_inputs,
+                format!("attn_t{t}"),
+                attn_layer,
+            )
+            .unwrap();
+        let l = g
+            .add_op_in_layer(
+                OpKind::Linear { out_features: vocab },
+                &[ctx],
+                format!("nmt_proj_t{t}"),
+                proj_layer,
+            )
+            .unwrap();
+        g.add_op(OpKind::Softmax, &[l], format!("nmt_softmax_t{t}"))
+            .unwrap();
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_structure() {
+        let g = lenet(64);
+        assert_eq!(g.len(), 10);
+        // fc1 consumes 400 flattened features: 16 channels * 5 * 5
+        let fc1 = g.ops().find(|o| o.name() == "fc1").unwrap();
+        assert_eq!(fc1.input_shapes()[0].dims(), &[64, 400]);
+    }
+
+    #[test]
+    fn alexnet_conv_tower_shapes() {
+        let g = alexnet(256);
+        let fc6 = g.ops().find(|o| o.name() == "fc6").unwrap();
+        assert_eq!(fc6.input_shapes()[0].dims(), &[256, 256 * 6 * 6]);
+        // 12 "layers" plus input/pool/flatten/softmax bookkeeping
+        assert!(g.len() >= 13);
+    }
+
+    #[test]
+    fn vgg16_is_a_linear_chain_with_138m_params() {
+        let g = vgg16(64);
+        let convs = g
+            .ops()
+            .filter(|o| matches!(o.kind(), OpKind::Conv2d { .. }))
+            .count();
+        assert_eq!(convs, 13);
+        // canonical VGG-16 has ~138M parameters
+        let params_m = g.total_params() as f64 / 1e6;
+        assert!((135.0..142.0).contains(&params_m), "params {params_m}M");
+        // strictly linear: every op has at most one consumer
+        for id in g.ids() {
+            assert!(g.consumers(id).len() <= 1);
+        }
+    }
+
+    #[test]
+    fn inception_has_branches_and_right_head() {
+        let g = inception_v3(64);
+        // ~100 convolutions (the paper calls it a 102-layer CNN)
+        let convs = g
+            .ops()
+            .filter(|o| matches!(o.kind(), OpKind::Conv2d { .. }))
+            .count();
+        assert!((90..=100).contains(&convs), "conv count {convs}");
+        // final concat produces 2048 channels at 8x8
+        let head = g.ops().find(|o| o.name() == "head_pool").unwrap();
+        assert_eq!(head.input_shapes()[0].dims(), &[64, 2048, 8, 8]);
+        // branch structure: at least one op has multiple consumers
+        let has_fanout = g.ids().any(|id| g.consumers(id).len() > 1);
+        assert!(has_fanout, "inception must have inter-op parallelism");
+    }
+
+    #[test]
+    fn resnet101_has_101_weighted_layers() {
+        let g = resnet101(64);
+        let convs = g
+            .ops()
+            .filter(|o| matches!(o.kind(), OpKind::Conv2d { .. }))
+            .count();
+        let fcs = g
+            .ops()
+            .filter(|o| matches!(o.kind(), OpKind::Linear { .. }))
+            .count();
+        // 1 stem + 33 blocks * 3 convs + 4 projections = 104 convs, + 1 fc.
+        // The canonical "101 layers" counts 1 + 99 + 1 (fc); projections are
+        // extra shortcut weights.
+        assert_eq!(convs, 104);
+        assert_eq!(fcs, 1);
+        let adds = g.ops().filter(|o| matches!(o.kind(), OpKind::Add)).count();
+        assert_eq!(adds, 33);
+        // residual add output keeps spatial dims
+        let last_add = g
+            .ops()
+            .filter(|o| matches!(o.kind(), OpKind::Add))
+            .last()
+            .unwrap();
+        assert_eq!(last_add.output_shape().dims(), &[64, 2048, 7, 7]);
+    }
+
+    #[test]
+    fn rnn_models_share_layer_params() {
+        let g = rnnlm(64, 4);
+        // embedding + 2 lstm layers + projection = 4 parameter layers
+        let groups: Vec<_> = g.ops_by_layer().into_iter().filter(|g| !g.is_empty()).collect();
+        assert_eq!(groups.len(), 4);
+        // each LSTM layer holds `unroll` ops
+        let lstm_groups = groups
+            .iter()
+            .filter(|grp| matches!(g.op(grp[0]).kind(), OpKind::LstmCell { .. }))
+            .count();
+        assert_eq!(lstm_groups, 2);
+        // weight tying: total params independent of unroll length
+        let g2 = rnnlm(64, 8);
+        assert_eq!(g.total_params(), g2.total_params());
+    }
+
+    #[test]
+    fn rnntc_classifies_from_last_step() {
+        let g = rnntc(64, 40);
+        let fc = g.ops().find(|o| o.name() == "fc").unwrap();
+        assert_eq!(fc.output_shape().dims(), &[64, 2]);
+        let lstms = g
+            .ops()
+            .filter(|o| matches!(o.kind(), OpKind::LstmCell { .. }))
+            .count();
+        assert_eq!(lstms, 4 * 40);
+    }
+
+    #[test]
+    fn nmt_attention_sees_all_encoder_states() {
+        let g = nmt(16, 10);
+        let attn = g.ops().find(|o| o.name() == "attn_t0").unwrap();
+        // decoder hidden + 10 encoder states
+        assert_eq!(attn.inputs().len(), 11);
+        // hundreds of operators, only a handful of distinct types (§1)
+        assert!(g.len() > 100);
+        let softmaxes = g
+            .ops()
+            .filter(|o| matches!(o.kind(), OpKind::Softmax))
+            .count();
+        assert_eq!(softmaxes, 10);
+    }
+
+    #[test]
+    fn nmt_params_dominated_by_softmax_and_embeddings() {
+        let g = nmt(64, 40);
+        // vocab 32k x hidden 1024 projection ≈ 32.8M params
+        let proj = g.ops().find(|o| o.name() == "nmt_proj_t0").unwrap();
+        assert!(proj.param_count() > 32_000_000);
+        // weight tying across 40 steps: total params well under 40x that
+        assert!(g.total_params() < 10 * proj.param_count());
+    }
+
+    #[test]
+    fn by_name_builds_every_meta_model() {
+        for meta in model_metas() {
+            let g = by_name(meta.name, 8);
+            assert!(!g.is_empty(), "{} built empty", meta.name);
+            assert_eq!(g.name(), meta.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown zoo model")]
+    fn by_name_rejects_unknown() {
+        by_name("vgg19", 8);
+    }
+
+    #[test]
+    fn eval_models_list_matches_metas() {
+        let metas = model_metas();
+        for name in EVAL_MODELS {
+            assert!(metas.iter().any(|m| m.name == name), "{name} missing meta");
+        }
+    }
+}

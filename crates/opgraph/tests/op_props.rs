@@ -1,0 +1,189 @@
+//! Property-based tests for operator semantics:
+//!
+//! - output tiles of any legal partitioning demand input slices that stay
+//!   inside the producer tensors;
+//! - the input slices of the *full* output cover everything any tile
+//!   demands (task-graph construction relies on producers collectively
+//!   satisfying every consumer);
+//! - FLOP counts are additive across sample-dimension splits;
+//! - parameter counts are additive across parameter-dimension splits and
+//!   invariant across sample/attribute splits.
+
+use flexflow_opgraph::{DimKind, OpGraph, OpId, OpKind, PoolType};
+use flexflow_tensor::{partition, Rect, TensorShape};
+use proptest::prelude::*;
+
+/// Builds a probe graph for one operator; returns the graph and the op id.
+fn probe(kind: OpKind, inputs: &[TensorShape]) -> (OpGraph, OpId) {
+    let mut g = OpGraph::new("probe");
+    let ids: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| g.add_input(format!("x{i}"), *s))
+        .collect();
+    let id = g.add_op(kind, &ids, "probe").expect("probe builds");
+    (g, id)
+}
+
+/// A strategy generating diverse (op kind, input shapes) probes.
+fn arb_op() -> impl Strategy<Value = (OpKind, Vec<TensorShape>)> {
+    prop_oneof![
+        // conv2d with odd kernels and same-ish padding
+        (1u64..=3, 1u64..=2, 2u64..=4).prop_map(|(k, s, c)| {
+            let kernel = 2 * k - 1;
+            (
+                OpKind::Conv2d {
+                    out_channels: 4 * c,
+                    kernel: (kernel, kernel),
+                    stride: (s, s),
+                    padding: (kernel / 2, kernel / 2),
+                },
+                vec![TensorShape::new(&[8, 2 * c, 16, 16])],
+            )
+        }),
+        (2u64..=8).prop_map(|c| {
+            (
+                OpKind::Pool2d {
+                    kernel: (2, 2),
+                    stride: (2, 2),
+                    padding: (0, 0),
+                    pool: PoolType::Max,
+                },
+                vec![TensorShape::new(&[8, c, 16, 16])],
+            )
+        }),
+        (2u64..=64).prop_map(|o| {
+            (
+                OpKind::Linear { out_features: o * 2 },
+                vec![TensorShape::new(&[8, 24])],
+            )
+        }),
+        (2u64..=32).prop_map(|h| {
+            (
+                OpKind::LstmCell { hidden: h * 2 },
+                vec![
+                    TensorShape::new(&[8, 12]),
+                    TensorShape::new(&[8, h * 2]),
+                ],
+            )
+        }),
+        (2u64..=16, 2u64..=16).prop_map(|(a, b)| {
+            (
+                OpKind::Concat { axis: 1 },
+                vec![
+                    TensorShape::new(&[8, a, 4, 4]),
+                    TensorShape::new(&[8, b, 4, 4]),
+                ],
+            )
+        }),
+        Just((OpKind::Softmax, vec![TensorShape::new(&[8, 12])])),
+        Just((OpKind::Flatten, vec![TensorShape::new(&[8, 3, 4, 4])])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn input_rects_stay_in_bounds((kind, inputs) in arb_op(), tile_seed in 0u64..1000) {
+        let (g, id) = probe(kind, &inputs);
+        let node = g.op(id);
+        let shape = *node.output_shape();
+        // random legal tiling of the output
+        let mut degrees = vec![1u64; shape.ndims()];
+        let pdims = node.parallel_dims();
+        let mut seed = tile_seed;
+        for p in &pdims {
+            let extent = shape.dim(p.dim);
+            let divisors: Vec<u64> = (1..=extent.min(8)).filter(|d| extent % d == 0).collect();
+            degrees[p.dim] = divisors[(seed % divisors.len() as u64) as usize];
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        let tiles = partition::tile_all(&shape, &degrees).unwrap();
+        for tile in &tiles {
+            let rects = node.input_rects(tile);
+            prop_assert_eq!(rects.len(), node.inputs().len());
+            for (slot, rect) in rects.iter().enumerate() {
+                if let Some(r) = rect {
+                    let full = Rect::full(&node.input_shapes()[slot]);
+                    prop_assert!(
+                        full.contains(r),
+                        "op {} slot {slot}: {r:?} escapes {full:?}",
+                        node.kind().name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_tile_demand_covers_every_subtile_demand((kind, inputs) in arb_op()) {
+        let (g, id) = probe(kind, &inputs);
+        let node = g.op(id);
+        let shape = *node.output_shape();
+        let full_rects = node.input_rects(&Rect::full(&shape));
+        // split the sample dimension and check slice containment
+        let halves = partition::tile_all(&shape, &{
+            let mut d = vec![1; shape.ndims()];
+            d[0] = 2;
+            d
+        })
+        .unwrap();
+        for tile in &halves {
+            for (slot, need) in node.input_rects(tile).iter().enumerate() {
+                if let Some(r) = need {
+                    let full = full_rects[slot].expect("full demand exists");
+                    prop_assert!(
+                        full.contains(r),
+                        "subtile demands more than the full tile at slot {slot}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flops_additive_over_sample_splits((kind, inputs) in arb_op()) {
+        let (g, id) = probe(kind, &inputs);
+        let node = g.op(id);
+        let shape = *node.output_shape();
+        let full = node.flops_for_tile(&Rect::full(&shape));
+        let mut d = vec![1; shape.ndims()];
+        d[0] = 2;
+        let halves = partition::tile_all(&shape, &d).unwrap();
+        let sum: u64 = halves.iter().map(|t| node.flops_for_tile(t)).sum();
+        prop_assert_eq!(sum, full, "sample split must not change total FLOPs");
+    }
+
+    #[test]
+    fn params_partition_along_parameter_dims((kind, inputs) in arb_op()) {
+        let (g, id) = probe(kind, &inputs);
+        let node = g.op(id);
+        let shape = *node.output_shape();
+        let total = node.param_count();
+        for p in node.parallel_dims() {
+            let extent = shape.dim(p.dim);
+            if extent % 2 != 0 {
+                continue;
+            }
+            let mut d = vec![1; shape.ndims()];
+            d[p.dim] = 2;
+            let tiles = partition::tile_all(&shape, &d).unwrap();
+            let parts: Vec<u64> = tiles.iter().map(|t| node.params_for_tile(t)).collect();
+            match p.kind {
+                DimKind::Parameter => {
+                    prop_assert_eq!(
+                        parts.iter().sum::<u64>(),
+                        total,
+                        "parameter split must partition the weights"
+                    );
+                }
+                DimKind::Sample | DimKind::Attribute => {
+                    for part in parts {
+                        prop_assert_eq!(part, total, "non-parameter split replicates weights");
+                    }
+                }
+            }
+        }
+    }
+}

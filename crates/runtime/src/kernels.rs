@@ -1,0 +1,626 @@
+//! Naive `f32` reference kernels for every operator.
+//!
+//! Kernels compute an arbitrary *output tile* from the input slices that
+//! [`flexflow_opgraph::OpKind::input_rects`] declares — exactly the
+//! contract a SOAP task works under. Running the same kernels tile-by-tile
+//! under any parallelization must therefore reproduce the serial result
+//! bit-for-bit, which is what the dataflow executor's tests check.
+//!
+//! Simplified semantics (documented substitutions — the *performance*
+//! model uses the real operation's FLOP counts):
+//!
+//! - [`flexflow_opgraph::OpKind::LstmCell`] runs a single-gate recurrent
+//!   cell `h = tanh(x Wx + h_prev Wh + b)`;
+//! - [`flexflow_opgraph::OpKind::BatchNorm`] is the inference-style
+//!   per-channel affine `y = gamma * x + beta`;
+//! - [`flexflow_opgraph::OpKind::Attention`] uses dot-product scores and a
+//!   `tanh` output projection.
+
+use flexflow_opgraph::{OpKind, OpNode, PoolType};
+use flexflow_tensor::{DenseTensor, Rect, TensorShape};
+
+/// An input slice: the rect it covers in the producer's global coordinate
+/// space plus its data (extents match the rect).
+#[derive(Debug, Clone)]
+pub struct TileInput {
+    /// Region of the logical input tensor this slice covers.
+    pub rect: Rect,
+    /// The slice contents.
+    pub data: DenseTensor,
+}
+
+impl TileInput {
+    /// Element at global coordinates `idx` (must lie inside `rect`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the slice.
+    pub fn at(&self, idx: &[u64]) -> f32 {
+        let local: Vec<u64> = idx
+            .iter()
+            .zip(self.rect.lo())
+            .map(|(&i, &lo)| {
+                assert!(i >= lo, "index below slice");
+                i - lo
+            })
+            .collect();
+        self.data.at(&local)
+    }
+
+    /// Element at global coordinates, or 0.0 when outside the slice
+    /// bounds (used for padded convolution windows).
+    pub fn at_or_zero(&self, idx: &[i64]) -> f32 {
+        for (d, &i) in idx.iter().enumerate() {
+            if i < 0 || (i as u64) < self.rect.lo()[d] || (i as u64) >= self.rect.hi()[d] {
+                return 0.0;
+            }
+        }
+        let as_u: Vec<u64> = idx.iter().map(|&i| i as u64).collect();
+        self.at(&as_u)
+    }
+}
+
+/// Deterministic pseudo-random weight value for index `i` of a stream
+/// seeded by `seed` (small magnitudes keep deep compositions finite).
+fn weight_value(seed: u64, i: u64) -> f32 {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 31;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 29;
+    let u = (x >> 11) as f32 / (1u64 << 53) as f32;
+    (u - 0.5) * 0.2
+}
+
+/// Deterministic weight tensors for an operation, keyed by the seed
+/// (weight-tied ops must share a seed — the executor derives it from the
+/// op's layer).
+pub fn init_weights(node: &OpNode, seed: u64) -> Vec<DenseTensor> {
+    let gen = |shape: TensorShape, salt: u64| {
+        DenseTensor::from_fn(shape, move |i| weight_value(seed ^ salt, i as u64))
+    };
+    match node.kind() {
+        OpKind::Conv2d {
+            out_channels,
+            kernel,
+            ..
+        } => {
+            let cin = node.input_shapes()[0].dim(1);
+            vec![
+                gen(TensorShape::new(&[*out_channels, cin, kernel.0, kernel.1]), 1),
+                gen(TensorShape::new(&[*out_channels]), 2),
+            ]
+        }
+        OpKind::Conv1d {
+            out_channels,
+            kernel,
+            ..
+        } => {
+            let cin = node.input_shapes()[0].dim(1);
+            vec![
+                gen(TensorShape::new(&[*out_channels, cin, *kernel]), 1),
+                gen(TensorShape::new(&[*out_channels]), 2),
+            ]
+        }
+        OpKind::Linear { out_features } => {
+            let cin = node.input_shapes()[0].dim(1);
+            vec![
+                gen(TensorShape::new(&[cin, *out_features]), 1),
+                gen(TensorShape::new(&[*out_features]), 2),
+            ]
+        }
+        OpKind::Embedding { vocab, dim } => {
+            vec![gen(TensorShape::new(&[*vocab, *dim]), 1)]
+        }
+        OpKind::LstmCell { hidden } => {
+            let i = node.input_shapes()[0].dim(1);
+            vec![
+                gen(TensorShape::new(&[i, *hidden]), 1),
+                gen(TensorShape::new(&[*hidden, *hidden]), 2),
+                gen(TensorShape::new(&[*hidden]), 3),
+            ]
+        }
+        OpKind::BatchNorm => {
+            let c = node.input_shapes()[0].dim(1);
+            vec![gen(TensorShape::new(&[c]), 1), gen(TensorShape::new(&[c]), 2)]
+        }
+        OpKind::Attention { hidden } => {
+            vec![gen(TensorShape::new(&[*hidden, *hidden]), 1)]
+        }
+        _ => vec![],
+    }
+}
+
+/// Computes the output tile `out_rect` of `node` from input slices that
+/// cover (at least) the rects `node.input_rects(out_rect)` requires.
+///
+/// `inputs[slot]` must be `Some` exactly where the op's input-rect
+/// inference returns `Some`.
+///
+/// # Panics
+///
+/// Panics if a required input slice is missing or does not cover the
+/// required region.
+pub fn compute_tile(
+    node: &OpNode,
+    weights: &[DenseTensor],
+    inputs: &[Option<TileInput>],
+    out_rect: &Rect,
+) -> DenseTensor {
+    let out_shape = TensorShape::new(&out_rect.extents());
+    let mut out = DenseTensor::zeros(out_shape);
+    let lo = out_rect.lo().to_vec();
+
+    match node.kind() {
+        OpKind::Input { .. } => unreachable!("input ops are materialized by the executor"),
+        OpKind::Conv2d {
+            kernel,
+            stride,
+            padding,
+            ..
+        } => {
+            let x = inputs[0].as_ref().expect("conv2d input");
+            let (w, b) = (&weights[0], &weights[1]);
+            let cin = node.input_shapes()[0].dim(1);
+            for_each(&mut out, &lo, |g, o| {
+                let (n, co, ho, wo) = (g[0], g[1], g[2], g[3]);
+                let mut acc = b.at(&[co]);
+                for ci in 0..cin {
+                    for kh in 0..kernel.0 {
+                        for kw in 0..kernel.1 {
+                            let hi = (ho * stride.0 + kh) as i64 - padding.0 as i64;
+                            let wi = (wo * stride.1 + kw) as i64 - padding.1 as i64;
+                            let v = x.at_or_zero(&[n as i64, ci as i64, hi, wi]);
+                            acc += v * w.at(&[co, ci, kh, kw]);
+                        }
+                    }
+                }
+                *o = acc;
+            });
+        }
+        OpKind::Conv1d {
+            kernel,
+            stride,
+            padding,
+            ..
+        } => {
+            let x = inputs[0].as_ref().expect("conv1d input");
+            let (w, b) = (&weights[0], &weights[1]);
+            let cin = node.input_shapes()[0].dim(1);
+            for_each(&mut out, &lo, |g, o| {
+                let (n, co, l) = (g[0], g[1], g[2]);
+                let mut acc = b.at(&[co]);
+                for ci in 0..cin {
+                    for k in 0..*kernel {
+                        let li = (l * stride + k) as i64 - *padding as i64;
+                        acc += x.at_or_zero(&[n as i64, ci as i64, li]) * w.at(&[co, ci, k]);
+                    }
+                }
+                *o = acc;
+            });
+        }
+        OpKind::Pool2d {
+            kernel,
+            stride,
+            padding,
+            pool,
+        } => {
+            let x = inputs[0].as_ref().expect("pool2d input");
+            let (h_in, w_in) = (node.input_shapes()[0].dim(2), node.input_shapes()[0].dim(3));
+            for_each(&mut out, &lo, |g, o| {
+                let (n, c, ho, wo) = (g[0], g[1], g[2], g[3]);
+                let mut acc = match pool {
+                    PoolType::Max => f32::NEG_INFINITY,
+                    PoolType::Avg => 0.0,
+                };
+                let mut count = 0u32;
+                for kh in 0..kernel.0 {
+                    for kw in 0..kernel.1 {
+                        let hi = (ho * stride.0 + kh) as i64 - padding.0 as i64;
+                        let wi = (wo * stride.1 + kw) as i64 - padding.1 as i64;
+                        if hi < 0 || wi < 0 || hi as u64 >= h_in || wi as u64 >= w_in {
+                            continue;
+                        }
+                        let v = x.at(&[n, c, hi as u64, wi as u64]);
+                        match pool {
+                            PoolType::Max => acc = acc.max(v),
+                            PoolType::Avg => acc += v,
+                        }
+                        count += 1;
+                    }
+                }
+                *o = match pool {
+                    PoolType::Max => acc,
+                    PoolType::Avg => acc / count.max(1) as f32,
+                };
+            });
+        }
+        OpKind::Pool1d {
+            kernel,
+            stride,
+            padding,
+            pool,
+        } => {
+            let x = inputs[0].as_ref().expect("pool1d input");
+            let l_in = node.input_shapes()[0].dim(2);
+            for_each(&mut out, &lo, |g, o| {
+                let (n, c, l) = (g[0], g[1], g[2]);
+                let mut acc = match pool {
+                    PoolType::Max => f32::NEG_INFINITY,
+                    PoolType::Avg => 0.0,
+                };
+                let mut count = 0u32;
+                for k in 0..*kernel {
+                    let li = (l * stride + k) as i64 - *padding as i64;
+                    if li < 0 || li as u64 >= l_in {
+                        continue;
+                    }
+                    let v = x.at(&[n, c, li as u64]);
+                    match pool {
+                        PoolType::Max => acc = acc.max(v),
+                        PoolType::Avg => acc += v,
+                    }
+                    count += 1;
+                }
+                *o = match pool {
+                    PoolType::Max => acc,
+                    PoolType::Avg => acc / count.max(1) as f32,
+                };
+            });
+        }
+        OpKind::Linear { .. } => {
+            let x = inputs[0].as_ref().expect("linear input");
+            let (w, b) = (&weights[0], &weights[1]);
+            let cin = node.input_shapes()[0].dim(1);
+            for_each(&mut out, &lo, |g, o| {
+                let (n, j) = (g[0], g[1]);
+                let mut acc = b.at(&[j]);
+                for i in 0..cin {
+                    acc += x.at(&[n, i]) * w.at(&[i, j]);
+                }
+                *o = acc;
+            });
+        }
+        OpKind::Embedding { vocab, .. } => {
+            let tok = inputs[0].as_ref().expect("embedding tokens");
+            let table = &weights[0];
+            for_each(&mut out, &lo, |g, o| {
+                let (n, j) = (g[0], g[1]);
+                let t = tok.at(&[n, 0]) as u64 % vocab;
+                *o = table.at(&[t, j]);
+            });
+        }
+        OpKind::LstmCell { .. } => {
+            let x = inputs[0].as_ref().expect("lstm x");
+            let h = inputs[1].as_ref().expect("lstm h_prev");
+            let (wx, wh, b) = (&weights[0], &weights[1], &weights[2]);
+            let i_dim = node.input_shapes()[0].dim(1);
+            let h_dim = node.input_shapes()[1].dim(1);
+            for_each(&mut out, &lo, |g, o| {
+                let (n, j) = (g[0], g[1]);
+                let mut acc = b.at(&[j]);
+                for i in 0..i_dim {
+                    acc += x.at(&[n, i]) * wx.at(&[i, j]);
+                }
+                for i in 0..h_dim {
+                    acc += h.at(&[n, i]) * wh.at(&[i, j]);
+                }
+                *o = acc.tanh();
+            });
+        }
+        OpKind::Concat { axis } => {
+            let spans: Vec<u64> = node.input_shapes().iter().map(|s| s.dim(*axis)).collect();
+            for_each(&mut out, &lo, |g, o| {
+                // locate the owning input along the concat axis
+                let mut offset = 0u64;
+                for (slot, &span) in spans.iter().enumerate() {
+                    if g[*axis] < offset + span {
+                        let inp = inputs[slot]
+                            .as_ref()
+                            .expect("concat owner slice present");
+                        let mut idx = g.to_vec();
+                        idx[*axis] -= offset;
+                        *o = inp.at(&idx);
+                        return;
+                    }
+                    offset += span;
+                }
+                unreachable!("concat index out of range");
+            });
+        }
+        OpKind::Add => {
+            let a = inputs[0].as_ref().expect("add lhs");
+            let b = inputs[1].as_ref().expect("add rhs");
+            for_each(&mut out, &lo, |g, o| *o = a.at(g) + b.at(g));
+        }
+        OpKind::Relu => {
+            let x = inputs[0].as_ref().expect("relu input");
+            for_each(&mut out, &lo, |g, o| *o = x.at(g).max(0.0));
+        }
+        OpKind::Tanh => {
+            let x = inputs[0].as_ref().expect("tanh input");
+            for_each(&mut out, &lo, |g, o| *o = x.at(g).tanh());
+        }
+        OpKind::BatchNorm => {
+            let x = inputs[0].as_ref().expect("batchnorm input");
+            let (gamma, beta) = (&weights[0], &weights[1]);
+            for_each(&mut out, &lo, |g, o| {
+                *o = gamma.at(&[g[1]]) * x.at(g) + beta.at(&[g[1]]);
+            });
+        }
+        OpKind::Softmax => {
+            let x = inputs[0].as_ref().expect("softmax input");
+            let c = node.input_shapes()[0].dim(1);
+            for_each(&mut out, &lo, |g, o| {
+                let n = g[0];
+                let mut max = f32::NEG_INFINITY;
+                for i in 0..c {
+                    max = max.max(x.at(&[n, i]));
+                }
+                let mut denom = 0.0f32;
+                for i in 0..c {
+                    denom += (x.at(&[n, i]) - max).exp();
+                }
+                *o = (x.at(&[n, g[1]]) - max).exp() / denom;
+            });
+        }
+        OpKind::Flatten => {
+            let x = inputs[0].as_ref().expect("flatten input");
+            let in_shape = node.input_shapes()[0];
+            let inner: Vec<u64> = in_shape.dims()[1..].to_vec();
+            for_each(&mut out, &lo, |g, o| {
+                // unflatten the feature index into the inner dims
+                let mut rem = g[1];
+                let mut idx = vec![g[0]];
+                let mut coords = vec![0u64; inner.len()];
+                for d in (0..inner.len()).rev() {
+                    coords[d] = rem % inner[d];
+                    rem /= inner[d];
+                }
+                idx.extend(coords);
+                *o = x.at(&idx);
+            });
+        }
+        OpKind::Attention { hidden } => {
+            let h = inputs[0].as_ref().expect("attention decoder state");
+            let enc: Vec<&TileInput> = inputs[1..]
+                .iter()
+                .map(|i| i.as_ref().expect("attention encoder state"))
+                .collect();
+            let wc = &weights[0];
+            let l = enc.len();
+            for_each(&mut out, &lo, |g, o| {
+                let (n, j) = (g[0], g[1]);
+                // dot-product scores + softmax
+                let mut scores = Vec::with_capacity(l);
+                let mut max = f32::NEG_INFINITY;
+                for e in &enc {
+                    let mut s = 0.0f32;
+                    for i in 0..*hidden {
+                        s += h.at(&[n, i]) * e.at(&[n, i]);
+                    }
+                    // scale to keep softmax well-conditioned
+                    s /= *hidden as f32;
+                    max = max.max(s);
+                    scores.push(s);
+                }
+                let mut denom = 0.0f32;
+                for s in &mut scores {
+                    *s = (*s - max).exp();
+                    denom += *s;
+                }
+                // context = weighted sum of encoder states, projected
+                let mut acc = 0.0f32;
+                for i in 0..*hidden {
+                    let mut ctx_i = 0.0f32;
+                    for (t, e) in enc.iter().enumerate() {
+                        ctx_i += scores[t] / denom * e.at(&[n, i]);
+                    }
+                    acc += ctx_i * wc.at(&[i, j]);
+                }
+                *o = acc.tanh();
+            });
+        }
+    }
+    out
+}
+
+/// Iterates over the output tile in row-major order, handing the closure
+/// global coordinates and the output cell.
+fn for_each(out: &mut DenseTensor, lo: &[u64], mut f: impl FnMut(&[u64], &mut f32)) {
+    let dims = out.shape().dims().to_vec();
+    let n = dims.len();
+    let mut local = vec![0u64; n];
+    let mut global = lo.to_vec();
+    loop {
+        let off = out.offset(&local);
+        f(&global, &mut out.data_mut()[off]);
+        let mut d = n;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            local[d] += 1;
+            global[d] += 1;
+            if local[d] < dims[d] {
+                break;
+            }
+            local[d] = 0;
+            global[d] = lo[d];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_opgraph::OpGraph;
+
+    fn tile_of(t: &DenseTensor, rect: Rect) -> TileInput {
+        TileInput {
+            rect,
+            data: t.slice(&rect),
+        }
+    }
+
+    #[test]
+    fn linear_tile_matches_full() {
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[4, 6]));
+        let y = g
+            .add_op(OpKind::Linear { out_features: 8 }, &[x], "fc")
+            .unwrap();
+        let node = g.op(y);
+        let weights = init_weights(node, 7);
+        let input = DenseTensor::from_fn(TensorShape::new(&[4, 6]), |i| (i as f32) * 0.1);
+
+        let full_rect = Rect::full(node.output_shape());
+        let full = compute_tile(
+            node,
+            &weights,
+            &[Some(tile_of(&input, Rect::full(input.shape())))],
+            &full_rect,
+        );
+
+        // compute the [2..4, 4..8) tile independently and compare
+        let out_tile_rect = Rect::new(&[2, 4], &[4, 8]);
+        let needed = node.input_rects(&out_tile_rect)[0].unwrap();
+        let tile = compute_tile(
+            node,
+            &weights,
+            &[Some(tile_of(&input, needed))],
+            &out_tile_rect,
+        );
+        let expected = full.slice(&out_tile_rect);
+        assert!(tile.approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn conv2d_padding_matches_interior() {
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[2, 3, 8, 8]));
+        let y = g
+            .add_op(
+                OpKind::Conv2d {
+                    out_channels: 4,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: (1, 1),
+                },
+                &[x],
+                "conv",
+            )
+            .unwrap();
+        let node = g.op(y);
+        let weights = init_weights(node, 3);
+        let input = DenseTensor::from_fn(TensorShape::new(&[2, 3, 8, 8]), |i| (i % 13) as f32 * 0.05);
+        let full = compute_tile(
+            node,
+            &weights,
+            &[Some(tile_of(&input, Rect::full(input.shape())))],
+            &Rect::full(node.output_shape()),
+        );
+        // tile split across channels and rows
+        let rect = Rect::new(&[0, 1, 3, 0], &[2, 3, 8, 8]);
+        let needed = node.input_rects(&rect)[0].unwrap();
+        let tile = compute_tile(node, &weights, &[Some(tile_of(&input, needed))], &rect);
+        assert!(tile.approx_eq(&full.slice(&rect), 1e-6));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[3, 5]));
+        let y = g.add_op(OpKind::Softmax, &[x], "sm").unwrap();
+        let node = g.op(y);
+        let input = DenseTensor::from_fn(TensorShape::new(&[3, 5]), |i| (i as f32).sin());
+        let out = compute_tile(
+            node,
+            &[],
+            &[Some(tile_of(&input, Rect::full(input.shape())))],
+            &Rect::full(node.output_shape()),
+        );
+        for n in 0..3 {
+            let sum: f32 = (0..5).map(|c| out.at(&[n, c])).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn concat_routes_channels() {
+        let mut g = OpGraph::new("m");
+        let a = g.add_input("a", TensorShape::new(&[2, 3]));
+        let b = g.add_input("b", TensorShape::new(&[2, 2]));
+        let y = g.add_op(OpKind::Concat { axis: 1 }, &[a, b], "cat").unwrap();
+        let node = g.op(y);
+        let ta = DenseTensor::from_fn(TensorShape::new(&[2, 3]), |i| i as f32);
+        let tb = DenseTensor::from_fn(TensorShape::new(&[2, 2]), |i| 100.0 + i as f32);
+        let out = compute_tile(
+            node,
+            &[],
+            &[
+                Some(tile_of(&ta, Rect::full(ta.shape()))),
+                Some(tile_of(&tb, Rect::full(tb.shape()))),
+            ],
+            &Rect::full(node.output_shape()),
+        );
+        assert_eq!(out.at(&[0, 0]), 0.0);
+        assert_eq!(out.at(&[0, 2]), 2.0);
+        assert_eq!(out.at(&[0, 3]), 100.0);
+        assert_eq!(out.at(&[1, 4]), 103.0);
+
+        // a tile entirely inside `b` needs no slice of `a`
+        let rect = Rect::new(&[0, 3], &[2, 5]);
+        let rects = node.input_rects(&rect);
+        assert!(rects[0].is_none());
+        let out_tile = compute_tile(
+            node,
+            &[],
+            &[None, Some(tile_of(&tb, rects[1].unwrap()))],
+            &rect,
+        );
+        assert!(out_tile.approx_eq(&out.slice(&rect), 0.0));
+    }
+
+    #[test]
+    fn weight_init_is_deterministic_and_seed_sensitive() {
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[2, 4]));
+        let y = g
+            .add_op(OpKind::Linear { out_features: 4 }, &[x], "fc")
+            .unwrap();
+        let a = init_weights(g.op(y), 1);
+        let b = init_weights(g.op(y), 1);
+        let c = init_weights(g.op(y), 2);
+        assert!(a[0].approx_eq(&b[0], 0.0));
+        assert!(!a[0].approx_eq(&c[0], 1e-9));
+        // bounded magnitude
+        assert!(a[0].data().iter().all(|v| v.abs() <= 0.1));
+    }
+
+    #[test]
+    fn lstm_cell_is_bounded_by_tanh() {
+        let mut g = OpGraph::new("m");
+        let x = g.add_input("x", TensorShape::new(&[2, 4]));
+        let h0 = g.add_input("h", TensorShape::new(&[2, 3]));
+        let y = g
+            .add_op(OpKind::LstmCell { hidden: 3 }, &[x, h0], "cell")
+            .unwrap();
+        let node = g.op(y);
+        let weights = init_weights(node, 11);
+        let tx = DenseTensor::from_fn(TensorShape::new(&[2, 4]), |i| i as f32);
+        let th = DenseTensor::from_fn(TensorShape::new(&[2, 3]), |i| -(i as f32));
+        let out = compute_tile(
+            node,
+            &weights,
+            &[
+                Some(tile_of(&tx, Rect::full(tx.shape()))),
+                Some(tile_of(&th, Rect::full(th.shape()))),
+            ],
+            &Rect::full(node.output_shape()),
+        );
+        assert!(out.data().iter().all(|v| v.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,27 @@
+//! The FlexFlow distributed runtime, reproduced as two executors:
+//!
+//! - [`ground_truth`] — a discrete-event executor that plays the role of
+//!   the *real hardware* in the simulator-accuracy experiments (Fig. 11).
+//!   It deliberately models what the execution simulator abstracts away:
+//!   per-task launch overhead (violating assumption A4), per-instance
+//!   duration noise (stressing A1), and bandwidth sharing between
+//!   concurrent transfers on a link (violating A2's full-bandwidth FIFO).
+//! - [`dataflow`] — a real multi-threaded executor that runs partitioned
+//!   operators on actual `f32` buffers, one thread per device, validating
+//!   that every SOAP configuration is executable and numerically
+//!   equivalent to a serial run (the paper's runtime claim: any strategy
+//!   in the search space can be executed at per-operation granularity).
+//!
+//! [`training`] adds the loss-curve model behind the end-to-end training
+//! comparison (Fig. 9).
+
+
+#![warn(missing_docs)]
+pub mod dataflow;
+pub mod ground_truth;
+pub mod kernels;
+pub mod training;
+
+pub use dataflow::{execute_serial, execute_strategy, ExecutionReport};
+pub use ground_truth::{GroundTruthConfig, GroundTruthExecutor};
+pub use training::TrainingCurve;

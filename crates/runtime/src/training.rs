@@ -1,0 +1,133 @@
+//! The end-to-end training model behind Fig. 9.
+//!
+//! FlexFlow "performs the same computation as other deep learning systems
+//! for a DNN model and therefore achieves the same model accuracy"
+//! (§8.2.2) — the end-to-end win comes purely from higher throughput. We
+//! model the loss as a saturating exponential in *iterations* (identical
+//! for every system) and let each system's measured throughput set the
+//! pace, reproducing the Fig. 9 comparison shape: same curve, compressed
+//! time axis.
+
+/// A loss-versus-time curve for one system training one model.
+#[derive(Debug, Clone)]
+pub struct TrainingCurve {
+    /// Initial loss at iteration 0.
+    pub initial_loss: f64,
+    /// Asymptotic loss floor.
+    pub floor_loss: f64,
+    /// Iterations for the excess loss to decay by `1/e`.
+    pub tau_iterations: f64,
+    /// Training throughput in samples per second.
+    pub throughput: f64,
+    /// Batch size (samples per iteration).
+    pub batch: u64,
+}
+
+impl TrainingCurve {
+    /// The Inception-v3 curve shape used by Fig. 9 (loss starting near 9,
+    /// floored around 1.8, 72% top-1 reached at ~120k iterations).
+    pub fn inception_v3(throughput: f64, batch: u64) -> Self {
+        Self {
+            initial_loss: 9.0,
+            floor_loss: 1.8,
+            tau_iterations: 40_000.0,
+            throughput,
+            batch,
+        }
+    }
+
+    /// Iterations completed after `hours` of training.
+    pub fn iterations_at(&self, hours: f64) -> f64 {
+        self.throughput * hours * 3600.0 / self.batch as f64
+    }
+
+    /// Training loss after `hours`.
+    pub fn loss_at(&self, hours: f64) -> f64 {
+        let iters = self.iterations_at(hours);
+        self.floor_loss + (self.initial_loss - self.floor_loss) * (-iters / self.tau_iterations).exp()
+    }
+
+    /// Hours needed to bring the loss down to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is at or below the loss floor (unreachable).
+    pub fn hours_to_loss(&self, target: f64) -> f64 {
+        assert!(
+            target > self.floor_loss,
+            "target {target} is below the floor {}",
+            self.floor_loss
+        );
+        assert!(target < self.initial_loss, "target already reached");
+        let iters =
+            -self.tau_iterations * ((target - self.floor_loss) / (self.initial_loss - self.floor_loss)).ln();
+        iters * self.batch as f64 / self.throughput / 3600.0
+    }
+
+    /// Samples `(hours, loss)` points up to `horizon_hours`.
+    pub fn sample(&self, horizon_hours: f64, points: usize) -> Vec<(f64, f64)> {
+        (0..points)
+            .map(|i| {
+                let h = horizon_hours * i as f64 / (points - 1).max(1) as f64;
+                (h, self.loss_at(h))
+            })
+            .collect()
+    }
+}
+
+/// The headline Fig. 9 number: the end-to-end time reduction of the faster
+/// system over the slower, as a fraction (the paper reports 38% for
+/// FlexFlow over TensorFlow).
+pub fn time_reduction(fast: &TrainingCurve, slow: &TrainingCurve, target_loss: f64) -> f64 {
+    let tf = fast.hours_to_loss(target_loss);
+    let ts = slow.hours_to_loss(target_loss);
+    1.0 - tf / ts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_decreases_monotonically() {
+        let c = TrainingCurve::inception_v3(1000.0, 64);
+        let pts = c.sample(20.0, 50);
+        for w in pts.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        assert!(pts[0].1 > 8.9);
+        assert!(pts.last().unwrap().1 >= c.floor_loss);
+    }
+
+    #[test]
+    fn faster_system_reaches_target_sooner() {
+        let fast = TrainingCurve::inception_v3(1600.0, 64);
+        let slow = TrainingCurve::inception_v3(1000.0, 64);
+        let t_fast = fast.hours_to_loss(2.5);
+        let t_slow = slow.hours_to_loss(2.5);
+        assert!(t_fast < t_slow);
+        // throughput ratio translates exactly into time ratio
+        assert!((t_slow / t_fast - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_reduction_matches_throughput_gap() {
+        let fast = TrainingCurve::inception_v3(1600.0, 64);
+        let slow = TrainingCurve::inception_v3(1000.0, 64);
+        let red = time_reduction(&fast, &slow, 2.5);
+        assert!((red - (1.0 - 1000.0 / 1600.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the floor")]
+    fn unreachable_target_panics() {
+        TrainingCurve::inception_v3(1000.0, 64).hours_to_loss(1.0);
+    }
+
+    #[test]
+    fn hours_to_loss_inverts_loss_at() {
+        let c = TrainingCurve::inception_v3(1234.0, 64);
+        let h = c.hours_to_loss(3.0);
+        assert!((c.loss_at(h) - 3.0).abs() < 1e-9);
+    }
+}

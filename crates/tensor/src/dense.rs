@@ -1,0 +1,289 @@
+//! Dense `f32` host tensors with data.
+//!
+//! The execution simulator never touches tensor *contents* (paper assumption
+//! A1: execution time is content-independent), but the dataflow runtime in
+//! `flexflow-runtime` really executes partitioned operators and needs real
+//! buffers. `DenseTensor` provides row-major storage with rect-based slicing
+//! and scatter, which is exactly the data movement a SOAP task performs:
+//! gather the input sub-tensors, compute, write the output tile.
+
+use crate::rect::Rect;
+use crate::shape::TensorShape;
+use std::fmt;
+
+/// A dense row-major `f32` tensor.
+#[derive(Clone, PartialEq)]
+pub struct DenseTensor {
+    shape: TensorShape,
+    data: Vec<f32>,
+}
+
+impl DenseTensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: TensorShape) -> Self {
+        Self {
+            data: vec![0.0; shape.volume() as usize],
+            shape,
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's volume.
+    pub fn from_vec(shape: TensorShape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len() as u64,
+            shape.volume(),
+            "data length {} does not match shape volume {}",
+            data.len(),
+            shape.volume()
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a tensor whose element at flat index `i` is `f(i)`.
+    pub fn from_fn(shape: TensorShape, f: impl Fn(usize) -> f32) -> Self {
+        let data = (0..shape.volume() as usize).map(f).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &TensorShape {
+        &self.shape
+    }
+
+    /// Read-only view of the underlying buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn offset(&self, idx: &[u64]) -> usize {
+        assert_eq!(idx.len(), self.shape.ndims(), "index rank mismatch");
+        let mut off = 0u64;
+        for d in 0..idx.len() {
+            assert!(idx[d] < self.shape.dim(d), "index out of bounds in dim {d}");
+            off = off * self.shape.dim(d) + idx[d];
+        }
+        off as usize
+    }
+
+    /// Element access by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn at(&self, idx: &[u64]) -> f32 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Mutable element access by multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn at_mut(&mut self, idx: &[u64]) -> &mut f32 {
+        let off = self.offset(idx);
+        &mut self.data[off]
+    }
+
+    /// Copies the elements under `rect` into a new contiguous tensor whose
+    /// shape equals the rect's extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rect` does not fit inside this tensor.
+    pub fn slice(&self, rect: &Rect) -> DenseTensor {
+        let full = Rect::full(&self.shape);
+        assert!(full.contains(rect), "rect {rect:?} escapes tensor {full:?}");
+        let extents = rect.extents();
+        let out_shape = TensorShape::with_dtype(&extents, self.shape.dtype());
+        let mut out = DenseTensor::zeros(out_shape);
+        let mut idx = rect.lo().to_vec();
+        let mut out_idx = vec![0u64; idx.len()];
+        loop {
+            *out.at_mut(&out_idx) = self.at(&idx);
+            // increment row-major
+            let mut d = idx.len();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                idx[d] += 1;
+                out_idx[d] += 1;
+                if idx[d] < rect.hi()[d] {
+                    break;
+                }
+                idx[d] = rect.lo()[d];
+                out_idx[d] = 0;
+            }
+        }
+    }
+
+    /// Writes `tile` (a contiguous tensor of the rect's extents) into the
+    /// region `rect` of this tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rect` does not fit inside this tensor or if the tile's
+    /// shape does not match the rect's extents.
+    pub fn scatter(&mut self, rect: &Rect, tile: &DenseTensor) {
+        let full = Rect::full(&self.shape);
+        assert!(full.contains(rect), "rect {rect:?} escapes tensor {full:?}");
+        assert_eq!(
+            tile.shape.dims(),
+            rect.extents().as_slice(),
+            "tile shape does not match rect extents"
+        );
+        let mut idx = rect.lo().to_vec();
+        let mut tile_idx = vec![0u64; idx.len()];
+        loop {
+            *self.at_mut(&idx) = tile.at(&tile_idx);
+            let mut d = idx.len();
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                idx[d] += 1;
+                tile_idx[d] += 1;
+                if idx[d] < rect.hi()[d] {
+                    break;
+                }
+                idx[d] = rect.lo()[d];
+                tile_idx[d] = 0;
+            }
+        }
+    }
+
+    /// Maximum absolute element-wise difference between two tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseTensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Whether two tensors agree within `tol` everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn approx_eq(&self, other: &DenseTensor, tol: f32) -> bool {
+        self.max_abs_diff(other) <= tol
+    }
+}
+
+impl fmt::Debug for DenseTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DenseTensor(shape={:?}, {} elems)",
+            self.shape,
+            self.data.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(shape: &[u64]) -> DenseTensor {
+        DenseTensor::from_fn(TensorShape::new(shape), |i| i as f32)
+    }
+
+    #[test]
+    fn zeros_and_from_vec() {
+        let t = DenseTensor::zeros(TensorShape::new(&[2, 3]));
+        assert_eq!(t.data(), &[0.0; 6]);
+        let u = DenseTensor::from_vec(TensorShape::new(&[2]), vec![1.0, 2.0]);
+        assert_eq!(u.at(&[1]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape volume")]
+    fn from_vec_rejects_wrong_length() {
+        DenseTensor::from_vec(TensorShape::new(&[2, 2]), vec![1.0]);
+    }
+
+    #[test]
+    fn offset_is_row_major() {
+        let t = iota(&[2, 3, 4]);
+        assert_eq!(t.offset(&[0, 0, 0]), 0);
+        assert_eq!(t.offset(&[0, 0, 3]), 3);
+        assert_eq!(t.offset(&[0, 1, 0]), 4);
+        assert_eq!(t.offset(&[1, 0, 0]), 12);
+        assert_eq!(t.at(&[1, 2, 3]), 23.0);
+    }
+
+    #[test]
+    fn slice_extracts_subtensor() {
+        let t = iota(&[4, 4]);
+        let r = Rect::new(&[1, 2], &[3, 4]);
+        let s = t.slice(&r);
+        assert_eq!(s.shape().dims(), &[2, 2]);
+        assert_eq!(s.data(), &[6.0, 7.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn scatter_roundtrips_slice() {
+        let t = iota(&[4, 6]);
+        let r = Rect::new(&[0, 2], &[4, 5]);
+        let s = t.slice(&r);
+        let mut u = DenseTensor::zeros(*t.shape());
+        u.scatter(&r, &s);
+        // inside the rect, u matches t; outside it is zero
+        for i in 0..4u64 {
+            for j in 0..6u64 {
+                let expected = if (2..5).contains(&j) { t.at(&[i, j]) } else { 0.0 };
+                assert_eq!(u.at(&[i, j]), expected, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_reassemble_exactly() {
+        let t = iota(&[6, 8]);
+        let tiles = crate::partition::tile_all(t.shape(), &[3, 2]).unwrap();
+        let mut rebuilt = DenseTensor::zeros(*t.shape());
+        for rect in &tiles {
+            rebuilt.scatter(rect, &t.slice(rect));
+        }
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = DenseTensor::from_vec(TensorShape::new(&[2]), vec![1.0, 2.0]);
+        let b = DenseTensor::from_vec(TensorShape::new(&[2]), vec![1.0, 2.0 + 1e-6]);
+        assert!(a.approx_eq(&b, 1e-5));
+        assert!(!a.approx_eq(&b, 1e-8));
+        assert!(a.max_abs_diff(&b) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes tensor")]
+    fn slice_out_of_bounds_panics() {
+        let t = iota(&[2, 2]);
+        t.slice(&Rect::new(&[0, 0], &[3, 2]));
+    }
+}

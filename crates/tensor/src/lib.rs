@@ -1,0 +1,42 @@
+//! Tensor shapes, partitioning math, and dense host tensors for the FlexFlow
+//! reproduction.
+//!
+//! This crate is the lowest-level substrate of the workspace. It provides:
+//!
+//! - [`DataType`] — element types and their sizes;
+//! - [`TensorShape`] — an n-dimensional extent (up to [`MAX_DIMS`] dims);
+//! - [`Rect`] — a half-open hyper-rectangle describing a sub-tensor, used by
+//!   the SOAP partitioning machinery to describe which slice of a tensor a
+//!   task reads or writes;
+//! - [`partition`] — equal-size tiling of a shape by per-dimension degrees
+//!   (the paper partitions every parallelizable dimension into equal chunks,
+//!   §4: "We use equal size partitions in each dimension to guarantee
+//!   well-balanced workload distributions");
+//! - [`DenseTensor`] — a real `f32` tensor with data, used by the dataflow
+//!   runtime to execute parallelization strategies for real and check that
+//!   every SOAP configuration computes the same values as a serial run.
+//!
+//! # Example
+//!
+//! ```
+//! use flexflow_tensor::{TensorShape, partition};
+//!
+//! // A batch of 64 samples with 256 channels, tiled 2 ways over samples and
+//! // 2 ways over channels: four equal sub-tensors.
+//! let shape = TensorShape::new(&[64, 256]);
+//! let tiles = partition::tile_all(&shape, &[2, 2]).unwrap();
+//! assert_eq!(tiles.len(), 4);
+//! assert!(tiles.iter().all(|r| r.volume() == 64 * 256 / 4));
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod dense;
+pub mod partition;
+pub mod rect;
+pub mod shape;
+
+pub use dense::DenseTensor;
+pub use partition::{tile, tile_all, PartitionError};
+pub use rect::Rect;
+pub use shape::{DataType, TensorShape, MAX_DIMS};

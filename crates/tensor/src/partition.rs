@@ -1,0 +1,259 @@
+//! Equal-size tiling of tensor shapes.
+//!
+//! The paper partitions every parallelizable dimension of an operation's
+//! output tensor into equal chunks (§4). A parallelization configuration
+//! with per-dimension degrees `[p0, ..., pn]` therefore splits the output
+//! into `p0 * ... * pn` equal tiles, one per task. This module computes
+//! those tiles.
+
+use crate::rect::Rect;
+use crate::shape::TensorShape;
+use std::fmt;
+
+/// Error produced when a shape cannot be tiled by the requested degrees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The degree vector's length does not match the shape's rank.
+    RankMismatch {
+        /// Rank of the shape being tiled.
+        shape_ndims: usize,
+        /// Length of the supplied degree vector.
+        degrees_len: usize,
+    },
+    /// A degree of zero was supplied.
+    ZeroDegree {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// A dimension is not divisible by its degree, so equal tiles are
+    /// impossible.
+    NotDivisible {
+        /// The offending dimension.
+        dim: usize,
+        /// Extent of that dimension.
+        extent: u64,
+        /// Requested degree of parallelism.
+        degree: u64,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::RankMismatch {
+                shape_ndims,
+                degrees_len,
+            } => write!(
+                f,
+                "degree vector of length {degrees_len} does not match shape rank {shape_ndims}"
+            ),
+            PartitionError::ZeroDegree { dim } => {
+                write!(f, "degree in dimension {dim} must be positive")
+            }
+            PartitionError::NotDivisible {
+                dim,
+                extent,
+                degree,
+            } => write!(
+                f,
+                "dimension {dim} of extent {extent} is not divisible by degree {degree}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Validates a degree vector against a shape without producing tiles.
+///
+/// # Errors
+///
+/// Returns the first [`PartitionError`] encountered, if any.
+pub fn validate(shape: &TensorShape, degrees: &[u64]) -> Result<(), PartitionError> {
+    if degrees.len() != shape.ndims() {
+        return Err(PartitionError::RankMismatch {
+            shape_ndims: shape.ndims(),
+            degrees_len: degrees.len(),
+        });
+    }
+    for (dim, &deg) in degrees.iter().enumerate() {
+        if deg == 0 {
+            return Err(PartitionError::ZeroDegree { dim });
+        }
+        let extent = shape.dim(dim);
+        if extent % deg != 0 {
+            return Err(PartitionError::NotDivisible {
+                dim,
+                extent,
+                degree: deg,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Computes the tile at multi-index `index` (one coordinate per dimension).
+///
+/// # Errors
+///
+/// Returns a [`PartitionError`] when the degrees do not evenly tile the
+/// shape.
+///
+/// # Panics
+///
+/// Panics if `index` has the wrong rank or any coordinate is out of range
+/// for its degree.
+pub fn tile(shape: &TensorShape, degrees: &[u64], index: &[u64]) -> Result<Rect, PartitionError> {
+    validate(shape, degrees)?;
+    assert_eq!(index.len(), degrees.len(), "index rank mismatch");
+    let n = shape.ndims();
+    let mut lo = Vec::with_capacity(n);
+    let mut hi = Vec::with_capacity(n);
+    for d in 0..n {
+        assert!(
+            index[d] < degrees[d],
+            "tile index {} out of range for degree {} in dim {d}",
+            index[d],
+            degrees[d]
+        );
+        let chunk = shape.dim(d) / degrees[d];
+        lo.push(index[d] * chunk);
+        hi.push((index[d] + 1) * chunk);
+    }
+    Ok(Rect::new(&lo, &hi))
+}
+
+/// Computes all tiles in row-major order of the multi-index (the last
+/// dimension varies fastest).
+///
+/// The flattened ordering matches the task numbering `t_{i:1} .. t_{i:|c_i|}`
+/// used throughout the paper: task `k` owns tile `k` of its operation's
+/// output tensor.
+///
+/// # Errors
+///
+/// Returns a [`PartitionError`] when the degrees do not evenly tile the
+/// shape.
+pub fn tile_all(shape: &TensorShape, degrees: &[u64]) -> Result<Vec<Rect>, PartitionError> {
+    validate(shape, degrees)?;
+    let total: u64 = degrees.iter().product();
+    let mut out = Vec::with_capacity(total as usize);
+    let mut index = vec![0u64; degrees.len()];
+    loop {
+        out.push(tile(shape, degrees, &index)?);
+        // row-major increment
+        let mut d = degrees.len();
+        loop {
+            if d == 0 {
+                return Ok(out);
+            }
+            d -= 1;
+            index[d] += 1;
+            if index[d] < degrees[d] {
+                break;
+            }
+            index[d] = 0;
+        }
+    }
+}
+
+/// Converts a flat task index into the multi-index used by [`tile`], in the
+/// same row-major order produced by [`tile_all`].
+///
+/// # Panics
+///
+/// Panics if `flat` is out of range for the degree product.
+pub fn unflatten_index(degrees: &[u64], flat: u64) -> Vec<u64> {
+    let total: u64 = degrees.iter().product();
+    assert!(flat < total, "flat index {flat} out of range {total}");
+    let mut rem = flat;
+    let mut index = vec![0u64; degrees.len()];
+    for d in (0..degrees.len()).rev() {
+        index[d] = rem % degrees[d];
+        rem /= degrees[d];
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_partition_the_shape() {
+        let s = TensorShape::new(&[8, 6]);
+        let tiles = tile_all(&s, &[2, 3]).unwrap();
+        assert_eq!(tiles.len(), 6);
+        let total: u64 = tiles.iter().map(Rect::volume).sum();
+        assert_eq!(total, s.volume());
+        // pairwise disjoint
+        for i in 0..tiles.len() {
+            for j in (i + 1)..tiles.len() {
+                assert!(!tiles[i].intersects(&tiles[j]), "{i} overlaps {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_ordering() {
+        let s = TensorShape::new(&[4, 4]);
+        let tiles = tile_all(&s, &[2, 2]).unwrap();
+        // last dim varies fastest
+        assert_eq!(tiles[0], Rect::new(&[0, 0], &[2, 2]));
+        assert_eq!(tiles[1], Rect::new(&[0, 2], &[2, 4]));
+        assert_eq!(tiles[2], Rect::new(&[2, 0], &[4, 2]));
+        assert_eq!(tiles[3], Rect::new(&[2, 2], &[4, 4]));
+    }
+
+    #[test]
+    fn unflatten_matches_tile_all() {
+        let s = TensorShape::new(&[8, 6, 4]);
+        let degrees = [2, 3, 2];
+        let tiles = tile_all(&s, &degrees).unwrap();
+        for (flat, expected) in tiles.iter().enumerate() {
+            let idx = unflatten_index(&degrees, flat as u64);
+            let got = tile(&s, &degrees, &idx).unwrap();
+            assert_eq!(&got, expected, "flat={flat}");
+        }
+    }
+
+    #[test]
+    fn degree_one_is_identity() {
+        let s = TensorShape::new(&[5, 7]);
+        let tiles = tile_all(&s, &[1, 1]).unwrap();
+        assert_eq!(tiles, vec![Rect::full(&s)]);
+    }
+
+    #[test]
+    fn indivisible_degree_is_rejected() {
+        let s = TensorShape::new(&[5, 7]);
+        let err = tile_all(&s, &[2, 1]).unwrap_err();
+        assert_eq!(
+            err,
+            PartitionError::NotDivisible {
+                dim: 0,
+                extent: 5,
+                degree: 2
+            }
+        );
+        assert!(err.to_string().contains("not divisible"));
+    }
+
+    #[test]
+    fn zero_degree_is_rejected() {
+        let s = TensorShape::new(&[4]);
+        assert_eq!(
+            tile_all(&s, &[0]).unwrap_err(),
+            PartitionError::ZeroDegree { dim: 0 }
+        );
+    }
+
+    #[test]
+    fn rank_mismatch_is_rejected() {
+        let s = TensorShape::new(&[4, 4]);
+        assert!(matches!(
+            tile_all(&s, &[2]).unwrap_err(),
+            PartitionError::RankMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,248 @@
+//! Half-open hyper-rectangles describing sub-tensors.
+
+use crate::shape::{TensorShape, MAX_DIMS};
+use std::fmt;
+
+/// A half-open hyper-rectangle `[lo, hi)` inside a tensor.
+///
+/// Rects describe which slice of a tensor a task writes (its output tile) or
+/// reads (its input requirement). Task-graph construction (paper §5.1 step 2)
+/// intersects producer output rects with consumer input rects to decide which
+/// task pairs share data and therefore need a dependency or a communication
+/// task.
+///
+/// ```
+/// use flexflow_tensor::Rect;
+/// let a = Rect::new(&[0, 0], &[32, 64]);
+/// let b = Rect::new(&[16, 0], &[48, 64]);
+/// let i = a.intersection(&b).unwrap();
+/// assert_eq!(i, Rect::new(&[16, 0], &[32, 64]));
+/// assert_eq!(i.volume(), 16 * 64);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    lo: [u64; MAX_DIMS],
+    hi: [u64; MAX_DIMS],
+    ndims: u8,
+}
+
+impl Rect {
+    /// Creates a rect from inclusive lower bounds and exclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` and `hi` have different lengths, are empty or longer
+    /// than [`MAX_DIMS`], or if `lo[d] >= hi[d]` for any dimension (empty
+    /// rects are not representable; absence of overlap is expressed by
+    /// [`Rect::intersection`] returning `None`).
+    pub fn new(lo: &[u64], hi: &[u64]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "lo/hi rank mismatch");
+        assert!(
+            !lo.is_empty() && lo.len() <= MAX_DIMS,
+            "rect rank must be in 1..={MAX_DIMS}"
+        );
+        for d in 0..lo.len() {
+            assert!(
+                lo[d] < hi[d],
+                "empty interval in dim {d}: [{}, {})",
+                lo[d],
+                hi[d]
+            );
+        }
+        let mut l = [0u64; MAX_DIMS];
+        let mut h = [1u64; MAX_DIMS];
+        l[..lo.len()].copy_from_slice(lo);
+        h[..hi.len()].copy_from_slice(hi);
+        Self {
+            lo: l,
+            hi: h,
+            ndims: lo.len() as u8,
+        }
+    }
+
+    /// The rect covering an entire shape.
+    pub fn full(shape: &TensorShape) -> Self {
+        let lo = vec![0u64; shape.ndims()];
+        Self::new(&lo, shape.dims())
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.ndims as usize
+    }
+
+    /// Inclusive lower bounds.
+    pub fn lo(&self) -> &[u64] {
+        &self.lo[..self.ndims()]
+    }
+
+    /// Exclusive upper bounds.
+    pub fn hi(&self) -> &[u64] {
+        &self.hi[..self.ndims()]
+    }
+
+    /// Extent along dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.ndims()`.
+    pub fn extent(&self, d: usize) -> u64 {
+        assert!(d < self.ndims(), "dimension {d} out of range");
+        self.hi[d] - self.lo[d]
+    }
+
+    /// Extents of all dimensions, as a shape-compatible vector.
+    pub fn extents(&self) -> Vec<u64> {
+        (0..self.ndims()).map(|d| self.extent(d)).collect()
+    }
+
+    /// Number of elements covered.
+    pub fn volume(&self) -> u64 {
+        (0..self.ndims()).map(|d| self.extent(d)).product()
+    }
+
+    /// Whether the two rects overlap in every dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks differ.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        assert_eq!(self.ndims(), other.ndims(), "rect rank mismatch");
+        (0..self.ndims()).all(|d| self.lo[d] < other.hi[d] && other.lo[d] < self.hi[d])
+    }
+
+    /// The overlapping region, or `None` when the rects are disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks differ.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let n = self.ndims();
+        let lo: Vec<u64> = (0..n).map(|d| self.lo[d].max(other.lo[d])).collect();
+        let hi: Vec<u64> = (0..n).map(|d| self.hi[d].min(other.hi[d])).collect();
+        Some(Rect::new(&lo, &hi))
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks differ.
+    pub fn contains(&self, other: &Rect) -> bool {
+        assert_eq!(self.ndims(), other.ndims(), "rect rank mismatch");
+        (0..self.ndims()).all(|d| self.lo[d] <= other.lo[d] && other.hi[d] <= self.hi[d])
+    }
+
+    /// Returns a copy with dimension `d` replaced by the interval
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range or the interval is empty.
+    pub fn with_dim(&self, d: usize, lo: u64, hi: u64) -> Rect {
+        assert!(d < self.ndims(), "dimension {d} out of range");
+        assert!(lo < hi, "empty interval in dim {d}: [{lo}, {hi})");
+        let mut out = *self;
+        out.lo[d] = lo;
+        out.hi[d] = hi;
+        out
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rect(")?;
+        for d in 0..self.ndims() {
+            if d > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "[{},{})", self.lo[d], self.hi[d])?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_covers_shape() {
+        let s = TensorShape::new(&[4, 8, 16]);
+        let r = Rect::full(&s);
+        assert_eq!(r.volume(), s.volume());
+        assert_eq!(r.lo(), &[0, 0, 0]);
+        assert_eq!(r.hi(), &[4, 8, 16]);
+        assert_eq!(r.extents(), vec![4, 8, 16]);
+    }
+
+    #[test]
+    fn disjoint_rects_do_not_intersect() {
+        let a = Rect::new(&[0], &[4]);
+        let b = Rect::new(&[4], &[8]);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn touching_rects_share_no_elements() {
+        // Half-open semantics: [0,4) and [4,8) are adjacent, not overlapping.
+        let a = Rect::new(&[0, 0], &[4, 10]);
+        let b = Rect::new(&[4, 0], &[8, 10]);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let a = Rect::new(&[0, 0], &[6, 6]);
+        let b = Rect::new(&[3, 3], &[9, 9]);
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+        assert_eq!(a.intersection(&b).unwrap(), Rect::new(&[3, 3], &[6, 6]));
+    }
+
+    #[test]
+    fn contains_checks_all_dims() {
+        let outer = Rect::new(&[0, 0], &[10, 10]);
+        let inner = Rect::new(&[2, 3], &[5, 7]);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains(&outer));
+    }
+
+    #[test]
+    fn with_dim_replaces_interval() {
+        let r = Rect::new(&[0, 0], &[10, 10]);
+        let s = r.with_dim(1, 5, 8);
+        assert_eq!(s.lo(), &[0, 5]);
+        assert_eq!(s.hi(), &[10, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn rejects_empty_interval() {
+        Rect::new(&[3], &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn intersect_requires_same_rank() {
+        let a = Rect::new(&[0], &[4]);
+        let b = Rect::new(&[0, 0], &[4, 4]);
+        a.intersects(&b);
+    }
+
+    #[test]
+    fn debug_form_is_compact() {
+        let r = Rect::new(&[1, 2], &[3, 4]);
+        assert_eq!(format!("{r:?}"), "Rect([1,3), [2,4))");
+    }
+}

@@ -1,0 +1,236 @@
+//! Tensor extents and element types.
+
+use std::fmt;
+
+/// Maximum number of dimensions a tensor may have.
+///
+/// Four is enough for every operator in the paper's six benchmark DNNs
+/// (`[sample, channel, height, width]` for 2-D CNNs, `[sample, channel,
+/// length]` for 1-D ops and `[sample, channel]` for dense layers).
+pub const MAX_DIMS: usize = 4;
+
+/// Element type of a tensor.
+///
+/// The FlexFlow paper trains in fp32; we keep the enum open for the
+/// half-precision and integer (embedding index) tensors that appear in the
+/// model zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataType {
+    /// 32-bit IEEE-754 float (the default training precision in the paper).
+    #[default]
+    F32,
+    /// 16-bit IEEE-754 float.
+    F16,
+    /// 32-bit signed integer (token indices for embedding lookups).
+    I32,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    ///
+    /// ```
+    /// use flexflow_tensor::DataType;
+    /// assert_eq!(DataType::F32.size_bytes(), 4);
+    /// assert_eq!(DataType::F16.size_bytes(), 2);
+    /// ```
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DataType::F32 | DataType::I32 => 4,
+            DataType::F16 => 2,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::F32 => write!(f, "f32"),
+            DataType::F16 => write!(f, "f16"),
+            DataType::I32 => write!(f, "i32"),
+        }
+    }
+}
+
+/// The extent of an n-dimensional tensor (`1 <= n <=` [`MAX_DIMS`]).
+///
+/// A shape stores its dimensions inline; copying it is cheap. Every dimension
+/// must be at least 1.
+///
+/// ```
+/// use flexflow_tensor::TensorShape;
+/// let s = TensorShape::new(&[64, 3, 224, 224]);
+/// assert_eq!(s.ndims(), 4);
+/// assert_eq!(s.volume(), 64 * 3 * 224 * 224);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorShape {
+    dims: [u64; MAX_DIMS],
+    ndims: u8,
+    dtype: DataType,
+}
+
+impl TensorShape {
+    /// Creates a new shape with element type [`DataType::F32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, longer than [`MAX_DIMS`], or contains a
+    /// zero extent.
+    pub fn new(dims: &[u64]) -> Self {
+        Self::with_dtype(dims, DataType::F32)
+    }
+
+    /// Creates a new shape with an explicit element type.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TensorShape::new`].
+    pub fn with_dtype(dims: &[u64], dtype: DataType) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_DIMS,
+            "tensor rank must be in 1..={MAX_DIMS}, got {}",
+            dims.len()
+        );
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "tensor dimensions must be positive, got {dims:?}"
+        );
+        let mut buf = [1u64; MAX_DIMS];
+        buf[..dims.len()].copy_from_slice(dims);
+        Self {
+            dims: buf,
+            ndims: dims.len() as u8,
+            dtype,
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.ndims as usize
+    }
+
+    /// The extents as a slice of length [`Self::ndims`].
+    pub fn dims(&self) -> &[u64] {
+        &self.dims[..self.ndims()]
+    }
+
+    /// Extent of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.ndims()`.
+    pub fn dim(&self, d: usize) -> u64 {
+        assert!(d < self.ndims(), "dimension {d} out of range");
+        self.dims[d]
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> u64 {
+        self.dims().iter().product()
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.volume() * self.dtype.size_bytes()
+    }
+
+    /// Returns a copy of this shape with dimension `d` replaced by `extent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range or `extent` is zero.
+    pub fn with_dim(&self, d: usize, extent: u64) -> Self {
+        assert!(d < self.ndims(), "dimension {d} out of range");
+        assert!(extent > 0, "extent must be positive");
+        let mut out = *self;
+        out.dims[d] = extent;
+        out
+    }
+}
+
+impl fmt::Debug for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TensorShape({:?}, {})", self.dims(), self.dtype)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims().iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_basics() {
+        let s = TensorShape::new(&[64, 1024]);
+        assert_eq!(s.ndims(), 2);
+        assert_eq!(s.dims(), &[64, 1024]);
+        assert_eq!(s.volume(), 65536);
+        assert_eq!(s.size_bytes(), 65536 * 4);
+        assert_eq!(s.dim(0), 64);
+    }
+
+    #[test]
+    fn shape_with_dtype() {
+        let s = TensorShape::with_dtype(&[10, 20], DataType::F16);
+        assert_eq!(s.size_bytes(), 200 * 2);
+        assert_eq!(s.dtype(), DataType::F16);
+    }
+
+    #[test]
+    fn shape_with_dim() {
+        let s = TensorShape::new(&[8, 16, 32]);
+        let t = s.with_dim(1, 4);
+        assert_eq!(t.dims(), &[8, 4, 32]);
+        // original untouched
+        assert_eq!(s.dims(), &[8, 16, 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor rank")]
+    fn shape_rejects_empty() {
+        TensorShape::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor rank")]
+    fn shape_rejects_rank_5() {
+        TensorShape::new(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn shape_rejects_zero_extent() {
+        TensorShape::new(&[4, 0]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = TensorShape::new(&[64, 3, 224, 224]);
+        assert_eq!(format!("{s}"), "[64x3x224x224]");
+        assert_eq!(format!("{}", DataType::I32), "i32");
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DataType::F32.size_bytes(), 4);
+        assert_eq!(DataType::I32.size_bytes(), 4);
+        assert_eq!(DataType::F16.size_bytes(), 2);
+    }
+}

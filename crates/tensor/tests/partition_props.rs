@@ -1,0 +1,90 @@
+//! Property-based tests for the partitioning invariants the SOAP machinery
+//! relies on: tiles are disjoint, cover the shape exactly, and slicing +
+//! scattering tiles reassembles a tensor bit-for-bit.
+
+use flexflow_tensor::{partition, DenseTensor, Rect, TensorShape};
+use proptest::prelude::*;
+
+/// A shape together with a degree vector that evenly divides it.
+fn shape_and_degrees() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    // Build each dimension as degree * chunk so divisibility holds by
+    // construction.
+    prop::collection::vec((1u64..=4, 1u64..=6), 1..=4).prop_map(|pairs| {
+        let degrees: Vec<u64> = pairs.iter().map(|(d, _)| *d).collect();
+        let dims: Vec<u64> = pairs.iter().map(|(d, c)| d * c).collect();
+        (dims, degrees)
+    })
+}
+
+proptest! {
+    #[test]
+    fn tiles_are_disjoint_and_cover((dims, degrees) in shape_and_degrees()) {
+        let shape = TensorShape::new(&dims);
+        let tiles = partition::tile_all(&shape, &degrees).unwrap();
+        let expected: u64 = degrees.iter().product();
+        prop_assert_eq!(tiles.len() as u64, expected);
+
+        // Equal sizes (paper §4: equal-size partitions).
+        let v0 = tiles[0].volume();
+        for t in &tiles {
+            prop_assert_eq!(t.volume(), v0);
+        }
+
+        // Disjoint.
+        for i in 0..tiles.len() {
+            for j in (i + 1)..tiles.len() {
+                prop_assert!(!tiles[i].intersects(&tiles[j]));
+            }
+        }
+
+        // Cover.
+        let total: u64 = tiles.iter().map(Rect::volume).sum();
+        prop_assert_eq!(total, shape.volume());
+    }
+
+    #[test]
+    fn unflatten_roundtrips((dims, degrees) in shape_and_degrees()) {
+        let shape = TensorShape::new(&dims);
+        let tiles = partition::tile_all(&shape, &degrees).unwrap();
+        for (flat, tile) in tiles.iter().enumerate() {
+            let idx = partition::unflatten_index(&degrees, flat as u64);
+            let again = partition::tile(&shape, &degrees, &idx).unwrap();
+            prop_assert_eq!(&again, tile);
+        }
+    }
+
+    #[test]
+    fn slice_scatter_reassembles((dims, degrees) in shape_and_degrees()) {
+        let shape = TensorShape::new(&dims);
+        let t = DenseTensor::from_fn(shape, |i| i as f32 * 0.5 - 3.0);
+        let tiles = partition::tile_all(&shape, &degrees).unwrap();
+        let mut rebuilt = DenseTensor::zeros(shape);
+        for rect in &tiles {
+            rebuilt.scatter(rect, &t.slice(rect));
+        }
+        prop_assert!(rebuilt.approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn intersection_volume_is_bounded(
+        (dims, degrees) in shape_and_degrees(),
+        (dims2, degrees2) in shape_and_degrees(),
+    ) {
+        // Intersections of arbitrary rects never exceed either operand's
+        // volume and are contained in both.
+        prop_assume!(dims.len() == dims2.len());
+        let a = Rect::full(&TensorShape::new(&dims));
+        let degree_tiles = partition::tile_all(&TensorShape::new(&dims), &degrees).unwrap();
+        let _ = degrees2; // degree vector for the second shape is unused
+        let b = Rect::full(&TensorShape::new(&dims2));
+        for t in &degree_tiles {
+            if let Some(i) = t.intersection(&b) {
+                prop_assert!(i.volume() <= t.volume());
+                prop_assert!(i.volume() <= b.volume());
+                prop_assert!(t.contains(&i));
+                prop_assert!(b.contains(&i));
+                prop_assert!(a.contains(&i));
+            }
+        }
+    }
+}

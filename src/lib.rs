@@ -1,0 +1,14 @@
+//! FlexFlow reproduction — facade crate.
+//!
+//! Re-exports the workspace crates under one roof. See the README for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+
+#![warn(missing_docs)]
+pub use flexflow_baselines as baselines;
+pub use flexflow_core as core;
+pub use flexflow_costmodel as costmodel;
+pub use flexflow_device as device;
+pub use flexflow_opgraph as opgraph;
+pub use flexflow_runtime as runtime;
+pub use flexflow_tensor as tensor;

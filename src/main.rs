@@ -1,0 +1,197 @@
+//! `flexflow` — command-line interface to the reproduction.
+//!
+//! ```text
+//! flexflow models
+//! flexflow search <model> [--gpus N] [--cluster p100|k80] [--evals N] [--seed N] [--out FILE]
+//! flexflow simulate <model> [--gpus N] [--cluster p100|k80] [--strategy FILE]
+//! flexflow baselines <model> [--gpus N] [--cluster p100|k80]
+//! ```
+
+use flexflow::baselines::{expert, model_parallel, optcnn};
+use flexflow::core::metrics::SimMetrics;
+use flexflow::core::sim::{simulate_full, SimConfig};
+use flexflow::core::taskgraph::TaskGraph;
+use flexflow::core::{strategy_io, Budget, McmcOptimizer, Strategy};
+use flexflow::costmodel::MeasuredCostModel;
+use flexflow::device::{clusters, DeviceKind, Topology};
+use flexflow::opgraph::{zoo, OpGraph};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  flexflow models\n  flexflow search <model> [--gpus N] [--cluster p100|k80] \
+         [--evals N] [--seed N] [--out FILE]\n  flexflow simulate <model> [--gpus N] \
+         [--cluster p100|k80] [--strategy FILE]\n  flexflow baselines <model> [--gpus N] \
+         [--cluster p100|k80]"
+    );
+    ExitCode::from(2)
+}
+
+struct Options {
+    model: String,
+    gpus: usize,
+    cluster: DeviceKind,
+    evals: u64,
+    seed: u64,
+    out: Option<String>,
+    strategy: Option<String>,
+}
+
+fn parse(args: &[String]) -> Option<Options> {
+    let mut o = Options {
+        model: args.first()?.clone(),
+        gpus: 4,
+        cluster: DeviceKind::P100,
+        evals: 2000,
+        seed: 42,
+        out: None,
+        strategy: None,
+    };
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut i = 1;
+    while i + 1 < args.len() + 1 {
+        if i >= args.len() {
+            break;
+        }
+        let key = args[i].clone();
+        if !key.starts_with("--") || i + 1 >= args.len() {
+            eprintln!("unexpected argument {key:?}");
+            return None;
+        }
+        flags.insert(key, args[i + 1].clone());
+        i += 2;
+    }
+    if let Some(v) = flags.get("--gpus") {
+        o.gpus = v.parse().ok()?;
+    }
+    if let Some(v) = flags.get("--cluster") {
+        o.cluster = match v.as_str() {
+            "p100" => DeviceKind::P100,
+            "k80" => DeviceKind::K80,
+            other => {
+                eprintln!("unknown cluster {other:?} (p100|k80)");
+                return None;
+            }
+        };
+    }
+    if let Some(v) = flags.get("--evals") {
+        o.evals = v.parse().ok()?;
+    }
+    if let Some(v) = flags.get("--seed") {
+        o.seed = v.parse().ok()?;
+    }
+    o.out = flags.get("--out").cloned();
+    o.strategy = flags.get("--strategy").cloned();
+    Some(o)
+}
+
+fn build(o: &Options) -> (OpGraph, Topology) {
+    let batch = if o.model == "alexnet" { 256 } else { 64 };
+    (
+        zoo::by_name(&o.model, batch),
+        clusters::paper_cluster(o.cluster, o.gpus),
+    )
+}
+
+fn report(label: &str, graph: &OpGraph, topo: &Topology, s: &Strategy) {
+    let cost = MeasuredCostModel::paper_default();
+    let tg = TaskGraph::build(graph, topo, s, &cost, &SimConfig::default());
+    let state = simulate_full(&tg);
+    let m = SimMetrics::collect(&tg, &state);
+    let batch = graph.op(graph.ids().next().unwrap()).output_shape().dim(0);
+    println!(
+        "{label:<18} {:>10.2} ms/iter  {:>10.1} samples/s  {:>8.1} MB moved",
+        m.makespan_us / 1e3,
+        m.throughput(batch),
+        m.total_comm_bytes() as f64 / 1e6
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "models" => {
+            println!("{:<14} {:<55} {:<20}", "name", "description", "dataset");
+            for m in zoo::model_metas() {
+                println!("{:<14} {:<55} {:<20}", m.name, m.description, m.dataset);
+            }
+            ExitCode::SUCCESS
+        }
+        "search" => {
+            let Some(o) = parse(&args[1..]) else {
+                return usage();
+            };
+            let (graph, topo) = build(&o);
+            let cost = MeasuredCostModel::paper_default();
+            let dp = Strategy::data_parallel(&graph, &topo);
+            let ex = expert::strategy(&graph, &topo);
+            println!(
+                "searching {} on {} x {} ({} ops, {} evals)...",
+                o.model,
+                o.gpus,
+                o.cluster,
+                graph.len(),
+                o.evals
+            );
+            let mut opt = McmcOptimizer::new(o.seed);
+            let r = opt.search(
+                &graph,
+                &topo,
+                &cost,
+                &[dp.clone(), ex.clone()],
+                Budget::evaluations(o.evals),
+                SimConfig::default(),
+            );
+            report("data parallelism", &graph, &topo, &dp);
+            report("expert", &graph, &topo, &ex);
+            report("flexflow", &graph, &topo, &r.best);
+            if let Some(path) = o.out {
+                let dump = strategy_io::export(&graph, &topo, &r.best);
+                std::fs::write(&path, serde_json::to_string_pretty(&dump).expect("serialize"))
+                    .expect("write strategy file");
+                println!("strategy written to {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        "simulate" => {
+            let Some(o) = parse(&args[1..]) else {
+                return usage();
+            };
+            let (graph, topo) = build(&o);
+            let s = match &o.strategy {
+                None => Strategy::data_parallel(&graph, &topo),
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).expect("read strategy file");
+                    let dump: strategy_io::StrategyDump =
+                        serde_json::from_str(&text).expect("parse strategy file");
+                    match strategy_io::import(&graph, &topo, &dump) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("cannot load strategy: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            };
+            report("simulated", &graph, &topo, &s);
+            ExitCode::SUCCESS
+        }
+        "baselines" => {
+            let Some(o) = parse(&args[1..]) else {
+                return usage();
+            };
+            let (graph, topo) = build(&o);
+            let cost = MeasuredCostModel::paper_default();
+            report("data parallelism", &graph, &topo, &Strategy::data_parallel(&graph, &topo));
+            report("model parallelism", &graph, &topo, &model_parallel(&graph, &topo, &cost));
+            report("expert", &graph, &topo, &expert::strategy(&graph, &topo));
+            report("optcnn", &graph, &topo, &optcnn::optimize(&graph, &topo, &cost).strategy);
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
