@@ -28,7 +28,7 @@ pub fn strategy(graph: &OpGraph, topo: &Topology) -> Strategy {
 /// Largest divisor of `extent` that is at most `cap`.
 fn divisor_at_most(extent: u64, cap: u64) -> u64 {
     let mut d = cap.max(1).min(extent);
-    while extent % d != 0 {
+    while !extent.is_multiple_of(d) {
         d -= 1;
     }
     d

@@ -27,7 +27,6 @@
 //! assert_eq!(strategy.configs().len(), g.len());
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod expert;
 pub mod model_parallel;
@@ -36,9 +35,9 @@ pub mod reinforce;
 
 pub use model_parallel::model_parallel;
 
+use flexflow_core::soap::ParallelConfig;
 use flexflow_device::{DeviceId, Topology};
 use flexflow_opgraph::OpNode;
-use flexflow_core::soap::ParallelConfig;
 
 /// Power-of-two-aligned candidate configurations for an op: every legal
 /// degree vector whose degrees are powers of two with product at most the
@@ -60,7 +59,7 @@ pub fn aligned_configs(node: &OpNode, topo: &Topology) -> Vec<ParallelConfig> {
         }
         // Aligned blocks: starts at multiples of the task count when the
         // device count is a multiple; otherwise every start.
-        let starts: Vec<u64> = if n % tasks == 0 {
+        let starts: Vec<u64> = if n.is_multiple_of(tasks) {
             (0..n / tasks).map(|b| b * tasks).collect()
         } else {
             (0..=(n - tasks)).collect()

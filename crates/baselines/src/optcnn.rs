@@ -51,9 +51,8 @@ fn node_cost_us(
             let bytes = node.params_for_tile(&tile) * 4;
             // distinct devices of one shard: stride over tasks of the
             // parameter block
-            let mut devs: Vec<DeviceId> = (0..config.num_tasks())
-                .map(|k| config.device(k))
-                .collect();
+            let mut devs: Vec<DeviceId> =
+                (0..config.num_tasks()).map(|k| config.device(k)).collect();
             devs.sort();
             devs.dedup();
             if devs.len() > 1 {
@@ -236,7 +235,7 @@ fn greedy_topo(graph: &OpGraph, topo: &Topology, cost: &dyn CostModel) -> OptCnn
                     total += edge_cost_us(graph, topo, src, op, sc, &c);
                 }
             }
-            if best.as_ref().map_or(true, |(b, _)| total < *b) {
+            if best.as_ref().is_none_or(|(b, _)| total < *b) {
                 best = Some((total, c));
             }
         }

@@ -89,7 +89,7 @@ pub fn optimize(
             let tg = TaskGraph::build(graph, topo, &strategy, cost, &cfg);
             let c = simulate_full(&tg).makespan_us();
             episodes += 1;
-            if best.as_ref().map_or(true, |(_, bc)| c < *bc) {
+            if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
                 best = Some((strategy, c));
             }
             costs.push(c);
@@ -146,8 +146,7 @@ fn placement_strategy(
         })
         .collect();
     for (i, &op) in searchable.iter().enumerate() {
-        configs[op.index()] =
-            ParallelConfig::on_device(graph.op(op), topo.device_id(devices[i]));
+        configs[op.index()] = ParallelConfig::on_device(graph.op(op), topo.device_id(devices[i]));
     }
     Strategy::from_configs(graph, configs)
 }

@@ -46,10 +46,18 @@ fn bench_exhaustive(c: &mut Criterion) {
     let mut g = flexflow_opgraph::OpGraph::new("tiny");
     let x = g.add_input("x", flexflow_tensor::TensorShape::new(&[8, 32]));
     let a = g
-        .add_op(flexflow_opgraph::OpKind::Linear { out_features: 16 }, &[x], "fc1")
+        .add_op(
+            flexflow_opgraph::OpKind::Linear { out_features: 16 },
+            &[x],
+            "fc1",
+        )
         .unwrap();
     let _ = g
-        .add_op(flexflow_opgraph::OpKind::Linear { out_features: 4 }, &[a], "fc2")
+        .add_op(
+            flexflow_opgraph::OpKind::Linear { out_features: 4 },
+            &[a],
+            "fc2",
+        )
         .unwrap();
     let topo = clusters::uniform_cluster(1, 2, 16.0, 4.0);
     let cost = MeasuredCostModel::paper_default();

@@ -44,7 +44,10 @@ fn main() {
 
     // 1. beta sweep
     println!("Ablation 1: MCMC temperature (beta_scale), RNNLM on 8 P100s");
-    println!("{:>12} {:>14} {:>12}", "beta_scale", "best (ms)", "accept %");
+    println!(
+        "{:>12} {:>14} {:>12}",
+        "beta_scale", "best (ms)", "accept %"
+    );
     for beta in [1.0, 5.0, 20.0, 80.0, 320.0] {
         let mut opt = McmcOptimizer::new(0xAB1);
         opt.beta_scale = beta;
@@ -57,7 +60,12 @@ fn main() {
             cfg,
         );
         let accept = 100.0 * r.accepted as f64 / r.evals.max(1) as f64;
-        println!("{:>12.0} {:>14.2} {:>11.1}%", beta, r.best_cost_us / 1e3, accept);
+        println!(
+            "{:>12.0} {:>14.2} {:>11.1}%",
+            beta,
+            r.best_cost_us / 1e3,
+            accept
+        );
         points.push(AblationPoint {
             study: "beta".into(),
             setting: format!("{beta}"),
@@ -158,8 +166,7 @@ fn main() {
         sync_mode: flexflow_core::taskgraph::SyncMode::Ring,
         ..cfg
     };
-    let ring =
-        simulate_full(&TaskGraph::build(&graph, &topo, &dp, &cost, &ring_cfg)).makespan_us();
+    let ring = simulate_full(&TaskGraph::build(&graph, &topo, &dp, &cost, &ring_cfg)).makespan_us();
     println!(
         "  DP iteration: {:.2} ms (PS star) vs {:.2} ms (ring) — {:.2}x;\n\
          \u{20}  the paper-era PS model is what makes DP sync-bound",

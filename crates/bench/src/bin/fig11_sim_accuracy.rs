@@ -68,7 +68,10 @@ fn main() {
             let topo = clusters::paper_cluster(kind, gpus);
             let mut rng = StdRng::seed_from_u64(0xF11 ^ gpus as u64);
             let mut strategies: Vec<(String, Strategy)> = vec![
-                ("data-parallel".into(), Strategy::data_parallel(&graph, &topo)),
+                (
+                    "data-parallel".into(),
+                    Strategy::data_parallel(&graph, &topo),
+                ),
                 ("expert".into(), expert::strategy(&graph, &topo)),
             ];
             for i in 0..3 {

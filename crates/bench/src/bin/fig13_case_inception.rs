@@ -83,20 +83,14 @@ fn main() {
         ff_m.makespan_us / 1e3,
         time_reduction * 100.0
     );
-    println!(
-        "  (expert strategy: {:.2} ms)",
-        ex_m.makespan_us / 1e3
-    );
+    println!("  (expert strategy: {:.2} ms)", ex_m.makespan_us / 1e3);
 
     // Graphviz rendering of the strategy: ops colored by their first
     // task's device, labelled with the degree vector (the paper's figure
     // colors device assignments the same way).
     let dot = flexflow_opgraph::dot::to_dot(&graph, |id| {
         let c = result.best.config(id);
-        Some((
-            format!("{:?}", c.degrees()),
-            c.device(0).index(),
-        ))
+        Some((format!("{:?}", c.degrees()), c.device(0).index()))
     });
     let dot_path = flexflow_bench::results_dir().join("fig13_inception.dot");
     std::fs::create_dir_all(flexflow_bench::results_dir()).expect("results dir");

@@ -51,7 +51,10 @@ fn main() {
     // Group ops by a human-readable layer tag derived from their names.
     let tag_of = |name: &str| -> String {
         let base = name.split("_t").next().unwrap_or(name);
-        base.replace(|c: char| c.is_ascii_digit() && base.starts_with("enc_lstm"), "")
+        base.replace(
+            |c: char| c.is_ascii_digit() && base.starts_with("enc_lstm"),
+            "",
+        )
     };
     let mut groups: BTreeMap<String, Vec<flexflow_opgraph::OpId>> = BTreeMap::new();
     for id in graph.ids() {
@@ -104,7 +107,7 @@ fn main() {
         let xs: Vec<f64> = summaries
             .iter()
             .filter(|s| s.layer.starts_with(prefix))
-            .map(|s| f(s))
+            .map(f)
             .collect();
         (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
     };
@@ -113,12 +116,8 @@ fn main() {
         layer_avg("enc_embed", &|s| s.distinct_devices as f64),
         layer_avg("nmt_proj", &|s| s.avg_parameter_degree),
     ) {
-        println!(
-            "  embedding layers use {embed_dev:.1} devices on average (few = cheap sync)"
-        );
-        println!(
-            "  softmax projection averages parameter degree {proj_p:.2} (channel splits)"
-        );
+        println!("  embedding layers use {embed_dev:.1} devices on average (few = cheap sync)");
+        println!("  softmax projection averages parameter degree {proj_p:.2} (channel splits)");
     }
 
     let dp = Strategy::data_parallel(&graph, &topo);

@@ -46,10 +46,13 @@ fn dump(
     label: &str,
 ) -> Vec<TimelineEntry> {
     println!("\n{label}");
-    println!("{:<12} {:<10} {:>5} {:>7} {:>7} {:>7}", "task", "unit", "exe", "ready", "start", "end");
+    println!(
+        "{:<12} {:<10} {:>5} {:>7} {:>7} {:>7}",
+        "task", "unit", "exe", "ready", "start", "end"
+    );
     let mut entries = Vec::new();
     let mut rows: Vec<_> = tg.iter().collect();
-    rows.sort_by(|a, b| a.1.seq.cmp(&b.1.seq));
+    rows.sort_by_key(|a| a.1.seq);
     for (id, t) in rows {
         let name = match t.kind {
             TaskKind::Compute { op, k } => format!("{}:{}", g.op(op).name(), k + 1),
@@ -60,7 +63,15 @@ fn dump(
         if t.exe_us == 0.0 {
             continue; // skip the zero-cost data-loader tasks
         }
-        println!("{:<12} {:<10} {:>5.1} {:>7.1} {:>7.1} {:>7.1}", name, t.unit.to_string(), t.exe_us, r, s, e);
+        println!(
+            "{:<12} {:<10} {:>5.1} {:>7.1} {:>7.1} {:>7.1}",
+            name,
+            t.unit.to_string(),
+            t.exe_us,
+            r,
+            s,
+            e
+        );
         entries.push(TimelineEntry {
             task: name,
             unit: t.unit.to_string(),
@@ -81,12 +92,24 @@ fn main() {
     let x1 = g.add_input("x1", TensorShape::with_dtype(&[2, 1], DataType::I32));
     let x2 = g.add_input("x2", TensorShape::with_dtype(&[2, 1], DataType::I32));
     let h0 = g.add_input("h0", TensorShape::new(&[2, 4]));
-    let o1 = g.add_op(OpKind::Embedding { vocab: 16, dim: 4 }, &[x1], "o1").unwrap();
-    let o2 = g.add_op(OpKind::Embedding { vocab: 16, dim: 4 }, &[x2], "o2").unwrap();
-    let o3 = g.add_op(OpKind::LstmCell { hidden: 4 }, &[o1, h0], "o3").unwrap();
-    let o4 = g.add_op(OpKind::LstmCell { hidden: 4 }, &[o2, o3], "o4").unwrap();
-    let _o5 = g.add_op(OpKind::Linear { out_features: 4 }, &[o3], "o5").unwrap();
-    let _o6 = g.add_op(OpKind::Linear { out_features: 4 }, &[o4], "o6").unwrap();
+    let o1 = g
+        .add_op(OpKind::Embedding { vocab: 16, dim: 4 }, &[x1], "o1")
+        .unwrap();
+    let o2 = g
+        .add_op(OpKind::Embedding { vocab: 16, dim: 4 }, &[x2], "o2")
+        .unwrap();
+    let o3 = g
+        .add_op(OpKind::LstmCell { hidden: 4 }, &[o1, h0], "o3")
+        .unwrap();
+    let o4 = g
+        .add_op(OpKind::LstmCell { hidden: 4 }, &[o2, o3], "o4")
+        .unwrap();
+    let _o5 = g
+        .add_op(OpKind::Linear { out_features: 4 }, &[o3], "o5")
+        .unwrap();
+    let _o6 = g
+        .add_op(OpKind::Linear { out_features: 4 }, &[o4], "o6")
+        .unwrap();
 
     // Unit-time transfers: enormous bandwidth, 1us latency.
     let topo = clusters::uniform_cluster(1, 3, 1e9, 1e9);

@@ -6,7 +6,9 @@
 //! Environment knobs: `FIG7_EVALS` (MCMC proposals per cell, default 300),
 //! `FIG7_MAX_GPUS` (default 64), `FIG7_MODELS` (comma list).
 
-use flexflow_bench::{eval_model, paper_cluster, run_contenders, scaled_evals, Contenders, FIG7_GPU_COUNTS};
+use flexflow_bench::{
+    eval_model, paper_cluster, run_contenders, scaled_evals, Contenders, FIG7_GPU_COUNTS,
+};
 use flexflow_device::DeviceKind;
 use flexflow_opgraph::zoo::EVAL_MODELS;
 use serde::Serialize;
@@ -45,7 +47,13 @@ fn main() {
         println!("\n== {model} (batch size = {batch}) ==");
         println!(
             "{:>10} {:>14} {:>14} {:>14}   {:>14} {:>14} {:>14}",
-            "gpus", "DP(P100)", "Expert(P100)", "FlexFlow(P100)", "DP(K80)", "Expert(K80)", "FlexFlow(K80)"
+            "gpus",
+            "DP(P100)",
+            "Expert(P100)",
+            "FlexFlow(P100)",
+            "DP(K80)",
+            "Expert(K80)",
+            "FlexFlow(K80)"
         );
         for &gpus in FIG7_GPU_COUNTS.iter().filter(|&&g| g <= max_gpus) {
             if batch % (gpus as u64) != 0 {
@@ -54,7 +62,13 @@ fn main() {
             let mut row: Vec<String> = vec![format!("{gpus}({})", gpus.div_ceil(4).max(1))];
             for kind in [DeviceKind::P100, DeviceKind::K80] {
                 let topo = paper_cluster(kind, gpus);
-                let c = run_contenders(&graph, &topo, batch, scaled_evals(evals, gpus), 0xF167 ^ gpus as u64);
+                let c = run_contenders(
+                    &graph,
+                    &topo,
+                    batch,
+                    scaled_evals(evals, gpus),
+                    0xF167 ^ gpus as u64,
+                );
                 row.push(format!("{:.1}", c.data_parallel));
                 row.push(format!("{:.1}", c.expert));
                 row.push(format!("{:.1}", c.flexflow));

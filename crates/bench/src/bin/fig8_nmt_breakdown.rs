@@ -51,7 +51,11 @@ fn main() {
         .best;
 
     let mut rows = Vec::new();
-    for (name, s) in [("Data Parallelism", &dp), ("Expert Designed", &ex), ("FlexFlow", &ff)] {
+    for (name, s) in [
+        ("Data Parallelism", &dp),
+        ("Expert Designed", &ex),
+        ("FlexFlow", &ff),
+    ] {
         let m = metrics_of(&graph, &topo, &cost, s);
         rows.push(Breakdown {
             approach: name.to_string(),
@@ -61,7 +65,10 @@ fn main() {
         });
     }
 
-    println!("Figure 8: NMT on {gpus} K80 GPUs ({} nodes)", gpus.div_ceil(4));
+    println!(
+        "Figure 8: NMT on {gpus} K80 GPUs ({} nodes)",
+        gpus.div_ceil(4)
+    );
     println!(
         "{:<18} {:>22} {:>22} {:>26}",
         "Approach", "(a) iter time (s)", "(b) transfers (GB)", "(c) task compute (s)"

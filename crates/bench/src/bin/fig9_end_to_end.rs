@@ -25,7 +25,12 @@ fn main() {
 
     // TensorFlow baseline = data parallelism (§8.2.1 reports FlexFlow's DP
     // implementation matches TensorFlow's numbers).
-    let dp_cost = cost_of(&graph, &topo, &cost, &Strategy::data_parallel(&graph, &topo));
+    let dp_cost = cost_of(
+        &graph,
+        &topo,
+        &cost,
+        &Strategy::data_parallel(&graph, &topo),
+    );
     let evals: u64 = std::env::var("FIG9_EVALS")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -22,19 +22,35 @@ fn main() {
     let t = Instant::now();
     let dp = Strategy::data_parallel(&graph, &topo);
     let tg = TaskGraph::build(&graph, &topo, &dp, &cost, &cfg);
-    println!("build DP task graph: {:?} ({} tasks)", t.elapsed(), tg.num_tasks());
+    println!(
+        "build DP task graph: {:?} ({} tasks)",
+        t.elapsed(),
+        tg.num_tasks()
+    );
 
     let t = Instant::now();
     let state = simulate_full(&tg);
-    println!("full sim: {:?} (makespan {:.1} ms)", t.elapsed(), state.makespan_us() / 1e3);
+    println!(
+        "full sim: {:?} (makespan {:.1} ms)",
+        t.elapsed(),
+        state.makespan_us() / 1e3
+    );
 
     let t = Instant::now();
     let ex = expert::strategy(&graph, &topo);
     let tg_ex = TaskGraph::build(&graph, &topo, &ex, &cost, &cfg);
-    println!("build expert task graph: {:?} ({} tasks)", t.elapsed(), tg_ex.num_tasks());
+    println!(
+        "build expert task graph: {:?} ({} tasks)",
+        t.elapsed(),
+        tg_ex.num_tasks()
+    );
     let t = Instant::now();
     let st = simulate_full(&tg_ex);
-    println!("expert full sim: {:?} ({:.1} ms)", t.elapsed(), st.makespan_us() / 1e3);
+    println!(
+        "expert full sim: {:?} ({:.1} ms)",
+        t.elapsed(),
+        st.makespan_us() / 1e3
+    );
 
     for evals in [5u64, 20] {
         let t = Instant::now();
@@ -43,7 +59,7 @@ fn main() {
             &graph,
             &topo,
             &cost,
-            &[dp.clone()],
+            std::slice::from_ref(&dp),
             Budget {
                 max_evals: evals,
                 max_seconds: f64::INFINITY,

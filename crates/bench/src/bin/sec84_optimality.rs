@@ -80,13 +80,10 @@ fn main() {
             Budget::evaluations(evals),
             cfg,
         );
-        let out = ExhaustiveSearch { node_budget: budget }.search(
-            &graph,
-            &topo,
-            &cost,
-            cfg,
-            Some(mcmc.best.clone()),
-        );
+        let out = ExhaustiveSearch {
+            node_budget: budget,
+        }
+        .search(&graph, &topo, &cost, cfg, Some(mcmc.best.clone()));
         let (_, opt_cost) = out.best();
         let proven = out.is_proven_optimal();
         let nodes = match &out {
@@ -125,7 +122,8 @@ fn main() {
             other => zoo::by_name(other, 64),
         };
         for devices in [2usize, 4, 8] {
-            let topo = clusters::uniform_cluster(devices.div_ceil(4).max(1), devices.min(4), 16.0, 4.0);
+            let topo =
+                clusters::uniform_cluster(devices.div_ceil(4).max(1), devices.min(4), 16.0, 4.0);
             let mut opt = McmcOptimizer::new(0x84 ^ devices as u64);
             opt.space = ConfigSpace::Canonical;
             let mcmc = opt.search(
@@ -141,8 +139,7 @@ fn main() {
             // (the paper's 30-minute budgets settle on their own).
             let (polished, _, polish_steps) =
                 polish_to_local_optimum(&graph, &topo, &cost, cfg, &mcmc.best, 50);
-            let (is_local, witness) =
-                check_local_optimality(&graph, &topo, &cost, cfg, &polished);
+            let (is_local, witness) = check_local_optimality(&graph, &topo, &cost, cfg, &polished);
             println!(
                 "  {name} on {devices} devices: local optimum = {is_local} (after {polish_steps} polish steps){}",
                 witness

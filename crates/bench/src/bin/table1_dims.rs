@@ -53,21 +53,39 @@ struct Fig1Row {
 
 fn main() {
     println!("Table 1: parallelizable dimensions for different operations");
-    println!("{:<24} {:<10} {:<18} {:<12}", "Operation", "Sample", "Attribute", "Parameter");
+    println!(
+        "{:<24} {:<10} {:<18} {:<12}",
+        "Operation", "Sample", "Attribute", "Parameter"
+    );
 
     let rows = vec![
         dims_of(
-            OpKind::Pool1d { kernel: 2, stride: 2, padding: 0, pool: PoolType::Max },
+            OpKind::Pool1d {
+                kernel: 2,
+                stride: 2,
+                padding: 0,
+                pool: PoolType::Max,
+            },
             &[TensorShape::new(&[64, 16, 32])],
             &["sample", "channel", "length"],
         ),
         dims_of(
-            OpKind::Conv1d { out_channels: 16, kernel: 3, stride: 1, padding: 1 },
+            OpKind::Conv1d {
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
             &[TensorShape::new(&[64, 16, 32])],
             &["sample", "channel", "length"],
         ),
         dims_of(
-            OpKind::Conv2d { out_channels: 16, kernel: (3, 3), stride: (1, 1), padding: (1, 1) },
+            OpKind::Conv2d {
+                out_channels: 16,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+            },
             &[TensorShape::new(&[64, 16, 32, 32])],
             &["sample", "channel", "height", "width"],
         ),

@@ -46,9 +46,7 @@ fn main() {
     let cost = MeasuredCostModel::paper_default();
     let mut cells: Vec<Cell> = Vec::new();
 
-    println!(
-        "Table 4: end-to-end search time (s), {restarts} random restarts x {evals} proposals"
-    );
+    println!("Table 4: end-to-end search time (s), {restarts} random restarts x {evals} proposals");
     println!(
         "{:<14} {:>6} {:>10} {:>10} {:>9}",
         "model", "gpus", "full", "delta", "speedup"
@@ -59,7 +57,9 @@ fn main() {
             let topo = clusters::paper_cluster(DeviceKind::P100, gpus);
             let mut rng = StdRng::seed_from_u64(0x7AB4 ^ gpus as u64);
             let initials: Vec<Strategy> = (0..restarts)
-                .map(|_| Strategy::random_with_max_degree(&graph, &topo, ConfigSpace::Full, 16, &mut rng))
+                .map(|_| {
+                    Strategy::random_with_max_degree(&graph, &topo, ConfigSpace::Full, 16, &mut rng)
+                })
                 .collect();
 
             let time_of = |algo: SimAlgorithm| {

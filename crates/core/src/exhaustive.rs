@@ -285,9 +285,7 @@ pub fn check_local_optimality(
                 continue;
             }
             let c = sim.apply(op, config.clone());
-            if c < base_cost - 1e-6
-                && best_neighbor.as_ref().map_or(true, |(_, _, bc)| c < *bc)
-            {
+            if c < base_cost - 1e-6 && best_neighbor.as_ref().is_none_or(|(_, _, bc)| c < *bc) {
                 best_neighbor = Some((op, config, c));
             }
         }
@@ -336,12 +334,7 @@ pub fn canonical_space_size(graph: &OpGraph, topo: &Topology) -> f64 {
 
 /// Placeholder-free helper: the minimum per-task time of the cheapest
 /// configuration of each op (used by diagnostics and tests).
-pub fn op_floor_us(
-    graph: &OpGraph,
-    topo: &Topology,
-    cost: &dyn CostModel,
-    op: OpId,
-) -> f64 {
+pub fn op_floor_us(graph: &OpGraph, topo: &Topology, cost: &dyn CostModel, op: OpId) -> f64 {
     let node = graph.op(op);
     enumerate_canonical(node, topo)
         .iter()
@@ -389,9 +382,14 @@ mod tests {
         assert!(out.is_proven_optimal());
         let (_, opt_cost) = out.best();
         let dp = Strategy::data_parallel(&g, &topo);
-        let dp_cost =
-            simulate_full(&TaskGraph::build(&g, &topo, &dp, &cost, &SimConfig::default()))
-                .makespan_us();
+        let dp_cost = simulate_full(&TaskGraph::build(
+            &g,
+            &topo,
+            &dp,
+            &cost,
+            &SimConfig::default(),
+        ))
+        .makespan_us();
         assert!(opt_cost <= dp_cost + 1e-9);
     }
 
@@ -404,7 +402,10 @@ mod tests {
         let (best, _) = out.best();
         let (is_local, witness) =
             check_local_optimality(&g, &topo, &cost, SimConfig::default(), best);
-        assert!(is_local, "global optimum must be local optimum: {witness:?}");
+        assert!(
+            is_local,
+            "global optimum must be local optimum: {witness:?}"
+        );
     }
 
     #[test]
@@ -441,12 +442,17 @@ mod tests {
             SimConfig::default(),
             Some(best.clone()),
         );
-        let (ExhaustiveOutcome::Optimal { nodes: n_cold, .. },
-             ExhaustiveOutcome::Optimal { nodes: n_warm, .. }) = (&cold, &warm)
+        let (
+            ExhaustiveOutcome::Optimal { nodes: n_cold, .. },
+            ExhaustiveOutcome::Optimal { nodes: n_warm, .. },
+        ) = (&cold, &warm)
         else {
             panic!("both searches must complete");
         };
-        assert!(n_warm <= n_cold, "warm start must not explore more: {n_warm} vs {n_cold}");
+        assert!(
+            n_warm <= n_cold,
+            "warm start must not explore more: {n_warm} vs {n_cold}"
+        );
     }
 
     #[test]
@@ -474,8 +480,7 @@ mod tests {
             for c in enumerate_canonical(g.op(op), &topo) {
                 for k in 0..c.num_tasks() {
                     let tile = c.tile(g.op(op), k);
-                    let t =
-                        cost.task_time_us(g.op(op), &tile, topo.device(c.device(k)).kind);
+                    let t = cost.task_time_us(g.op(op), &tile, topo.device(c.device(k)).kind);
                     assert!(t >= floor - 1e-12);
                 }
             }

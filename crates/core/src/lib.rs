@@ -42,7 +42,6 @@
 //! assert!(result.best_cost_us > 0.0);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod exhaustive;
 pub mod memory;

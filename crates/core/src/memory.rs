@@ -148,7 +148,10 @@ mod tests {
         for name in ["lenet", "alexnet", "inception_v3"] {
             let g = zoo::by_name(name, 64);
             let dp = Strategy::data_parallel(&g, &topo);
-            assert!(check_fits(&g, &topo, &dp).is_ok(), "{name} should fit a P100");
+            assert!(
+                check_fits(&g, &topo, &dp).is_ok(),
+                "{name} should fit a P100"
+            );
         }
     }
 

@@ -165,7 +165,7 @@ impl McmcOptimizer {
             let mut sim = Simulator::new(graph, topo, cost, cfg, init.clone());
             let mut current_cost = sim.cost_us();
             let initial_cost = current_cost;
-            if best.as_ref().map_or(true, |(_, c)| current_cost < *c) {
+            if best.as_ref().is_none_or(|(_, c)| current_cost < *c) {
                 best = Some((init.clone(), current_cost));
                 trace.push((t0.elapsed().as_secs_f64(), current_cost));
             }
@@ -198,8 +198,7 @@ impl McmcOptimizer {
                 let beta = match self.acceptance {
                     AcceptanceRule::Metropolis => self.beta_scale / initial_cost,
                     AcceptanceRule::Annealed { anneal_factor } => {
-                        let progress =
-                            restart_evals as f64 / budget.max_evals.max(1) as f64;
+                        let progress = restart_evals as f64 / budget.max_evals.max(1) as f64;
                         self.beta_scale * (1.0 + (anneal_factor - 1.0) * progress.min(1.0))
                             / initial_cost
                     }
@@ -210,7 +209,7 @@ impl McmcOptimizer {
                 if accept {
                     accepted += 1;
                     current_cost = new_cost;
-                    if best.as_ref().map_or(true, |(_, c)| new_cost < *c) {
+                    if best.as_ref().is_none_or(|(_, c)| new_cost < *c) {
                         best = Some((sim.strategy().clone(), new_cost));
                         trace.push((t0.elapsed().as_secs_f64(), new_cost));
                         since_improvement = 0;
@@ -425,7 +424,9 @@ mod tests {
         );
         let mut annealed = McmcOptimizer::new(33);
         annealed.beta_scale = 5.0;
-        annealed.acceptance = AcceptanceRule::Annealed { anneal_factor: 50.0 };
+        annealed.acceptance = AcceptanceRule::Annealed {
+            anneal_factor: 50.0,
+        };
         let ra = annealed.search(
             &g,
             &topo,

@@ -243,10 +243,7 @@ pub fn simulate_delta(tg: &TaskGraph, state: &mut SimState, report: &RebuildRepo
     // predecessor update; since the heap pops in ready order, one visit
     // after the wave has settled usually suffices.
     let mut queued: Vec<bool> = vec![false; tg.capacity()];
-    let push = |state: &SimState,
-                heap: &mut BinaryHeap<_>,
-                queued: &mut Vec<bool>,
-                id: TaskId| {
+    let push = |state: &SimState, heap: &mut BinaryHeap<_>, queued: &mut Vec<bool>, id: TaskId| {
         if !queued[id.index()] {
             if let Some(t) = tg.get(id) {
                 queued[id.index()] = true;
@@ -409,9 +406,14 @@ impl<'a> Simulator<'a> {
         config: crate::soap::ParallelConfig,
     ) -> f64 {
         self.strategy.replace(op, config);
-        let report =
-            self.tg
-                .rebuild_op(self.graph, self.topo, &self.strategy, self.cost, &self.cfg, op);
+        let report = self.tg.rebuild_op(
+            self.graph,
+            self.topo,
+            &self.strategy,
+            self.cost,
+            &self.cfg,
+            op,
+        );
         self.delta_sims += 1;
         simulate_delta(&self.tg, &mut self.state, &report)
     }
@@ -485,15 +487,33 @@ mod tests {
     /// linear), 2 unroll steps, model parallelism with one layer per GPU.
     fn fig5_graph() -> OpGraph {
         let mut g = OpGraph::new("fig5");
-        let x1 = g.add_input("x1", TensorShape::with_dtype(&[2, 1], flexflow_tensor::DataType::I32));
-        let x2 = g.add_input("x2", TensorShape::with_dtype(&[2, 1], flexflow_tensor::DataType::I32));
+        let x1 = g.add_input(
+            "x1",
+            TensorShape::with_dtype(&[2, 1], flexflow_tensor::DataType::I32),
+        );
+        let x2 = g.add_input(
+            "x2",
+            TensorShape::with_dtype(&[2, 1], flexflow_tensor::DataType::I32),
+        );
         let h0 = g.add_input("h0", TensorShape::new(&[2, 4]));
-        let o1 = g.add_op(OpKind::Embedding { vocab: 16, dim: 4 }, &[x1], "o1").unwrap();
-        let o2 = g.add_op(OpKind::Embedding { vocab: 16, dim: 4 }, &[x2], "o2").unwrap();
-        let o3 = g.add_op(OpKind::LstmCell { hidden: 4 }, &[o1, h0], "o3").unwrap();
-        let o4 = g.add_op(OpKind::LstmCell { hidden: 4 }, &[o2, o3], "o4").unwrap();
-        let _o5 = g.add_op(OpKind::Linear { out_features: 4 }, &[o3], "o5").unwrap();
-        let _o6 = g.add_op(OpKind::Linear { out_features: 4 }, &[o4], "o6").unwrap();
+        let o1 = g
+            .add_op(OpKind::Embedding { vocab: 16, dim: 4 }, &[x1], "o1")
+            .unwrap();
+        let o2 = g
+            .add_op(OpKind::Embedding { vocab: 16, dim: 4 }, &[x2], "o2")
+            .unwrap();
+        let o3 = g
+            .add_op(OpKind::LstmCell { hidden: 4 }, &[o1, h0], "o3")
+            .unwrap();
+        let o4 = g
+            .add_op(OpKind::LstmCell { hidden: 4 }, &[o2, o3], "o4")
+            .unwrap();
+        let _o5 = g
+            .add_op(OpKind::Linear { out_features: 4 }, &[o3], "o5")
+            .unwrap();
+        let _o6 = g
+            .add_op(OpKind::Linear { out_features: 4 }, &[o4], "o6")
+            .unwrap();
         g
     }
 
@@ -693,7 +713,10 @@ mod tests {
         let old = sim.strategy().config(op).clone();
         let _c1 = sim.apply(op, ParallelConfig::on_device(g.op(op), topo.device_id(0)));
         let c2 = sim.apply(op, old);
-        assert!((c0 - c2).abs() < 1e-6, "revert must restore cost: {c0} vs {c2}");
+        assert!(
+            (c0 - c2).abs() < 1e-6,
+            "revert must restore cost: {c0} vs {c2}"
+        );
     }
 
     #[test]

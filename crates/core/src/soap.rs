@@ -117,7 +117,7 @@ impl ParallelConfig {
         let shape = node.output_shape();
         let batch = shape.dim(0);
         let mut deg = topo.num_devices() as u64;
-        while batch % deg != 0 {
+        while !batch.is_multiple_of(deg) {
             deg -= 1;
         }
         let mut degrees = vec![1; shape.ndims()];
@@ -180,7 +180,7 @@ pub fn legal_degree_vectors(node: &OpNode, max_tasks: u64) -> Vec<Vec<u64>> {
         let dim = pdims[i].dim;
         let extent = extents[dim];
         for deg in 1..=extent.min(budget) {
-            if extent % deg == 0 {
+            if extent.is_multiple_of(deg) {
                 current[dim] = deg;
                 rec(pdims, extents, i + 1, budget / deg, current, out);
             }

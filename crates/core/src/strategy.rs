@@ -129,11 +129,7 @@ impl Strategy {
         let mut s = String::new();
         for id in graph.ids() {
             let node = graph.op(id);
-            s.push_str(&format!(
-                "{:<24} {}\n",
-                node.name(),
-                self.config(id)
-            ));
+            s.push_str(&format!("{:<24} {}\n", node.name(), self.config(id)));
         }
         s
     }

@@ -135,7 +135,12 @@ pub fn import(
         let node = graph.op(id);
         if node.name() != od.op {
             return Err(ImportError::GraphShapeMismatch {
-                reason: format!("op {} is named {:?}, dump says {:?}", id, node.name(), od.op),
+                reason: format!(
+                    "op {} is named {:?}, dump says {:?}",
+                    id,
+                    node.name(),
+                    od.op
+                ),
             });
         }
         let devices = od.devices.iter().map(|&d| topo.device_id(d)).collect();

@@ -408,10 +408,7 @@ impl TaskGraph {
             let dev = config.device(k);
             let exe_us = cost.task_time_us(node, tile, topo.device(dev).kind);
             let id = self.alloc(Task {
-                kind: TaskKind::Compute {
-                    op,
-                    k: k as u32,
-                },
+                kind: TaskKind::Compute { op, k: k as u32 },
                 unit: ExecUnit::Gpu(dev),
                 exe_us,
                 preds: Vec::new(),
@@ -478,8 +475,8 @@ impl TaskGraph {
                     let channel = topo
                         .channel(sdev, ddev)
                         .expect("distinct devices have a channel");
-                    let bytes = (overlap.volume() * cfg.elem_bytes) as f64
-                        * cfg.activation_comm_multiplier;
+                    let bytes =
+                        (overlap.volume() * cfg.elem_bytes) as f64 * cfg.activation_comm_multiplier;
                     let bytes = bytes.round() as u64;
                     let exe_us = channel.transfer_time_us(bytes);
                     let c = self.alloc(Task {
@@ -548,19 +545,17 @@ impl TaskGraph {
                 if params == 0 {
                     continue;
                 }
-                let entry = shards.entry(key).or_insert_with(|| (params, HashMap::new()));
+                let entry = shards
+                    .entry(key)
+                    .or_insert_with(|| (params, HashMap::new()));
                 entry.0 = entry.0.max(params);
-                entry
-                    .1
-                    .entry(config.device(k))
-                    .or_default()
-                    .push(tid);
+                entry.1.entry(config.device(k)).or_default().push(tid);
             }
         }
         let mut sync_ids: Vec<TaskId> = Vec::new();
         // Deterministic iteration order for reproducible graphs.
-        let mut shard_list: Vec<(ShardKey, (u64, HashMap<DeviceId, Vec<TaskId>>))> =
-            shards.into_iter().collect();
+        type ShardEntry = (ShardKey, (u64, HashMap<DeviceId, Vec<TaskId>>));
+        let mut shard_list: Vec<ShardEntry> = shards.into_iter().collect();
         shard_list.sort_by(|a, b| a.0.cmp(&b.0));
         for (shard_idx, (_key, (params, replicas))) in shard_list.into_iter().enumerate() {
             if replicas.len() < 2 {
@@ -579,7 +574,10 @@ impl TaskGraph {
                     let next = devices[(i + 1) % devices.len()];
                     let channel = topo.channel(dev, next).expect("replicas are distinct");
                     let c = self.alloc(Task {
-                        kind: TaskKind::SyncComm { bytes: ring_bytes, layer },
+                        kind: TaskKind::SyncComm {
+                            bytes: ring_bytes,
+                            layer,
+                        },
                         unit: ExecUnit::Link(channel.link),
                         exe_us: channel.transfer_time_us(ring_bytes),
                         preds: Vec::new(),
@@ -720,9 +718,7 @@ mod tests {
         // ops round-robin across devices, one task each
         let configs = g
             .ids()
-            .map(|id| {
-                ParallelConfig::on_device(g.op(id), topo.device_id(id.index() % 4))
-            })
+            .map(|id| ParallelConfig::on_device(g.op(id), topo.device_id(id.index() % 4)))
             .collect();
         let s = Strategy::from_configs(&g, configs);
         let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
@@ -745,7 +741,10 @@ mod tests {
         // Inputs on device 0, conv1 on device 3: still no comm task.
         let mut s = Strategy::single_device(&g, &topo, 0);
         let conv1 = g.ids().nth(1).unwrap();
-        s.replace(conv1, ParallelConfig::on_device(g.op(conv1), topo.device_id(3)));
+        s.replace(
+            conv1,
+            ParallelConfig::on_device(g.op(conv1), topo.device_id(3)),
+        );
         let tg = TaskGraph::build(&g, &topo, &s, &cost, &SimConfig::default());
         let input_id = g.ids().next().unwrap();
         let input_task = tg.tasks_of_op(input_id)[0];
@@ -860,8 +859,14 @@ mod tests {
         // Two weight-tied embeddings on different devices: their shared
         // shard is replicated on 2 devices -> exactly 2 sync tasks.
         let mut g = OpGraph::new("tied");
-        let x1 = g.add_input("x1", TensorShape::with_dtype(&[8, 1], flexflow_tensor::DataType::I32));
-        let x2 = g.add_input("x2", TensorShape::with_dtype(&[8, 1], flexflow_tensor::DataType::I32));
+        let x1 = g.add_input(
+            "x1",
+            TensorShape::with_dtype(&[8, 1], flexflow_tensor::DataType::I32),
+        );
+        let x2 = g.add_input(
+            "x2",
+            TensorShape::with_dtype(&[8, 1], flexflow_tensor::DataType::I32),
+        );
         let layer = g.fresh_layer();
         let e1 = g
             .add_op_in_layer(OpKind::Embedding { vocab: 100, dim: 8 }, &[x1], "e1", layer)
@@ -895,7 +900,10 @@ mod tests {
         // change conv2 to single-device
         let conv2 = g.ids().nth(3).unwrap();
         assert_eq!(g.op(conv2).name(), "conv2");
-        s.replace(conv2, ParallelConfig::on_device(g.op(conv2), topo.device_id(1)));
+        s.replace(
+            conv2,
+            ParallelConfig::on_device(g.op(conv2), topo.device_id(1)),
+        );
         let report = tg.rebuild_op(&g, &topo, &s, &cost, &cfg, conv2);
         assert!(!report.removed.is_empty());
         assert!(!report.added.is_empty());
@@ -992,8 +1000,7 @@ mod tests {
         s.replace(op, ParallelConfig::on_device(g.op(op), topo.device_id(1)));
         let report = tg.rebuild_op(&g, &topo, &s, &cost, &cfg, op);
         let delta = crate::sim::simulate_delta(&tg, &mut state, &report);
-        let fresh =
-            crate::sim::simulate_full(&TaskGraph::build(&g, &topo, &s, &cost, &cfg));
+        let fresh = crate::sim::simulate_full(&TaskGraph::build(&g, &topo, &s, &cost, &cfg));
         assert!((delta - fresh.makespan_us()).abs() < 1e-6);
     }
 

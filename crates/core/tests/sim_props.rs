@@ -14,7 +14,7 @@ use flexflow_core::strategy::Strategy;
 use flexflow_core::taskgraph::TaskGraph;
 use flexflow_costmodel::MeasuredCostModel;
 use flexflow_device::{clusters, Topology};
-use flexflow_opgraph::{OpGraph, OpKind, zoo};
+use flexflow_opgraph::{zoo, OpGraph, OpKind};
 use flexflow_tensor::TensorShape;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -32,19 +32,28 @@ fn random_model(seed: u64, depth: usize) -> OpGraph {
         let choice = rng.gen_range(0..4);
         let id = match choice {
             0 => g
-                .add_op(OpKind::Linear { out_features: 8 << (d % 2) }, &[prev], format!("fc{d}"))
+                .add_op(
+                    OpKind::Linear {
+                        out_features: 8 << (d % 2),
+                    },
+                    &[prev],
+                    format!("fc{d}"),
+                )
                 .unwrap(),
             1 => g.add_op(OpKind::Relu, &[prev], format!("relu{d}")).unwrap(),
             2 if frontier.len() >= 2 => {
                 // residual add when shapes allow, else relu
                 let a = frontier[rng.gen_range(0..frontier.len())];
                 if g.op(a).output_shape() == g.op(prev).output_shape() {
-                    g.add_op(OpKind::Add, &[prev, a], format!("add{d}")).unwrap()
+                    g.add_op(OpKind::Add, &[prev, a], format!("add{d}"))
+                        .unwrap()
                 } else {
                     g.add_op(OpKind::Tanh, &[prev], format!("tanh{d}")).unwrap()
                 }
             }
-            _ => g.add_op(OpKind::Softmax, &[prev], format!("sm{d}")).unwrap(),
+            _ => g
+                .add_op(OpKind::Softmax, &[prev], format!("sm{d}"))
+                .unwrap(),
         };
         frontier.push(id);
     }

@@ -41,7 +41,6 @@
 //! # }
 //! ```
 
-
 #![warn(missing_docs)]
 use flexflow_device::DeviceKind;
 use flexflow_opgraph::{OpKind, OpNode};
@@ -459,12 +458,21 @@ mod tests {
             TensorShape::with_dtype(&[64, 1], flexflow_tensor::DataType::I32),
         );
         let e = g
-            .add_op(OpKind::Embedding { vocab: 100_000, dim: 4096 }, &[x], "emb")
+            .add_op(
+                OpKind::Embedding {
+                    vocab: 100_000,
+                    dim: 4096,
+                },
+                &[x],
+                "emb",
+            )
             .unwrap();
         let m = AnalyticCostModel::new();
         let full = Rect::full(g.op(e).output_shape());
-        let p = m.task_time_us(g.op(e), &full, DeviceKind::P100) - profile(DeviceKind::P100).kernel_overhead_us;
-        let k = m.task_time_us(g.op(e), &full, DeviceKind::K80) - profile(DeviceKind::K80).kernel_overhead_us;
+        let p = m.task_time_us(g.op(e), &full, DeviceKind::P100)
+            - profile(DeviceKind::P100).kernel_overhead_us;
+        let k = m.task_time_us(g.op(e), &full, DeviceKind::K80)
+            - profile(DeviceKind::K80).kernel_overhead_us;
         let ratio = k / p;
         assert!((2.5..=3.6).contains(&ratio), "ratio {ratio}");
     }

@@ -131,7 +131,7 @@ pub fn paper_cluster(kind: DeviceKind, gpus: usize) -> Topology {
         DeviceKind::K80 => k80_cluster(gpus.div_ceil(GPUS_PER_NODE)),
         DeviceKind::Test => panic!("use uniform_cluster for Test devices"),
     };
-    if gpus % GPUS_PER_NODE == 0 {
+    if gpus.is_multiple_of(GPUS_PER_NODE) {
         full
     } else {
         // Rebuild keeping only the first `gpus` devices (single node case).

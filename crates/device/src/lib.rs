@@ -30,9 +30,10 @@
 //! assert!(intra.bandwidth_gb_s > inter.bandwidth_gb_s);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod clusters;
 pub mod topology;
 
-pub use topology::{Channel, Device, DeviceId, DeviceKind, Link, LinkId, Topology, TopologyBuilder};
+pub use topology::{
+    Channel, Device, DeviceId, DeviceKind, Link, LinkId, Topology, TopologyBuilder,
+};

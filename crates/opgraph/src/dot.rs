@@ -63,7 +63,13 @@ pub fn to_dot_plain(graph: &OpGraph) -> String {
 
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' || c == '.' || c == ' ' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '.' || c == ' ' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -87,7 +93,9 @@ mod tests {
     #[test]
     fn annotations_set_labels_and_colors() {
         let g = zoo::lenet(8);
-        let dot = to_dot(&g, |id| Some((format!("dev{}", id.index() % 4), id.index() % 4)));
+        let dot = to_dot(&g, |id| {
+            Some((format!("dev{}", id.index() % 4), id.index() % 4))
+        });
         assert!(dot.contains("dev0"));
         assert!(dot.contains("fillcolor=\"#a6cee3\""));
     }

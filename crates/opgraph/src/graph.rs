@@ -347,9 +347,13 @@ mod tests {
     fn mlp() -> OpGraph {
         let mut g = OpGraph::new("mlp");
         let x = g.add_input("x", TensorShape::new(&[8, 32]));
-        let a = g.add_op(OpKind::Linear { out_features: 16 }, &[x], "fc1").unwrap();
+        let a = g
+            .add_op(OpKind::Linear { out_features: 16 }, &[x], "fc1")
+            .unwrap();
         let r = g.add_op(OpKind::Relu, &[a], "relu").unwrap();
-        let _ = g.add_op(OpKind::Linear { out_features: 4 }, &[r], "fc2").unwrap();
+        let _ = g
+            .add_op(OpKind::Linear { out_features: 4 }, &[r], "fc2")
+            .unwrap();
         g
     }
 

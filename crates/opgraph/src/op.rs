@@ -259,10 +259,12 @@ impl OpKind {
             } => {
                 let x = self.only_input(inputs, 4)?;
                 let (h, w) = (x.dim(2), x.dim(3));
-                let ho = conv_extent(h, kernel.0, stride.0, padding.0)
-                    .ok_or_else(|| self.incompat(format!("kernel {kernel:?} too large for H={h}")))?;
-                let wo = conv_extent(w, kernel.1, stride.1, padding.1)
-                    .ok_or_else(|| self.incompat(format!("kernel {kernel:?} too large for W={w}")))?;
+                let ho = conv_extent(h, kernel.0, stride.0, padding.0).ok_or_else(|| {
+                    self.incompat(format!("kernel {kernel:?} too large for H={h}"))
+                })?;
+                let wo = conv_extent(w, kernel.1, stride.1, padding.1).ok_or_else(|| {
+                    self.incompat(format!("kernel {kernel:?} too large for W={w}"))
+                })?;
                 Ok(TensorShape::new(&[x.dim(0), *out_channels, ho, wo]))
             }
             OpKind::Pool2d {
@@ -273,10 +275,12 @@ impl OpKind {
             } => {
                 let x = self.only_input(inputs, 4)?;
                 let (h, w) = (x.dim(2), x.dim(3));
-                let ho = conv_extent(h, kernel.0, stride.0, padding.0)
-                    .ok_or_else(|| self.incompat(format!("kernel {kernel:?} too large for H={h}")))?;
-                let wo = conv_extent(w, kernel.1, stride.1, padding.1)
-                    .ok_or_else(|| self.incompat(format!("kernel {kernel:?} too large for W={w}")))?;
+                let ho = conv_extent(h, kernel.0, stride.0, padding.0).ok_or_else(|| {
+                    self.incompat(format!("kernel {kernel:?} too large for H={h}"))
+                })?;
+                let wo = conv_extent(w, kernel.1, stride.1, padding.1).ok_or_else(|| {
+                    self.incompat(format!("kernel {kernel:?} too large for W={w}"))
+                })?;
                 Ok(TensorShape::new(&[x.dim(0), x.dim(1), ho, wo]))
             }
             OpKind::Conv1d {
@@ -390,9 +394,8 @@ impl OpKind {
                 }
                 for s in inputs {
                     if s.ndims() != 2 || s.dim(1) != *hidden {
-                        return Err(self.incompat(format!(
-                            "attention inputs must be [N, {hidden}], got {s}"
-                        )));
+                        return Err(self
+                            .incompat(format!("attention inputs must be [N, {hidden}], got {s}")));
                     }
                 }
                 Ok(TensorShape::new(&[inputs[0].dim(0), *hidden]))
@@ -432,55 +435,127 @@ impl OpKind {
             // Table 1: 2D convolution — S: sample; A: height, width; P: channel.
             OpKind::Conv2d { .. } => vec![
                 sample,
-                ParallelDim { dim: 1, kind: Parameter },
-                ParallelDim { dim: 2, kind: Attribute },
-                ParallelDim { dim: 3, kind: Attribute },
+                ParallelDim {
+                    dim: 1,
+                    kind: Parameter,
+                },
+                ParallelDim {
+                    dim: 2,
+                    kind: Attribute,
+                },
+                ParallelDim {
+                    dim: 3,
+                    kind: Attribute,
+                },
             ],
             // Table 1: pooling has no parameters — channel is an attribute.
             OpKind::Pool2d { .. } => vec![
                 sample,
-                ParallelDim { dim: 1, kind: Attribute },
-                ParallelDim { dim: 2, kind: Attribute },
-                ParallelDim { dim: 3, kind: Attribute },
+                ParallelDim {
+                    dim: 1,
+                    kind: Attribute,
+                },
+                ParallelDim {
+                    dim: 2,
+                    kind: Attribute,
+                },
+                ParallelDim {
+                    dim: 3,
+                    kind: Attribute,
+                },
             ],
             // Table 1: 1D convolution — S: sample; A: length; P: channel.
             OpKind::Conv1d { .. } => vec![
                 sample,
-                ParallelDim { dim: 1, kind: Parameter },
-                ParallelDim { dim: 2, kind: Attribute },
+                ParallelDim {
+                    dim: 1,
+                    kind: Parameter,
+                },
+                ParallelDim {
+                    dim: 2,
+                    kind: Attribute,
+                },
             ],
             // Table 1: 1D pooling — S: sample; A: length, channel.
             OpKind::Pool1d { .. } => vec![
                 sample,
-                ParallelDim { dim: 1, kind: Attribute },
-                ParallelDim { dim: 2, kind: Attribute },
+                ParallelDim {
+                    dim: 1,
+                    kind: Attribute,
+                },
+                ParallelDim {
+                    dim: 2,
+                    kind: Attribute,
+                },
             ],
             // Table 1: matrix multiplication — S: sample; P: channel.
-            OpKind::Linear { .. } => vec![sample, ParallelDim { dim: 1, kind: Parameter }],
+            OpKind::Linear { .. } => vec![
+                sample,
+                ParallelDim {
+                    dim: 1,
+                    kind: Parameter,
+                },
+            ],
             // Splitting the embedding width splits the table rows' columns.
-            OpKind::Embedding { .. } => vec![sample, ParallelDim { dim: 1, kind: Parameter }],
+            OpKind::Embedding { .. } => vec![
+                sample,
+                ParallelDim {
+                    dim: 1,
+                    kind: Parameter,
+                },
+            ],
             // Splitting the hidden dimension splits the 4H x (I + H) weights.
-            OpKind::LstmCell { .. } => vec![sample, ParallelDim { dim: 1, kind: Parameter }],
+            OpKind::LstmCell { .. } => vec![
+                sample,
+                ParallelDim {
+                    dim: 1,
+                    kind: Parameter,
+                },
+            ],
             OpKind::Concat { .. } | OpKind::Relu | OpKind::Tanh | OpKind::Add => {
                 let mut dims = vec![sample];
                 for d in 1..output.ndims() {
-                    dims.push(ParallelDim { dim: d, kind: Attribute });
+                    dims.push(ParallelDim {
+                        dim: d,
+                        kind: Attribute,
+                    });
                 }
                 dims
             }
             // Per-channel scale/shift: channel is a parameter dimension.
             OpKind::BatchNorm => {
-                let mut dims = vec![sample, ParallelDim { dim: 1, kind: Parameter }];
+                let mut dims = vec![
+                    sample,
+                    ParallelDim {
+                        dim: 1,
+                        kind: Parameter,
+                    },
+                ];
                 for d in 2..output.ndims() {
-                    dims.push(ParallelDim { dim: d, kind: Attribute });
+                    dims.push(ParallelDim {
+                        dim: d,
+                        kind: Attribute,
+                    });
                 }
                 dims
             }
             // Splitting the class dimension is legal (each tile recomputes the
             // normalizer from the full input row) but communication-heavy.
-            OpKind::Softmax => vec![sample, ParallelDim { dim: 1, kind: Attribute }],
+            OpKind::Softmax => vec![
+                sample,
+                ParallelDim {
+                    dim: 1,
+                    kind: Attribute,
+                },
+            ],
             OpKind::Flatten => vec![sample],
-            OpKind::Attention { .. } => vec![sample, ParallelDim { dim: 1, kind: Parameter }],
+            OpKind::Attention { .. } => vec![
+                sample,
+                ParallelDim {
+                    dim: 1,
+                    kind: Parameter,
+                },
+            ],
         }
     }
 
@@ -615,11 +690,7 @@ impl OpKind {
     ///
     /// Panics if `out` is not a valid tile of the operation's output shape
     /// inferred from `input_shapes`.
-    pub fn input_rects(
-        &self,
-        input_shapes: &[TensorShape],
-        out: &Rect,
-    ) -> Vec<Option<Rect>> {
+    pub fn input_rects(&self, input_shapes: &[TensorShape], out: &Rect) -> Vec<Option<Rect>> {
         match self {
             OpKind::Input { .. } => vec![],
             OpKind::Conv2d {
@@ -629,10 +700,22 @@ impl OpKind {
                 ..
             } => {
                 let x = input_shapes[0];
-                let (h_lo, h_hi) =
-                    window(out.lo()[2], out.hi()[2], kernel.0, stride.0, padding.0, x.dim(2));
-                let (w_lo, w_hi) =
-                    window(out.lo()[3], out.hi()[3], kernel.1, stride.1, padding.1, x.dim(3));
+                let (h_lo, h_hi) = window(
+                    out.lo()[2],
+                    out.hi()[2],
+                    kernel.0,
+                    stride.0,
+                    padding.0,
+                    x.dim(2),
+                );
+                let (w_lo, w_hi) = window(
+                    out.lo()[3],
+                    out.hi()[3],
+                    kernel.1,
+                    stride.1,
+                    padding.1,
+                    x.dim(3),
+                );
                 vec![Some(Rect::new(
                     &[out.lo()[0], 0, h_lo, w_lo],
                     &[out.hi()[0], x.dim(1), h_hi, w_hi],
@@ -645,10 +728,22 @@ impl OpKind {
                 ..
             } => {
                 let x = input_shapes[0];
-                let (h_lo, h_hi) =
-                    window(out.lo()[2], out.hi()[2], kernel.0, stride.0, padding.0, x.dim(2));
-                let (w_lo, w_hi) =
-                    window(out.lo()[3], out.hi()[3], kernel.1, stride.1, padding.1, x.dim(3));
+                let (h_lo, h_hi) = window(
+                    out.lo()[2],
+                    out.hi()[2],
+                    kernel.0,
+                    stride.0,
+                    padding.0,
+                    x.dim(2),
+                );
+                let (w_lo, w_hi) = window(
+                    out.lo()[3],
+                    out.hi()[3],
+                    kernel.1,
+                    stride.1,
+                    padding.1,
+                    x.dim(3),
+                );
                 vec![Some(Rect::new(
                     &[out.lo()[0], out.lo()[1], h_lo, w_lo],
                     &[out.hi()[0], out.hi()[1], h_hi, w_hi],
@@ -661,8 +756,14 @@ impl OpKind {
                 ..
             } => {
                 let x = input_shapes[0];
-                let (l_lo, l_hi) =
-                    window(out.lo()[2], out.hi()[2], *kernel, *stride, *padding, x.dim(2));
+                let (l_lo, l_hi) = window(
+                    out.lo()[2],
+                    out.hi()[2],
+                    *kernel,
+                    *stride,
+                    *padding,
+                    x.dim(2),
+                );
                 vec![Some(Rect::new(
                     &[out.lo()[0], 0, l_lo],
                     &[out.hi()[0], x.dim(1), l_hi],
@@ -675,8 +776,14 @@ impl OpKind {
                 ..
             } => {
                 let x = input_shapes[0];
-                let (l_lo, l_hi) =
-                    window(out.lo()[2], out.hi()[2], *kernel, *stride, *padding, x.dim(2));
+                let (l_lo, l_hi) = window(
+                    out.lo()[2],
+                    out.hi()[2],
+                    *kernel,
+                    *stride,
+                    *padding,
+                    x.dim(2),
+                );
                 vec![Some(Rect::new(
                     &[out.lo()[0], out.lo()[1], l_lo],
                     &[out.hi()[0], out.hi()[1], l_hi],
@@ -685,17 +792,11 @@ impl OpKind {
             // Reduction over the full input row.
             OpKind::Linear { .. } => {
                 let x = input_shapes[0];
-                vec![Some(Rect::new(
-                    &[out.lo()[0], 0],
-                    &[out.hi()[0], x.dim(1)],
-                ))]
+                vec![Some(Rect::new(&[out.lo()[0], 0], &[out.hi()[0], x.dim(1)]))]
             }
             OpKind::Embedding { .. } => {
                 let x = input_shapes[0];
-                vec![Some(Rect::new(
-                    &[out.lo()[0], 0],
-                    &[out.hi()[0], x.dim(1)],
-                ))]
+                vec![Some(Rect::new(&[out.lo()[0], 0], &[out.hi()[0], x.dim(1)]))]
             }
             OpKind::LstmCell { hidden } => {
                 let x = input_shapes[0];
@@ -728,10 +829,7 @@ impl OpKind {
             // Softmax needs the full row to compute the normalizer.
             OpKind::Softmax => {
                 let x = input_shapes[0];
-                vec![Some(Rect::new(
-                    &[out.lo()[0], 0],
-                    &[out.hi()[0], x.dim(1)],
-                ))]
+                vec![Some(Rect::new(&[out.lo()[0], 0], &[out.hi()[0], x.dim(1)]))]
             }
             // Flatten mixes all non-sample dims; read them fully.
             OpKind::Flatten => {
@@ -780,10 +878,19 @@ fn conv_extent(input: u64, kernel: u64, stride: u64, padding: u64) -> Option<u64
 
 /// Input interval `[lo, hi)` read by output interval `[out_lo, out_hi)` of a
 /// strided window op, clamped to the input extent.
-fn window(out_lo: u64, out_hi: u64, kernel: u64, stride: u64, padding: u64, input: u64) -> (u64, u64) {
+fn window(
+    out_lo: u64,
+    out_hi: u64,
+    kernel: u64,
+    stride: u64,
+    padding: u64,
+    input: u64,
+) -> (u64, u64) {
     debug_assert!(out_lo < out_hi);
     let lo = (out_lo * stride).saturating_sub(padding);
-    let hi = ((out_hi - 1) * stride + kernel).saturating_sub(padding).min(input);
+    let hi = ((out_hi - 1) * stride + kernel)
+        .saturating_sub(padding)
+        .min(input);
     (lo.min(input - 1), hi.max(lo + 1))
 }
 
@@ -877,9 +984,10 @@ mod tests {
             pool: PoolType::Max,
         };
         let dims = pool1d.parallel_dims(&n);
-        assert!(dims
-            .iter()
-            .all(|p| p.kind != DimKind::Parameter), "1D pooling has no parameter dims");
+        assert!(
+            dims.iter().all(|p| p.kind != DimKind::Parameter),
+            "1D pooling has no parameter dims"
+        );
 
         let conv1d = OpKind::Conv1d {
             out_channels: 16,
@@ -958,7 +1066,10 @@ mod tests {
         assert_eq!(conv().param_count(&x), 16 * 4 * 9 + 16);
         let lin = OpKind::Linear { out_features: 10 };
         assert_eq!(lin.param_count(&[TensorShape::new(&[8, 84])]), 84 * 10 + 10);
-        let emb = OpKind::Embedding { vocab: 1000, dim: 64 };
+        let emb = OpKind::Embedding {
+            vocab: 1000,
+            dim: 64,
+        };
         assert_eq!(emb.param_count(&[TensorShape::new(&[8, 1])]), 64000);
         let lstm = OpKind::LstmCell { hidden: 32 };
         let xs = [TensorShape::new(&[4, 16]), TensorShape::new(&[4, 32])];
@@ -992,7 +1103,10 @@ mod tests {
         let out_shape = op.infer_shape(&x).unwrap();
         let full = Rect::full(&out_shape);
         let half = full.with_dim(0, 0, 4);
-        assert_eq!(op.flops_for_tile(&x, &full), 2 * op.flops_for_tile(&x, &half));
+        assert_eq!(
+            op.flops_for_tile(&x, &full),
+            2 * op.flops_for_tile(&x, &half)
+        );
     }
 
     #[test]

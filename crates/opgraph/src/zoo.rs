@@ -402,7 +402,7 @@ pub fn inception_v3(batch: u64) -> OpGraph {
     let s = b.conv(s, 80, (1, 1), (1, 1), (0, 0));
     let s = b.conv(s, 192, (3, 3), (1, 1), (0, 0)); // 71
     let s = maxpool(&mut b.g, s, 3, 2, 0, "stem_pool2"); // 35
-    // Inception blocks
+                                                         // Inception blocks
     let m = b.block_a(s, 32, "mixed5b");
     let m = b.block_a(m, 64, "mixed5c");
     let m = b.block_a(m, 64, "mixed5d");
@@ -458,7 +458,15 @@ pub fn resnet101(batch: u64) -> OpGraph {
             } else {
                 cur
             };
-            let a = conv(&mut g, cur, planes, (1, 1), (1, 1), (0, 0), &format!("{tag}_c1"));
+            let a = conv(
+                &mut g,
+                cur,
+                planes,
+                (1, 1),
+                (1, 1),
+                (0, 0),
+                &format!("{tag}_c1"),
+            );
             let bconv = conv(
                 &mut g,
                 a,
@@ -468,7 +476,15 @@ pub fn resnet101(batch: u64) -> OpGraph {
                 (1, 1),
                 &format!("{tag}_c2"),
             );
-            let c = conv(&mut g, bconv, out_ch, (1, 1), (1, 1), (0, 0), &format!("{tag}_c3"));
+            let c = conv(
+                &mut g,
+                bconv,
+                out_ch,
+                (1, 1),
+                (1, 1),
+                (0, 0),
+                &format!("{tag}_c3"),
+            );
             cur = g
                 .add_op(OpKind::Add, &[c, shortcut], format!("{tag}_add"))
                 .unwrap();
@@ -501,10 +517,7 @@ fn lstm_stack(
     let mut h0s: Vec<OpId> = Vec::new();
     for l in 0..num_layers {
         layer_ids.push(g.fresh_layer());
-        h0s.push(g.add_input(
-            format!("{tag}_h0_l{l}"),
-            TensorShape::new(&[batch, hidden]),
-        ));
+        h0s.push(g.add_input(format!("{tag}_h0_l{l}"), TensorShape::new(&[batch, hidden])));
     }
     let mut below: Vec<OpId> = inputs.to_vec();
     for l in 0..num_layers {
@@ -579,7 +592,9 @@ pub fn rnnlm(batch: u64, unroll: usize) -> OpGraph {
     for (t, &h) in tops.iter().enumerate() {
         let l = g
             .add_op_in_layer(
-                OpKind::Linear { out_features: vocab },
+                OpKind::Linear {
+                    out_features: vocab,
+                },
                 &[h],
                 format!("lm_proj_t{t}"),
                 proj_layer,
@@ -620,7 +635,9 @@ pub fn nmt(batch: u64, unroll: usize) -> OpGraph {
             .unwrap();
         let l = g
             .add_op_in_layer(
-                OpKind::Linear { out_features: vocab },
+                OpKind::Linear {
+                    out_features: vocab,
+                },
                 &[ctx],
                 format!("nmt_proj_t{t}"),
                 proj_layer,
@@ -719,7 +736,11 @@ mod tests {
     fn rnn_models_share_layer_params() {
         let g = rnnlm(64, 4);
         // embedding + 2 lstm layers + projection = 4 parameter layers
-        let groups: Vec<_> = g.ops_by_layer().into_iter().filter(|g| !g.is_empty()).collect();
+        let groups: Vec<_> = g
+            .ops_by_layer()
+            .into_iter()
+            .filter(|g| !g.is_empty())
+            .collect();
         assert_eq!(groups.len(), 4);
         // each LSTM layer holds `unroll` ops
         let lstm_groups = groups

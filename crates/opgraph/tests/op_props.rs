@@ -54,17 +54,16 @@ fn arb_op() -> impl Strategy<Value = (OpKind, Vec<TensorShape>)> {
         }),
         (2u64..=64).prop_map(|o| {
             (
-                OpKind::Linear { out_features: o * 2 },
+                OpKind::Linear {
+                    out_features: o * 2,
+                },
                 vec![TensorShape::new(&[8, 24])],
             )
         }),
         (2u64..=32).prop_map(|h| {
             (
                 OpKind::LstmCell { hidden: h * 2 },
-                vec![
-                    TensorShape::new(&[8, 12]),
-                    TensorShape::new(&[8, h * 2]),
-                ],
+                vec![TensorShape::new(&[8, 12]), TensorShape::new(&[8, h * 2])],
             )
         }),
         (2u64..=16, 2u64..=16).prop_map(|(a, b)| {

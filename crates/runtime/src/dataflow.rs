@@ -32,9 +32,12 @@ pub struct ExecutionReport {
     pub cross_device_fetches: u64,
 }
 
+/// A completed output tile: its rectangle, data, and producing device.
+type StoredTile = (Rect, DenseTensor, usize);
+
 /// Shared tile store: completed output tiles keyed by (op, task index).
 struct Store {
-    tiles: Mutex<HashMap<(OpId, usize), (Rect, DenseTensor, usize)>>,
+    tiles: Mutex<HashMap<(OpId, usize), StoredTile>>,
     cv: Condvar,
 }
 
@@ -209,12 +212,12 @@ pub fn execute_strategy(
         }
     }
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (dev, work) in worklists.iter().enumerate() {
             let store = &store;
             let bytes = &bytes;
             let fetches = &fetches;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for &(op, k) in work {
                     let node = graph.op(op);
                     let config = strategy.config(op);
@@ -232,13 +235,8 @@ pub fn execute_strategy(
                         .enumerate()
                         .map(|(slot, need)| {
                             need.map(|r| {
-                                let (tile, b, f) = store.gather(
-                                    graph,
-                                    strategy,
-                                    node.inputs()[slot],
-                                    &r,
-                                    dev,
-                                );
+                                let (tile, b, f) =
+                                    store.gather(graph, strategy, node.inputs()[slot], &r, dev);
                                 bytes.fetch_add(b, Ordering::Relaxed);
                                 fetches.fetch_add(f, Ordering::Relaxed);
                                 tile
@@ -251,8 +249,7 @@ pub fn execute_strategy(
                 }
             });
         }
-    })
-    .expect("device thread panicked");
+    });
 
     // Assemble final outputs (ops with no consumers).
     let tiles = store.tiles.into_inner();
@@ -369,7 +366,13 @@ mod tests {
             .add_op(OpKind::Attention { hidden }, &attn_inputs, "attn")
             .unwrap();
         let proj = g
-            .add_op(OpKind::Linear { out_features: vocab }, &[ctx], "proj")
+            .add_op(
+                OpKind::Linear {
+                    out_features: vocab,
+                },
+                &[ctx],
+                "proj",
+            )
             .unwrap();
         g.add_op(OpKind::Softmax, &[proj], "softmax").unwrap();
         g
@@ -395,7 +398,12 @@ mod tests {
         let x = g.add_input("x", TensorShape::new(&[6, 2, 16]));
         let c1 = g
             .add_op(
-                OpKind::Conv1d { out_channels: 4, kernel: 3, stride: 1, padding: 1 },
+                OpKind::Conv1d {
+                    out_channels: 4,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 &[x],
                 "conv1",
             )
@@ -404,7 +412,12 @@ mod tests {
         let t = g.add_op(OpKind::Tanh, &[b], "tanh").unwrap();
         let p = g
             .add_op(
-                OpKind::Pool1d { kernel: 2, stride: 2, padding: 0, pool: PoolType::Avg },
+                OpKind::Pool1d {
+                    kernel: 2,
+                    stride: 2,
+                    padding: 0,
+                    pool: PoolType::Avg,
+                },
                 &[t],
                 "pool",
             )

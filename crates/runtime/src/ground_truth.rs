@@ -81,8 +81,7 @@ impl GroundTruthExecutor {
         let mut duration = vec![0.0f64; cap];
         for (id, t) in tg.iter() {
             remaining_preds[id.index()] = t.preds.len();
-            duration[id.index()] =
-                t.exe_us * self.noise(t.seq) + self.cfg.dispatch_overhead_us;
+            duration[id.index()] = t.exe_us * self.noise(t.seq) + self.cfg.dispatch_overhead_us;
         }
 
         // Per-GPU FIFO queues (by arrival) and busy-until markers.

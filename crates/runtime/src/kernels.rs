@@ -88,7 +88,10 @@ pub fn init_weights(node: &OpNode, seed: u64) -> Vec<DenseTensor> {
         } => {
             let cin = node.input_shapes()[0].dim(1);
             vec![
-                gen(TensorShape::new(&[*out_channels, cin, kernel.0, kernel.1]), 1),
+                gen(
+                    TensorShape::new(&[*out_channels, cin, kernel.0, kernel.1]),
+                    1,
+                ),
                 gen(TensorShape::new(&[*out_channels]), 2),
             ]
         }
@@ -123,7 +126,10 @@ pub fn init_weights(node: &OpNode, seed: u64) -> Vec<DenseTensor> {
         }
         OpKind::BatchNorm => {
             let c = node.input_shapes()[0].dim(1);
-            vec![gen(TensorShape::new(&[c]), 1), gen(TensorShape::new(&[c]), 2)]
+            vec![
+                gen(TensorShape::new(&[c]), 1),
+                gen(TensorShape::new(&[c]), 2),
+            ]
         }
         OpKind::Attention { hidden } => {
             vec![gen(TensorShape::new(&[*hidden, *hidden]), 1)]
@@ -316,9 +322,7 @@ pub fn compute_tile(
                 let mut offset = 0u64;
                 for (slot, &span) in spans.iter().enumerate() {
                     if g[*axis] < offset + span {
-                        let inp = inputs[slot]
-                            .as_ref()
-                            .expect("concat owner slice present");
+                        let inp = inputs[slot].as_ref().expect("concat owner slice present");
                         let mut idx = g.to_vec();
                         idx[*axis] -= offset;
                         *o = inp.at(&idx);
@@ -515,7 +519,8 @@ mod tests {
             .unwrap();
         let node = g.op(y);
         let weights = init_weights(node, 3);
-        let input = DenseTensor::from_fn(TensorShape::new(&[2, 3, 8, 8]), |i| (i % 13) as f32 * 0.05);
+        let input =
+            DenseTensor::from_fn(TensorShape::new(&[2, 3, 8, 8]), |i| (i % 13) as f32 * 0.05);
         let full = compute_tile(
             node,
             &weights,
@@ -553,7 +558,9 @@ mod tests {
         let mut g = OpGraph::new("m");
         let a = g.add_input("a", TensorShape::new(&[2, 3]));
         let b = g.add_input("b", TensorShape::new(&[2, 2]));
-        let y = g.add_op(OpKind::Concat { axis: 1 }, &[a, b], "cat").unwrap();
+        let y = g
+            .add_op(OpKind::Concat { axis: 1 }, &[a, b], "cat")
+            .unwrap();
         let node = g.op(y);
         let ta = DenseTensor::from_fn(TensorShape::new(&[2, 3]), |i| i as f32);
         let tb = DenseTensor::from_fn(TensorShape::new(&[2, 2]), |i| 100.0 + i as f32);

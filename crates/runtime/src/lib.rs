@@ -15,7 +15,6 @@
 //! [`training`] adds the loss-curve model behind the end-to-end training
 //! comparison (Fig. 9).
 
-
 #![warn(missing_docs)]
 pub mod dataflow;
 pub mod ground_truth;

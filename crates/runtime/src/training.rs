@@ -44,7 +44,8 @@ impl TrainingCurve {
     /// Training loss after `hours`.
     pub fn loss_at(&self, hours: f64) -> f64 {
         let iters = self.iterations_at(hours);
-        self.floor_loss + (self.initial_loss - self.floor_loss) * (-iters / self.tau_iterations).exp()
+        self.floor_loss
+            + (self.initial_loss - self.floor_loss) * (-iters / self.tau_iterations).exp()
     }
 
     /// Hours needed to bring the loss down to `target`.
@@ -59,8 +60,8 @@ impl TrainingCurve {
             self.floor_loss
         );
         assert!(target < self.initial_loss, "target already reached");
-        let iters =
-            -self.tau_iterations * ((target - self.floor_loss) / (self.initial_loss - self.floor_loss)).ln();
+        let iters = -self.tau_iterations
+            * ((target - self.floor_loss) / (self.initial_loss - self.floor_loss)).ln();
         iters * self.batch as f64 / self.throughput / 3600.0
     }
 

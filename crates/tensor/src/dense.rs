@@ -72,9 +72,9 @@ impl DenseTensor {
     pub fn offset(&self, idx: &[u64]) -> usize {
         assert_eq!(idx.len(), self.shape.ndims(), "index rank mismatch");
         let mut off = 0u64;
-        for d in 0..idx.len() {
-            assert!(idx[d] < self.shape.dim(d), "index out of bounds in dim {d}");
-            off = off * self.shape.dim(d) + idx[d];
+        for (d, &i) in idx.iter().enumerate() {
+            assert!(i < self.shape.dim(d), "index out of bounds in dim {d}");
+            off = off * self.shape.dim(d) + i;
         }
         off as usize
     }
@@ -254,7 +254,11 @@ mod tests {
         // inside the rect, u matches t; outside it is zero
         for i in 0..4u64 {
             for j in 0..6u64 {
-                let expected = if (2..5).contains(&j) { t.at(&[i, j]) } else { 0.0 };
+                let expected = if (2..5).contains(&j) {
+                    t.at(&[i, j])
+                } else {
+                    0.0
+                };
                 assert_eq!(u.at(&[i, j]), expected, "at ({i},{j})");
             }
         }

@@ -29,7 +29,6 @@
 //! assert!(tiles.iter().all(|r| r.volume() == 64 * 256 / 4));
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod dense;
 pub mod partition;

@@ -81,7 +81,7 @@ pub fn validate(shape: &TensorShape, degrees: &[u64]) -> Result<(), PartitionErr
             return Err(PartitionError::ZeroDegree { dim });
         }
         let extent = shape.dim(dim);
-        if extent % deg != 0 {
+        if !extent.is_multiple_of(deg) {
             return Err(PartitionError::NotDivisible {
                 dim,
                 extent,

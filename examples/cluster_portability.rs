@@ -53,8 +53,14 @@ fn main() {
     let transplanted = on_p100.best.clone();
 
     println!("Inception-v3, 4 GPUs:");
-    println!("  searched on P100, run on P100: {:>9.2} ms", on_p100.best_cost_us / 1e3);
-    println!("  searched on K80,  run on K80:  {:>9.2} ms", on_k80.best_cost_us / 1e3);
+    println!(
+        "  searched on P100, run on P100: {:>9.2} ms",
+        on_p100.best_cost_us / 1e3
+    );
+    println!(
+        "  searched on K80,  run on K80:  {:>9.2} ms",
+        on_k80.best_cost_us / 1e3
+    );
     println!(
         "  searched on P100, run on K80:  {:>9.2} ms  <- transplanted",
         cost_on(&k80, &transplanted) / 1e3

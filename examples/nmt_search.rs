@@ -53,14 +53,27 @@ fn main() {
 
     let mut opt = McmcOptimizer::new(7);
     let initials: Vec<Strategy> = contenders.into_iter().map(|(_, s)| s).collect();
-    let result = opt.search(&graph, &topo, &cost, &initials, Budget::evaluations(2000), cfg);
+    let result = opt.search(
+        &graph,
+        &topo,
+        &cost,
+        &initials,
+        Budget::evaluations(2000),
+        cfg,
+    );
     let tg = TaskGraph::build(&graph, &topo, &result.best, &cost, &cfg);
     let state = simulate_full(&tg);
     report("FlexFlow", &SimMetrics::collect(&tg, &state));
 
     // Show what it did to the interesting layers.
     println!("\nper-layer choices (first timestep of each layer):");
-    for probe in ["enc_embed_t0", "enc_lstm0_t0", "dec_lstm1_t0", "attn_t0", "nmt_proj_t0"] {
+    for probe in [
+        "enc_embed_t0",
+        "enc_lstm0_t0",
+        "dec_lstm1_t0",
+        "attn_t0",
+        "nmt_proj_t0",
+    ] {
         if let Some(id) = graph.ids().find(|&i| graph.op(i).name() == probe) {
             println!("  {:<14} {}", probe, result.best.config(id));
         }

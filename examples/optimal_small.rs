@@ -42,7 +42,8 @@ fn main() {
     );
 
     // Branch-and-bound proof, warm-started by the MCMC incumbent.
-    let outcome = ExhaustiveSearch::default().search(&graph, &topo, &cost, cfg, Some(mcmc.best.clone()));
+    let outcome =
+        ExhaustiveSearch::default().search(&graph, &topo, &cost, cfg, Some(mcmc.best.clone()));
     let (optimal, opt_cost) = outcome.best();
     println!(
         "exhaustive search: {:.2} ms ({}, proven optimal: {})",
@@ -57,7 +58,10 @@ fn main() {
     );
     if outcome.is_proven_optimal() {
         let gap = mcmc.best_cost_us / opt_cost - 1.0;
-        println!("MCMC gap to optimum: {:.3}% (paper: MCMC finds the optimum)", gap * 100.0);
+        println!(
+            "MCMC gap to optimum: {:.3}% (paper: MCMC finds the optimum)",
+            gap * 100.0
+        );
     }
 
     // Local optimality of the MCMC result against every neighbor.

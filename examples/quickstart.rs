@@ -31,14 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Baseline: plain data parallelism.
     let dp = Strategy::data_parallel(&graph, &topo);
-    let dp_cost = flexflow::core::sim::Simulator::new(
-        &graph,
-        &topo,
-        &cost,
-        SimConfig::default(),
-        dp.clone(),
-    )
-    .cost_us();
+    let dp_cost =
+        flexflow::core::sim::Simulator::new(&graph, &topo, &cost, SimConfig::default(), dp.clone())
+            .cost_us();
     println!("data parallelism: {dp_cost:.1} us per iteration");
 
     // 5. Search the SOAP space.

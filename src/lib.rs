@@ -3,7 +3,6 @@
 //! Re-exports the workspace crates under one roof. See the README for the
 //! architecture overview and `DESIGN.md` for the per-experiment index.
 
-
 #![warn(missing_docs)]
 pub use flexflow_baselines as baselines;
 pub use flexflow_core as core;

@@ -151,8 +151,11 @@ fn main() -> ExitCode {
             report("flexflow", &graph, &topo, &r.best);
             if let Some(path) = o.out {
                 let dump = strategy_io::export(&graph, &topo, &r.best);
-                std::fs::write(&path, serde_json::to_string_pretty(&dump).expect("serialize"))
-                    .expect("write strategy file");
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&dump).expect("serialize"),
+                )
+                .expect("write strategy file");
                 println!("strategy written to {path}");
             }
             ExitCode::SUCCESS
@@ -186,10 +189,25 @@ fn main() -> ExitCode {
             };
             let (graph, topo) = build(&o);
             let cost = MeasuredCostModel::paper_default();
-            report("data parallelism", &graph, &topo, &Strategy::data_parallel(&graph, &topo));
-            report("model parallelism", &graph, &topo, &model_parallel(&graph, &topo, &cost));
+            report(
+                "data parallelism",
+                &graph,
+                &topo,
+                &Strategy::data_parallel(&graph, &topo),
+            );
+            report(
+                "model parallelism",
+                &graph,
+                &topo,
+                &model_parallel(&graph, &topo, &cost),
+            );
             report("expert", &graph, &topo, &expert::strategy(&graph, &topo));
-            report("optcnn", &graph, &topo, &optcnn::optimize(&graph, &topo, &cost).strategy);
+            report(
+                "optcnn",
+                &graph,
+                &topo,
+                &optcnn::optimize(&graph, &topo, &cost).strategy,
+            );
             ExitCode::SUCCESS
         }
         _ => usage(),

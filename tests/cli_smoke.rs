@@ -1,0 +1,128 @@
+//! Smoke tests for the `flexflow` CLI binary: every subcommand must exit 0
+//! and emit parseable output from a clean checkout (fast settings only).
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn flexflow(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_flexflow"))
+        .args(args)
+        .output()
+        .expect("spawn flexflow binary")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "flexflow exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("stdout is UTF-8")
+}
+
+/// Extracts the `samples/s` figure from a strategy report line.
+fn parse_throughput(line: &str) -> f64 {
+    let head = line
+        .split("samples/s")
+        .next()
+        .unwrap_or_else(|| panic!("no samples/s in line: {line}"));
+    head.split_whitespace()
+        .next_back()
+        .and_then(|tok| tok.parse::<f64>().ok())
+        .unwrap_or_else(|| panic!("unparseable throughput in line: {line}"))
+}
+
+#[test]
+fn models_lists_the_zoo() {
+    let out = stdout_of(&flexflow(&["models"]));
+    for model in [
+        "alexnet",
+        "inception_v3",
+        "resnet101",
+        "rnnlm",
+        "nmt",
+        "lenet",
+    ] {
+        assert!(out.contains(model), "models output missing {model}:\n{out}");
+    }
+}
+
+#[test]
+fn search_reports_contenders_and_saves_a_loadable_strategy() {
+    let dir = std::env::temp_dir().join(format!("flexflow-cli-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let strategy_path = dir.join("lenet.strategy.json");
+    let out = stdout_of(&flexflow(&[
+        "search",
+        "lenet",
+        "--evals",
+        "50",
+        "--seed",
+        "7",
+        "--out",
+        strategy_path.to_str().unwrap(),
+    ]));
+    let ff_line = out
+        .lines()
+        .find(|l| l.starts_with("flexflow"))
+        .unwrap_or_else(|| panic!("no flexflow result line:\n{out}"));
+    assert!(parse_throughput(ff_line) > 0.0);
+
+    // The emitted artifact is valid JSON that imports against the graph.
+    assert!(
+        Path::new(&strategy_path).exists(),
+        "strategy file not written"
+    );
+    let text = std::fs::read_to_string(&strategy_path).expect("read strategy file");
+    let dump: flexflow::core::strategy_io::StrategyDump =
+        serde_json::from_str(&text).expect("strategy file is valid JSON");
+    assert_eq!(dump.model, "lenet");
+    assert!(!dump.ops.is_empty());
+
+    // And `simulate --strategy` accepts it.
+    let sim = stdout_of(&flexflow(&[
+        "simulate",
+        "lenet",
+        "--strategy",
+        strategy_path.to_str().unwrap(),
+    ]));
+    let sim_line = sim
+        .lines()
+        .find(|l| l.starts_with("simulated"))
+        .unwrap_or_else(|| panic!("no simulated line:\n{sim}"));
+    assert!(parse_throughput(sim_line) > 0.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_reports_data_parallel_by_default() {
+    let out = stdout_of(&flexflow(&["simulate", "lenet"]));
+    let line = out
+        .lines()
+        .find(|l| l.starts_with("simulated"))
+        .unwrap_or_else(|| panic!("no simulated line:\n{out}"));
+    assert!(parse_throughput(line) > 0.0);
+    assert!(line.contains("ms/iter"), "missing ms/iter in: {line}");
+}
+
+#[test]
+fn baselines_reports_all_four() {
+    let out = stdout_of(&flexflow(&["baselines", "lenet"]));
+    for name in ["data parallelism", "model parallelism", "expert", "optcnn"] {
+        assert!(
+            out.lines().any(|l| l.starts_with(name)),
+            "baselines output missing {name:?}:\n{out}"
+        );
+    }
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = flexflow(&["frobnicate"]);
+    assert!(!out.status.success(), "unknown subcommand must fail");
+    let out = flexflow(&[]);
+    assert!(!out.status.success(), "empty invocation must fail");
+}

@@ -33,7 +33,7 @@ fn search_beats_or_matches_every_baseline_on_lenet() {
         &graph,
         &topo,
         &cost,
-        &[dp.clone()],
+        std::slice::from_ref(&dp),
         Budget::evaluations(800),
         cfg,
     );
@@ -125,11 +125,11 @@ fn simulator_facade_supports_incremental_what_if() {
         Strategy::data_parallel(&graph, &topo),
     );
     let before = sim.cost_us();
-    let fc6 = graph.ids().find(|&id| graph.op(id).name() == "fc6").unwrap();
-    let single = flexflow::core::soap::ParallelConfig::on_device(
-        graph.op(fc6),
-        topo.device_id(0),
-    );
+    let fc6 = graph
+        .ids()
+        .find(|&id| graph.op(id).name() == "fc6")
+        .unwrap();
+    let single = flexflow::core::soap::ParallelConfig::on_device(graph.op(fc6), topo.device_id(0));
     let after = sim.apply(fc6, single);
     assert!(after.is_finite() && after > 0.0);
     assert_ne!(before, after);

@@ -1,0 +1,220 @@
+//! Vendored, offline-buildable subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the property-testing surface its tests use: the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, range / tuple / [`Just`] / mapped /
+//! [`prop_oneof!`] / `prop::collection::vec` strategies, and the
+//! `prop_assert*` family. Generation is deterministic per test name, so
+//! failures reproduce exactly on re-run. There is **no shrinking**: a
+//! failing case reports the case number and panics, which is enough to
+//! debug deterministic generators.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u64..10, (a, b) in (0u64..4, 0u64..4)) {
+///         prop_assert!(x < 10 && a < 4 && b < 4);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        cfg = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($p:pat in $s:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut rejected: u32 = 0;
+                let mut case: u32 = 0;
+                while case < config.cases {
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(
+                                let $p = $crate::strategy::Strategy::gen_value(&($s), &mut rng);
+                            )+
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => case += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            if rejected > config.cases.saturating_mul(64).saturating_add(1024) {
+                                panic!(
+                                    "proptest `{}`: too many prop_assume! rejections ({})",
+                                    stringify!($name),
+                                    rejected
+                                );
+                            }
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest `{}` failed at case {} (deterministic; rerun reproduces): {}",
+                                stringify!($name),
+                                case,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(
+                    *__left == *__right,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                    __right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(
+                    *__left == *__right,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    __left,
+                    __right
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__left, __right) => {
+                $crate::prop_assert!(
+                    *__left != *__right,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current case (regenerating a fresh one) unless the
+/// precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::boxed($s) ),+
+        ])
+    };
+}

@@ -1,0 +1,78 @@
+//! Test-run configuration, case-level errors, and the deterministic RNG
+//! backing value generation.
+
+/// How a generated case ended, when it did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` (the payload is the
+    /// stringified precondition).
+    Reject(String),
+    /// The case failed an assertion (the payload is the message).
+    Fail(String),
+}
+
+/// Per-test configuration, mirroring the fields the workspace uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of passing cases required for the test to succeed.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic generator state: SplitMix64 seeded from the test name.
+///
+/// Every run of the same test walks the identical case sequence, so a
+/// reported failing case number is reproducible by simply re-running.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable, well-mixed seed.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty size range");
+        let span = (hi - lo) as u64;
+        if span == u64::MAX {
+            return self.next_u64() as usize;
+        }
+        lo + (self.next_u64() % (span + 1)) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,129 @@
+//! The in-memory JSON data model shared by the vendored `serde` and
+//! `serde_json` shims.
+
+/// A JSON number: unsigned, signed-negative, or floating point.
+///
+/// Keeping integers exact (instead of routing everything through `f64`)
+/// lets `u64` tensor dimensions and device indices round-trip losslessly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+/// An in-memory JSON value.
+///
+/// Objects preserve insertion order (struct field order) so emitted
+/// artifacts stay human-auditable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object as an ordered list of key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The JSON type name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up a field of an object by key.
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer (including
+    /// floats with an exact non-negative integral value).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            Value::Number(Number::NegInt(_)) => None,
+            Value::Number(Number::Float(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::NegInt(n)) => Some(*n),
+            Value::Number(Number::Float(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The ordered key/value entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Vendored, offline-buildable derive macros for the vendored `serde`.
+//!
+//! Implemented with the raw `proc_macro` API (no `syn`/`quote`, which are
+//! unavailable offline). Supports exactly what the workspace uses: plain
+//! structs with named fields, plus `#[serde(flatten)]` on serialize. Tuple
+//! structs, enums, generics, and other serde attributes produce a
+//! `compile_error!` instead of silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    flatten: bool,
+}
+
+struct Input {
+    type_name: String,
+    fields: Vec<Field>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parses `struct Name { fields }` out of the derive input token stream.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility before the `struct` keyword,
+    // rejecting container-level serde attributes (none are supported).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let attr: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = attr.first() {
+                        if id.to_string() == "serde" {
+                            let inner = match attr.get(1) {
+                                Some(TokenTree::Group(g)) => g.stream().to_string(),
+                                _ => String::new(),
+                            };
+                            return Err(format!(
+                                "vendored serde derive does not support container \
+                                 attribute #[serde({inner})]"
+                            ));
+                        }
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => break,
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err(format!(
+                    "vendored serde derive supports only structs, found `{id}`"
+                ));
+            }
+            other => return Err(format!("unexpected token before `struct`: `{other}`")),
+        }
+    }
+    // `struct`
+    i += 1;
+    let type_name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("vendored serde derive does not support generic structs".into());
+        }
+        _ => {
+            return Err("vendored serde derive supports only structs with named fields".into());
+        }
+    };
+
+    let fields = parse_fields(body)?;
+    Ok(Input { type_name, fields })
+}
+
+/// Parses named fields, honouring `#[serde(flatten)]` and rejecting every
+/// other serde attribute.
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut flatten = false;
+        // Attributes (doc comments arrive as `#[doc = ...]`).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            let group = match tokens.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                _ => return Err("malformed attribute on field".into()),
+            };
+            let attr: Vec<TokenTree> = group.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = attr.first() {
+                if id.to_string() == "serde" {
+                    let inner = match attr.get(1) {
+                        Some(TokenTree::Group(g)) => g.stream().to_string(),
+                        _ => String::new(),
+                    };
+                    if inner.trim() == "flatten" {
+                        flatten = true;
+                    } else {
+                        return Err(format!(
+                            "vendored serde derive does not support #[serde({inner})]"
+                        ));
+                    }
+                }
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, flatten });
+    }
+    Ok(fields)
+}
+
+/// Derives the vendored `serde::Serialize` (JSON-object form; fields in
+/// declaration order; `#[serde(flatten)]` splices nested objects).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::new();
+    for f in &parsed.fields {
+        if f.flatten {
+            body.push_str(&format!(
+                "match ::serde::Serialize::serialize_value(&self.{name}) {{\n\
+                     ::serde::Value::Object(__nested) => __obj.extend(__nested),\n\
+                     __other => __obj.push((::std::string::String::from({name:?}), __other)),\n\
+                 }}\n",
+                name = f.name
+            ));
+        } else {
+            body.push_str(&format!(
+                "__obj.push((::std::string::String::from({name:?}), \
+                 ::serde::Serialize::serialize_value(&self.{name})));\n",
+                name = f.name
+            ));
+        }
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {ty} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                     ::std::vec::Vec::with_capacity({cap});\n\
+                 {body}\
+                 ::serde::Value::Object(__obj)\n\
+             }}\n\
+         }}\n",
+        ty = parsed.type_name,
+        cap = parsed.fields.len(),
+        body = body
+    );
+    out.parse().unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize` (from a JSON object keyed by
+/// field names; `#[serde(flatten)]` is not supported on deserialize).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    if parsed.fields.iter().any(|f| f.flatten) {
+        return compile_error(
+            "vendored serde derive does not support #[serde(flatten)] on Deserialize",
+        );
+    }
+    let mut body = String::new();
+    for f in &parsed.fields {
+        body.push_str(&format!(
+            "{name}: ::serde::Deserialize::deserialize_value(\n\
+                 __v.get_field({name:?})\n\
+                     .ok_or_else(|| ::serde::DeError::missing_field({name:?}))?,\n\
+             )?,\n",
+            name = f.name
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Deserialize for {ty} {{\n\
+             fn deserialize_value(__v: &::serde::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if __v.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::expected(\"object\", __v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok(Self {{ {body} }})\n\
+             }}\n\
+         }}\n",
+        ty = parsed.type_name,
+        body = body
+    );
+    out.parse().unwrap()
+}
