@@ -2,25 +2,33 @@
 //! MCMC proposal evaluation under the full vs the delta simulation
 //! algorithm (the per-proposal version of Table 4), at increasing device
 //! counts.
+//!
+//! Both sides run the shared steady-state workload of
+//! [`flexflow_bench::proposal_bench`]: evaluate a random single-op
+//! proposal from a persistent data-parallel baseline, then revert it
+//! (strategy swap-back for full; transactional journal rollback for
+//! delta). Earlier revisions let the sampled strategy drift and the delta
+//! simulator's state grow across samples, which is where the recorded
+//! delta-slower-than-full numbers came from.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexflow_core::sim::{simulate_delta, simulate_full, SimConfig};
-use flexflow_core::soap::{random_config, ConfigSpace};
+use flexflow_bench::proposal_bench;
+use flexflow_core::sim::{SimConfig, Simulator};
 use flexflow_core::strategy::Strategy;
 use flexflow_core::taskgraph::TaskGraph;
 use flexflow_costmodel::MeasuredCostModel;
 use flexflow_device::clusters;
 use flexflow_opgraph::zoo;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_proposal(c: &mut Criterion) {
     let mut group = c.benchmark_group("proposal_evaluation");
     group.sample_size(20);
     for gpus in [4usize, 8, 16] {
-        let graph = zoo::rnnlm(64, 10);
-        let topo = clusters::uniform_cluster(gpus.div_ceil(4), gpus.min(4), 16.0, 4.0);
+        let graph = proposal_bench::model();
+        let topo = proposal_bench::cluster(gpus);
         let cost = MeasuredCostModel::paper_default();
         let cfg = SimConfig::default();
         let searchable = Strategy::searchable_ops(&graph);
@@ -29,26 +37,23 @@ fn bench_proposal(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(1);
             let mut s = Strategy::data_parallel(&graph, &topo);
             b.iter(|| {
-                let op = searchable[rng.gen_range(0..searchable.len())];
-                let config = random_config(graph.op(op), &topo, ConfigSpace::Full, &mut rng);
-                s.replace(op, config);
-                let tg = TaskGraph::build(&graph, &topo, &s, &cost, &cfg);
-                black_box(simulate_full(&tg).makespan_us())
+                black_box(proposal_bench::full_once(
+                    &graph,
+                    &topo,
+                    &cost,
+                    &cfg,
+                    &mut s,
+                    &searchable,
+                    &mut rng,
+                ))
             });
         });
 
         group.bench_with_input(BenchmarkId::new("delta", gpus), &gpus, |b, _| {
             let mut rng = StdRng::seed_from_u64(1);
-            let mut s = Strategy::data_parallel(&graph, &topo);
-            let mut tg = TaskGraph::build(&graph, &topo, &s, &cost, &cfg);
-            let mut state = simulate_full(&tg);
-            b.iter(|| {
-                let op = searchable[rng.gen_range(0..searchable.len())];
-                let config = random_config(graph.op(op), &topo, ConfigSpace::Full, &mut rng);
-                s.replace(op, config);
-                let report = tg.rebuild_op(&graph, &topo, &s, &cost, &cfg, op);
-                black_box(simulate_delta(&tg, &mut state, &report))
-            });
+            let s = Strategy::data_parallel(&graph, &topo);
+            let mut sim = Simulator::new(&graph, &topo, &cost, cfg, s);
+            b.iter(|| black_box(proposal_bench::delta_once(&mut sim, &searchable, &mut rng)));
         });
     }
     group.finish();

@@ -1,0 +1,134 @@
+//! CI perf smoke: runs the `proposal_evaluation` workload (full vs delta
+//! simulation, see [`flexflow_bench::proposal_bench`]) once at 4/8/16
+//! devices and writes a machine-readable `BENCH_pr2.json`, so every PR
+//! leaves a comparable perf sample behind and regressions in the
+//! delta-vs-full trajectory are visible across the repo's history.
+//!
+//! Knobs: `BENCH_SMOKE_SAMPLES` (timed samples per cell, default 15),
+//! `BENCH_SMOKE_OUT` (output path, default `BENCH_pr2.json`).
+
+use flexflow_bench::proposal_bench;
+use flexflow_core::sim::{SimConfig, Simulator};
+use flexflow_core::strategy::Strategy;
+use flexflow_costmodel::MeasuredCostModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Cell {
+    bench: String,
+    median_us: f64,
+    min_us: f64,
+    max_us: f64,
+    samples: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    /// Seconds since the Unix epoch at generation time.
+    unix_epoch_secs: u64,
+    /// What one sample measures, for future readers of the artifact.
+    note: String,
+    results: Vec<Cell>,
+}
+
+fn timed<F: FnMut() -> f64>(samples: usize, mut f: F) -> (f64, f64, f64) {
+    let _ = black_box(f()); // warm-up
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let _ = black_box(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], times[0], times[times.len() - 1])
+}
+
+fn main() {
+    let samples: usize = std::env::var("BENCH_SMOKE_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15)
+        .max(1);
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr2.json".into());
+
+    let mut results: Vec<Cell> = Vec::new();
+    println!("bench smoke: proposal_evaluation, {samples} samples per cell");
+    println!(
+        "{:<32} {:>12} {:>12} {:>12}",
+        "bench", "median", "min", "max"
+    );
+    for gpus in [4usize, 8, 16] {
+        let graph = proposal_bench::model();
+        let topo = proposal_bench::cluster(gpus);
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = SimConfig::default();
+        let searchable = Strategy::searchable_ops(&graph);
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = Strategy::data_parallel(&graph, &topo);
+        let (med, min, max) = timed(samples, || {
+            proposal_bench::full_once(&graph, &topo, &cost, &cfg, &mut s, &searchable, &mut rng)
+        });
+        let mut push = |name: String, med: f64, min: f64, max: f64| {
+            println!("{name:<32} {med:>10.1}us {min:>10.1}us {max:>10.1}us");
+            results.push(Cell {
+                bench: name,
+                median_us: med,
+                min_us: min,
+                max_us: max,
+                samples,
+            });
+        };
+        push(format!("proposal_evaluation/full/{gpus}"), med, min, max);
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Strategy::data_parallel(&graph, &topo);
+        let mut sim = Simulator::new(&graph, &topo, &cost, cfg, s);
+        let (med, min, max) = timed(samples, || {
+            proposal_bench::delta_once(&mut sim, &searchable, &mut rng)
+        });
+        push(format!("proposal_evaluation/delta/{gpus}"), med, min, max);
+    }
+
+    // The acceptance gate this artifact exists to track: delta must beat
+    // full at every measured device count. Report loudly either way.
+    for gpus in [4usize, 8, 16] {
+        let get = |n: &str| {
+            results
+                .iter()
+                .find(|c| c.bench == format!("proposal_evaluation/{n}/{gpus}"))
+                .map(|c| c.median_us)
+                .expect("cell present")
+        };
+        let (f, d) = (get("full"), get("delta"));
+        println!(
+            "delta vs full @{gpus}: {:.1}us vs {:.1}us ({})",
+            d,
+            f,
+            if d < f {
+                format!("delta {0:.1}x faster", f / d)
+            } else {
+                format!("DELTA SLOWER by {0:.1}x", d / f)
+            }
+        );
+    }
+
+    let report = Report {
+        unix_epoch_secs: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        note: "one MCMC proposal evaluated and reverted from a steady data-parallel \
+               baseline (rnnlm batch 64, unroll 10); full = rebuild + sweep, delta = \
+               transactional rebuild_op + journaled repair + rollback"
+            .into(),
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write bench smoke artifact");
+    println!("\n[artifact] {out}");
+}

@@ -47,6 +47,19 @@ fn main() {
             result.evals,
             result.best_cost_us / 1e3
         );
+        if algo == SimAlgorithm::Delta {
+            let t = result.telemetry;
+            println!(
+                "  txn telemetry: {} commits / {} rollbacks, {:.1} repair steps/proposal, \
+                 {} adaptive sweeps ({} budget fallbacks), journal depth max {}",
+                t.commits,
+                t.rollbacks,
+                t.repair_steps as f64 / t.applies.max(1) as f64,
+                t.sweeps,
+                t.fallbacks,
+                t.max_journal_depth
+            );
+        }
         println!("{:>10} {:>14}", "elapsed(s)", "best cost(ms)");
         for &(t, c) in &result.trace {
             println!("{:>10.2} {:>14.2}", t, c / 1e3);

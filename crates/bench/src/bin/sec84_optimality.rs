@@ -80,6 +80,10 @@ fn main() {
             Budget::evaluations(evals),
             cfg,
         );
+        println!(
+            "  {name}: MCMC txns {} committed / {} rolled back ({} adaptive sweeps)",
+            mcmc.telemetry.commits, mcmc.telemetry.rollbacks, mcmc.telemetry.sweeps
+        );
         let out = ExhaustiveSearch {
             node_budget: budget,
         }

@@ -196,6 +196,68 @@ pub fn run_search_seeded(
     )
 }
 
+/// Shared workload for the `proposal_evaluation` microbenchmark (the
+/// criterion bench *and* the `bench_smoke` CI bin run exactly this, so the
+/// two stay comparable): one MCMC proposal evaluated from a steady
+/// data-parallel baseline on RNNLM at a given device count.
+///
+/// Both variants evaluate a random single-op reconfiguration and then
+/// *revert* it, measuring the steady-state per-proposal cost an MCMC walk
+/// pays for its (dominant) rejected proposals — rather than letting state
+/// drift and grow across samples, which made earlier delta numbers
+/// high-variance and unrepresentative.
+pub mod proposal_bench {
+    use flexflow_core::sim::{simulate_full, SimConfig, Simulator};
+    use flexflow_core::soap::{random_config, ConfigSpace};
+    use flexflow_core::strategy::Strategy;
+    use flexflow_core::taskgraph::TaskGraph;
+    use flexflow_costmodel::CostModel;
+    use flexflow_device::{clusters, Topology};
+    use flexflow_opgraph::{zoo, OpGraph, OpId};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The benchmark model (matches EXPERIMENTS.md baselines).
+    pub fn model() -> OpGraph {
+        zoo::rnnlm(64, 10)
+    }
+
+    /// The benchmark cluster for a GPU count (nodes of up to 4 GPUs).
+    pub fn cluster(gpus: usize) -> Topology {
+        clusters::uniform_cluster(gpus.div_ceil(4), gpus.min(4), 16.0, 4.0)
+    }
+
+    /// One full-simulation proposal: swap in a random config, rebuild the
+    /// whole task graph, sweep it, and swap the old config back.
+    pub fn full_once(
+        graph: &OpGraph,
+        topo: &Topology,
+        cost: &dyn CostModel,
+        cfg: &SimConfig,
+        strategy: &mut Strategy,
+        searchable: &[OpId],
+        rng: &mut StdRng,
+    ) -> f64 {
+        let op = searchable[rng.gen_range(0..searchable.len())];
+        let config = random_config(graph.op(op), topo, ConfigSpace::Full, rng);
+        let old = strategy.replace(op, config);
+        let tg = TaskGraph::build(graph, topo, strategy, cost, cfg);
+        let c = simulate_full(&tg).makespan_us();
+        strategy.replace(op, old);
+        c
+    }
+
+    /// One delta-simulation proposal: transactional apply (single-op
+    /// rebuild + journaled timeline repair) followed by journal rollback.
+    pub fn delta_once(sim: &mut Simulator, searchable: &[OpId], rng: &mut StdRng) -> f64 {
+        let op = searchable[rng.gen_range(0..searchable.len())];
+        let config = random_config(sim.graph().op(op), sim.topology(), ConfigSpace::Full, rng);
+        let c = sim.apply(op, config);
+        sim.rollback();
+        c
+    }
+}
+
 /// Renders one aligned text table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

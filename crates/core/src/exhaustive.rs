@@ -272,8 +272,9 @@ pub fn check_local_optimality(
     cfg: SimConfig,
     strategy: &Strategy,
 ) -> (bool, Option<(OpId, ParallelConfig, f64)>) {
-    // Delta simulation makes the neighborhood sweep tractable: apply each
-    // neighbor incrementally and revert (large models have tens of
+    // Delta simulation makes the neighborhood sweep tractable: each
+    // neighbor is a speculative transactional apply, undone by journal
+    // rollback instead of a second repair (large models have tens of
     // thousands of neighbors).
     let mut sim = crate::sim::Simulator::new(graph, topo, cost, cfg, strategy.clone());
     let base_cost = sim.cost_us();
@@ -285,11 +286,11 @@ pub fn check_local_optimality(
                 continue;
             }
             let c = sim.apply(op, config.clone());
+            sim.rollback();
             if c < base_cost - 1e-6 && best_neighbor.as_ref().is_none_or(|(_, _, bc)| c < *bc) {
                 best_neighbor = Some((op, config, c));
             }
         }
-        sim.apply(op, original);
     }
     (best_neighbor.is_none(), best_neighbor)
 }

@@ -11,6 +11,7 @@
 //! restart when its share of the budget is exhausted or when the best
 //! strategy has not improved for half of that share.
 
+use crate::metrics::DeltaTelemetry;
 use crate::sim::{SimConfig, Simulator};
 use crate::soap::{self, ConfigSpace};
 use crate::strategy::Strategy;
@@ -85,6 +86,9 @@ pub struct SearchResult {
     /// deep dependency chains make incremental repair costlier than a
     /// fresh sweep).
     pub fallbacks: u64,
+    /// Transaction/repair telemetry aggregated over all restarts (zero
+    /// under [`SimAlgorithm::Full`], which never opens a transaction).
+    pub telemetry: DeltaTelemetry,
 }
 
 /// The acceptance rule family (the paper uses MCMC but notes "other
@@ -159,7 +163,7 @@ impl McmcOptimizer {
         let mut trace: Vec<(f64, f64)> = Vec::new();
         let mut evals = 0u64;
         let mut accepted = 0u64;
-        let mut fallbacks = 0u64;
+        let mut telemetry = DeltaTelemetry::default();
 
         for init in initial {
             let mut sim = Simulator::new(graph, topo, cost, cfg, init.clone());
@@ -178,9 +182,14 @@ impl McmcOptimizer {
                 && restart_start.elapsed().as_secs_f64() < budget.max_seconds
             {
                 // Propose: one random op gets a fresh random configuration.
+                // Under Delta the apply is speculative (journaled); the
+                // acceptance decision below commits or rolls it back.
                 let op = searchable[self.rng.gen_range(0..searchable.len())];
                 let proposal = soap::random_config(graph.op(op), topo, self.space, &mut self.rng);
-                let old = sim.strategy().config(op).clone();
+                // Only the Full revert arm needs the old config; under
+                // Delta the transaction itself remembers it for rollback.
+                let old = (self.algorithm == SimAlgorithm::Full)
+                    .then(|| sim.strategy().config(op).clone());
                 let new_cost = match self.algorithm {
                     SimAlgorithm::Delta => sim.apply(op, proposal),
                     SimAlgorithm::Full => {
@@ -207,6 +216,9 @@ impl McmcOptimizer {
                 let accept = new_cost <= current_cost
                     || self.rng.gen::<f64>() < (beta * (current_cost - new_cost)).exp();
                 if accept {
+                    if self.algorithm == SimAlgorithm::Delta {
+                        sim.commit();
+                    }
                     accepted += 1;
                     current_cost = new_cost;
                     if best.as_ref().is_none_or(|(_, c)| new_cost < *c) {
@@ -217,15 +229,15 @@ impl McmcOptimizer {
                         since_improvement += 1;
                     }
                 } else {
-                    // Revert the rejected proposal (a second incremental
-                    // repair under Delta; a rebuild under Full).
+                    // Revert the rejected proposal: replay the undo journal
+                    // under Delta (no second repair); rebuild under Full.
                     match self.algorithm {
                         SimAlgorithm::Delta => {
-                            sim.apply(op, old);
+                            sim.rollback();
                         }
                         SimAlgorithm::Full => {
                             let mut s = sim.strategy().clone();
-                            s.replace(op, old);
+                            s.replace(op, old.expect("old config captured under Full"));
                             sim.reset(s);
                         }
                     }
@@ -235,7 +247,8 @@ impl McmcOptimizer {
                     break; // §6.2 criterion (2)
                 }
             }
-            fallbacks += sim.state().fallbacks;
+            sim.commit();
+            telemetry.merge(&sim.telemetry());
         }
 
         let (best, best_cost_us) = best.expect("at least one candidate evaluated");
@@ -246,7 +259,8 @@ impl McmcOptimizer {
             accepted,
             elapsed_seconds: t0.elapsed().as_secs_f64(),
             trace,
-            fallbacks,
+            fallbacks: telemetry.fallbacks,
+            telemetry,
         }
     }
 }

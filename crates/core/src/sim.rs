@@ -12,6 +12,7 @@
 //! always produce the same timeline for a given task graph", §5.3) — a
 //! property the test-suite checks exhaustively.
 
+use crate::metrics::DeltaTelemetry;
 use crate::taskgraph::{ExecUnit, RebuildReport, TaskGraph, TaskId};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
@@ -26,11 +27,43 @@ fn key(ready: f64, seq: u128) -> (u64, u128) {
     (ready.to_bits(), seq)
 }
 
+/// First-touch snapshot of one timeline slot (see [`SimState::begin_txn`]).
+#[derive(Debug, Clone, Copy)]
+struct SlotSave {
+    ready: f64,
+    start: f64,
+    end: f64,
+    unit: Option<ExecUnit>,
+    key: (u64, u128),
+}
+
+/// Undo journal of one open timeline transaction.
+#[derive(Debug, Clone, Default)]
+struct SimJournal {
+    /// First-touch per-slot snapshots, in touch order.
+    slots: Vec<(u32, SlotSave)>,
+    /// Array length, makespan and fallback counter at `begin_txn`.
+    len: usize,
+    makespan: f64,
+    fallbacks: u64,
+    /// Set when a delta repair fell back to a full re-simulation mid-txn:
+    /// the whole pre-transaction state, reconstructed before the sweep
+    /// overwrote it (fallbacks are rare, so the one-off clone is cheap
+    /// amortized).
+    full: Option<Box<SimState>>,
+}
+
 /// Simulation-time state: per-task times and per-unit execution order.
 ///
 /// Unit orders are B-trees keyed by `(ready, seq)`, so delta repairs
 /// reposition a task in `O(log n)` — heavy proposals can add or move
 /// hundreds of thousands of communication tasks on one link queue.
+///
+/// Supports transactions mirroring [`TaskGraph::begin_txn`]: between
+/// [`SimState::begin_txn`] and [`SimState::rollback_txn`], every slot
+/// mutation made by [`simulate_delta`] records its first-touch prior
+/// value, so a rejected proposal's timeline is undone by journal replay
+/// instead of a second repair or a clone.
 #[derive(Debug, Clone, Default)]
 pub struct SimState {
     ready: Vec<f64>,
@@ -43,14 +76,38 @@ pub struct SimState {
     /// than recomputed from the task) so a slot recycled to a *new* task by
     /// a rebuild can still be unscheduled from its old position.
     sched_key: Vec<(u64, u128)>,
-    /// Execution order per unit, sorted by `(ready, seq)`.
+    /// Execution order per unit, sorted by `(ready, seq)`. Invariant: no
+    /// empty per-unit maps (unschedule prunes them), so a rollback can
+    /// restore the map set exactly.
     unit_order: HashMap<ExecUnit, BTreeMap<(u64, u128), TaskId>>,
     makespan: f64,
     /// Number of times the delta algorithm bailed out to a full
     /// re-simulation because incremental repair would have cost more than
     /// a from-scratch sweep (deep dependency chains; see
-    /// [`simulate_delta`]). Timelines stay exact either way.
+    /// [`simulate_delta`]). Timelines stay exact either way. Restored on
+    /// rollback; [`Simulator`] keeps the cumulative count in its
+    /// [`DeltaTelemetry`].
     pub fallbacks: u64,
+    /// Open transaction, if any.
+    journal: Option<SimJournal>,
+    /// First-touch dedup marker (`slot_epoch[i] == epoch` → already saved).
+    slot_epoch: Vec<u64>,
+    epoch: u64,
+}
+
+/// Equality over the logical timeline (times, FIFO orders, makespan,
+/// fallback count). Transaction plumbing (journal, epochs) is excluded.
+impl PartialEq for SimState {
+    fn eq(&self, other: &Self) -> bool {
+        self.makespan == other.makespan
+            && self.fallbacks == other.fallbacks
+            && self.ready == other.ready
+            && self.start == other.start
+            && self.end == other.end
+            && self.unit_of == other.unit_of
+            && self.sched_key == other.sched_key
+            && self.unit_order == other.unit_order
+    }
 }
 
 impl SimState {
@@ -61,9 +118,7 @@ impl SimState {
             end: vec![0.0; cap],
             unit_of: vec![None; cap],
             sched_key: vec![(0, 0); cap],
-            unit_order: HashMap::new(),
-            makespan: 0.0,
-            fallbacks: 0,
+            ..Self::default()
         }
     }
 
@@ -75,6 +130,130 @@ impl SimState {
             self.unit_of.resize(cap, None);
             self.sched_key.resize(cap, (0, 0));
         }
+    }
+
+    /// Opens a transaction: subsequent [`simulate_delta`] mutations are
+    /// journaled until [`SimState::commit_txn`] or
+    /// [`SimState::rollback_txn`]. Journal-free (zero overhead) otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already open.
+    pub fn begin_txn(&mut self) {
+        assert!(self.journal.is_none(), "timeline txn already open");
+        self.epoch += 1;
+        self.journal = Some(SimJournal {
+            len: self.ready.len(),
+            makespan: self.makespan,
+            fallbacks: self.fallbacks,
+            ..SimJournal::default()
+        });
+    }
+
+    /// Closes the open transaction, keeping the repaired timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn commit_txn(&mut self) {
+        assert!(self.journal.take().is_some(), "no timeline txn open");
+    }
+
+    /// Closes the open transaction by replaying its journal backwards,
+    /// restoring the timeline to its exact `begin_txn` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn rollback_txn(&mut self) {
+        let j = self.journal.take().expect("no timeline txn open");
+        if let Some(pre) = j.full {
+            *self = *pre;
+            return;
+        }
+        self.apply_undo(&j);
+    }
+
+    /// Whether a transaction is open.
+    pub fn txn_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Slots journaled by the open transaction (0 when none is open).
+    pub fn journal_depth(&self) -> usize {
+        // A whole-state snapshot (the sweep/fallback path) journals every
+        // timeline slot at once; report it as such so the heaviest
+        // transactions are not invisible in the depth telemetry.
+        self.journal.as_ref().map_or(0, |j| {
+            j.full.as_ref().map_or(j.slots.len(), |pre| pre.ready.len())
+        })
+    }
+
+    /// Replays an undo journal against `self` (shared by rollback and the
+    /// pre-state reconstruction of the fallback path).
+    fn apply_undo(&mut self, j: &SimJournal) {
+        // Phase 1: clear the *current* FIFO entry of every touched slot.
+        for &(i, _) in &j.slots {
+            let i = i as usize;
+            if let Some(unit) = self.unit_of[i] {
+                let k = self.sched_key[i];
+                if let Some(order) = self.unit_order.get_mut(&unit) {
+                    order.remove(&k);
+                    if order.is_empty() {
+                        self.unit_order.remove(&unit);
+                    }
+                }
+            }
+        }
+        // Phase 2: restore the saved fields and FIFO entries.
+        for &(i, s) in &j.slots {
+            let idx = i as usize;
+            self.ready[idx] = s.ready;
+            self.start[idx] = s.start;
+            self.end[idx] = s.end;
+            self.unit_of[idx] = s.unit;
+            self.sched_key[idx] = s.key;
+            if let Some(unit) = s.unit {
+                self.unit_order
+                    .entry(unit)
+                    .or_default()
+                    .insert(s.key, TaskId(i));
+            }
+        }
+        self.ready.truncate(j.len);
+        self.start.truncate(j.len);
+        self.end.truncate(j.len);
+        self.unit_of.truncate(j.len);
+        self.sched_key.truncate(j.len);
+        self.makespan = j.makespan;
+        self.fallbacks = j.fallbacks;
+    }
+
+    /// Journals slot `i` once per transaction, before its first mutation.
+    #[inline]
+    fn save_slot(&mut self, i: usize) {
+        if self.journal.is_none() {
+            return;
+        }
+        if self.slot_epoch.len() <= i {
+            self.slot_epoch.resize(i + 1, 0);
+        }
+        if self.slot_epoch[i] == self.epoch {
+            return;
+        }
+        self.slot_epoch[i] = self.epoch;
+        let save = SlotSave {
+            ready: self.ready[i],
+            start: self.start[i],
+            end: self.end[i],
+            unit: self.unit_of[i],
+            key: self.sched_key[i],
+        };
+        self.journal
+            .as_mut()
+            .expect("txn open")
+            .slots
+            .push((i as u32, save));
     }
 
     /// The simulated per-iteration execution time in microseconds.
@@ -114,8 +293,10 @@ impl SimState {
 
     /// Removes `id` from its unit order; returns its old follower (whose
     /// `preTask` changed), if any. Works even when the slot has been
-    /// recycled to a new task, thanks to the stored schedule key.
+    /// recycled to a new task, thanks to the stored schedule key. Empty
+    /// per-unit maps are pruned (rollback relies on this invariant).
     fn unschedule(&mut self, id: TaskId) -> Option<TaskId> {
+        self.save_slot(id.index());
         let unit = self.unit_of[id.index()]
             .take()
             .unwrap_or_else(|| panic!("unscheduling unscheduled task {id}"));
@@ -123,10 +304,14 @@ impl SimState {
         let order = self.unit_order.get_mut(&unit).expect("unit has an order");
         let removed = order.remove(&k);
         debug_assert_eq!(removed, Some(id));
-        order
+        let follower = order
             .range((std::ops::Bound::Excluded(k), std::ops::Bound::Unbounded))
             .next()
-            .map(|(_, &t)| t)
+            .map(|(_, &t)| t);
+        if order.is_empty() {
+            self.unit_order.remove(&unit);
+        }
+        follower
     }
 
     /// Inserts `id` into its unit order at the position dictated by
@@ -139,6 +324,7 @@ impl SimState {
         unit: ExecUnit,
         ready: f64,
     ) -> Option<TaskId> {
+        self.save_slot(id.index());
         let k = key(ready, tg.task(id).seq);
         self.unit_of[id.index()] = Some(unit);
         self.ready[id.index()] = ready;
@@ -227,6 +413,37 @@ pub fn simulate_full(tg: &TaskGraph) -> SimState {
     state
 }
 
+/// Reusable workspace for [`simulate_delta_with`]: the repair heap and the
+/// queued-dedup marker survive across calls, so steady-state repairs do no
+/// per-call allocation proportional to graph capacity. Owned per
+/// [`Simulator`]; create one and pass it to every call on the same thread.
+#[derive(Debug, Default)]
+pub struct DeltaScratch {
+    heap: BinaryHeap<Reverse<((u64, u128), TaskId)>>,
+    /// `queued[i] == epoch` → slot `i` is currently in the heap.
+    queued: Vec<u64>,
+    epoch: u64,
+    /// Heap pops performed by the most recent repair (telemetry).
+    pub last_repair_steps: u64,
+    /// Whether the most recent call chose an in-place full sweep over
+    /// incremental repair (the adaptive wide-proposal path; telemetry).
+    pub last_was_sweep: bool,
+}
+
+impl DeltaScratch {
+    #[inline]
+    fn push(&mut self, tg: &TaskGraph, state: &SimState, id: TaskId) {
+        let i = id.index();
+        if self.queued[i] == self.epoch {
+            return;
+        }
+        if let Some(t) = tg.get(id) {
+            self.queued[i] = self.epoch;
+            self.heap.push(Reverse((key(state.ready[i], t.seq), id)));
+        }
+    }
+}
+
 /// The delta simulation algorithm (paper Algorithm 2): given the previous
 /// timeline and the [`RebuildReport`] of a single-op configuration change,
 /// repairs only the affected portion of the timeline.
@@ -235,29 +452,85 @@ pub fn simulate_full(tg: &TaskGraph) -> SimState {
 /// [`simulate_full`] on the updated graph; if the internal iteration bound
 /// is ever exceeded (a safety valve), the function falls back to a full
 /// re-simulation and increments [`SimState::fallbacks`].
+///
+/// Convenience wrapper over [`simulate_delta_with`] that allocates a fresh
+/// scratch; hot loops should hold a [`DeltaScratch`] and call the `_with`
+/// variant (or drive a [`Simulator`], which does).
 pub fn simulate_delta(tg: &TaskGraph, state: &mut SimState, report: &RebuildReport) -> f64 {
+    simulate_delta_with(tg, state, report, &mut DeltaScratch::default())
+}
+
+/// [`simulate_delta`] with a caller-owned [`DeltaScratch`].
+///
+/// When `state` has an open transaction (see [`SimState::begin_txn`]),
+/// every mutation is journaled so the repair can be rolled back exactly —
+/// including the fallback path, which snapshots the reconstructed
+/// pre-transaction state before the full sweep overwrites the arrays.
+pub fn simulate_delta_with(
+    tg: &TaskGraph,
+    state: &mut SimState,
+    report: &RebuildReport,
+    scratch: &mut DeltaScratch,
+) -> f64 {
     state.ensure_capacity(tg.capacity());
-    let mut heap: BinaryHeap<Reverse<((u64, u128), TaskId)>> = BinaryHeap::new();
-    // Dedup queued work: a task with many dirty predecessors would
-    // otherwise be enqueued (and its ready-max rescanned) once per
-    // predecessor update; since the heap pops in ready order, one visit
-    // after the wave has settled usually suffices.
-    let mut queued: Vec<bool> = vec![false; tg.capacity()];
-    let push = |state: &SimState, heap: &mut BinaryHeap<_>, queued: &mut Vec<bool>, id: TaskId| {
-        if !queued[id.index()] {
-            if let Some(t) = tg.get(id) {
-                queued[id.index()] = true;
-                heap.push(Reverse((key(state.ready[id.index()], t.seq), id)));
+    scratch.heap.clear();
+    scratch.epoch += 1;
+    if scratch.queued.len() < tg.capacity() {
+        scratch.queued.resize(tg.capacity(), 0);
+    }
+    scratch.last_repair_steps = 0;
+    scratch.last_was_sweep = false;
+
+    // 0. Adaptive algorithm choice. Incremental repair pays a ~3x higher
+    //    per-task constant than the flat Dijkstra sweep (B-tree
+    //    repositioning vs heap pushes), so when the dirty timeline suffix
+    //    covers most of the schedule a journaled in-place full sweep is
+    //    strictly cheaper — while still skipping the full graph *rebuild*,
+    //    which is the structural half of delta's advantage. Estimate the
+    //    suffix from the earliest dirty ready time. The estimate scans the
+    //    slot arrays once — O(capacity) of branch-free f64 compares, the
+    //    same order as the makespan recomputation every repair already
+    //    pays, and far below one B-tree repositioning per dirty task.
+    let n = tg.num_tasks();
+    if n > 0 {
+        let mut t_min = f64::INFINITY;
+        for &id in report.removed.iter().chain(&report.pred_changed) {
+            let i = id.index();
+            if state.unit_of[i].is_some() {
+                t_min = t_min.min(state.ready[i]);
             }
         }
-    };
+        for &id in &report.added {
+            let t = tg.task(id);
+            let r = t
+                .preds
+                .iter()
+                .map(|p| state.end[p.index()])
+                .fold(0.0, f64::max);
+            t_min = t_min.min(r);
+        }
+        if t_min.is_finite() {
+            let suffix = state
+                .end
+                .iter()
+                .zip(&state.unit_of)
+                .filter(|(&e, u)| u.is_some() && e >= t_min)
+                .count()
+                + report.added.len();
+            // Crossover measured on the proposal_evaluation workload:
+            // repair wins below roughly a third of the schedule.
+            if 8 * suffix >= 3 * n {
+                return sweep_in_place(tg, state, scratch);
+            }
+        }
+    }
 
     // 1. Unschedule removed slots (their old unit is recorded in the state;
     //    the slot may already host a replacement task).
     for &id in &report.removed {
         if state.unit_of[id.index()].is_some() {
             if let Some(shifted) = state.unschedule(id) {
-                push(state, &mut heap, &mut queued, shifted);
+                scratch.push(tg, state, shifted);
             }
         }
     }
@@ -267,6 +540,7 @@ pub fn simulate_delta(tg: &TaskGraph, state: &mut SimState, report: &RebuildRepo
     //    most tasks once, after their inputs have settled — seeding at 0
     //    would pop every added task once before its wave arrives.
     for &id in &report.added {
+        state.save_slot(id.index());
         state.start[id.index()] = 0.0;
         state.end[id.index()] = 0.0;
     }
@@ -278,13 +552,13 @@ pub fn simulate_delta(tg: &TaskGraph, state: &mut SimState, report: &RebuildRepo
             .map(|p| state.end[p.index()])
             .fold(0.0, f64::max);
         if let Some(follower) = state.schedule(tg, id, t.unit, init_ready) {
-            push(state, &mut heap, &mut queued, follower);
+            scratch.push(tg, state, follower);
         }
-        push(state, &mut heap, &mut queued, id);
+        scratch.push(tg, state, id);
     }
     // 3. Surviving tasks that lost predecessors may become ready earlier.
     for &id in &report.pred_changed {
-        push(state, &mut heap, &mut queued, id);
+        scratch.push(tg, state, id);
     }
 
     // 4. Fixpoint propagation in (ready, seq) order. If the repair takes
@@ -292,19 +566,18 @@ pub fn simulate_delta(tg: &TaskGraph, state: &mut SimState, report: &RebuildRepo
     //    re-simulating from scratch (deep chains re-process each wave), so
     //    the budget bails out early and the fallback handles it — an
     //    adaptive escape hatch rather than an error path.
-    let budget = 8 * tg.num_tasks().max(64);
-    let mut steps = 0usize;
-    while let Some(Reverse((_, id))) = heap.pop() {
-        queued[id.index()] = false;
+    let budget = 8 * tg.num_tasks().max(64) as u64;
+    let mut steps = 0u64;
+    while let Some(Reverse((_, id))) = scratch.heap.pop() {
+        scratch.queued[id.index()] = 0;
         let Some(t) = tg.get(id) else { continue };
         steps += 1;
         if steps > budget {
             // Safety valve: abandon incremental repair.
+            scratch.last_repair_steps = steps;
+            scratch.heap.clear();
             state.fallbacks += 1;
-            let fallbacks = state.fallbacks;
-            *state = simulate_full(tg);
-            state.fallbacks = fallbacks;
-            return state.makespan;
+            return sweep_in_place(tg, state, scratch);
         }
         let new_ready = t
             .preds
@@ -315,32 +588,99 @@ pub fn simulate_delta(tg: &TaskGraph, state: &mut SimState, report: &RebuildRepo
         if new_ready != state.ready[i] {
             // Reposition within the FIFO order (the "swap" of Algorithm 2).
             if let Some(shifted) = state.unschedule(id) {
-                push(state, &mut heap, &mut queued, shifted);
+                scratch.push(tg, state, shifted);
             }
             if let Some(follower) = state.schedule(tg, id, t.unit, new_ready) {
-                push(state, &mut heap, &mut queued, follower);
+                scratch.push(tg, state, follower);
             }
         }
         let unit = state.unit_of[i].expect("scheduled");
         let new_start = new_ready.max(state.pre_end(id, unit));
         let new_end = new_start + t.exe_us;
         if new_start != state.start[i] || new_end != state.end[i] {
+            let old_end = state.end[i];
+            state.save_slot(i);
             state.start[i] = new_start;
             state.end[i] = new_end;
+            // Frontier tightening: a changed end only matters to a
+            // dependent whose ready/start this task could determine. If
+            // both the old and the new end sit strictly below the
+            // dependent's settled ready (or start, for the FIFO follower),
+            // the dependent's times cannot change — skip the push and keep
+            // the untouched timeline suffix untouched. Dependents already
+            // queued are unaffected (the push dedups).
             for &s in &t.succs {
-                push(state, &mut heap, &mut queued, s);
+                let si = s.index();
+                if new_end > state.ready[si] || old_end >= state.ready[si] {
+                    scratch.push(tg, state, s);
+                }
             }
             if let Some(next) = state.next_of(id, unit) {
-                push(state, &mut heap, &mut queued, next);
+                let ni = next.index();
+                if new_end > state.start[ni] || old_end >= state.start[ni] {
+                    scratch.push(tg, state, next);
+                }
             }
         }
     }
+    scratch.last_repair_steps = steps;
     state.recompute_makespan(tg);
+    state.makespan
+}
+
+/// Replaces the timeline with a from-scratch sweep of the current graph,
+/// preserving an open transaction's ability to roll back: with a still-
+/// empty journal the old state moves into the journal wholesale (no
+/// copy); mid-repair (the budget safety valve) the pre-transaction state
+/// is first reconstructed from the journal.
+fn sweep_in_place(tg: &TaskGraph, state: &mut SimState, scratch: &mut DeltaScratch) -> f64 {
+    scratch.last_was_sweep = true;
+    let fallbacks = state.fallbacks;
+    if state.journal.is_some() {
+        let untouched = state.journal.as_ref().is_some_and(|j| j.slots.is_empty());
+        let mut journal = state.journal.take().expect("txn open");
+        let pre = if untouched {
+            // Journal untouched: the current state *is* the pre-txn state,
+            // modulo the capacity growth done at the top of the repair
+            // (the grown tail is all-default; truncation restores it) —
+            // move it into the journal wholesale, no copy.
+            let mut pre = std::mem::take(state);
+            pre.ready.truncate(journal.len);
+            pre.start.truncate(journal.len);
+            pre.end.truncate(journal.len);
+            pre.unit_of.truncate(journal.len);
+            pre.sched_key.truncate(journal.len);
+            pre
+        } else {
+            // Mid-repair (the budget safety valve): reconstruct the
+            // pre-txn state from the journal before the sweep overwrites
+            // the arrays.
+            let mut pre = state.clone();
+            pre.journal = None;
+            pre.apply_undo(&journal);
+            pre
+        };
+        journal.full = Some(Box::new(pre));
+        *state = simulate_full(tg);
+        state.journal = Some(journal);
+    } else {
+        *state = simulate_full(tg);
+    }
+    state.fallbacks = fallbacks;
     state.makespan
 }
 
 /// Convenience owner tying together a strategy, its task graph and its
 /// timeline; the execution optimizer drives the search through this.
+///
+/// Proposal evaluation is **transactional**: [`Simulator::apply`] opens a
+/// transaction on both the task graph and the timeline, rebuilds one op
+/// and delta-repairs the schedule while journaling every mutation.
+/// [`Simulator::commit`] keeps the result (dropping the journal);
+/// [`Simulator::rollback`] replays the journal backwards, restoring graph,
+/// timeline and strategy bit-for-bit — no second repair, no structure
+/// clone. Rejected proposals dominate an MCMC walk, so this is the hot
+/// path of the whole search.
 pub struct Simulator<'a> {
     graph: &'a flexflow_opgraph::OpGraph,
     topo: &'a flexflow_device::Topology,
@@ -349,8 +689,12 @@ pub struct Simulator<'a> {
     strategy: crate::strategy::Strategy,
     tg: TaskGraph,
     state: SimState,
+    scratch: DeltaScratch,
+    /// Open speculative proposal: the changed op and its previous config.
+    txn: Option<(flexflow_opgraph::OpId, crate::soap::ParallelConfig)>,
     /// Number of delta simulations performed.
     pub delta_sims: u64,
+    telemetry: DeltaTelemetry,
 }
 
 impl<'a> Simulator<'a> {
@@ -372,8 +716,21 @@ impl<'a> Simulator<'a> {
             strategy,
             tg,
             state,
+            scratch: DeltaScratch::default(),
+            txn: None,
             delta_sims: 0,
+            telemetry: DeltaTelemetry::default(),
         }
+    }
+
+    /// The operator graph being parallelized.
+    pub fn graph(&self) -> &'a flexflow_opgraph::OpGraph {
+        self.graph
+    }
+
+    /// The device topology being targeted.
+    pub fn topology(&self) -> &'a flexflow_device::Topology {
+        self.topo
     }
 
     /// The current strategy.
@@ -396,16 +753,27 @@ impl<'a> Simulator<'a> {
         &self.state
     }
 
-    /// Applies a configuration change to one op with a delta simulation and
-    /// returns the new cost. The change can be reverted by applying the old
-    /// configuration the same way, or more cheaply via
-    /// [`Simulator::snapshot`] / [`Simulator::restore`].
+    /// Cumulative transaction/repair telemetry.
+    pub fn telemetry(&self) -> DeltaTelemetry {
+        self.telemetry
+    }
+
+    /// Speculatively applies a configuration change to one op with a
+    /// journaled delta simulation and returns the new cost. The change
+    /// stays pending until [`Simulator::commit`] keeps it or
+    /// [`Simulator::rollback`] undoes it; calling `apply` again first
+    /// commits the pending change (so sequential non-speculative use —
+    /// apply, apply, … — behaves exactly as before the transactional API).
     pub fn apply(
         &mut self,
         op: flexflow_opgraph::OpId,
         config: crate::soap::ParallelConfig,
     ) -> f64 {
-        self.strategy.replace(op, config);
+        self.commit();
+        let old = self.strategy.replace(op, config);
+        self.tg.begin_txn();
+        self.state.begin_txn();
+        self.txn = Some((op, old));
         let report = self.tg.rebuild_op(
             self.graph,
             self.topo,
@@ -415,44 +783,51 @@ impl<'a> Simulator<'a> {
             op,
         );
         self.delta_sims += 1;
-        simulate_delta(&self.tg, &mut self.state, &report)
+        let fallbacks_before = self.state.fallbacks;
+        let cost = simulate_delta_with(&self.tg, &mut self.state, &report, &mut self.scratch);
+        self.telemetry.applies += 1;
+        self.telemetry.repair_steps += self.scratch.last_repair_steps;
+        self.telemetry.fallbacks += self.state.fallbacks - fallbacks_before;
+        self.telemetry.sweeps += u64::from(self.scratch.last_was_sweep);
+        let depth = self.tg.journal_depth() + self.state.journal_depth();
+        self.telemetry.journal_slots += depth as u64;
+        self.telemetry.max_journal_depth = self.telemetry.max_journal_depth.max(depth);
+        cost
     }
 
-    /// Captures the current task graph, timeline and strategy so a
-    /// speculative [`Simulator::apply`] can be undone with
-    /// [`Simulator::restore`] — one memcpy-style clone instead of a second
-    /// incremental repair (rejected proposals dominate an MCMC walk).
-    pub fn snapshot(&self) -> SimSnapshot {
-        SimSnapshot {
-            strategy: self.strategy.clone(),
-            tg: self.tg.clone(),
-            state: self.state.clone(),
+    /// Keeps the pending [`Simulator::apply`], dropping its undo journal.
+    /// No-op when nothing is pending.
+    pub fn commit(&mut self) {
+        if self.txn.take().is_some() {
+            self.tg.commit_txn();
+            self.state.commit_txn();
+            self.telemetry.commits += 1;
         }
     }
 
-    /// Restores a snapshot taken by [`Simulator::snapshot`].
-    pub fn restore(&mut self, snap: SimSnapshot) {
-        self.strategy = snap.strategy;
-        self.tg = snap.tg;
-        self.state = snap.state;
+    /// Undoes the pending [`Simulator::apply`] by replaying the undo
+    /// journals backwards; strategy, task graph and timeline return to
+    /// their exact pre-`apply` state. Returns the (restored) cost. No-op
+    /// when nothing is pending.
+    pub fn rollback(&mut self) -> f64 {
+        if let Some((op, old)) = self.txn.take() {
+            self.strategy.replace(op, old);
+            self.tg.rollback_txn();
+            self.state.rollback_txn();
+            self.telemetry.rollbacks += 1;
+        }
+        self.state.makespan_us()
     }
 
     /// Replaces the entire strategy, rebuilding and fully re-simulating.
+    /// Commits any pending proposal first.
     pub fn reset(&mut self, strategy: crate::strategy::Strategy) -> f64 {
+        self.commit();
         self.strategy = strategy;
         self.tg = TaskGraph::build(self.graph, self.topo, &self.strategy, self.cost, &self.cfg);
         self.state = simulate_full(&self.tg);
         self.state.makespan_us()
     }
-}
-
-/// A saved simulator state for speculative proposals (see
-/// [`Simulator::snapshot`]).
-#[derive(Debug, Clone)]
-pub struct SimSnapshot {
-    strategy: crate::strategy::Strategy,
-    tg: TaskGraph,
-    state: SimState,
 }
 
 #[cfg(test)]
@@ -717,6 +1092,107 @@ mod tests {
             (c0 - c2).abs() < 1e-6,
             "revert must restore cost: {c0} vs {c2}"
         );
+    }
+
+    #[test]
+    fn rollback_restores_graph_timeline_and_strategy_exactly() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let s = Strategy::data_parallel(&g, &topo);
+        let mut sim = Simulator::new(&g, &topo, &cost, SimConfig::default(), s.clone());
+        let tg0 = sim.task_graph().clone();
+        let st0 = sim.state().clone();
+        let c0 = sim.cost_us();
+        let op = Strategy::searchable_ops(&g)[2];
+        let c1 = sim.apply(op, ParallelConfig::on_device(g.op(op), topo.device_id(1)));
+        assert_ne!(c0.to_bits(), c1.to_bits(), "the proposal must change cost");
+        let c2 = sim.rollback();
+        assert_eq!(c0.to_bits(), c2.to_bits(), "rollback must restore cost");
+        assert!(sim.task_graph() == &tg0, "task graph must be bit-identical");
+        assert!(sim.state() == &st0, "timeline must be bit-identical");
+        assert_eq!(sim.strategy(), &s);
+        let t = sim.telemetry();
+        assert_eq!((t.applies, t.commits, t.rollbacks), (1, 0, 1));
+        assert!(t.max_journal_depth > 0);
+    }
+
+    #[test]
+    fn commit_keeps_the_applied_proposal() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let s = Strategy::data_parallel(&g, &topo);
+        let mut sim = Simulator::new(&g, &topo, &cost, SimConfig::default(), s);
+        let op = Strategy::searchable_ops(&g)[1];
+        let c1 = sim.apply(op, ParallelConfig::on_device(g.op(op), topo.device_id(3)));
+        sim.commit();
+        // rollback after commit is a no-op: the change is permanent
+        let c2 = sim.rollback();
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        let fresh = simulate_full(&TaskGraph::build(
+            &g,
+            &topo,
+            sim.strategy(),
+            &cost,
+            &SimConfig::default(),
+        ));
+        assert!((c1 - fresh.makespan_us()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rollback_without_pending_txn_is_a_noop() {
+        let g = zoo::lenet(32);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let s = Strategy::data_parallel(&g, &topo);
+        let mut sim = Simulator::new(&g, &topo, &cost, SimConfig::default(), s);
+        let c0 = sim.cost_us();
+        assert_eq!(sim.rollback().to_bits(), c0.to_bits());
+        sim.commit(); // also a no-op
+        assert_eq!(sim.cost_us().to_bits(), c0.to_bits());
+        assert_eq!(sim.telemetry().rollbacks, 0);
+    }
+
+    #[test]
+    fn rollback_after_many_speculative_applies_matches_fresh_build() {
+        // Interleave committed moves with rolled-back speculation and keep
+        // checking the live cost against a from-scratch evaluation.
+        let g = zoo::lenet(32);
+        let topo = clusters::uniform_cluster(2, 2, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = SimConfig::default();
+        let searchable = Strategy::searchable_ops(&g);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sim = Simulator::new(&g, &topo, &cost, cfg, Strategy::data_parallel(&g, &topo));
+        for step in 0..40 {
+            let op = searchable[rng.gen_range(0..searchable.len())];
+            let config = crate::soap::random_config(
+                g.op(op),
+                &topo,
+                crate::soap::ConfigSpace::Full,
+                &mut rng,
+            );
+            let before = sim.cost_us();
+            let tg_before = sim.task_graph().clone();
+            let st_before = sim.state().clone();
+            let applied = sim.apply(op, config);
+            if step % 3 == 0 {
+                sim.commit();
+                let fresh =
+                    simulate_full(&TaskGraph::build(&g, &topo, sim.strategy(), &cost, &cfg));
+                assert!(
+                    (applied - fresh.makespan_us()).abs() < 1e-6,
+                    "step {step}: committed {applied} vs fresh {}",
+                    fresh.makespan_us()
+                );
+            } else {
+                let restored = sim.rollback();
+                assert_eq!(before.to_bits(), restored.to_bits(), "step {step}");
+                assert!(sim.task_graph() == &tg_before, "step {step}: graph drifted");
+                assert!(sim.state() == &st_before, "step {step}: timeline drifted");
+            }
+        }
     }
 
     #[test]

@@ -24,13 +24,23 @@
 //! replacing one operation's configuration removes and recreates only the
 //! tasks attached to that op, which is what the delta simulation algorithm
 //! (§5.3) builds on.
+//!
+//! Surgery is **transactional**: [`TaskGraph::begin_txn`] opens an undo
+//! journal, every mutation made by `rebuild_op` records the first-touch
+//! prior state of whatever it overwrites, and [`TaskGraph::rollback_txn`]
+//! replays the journal to restore the graph bit-for-bit — the rejected-
+//! proposal path of the MCMC optimizer, which previously needed either a
+//! second full repair or a clone of the whole structure.
 
+use crate::soap::ParallelConfig;
 use crate::strategy::Strategy;
 use flexflow_costmodel::CostModel;
 use flexflow_device::{DeviceId, LinkId, Topology};
 use flexflow_opgraph::{LayerId, OpGraph, OpId, OpKind};
+use flexflow_tensor::Rect;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a task (a slot index; slots are recycled by delta
 /// updates).
@@ -95,7 +105,7 @@ pub enum TaskKind {
 /// One node of the task graph. Fields mirror the construction-time
 /// properties of paper Table 2 (`exeTime`, `device`, `I(t)`, `O(t)`);
 /// simulation-time properties live in [`crate::sim::SimState`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Task {
     /// What the task does.
     pub kind: TaskKind,
@@ -165,6 +175,72 @@ impl Default for SimConfig {
     }
 }
 
+/// Memoized materialization of one `(op, config)` pair: the output tiles,
+/// their per-slot input requirements, and the execution unit / task time of
+/// each tile. Derived data only — re-proposing a recently seen
+/// configuration (the common case in an MCMC walk and in neighborhood
+/// sweeps) skips tile arithmetic and cost-model lookups entirely.
+#[derive(Debug)]
+struct OpMaterial {
+    tiles: Vec<Rect>,
+    /// `needs[k][slot]`: input rect of argument `slot` required by tile `k`.
+    needs: Vec<Vec<Option<Rect>>>,
+    units: Vec<ExecUnit>,
+    exe_us: Vec<f64>,
+    /// Parameters touched per tile (for sync-shard accounting).
+    params: Vec<u64>,
+}
+
+/// Bound on the materialization memo; beyond it the cache is dropped
+/// wholesale (random-device proposals on big clusters rarely repeat, so an
+/// LRU would buy little over periodic clearing).
+const MAT_CACHE_CAP: usize = 4096;
+
+/// First-touch snapshot of one tensor edge's comm-task list (`None` = the
+/// key was absent when the transaction first touched it).
+type EdgeCommSave = ((OpId, OpId), Option<Vec<TaskId>>);
+
+/// The fixed inputs task-graph construction draws from; bundled so the
+/// internal builders share one handle instead of five parameters.
+#[derive(Clone, Copy)]
+struct BuildCtx<'a> {
+    graph: &'a OpGraph,
+    topo: &'a Topology,
+    strategy: &'a Strategy,
+    cost: &'a dyn CostModel,
+    cfg: &'a SimConfig,
+}
+
+/// Undo journal of one open transaction (see [`TaskGraph::begin_txn`]).
+/// Every entry is a *first-touch* snapshot: the value a piece of state had
+/// when the transaction first mutated it.
+#[derive(Debug, Clone, Default)]
+struct GraphJournal {
+    /// Slot contents before their first mutation (doomed, recycled, or
+    /// adjacency-edited survivor slots alike).
+    slots: Vec<(TaskId, Option<Task>)>,
+    /// Compute-task lists of rebuilt ops.
+    op_tasks: Vec<(OpId, Vec<TaskId>)>,
+    /// Tensor-edge comm lists.
+    edge_comms: Vec<EdgeCommSave>,
+    /// Sync-task lists of touched layers.
+    sync_tasks: Vec<(LayerId, Vec<TaskId>)>,
+    /// Free-list length at `begin_txn`.
+    free_len: usize,
+    /// Free-list low-water mark during the txn: entries of the original
+    /// list above this index were popped and are saved in `free_saved`
+    /// (in pop order, i.e. descending original index). Everything the txn
+    /// itself pushed sits above the low-water mark at rollback time, so
+    /// truncate + re-push restores the original list without `begin_txn`
+    /// ever cloning it (the list can hold ~10^5 recycled slots after a
+    /// heavy configuration dies).
+    free_low: usize,
+    free_saved: Vec<TaskId>,
+    /// Slot-table length and live count at `begin_txn`.
+    tasks_len: usize,
+    alive: usize,
+}
+
 /// The task graph (paper §5.1). Holds its tasks in recyclable slots and
 /// remembers which tasks belong to which op / tensor edge / layer so that
 /// [`TaskGraph::rebuild_op`] can surgically replace them.
@@ -181,6 +257,33 @@ pub struct TaskGraph {
     /// Synchronization tasks per layer (indexed by layer id).
     sync_tasks: Vec<Vec<TaskId>>,
     alive: usize,
+    /// Open transaction, if any (see [`TaskGraph::begin_txn`]).
+    journal: Option<GraphJournal>,
+    /// First-touch dedup for slot journal entries: `slot_epoch[i] == epoch`
+    /// means slot `i` is already journaled (or fresh) in the open txn.
+    slot_epoch: Vec<u64>,
+    epoch: u64,
+    /// Materialization memo, keyed by op then config (two levels so the
+    /// hot hit path probes with `&ParallelConfig`, no clone). A task
+    /// graph is always driven with one fixed `(graph, topo, cost)`
+    /// triple, so the key needs no hardware component.
+    mat_cache: HashMap<OpId, HashMap<ParallelConfig, Arc<OpMaterial>>>,
+    /// Total entries across the two-level memo (drives eviction).
+    mat_cache_entries: usize,
+}
+
+/// Equality over the *logical* graph: slots, free list, bookkeeping and
+/// live count. Transient acceleration state (journal, epochs, memo,
+/// `created_log`) is excluded — it never affects simulation results.
+impl PartialEq for TaskGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.alive == other.alive
+            && self.tasks == other.tasks
+            && self.free == other.free
+            && self.op_tasks == other.op_tasks
+            && self.edge_comms == other.edge_comms
+            && self.sync_tasks == other.sync_tasks
+    }
 }
 
 impl TaskGraph {
@@ -200,24 +303,194 @@ impl TaskGraph {
             edge_comms: HashMap::new(),
             sync_tasks: vec![Vec::new(); graph.num_layers()],
             alive: 0,
+            journal: None,
+            slot_epoch: Vec::new(),
+            epoch: 0,
+            mat_cache: HashMap::new(),
+            mat_cache_entries: 0,
+        };
+        let ctx = BuildCtx {
+            graph,
+            topo,
+            strategy,
+            cost,
+            cfg,
         };
         for op in graph.ids() {
-            tg.create_compute_tasks(graph, topo, strategy, cost, op);
+            tg.create_compute_tasks(ctx, op);
         }
         let mut seen = HashSet::new();
         for (src, dst) in graph.edges() {
             // connect_edge handles every argument slot of `dst` fed by
             // `src` at once; dedup multi-slot consumption (e.g. Add(x, x)).
             if seen.insert((src, dst)) {
-                tg.connect_edge(graph, topo, strategy, cfg, src, dst);
+                tg.connect_edge(ctx, src, dst);
             }
         }
         if cfg.include_param_sync {
             for layer in graph.layer_ids() {
-                tg.build_layer_sync(graph, topo, strategy, cfg, layer);
+                tg.build_layer_sync(ctx, layer);
             }
         }
         tg
+    }
+
+    /// Opens a transaction: every subsequent [`TaskGraph::rebuild_op`]
+    /// records an undo journal until [`TaskGraph::commit_txn`] or
+    /// [`TaskGraph::rollback_txn`] closes it. Without an open transaction
+    /// rebuilds run journal-free (zero overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already open.
+    pub fn begin_txn(&mut self) {
+        assert!(self.journal.is_none(), "task-graph txn already open");
+        self.epoch += 1;
+        self.journal = Some(GraphJournal {
+            free_len: self.free.len(),
+            free_low: self.free.len(),
+            tasks_len: self.tasks.len(),
+            alive: self.alive,
+            ..GraphJournal::default()
+        });
+    }
+
+    /// Closes the open transaction, keeping all changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn commit_txn(&mut self) {
+        assert!(self.journal.take().is_some(), "no task-graph txn open");
+    }
+
+    /// Closes the open transaction by replaying its journal backwards,
+    /// restoring the graph to its exact `begin_txn` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn rollback_txn(&mut self) {
+        let j = self.journal.take().expect("no task-graph txn open");
+        for (id, old) in j.slots.into_iter().rev() {
+            self.tasks[id.index()] = old;
+        }
+        self.tasks.truncate(j.tasks_len);
+        for (op, old) in j.op_tasks {
+            self.op_tasks[op.index()] = old;
+        }
+        for (key, old) in j.edge_comms {
+            match old {
+                Some(v) => {
+                    self.edge_comms.insert(key, v);
+                }
+                None => {
+                    self.edge_comms.remove(&key);
+                }
+            }
+        }
+        for (layer, old) in j.sync_tasks {
+            self.sync_tasks[layer.index()] = old;
+        }
+        // Restore the free list: drop everything the txn pushed (all above
+        // the low-water mark) and re-push the consumed original entries.
+        self.free.truncate(j.free_low);
+        self.free.extend(j.free_saved.iter().rev());
+        debug_assert_eq!(self.free.len(), j.free_len);
+        self.alive = j.alive;
+        self.created_log.clear();
+    }
+
+    /// Whether a transaction is open.
+    pub fn txn_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Slots journaled by the open transaction (0 when none is open) — a
+    /// telemetry proxy for how much graph state a proposal touched.
+    pub fn journal_depth(&self) -> usize {
+        self.journal.as_ref().map_or(0, |j| j.slots.len())
+    }
+
+    /// Journals the current contents of slot `id` once per transaction.
+    #[inline]
+    fn j_save_slot(&mut self, id: TaskId) {
+        if self.journal.is_none() {
+            return;
+        }
+        let i = id.index();
+        if self.slot_epoch.len() <= i {
+            self.slot_epoch.resize(i + 1, 0);
+        }
+        if self.slot_epoch[i] == self.epoch {
+            return;
+        }
+        self.slot_epoch[i] = self.epoch;
+        let old = self.tasks[i].clone();
+        self.journal
+            .as_mut()
+            .expect("txn open")
+            .slots
+            .push((id, old));
+    }
+
+    /// Marks a freshly pushed slot as journaled without recording it (the
+    /// rollback truncation removes it wholesale).
+    #[inline]
+    fn j_mark_fresh(&mut self, id: TaskId) {
+        if self.journal.is_none() {
+            return;
+        }
+        let i = id.index();
+        if self.slot_epoch.len() <= i {
+            self.slot_epoch.resize(i + 1, 0);
+        }
+        self.slot_epoch[i] = self.epoch;
+    }
+
+    fn j_save_op_tasks(&mut self, op: OpId) {
+        let Some(j) = self.journal.as_ref() else {
+            return;
+        };
+        if j.op_tasks.iter().any(|(o, _)| *o == op) {
+            return;
+        }
+        let old = self.op_tasks[op.index()].clone();
+        self.journal
+            .as_mut()
+            .expect("txn open")
+            .op_tasks
+            .push((op, old));
+    }
+
+    fn j_save_edge(&mut self, key: (OpId, OpId)) {
+        let Some(j) = self.journal.as_ref() else {
+            return;
+        };
+        if j.edge_comms.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        let old = self.edge_comms.get(&key).cloned();
+        self.journal
+            .as_mut()
+            .expect("txn open")
+            .edge_comms
+            .push((key, old));
+    }
+
+    fn j_save_sync(&mut self, layer: LayerId) {
+        let Some(j) = self.journal.as_ref() else {
+            return;
+        };
+        if j.sync_tasks.iter().any(|(l, _)| *l == layer) {
+            return;
+        }
+        let old = self.sync_tasks[layer.index()].clone();
+        self.journal
+            .as_mut()
+            .expect("txn open")
+            .sync_tasks
+            .push((layer, old));
     }
 
     /// Number of live tasks.
@@ -267,6 +540,15 @@ impl TaskGraph {
     /// Returns the set of *dirty* tasks whose inputs changed (new tasks and
     /// surviving tasks that lost or gained predecessors) — the seed set for
     /// the delta simulation algorithm.
+    ///
+    /// Inside an open transaction (see [`TaskGraph::begin_txn`]) every
+    /// mutation is journaled so the rebuild can be rolled back exactly.
+    ///
+    /// `graph`, `topo` and `cost` must be the same objects the graph was
+    /// built with: the internal materialization memo is keyed by
+    /// `(op, config)` only, so swapping the hardware or cost oracle
+    /// between calls would serve stale task times. (Rebuilding against a
+    /// *changed strategy* is the whole point and is fully supported.)
     pub fn rebuild_op(
         &mut self,
         graph: &OpGraph,
@@ -277,9 +559,25 @@ impl TaskGraph {
         op: OpId,
     ) -> RebuildReport {
         let mut report = RebuildReport::default();
+        let node = graph.op(op);
+        // Journal the bookkeeping this rebuild may rewrite (no-ops without
+        // an open transaction).
+        if self.journal.is_some() {
+            self.j_save_op_tasks(op);
+            for &src in node.inputs() {
+                self.j_save_edge((src, op));
+            }
+            for dst in graph.consumers(op) {
+                self.j_save_edge((op, dst));
+            }
+            if cfg.include_param_sync {
+                if let Some(layer) = node.layer() {
+                    self.j_save_sync(layer);
+                }
+            }
+        }
         // 1. Collect and remove everything attached to `op`.
         let mut doomed: Vec<TaskId> = self.op_tasks[op.index()].clone();
-        let node = graph.op(op);
         for &src in node.inputs() {
             if let Some(comms) = self.edge_comms.remove(&(src, op)) {
                 doomed.extend(comms);
@@ -303,6 +601,7 @@ impl TaskGraph {
         let mut succ_touched: HashSet<TaskId> = HashSet::new();
         let mut pred_touched: HashSet<TaskId> = HashSet::new();
         for &id in &doomed {
+            self.j_save_slot(id);
             let task = self.tasks[id.index()]
                 .take()
                 .unwrap_or_else(|| panic!("removing dead task {id}"));
@@ -320,6 +619,7 @@ impl TaskGraph {
             }
         }
         for &p in &succ_touched {
+            self.j_save_slot(p);
             self.tasks[p.index()]
                 .as_mut()
                 .expect("survivor is live")
@@ -327,6 +627,7 @@ impl TaskGraph {
                 .retain(|t| !doomed_set.contains(t));
         }
         for &s in &pred_touched {
+            self.j_save_slot(s);
             self.tasks[s.index()]
                 .as_mut()
                 .expect("survivor is live")
@@ -338,22 +639,29 @@ impl TaskGraph {
         self.op_tasks[op.index()].clear();
 
         // 2. Recreate the op's tasks and its attachments.
+        let ctx = BuildCtx {
+            graph,
+            topo,
+            strategy,
+            cost,
+            cfg,
+        };
         self.created_log.clear();
-        self.create_compute_tasks(graph, topo, strategy, cost, op);
+        self.create_compute_tasks(ctx, op);
         let mut seen = HashSet::new();
         for &src in node.inputs() {
             if seen.insert(src) {
-                self.connect_edge(graph, topo, strategy, cfg, src, op);
+                self.connect_edge(ctx, src, op);
             }
         }
         for dst in graph.consumers(op) {
             if seen.insert(dst) {
-                self.connect_edge(graph, topo, strategy, cfg, op, dst);
+                self.connect_edge(ctx, op, dst);
             }
         }
         if cfg.include_param_sync {
             if let Some(layer) = node.layer() {
-                self.build_layer_sync(graph, topo, strategy, cfg, layer);
+                self.build_layer_sync(ctx, layer);
             }
         }
         report.added = std::mem::take(&mut self.created_log);
@@ -364,10 +672,24 @@ impl TaskGraph {
     fn alloc(&mut self, task: Task) -> TaskId {
         self.alive += 1;
         let id = if let Some(id) = self.free.pop() {
+            // Popping below the txn's low-water mark consumes an entry of
+            // the original free list: save it so rollback can re-push it.
+            if let Some(j) = self.journal.as_mut() {
+                if self.free.len() < j.free_low {
+                    j.free_low = self.free.len();
+                    j.free_saved.push(id);
+                }
+            }
+            // Recycled slots may predate the open txn: journal their
+            // previous contents (doomed slots are already journaled).
+            self.j_save_slot(id);
             self.tasks[id.index()] = Some(task);
             id
         } else {
             let id = TaskId(self.tasks.len() as u32);
+            // Fresh slots vanish on rollback via truncation; marking them
+            // journaled stops add_edge_fresh from snapshotting them.
+            self.j_mark_fresh(id);
             self.tasks.push(Some(task));
             id
         };
@@ -380,6 +702,8 @@ impl TaskGraph {
     /// adjacency lists of heavy configurations reach 10^5 entries and a
     /// `contains` check per insert would be quadratic.
     fn add_edge_fresh(&mut self, from: TaskId, to: TaskId) {
+        self.j_save_slot(from);
+        self.j_save_slot(to);
         self.tasks[from.index()]
             .as_mut()
             .expect("live from-task")
@@ -392,25 +716,61 @@ impl TaskGraph {
             .push(from);
     }
 
-    fn create_compute_tasks(
-        &mut self,
-        graph: &OpGraph,
-        topo: &Topology,
-        strategy: &Strategy,
-        cost: &dyn CostModel,
-        op: OpId,
-    ) {
-        let node = graph.op(op);
-        let config = strategy.config(op);
+    /// The memoized materialization of `op` under its current config (see
+    /// [`OpMaterial`]). One `op_signature` hash and one cost lookup per
+    /// tile on a miss; a pointer clone on a hit.
+    fn materialize(&mut self, ctx: BuildCtx<'_>, op: OpId) -> Arc<OpMaterial> {
+        let config = ctx.strategy.config(op);
+        if let Some(m) = self
+            .mat_cache
+            .get(&op)
+            .and_then(|per_op| per_op.get(config))
+        {
+            return Arc::clone(m);
+        }
+        let node = ctx.graph.op(op);
+        let sig = ctx.cost.op_signature(node);
         let tiles = config.tiles(node);
-        let mut ids = Vec::with_capacity(tiles.len());
+        let needs: Vec<Vec<Option<Rect>>> = tiles.iter().map(|t| node.input_rects(t)).collect();
+        let mut units = Vec::with_capacity(tiles.len());
+        let mut exe_us = Vec::with_capacity(tiles.len());
+        let mut params = Vec::with_capacity(tiles.len());
         for (k, tile) in tiles.iter().enumerate() {
             let dev = config.device(k);
-            let exe_us = cost.task_time_us(node, tile, topo.device(dev).kind);
+            units.push(ExecUnit::Gpu(dev));
+            exe_us.push(
+                ctx.cost
+                    .task_time_us_sig(sig, node, tile, ctx.topo.device(dev).kind),
+            );
+            params.push(node.params_for_tile(tile));
+        }
+        let mat = Arc::new(OpMaterial {
+            tiles,
+            needs,
+            units,
+            exe_us,
+            params,
+        });
+        if self.mat_cache_entries >= MAT_CACHE_CAP {
+            self.mat_cache.clear();
+            self.mat_cache_entries = 0;
+        }
+        self.mat_cache
+            .entry(op)
+            .or_default()
+            .insert(config.clone(), Arc::clone(&mat));
+        self.mat_cache_entries += 1;
+        mat
+    }
+
+    fn create_compute_tasks(&mut self, ctx: BuildCtx<'_>, op: OpId) {
+        let mat = self.materialize(ctx, op);
+        let mut ids = Vec::with_capacity(mat.exe_us.len());
+        for k in 0..mat.exe_us.len() {
             let id = self.alloc(Task {
                 kind: TaskKind::Compute { op, k: k as u32 },
-                unit: ExecUnit::Gpu(dev),
-                exe_us,
+                unit: mat.units[k],
+                exe_us: mat.exe_us[k],
                 preds: Vec::new(),
                 succs: Vec::new(),
                 seq: seq_key(0, op.index() as u64, k as u64, 0, 0),
@@ -424,20 +784,13 @@ impl TaskGraph {
     /// dependencies for same-device sharing and communication tasks across
     /// devices. Edges from `Input` ops model the data loader: always plain
     /// dependencies, never communication.
-    fn connect_edge(
-        &mut self,
-        graph: &OpGraph,
-        topo: &Topology,
-        strategy: &Strategy,
-        cfg: &SimConfig,
-        src: OpId,
-        dst: OpId,
-    ) {
-        let src_node = graph.op(src);
-        let dst_node = graph.op(dst);
-        let src_cfg = strategy.config(src);
-        let dst_cfg = strategy.config(dst);
-        let src_tiles = src_cfg.tiles(src_node);
+    fn connect_edge(&mut self, ctx: BuildCtx<'_>, src: OpId, dst: OpId) {
+        let src_node = ctx.graph.op(src);
+        let dst_node = ctx.graph.op(dst);
+        let src_cfg = ctx.strategy.config(src);
+        let dst_cfg = ctx.strategy.config(dst);
+        let src_mat = self.materialize(ctx, src);
+        let dst_mat = self.materialize(ctx, dst);
         let src_is_input = matches!(src_node.kind(), OpKind::Input { .. });
         // Which argument slots of dst are fed by src (an op may consume the
         // same tensor several times, e.g. Add(x, x)).
@@ -456,12 +809,11 @@ impl TaskGraph {
         // per-call set is a complete dedup.
         let mut dep_seen: HashSet<(TaskId, TaskId)> = HashSet::new();
         for (kj, &tj) in dst_tasks.iter().enumerate() {
-            let out_tile = dst_cfg.tile(dst_node, kj);
-            let needs = dst_node.input_rects(&out_tile);
+            let needs = &dst_mat.needs[kj];
             for &slot in &slots {
                 let Some(need) = needs[slot] else { continue };
                 for (ki, &ti) in src_tasks.iter().enumerate() {
-                    let Some(overlap) = src_tiles[ki].intersection(&need) else {
+                    let Some(overlap) = src_mat.tiles[ki].intersection(&need) else {
                         continue;
                     };
                     let sdev = src_cfg.device(ki);
@@ -472,11 +824,12 @@ impl TaskGraph {
                         }
                         continue;
                     }
-                    let channel = topo
+                    let channel = ctx
+                        .topo
                         .channel(sdev, ddev)
                         .expect("distinct devices have a channel");
-                    let bytes =
-                        (overlap.volume() * cfg.elem_bytes) as f64 * cfg.activation_comm_multiplier;
+                    let bytes = (overlap.volume() * ctx.cfg.elem_bytes) as f64
+                        * ctx.cfg.activation_comm_multiplier;
                     let bytes = bytes.round() as u64;
                     let exe_us = channel.transfer_time_us(bytes);
                     let c = self.alloc(Task {
@@ -500,6 +853,7 @@ impl TaskGraph {
             }
         }
         if !comms.is_empty() {
+            self.j_save_edge((src, dst));
             self.edge_comms.insert((src, dst), comms);
         }
     }
@@ -507,14 +861,10 @@ impl TaskGraph {
     /// Parameter-server synchronization for one parameter-sharing layer:
     /// for every shard replicated on R > 1 devices, R-1 gradient pushes to
     /// the lowest-id replica followed by R-1 broadcasts back.
-    fn build_layer_sync(
-        &mut self,
-        graph: &OpGraph,
-        topo: &Topology,
-        strategy: &Strategy,
-        cfg: &SimConfig,
-        layer: LayerId,
-    ) {
+    fn build_layer_sync(&mut self, ctx: BuildCtx<'_>, layer: LayerId) {
+        let graph = ctx.graph;
+        let topo = ctx.topo;
+        let cfg = ctx.cfg;
         let members: Vec<OpId> = graph
             .ids()
             .filter(|&id| graph.op(id).layer() == Some(layer))
@@ -527,7 +877,8 @@ impl TaskGraph {
         let mut shards: HashMap<ShardKey, (u64, HashMap<DeviceId, Vec<TaskId>>)> = HashMap::new();
         for &op in &members {
             let node = graph.op(op);
-            let config = strategy.config(op);
+            let config = ctx.strategy.config(op);
+            let mat = self.materialize(ctx, op);
             let pdims: Vec<usize> = node
                 .parallel_dims()
                 .iter()
@@ -536,12 +887,12 @@ impl TaskGraph {
                 .collect();
             let tasks = self.op_tasks[op.index()].clone();
             for (k, &tid) in tasks.iter().enumerate() {
-                let tile = config.tile(node, k);
+                let tile = &mat.tiles[k];
                 let key: ShardKey = pdims
                     .iter()
                     .map(|&d| (d, tile.lo()[d], tile.hi()[d]))
                     .collect();
-                let params = node.params_for_tile(&tile);
+                let params = mat.params[k];
                 if params == 0 {
                     continue;
                 }

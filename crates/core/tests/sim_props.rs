@@ -7,8 +7,11 @@
 //!    are respected, and makespan equals the latest end time.
 //! 3. **Cost purity**: the simulated cost of a strategy does not depend on
 //!    the history of delta updates that produced it.
+//! 4. **Transactional exactness**: after any random apply→rollback
+//!    sequence, the task graph and the timeline are bit-identical to their
+//!    pre-apply state, and committed walks still match a fresh build.
 
-use flexflow_core::sim::{simulate_delta, simulate_full, SimConfig};
+use flexflow_core::sim::{simulate_delta, simulate_full, SimConfig, Simulator};
 use flexflow_core::soap::{random_config, ConfigSpace};
 use flexflow_core::strategy::Strategy;
 use flexflow_core::taskgraph::TaskGraph;
@@ -95,6 +98,44 @@ proptest! {
         let g = random_model(seed, depth);
         let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
         check_walk(&g, &topo, seed ^ 0xABCD, 25);
+    }
+
+    #[test]
+    fn apply_rollback_restores_state_bit_identically(seed in 0u64..500, depth in 3usize..10) {
+        let g = random_model(seed, depth);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = SimConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7C7C);
+        let searchable = Strategy::searchable_ops(&g);
+        let mut sim = Simulator::new(&g, &topo, &cost, cfg, Strategy::data_parallel(&g, &topo));
+        for step in 0..25 {
+            let op = searchable[rng.gen_range(0..searchable.len())];
+            let config = random_config(g.op(op), &topo, ConfigSpace::Full, &mut rng);
+            if rng.gen_range(0..3) == 0 {
+                // Advance the walk: apply + commit.
+                sim.apply(op, config);
+                sim.commit();
+            } else {
+                // Speculate: apply + rollback must be an exact no-op on
+                // both structures (bit-identical, not just cost-equal).
+                let tg_before = sim.task_graph().clone();
+                let st_before = sim.state().clone();
+                let cost_before = sim.cost_us();
+                sim.apply(op, config);
+                let restored = sim.rollback();
+                prop_assert_eq!(cost_before.to_bits(), restored.to_bits(),
+                    "step {}: cost not restored", step);
+                prop_assert!(sim.task_graph() == &tg_before,
+                    "step {}: task graph not restored exactly", step);
+                prop_assert!(sim.state() == &st_before,
+                    "step {}: timeline not restored exactly", step);
+            }
+        }
+        // The surviving (committed) walk is still exact vs a fresh build.
+        let fresh = simulate_full(&TaskGraph::build(&g, &topo, sim.strategy(), &cost, &cfg));
+        prop_assert!((sim.cost_us() - fresh.makespan_us()).abs() < 1e-6,
+            "committed walk drifted: {} vs {}", sim.cost_us(), fresh.makespan_us());
     }
 
     #[test]

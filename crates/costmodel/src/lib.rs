@@ -136,6 +136,22 @@ pub trait CostModel: Send + Sync {
     /// device of the given kind, covering forward and backward passes of
     /// one training iteration.
     fn task_time_us(&self, node: &OpNode, out: &Rect, device: DeviceKind) -> f64;
+
+    /// A stable signature for `node`, reusable across many
+    /// [`CostModel::task_time_us_sig`] calls. Callers that materialize all
+    /// tiles of one operation (task-graph surgery does this on every MCMC
+    /// proposal) hash the node once instead of once per tile. The default
+    /// is `0`: models without an internal signature ignore it.
+    fn op_signature(&self, _node: &OpNode) -> u64 {
+        0
+    }
+
+    /// [`CostModel::task_time_us`] with a precomputed [`Self::op_signature`]
+    /// for `node`. Implementations backed by a signature-keyed cache skip
+    /// re-hashing the node; the default delegates and ignores `sig`.
+    fn task_time_us_sig(&self, _sig: u64, node: &OpNode, out: &Rect, device: DeviceKind) -> f64 {
+        self.task_time_us(node, out, device)
+    }
 }
 
 /// Deterministic roofline model.
@@ -298,12 +314,20 @@ impl MeasuredCostModel {
 
 impl CostModel for MeasuredCostModel {
     fn task_time_us(&self, node: &OpNode, out: &Rect, device: DeviceKind) -> f64 {
+        self.task_time_us_sig(op_signature(node), node, out, device)
+    }
+
+    fn op_signature(&self, node: &OpNode) -> u64 {
+        op_signature(node)
+    }
+
+    fn task_time_us_sig(&self, sig: u64, node: &OpNode, out: &Rect, device: DeviceKind) -> f64 {
         let mut extents = [0u64; 4];
         for (i, e) in out.extents().iter().enumerate() {
             extents[i] = *e;
         }
         let key = SigKey {
-            op_sig: op_signature(node),
+            op_sig: sig,
             out_extents: extents,
             device,
         };

@@ -21,7 +21,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  flexflow models\n  flexflow search <model> [--gpus N] [--cluster p100|k80] \
-         [--evals N] [--seed N] [--out FILE]\n  flexflow simulate <model> [--gpus N] \
+         [--evals N] [--seed N] [--out FILE] [--verbose]\n  flexflow simulate <model> [--gpus N] \
          [--cluster p100|k80] [--strategy FILE]\n  flexflow baselines <model> [--gpus N] \
          [--cluster p100|k80]"
     );
@@ -36,6 +36,7 @@ struct Options {
     seed: u64,
     out: Option<String>,
     strategy: Option<String>,
+    verbose: bool,
 }
 
 fn parse(args: &[String]) -> Option<Options> {
@@ -47,6 +48,7 @@ fn parse(args: &[String]) -> Option<Options> {
         seed: 42,
         out: None,
         strategy: None,
+        verbose: false,
     };
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut i = 1;
@@ -55,6 +57,11 @@ fn parse(args: &[String]) -> Option<Options> {
             break;
         }
         let key = args[i].clone();
+        if key == "--verbose" {
+            o.verbose = true;
+            i += 1;
+            continue;
+        }
         if !key.starts_with("--") || i + 1 >= args.len() {
             eprintln!("unexpected argument {key:?}");
             return None;
@@ -149,6 +156,34 @@ fn main() -> ExitCode {
             report("data parallelism", &graph, &topo, &dp);
             report("expert", &graph, &topo, &ex);
             report("flexflow", &graph, &topo, &r.best);
+            if o.verbose {
+                let t = r.telemetry;
+                println!(
+                    "search: {} proposals in {:.2}s ({} accepted), best {:.3} ms/iter",
+                    r.evals,
+                    r.elapsed_seconds,
+                    r.accepted,
+                    r.best_cost_us / 1e3
+                );
+                println!(
+                    "delta txn: {} applies, {} commits, {} rollbacks",
+                    t.applies, t.commits, t.rollbacks
+                );
+                println!(
+                    "delta repair: {} steps ({:.1}/proposal), {} adaptive sweeps, \
+                     {} budget fallbacks",
+                    t.repair_steps,
+                    t.repair_steps as f64 / t.applies.max(1) as f64,
+                    t.sweeps,
+                    t.fallbacks
+                );
+                println!(
+                    "undo journal: {} slots total ({:.1}/proposal), deepest {}",
+                    t.journal_slots,
+                    t.journal_slots as f64 / t.applies.max(1) as f64,
+                    t.max_journal_depth
+                );
+            }
             if let Some(path) = o.out {
                 let dump = strategy_io::export(&graph, &topo, &r.best);
                 std::fs::write(

@@ -120,6 +120,34 @@ fn baselines_reports_all_four() {
 }
 
 #[test]
+fn search_verbose_prints_delta_telemetry() {
+    let out = stdout_of(&flexflow(&[
+        "search",
+        "lenet",
+        "--evals",
+        "40",
+        "--seed",
+        "3",
+        "--verbose",
+    ]));
+    for marker in ["delta txn:", "delta repair:", "undo journal:"] {
+        assert!(
+            out.lines().any(|l| l.starts_with(marker)),
+            "--verbose output missing {marker:?}:\n{out}"
+        );
+    }
+    // The transactional walk must actually commit and roll back.
+    let txn_line = out
+        .lines()
+        .find(|l| l.starts_with("delta txn:"))
+        .expect("telemetry line");
+    assert!(
+        txn_line.contains("applies") && txn_line.contains("rollbacks"),
+        "unexpected telemetry line: {txn_line}"
+    );
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = flexflow(&["frobnicate"]);
     assert!(!out.status.success(), "unknown subcommand must fail");
