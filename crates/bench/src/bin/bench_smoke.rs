@@ -1,13 +1,32 @@
-//! CI perf smoke: runs the `proposal_evaluation` workload (full vs delta
-//! simulation, see [`flexflow_bench::proposal_bench`]) once at 4/8/16
-//! devices and writes a machine-readable `BENCH_pr2.json`, so every PR
-//! leaves a comparable perf sample behind and regressions in the
-//! delta-vs-full trajectory are visible across the repo's history.
+//! CI perf smoke + regression gate.
 //!
-//! Knobs: `BENCH_SMOKE_SAMPLES` (timed samples per cell, default 15),
-//! `BENCH_SMOKE_OUT` (output path, default `BENCH_pr2.json`).
+//! Two workloads, one artifact (`BENCH_pr3.json` by default):
+//!
+//! 1. `proposal_evaluation` (full vs delta simulation, see
+//!    [`flexflow_bench::proposal_bench`]) once at 4/8/16 devices — the
+//!    PR 2 trajectory;
+//! 2. `search_throughput` (parallel multi-chain search, see
+//!    [`flexflow_bench::search_throughput`]) at 1/2/4/8 chains —
+//!    proposals/sec and time-to-target-cost, the PR 3 trajectory.
+//!
+//! With `--check` the binary also gates the numbers and exits non-zero on
+//! a regression:
+//!
+//! - delta simulation must beat full simulation by ≥ 1.5x at every
+//!   measured device count (measured headroom is ~2.5-3.5x, so 1.5x is a
+//!   generous CI-noise margin);
+//! - 4-chain search throughput must beat single-chain. The required ratio
+//!   scales with the host: ≥ 1.5x with 4+ available hardware threads
+//!   (measured headroom ~3x), ≥ 1.1x with 2-3, and ≥ 0.7x on a
+//!   single-core host — serial hardware cannot speed up, so there the
+//!   gate only rejects pathological coordination overhead.
+//!
+//! Knobs: `BENCH_SMOKE_SAMPLES` (timed samples per proposal cell, default
+//! 15), `BENCH_SMOKE_SEARCH_EVALS` (throughput-run proposal budget,
+//! default 4000), `BENCH_SMOKE_OUT` (output path, default
+//! `BENCH_pr3.json`).
 
-use flexflow_bench::proposal_bench;
+use flexflow_bench::{proposal_bench, search_throughput};
 use flexflow_core::sim::{SimConfig, Simulator};
 use flexflow_core::strategy::Strategy;
 use flexflow_costmodel::MeasuredCostModel;
@@ -15,6 +34,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::hint::black_box;
+use std::process::ExitCode;
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -30,9 +50,16 @@ struct Cell {
 struct Report {
     /// Seconds since the Unix epoch at generation time.
     unix_epoch_secs: u64,
+    /// Hardware threads the host reported; the search_throughput numbers
+    /// only show parallel speedup when this is > 1.
+    available_parallelism: usize,
     /// What one sample measures, for future readers of the artifact.
     note: String,
     results: Vec<Cell>,
+    /// Multi-chain search scaling (proposals/sec, time-to-target).
+    search_throughput: Vec<search_throughput::Measurement>,
+    /// Reference target cost (µs/iter) the time-to-target runs chase.
+    target_cost_us: f64,
 }
 
 fn timed<F: FnMut() -> f64>(samples: usize, mut f: F) -> (f64, f64, f64) {
@@ -47,14 +74,33 @@ fn timed<F: FnMut() -> f64>(samples: usize, mut f: F) -> (f64, f64, f64) {
     (times[times.len() / 2], times[0], times[times.len() - 1])
 }
 
-fn main() {
+/// The throughput ratio `--check` demands of 4 chains vs 1, given the
+/// host's hardware threads (serial hosts cannot parallelize, so the gate
+/// degrades to a no-pathological-overhead bound there).
+fn required_speedup(cores: usize) -> f64 {
+    match cores {
+        0 | 1 => 0.7,
+        2 | 3 => 1.1,
+        _ => 1.5,
+    }
+}
+
+fn main() -> ExitCode {
+    let check = std::env::args().any(|a| a == "--check");
     let samples: usize = std::env::var("BENCH_SMOKE_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(15)
         .max(1);
-    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr2.json".into());
+    let search_evals: u64 = std::env::var("BENCH_SMOKE_SEARCH_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4000)
+        .max(100);
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr3.json".into());
+    let cores = flexflow_core::default_chains();
 
+    // ---- workload 1: proposal_evaluation (full vs delta) ----
     let mut results: Vec<Cell> = Vec::new();
     println!("bench smoke: proposal_evaluation, {samples} samples per cell");
     println!(
@@ -94,41 +140,115 @@ fn main() {
         push(format!("proposal_evaluation/delta/{gpus}"), med, min, max);
     }
 
-    // The acceptance gate this artifact exists to track: delta must beat
-    // full at every measured device count. Report loudly either way.
-    for gpus in [4usize, 8, 16] {
-        let get = |n: &str| {
-            results
-                .iter()
-                .find(|c| c.bench == format!("proposal_evaluation/{n}/{gpus}"))
-                .map(|c| c.median_us)
-                .expect("cell present")
-        };
-        let (f, d) = (get("full"), get("delta"));
+    let delta_speedups: Vec<(usize, f64)> = [4usize, 8, 16]
+        .into_iter()
+        .map(|gpus| {
+            let get = |n: &str| {
+                results
+                    .iter()
+                    .find(|c| c.bench == format!("proposal_evaluation/{n}/{gpus}"))
+                    .map(|c| c.median_us)
+                    .expect("cell present")
+            };
+            (gpus, get("full") / get("delta"))
+        })
+        .collect();
+    for &(gpus, s) in &delta_speedups {
         println!(
-            "delta vs full @{gpus}: {:.1}us vs {:.1}us ({})",
-            d,
-            f,
-            if d < f {
-                format!("delta {0:.1}x faster", f / d)
+            "delta vs full @{gpus}: {}",
+            if s >= 1.0 {
+                format!("delta {s:.1}x faster")
             } else {
-                format!("DELTA SLOWER by {0:.1}x", d / f)
+                format!("DELTA SLOWER by {:.1}x", 1.0 / s)
             }
         );
     }
 
+    // ---- workload 2: search_throughput (multi-chain scaling) ----
+    println!(
+        "\nbench smoke: search_throughput, {search_evals} proposals per run, \
+         {cores} hardware thread(s)"
+    );
+    let target_cost_us = search_throughput::reference_target(search_evals, 1000);
+    println!("time-to-target chases {:.2} ms/iter", target_cost_us / 1e3);
+    println!(
+        "{:>7} {:>10} {:>12} {:>16} {:>16}",
+        "chains", "evals", "elapsed", "proposals/s", "to-target"
+    );
+    let mut search: Vec<search_throughput::Measurement> = Vec::new();
+    for chains in [1usize, 2, 4, 8] {
+        let m = search_throughput::measure(chains, search_evals, 1, target_cost_us);
+        println!(
+            "{:>7} {:>10} {:>11.3}s {:>16.0} {:>13.3}s{}",
+            m.chains,
+            m.evals,
+            m.elapsed_s,
+            m.proposals_per_s,
+            m.time_to_target_s,
+            if m.reached_target { "" } else { " (missed)" }
+        );
+        search.push(m);
+    }
+    let tp = |chains: usize| {
+        search
+            .iter()
+            .find(|m| m.chains == chains)
+            .map(|m| m.proposals_per_s)
+            .expect("chain cell present")
+    };
+    let tp_ratio = tp(4) / tp(1);
+    println!("4-chain vs 1-chain throughput: {tp_ratio:.2}x");
+
+    // ---- artifact ----
     let report = Report {
         unix_epoch_secs: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
-        note: "one MCMC proposal evaluated and reverted from a steady data-parallel \
-               baseline (rnnlm batch 64, unroll 10); full = rebuild + sweep, delta = \
-               transactional rebuild_op + journaled repair + rollback"
+        available_parallelism: cores,
+        note: "proposal_evaluation: one MCMC proposal evaluated and reverted from a steady \
+               data-parallel baseline (rnnlm batch 64, unroll 10); full = rebuild + sweep, \
+               delta = transactional rebuild_op + journaled repair + rollback. \
+               search_throughput: ParallelSearch over the same workload at 1/2/4/8 chains \
+               (budget split across chains, exchange every 64 evals); proposals/sec from a \
+               fixed-budget run, time-to-target from an early-cutoff run chasing \
+               target_cost_us"
             .into(),
         results,
+        search_throughput: search,
+        target_cost_us,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json).expect("write bench smoke artifact");
     println!("\n[artifact] {out}");
+
+    // ---- regression gate ----
+    if !check {
+        return ExitCode::SUCCESS;
+    }
+    let mut failures: Vec<String> = Vec::new();
+    for &(gpus, s) in &delta_speedups {
+        if s < 1.5 {
+            failures.push(format!(
+                "delta-vs-full speedup at {gpus} devices is {s:.2}x (gate: >= 1.5x)"
+            ));
+        }
+    }
+    let required = required_speedup(cores);
+    if tp_ratio < required {
+        failures.push(format!(
+            "4-chain search throughput is {tp_ratio:.2}x single-chain \
+             (gate: >= {required:.2}x on {cores} hardware thread(s))"
+        ));
+    }
+    println!("\nbench gate ({cores} hardware thread(s), 4-chain gate >= {required:.2}x):");
+    if failures.is_empty() {
+        println!("  PASS: delta-vs-full >= 1.5x at 4/8/16 devices, 4-chain {tp_ratio:.2}x");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            println!("  FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
 }

@@ -1,9 +1,14 @@
 //! Reproduces **Figure 12**: best-found strategy cost over elapsed search
 //! time for the NMT model on 16 P100 GPUs, comparing the full and delta
-//! simulation algorithms under the same wall-clock budget.
+//! simulation algorithms under the same wall-clock budget — plus a third
+//! series for the parallel multi-chain driver (delta simulation, chain
+//! count from `FIG12_CHAINS`, default [`default_chains`]), which shows
+//! what chain-level parallelism adds on top of the delta algorithm.
 
 use flexflow_bench::{eval_model, sim_config};
-use flexflow_core::optimizer::{Budget, McmcOptimizer, SimAlgorithm};
+use flexflow_core::optimizer::{
+    default_chains, Budget, McmcOptimizer, ParallelSearch, SimAlgorithm,
+};
 use flexflow_core::strategy::Strategy;
 use flexflow_costmodel::MeasuredCostModel;
 use flexflow_device::{clusters, DeviceKind};
@@ -71,12 +76,54 @@ fn main() {
         }
     }
 
-    // Headline: evaluations per second of both algorithms.
+    // Third series: the parallel multi-chain driver under the same
+    // wall-clock budget (delta simulation; budget applies per chain since
+    // chains run concurrently).
+    let chains: usize = std::env::var("FIG12_CHAINS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_chains)
+        .max(1);
+    let mut ps = ParallelSearch::with_chains(12, chains);
+    ps.exchange_every = 64;
+    let result = ps.search(
+        &graph,
+        &topo,
+        &cost,
+        &[Strategy::data_parallel(&graph, &topo)],
+        Budget {
+            max_evals: u64::MAX,
+            max_seconds: seconds,
+            patience_fraction: 1.0,
+        },
+        sim_config(),
+    );
+    let name = format!("delta-par{chains}");
+    println!(
+        "\n{name} ({} chains): {} proposals evaluated (per chain: {:?}), best {:.2} ms",
+        chains,
+        result.evals,
+        result.chain_evals,
+        result.best_cost_us / 1e3
+    );
+    println!("{:>10} {:>14}", "elapsed(s)", "best cost(ms)");
+    for &(t, c) in &result.trace {
+        println!("{:>10.2} {:>14.2}", t, c / 1e3);
+        all_points.push(CurvePoint {
+            algorithm: name.clone(),
+            elapsed_s: t,
+            best_cost_ms: c / 1e3,
+        });
+    }
+
+    // Headline: evaluations per second of the algorithms.
     let count = |a: &str| all_points.iter().filter(|p| p.algorithm == a).count();
     println!(
-        "\ntrace points: full {}, delta {} (delta evaluates more proposals in the same budget)",
+        "\ntrace points: full {}, delta {}, {name} {} (delta evaluates more proposals in the \
+         same budget; parallel chains add hardware scaling on top)",
         count("full"),
-        count("delta")
+        count("delta"),
+        count(&name)
     );
     flexflow_bench::write_json("fig12_search_curve", &all_points);
 }

@@ -55,7 +55,10 @@ pub mod taskgraph;
 
 pub use exhaustive::{ExhaustiveOutcome, ExhaustiveSearch};
 pub use metrics::SimMetrics;
-pub use optimizer::{AcceptanceRule, Budget, McmcOptimizer, SearchResult, SimAlgorithm};
+pub use optimizer::{
+    default_chains, split_budget, AcceptanceRule, Budget, McmcOptimizer, ParallelSearch,
+    SearchResult, SharedBestCost, SimAlgorithm,
+};
 pub use sim::{SimConfig, SimState, Simulator};
 pub use soap::{ConfigSpace, ParallelConfig};
 pub use strategy::Strategy;

@@ -10,6 +10,16 @@
 //! strategies such as data parallelism plus random ones, §6.2) and stops a
 //! restart when its share of the budget is exhausted or when the best
 //! strategy has not improved for half of that share.
+//!
+//! Two drivers share the same chain loop:
+//!
+//! - [`McmcOptimizer`] runs the chains sequentially on the calling thread
+//!   (the paper's setup, and the reference semantics);
+//! - [`ParallelSearch`] runs `K` independent chains on scoped threads,
+//!   seeded `seed ^ chain_id`, with the evaluation [`Budget`] split across
+//!   chains, a shared atomic best-cost cell for the optional
+//!   time-to-target cutoff, and a deterministic round-synchronized
+//!   best-strategy exchange (a coarse parallel-tempering analogue).
 
 use crate::metrics::DeltaTelemetry;
 use crate::sim::{SimConfig, Simulator};
@@ -20,6 +30,8 @@ use flexflow_device::Topology;
 use flexflow_opgraph::OpGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Which simulation algorithm evaluates proposals.
@@ -66,6 +78,35 @@ impl Budget {
     }
 }
 
+/// Splits a search [`Budget`] across `chains` parallel chains.
+///
+/// Evaluation counts are divided as evenly as possible — the first
+/// `max_evals % chains` chains receive one extra proposal, so the
+/// per-chain budgets sum exactly to the total, differ by at most one, and
+/// no chain starves whenever `max_evals >= chains`. Wall-clock limits and
+/// the patience fraction apply to every chain unchanged (chains run
+/// concurrently, so wall-clock is not divided), and an unbounded
+/// evaluation budget (`u64::MAX`, the wall-clock-only case) stays
+/// unbounded on every chain.
+///
+/// # Panics
+///
+/// Panics if `chains` is zero.
+pub fn split_budget(budget: Budget, chains: usize) -> Vec<Budget> {
+    assert!(chains >= 1, "need at least one chain");
+    if budget.max_evals == u64::MAX {
+        return vec![budget; chains];
+    }
+    let per = budget.max_evals / chains as u64;
+    let extra = budget.max_evals % chains as u64;
+    (0..chains as u64)
+        .map(|c| Budget {
+            max_evals: per + u64::from(c < extra),
+            ..budget
+        })
+        .collect()
+}
+
 /// Outcome of a search.
 #[derive(Debug, Clone)]
 pub struct SearchResult {
@@ -80,15 +121,21 @@ pub struct SearchResult {
     /// Wall-clock seconds spent searching.
     pub elapsed_seconds: f64,
     /// `(elapsed_seconds, best_cost_us)` samples recorded whenever the
-    /// best cost improves (Fig. 12's search curve).
+    /// best cost improves (Fig. 12's search curve). Under
+    /// [`ParallelSearch`] the per-chain traces are merged into one
+    /// monotone curve of global improvements.
     pub trace: Vec<(f64, f64)>,
     /// Delta-simulation fallbacks observed (non-zero on models whose
     /// deep dependency chains make incremental repair costlier than a
     /// fresh sweep).
     pub fallbacks: u64,
-    /// Transaction/repair telemetry aggregated over all restarts (zero
-    /// under [`SimAlgorithm::Full`], which never opens a transaction).
+    /// Transaction/repair telemetry aggregated over all restarts and all
+    /// chains (zero under [`SimAlgorithm::Full`], which never opens a
+    /// transaction).
     pub telemetry: DeltaTelemetry,
+    /// Proposals evaluated by each chain, indexed by chain id (a single
+    /// entry for the sequential [`McmcOptimizer`] driver).
+    pub chain_evals: Vec<u64>,
 }
 
 /// The acceptance rule family (the paper uses MCMC but notes "other
@@ -110,7 +157,397 @@ pub enum AcceptanceRule {
     Greedy,
 }
 
-/// Metropolis-Hastings search over parallelization strategies.
+/// A monotonically decreasing best-cost cell shared by all chains.
+///
+/// The cost is encoded as the [`AtomicU64`] bit pattern of its `f64`: for
+/// finite non-negative floats (and `+inf`, the empty value) IEEE-754 bits
+/// are order-isomorphic to the values, so `fetch_min` over the bits *is*
+/// `min` over the costs — lock-free, wait-free, and linearizable. Chains
+/// publish every local-best improvement here; the cell is read for the
+/// [`ParallelSearch::target_cost_us`] early cutoff and never steers
+/// proposal generation, which keeps the search deterministic.
+#[derive(Debug)]
+pub struct SharedBestCost(AtomicU64);
+
+impl SharedBestCost {
+    /// A cell holding "no cost observed yet" (`+inf`).
+    pub fn new() -> Self {
+        Self(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// Folds `cost` into the shared minimum; returns whether `cost`
+    /// strictly improved on everything observed before it.
+    ///
+    /// Costs must be finite and non-negative (simulated makespans are);
+    /// negative or NaN inputs would break the bit-order encoding and are
+    /// rejected in debug builds.
+    pub fn observe(&self, cost: f64) -> bool {
+        debug_assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "costs are finite and non-negative, got {cost}"
+        );
+        let bits = cost.to_bits();
+        self.0.fetch_min(bits, Ordering::AcqRel) > bits
+    }
+
+    /// The smallest cost observed so far (`+inf` before the first
+    /// [`SharedBestCost::observe`]).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+}
+
+impl Default for SharedBestCost {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Round-synchronized best-strategy exchange between chains.
+///
+/// Every [`ParallelSearch::exchange_every`] evaluations each live chain
+/// publishes its local best and blocks until the rest of the round
+/// arrives (a generation barrier); the last arriver computes the round's
+/// global best under the lock — a pure reduction over the published slots
+/// with ties broken by chain id — and every chain of the round observes
+/// that same value. A chain that exhausts its budget deregisters via
+/// [`Exchange::leave`] (completing the round if it was the last one
+/// missing), and its final best keeps participating in later reductions
+/// through its slot. Because the reduction inputs are deterministic
+/// per-chain states and round membership is itself deterministic, the
+/// whole protocol is schedule-independent.
+struct Exchange {
+    m: Mutex<ExchangeInner>,
+    cv: Condvar,
+}
+
+struct ExchangeInner {
+    /// Chains still searching (arrivals required to complete a round).
+    live: usize,
+    /// Chains arrived at the current round so far.
+    arrived: usize,
+    /// Completed-round generation counter.
+    round: u64,
+    /// Per-chain published local best as `(cost bits, strategy)`.
+    slots: Vec<Option<(u64, Strategy)>>,
+    /// Global best of the last completed round. Only rewritten when a
+    /// round completes, which cannot happen before every waiter of the
+    /// previous round has read it (they must re-arrive first).
+    result: Option<(u64, Strategy)>,
+}
+
+impl Exchange {
+    fn new(chains: usize) -> Self {
+        Self {
+            m: Mutex::new(ExchangeInner {
+                live: chains,
+                arrived: 0,
+                round: 0,
+                slots: vec![None; chains],
+                result: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Locks the barrier state, tolerating poisoning: a chain that
+    /// panicked elsewhere must still be able to deregister (and waiters
+    /// to drain) so the panic propagates through the scope join instead
+    /// of deadlocking the remaining chains. The inner data stays
+    /// consistent under poisoning — every critical section only performs
+    /// simple counter/slot assignments.
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExchangeInner> {
+        self.m
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Finishes the current round: resets the arrival count and reduces
+    /// the slots to the global best (lowest cost bits, lowest chain id).
+    fn complete_round(g: &mut ExchangeInner) {
+        g.arrived = 0;
+        g.round += 1;
+        let mut best: Option<&(u64, Strategy)> = None;
+        for s in g.slots.iter().flatten() {
+            if best.is_none_or(|b| s.0 < b.0) {
+                best = Some(s);
+            }
+        }
+        g.result = best.cloned();
+    }
+
+    /// Publishes `best` for `chain` and blocks until the round completes;
+    /// returns the round's global best.
+    fn rendezvous(&self, chain: usize, best_cost: f64, best: &Strategy) -> Option<(u64, Strategy)> {
+        let mut g = self.lock();
+        g.slots[chain] = Some((best_cost.to_bits(), best.clone()));
+        g.arrived += 1;
+        let my_round = g.round;
+        if g.arrived >= g.live {
+            Self::complete_round(&mut g);
+            self.cv.notify_all();
+        } else {
+            while g.round == my_round {
+                g = self
+                    .cv
+                    .wait(g)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        g.result.clone()
+    }
+
+    /// Publishes the chain's final best and removes it from the barrier,
+    /// completing the current round if it was the last arrival missing.
+    fn leave(&self, chain: usize, best_cost: f64, best: &Strategy) {
+        let mut g = self.lock();
+        g.slots[chain] = Some((best_cost.to_bits(), best.clone()));
+        Self::deregister(&mut g);
+        self.cv.notify_all();
+    }
+
+    /// Removes a chain from the barrier *without* publishing a result —
+    /// the unwind path for a chain that panicked mid-search. Waiting
+    /// peers are released (the round completes without the dead chain)
+    /// so the panic surfaces at the scope join instead of hanging them.
+    fn abandon(&self) {
+        let mut g = self.lock();
+        Self::deregister(&mut g);
+        self.cv.notify_all();
+    }
+
+    /// Drops one live chain, completing the current round if it was the
+    /// last arrival the round was waiting for.
+    fn deregister(g: &mut ExchangeInner) {
+        g.live -= 1;
+        if g.live > 0 && g.arrived >= g.live {
+            Self::complete_round(g);
+        }
+    }
+}
+
+/// Deregisters a chain from its [`Exchange`] if the chain unwinds before
+/// its orderly [`Exchange::leave`] — armed for the whole chain run,
+/// disarmed on success.
+struct AbandonOnPanic<'a> {
+    exchange: &'a Exchange,
+    armed: bool,
+}
+
+impl Drop for AbandonOnPanic<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.exchange.abandon();
+        }
+    }
+}
+
+/// Chain tunables shared by both drivers.
+#[derive(Debug, Clone, Copy)]
+struct ChainParams {
+    beta_scale: f64,
+    space: ConfigSpace,
+    algorithm: SimAlgorithm,
+    acceptance: AcceptanceRule,
+}
+
+/// Read-only search inputs shared by every chain.
+struct ChainCtx<'a> {
+    graph: &'a OpGraph,
+    topo: &'a Topology,
+    cost: &'a dyn CostModel,
+    cfg: SimConfig,
+    params: ChainParams,
+    initial: &'a [Strategy],
+    t0: Instant,
+}
+
+/// Cross-chain coordination handles (absent for the sequential driver).
+struct ChainShared<'a> {
+    best: &'a SharedBestCost,
+    exchange: &'a Exchange,
+    exchange_every: u64,
+    target_us: f64,
+}
+
+/// What one chain hands back to its driver.
+struct ChainOutcome {
+    best: Strategy,
+    best_cost_us: f64,
+    evals: u64,
+    accepted: u64,
+    trace: Vec<(f64, f64)>,
+    telemetry: DeltaTelemetry,
+}
+
+/// One MCMC chain: restarts from every initial strategy under `budget`,
+/// exactly the paper's §6.2 loop. With `shared` present the chain also
+/// publishes local-best improvements to the atomic cell, honors the
+/// time-to-target cutoff, and takes part in the exchange rounds.
+///
+/// This is the single source of truth for chain semantics: the sequential
+/// driver is `run_chain` with `shared = None`, and `ParallelSearch` with
+/// one chain runs the identical instruction stream (the exchange is inert
+/// when the global best is the chain's own), which is what makes
+/// `--chains 1` reproduce the legacy sequential result bit-for-bit.
+fn run_chain(
+    ctx: &ChainCtx<'_>,
+    budget: Budget,
+    rng: &mut StdRng,
+    shared: Option<&ChainShared<'_>>,
+    chain: usize,
+) -> ChainOutcome {
+    let searchable = Strategy::searchable_ops(ctx.graph);
+    assert!(!searchable.is_empty(), "graph has no searchable ops");
+    let p = ctx.params;
+    let t0 = ctx.t0;
+
+    let mut best: Option<(Strategy, f64)> = None;
+    let mut trace: Vec<(f64, f64)> = Vec::new();
+    let mut evals = 0u64;
+    let mut accepted = 0u64;
+    let mut telemetry = DeltaTelemetry::default();
+    // Set when the shared best reached the caller's target: the remaining
+    // budget and restarts are abandoned (time-to-target semantics).
+    let mut cutoff = false;
+
+    for init in ctx.initial {
+        if cutoff {
+            break;
+        }
+        let mut sim = Simulator::new(ctx.graph, ctx.topo, ctx.cost, ctx.cfg, init.clone());
+        let mut current_cost = sim.cost_us();
+        let initial_cost = current_cost;
+        if best.as_ref().is_none_or(|(_, c)| current_cost < *c) {
+            best = Some((init.clone(), current_cost));
+            trace.push((t0.elapsed().as_secs_f64(), current_cost));
+            if let Some(sh) = shared {
+                sh.best.observe(current_cost);
+            }
+        }
+        let mut since_improvement = 0u64;
+        let patience = ((budget.max_evals as f64) * budget.patience_fraction) as u64;
+        let restart_start = Instant::now();
+        let mut restart_evals = 0u64;
+
+        while restart_evals < budget.max_evals
+            && restart_start.elapsed().as_secs_f64() < budget.max_seconds
+        {
+            if let Some(sh) = shared {
+                if sh.target_us > 0.0 && sh.best.get() <= sh.target_us {
+                    cutoff = true;
+                    break;
+                }
+            }
+            // Propose: one random op gets a fresh random configuration.
+            // Under Delta the apply is speculative (journaled); the
+            // acceptance decision below commits or rolls it back.
+            let op = searchable[rng.gen_range(0..searchable.len())];
+            let proposal = soap::random_config(ctx.graph.op(op), ctx.topo, p.space, rng);
+            // Only the Full revert arm needs the old config; under
+            // Delta the transaction itself remembers it for rollback.
+            let old =
+                (p.algorithm == SimAlgorithm::Full).then(|| sim.strategy().config(op).clone());
+            let new_cost = match p.algorithm {
+                SimAlgorithm::Delta => sim.apply(op, proposal),
+                SimAlgorithm::Full => {
+                    let mut s = sim.strategy().clone();
+                    s.replace(op, proposal);
+                    sim.reset(s)
+                }
+            };
+            evals += 1;
+            restart_evals += 1;
+
+            // Acceptance (Eq. 2 by default), with beta normalized by
+            // the restart's initial cost so one temperature suits all
+            // models.
+            let beta = match p.acceptance {
+                AcceptanceRule::Metropolis => p.beta_scale / initial_cost,
+                AcceptanceRule::Annealed { anneal_factor } => {
+                    let progress = restart_evals as f64 / budget.max_evals.max(1) as f64;
+                    p.beta_scale * (1.0 + (anneal_factor - 1.0) * progress.min(1.0)) / initial_cost
+                }
+                AcceptanceRule::Greedy => f64::INFINITY,
+            };
+            let accept = new_cost <= current_cost
+                || rng.gen::<f64>() < (beta * (current_cost - new_cost)).exp();
+            if accept {
+                if p.algorithm == SimAlgorithm::Delta {
+                    sim.commit();
+                }
+                accepted += 1;
+                current_cost = new_cost;
+                if best.as_ref().is_none_or(|(_, c)| new_cost < *c) {
+                    best = Some((sim.strategy().clone(), new_cost));
+                    trace.push((t0.elapsed().as_secs_f64(), new_cost));
+                    since_improvement = 0;
+                    if let Some(sh) = shared {
+                        sh.best.observe(new_cost);
+                    }
+                } else {
+                    since_improvement += 1;
+                }
+            } else {
+                // Revert the rejected proposal: replay the undo journal
+                // under Delta (no second repair); rebuild under Full.
+                match p.algorithm {
+                    SimAlgorithm::Delta => {
+                        sim.rollback();
+                    }
+                    SimAlgorithm::Full => {
+                        let mut s = sim.strategy().clone();
+                        s.replace(op, old.expect("old config captured under Full"));
+                        sim.reset(s);
+                    }
+                }
+                since_improvement += 1;
+            }
+            if patience > 0 && since_improvement >= patience {
+                break; // §6.2 criterion (2)
+            }
+            // Exchange point: publish the local best, wait for the round,
+            // and restart from the global best when it strictly beats
+            // everything this chain has found (never triggered by the
+            // chain's own discoveries, so a single chain is unaffected).
+            if let Some(sh) = shared {
+                if sh.exchange_every > 0 && evals.is_multiple_of(sh.exchange_every) {
+                    let (lb_strategy, lb_cost) =
+                        best.as_ref().expect("local best set at restart entry");
+                    let local_bits = lb_cost.to_bits();
+                    let global = sh.exchange.rendezvous(chain, *lb_cost, lb_strategy);
+                    if let Some((gbits, gstrat)) = global {
+                        if gbits < local_bits {
+                            let adopted_cost = sim.reset(gstrat.clone());
+                            current_cost = adopted_cost;
+                            best = Some((gstrat, adopted_cost));
+                            since_improvement = 0;
+                        }
+                    }
+                }
+            }
+        }
+        sim.commit();
+        telemetry.merge(&sim.telemetry());
+    }
+
+    let (best, best_cost_us) = best.expect("at least one candidate evaluated");
+    if let Some(sh) = shared {
+        sh.exchange.leave(chain, best_cost_us, &best);
+    }
+    ChainOutcome {
+        best,
+        best_cost_us,
+        evals,
+        accepted,
+        trace,
+        telemetry,
+    }
+}
+
+/// Metropolis-Hastings search over parallelization strategies, run
+/// sequentially on the calling thread (the reference driver; see
+/// [`ParallelSearch`] for the multi-chain production driver).
 #[derive(Debug, Clone)]
 pub struct McmcOptimizer {
     rng: StdRng,
@@ -155,112 +592,231 @@ impl McmcOptimizer {
         cfg: SimConfig,
     ) -> SearchResult {
         assert!(!initial.is_empty(), "need at least one initial strategy");
-        let searchable = Strategy::searchable_ops(graph);
-        assert!(!searchable.is_empty(), "graph has no searchable ops");
         let t0 = Instant::now();
+        let ctx = ChainCtx {
+            graph,
+            topo,
+            cost,
+            cfg,
+            params: ChainParams {
+                beta_scale: self.beta_scale,
+                space: self.space,
+                algorithm: self.algorithm,
+                acceptance: self.acceptance,
+            },
+            initial,
+            t0,
+        };
+        let out = run_chain(&ctx, budget, &mut self.rng, None, 0);
+        SearchResult {
+            best: out.best,
+            best_cost_us: out.best_cost_us,
+            evals: out.evals,
+            accepted: out.accepted,
+            elapsed_seconds: t0.elapsed().as_secs_f64(),
+            trace: out.trace,
+            fallbacks: out.telemetry.fallbacks,
+            telemetry: out.telemetry,
+            chain_evals: vec![out.evals],
+        }
+    }
+}
 
-        let mut best: Option<(Strategy, f64)> = None;
-        let mut trace: Vec<(f64, f64)> = Vec::new();
-        let mut evals = 0u64;
-        let mut accepted = 0u64;
-        let mut telemetry = DeltaTelemetry::default();
+/// The default chain count: one chain per available hardware thread.
+pub fn default_chains() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
 
-        for init in initial {
-            let mut sim = Simulator::new(graph, topo, cost, cfg, init.clone());
-            let mut current_cost = sim.cost_us();
-            let initial_cost = current_cost;
-            if best.as_ref().is_none_or(|(_, c)| current_cost < *c) {
-                best = Some((init.clone(), current_cost));
-                trace.push((t0.elapsed().as_secs_f64(), current_cost));
+/// Parallel multi-chain MCMC search: `K` independent Metropolis chains,
+/// each owning its own [`Simulator`] (task graph, timeline, scratch arena
+/// and undo journals — the per-thread transaction state that makes this
+/// embarrassingly parallel), run under [`std::thread::scope`] and
+/// coordinated only through a [`SharedBestCost`] cell and the periodic
+/// best-strategy [`Exchange`].
+///
+/// # Determinism
+///
+/// Chain `c` draws from `StdRng::seed_from_u64(seed ^ c)` and the exchange
+/// protocol is a generation barrier whose per-round reduction is a pure
+/// function of the chains' published bests (ties broken by chain id), so
+/// for a fixed evaluation budget the result depends only on
+/// `(seed, chains, exchange_every, budget)` — not on thread scheduling,
+/// core count, or machine load. `chains = 1` reproduces
+/// [`McmcOptimizer::search`] exactly for the same seed (CI pins both
+/// properties). Wall-clock budgets ([`Budget::max_seconds`]) and the
+/// [`ParallelSearch::target_cost_us`] cutoff stop chains at
+/// timing-dependent points and therefore trade the guarantee for speed.
+#[derive(Debug, Clone)]
+pub struct ParallelSearch {
+    /// Base RNG seed; chain `c` is seeded `seed ^ c`.
+    pub seed: u64,
+    /// Number of chains (>= 1; [`default_chains`] by default).
+    pub chains: usize,
+    /// Evaluations between best-strategy exchange points (0 disables the
+    /// exchange entirely; chains then only meet at the final reduction).
+    pub exchange_every: u64,
+    /// Early-cutoff target in microseconds: every chain stops as soon as
+    /// the shared best cost reaches it. `0.0` disables the cutoff. A
+    /// non-zero target makes the search race the clock and is therefore
+    /// not deterministic.
+    pub target_cost_us: f64,
+    /// Acceptance temperature (see [`McmcOptimizer::beta_scale`]).
+    pub beta_scale: f64,
+    /// Which slice of the configuration space proposals are drawn from.
+    pub space: ConfigSpace,
+    /// Which simulation algorithm evaluates proposals.
+    pub algorithm: SimAlgorithm,
+    /// How proposals are accepted.
+    pub acceptance: AcceptanceRule,
+}
+
+impl ParallelSearch {
+    /// A new parallel driver with the evaluation defaults and one chain
+    /// per available hardware thread.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            chains: default_chains(),
+            exchange_every: 256,
+            target_cost_us: 0.0,
+            beta_scale: 20.0,
+            space: ConfigSpace::Full,
+            algorithm: SimAlgorithm::Delta,
+            acceptance: AcceptanceRule::Metropolis,
+        }
+    }
+
+    /// [`ParallelSearch::new`] with an explicit chain count.
+    pub fn with_chains(seed: u64, chains: usize) -> Self {
+        Self {
+            chains,
+            ..Self::new(seed)
+        }
+    }
+
+    /// Runs `chains` concurrent MCMC chains from every initial strategy
+    /// and returns the globally best strategy found. The evaluation
+    /// budget is split across chains ([`split_budget`]), so the total
+    /// proposal count matches the sequential driver's for the same
+    /// budget. When the budget is smaller than the chain count the
+    /// effective chain count is capped at the budget (a zero-eval chain
+    /// would still pay one full simulator build per initial strategy
+    /// just to exit; the cap is a pure function of the inputs, so
+    /// determinism is unaffected) — `chain_evals` reports the effective
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` is zero, `initial` is empty, the graph has no
+    /// searchable ops, or a chain thread panics.
+    pub fn search(
+        &self,
+        graph: &OpGraph,
+        topo: &Topology,
+        cost: &dyn CostModel,
+        initial: &[Strategy],
+        budget: Budget,
+        cfg: SimConfig,
+    ) -> SearchResult {
+        assert!(self.chains >= 1, "need at least one chain");
+        assert!(!initial.is_empty(), "need at least one initial strategy");
+        let chains = self
+            .chains
+            .min(usize::try_from(budget.max_evals).unwrap_or(usize::MAX))
+            .max(1);
+        let t0 = Instant::now();
+        let budgets = split_budget(budget, chains);
+        let best_cell = SharedBestCost::new();
+        let exchange = Exchange::new(chains);
+        let shared = ChainShared {
+            best: &best_cell,
+            exchange: &exchange,
+            exchange_every: self.exchange_every,
+            target_us: self.target_cost_us,
+        };
+        let ctx = ChainCtx {
+            graph,
+            topo,
+            cost,
+            cfg,
+            params: ChainParams {
+                beta_scale: self.beta_scale,
+                space: self.space,
+                algorithm: self.algorithm,
+                acceptance: self.acceptance,
+            },
+            initial,
+            t0,
+        };
+
+        let outcomes: Vec<ChainOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..chains)
+                .map(|c| {
+                    let ctx = &ctx;
+                    let shared = &shared;
+                    let chain_budget = budgets[c];
+                    let seed = self.seed ^ c as u64;
+                    s.spawn(move || {
+                        // If this chain panics mid-search, deregister it
+                        // from the barrier so waiting peers drain and the
+                        // panic propagates through the join below rather
+                        // than deadlocking the scope.
+                        let mut guard = AbandonOnPanic {
+                            exchange: shared.exchange,
+                            armed: true,
+                        };
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let out = run_chain(ctx, chain_budget, &mut rng, Some(shared), c);
+                        guard.armed = false;
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search chain panicked"))
+                .collect()
+        });
+
+        // Deterministic reduction: lowest cost wins, ties to the lowest
+        // chain id (strict `<` keeps the earlier index).
+        let mut win = 0usize;
+        for (c, o) in outcomes.iter().enumerate() {
+            if o.best_cost_us < outcomes[win].best_cost_us {
+                win = c;
             }
-            let mut since_improvement = 0u64;
-            let patience = ((budget.max_evals as f64) * budget.patience_fraction) as u64;
-            let restart_start = Instant::now();
-            let mut restart_evals = 0u64;
-
-            while restart_evals < budget.max_evals
-                && restart_start.elapsed().as_secs_f64() < budget.max_seconds
-            {
-                // Propose: one random op gets a fresh random configuration.
-                // Under Delta the apply is speculative (journaled); the
-                // acceptance decision below commits or rolls it back.
-                let op = searchable[self.rng.gen_range(0..searchable.len())];
-                let proposal = soap::random_config(graph.op(op), topo, self.space, &mut self.rng);
-                // Only the Full revert arm needs the old config; under
-                // Delta the transaction itself remembers it for rollback.
-                let old = (self.algorithm == SimAlgorithm::Full)
-                    .then(|| sim.strategy().config(op).clone());
-                let new_cost = match self.algorithm {
-                    SimAlgorithm::Delta => sim.apply(op, proposal),
-                    SimAlgorithm::Full => {
-                        let mut s = sim.strategy().clone();
-                        s.replace(op, proposal);
-                        sim.reset(s)
-                    }
-                };
-                evals += 1;
-                restart_evals += 1;
-
-                // Acceptance (Eq. 2 by default), with beta normalized by
-                // the restart's initial cost so one temperature suits all
-                // models.
-                let beta = match self.acceptance {
-                    AcceptanceRule::Metropolis => self.beta_scale / initial_cost,
-                    AcceptanceRule::Annealed { anneal_factor } => {
-                        let progress = restart_evals as f64 / budget.max_evals.max(1) as f64;
-                        self.beta_scale * (1.0 + (anneal_factor - 1.0) * progress.min(1.0))
-                            / initial_cost
-                    }
-                    AcceptanceRule::Greedy => f64::INFINITY,
-                };
-                let accept = new_cost <= current_cost
-                    || self.rng.gen::<f64>() < (beta * (current_cost - new_cost)).exp();
-                if accept {
-                    if self.algorithm == SimAlgorithm::Delta {
-                        sim.commit();
-                    }
-                    accepted += 1;
-                    current_cost = new_cost;
-                    if best.as_ref().is_none_or(|(_, c)| new_cost < *c) {
-                        best = Some((sim.strategy().clone(), new_cost));
-                        trace.push((t0.elapsed().as_secs_f64(), new_cost));
-                        since_improvement = 0;
-                    } else {
-                        since_improvement += 1;
-                    }
-                } else {
-                    // Revert the rejected proposal: replay the undo journal
-                    // under Delta (no second repair); rebuild under Full.
-                    match self.algorithm {
-                        SimAlgorithm::Delta => {
-                            sim.rollback();
-                        }
-                        SimAlgorithm::Full => {
-                            let mut s = sim.strategy().clone();
-                            s.replace(op, old.expect("old config captured under Full"));
-                            sim.reset(s);
-                        }
-                    }
-                    since_improvement += 1;
-                }
-                if patience > 0 && since_improvement >= patience {
-                    break; // §6.2 criterion (2)
-                }
-            }
-            sim.commit();
-            telemetry.merge(&sim.telemetry());
         }
 
-        let (best, best_cost_us) = best.expect("at least one candidate evaluated");
+        // Merge the per-chain improvement traces into one monotone global
+        // curve: sort all events by time and keep strict running minima.
+        let mut events: Vec<(f64, f64)> = outcomes
+            .iter()
+            .flat_map(|o| o.trace.iter().copied())
+            .collect();
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut trace: Vec<(f64, f64)> = Vec::new();
+        let mut running_min = f64::INFINITY;
+        for (t, c) in events {
+            if c < running_min {
+                running_min = c;
+                trace.push((t, c));
+            }
+        }
+
+        let mut telemetry = DeltaTelemetry::default();
+        for o in &outcomes {
+            telemetry.merge(&o.telemetry);
+        }
         SearchResult {
-            best,
-            best_cost_us,
-            evals,
-            accepted,
+            best: outcomes[win].best.clone(),
+            best_cost_us: outcomes[win].best_cost_us,
+            evals: outcomes.iter().map(|o| o.evals).sum(),
+            accepted: outcomes.iter().map(|o| o.accepted).sum(),
             elapsed_seconds: t0.elapsed().as_secs_f64(),
             trace,
             fallbacks: telemetry.fallbacks,
             telemetry,
+            chain_evals: outcomes.iter().map(|o| o.evals).collect(),
         }
     }
 }
@@ -297,6 +853,7 @@ mod tests {
         );
         assert!(r.best_cost_us <= dp_cost + 1e-9);
         assert!(r.evals > 0);
+        assert_eq!(r.chain_evals, vec![r.evals]);
     }
 
     #[test]
@@ -476,5 +1033,200 @@ mod tests {
             SimConfig::default(),
         );
         assert!(r.evals < 10_000, "patience must cut the run short");
+    }
+
+    #[test]
+    fn one_chain_reproduces_the_sequential_driver() {
+        // ParallelSearch with a single chain must be the legacy search:
+        // same seed, same instruction stream, bit-identical result.
+        let (g, topo, cost) = setup();
+        let inits = [
+            Strategy::data_parallel(&g, &topo),
+            Strategy::single_device(&g, &topo, 0),
+        ];
+        let budget = Budget::evaluations(150);
+        let seq =
+            McmcOptimizer::new(42).search(&g, &topo, &cost, &inits, budget, SimConfig::default());
+        let par = ParallelSearch::with_chains(42, 1).search(
+            &g,
+            &topo,
+            &cost,
+            &inits,
+            budget,
+            SimConfig::default(),
+        );
+        assert_eq!(
+            seq.best_cost_us.to_bits(),
+            par.best_cost_us.to_bits(),
+            "costs must be bit-identical: {} vs {}",
+            seq.best_cost_us,
+            par.best_cost_us
+        );
+        assert_eq!(seq.best, par.best, "strategies must be identical");
+        assert_eq!(seq.evals, par.evals);
+        assert_eq!(seq.accepted, par.accepted);
+        assert_eq!(par.chain_evals, vec![par.evals]);
+    }
+
+    #[test]
+    fn parallel_search_is_deterministic_across_runs() {
+        let (g, topo, cost) = setup();
+        let inits = [Strategy::data_parallel(&g, &topo)];
+        let budget = Budget::evaluations(200);
+        let run = || {
+            let mut ps = ParallelSearch::with_chains(7, 4);
+            ps.exchange_every = 16; // force several exchange rounds
+            ps.search(&g, &topo, &cost, &inits, budget, SimConfig::default())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best_cost_us.to_bits(), b.best_cost_us.to_bits());
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evals, b.evals);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.chain_evals, b.chain_evals);
+    }
+
+    #[test]
+    fn parallel_search_never_worse_than_initials() {
+        let (g, topo, cost) = setup();
+        let dp = Strategy::data_parallel(&g, &topo);
+        let dp_cost = Simulator::new(&g, &topo, &cost, SimConfig::default(), dp.clone()).cost_us();
+        let r = ParallelSearch::with_chains(3, 3).search(
+            &g,
+            &topo,
+            &cost,
+            &[dp],
+            Budget::evaluations(120),
+            SimConfig::default(),
+        );
+        assert!(r.best_cost_us <= dp_cost + 1e-9);
+        assert_eq!(r.chain_evals.len(), 3);
+        for w in r.trace.windows(2) {
+            assert!(w[1].1 <= w[0].1, "merged trace must only improve");
+            assert!(w[1].0 >= w[0].0, "merged trace times must be ordered");
+        }
+    }
+
+    #[test]
+    fn parallel_search_aggregates_chain_telemetry() {
+        let (g, topo, cost) = setup();
+        let inits = [Strategy::data_parallel(&g, &topo)];
+        let mut ps = ParallelSearch::with_chains(11, 4);
+        ps.exchange_every = 32;
+        let r = ps.search(
+            &g,
+            &topo,
+            &cost,
+            &inits,
+            Budget::evaluations(160),
+            SimConfig::default(),
+        );
+        // Budget splitting: the chains' evals sum to the total.
+        assert_eq!(r.evals, r.chain_evals.iter().sum::<u64>());
+        assert_eq!(r.chain_evals.len(), 4);
+        // Under Delta every proposal is one transactional apply, and every
+        // apply ends in exactly one commit (accept) or rollback (reject).
+        let t = r.telemetry;
+        assert_eq!(t.applies, r.evals);
+        assert_eq!(t.commits, r.accepted);
+        assert_eq!(t.rollbacks, r.evals - r.accepted);
+        assert!(t.journal_slots > 0);
+    }
+
+    #[test]
+    fn target_cutoff_stops_the_search() {
+        let (g, topo, cost) = setup();
+        let dp = Strategy::data_parallel(&g, &topo);
+        let dp_cost = Simulator::new(&g, &topo, &cost, SimConfig::default(), dp.clone()).cost_us();
+        // A target above the initial cost is hit immediately: the chains
+        // must notice and stop well short of the eval budget.
+        let mut ps = ParallelSearch::with_chains(5, 2);
+        ps.target_cost_us = dp_cost * 2.0;
+        let r = ps.search(
+            &g,
+            &topo,
+            &cost,
+            &[dp],
+            Budget::evaluations(100_000),
+            SimConfig::default(),
+        );
+        assert!(r.best_cost_us <= ps.target_cost_us);
+        assert!(
+            r.evals < 10_000,
+            "cutoff should fire long before the budget: {} evals",
+            r.evals
+        );
+    }
+
+    #[test]
+    fn split_budget_preserves_total_and_fairness() {
+        let b = Budget::evaluations(103);
+        let parts = split_budget(b, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|p| p.max_evals).sum::<u64>(), 103);
+        let min = parts.iter().map(|p| p.max_evals).min().unwrap();
+        let max = parts.iter().map(|p| p.max_evals).max().unwrap();
+        assert!(max - min <= 1, "fair split differs by at most one");
+        assert!(min >= 1, "no chain starves");
+        for p in &parts {
+            assert_eq!(p.max_seconds, b.max_seconds);
+            assert_eq!(p.patience_fraction, b.patience_fraction);
+        }
+        // Wall-clock-only budgets stay unbounded on every chain.
+        let unbounded = split_budget(Budget::seconds(1.0), 3);
+        assert!(unbounded.iter().all(|p| p.max_evals == u64::MAX));
+    }
+
+    #[test]
+    fn tiny_budgets_cap_the_chain_count() {
+        // 3 evals across 8 requested chains: only 3 chains are worth
+        // spinning up (a 0-eval chain still pays full simulator builds).
+        let (g, topo, cost) = setup();
+        let r = ParallelSearch::with_chains(1, 8).search(
+            &g,
+            &topo,
+            &cost,
+            &[Strategy::data_parallel(&g, &topo)],
+            Budget::evaluations(3),
+            SimConfig::default(),
+        );
+        assert_eq!(r.chain_evals.len(), 3);
+        assert_eq!(r.evals, 3);
+    }
+
+    #[test]
+    fn abandoned_chain_releases_waiting_peers() {
+        // A chain that dies (panic unwind -> AbandonOnPanic) must not
+        // leave its peers blocked at the exchange barrier: whichever
+        // order the rendezvous and the abandon land in, the surviving
+        // chain's round completes and it gets a result back.
+        let (g, topo, _) = setup();
+        let dp = Strategy::data_parallel(&g, &topo);
+        let ex = Exchange::new(2);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| ex.rendezvous(0, 1.0, &dp));
+            let guard = AbandonOnPanic {
+                exchange: &ex,
+                armed: true,
+            };
+            drop(guard); // simulates chain 1 unwinding before any leave()
+            let result = waiter.join().expect("waiting chain must not hang");
+            let (bits, strategy) = result.expect("round must complete with a result");
+            assert_eq!(bits, 1.0f64.to_bits());
+            assert_eq!(strategy, dp);
+        });
+    }
+
+    #[test]
+    fn shared_best_cost_is_a_monotone_min() {
+        let cell = SharedBestCost::new();
+        assert_eq!(cell.get(), f64::INFINITY);
+        assert!(cell.observe(10.0), "first observation is an improvement");
+        assert!(!cell.observe(10.0), "equal cost is not an improvement");
+        assert!(!cell.observe(11.5), "worse cost is not an improvement");
+        assert_eq!(cell.get(), 10.0);
+        assert!(cell.observe(2.25));
+        assert_eq!(cell.get(), 2.25);
     }
 }

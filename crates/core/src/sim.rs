@@ -416,7 +416,17 @@ pub fn simulate_full(tg: &TaskGraph) -> SimState {
 /// Reusable workspace for [`simulate_delta_with`]: the repair heap and the
 /// queued-dedup marker survive across calls, so steady-state repairs do no
 /// per-call allocation proportional to graph capacity. Owned per
-/// [`Simulator`]; create one and pass it to every call on the same thread.
+/// [`Simulator`].
+///
+/// # Threading contract
+///
+/// A scratch is `Send` but deliberately has no shared-use API: every
+/// mutation goes through `&mut`, so the borrow checker enforces the
+/// "one owner, one thread at a time" discipline — parallel search chains
+/// each own their own scratch (inside their own [`Simulator`]) rather
+/// than sharing one. Moving a scratch to another thread between repairs
+/// is fine; what the epoch/queued bookkeeping cannot survive is two
+/// concurrent repairs, which `&mut` already makes unrepresentable.
 #[derive(Debug, Default)]
 pub struct DeltaScratch {
     heap: BinaryHeap<Reverse<((u64, u128), TaskId)>>,
@@ -681,6 +691,19 @@ fn sweep_in_place(tg: &TaskGraph, state: &mut SimState, scratch: &mut DeltaScrat
 /// timeline and strategy bit-for-bit — no second repair, no structure
 /// clone. Rejected proposals dominate an MCMC walk, so this is the hot
 /// path of the whole search.
+///
+/// # Threading contract
+///
+/// A `Simulator` is `Send` — the parallel search driver
+/// ([`crate::optimizer::ParallelSearch`]) constructs one *per chain*
+/// inside each worker thread over shared `&OpGraph` / `&Topology` /
+/// `&dyn CostModel` borrows (the [`flexflow_costmodel::CostModel`] trait
+/// requires `Send + Sync`, so the cost oracle may be queried from many
+/// chains at once). The mutable transaction state (task graph, timeline,
+/// scratch arena, undo journals) is all owned, and every mutating method
+/// takes `&mut self`, so cross-thread *sharing* of one simulator is ruled
+/// out by the borrow checker rather than by convention: one simulator, one
+/// chain, one thread at a time.
 pub struct Simulator<'a> {
     graph: &'a flexflow_opgraph::OpGraph,
     topo: &'a flexflow_device::Topology,
@@ -699,6 +722,12 @@ pub struct Simulator<'a> {
 
 impl<'a> Simulator<'a> {
     /// Builds the task graph for `strategy` and runs a full simulation.
+    ///
+    /// Building is the expensive part (a full task-graph materialization
+    /// plus a sweep), so a search chain constructs its simulator once and
+    /// drives it transactionally; dropping the result to rebuild per
+    /// proposal forfeits the delta path entirely.
+    #[must_use = "building a Simulator runs a full simulation; drive it instead of discarding it"]
     pub fn new(
         graph: &'a flexflow_opgraph::OpGraph,
         topo: &'a flexflow_device::Topology,
@@ -1193,6 +1222,18 @@ mod tests {
                 assert!(sim.state() == &st_before, "step {step}: timeline drifted");
             }
         }
+    }
+
+    #[test]
+    fn simulator_and_scratch_are_send() {
+        // The threading contract the parallel search driver relies on:
+        // per-chain simulators may be constructed on (moved to) worker
+        // threads. Compile-time check; fails to build if a non-Send field
+        // ever sneaks in.
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulator<'static>>();
+        assert_send::<DeltaScratch>();
+        assert_send::<SimState>();
     }
 
     #[test]

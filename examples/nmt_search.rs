@@ -11,7 +11,7 @@ use flexflow::baselines::expert;
 use flexflow::core::metrics::SimMetrics;
 use flexflow::core::sim::{simulate_full, SimConfig};
 use flexflow::core::taskgraph::TaskGraph;
-use flexflow::core::{Budget, McmcOptimizer, Strategy};
+use flexflow::core::{Budget, ParallelSearch, Strategy};
 use flexflow::costmodel::MeasuredCostModel;
 use flexflow::device::clusters;
 use flexflow::opgraph::zoo;
@@ -51,7 +51,13 @@ fn main() {
         report(name, &SimMetrics::collect(&tg, &state));
     }
 
-    let mut opt = McmcOptimizer::new(7);
+    // The parallel driver: one MCMC chain per hardware thread, seeded
+    // deterministically, exchanging bests every 256 evaluations.
+    let opt = ParallelSearch::new(7);
+    println!(
+        "searching with {} parallel chain(s), exchange every {} evals...",
+        opt.chains, opt.exchange_every
+    );
     let initials: Vec<Strategy> = contenders.into_iter().map(|(_, s)| s).collect();
     let result = opt.search(
         &graph,
@@ -60,6 +66,10 @@ fn main() {
         &initials,
         Budget::evaluations(2000),
         cfg,
+    );
+    println!(
+        "evaluated {} proposals in {:.1}s (per chain: {:?})",
+        result.evals, result.elapsed_seconds, result.chain_evals
     );
     let tg = TaskGraph::build(&graph, &topo, &result.best, &cost, &cfg);
     let state = simulate_full(&tg);

@@ -3,15 +3,24 @@
 //! ```text
 //! flexflow models
 //! flexflow search <model> [--gpus N] [--cluster p100|k80] [--evals N] [--seed N] [--out FILE]
+//!                         [--chains K] [--exchange-every N] [--legacy] [--verbose]
 //! flexflow simulate <model> [--gpus N] [--cluster p100|k80] [--strategy FILE]
 //! flexflow baselines <model> [--gpus N] [--cluster p100|k80]
 //! ```
+//!
+//! `search` runs the parallel multi-chain driver by default (one chain
+//! per available hardware thread; fix `--chains` and `--seed` for a
+//! reproducible result). `--legacy` forces the sequential single-chain
+//! reference driver, which `--chains 1` reproduces bit-for-bit — CI
+//! diffs the two.
 
 use flexflow::baselines::{expert, model_parallel, optcnn};
 use flexflow::core::metrics::SimMetrics;
 use flexflow::core::sim::{simulate_full, SimConfig};
 use flexflow::core::taskgraph::TaskGraph;
-use flexflow::core::{strategy_io, Budget, McmcOptimizer, Strategy};
+use flexflow::core::{
+    default_chains, strategy_io, Budget, McmcOptimizer, ParallelSearch, SearchResult, Strategy,
+};
 use flexflow::costmodel::MeasuredCostModel;
 use flexflow::device::{clusters, DeviceKind, Topology};
 use flexflow::opgraph::{zoo, OpGraph};
@@ -21,7 +30,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  flexflow models\n  flexflow search <model> [--gpus N] [--cluster p100|k80] \
-         [--evals N] [--seed N] [--out FILE] [--verbose]\n  flexflow simulate <model> [--gpus N] \
+         [--evals N] [--seed N] [--out FILE]\n                          [--chains K] \
+         [--exchange-every N] [--legacy] [--verbose]\n  flexflow simulate <model> [--gpus N] \
          [--cluster p100|k80] [--strategy FILE]\n  flexflow baselines <model> [--gpus N] \
          [--cluster p100|k80]"
     );
@@ -37,6 +47,9 @@ struct Options {
     out: Option<String>,
     strategy: Option<String>,
     verbose: bool,
+    chains: usize,
+    exchange_every: u64,
+    legacy: bool,
 }
 
 fn parse(args: &[String]) -> Option<Options> {
@@ -49,6 +62,9 @@ fn parse(args: &[String]) -> Option<Options> {
         out: None,
         strategy: None,
         verbose: false,
+        chains: default_chains(),
+        exchange_every: 256,
+        legacy: false,
     };
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut i = 1;
@@ -59,6 +75,11 @@ fn parse(args: &[String]) -> Option<Options> {
         let key = args[i].clone();
         if key == "--verbose" {
             o.verbose = true;
+            i += 1;
+            continue;
+        }
+        if key == "--legacy" {
+            o.legacy = true;
             i += 1;
             continue;
         }
@@ -87,6 +108,16 @@ fn parse(args: &[String]) -> Option<Options> {
     }
     if let Some(v) = flags.get("--seed") {
         o.seed = v.parse().ok()?;
+    }
+    if let Some(v) = flags.get("--chains") {
+        o.chains = v.parse().ok()?;
+        if o.chains == 0 {
+            eprintln!("--chains must be at least 1");
+            return None;
+        }
+    }
+    if let Some(v) = flags.get("--exchange-every") {
+        o.exchange_every = v.parse().ok()?;
     }
     o.out = flags.get("--out").cloned();
     o.strategy = flags.get("--strategy").cloned();
@@ -137,22 +168,41 @@ fn main() -> ExitCode {
             let dp = Strategy::data_parallel(&graph, &topo);
             let ex = expert::strategy(&graph, &topo);
             println!(
-                "searching {} on {} x {} ({} ops, {} evals)...",
+                "searching {} on {} x {} ({} ops, {} evals, {})...",
                 o.model,
                 o.gpus,
                 o.cluster,
                 graph.len(),
-                o.evals
+                o.evals,
+                if o.legacy {
+                    "legacy sequential driver".to_string()
+                } else {
+                    format!("{} chains", o.chains)
+                }
             );
-            let mut opt = McmcOptimizer::new(o.seed);
-            let r = opt.search(
-                &graph,
-                &topo,
-                &cost,
-                &[dp.clone(), ex.clone()],
-                Budget::evaluations(o.evals),
-                SimConfig::default(),
-            );
+            let initials = [dp.clone(), ex.clone()];
+            let budget = Budget::evaluations(o.evals);
+            let r: SearchResult = if o.legacy {
+                McmcOptimizer::new(o.seed).search(
+                    &graph,
+                    &topo,
+                    &cost,
+                    &initials,
+                    budget,
+                    SimConfig::default(),
+                )
+            } else {
+                let mut ps = ParallelSearch::with_chains(o.seed, o.chains);
+                ps.exchange_every = o.exchange_every;
+                ps.search(
+                    &graph,
+                    &topo,
+                    &cost,
+                    &initials,
+                    budget,
+                    SimConfig::default(),
+                )
+            };
             report("data parallelism", &graph, &topo, &dp);
             report("expert", &graph, &topo, &ex);
             report("flexflow", &graph, &topo, &r.best);
@@ -164,6 +214,16 @@ fn main() -> ExitCode {
                     r.elapsed_seconds,
                     r.accepted,
                     r.best_cost_us / 1e3
+                );
+                println!(
+                    "chains: {} ({} driver; evals per chain: {})",
+                    r.chain_evals.len(),
+                    if o.legacy { "sequential" } else { "parallel" },
+                    r.chain_evals
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
                 println!(
                     "delta txn: {} applies, {} commits, {} rollbacks",

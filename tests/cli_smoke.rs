@@ -148,9 +148,66 @@ fn search_verbose_prints_delta_telemetry() {
 }
 
 #[test]
+fn search_chains_is_deterministic_and_one_chain_matches_legacy() {
+    let dir = std::env::temp_dir().join(format!("flexflow-cli-chains-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+    let search = |extra: &[&str], out: &str| {
+        let mut args = vec!["search", "lenet", "--evals", "60", "--seed", "9"];
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&["--out", out]);
+        stdout_of(&flexflow(&args));
+        std::fs::read_to_string(out).expect("read exported strategy")
+    };
+
+    // Fixed (seed, chains) => bit-identical exported strategy.
+    let a = search(
+        &["--chains", "3", "--exchange-every", "16"],
+        &path("a.json"),
+    );
+    let b = search(
+        &["--chains", "3", "--exchange-every", "16"],
+        &path("b.json"),
+    );
+    assert_eq!(a, b, "--chains 3 must be deterministic for a fixed seed");
+
+    // One parallel chain reproduces the legacy sequential driver.
+    let one = search(&["--chains", "1"], &path("one.json"));
+    let legacy = search(&["--legacy"], &path("legacy.json"));
+    assert_eq!(one, legacy, "--chains 1 must reproduce --legacy");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn search_verbose_reports_per_chain_evals() {
+    let out = stdout_of(&flexflow(&[
+        "search",
+        "lenet",
+        "--evals",
+        "40",
+        "--seed",
+        "5",
+        "--chains",
+        "2",
+        "--verbose",
+    ]));
+    let line = out
+        .lines()
+        .find(|l| l.starts_with("chains:"))
+        .unwrap_or_else(|| panic!("no chains line in --verbose output:\n{out}"));
+    assert!(
+        line.contains("2 (parallel driver"),
+        "unexpected chains line: {line}"
+    );
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = flexflow(&["frobnicate"]);
     assert!(!out.status.success(), "unknown subcommand must fail");
     let out = flexflow(&[]);
     assert!(!out.status.success(), "empty invocation must fail");
+    let out = flexflow(&["search", "lenet", "--chains", "0"]);
+    assert!(!out.status.success(), "--chains 0 must be rejected");
 }
