@@ -1,13 +1,16 @@
 //! CI perf smoke + regression gate.
 //!
-//! Two workloads, one artifact (`BENCH_pr3.json` by default):
+//! Three workloads, one artifact (`BENCH_pr4.json` by default):
 //!
 //! 1. `proposal_evaluation` (full vs delta simulation, see
 //!    [`flexflow_bench::proposal_bench`]) once at 4/8/16 devices — the
 //!    PR 2 trajectory;
 //! 2. `search_throughput` (parallel multi-chain search, see
 //!    [`flexflow_bench::search_throughput`]) at 1/2/4/8 chains —
-//!    proposals/sec and time-to-target-cost, the PR 3 trajectory.
+//!    proposals/sec and time-to-target-cost, the PR 3 trajectory;
+//! 3. `serve_throughput` (the strategy-serving daemon, see
+//!    [`flexflow_bench::serve_throughput`]) — cache-hit requests/sec and
+//!    warm-vs-cold evals-to-target on rnnlm@4GPU, the PR 4 trajectory.
 //!
 //! With `--check` the binary also gates the numbers and exits non-zero on
 //! a regression:
@@ -19,25 +22,38 @@
 //!   scales with the host: ≥ 1.5x with 4+ available hardware threads
 //!   (measured headroom ~3x), ≥ 1.1x with 2-3, and ≥ 0.7x on a
 //!   single-core host — serial hardware cannot speed up, so there the
-//!   gate only rejects pathological coordination overhead.
+//!   gate only rejects pathological coordination overhead;
+//! - cache hits must answer with **zero** simulator evaluations and at
+//!   ≥ 100 requests/sec (hits are pure JSON + cache-lookup work;
+//!   measured headroom is orders of magnitude above the bar);
+//! - warm-started search must reach the cold search's best cost (+1% of
+//!   the improvement gap) within ≤ 0.5x the cold evaluation count;
+//! - when a baseline artifact exists (`BENCH_SMOKE_BASELINE`, default
+//!   the committed `BENCH_pr3.json`), the *dimensionless ratios* —
+//!   delta-vs-full per device count and 4-chain-vs-1-chain throughput —
+//!   must not regress by more than 20% against it. Absolute times are
+//!   never compared across machines; the throughput-ratio comparison is
+//!   skipped when the host has fewer cores than the baseline's host.
 //!
 //! Knobs: `BENCH_SMOKE_SAMPLES` (timed samples per proposal cell, default
 //! 15), `BENCH_SMOKE_SEARCH_EVALS` (throughput-run proposal budget,
-//! default 4000), `BENCH_SMOKE_OUT` (output path, default
-//! `BENCH_pr3.json`).
+//! default 4000), `BENCH_SMOKE_SERVE_EVALS` (warm-vs-cold budget, default
+//! 2000), `BENCH_SMOKE_HIT_REQUESTS` (timed hit requests, default 2000),
+//! `BENCH_SMOKE_BASELINE` (baseline path, default `BENCH_pr3.json`),
+//! `BENCH_SMOKE_OUT` (output path, default `BENCH_pr4.json`).
 
-use flexflow_bench::{proposal_bench, search_throughput};
+use flexflow_bench::{proposal_bench, search_throughput, serve_throughput};
 use flexflow_core::sim::{SimConfig, Simulator};
 use flexflow_core::strategy::Strategy;
 use flexflow_costmodel::MeasuredCostModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Cell {
     bench: String,
     median_us: f64,
@@ -60,6 +76,20 @@ struct Report {
     search_throughput: Vec<search_throughput::Measurement>,
     /// Reference target cost (µs/iter) the time-to-target runs chase.
     target_cost_us: f64,
+    /// Cache-hit serving throughput (PR 4).
+    serve_hits: serve_throughput::HitThroughput,
+    /// Warm-vs-cold evals-to-target on rnnlm@4GPU (PR 4).
+    serve_warm_vs_cold: serve_throughput::WarmVsCold,
+}
+
+/// The slice of a previous report the cross-run gate compares against —
+/// only fields present in every artifact since `BENCH_pr3.json`, parsed
+/// leniently (extra fields in newer artifacts are ignored).
+#[derive(Deserialize)]
+struct Baseline {
+    available_parallelism: usize,
+    results: Vec<Cell>,
+    search_throughput: Vec<search_throughput::Measurement>,
 }
 
 fn timed<F: FnMut() -> f64>(samples: usize, mut f: F) -> (f64, f64, f64) {
@@ -97,7 +127,19 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4000)
         .max(100);
-    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr3.json".into());
+    let serve_evals: u64 = std::env::var("BENCH_SMOKE_SERVE_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+        .max(100);
+    let hit_requests: u64 = std::env::var("BENCH_SMOKE_HIT_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+        .max(1);
+    let baseline_path =
+        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr3.json".into());
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr4.json".into());
     let cores = flexflow_core::default_chains();
 
     // ---- workload 1: proposal_evaluation (full vs delta) ----
@@ -199,6 +241,28 @@ fn main() -> ExitCode {
     let tp_ratio = tp(4) / tp(1);
     println!("4-chain vs 1-chain throughput: {tp_ratio:.2}x");
 
+    // ---- workload 3: serve_throughput (strategy-serving daemon) ----
+    println!("\nbench smoke: serve_throughput ({hit_requests} hit requests, warm-vs-cold @ {serve_evals} evals)");
+    let hits = serve_throughput::hit_throughput(hit_requests);
+    println!(
+        "cache hits: {:.0} requests/s ({} requests in {:.3}s, {} simulator evals)",
+        hits.requests_per_s, hits.requests, hits.elapsed_s, hits.hit_evals_total
+    );
+    let wvc = serve_throughput::warm_vs_cold(serve_evals, 1);
+    println!(
+        "warm-vs-cold on rnnlm@4GPU: target {:.2} ms/iter (dp {:.2}, cold best {:.2})",
+        wvc.target_cost_us / 1e3,
+        wvc.dp_cost_us / 1e3,
+        wvc.cold_best_us / 1e3
+    );
+    println!(
+        "  cold reaches target in {} evals; warm (seed {:.2} ms/iter) in {} evals -> ratio {:.3}",
+        wvc.cold_evals_to_target,
+        wvc.warm_seed_cost_us / 1e3,
+        wvc.warm_evals_to_target,
+        wvc.warm_ratio
+    );
+
     // ---- artifact ----
     let report = Report {
         unix_epoch_secs: std::time::SystemTime::now()
@@ -212,11 +276,16 @@ fn main() -> ExitCode {
                search_throughput: ParallelSearch over the same workload at 1/2/4/8 chains \
                (budget split across chains, exchange every 64 evals); proposals/sec from a \
                fixed-budget run, time-to-target from an early-cutoff run chasing \
-               target_cost_us"
+               target_cost_us. serve_throughput: cache-hit requests/sec through the \
+               in-process Server request handler, plus warm-vs-cold evals-to-target \
+               (warm seed = same search at half budget; target = cold best + 1% of the \
+               improvement gap over data parallelism)"
             .into(),
         results,
         search_throughput: search,
         target_cost_us,
+        serve_hits: hits.clone(),
+        serve_warm_vs_cold: wvc.clone(),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json).expect("write bench smoke artifact");
@@ -241,9 +310,92 @@ fn main() -> ExitCode {
              (gate: >= {required:.2}x on {cores} hardware thread(s))"
         ));
     }
+
+    // Serve gates: hits must be free, warm starts must halve the work.
+    if hits.hit_evals_total != 0 {
+        failures.push(format!(
+            "cache hits spent {} simulator evals (gate: exactly 0)",
+            hits.hit_evals_total
+        ));
+    }
+    if hits.requests_per_s < 100.0 {
+        failures.push(format!(
+            "cache-hit serving rate is {:.0} requests/s (gate: >= 100)",
+            hits.requests_per_s
+        ));
+    }
+    if wvc.warm_ratio > 0.5 {
+        failures.push(format!(
+            "warm-started search needed {} evals vs {} cold to reach {:.2} ms/iter \
+             (ratio {:.3}, gate: <= 0.5)",
+            wvc.warm_evals_to_target,
+            wvc.cold_evals_to_target,
+            wvc.target_cost_us / 1e3,
+            wvc.warm_ratio
+        ));
+    }
+
+    // Cross-run gate: dimensionless ratios vs the committed baseline
+    // artifact, with a 20% noise allowance.
+    match std::fs::read_to_string(&baseline_path) {
+        Err(_) => println!("\n(no baseline at {baseline_path}; skipping cross-run comparison)"),
+        Ok(text) => match serde_json::from_str::<Baseline>(&text) {
+            Err(e) => failures.push(format!("baseline {baseline_path} is unreadable: {e}")),
+            Ok(base) => {
+                println!("\ncomparing ratios against {baseline_path}:");
+                for &(gpus, s) in &delta_speedups {
+                    let find = |n: &str| {
+                        base.results
+                            .iter()
+                            .find(|c| c.bench == format!("proposal_evaluation/{n}/{gpus}"))
+                            .map(|c| c.median_us)
+                    };
+                    let Some(base_ratio) = find("full").zip(find("delta")).map(|(f, d)| f / d)
+                    else {
+                        continue;
+                    };
+                    println!("  delta-vs-full @{gpus}: {s:.2}x now, {base_ratio:.2}x baseline");
+                    if s < 0.8 * base_ratio {
+                        failures.push(format!(
+                            "delta-vs-full ratio at {gpus} devices regressed >20%: \
+                             {s:.2}x vs baseline {base_ratio:.2}x"
+                        ));
+                    }
+                }
+                let base_tp = |chains: usize| {
+                    base.search_throughput
+                        .iter()
+                        .find(|m| m.chains == chains)
+                        .map(|m| m.proposals_per_s)
+                };
+                if let Some(base_ratio) = base_tp(4).zip(base_tp(1)).map(|(a, b)| a / b) {
+                    if cores < base.available_parallelism {
+                        println!(
+                            "  4-chain ratio: skipped (host has {cores} thread(s), \
+                             baseline had {})",
+                            base.available_parallelism
+                        );
+                    } else {
+                        println!("  4-chain-vs-1: {tp_ratio:.2}x now, {base_ratio:.2}x baseline");
+                        if tp_ratio < 0.8 * base_ratio {
+                            failures.push(format!(
+                                "4-chain throughput ratio regressed >20%: \
+                                 {tp_ratio:.2}x vs baseline {base_ratio:.2}x"
+                            ));
+                        }
+                    }
+                }
+            }
+        },
+    }
+
     println!("\nbench gate ({cores} hardware thread(s), 4-chain gate >= {required:.2}x):");
     if failures.is_empty() {
-        println!("  PASS: delta-vs-full >= 1.5x at 4/8/16 devices, 4-chain {tp_ratio:.2}x");
+        println!(
+            "  PASS: delta-vs-full >= 1.5x at 4/8/16 devices, 4-chain {tp_ratio:.2}x, \
+             hits {:.0} req/s at 0 evals, warm ratio {:.3}",
+            hits.requests_per_s, wvc.warm_ratio
+        );
         ExitCode::SUCCESS
     } else {
         for f in &failures {

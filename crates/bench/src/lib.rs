@@ -278,7 +278,7 @@ pub mod search_throughput {
     use flexflow_costmodel::MeasuredCostModel;
     use flexflow_device::{clusters, Topology};
     use flexflow_opgraph::{zoo, OpGraph};
-    use serde::Serialize;
+    use serde::{Deserialize, Serialize};
 
     /// The benchmark model (matches the `proposal_evaluation` workload).
     pub fn model() -> OpGraph {
@@ -291,7 +291,7 @@ pub mod search_throughput {
     }
 
     /// One measured chain-count cell.
-    #[derive(Debug, Clone, Serialize)]
+    #[derive(Debug, Clone, Serialize, Deserialize)]
     pub struct Measurement {
         /// Chain count of this cell.
         pub chains: usize,
@@ -392,6 +392,178 @@ pub mod search_throughput {
             best_cost_us: throughput_run.best_cost_us,
             time_to_target_s: target_run.elapsed_seconds,
             reached_target: target_run.best_cost_us <= target_us,
+        }
+    }
+}
+
+/// Workload + measurement helpers for the `serve_throughput` benchmark
+/// (the strategy-serving half of `bench_smoke`, the PR 4 trajectory).
+/// Two questions, two measurements:
+///
+/// - **hit throughput**: requests/sec the daemon answers for its
+///   steady-state traffic — identical `(model, cluster, budget)` requests
+///   served from the content-addressed cache with *zero* simulator
+///   evaluations (the responses' `evals` fields are summed and gated on
+///   exactly 0);
+/// - **warm vs cold evals-to-target**: on rnnlm@4GPU, how many simulator
+///   evaluations a search needs to reach the cold search's best cost when
+///   seeded from a cached half-budget strategy instead of data
+///   parallelism. The target uses the PR 3 `reference_target` convention
+///   (best + 1% of the improvement gap over data parallelism) so
+///   "reaches the cold best" is a closed predicate on a continuous cost.
+pub mod serve_throughput {
+    use flexflow_core::optimizer::{Budget, ParallelSearch};
+    use flexflow_core::strategy::Strategy;
+    use flexflow_costmodel::MeasuredCostModel;
+    use flexflow_server::server::response_field;
+    use flexflow_server::{Server, ServerConfig};
+    use serde::Serialize;
+    use std::time::Instant;
+
+    /// Cache-hit serving throughput.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct HitThroughput {
+        /// Hit requests timed (after one cold priming request).
+        pub requests: u64,
+        /// Wall-clock seconds for the hit requests.
+        pub elapsed_s: f64,
+        /// `requests / elapsed_s`.
+        pub requests_per_s: f64,
+        /// Simulator evaluations across all hit responses (gated == 0).
+        pub hit_evals_total: u64,
+    }
+
+    /// Measures hit serving throughput on an in-process server: one cold
+    /// request primes the cache, then `requests` identical requests are
+    /// timed end-to-end through the request handler (parse → lookup →
+    /// validate → respond), the exact per-line path of `--oneshot` and
+    /// socket workers.
+    pub fn hit_throughput(requests: u64) -> HitThroughput {
+        let server = Server::new(ServerConfig::default());
+        let line = r#"{"model":"lenet","gpus":2,"evals":60,"seed":11}"#;
+        let prime = server.handle_line(line);
+        assert!(
+            prime.contains(r#""cache":"cold""#),
+            "priming request must be cold: {prime}"
+        );
+        let mut hit_evals_total = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..requests {
+            let resp = server.handle_line(line);
+            debug_assert!(resp.contains(r#""cache":"hit""#));
+            hit_evals_total += response_field(&resp, "evals")
+                .and_then(|v| v.as_u64())
+                .expect("hit response carries evals");
+        }
+        let elapsed_s = t0.elapsed().as_secs_f64();
+        HitThroughput {
+            requests,
+            elapsed_s,
+            requests_per_s: requests as f64 / elapsed_s.max(1e-9),
+            hit_evals_total,
+        }
+    }
+
+    /// Warm-vs-cold evals-to-target on rnnlm@4GPU.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct WarmVsCold {
+        /// Cold-search evaluation budget (the warm seed uses half).
+        pub evals: u64,
+        /// Data-parallel starting cost (µs/iter).
+        pub dp_cost_us: f64,
+        /// Best cost the cold reference search reached (µs/iter).
+        pub cold_best_us: f64,
+        /// The chased target: `cold_best + 1%` of the improvement gap.
+        pub target_cost_us: f64,
+        /// Evaluations the cold search spends to reach the target.
+        pub cold_evals_to_target: u64,
+        /// Cost of the cached half-budget warm seed (µs/iter).
+        pub warm_seed_cost_us: f64,
+        /// Evaluations the warm-started search spends to reach the target.
+        pub warm_evals_to_target: u64,
+        /// `warm_evals_to_target / cold_evals_to_target` (gated <= 0.5).
+        pub warm_ratio: f64,
+    }
+
+    /// Runs the warm-vs-cold comparison. All runs use a single chain, so
+    /// eval counts are schedule-independent and the numbers reproduce.
+    pub fn warm_vs_cold(evals: u64, seed: u64) -> WarmVsCold {
+        let graph = super::search_throughput::model();
+        let topo = super::search_throughput::cluster();
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = flexflow_core::SimConfig::default();
+        let dp = Strategy::data_parallel(&graph, &topo);
+        let dp_cost_us = super::cost_of(&graph, &topo, &cost, &dp);
+        let full_budget = Budget {
+            max_evals: evals,
+            max_seconds: f64::INFINITY,
+            patience_fraction: 1.0,
+        };
+        let chase_budget = Budget {
+            max_evals: evals * 8,
+            max_seconds: f64::INFINITY,
+            patience_fraction: 1.0,
+        };
+
+        // Reference cold search: defines what "as good as cold" means.
+        let cold = ParallelSearch::with_chains(seed, 1).search(
+            &graph,
+            &topo,
+            &cost,
+            std::slice::from_ref(&dp),
+            full_budget,
+            cfg,
+        );
+        let target_cost_us = cold.best_cost_us + 0.01 * (dp_cost_us - cold.best_cost_us).max(0.0);
+
+        // Cold evals-to-target: same seed, early-cutoff at the target.
+        let mut ps = ParallelSearch::with_chains(seed, 1);
+        ps.target_cost_us = target_cost_us;
+        let cold_chase = ps.search(
+            &graph,
+            &topo,
+            &cost,
+            std::slice::from_ref(&dp),
+            chase_budget,
+            cfg,
+        );
+
+        // The "cached" seed: the same request served at half the budget —
+        // what a smaller-budget-class cache entry holds.
+        let warm_seed = ParallelSearch::with_chains(seed, 1).search(
+            &graph,
+            &topo,
+            &cost,
+            std::slice::from_ref(&dp),
+            Budget {
+                max_evals: evals / 2,
+                ..full_budget
+            },
+            cfg,
+        );
+
+        // Warm chase: a *different* seed (no replaying the cold chain's
+        // proposal stream) starting from the cached strategy.
+        let mut ps = ParallelSearch::with_chains(seed ^ 0x9E37_79B9, 1);
+        ps.target_cost_us = target_cost_us;
+        let warm_chase = ps.search_warm(
+            &graph,
+            &topo,
+            &cost,
+            warm_seed.best.clone(),
+            chase_budget,
+            cfg,
+        );
+
+        WarmVsCold {
+            evals,
+            dp_cost_us,
+            cold_best_us: cold.best_cost_us,
+            target_cost_us,
+            cold_evals_to_target: cold_chase.evals,
+            warm_seed_cost_us: warm_seed.best_cost_us,
+            warm_evals_to_target: warm_chase.evals,
+            warm_ratio: warm_chase.evals as f64 / cold_chase.evals.max(1) as f64,
         }
     }
 }

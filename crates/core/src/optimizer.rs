@@ -694,6 +694,30 @@ impl ParallelSearch {
         }
     }
 
+    /// Warm-started search: every chain restarts from `warm` *instead of*
+    /// the usual data-parallel/expert seeds.
+    ///
+    /// `warm` is typically a cached strategy for the same op graph —
+    /// possibly found on a different topology and rebound via
+    /// [`crate::strategy_io::remap_onto`], or found under a smaller
+    /// evaluation budget — which starts the Markov chains deep inside the
+    /// good region of the space rather than at data parallelism. Because
+    /// the search never returns a strategy worse than its initial
+    /// candidate, a poor warm seed costs only evaluations, never quality
+    /// relative to that seed; and with a single restart the whole budget
+    /// goes to refining it.
+    pub fn search_warm(
+        &self,
+        graph: &OpGraph,
+        topo: &Topology,
+        cost: &dyn CostModel,
+        warm: Strategy,
+        budget: Budget,
+        cfg: SimConfig,
+    ) -> SearchResult {
+        self.search(graph, topo, cost, &[warm], budget, cfg)
+    }
+
     /// Runs `chains` concurrent MCMC chains from every initial strategy
     /// and returns the globally best strategy found. The evaluation
     /// budget is split across chains ([`split_budget`]), so the total
@@ -1216,6 +1240,52 @@ mod tests {
             assert_eq!(bits, 1.0f64.to_bits());
             assert_eq!(strategy, dp);
         });
+    }
+
+    #[test]
+    fn warm_start_refines_its_seed_and_reaches_targets_faster() {
+        let (g, topo, cost) = setup();
+        let dp = Strategy::data_parallel(&g, &topo);
+
+        // A short cold search produces the "cached" seed.
+        let seed_run = ParallelSearch::with_chains(13, 1).search(
+            &g,
+            &topo,
+            &cost,
+            std::slice::from_ref(&dp),
+            Budget::evaluations(120),
+            SimConfig::default(),
+        );
+
+        // Warm-started search never returns worse than its seed.
+        let warm = ParallelSearch::with_chains(14, 1).search_warm(
+            &g,
+            &topo,
+            &cost,
+            seed_run.best.clone(),
+            Budget::evaluations(80),
+            SimConfig::default(),
+        );
+        assert!(warm.best_cost_us <= seed_run.best_cost_us + 1e-9);
+
+        // Chasing the seed's own cost as a target: the warm chain starts
+        // there, so the cutoff fires without a single evaluation — the
+        // property the serve bench gate quantifies.
+        let mut ps = ParallelSearch::with_chains(15, 1);
+        ps.target_cost_us = seed_run.best_cost_us;
+        let instant = ps.search_warm(
+            &g,
+            &topo,
+            &cost,
+            seed_run.best.clone(),
+            Budget::evaluations(10_000),
+            SimConfig::default(),
+        );
+        assert_eq!(instant.evals, 0, "target already met by the seed");
+        assert_eq!(
+            instant.best_cost_us.to_bits(),
+            seed_run.best_cost_us.to_bits()
+        );
     }
 
     #[test]

@@ -32,27 +32,44 @@ impl ParallelConfig {
     /// non-parallelizable dimension has degree > 1, or the device list
     /// length differs from the degree product. Configurations are built by
     /// the enumeration/sampling helpers below, so violations indicate bugs.
+    /// For untrusted inputs (strategy files, cache records) use
+    /// [`ParallelConfig::try_new`].
     pub fn new(node: &OpNode, degrees: Vec<u64>, devices: Vec<DeviceId>) -> Self {
-        let shape = node.output_shape();
-        partition::validate(shape, &degrees)
-            .unwrap_or_else(|e| panic!("invalid degrees for {}: {e}", node.name()));
+        Self::try_new(node, degrees, devices)
+            .unwrap_or_else(|e| panic!("invalid config for {}: {e}", node.name()))
+    }
+
+    /// Fallible [`ParallelConfig::new`]: the single source of the
+    /// configuration invariants, so deserializers can pre-validate
+    /// untrusted data with exactly the rules the panicking constructor
+    /// enforces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn try_new(
+        node: &OpNode,
+        degrees: Vec<u64>,
+        devices: Vec<DeviceId>,
+    ) -> Result<Self, String> {
+        partition::validate(node.output_shape(), &degrees).map_err(|e| e.to_string())?;
         let allowed: Vec<usize> = node.parallel_dims().iter().map(|p| p.dim).collect();
         for (d, &deg) in degrees.iter().enumerate() {
-            assert!(
-                deg == 1 || allowed.contains(&d),
-                "{}: dimension {d} is not parallelizable",
-                node.name()
-            );
+            if deg > 1 && !allowed.contains(&d) {
+                return Err(format!(
+                    "dimension {d} is not parallelizable but has degree {deg}"
+                ));
+            }
         }
         let tasks: u64 = degrees.iter().product();
-        assert_eq!(
-            devices.len() as u64,
-            tasks,
-            "{}: need {tasks} device assignments, got {}",
-            node.name(),
-            devices.len()
-        );
-        Self { degrees, devices }
+        if devices.len() as u64 != tasks {
+            return Err(format!(
+                "need {tasks} device assignments, got {}",
+                devices.len()
+            ));
+        }
+        Ok(Self { degrees, devices })
     }
 
     /// Degree of parallelism per output dimension.

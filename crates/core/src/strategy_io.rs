@@ -4,13 +4,26 @@
 //! without re-searching. [`StrategyDump`] is a portable, human-auditable
 //! representation (op names, degree vectors, device indices) that survives
 //! across processes as long as the operator graph is rebuilt identically.
+//!
+//! [`StrategyRecord`] wraps a dump with a format version and the canonical
+//! content signatures of the graph and topology it was searched for
+//! ([`flexflow_opgraph::graph_signature`], [`Topology::signature`]) — the
+//! persistent form the `flexflow-server` strategy cache stores on disk and
+//! validates on load. [`remap_onto`] rebinds a dump onto a *different*
+//! topology (device indices folded modulo the new device count), which is
+//! how near-miss cache entries become warm-start seeds instead of dead
+//! weight.
 
 use crate::soap::ParallelConfig;
 use crate::strategy::Strategy;
 use flexflow_device::Topology;
-use flexflow_opgraph::OpGraph;
+use flexflow_opgraph::{graph_signature, OpGraph, OpNode};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Version stamp written into every [`StrategyRecord`]; bump on any
+/// incompatible change to the dump layout or the signature definitions.
+pub const FORMAT_VERSION: u32 = 1;
 
 /// Portable form of one op's configuration.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -56,6 +69,31 @@ pub enum ImportError {
         /// Devices available.
         available: usize,
     },
+    /// An op's saved configuration is not a legal [`ParallelConfig`] for
+    /// the rebuilt graph (bad degree vector, wrong device-list length).
+    InvalidConfig {
+        /// Name of the offending op.
+        op: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// The record was written by an incompatible format version.
+    VersionMismatch {
+        /// Version stamped in the record.
+        record: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The record's content signatures do not match the supplied
+    /// graph/topology.
+    SignatureMismatch {
+        /// Which signature disagreed (`"graph"` or `"topology"`).
+        which: &'static str,
+        /// Signature stored in the record (hex).
+        record: String,
+        /// Signature of the supplied object (hex).
+        actual: String,
+    },
 }
 
 impl fmt::Display for ImportError {
@@ -70,6 +108,21 @@ impl fmt::Display for ImportError {
             ImportError::TopologyTooSmall { needed, available } => write!(
                 f,
                 "strategy needs {needed} devices but the topology has {available}"
+            ),
+            ImportError::InvalidConfig { op, reason } => {
+                write!(f, "op {op:?} has an invalid saved configuration: {reason}")
+            }
+            ImportError::VersionMismatch { record, supported } => write!(
+                f,
+                "strategy record format v{record} is not supported (this build reads v{supported})"
+            ),
+            ImportError::SignatureMismatch {
+                which,
+                record,
+                actual,
+            } => write!(
+                f,
+                "{which} signature mismatch: record was searched for {record}, got {actual}"
             ),
         }
     }
@@ -96,12 +149,68 @@ pub fn export(graph: &OpGraph, topo: &Topology, strategy: &Strategy) -> Strategy
     }
 }
 
+/// Validates one op's saved configuration against the rebuilt node while
+/// constructing it — [`ParallelConfig::new`] treats violations as caller
+/// bugs and panics, but a dump read from disk is untrusted input and must
+/// fail with an error instead ([`ParallelConfig::try_new`] keeps the
+/// invariants in one place).
+fn checked_config(
+    node: &OpNode,
+    od: &OpConfigDump,
+    devices: Vec<flexflow_device::DeviceId>,
+) -> Result<ParallelConfig, ImportError> {
+    ParallelConfig::try_new(node, od.degrees.clone(), devices).map_err(|reason| {
+        ImportError::InvalidConfig {
+            op: od.op.clone(),
+            reason,
+        }
+    })
+}
+
+/// Shared frame of [`import`] and [`remap_onto`]: checks the op list lines
+/// up with the graph and rebuilds configs, mapping each saved device index
+/// through `map_device`.
+fn build_strategy(
+    graph: &OpGraph,
+    topo: &Topology,
+    dump: &StrategyDump,
+    check_names: bool,
+    map_device: impl Fn(usize) -> usize,
+) -> Result<Strategy, ImportError> {
+    if dump.ops.len() != graph.len() {
+        return Err(ImportError::GraphShapeMismatch {
+            reason: format!("{} ops saved, graph has {}", dump.ops.len(), graph.len()),
+        });
+    }
+    let mut configs = Vec::with_capacity(graph.len());
+    for (id, od) in graph.ids().zip(&dump.ops) {
+        let node = graph.op(id);
+        if check_names && node.name() != od.op {
+            return Err(ImportError::GraphShapeMismatch {
+                reason: format!(
+                    "op {} is named {:?}, dump says {:?}",
+                    id,
+                    node.name(),
+                    od.op
+                ),
+            });
+        }
+        let devices = od
+            .devices
+            .iter()
+            .map(|&d| topo.device_id(map_device(d)))
+            .collect();
+        configs.push(checked_config(node, od, devices)?);
+    }
+    Ok(Strategy::from_configs(graph, configs))
+}
+
 /// Imports a dump against a freshly built graph and topology.
 ///
 /// # Errors
 ///
 /// Returns an [`ImportError`] when the dump does not match the graph's
-/// shape or the topology is too small.
+/// shape, a saved configuration is illegal, or the topology is too small.
 pub fn import(
     graph: &OpGraph,
     topo: &Topology,
@@ -113,11 +222,15 @@ pub fn import(
             graph: graph.name().to_string(),
         });
     }
-    if dump.ops.len() != graph.len() {
-        return Err(ImportError::GraphShapeMismatch {
-            reason: format!("{} ops saved, graph has {}", dump.ops.len(), graph.len()),
-        });
-    }
+    check_device_range(topo, dump)?;
+    build_strategy(graph, topo, dump, true, |d| d)
+}
+
+/// Rejects dumps referencing device indices the topology does not have —
+/// required by both identity-mapping importers ([`import`],
+/// [`import_structural`]); [`remap_onto`] instead folds indices into
+/// range.
+fn check_device_range(topo: &Topology, dump: &StrategyDump) -> Result<(), ImportError> {
     let max_dev = dump
         .ops
         .iter()
@@ -130,23 +243,139 @@ pub fn import(
             available: topo.num_devices(),
         });
     }
-    let mut configs = Vec::with_capacity(graph.len());
-    for (id, od) in graph.ids().zip(&dump.ops) {
-        let node = graph.op(id);
-        if node.name() != od.op {
-            return Err(ImportError::GraphShapeMismatch {
-                reason: format!(
-                    "op {} is named {:?}, dump says {:?}",
-                    id,
-                    node.name(),
-                    od.op
-                ),
-            });
-        }
-        let devices = od.devices.iter().map(|&d| topo.device_id(d)).collect();
-        configs.push(ParallelConfig::new(node, od.degrees.clone(), devices));
+    Ok(())
+}
+
+/// [`import`] minus the model- and op-name checks: validates op count,
+/// device range, and every configuration's legality, nothing more. This
+/// is the right importer when graphs are matched by canonical signature
+/// ([`flexflow_opgraph::graph_signature`]) — the signature deliberately
+/// ignores naming, so a name-checking importer would reject dumps the
+/// signature says are equivalent (e.g. the strategy server's cache hits).
+///
+/// # Errors
+///
+/// Returns an [`ImportError`] when the op count differs, a device index
+/// is out of range, or a saved configuration is illegal.
+pub fn import_structural(
+    graph: &OpGraph,
+    topo: &Topology,
+    dump: &StrategyDump,
+) -> Result<Strategy, ImportError> {
+    check_device_range(topo, dump)?;
+    build_strategy(graph, topo, dump, false, |d| d)
+}
+
+/// Rebinds a dump onto a *different* topology: device indices are folded
+/// modulo the new device count, degree vectors are kept as-is. This is the
+/// warm-start remap rule of the strategy server — a strategy searched for
+/// the same graph on another cluster (or a smaller one) is usually a far
+/// better MCMC seed than data parallelism, even if its device assignment
+/// is no longer optimal.
+///
+/// Op names are *not* checked: the caller matches graphs by canonical
+/// signature ([`flexflow_opgraph::graph_signature`]), which deliberately
+/// ignores naming. Shape and legality of every configuration still are.
+///
+/// # Errors
+///
+/// Returns an [`ImportError`] when the op count differs or a saved
+/// configuration is illegal for the rebuilt graph.
+pub fn remap_onto(
+    graph: &OpGraph,
+    topo: &Topology,
+    dump: &StrategyDump,
+) -> Result<Strategy, ImportError> {
+    let n = topo.num_devices();
+    build_strategy(graph, topo, dump, false, |d| d % n)
+}
+
+/// Renders a 64-bit content signature as the fixed-width hex string stored
+/// in records and cache files.
+pub fn signature_hex(sig: u64) -> String {
+    format!("{sig:016x}")
+}
+
+/// Parses a [`signature_hex`] string back to its value.
+pub fn parse_signature_hex(s: &str) -> Option<u64> {
+    (s.len() == 16)
+        .then(|| u64::from_str_radix(s, 16).ok())
+        .flatten()
+}
+
+/// A [`StrategyDump`] plus everything needed to trust it later: a format
+/// version and the canonical content signatures of the graph and topology
+/// the strategy was searched for, with the search's cost and effort. This
+/// is the unit the `flexflow-server` cache persists.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct StrategyRecord {
+    /// Record format version ([`FORMAT_VERSION`] at write time).
+    pub version: u32,
+    /// Canonical op-graph signature, hex ([`flexflow_opgraph::graph_signature`]).
+    pub graph_sig: String,
+    /// Topology content signature, hex ([`Topology::signature`]).
+    pub topo_sig: String,
+    /// Simulated cost of the strategy in microseconds per iteration.
+    pub cost_us: f64,
+    /// Simulator evaluations the search spent finding it.
+    pub evals: u64,
+    /// The strategy itself.
+    pub dump: StrategyDump,
+}
+
+/// Exports a strategy as a signed, versioned record.
+pub fn export_record(
+    graph: &OpGraph,
+    topo: &Topology,
+    strategy: &Strategy,
+    cost_us: f64,
+    evals: u64,
+) -> StrategyRecord {
+    StrategyRecord {
+        version: FORMAT_VERSION,
+        graph_sig: signature_hex(graph_signature(graph)),
+        topo_sig: signature_hex(topo.signature()),
+        cost_us,
+        evals,
+        dump: export(graph, topo, strategy),
     }
-    Ok(Strategy::from_configs(graph, configs))
+}
+
+/// Imports a signed record, verifying the format version and both content
+/// signatures before trusting the dump.
+///
+/// # Errors
+///
+/// Returns an [`ImportError`] on a version or signature mismatch, or any
+/// failure [`import`] reports.
+pub fn import_record(
+    graph: &OpGraph,
+    topo: &Topology,
+    record: &StrategyRecord,
+) -> Result<Strategy, ImportError> {
+    if record.version != FORMAT_VERSION {
+        return Err(ImportError::VersionMismatch {
+            record: record.version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let graph_sig = signature_hex(graph_signature(graph));
+    if record.graph_sig != graph_sig {
+        return Err(ImportError::SignatureMismatch {
+            which: "graph",
+            record: record.graph_sig.clone(),
+            actual: graph_sig,
+        });
+    }
+    let topo_sig = signature_hex(topo.signature());
+    if record.topo_sig != topo_sig {
+        return Err(ImportError::SignatureMismatch {
+            which: "topology",
+            record: record.topo_sig.clone(),
+            actual: topo_sig,
+        });
+    }
+    import(graph, topo, &record.dump)
 }
 
 #[cfg(test)]
@@ -211,5 +440,164 @@ mod tests {
             import(&g_longer, &topo, &dump),
             Err(ImportError::GraphShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn corrupt_configs_error_instead_of_panicking() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let good = export(&g, &topo, &Strategy::data_parallel(&g, &topo));
+
+        // Degree that does not divide the dimension.
+        let mut bad = good.clone();
+        bad.ops[1].degrees[0] = 63;
+        let err = import(&g, &topo, &bad).unwrap_err();
+        assert!(matches!(err, ImportError::InvalidConfig { .. }), "{err}");
+
+        // Device list shorter than the task count.
+        let mut bad = good.clone();
+        bad.ops[1].devices.pop();
+        assert!(matches!(
+            import(&g, &topo, &bad),
+            Err(ImportError::InvalidConfig { .. })
+        ));
+
+        // Degree vector of the wrong rank.
+        let mut bad = good;
+        bad.ops[1].degrees.push(2);
+        assert!(matches!(
+            import(&g, &topo, &bad),
+            Err(ImportError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn import_structural_ignores_names_but_validates_everything_else() {
+        // Same dataflow, different op names — what the canonical graph
+        // signature treats as equal. A name-checking import refuses;
+        // the structural import accepts.
+        let build = |prefix: &str| {
+            let mut g = OpGraph::new(format!("m-{prefix}"));
+            let x = g.add_input(
+                format!("{prefix}x"),
+                flexflow_tensor::TensorShape::new(&[8, 32]),
+            );
+            let a = g
+                .add_op(
+                    flexflow_opgraph::OpKind::Linear { out_features: 16 },
+                    &[x],
+                    format!("{prefix}fc"),
+                )
+                .unwrap();
+            g.add_op(flexflow_opgraph::OpKind::Relu, &[a], format!("{prefix}r"))
+                .unwrap();
+            g
+        };
+        let g1 = build("a");
+        let g2 = build("b");
+        let topo = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        let dump = export(&g1, &topo, &Strategy::data_parallel(&g1, &topo));
+        assert!(matches!(
+            import(&g2, &topo, &dump),
+            Err(ImportError::ModelMismatch { .. })
+        ));
+        let s = import_structural(&g2, &topo, &dump).unwrap();
+        assert_eq!(&export(&g2, &topo, &s).ops[1].degrees, &dump.ops[1].degrees);
+
+        // Device range and config legality still enforced.
+        let small = clusters::uniform_cluster(1, 1, 16.0, 4.0);
+        assert!(matches!(
+            import_structural(&g2, &small, &dump),
+            Err(ImportError::TopologyTooSmall { .. })
+        ));
+        let mut bad = dump.clone();
+        bad.ops[1].degrees[0] = 63;
+        assert!(matches!(
+            import_structural(&g2, &topo, &bad),
+            Err(ImportError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn remap_folds_devices_onto_smaller_topologies() {
+        let g = zoo::lenet(64);
+        let big = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let small = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        let dump = export(&g, &big, &Strategy::data_parallel(&g, &big));
+        // Plain import refuses; remap folds gpu2/gpu3 onto gpu0/gpu1.
+        assert!(import(&g, &small, &dump).is_err());
+        let s = remap_onto(&g, &small, &dump).unwrap();
+        for id in g.ids() {
+            for k in 0..s.config(id).num_tasks() {
+                assert!(s.config(id).device(k).index() < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn remap_keeps_larger_topologies_verbatim() {
+        let g = zoo::lenet(64);
+        let small = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        let big = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let s = Strategy::data_parallel(&g, &small);
+        let dump = export(&g, &small, &s);
+        let remapped = remap_onto(&g, &big, &dump).unwrap();
+        // Same device indices, now leaving gpus 2-3 free for the search.
+        let roundtrip = export(&g, &big, &remapped);
+        for (a, b) in dump.ops.iter().zip(&roundtrip.ops) {
+            assert_eq!(a.degrees, b.degrees);
+            assert_eq!(a.devices, b.devices);
+        }
+    }
+
+    #[test]
+    fn records_verify_version_and_signatures() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let s = Strategy::data_parallel(&g, &topo);
+        let rec = export_record(&g, &topo, &s, 1234.5, 77);
+        assert_eq!(rec.version, FORMAT_VERSION);
+        assert_eq!(&import_record(&g, &topo, &rec).unwrap(), &s);
+
+        // JSON roundtrip preserves the record bit-for-bit.
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: StrategyRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+
+        // Unsupported version.
+        let mut bad = rec.clone();
+        bad.version = FORMAT_VERSION + 1;
+        assert!(matches!(
+            import_record(&g, &topo, &bad),
+            Err(ImportError::VersionMismatch { .. })
+        ));
+
+        // Wrong graph: signature check fires before any shape check.
+        let other = zoo::rnnlm(64, 2);
+        let err = import_record(&other, &topo, &rec).unwrap_err();
+        assert!(
+            matches!(err, ImportError::SignatureMismatch { which: "graph", .. }),
+            "{err}"
+        );
+
+        // Wrong topology.
+        let small = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        assert!(matches!(
+            import_record(&g, &small, &rec),
+            Err(ImportError::SignatureMismatch {
+                which: "topology",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn signature_hex_roundtrips() {
+        for sig in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_signature_hex(&signature_hex(sig)), Some(sig));
+        }
+        assert_eq!(parse_signature_hex("xyz"), None);
+        assert_eq!(parse_signature_hex(""), None);
+        assert_eq!(parse_signature_hex("00000000000000000"), None);
     }
 }

@@ -1,5 +1,6 @@
 //! The device-topology graph and pairwise routing.
 
+use flexflow_tensor::StableHasher;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -214,6 +215,49 @@ impl Topology {
             None => 0.0,
             Some(ch) => ch.transfer_time_us(bytes),
         }
+    }
+
+    /// A canonical content fingerprint of the topology, for keying the
+    /// strategy-serving cache (`flexflow-server`).
+    ///
+    /// Covers everything the simulator can observe: the device list (kind,
+    /// host node, memory), every ordered pair's end-to-end bandwidth and
+    /// latency, and the *link-sharing structure* — which routes queue on
+    /// the same bottleneck link and therefore contend. Link numbering and
+    /// the topology's display name are erased (each link is represented by
+    /// the first ordered device pair routed over it), so two builders
+    /// wiring the same hardware hash identically. Hashed with the
+    /// workspace's [`StableHasher`] (FNV-1a, fixed constants): stable
+    /// across Rust releases and platforms, which `std`'s default hasher
+    /// does not guarantee — these values are persisted in on-disk cache
+    /// files.
+    pub fn signature(&self) -> u64 {
+        let mut h = StableHasher::new("flexflow.topo.v1");
+        h.write_u64(self.devices.len() as u64);
+        for d in &self.devices {
+            h.write_bytes(format!("{}", d.kind).as_bytes());
+            h.write_u64(u64::from(d.node));
+            h.write_u64(d.memory_gb.to_bits());
+        }
+        // Ordered pairs in index order; each route's link is named by the
+        // first pair that uses it, which canonicalizes link ids.
+        let n = self.devices.len();
+        let mut first_pair_of_link: HashMap<LinkId, u64> = HashMap::new();
+        let mut pair_index = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let ch = self.channels[&(DeviceId(i as u32), DeviceId(j as u32))];
+                let canon = *first_pair_of_link.entry(ch.link).or_insert(pair_index);
+                h.write_u64(ch.bandwidth_gb_s.to_bits());
+                h.write_u64(ch.latency_us.to_bits());
+                h.write_u64(canon);
+                pair_index += 1;
+            }
+        }
+        h.finish()
     }
 
     /// A short multi-line description of the topology (used by the Fig. 6
@@ -442,5 +486,58 @@ mod tests {
     fn rejects_zero_bandwidth() {
         let mut b = TopologyBuilder::new("bad");
         b.add_link("l", 0.0, 1.0);
+    }
+
+    #[test]
+    fn signature_ignores_names_but_sees_hardware() {
+        let build = |name: &str, link: &str, bw: f64| {
+            let mut b = TopologyBuilder::new(name);
+            let g0 = b.add_device(DeviceKind::Test, 0, 16.0);
+            let g1 = b.add_device(DeviceKind::Test, 0, 16.0);
+            let l = b.add_link(link, bw, 2.0);
+            b.connect_symmetric(g0, g1, l);
+            b.build()
+        };
+        let a = build("a", "wire-0", 10.0);
+        let b = build("b", "cable-9", 10.0);
+        assert_eq!(a.signature(), b.signature(), "names must not matter");
+        let faster = build("a", "wire-0", 20.0);
+        assert_ne!(a.signature(), faster.signature(), "bandwidth must matter");
+    }
+
+    #[test]
+    fn signature_sees_link_sharing_structure() {
+        // Same per-pair bandwidth/latency, but one topology serializes all
+        // transfers through a single shared link while the other gives
+        // every pair its own: contention differs, signatures must too.
+        let build = |shared: bool| {
+            let mut b = TopologyBuilder::new("t");
+            let d: Vec<_> = (0..3)
+                .map(|_| b.add_device(DeviceKind::Test, 0, 16.0))
+                .collect();
+            let mut links = Vec::new();
+            for i in 0..3 {
+                links.push(b.add_link(format!("l{i}"), 8.0, 1.0));
+            }
+            let mut pair = 0;
+            for i in 0..3usize {
+                for j in (i + 1)..3usize {
+                    let l = if shared { links[0] } else { links[pair] };
+                    b.connect_symmetric(d[i], d[j], l);
+                    pair += 1;
+                }
+            }
+            b.build()
+        };
+        assert_ne!(build(true).signature(), build(false).signature());
+    }
+
+    #[test]
+    fn signature_is_a_stable_pinned_value() {
+        // Persisted in on-disk cache files: must never drift across
+        // releases. Pin one concrete topology's signature.
+        let t = tiny();
+        assert_eq!(t.signature(), t.signature());
+        assert_eq!(t.signature(), 0xd62f_ddab_c026_1021);
     }
 }

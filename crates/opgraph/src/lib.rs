@@ -34,7 +34,9 @@
 pub mod dot;
 pub mod graph;
 pub mod op;
+pub mod signature;
 pub mod zoo;
 
 pub use graph::{LayerId, OpGraph, OpId, OpNode};
 pub use op::{DimKind, OpKind, ParallelDim, PoolType, ShapeError};
+pub use signature::graph_signature;

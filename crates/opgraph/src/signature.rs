@@ -1,0 +1,219 @@
+//! Canonical, content-addressed operator-graph signatures.
+//!
+//! The strategy-serving daemon (`flexflow-server`) keys its persistent
+//! cache on *what* a model computes, not on how the builder happened to
+//! assemble it: two [`OpGraph`]s describing the same dataflow must hash to
+//! the same 64-bit signature even when their ops were inserted in a
+//! different (but still topological) order, were given different names, or
+//! were grouped into differently-numbered parameter-sharing layers.
+//!
+//! The signature is built in three passes:
+//!
+//! 1. **structural pass** — every node gets a hash of its operator kind,
+//!    output shape, and its inputs' structural hashes in argument order,
+//!    i.e. a fingerprint of its entire ancestor cone (argument order is
+//!    semantic — `Concat(a, b)` differs from `Concat(b, a)` — so it is
+//!    preserved, while insertion indices never enter the hash);
+//! 2. **layer pass** — each parameter-sharing layer is fingerprinted by
+//!    the sorted multiset of its members' structural hashes, and every
+//!    member node folds that fingerprint in (weight tying changes gradient
+//!    synchronization cost, so `{A,B} tied` must differ from `A, B`
+//!    untied);
+//! 3. **combine pass** — the per-node hashes are sorted and folded
+//!    together, which erases insertion order while keeping the full
+//!    multiset of ancestor cones.
+//!
+//! Hashing uses the workspace's [`StableHasher`] (FNV-1a with fixed
+//! constants) so the signature is stable across Rust releases, platforms,
+//! and processes — `DefaultHasher` guarantees none of that, and these
+//! signatures live in on-disk cache files.
+
+use crate::graph::OpGraph;
+use flexflow_tensor::StableHasher;
+
+/// The canonical signature of an operator graph.
+///
+/// Invariant under op insertion order (for isomorphic builder call
+/// sequences), op names, layer numbering, and the model name; sensitive to
+/// operator kinds and attributes, tensor shapes (including batch size),
+/// the dataflow edges, and the weight-tying structure.
+///
+/// ```
+/// use flexflow_opgraph::{signature, zoo};
+///
+/// let a = zoo::rnnlm(64, 4);
+/// let b = zoo::rnnlm(64, 4);
+/// assert_eq!(signature::graph_signature(&a), signature::graph_signature(&b));
+/// assert_ne!(
+///     signature::graph_signature(&a),
+///     signature::graph_signature(&zoo::rnnlm(32, 4)),
+///     "batch size is part of the computation"
+/// );
+/// ```
+pub fn graph_signature(graph: &OpGraph) -> u64 {
+    // Pass 1: structural hash per node (insertion order is topological, so
+    // every input's hash is already computed when its consumer needs it).
+    let mut structural: Vec<u64> = Vec::with_capacity(graph.len());
+    for id in graph.ids() {
+        let node = graph.op(id);
+        let mut h = StableHasher::new("flexflow.op.v1");
+        // `OpKind` derives a field-complete Debug and owns every operator
+        // attribute (kernel sizes, feature counts, input shapes for data
+        // sources), making it a faithful kind fingerprint.
+        h.write_bytes(format!("{:?}", node.kind()).as_bytes());
+        for &d in node.output_shape().dims() {
+            h.write_u64(d);
+        }
+        h.write_u64(node.inputs().len() as u64);
+        for &inp in node.inputs() {
+            h.write_u64(structural[inp.index()]);
+        }
+        structural.push(h.finish());
+    }
+
+    // Pass 2: layer fingerprints from member structural hashes (sorted, so
+    // layer membership order and layer ids never matter).
+    let mut layer_fp: Vec<u64> = Vec::with_capacity(graph.num_layers());
+    for members in graph.ops_by_layer() {
+        let mut hashes: Vec<u64> = members.iter().map(|id| structural[id.index()]).collect();
+        hashes.sort_unstable();
+        let mut h = StableHasher::new("flexflow.layer.v1");
+        h.write_u64(hashes.len() as u64);
+        for v in hashes {
+            h.write_u64(v);
+        }
+        layer_fp.push(h.finish());
+    }
+
+    // Pass 3: fold (structural, layer) node hashes order-insensitively.
+    let mut finals: Vec<u64> = graph
+        .ids()
+        .map(|id| {
+            let mut h = StableHasher::new("flexflow.node.v1");
+            h.write_u64(structural[id.index()]);
+            h.write_u64(graph.op(id).layer().map_or(0, |l| layer_fp[l.index()]));
+            h.finish()
+        })
+        .collect();
+    finals.sort_unstable();
+    let mut h = StableHasher::new("flexflow.graph.v1");
+    h.write_u64(finals.len() as u64);
+    for v in finals {
+        h.write_u64(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+    use crate::zoo;
+    use flexflow_tensor::TensorShape;
+
+    /// Two parallel MLP towers over one input, merged by an Add — built
+    /// tower-by-tower or interleaved depending on `interleave`.
+    fn two_towers(interleave: bool, names: [&str; 5]) -> OpGraph {
+        let mut g = OpGraph::new(if interleave { "order-b" } else { "order-a" });
+        let x = g.add_input(names[0], TensorShape::new(&[8, 32]));
+        let fc = |g: &mut OpGraph, inp, name: &str| {
+            g.add_op(OpKind::Linear { out_features: 16 }, &[inp], name)
+                .unwrap()
+        };
+        let (a, b) = if interleave {
+            let b1 = fc(&mut g, x, names[3]);
+            let a1 = fc(&mut g, x, names[1]);
+            let b2 = g.add_op(OpKind::Relu, &[b1], names[4]).unwrap();
+            let a2 = g.add_op(OpKind::Relu, &[a1], names[2]).unwrap();
+            (a2, b2)
+        } else {
+            let a1 = fc(&mut g, x, names[1]);
+            let a2 = g.add_op(OpKind::Relu, &[a1], names[2]).unwrap();
+            let b1 = fc(&mut g, x, names[3]);
+            let b2 = g.add_op(OpKind::Relu, &[b1], names[4]).unwrap();
+            (a2, b2)
+        };
+        g.add_op(OpKind::Add, &[a, b], "merge").unwrap();
+        g
+    }
+
+    #[test]
+    fn insensitive_to_insertion_order_and_names() {
+        let a = two_towers(false, ["x", "a1", "a2", "b1", "b2"]);
+        let b = two_towers(true, ["in", "p", "q", "r", "s"]);
+        assert_eq!(graph_signature(&a), graph_signature(&b));
+    }
+
+    #[test]
+    fn insensitive_to_model_name() {
+        let mut a = OpGraph::new("alpha");
+        let mut b = OpGraph::new("beta");
+        for g in [&mut a, &mut b] {
+            let x = g.add_input("x", TensorShape::new(&[4, 8]));
+            g.add_op(OpKind::Relu, &[x], "r").unwrap();
+        }
+        assert_eq!(graph_signature(&a), graph_signature(&b));
+    }
+
+    #[test]
+    fn sensitive_to_structure_shape_and_attributes() {
+        let base = zoo::rnnlm(64, 4);
+        let sig = graph_signature(&base);
+        assert_ne!(sig, graph_signature(&zoo::rnnlm(64, 5)), "unroll depth");
+        assert_ne!(sig, graph_signature(&zoo::rnnlm(32, 4)), "batch size");
+        assert_ne!(sig, graph_signature(&zoo::lenet(64)), "different model");
+    }
+
+    #[test]
+    fn argument_order_is_semantic() {
+        let build = |swap: bool| {
+            let mut g = OpGraph::new("m");
+            let x = g.add_input("x", TensorShape::new(&[4, 8]));
+            let a = g
+                .add_op(OpKind::Linear { out_features: 8 }, &[x], "a")
+                .unwrap();
+            let r = g.add_op(OpKind::Relu, &[a], "r").unwrap();
+            // (a, r) vs (r, a): same multiset of inputs, different wiring.
+            let args = if swap { [r, a] } else { [a, r] };
+            g.add_op(OpKind::Concat { axis: 1 }, &args, "cat").unwrap();
+            g
+        };
+        assert_ne!(
+            graph_signature(&build(false)),
+            graph_signature(&build(true))
+        );
+    }
+
+    #[test]
+    fn weight_tying_changes_the_signature() {
+        let build = |tied: bool| {
+            let mut g = OpGraph::new("m");
+            let x1 = g.add_input("x1", TensorShape::new(&[8, 1]));
+            let x2 = g.add_input("x2", TensorShape::new(&[8, 1]));
+            let kind = OpKind::Embedding { vocab: 100, dim: 8 };
+            if tied {
+                let layer = g.fresh_layer();
+                g.add_op_in_layer(kind.clone(), &[x1], "e1", layer).unwrap();
+                g.add_op_in_layer(kind, &[x2], "e2", layer).unwrap();
+            } else {
+                g.add_op(kind.clone(), &[x1], "e1").unwrap();
+                g.add_op(kind, &[x2], "e2").unwrap();
+            }
+            g
+        };
+        assert_ne!(
+            graph_signature(&build(true)),
+            graph_signature(&build(false))
+        );
+    }
+
+    #[test]
+    fn signature_is_a_stable_pinned_value() {
+        // The signature is persisted in on-disk cache files, so it must
+        // never drift across releases; pin one concrete value.
+        let mut g = OpGraph::new("pin");
+        let x = g.add_input("x", TensorShape::new(&[2, 4]));
+        g.add_op(OpKind::Relu, &[x], "r").unwrap();
+        assert_eq!(graph_signature(&g), 0xa693_d812_0948_92d1);
+    }
+}

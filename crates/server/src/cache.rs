@@ -1,0 +1,455 @@
+//! The content-addressed strategy cache.
+//!
+//! A strategy is worth caching because it is expensive to find (minutes of
+//! MCMC on big clusters) and cheap to store (a few hundred bytes of degree
+//! vectors and device indices). The cache key is **content-addressed** —
+//! it names the *computation*, not the request:
+//!
+//! ```text
+//! g<graph signature>-t<topology signature>-b<budget class>
+//! ```
+//!
+//! - the graph signature ([`flexflow_opgraph::graph_signature`]) is
+//!   canonical over insertion order, op names and layer numbering, so any
+//!   client building the same dataflow addresses the same entry;
+//! - the topology signature ([`Topology::signature`](flexflow_device::Topology::signature))
+//!   covers devices, routes and link contention structure;
+//! - the budget class buckets the evaluation budget by bit length
+//!   ([`budget_class`]), so "how hard was this searched" is part of the
+//!   address without fragmenting the cache per exact eval count.
+//!
+//! [`StrategyCache::lookup`] answers three ways: **hit** (an entry for the
+//! same graph and topology searched at least as hard — servable with zero
+//! simulator evaluations), **warm** (an entry for the same graph on a
+//! different topology, or searched less hard — a seed for
+//! [`ParallelSearch::search_warm`](flexflow_core::ParallelSearch::search_warm)
+//! after [`strategy_io::remap_onto`](flexflow_core::strategy_io::remap_onto)),
+//! or **miss**.
+//!
+//! Entries persist as a single JSON file of versioned, signature-stamped
+//! [`StrategyRecord`]s, reloaded on startup and rewritten atomically
+//! (temp file + rename) on every accepted insert.
+
+use flexflow_core::strategy_io::{parse_signature_hex, StrategyRecord, FORMAT_VERSION};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// On-disk cache file version; bump on incompatible layout changes.
+pub const CACHE_FILE_VERSION: u32 = 1;
+
+/// Buckets an evaluation budget by bit length: class 1 covers 1 eval,
+/// class 2 covers 2..=3, class 11 covers 1024..=2047, and so on. An entry
+/// of class `b` answers any request of class `<= b` — the cached strategy
+/// was searched at least as hard as the request asks.
+pub fn budget_class(evals: u64) -> u32 {
+    64 - evals.max(1).leading_zeros()
+}
+
+/// A fully resolved cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Canonical op-graph signature.
+    pub graph_sig: u64,
+    /// Topology content signature.
+    pub topo_sig: u64,
+    /// Bit-length bucket of the evaluation budget.
+    pub budget_class: u32,
+}
+
+impl CacheKey {
+    /// The content address this key stores under.
+    pub fn address(&self) -> String {
+        format!(
+            "g{:016x}-t{:016x}-b{:02}",
+            self.graph_sig, self.topo_sig, self.budget_class
+        )
+    }
+}
+
+/// One cached strategy: the signed record plus request-facing audit fields
+/// (what model/cluster the entry was first computed for — informational
+/// only; the signatures are the authority).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct CacheEntry {
+    /// Budget class the entry was searched under.
+    pub budget_class: u32,
+    /// Model name of the first request that produced the entry.
+    pub model: String,
+    /// GPU count of that request.
+    pub gpus: usize,
+    /// Cluster flavour of that request.
+    pub cluster: String,
+    /// The signed, versioned strategy record.
+    pub record: StrategyRecord,
+}
+
+impl CacheEntry {
+    /// The entry's content-addressed key, if its stored signatures parse.
+    pub fn key(&self) -> Option<CacheKey> {
+        Some(CacheKey {
+            graph_sig: parse_signature_hex(&self.record.graph_sig)?,
+            topo_sig: parse_signature_hex(&self.record.topo_sig)?,
+            budget_class: self.budget_class,
+        })
+    }
+}
+
+/// Serialized form of the whole cache.
+#[derive(Debug, Serialize, Deserialize)]
+struct CacheFile {
+    version: u32,
+    entries: Vec<CacheEntry>,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lookup<'a> {
+    /// Same graph, same topology, searched at least as hard: servable
+    /// as-is, zero simulator evaluations.
+    Hit(&'a CacheEntry),
+    /// Same graph but a different topology or a smaller budget: a seed
+    /// for warm-started search.
+    Warm(&'a CacheEntry),
+    /// Nothing reusable.
+    Miss,
+}
+
+/// The in-memory cache: content address -> entry, kept sorted so the
+/// persisted file is deterministic.
+#[derive(Debug, Default)]
+pub struct StrategyCache {
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+impl StrategyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached strategies.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Loads a cache file. A missing file is an empty cache (first run);
+    /// a malformed or version-incompatible file is an error — the caller
+    /// decides whether to start empty or abort. Entries whose record
+    /// version or signatures do not parse are skipped, not fatal: one
+    /// stale entry must not take the whole cache down.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unreadable files, malformed JSON, or an
+    /// unsupported cache file version.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(Self::new());
+        }
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let file: CacheFile =
+            serde_json::from_str(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))?;
+        if file.version != CACHE_FILE_VERSION {
+            return Err(format!(
+                "cache file {path:?} is v{}, this build reads v{CACHE_FILE_VERSION}",
+                file.version
+            ));
+        }
+        let mut cache = Self::new();
+        for entry in file.entries {
+            if entry.record.version == FORMAT_VERSION && entry.key().is_some() {
+                cache.insert(entry);
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Serializes the whole cache to its on-disk JSON form — a consistent
+    /// snapshot the caller can persist with [`write_snapshot`] *after*
+    /// releasing whatever lock guards the cache (serialization is pure
+    /// string work; the disk write and fsync should never run under a
+    /// lock that concurrent lookups need).
+    pub fn snapshot_json(&self) -> String {
+        let file = CacheFile {
+            version: CACHE_FILE_VERSION,
+            entries: self.entries.values().cloned().collect(),
+        };
+        serde_json::to_string_pretty(&file).expect("serialize cache")
+    }
+
+    /// Writes the cache atomically (see [`write_snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the temp write or the rename.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        write_snapshot(path, &self.snapshot_json())
+    }
+
+    /// Looks up the best answer for `(graph_sig, topo_sig, class)`.
+    ///
+    /// Hits prefer the hardest-searched entry (highest budget class),
+    /// then the lowest cost. Warm candidates prefer entries for the same
+    /// topology (their device assignment survives verbatim), then the
+    /// hardest-searched, then the cheapest — deterministic because the
+    /// underlying map iterates in address order.
+    pub fn lookup(&self, graph_sig: u64, topo_sig: u64, class: u32) -> Lookup<'_> {
+        let mut hit: Option<(&CacheEntry, CacheKey)> = None;
+        let mut warm: Option<(&CacheEntry, CacheKey)> = None;
+        for entry in self.entries.values() {
+            let Some(key) = entry.key() else { continue };
+            if key.graph_sig != graph_sig {
+                continue;
+            }
+            if key.topo_sig == topo_sig && key.budget_class >= class {
+                let better = hit.is_none_or(|(best, bk)| {
+                    (
+                        key.budget_class,
+                        std::cmp::Reverse(entry.record.cost_us.to_bits()),
+                    ) > (
+                        bk.budget_class,
+                        std::cmp::Reverse(best.record.cost_us.to_bits()),
+                    )
+                });
+                if better {
+                    hit = Some((entry, key));
+                }
+            } else {
+                let rank = |e: &CacheEntry, k: CacheKey| {
+                    (
+                        k.topo_sig == topo_sig,
+                        k.budget_class,
+                        std::cmp::Reverse(e.record.cost_us.to_bits()),
+                    )
+                };
+                if warm.is_none_or(|(best, bk)| rank(entry, key) > rank(best, bk)) {
+                    warm = Some((entry, key));
+                }
+            }
+        }
+        match (hit, warm) {
+            (Some((e, _)), _) => Lookup::Hit(e),
+            (None, Some((e, _))) => Lookup::Warm(e),
+            (None, None) => Lookup::Miss,
+        }
+    }
+
+    /// Inserts an entry, keeping the better strategy when the address is
+    /// already occupied (lower cost wins; ties keep the incumbent).
+    /// Returns whether the entry was stored. Entries with unparseable
+    /// signatures are rejected.
+    pub fn insert(&mut self, entry: CacheEntry) -> bool {
+        let Some(key) = entry.key() else {
+            return false;
+        };
+        let address = key.address();
+        match self.entries.get(&address) {
+            Some(existing) if existing.record.cost_us <= entry.record.cost_us => false,
+            _ => {
+                self.entries.insert(address, entry);
+                true
+            }
+        }
+    }
+
+    /// Evicts the entry at a content address (used when a stored record
+    /// fails validation at serving time: a corrupt entry must not pin its
+    /// address — `insert`'s lower-cost-wins rule would otherwise keep
+    /// rejecting the honest replacement forever).
+    pub fn remove(&mut self, address: &str) -> Option<CacheEntry> {
+        self.entries.remove(address)
+    }
+
+    /// All entries in address order.
+    pub fn entries(&self) -> impl Iterator<Item = (&String, &CacheEntry)> {
+        self.entries.iter()
+    }
+}
+
+/// Atomically persists a [`StrategyCache::snapshot_json`] snapshot:
+/// write to a uniquely named temp file in the same directory, fsync, then
+/// rename over `path` — a crash mid-write never corrupts the cache a
+/// later startup reloads, and concurrent writers (each with their own
+/// temp file) settle last-rename-wins with every intermediate state being
+/// a complete snapshot.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the temp write or the rename.
+pub fn write_snapshot(path: &Path, json: &str) -> std::io::Result<()> {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexflow_core::strategy_io::{export_record, signature_hex};
+    use flexflow_core::Strategy;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::zoo;
+
+    fn entry(graph_sig: u64, topo_sig: u64, class: u32, cost: f64) -> CacheEntry {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        let s = Strategy::data_parallel(&g, &topo);
+        let mut record = export_record(&g, &topo, &s, cost, 100);
+        record.graph_sig = signature_hex(graph_sig);
+        record.topo_sig = signature_hex(topo_sig);
+        CacheEntry {
+            budget_class: class,
+            model: "lenet".into(),
+            gpus: 2,
+            cluster: "p100".into(),
+            record,
+        }
+    }
+
+    #[test]
+    fn budget_class_buckets_by_bit_length() {
+        assert_eq!(budget_class(0), 1);
+        assert_eq!(budget_class(1), 1);
+        assert_eq!(budget_class(2), 2);
+        assert_eq!(budget_class(1024), 11);
+        assert_eq!(budget_class(1025), 11);
+        assert_eq!(budget_class(2048), 12);
+        assert_eq!(budget_class(u64::MAX), 64);
+    }
+
+    #[test]
+    fn address_is_stable_and_readable() {
+        let k = CacheKey {
+            graph_sig: 0xabc,
+            topo_sig: 0x123,
+            budget_class: 11,
+        };
+        assert_eq!(k.address(), "g0000000000000abc-t0000000000000123-b11");
+    }
+
+    #[test]
+    fn lookup_prefers_hit_over_warm_and_ranks_warm_candidates() {
+        let mut c = StrategyCache::new();
+        assert_eq!(c.lookup(1, 2, 3), Lookup::Miss);
+
+        // Same graph, other topology: warm.
+        assert!(c.insert(entry(1, 9, 5, 100.0)));
+        assert!(matches!(c.lookup(1, 2, 3), Lookup::Warm(_)));
+
+        // Same graph + topology but searched less hard: still warm.
+        assert!(c.insert(entry(1, 2, 2, 90.0)));
+        let Lookup::Warm(w) = c.lookup(1, 2, 3) else {
+            panic!("expected warm")
+        };
+        assert_eq!(w.record.topo_sig, signature_hex(2), "same-topology first");
+
+        // Hard-enough same-topology entry: hit, and it wins over warm.
+        assert!(c.insert(entry(1, 2, 3, 80.0)));
+        let Lookup::Hit(h) = c.lookup(1, 2, 3) else {
+            panic!("expected hit")
+        };
+        assert_eq!(h.budget_class, 3);
+
+        // A harder-searched hit is preferred over a softer one.
+        assert!(c.insert(entry(1, 2, 7, 85.0)));
+        let Lookup::Hit(h) = c.lookup(1, 2, 3) else {
+            panic!("expected hit")
+        };
+        assert_eq!(h.budget_class, 7);
+
+        // Unrelated graph: miss.
+        assert_eq!(c.lookup(42, 2, 3), Lookup::Miss);
+    }
+
+    #[test]
+    fn insert_keeps_the_better_strategy() {
+        let mut c = StrategyCache::new();
+        assert!(c.insert(entry(1, 2, 3, 100.0)));
+        assert!(!c.insert(entry(1, 2, 3, 100.0)), "ties keep the incumbent");
+        assert!(!c.insert(entry(1, 2, 3, 150.0)), "worse is rejected");
+        assert!(c.insert(entry(1, 2, 3, 50.0)), "better replaces");
+        assert_eq!(c.len(), 1);
+        let Lookup::Hit(h) = c.lookup(1, 2, 3) else {
+            panic!("expected hit")
+        };
+        assert!((h.record.cost_us - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("ff-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        assert!(StrategyCache::load(&path).unwrap().is_empty());
+
+        let mut c = StrategyCache::new();
+        c.insert(entry(1, 2, 3, 100.0));
+        c.insert(entry(4, 5, 6, 200.0));
+        c.save(&path).unwrap();
+
+        let back = StrategyCache::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        let pairs: Vec<_> = back.entries().collect();
+        let orig: Vec<_> = c.entries().collect();
+        assert_eq!(pairs, orig);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_cache_files_error_cleanly() {
+        let dir = std::env::temp_dir().join(format!("ff-cache-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(StrategyCache::load(&path).is_err());
+
+        std::fs::write(&path, r#"{"version":999,"entries":[]}"#).unwrap();
+        let err = StrategyCache::load(&path).unwrap_err();
+        assert!(err.contains("v999"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_record_versions_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("ff-cache-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        let mut good = StrategyCache::new();
+        good.insert(entry(1, 2, 3, 100.0));
+        let mut stale = entry(7, 8, 9, 50.0);
+        stale.record.version = FORMAT_VERSION + 1;
+        // Write a file containing both by hand.
+        let file = CacheFile {
+            version: CACHE_FILE_VERSION,
+            entries: vec![entry(1, 2, 3, 100.0), stale],
+        };
+        std::fs::write(&path, serde_json::to_string(&file).unwrap()).unwrap();
+
+        let back = StrategyCache::load(&path).unwrap();
+        assert_eq!(back.len(), 1, "stale entry dropped, good one kept");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

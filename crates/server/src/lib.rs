@@ -1,0 +1,46 @@
+//! `flexflow-server` — the concurrent strategy-serving daemon.
+//!
+//! The paper's end product is a *strategy*: a placement/parallelization
+//! plan found once by MCMC search and reused for an entire training run.
+//! That makes the optimizer a natural request/response service with
+//! aggressive caching — clients name a `(model, cluster, budget)` triple,
+//! and the daemon answers from a persistent **content-addressed strategy
+//! cache**, warm-starting the search from near-miss entries instead of
+//! re-deriving everything from data parallelism:
+//!
+//! ```text
+//!  client ── {"model":"rnnlm","gpus":4,"evals":2000} ──>  flexflow serve
+//!                                                           │
+//!                        key = (graph sig, topo sig, budget class)
+//!                                                           │
+//!                 ┌── hit ──── cached record, 0 evaluations │
+//!                 ├── warm ─── remap cached strategy, seed ParallelSearch
+//!                 └── cold ─── search from data-parallel + expert seeds
+//! ```
+//!
+//! - [`protocol`] — the line-delimited JSON request/response surface;
+//! - [`cache`] — the content-addressed cache and its on-disk format;
+//! - [`server`] — the worker pool and the oneshot/socket front-ends.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flexflow_server::server::{Server, ServerConfig};
+//!
+//! let server = Server::new(ServerConfig::default());
+//! let resp = server.handle_line(r#"{"model":"lenet","gpus":2,"evals":20,"seed":1}"#);
+//! assert!(resp.contains(r#""cache":"cold""#));
+//! // The same request again is a pure cache hit: zero evaluations.
+//! let resp = server.handle_line(r#"{"model":"lenet","gpus":2,"evals":20,"seed":1}"#);
+//! assert!(resp.contains(r#""cache":"hit""#));
+//! assert!(resp.contains(r#""evals":0"#));
+//! ```
+
+#![warn(missing_docs)]
+pub mod cache;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{budget_class, CacheEntry, CacheKey, Lookup, StrategyCache};
+pub use protocol::{parse_request, Request, SearchRequest};
+pub use server::{CacheOutcome, Server, ServerConfig};

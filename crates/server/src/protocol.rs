@@ -1,0 +1,257 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, in order. The
+//! protocol is deliberately tiny and self-describing so `nc -U` and shell
+//! pipelines are first-class clients:
+//!
+//! ```text
+//! {"cmd":"search","model":"rnnlm","gpus":4,"evals":2000,"seed":42}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Every `search` field except `model` is optional; `cmd` itself defaults
+//! to `"search"`, so `{"model":"rnnlm"}` is a complete request. Unknown
+//! fields are ignored (forward compatibility); malformed lines produce an
+//! in-band `{"status":"error",...}` response, never a dead connection.
+//!
+//! Responses to `search` report how the answer was produced:
+//!
+//! - `"cache":"hit"` — answered straight from the content-addressed
+//!   cache, zero simulator evaluations;
+//! - `"cache":"warm"` — a near-miss entry (same op graph, different
+//!   topology or smaller budget) seeded the search;
+//! - `"cache":"cold"` — full search from the data-parallel and expert
+//!   seeds.
+
+use flexflow_device::DeviceKind;
+use serde::Value;
+
+/// Cap on the per-request evaluation budget: a typo'd `"evals": 1e12`
+/// must not wedge a worker for hours.
+pub const MAX_EVALS: u64 = 1_000_000;
+
+/// Cap on requested cluster size (the paper's largest is 64 GPUs).
+pub const MAX_GPUS: usize = 256;
+
+/// Cap on requested search chains per request.
+pub const MAX_CHAINS: usize = 64;
+
+/// Models the server can build, in [`flexflow_opgraph::zoo::by_name`]'s
+/// vocabulary.
+pub const KNOWN_MODELS: [&str; 8] = [
+    "lenet",
+    "alexnet",
+    "vgg16",
+    "inception_v3",
+    "resnet101",
+    "rnntc",
+    "rnnlm",
+    "nmt",
+];
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Find (or serve) the best strategy for a `(model, cluster)` pair.
+    Search(SearchRequest),
+    /// Report cache and traffic counters.
+    Stats,
+    /// Stop accepting work and exit the serve loop.
+    Shutdown,
+}
+
+/// Parameters of a strategy-search request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// Zoo model name (see [`KNOWN_MODELS`]).
+    pub model: String,
+    /// Cluster size in GPUs.
+    pub gpus: usize,
+    /// Cluster flavour.
+    pub cluster: DeviceKind,
+    /// MCMC evaluation budget (per initial candidate, as everywhere else
+    /// in the optimizer).
+    pub evals: u64,
+    /// Search seed.
+    pub seed: u64,
+    /// Parallel search chains.
+    pub chains: usize,
+    /// Skip the cache lookup and force a fresh search (the result still
+    /// updates the cache).
+    pub refresh: bool,
+}
+
+impl SearchRequest {
+    /// The defaults a bare `{"model": ...}` request gets.
+    pub fn new(model: impl Into<String>) -> Self {
+        Self {
+            model: model.into(),
+            gpus: 4,
+            cluster: DeviceKind::P100,
+            evals: 2000,
+            seed: 42,
+            chains: 1,
+            refresh: false,
+        }
+    }
+}
+
+fn field_u64(v: &Value, key: &str, max: u64, out: &mut u64) -> Result<(), String> {
+    if let Some(f) = v.get_field(key) {
+        let n = f
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))?;
+        if n > max {
+            return Err(format!("field {key:?} is capped at {max}, got {n}"));
+        }
+        *out = n;
+    }
+    Ok(())
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, unknown commands
+/// or models, and out-of-range fields. The server ships the message back
+/// in-band as an error response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("malformed request: {e}"))?;
+    if v.as_object().is_none() {
+        return Err("request must be a JSON object".into());
+    }
+    let cmd = match v.get_field("cmd") {
+        None => "search",
+        Some(c) => c
+            .as_str()
+            .ok_or_else(|| "field \"cmd\" must be a string".to_string())?,
+    };
+    match cmd {
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "search" => {
+            let model = v
+                .get_field("model")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "search needs a string field \"model\"".to_string())?;
+            if !KNOWN_MODELS.contains(&model) {
+                return Err(format!(
+                    "unknown model {model:?} (known: {})",
+                    KNOWN_MODELS.join(", ")
+                ));
+            }
+            let mut r = SearchRequest::new(model);
+            let mut gpus = r.gpus as u64;
+            field_u64(&v, "gpus", MAX_GPUS as u64, &mut gpus)?;
+            if gpus == 0 {
+                return Err("field \"gpus\" must be at least 1".into());
+            }
+            r.gpus = gpus as usize;
+            field_u64(&v, "evals", MAX_EVALS, &mut r.evals)?;
+            if r.evals == 0 {
+                return Err("field \"evals\" must be at least 1".into());
+            }
+            field_u64(&v, "seed", u64::MAX, &mut r.seed)?;
+            let mut chains = r.chains as u64;
+            field_u64(&v, "chains", MAX_CHAINS as u64, &mut chains)?;
+            if chains == 0 {
+                return Err("field \"chains\" must be at least 1".into());
+            }
+            r.chains = chains as usize;
+            if let Some(c) = v.get_field("cluster") {
+                let name = c
+                    .as_str()
+                    .ok_or_else(|| "field \"cluster\" must be a string".to_string())?;
+                r.cluster = match name {
+                    "p100" => DeviceKind::P100,
+                    "k80" => DeviceKind::K80,
+                    other => return Err(format!("unknown cluster {other:?} (p100|k80)")),
+                };
+            }
+            if let Some(f) = v.get_field("refresh") {
+                r.refresh = f
+                    .as_bool()
+                    .ok_or_else(|| "field \"refresh\" must be a boolean".to_string())?;
+            }
+            Ok(Request::Search(r))
+        }
+        other => Err(format!("unknown cmd {other:?} (search|stats|shutdown)")),
+    }
+}
+
+/// Renders an in-band error response line (without trailing newline).
+pub fn error_response(message: &str) -> String {
+    serde_json::to_string(&serde_json::json!({
+        "status": "error",
+        "error": message,
+    }))
+    .expect("serialize error response")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_explicit_fields() {
+        let r = parse_request(r#"{"model":"rnnlm"}"#).unwrap();
+        assert_eq!(r, Request::Search(SearchRequest::new("rnnlm")));
+
+        let r = parse_request(
+            r#"{"cmd":"search","model":"nmt","gpus":8,"cluster":"k80","evals":10,"seed":7,"chains":2,"refresh":true}"#,
+        )
+        .unwrap();
+        let Request::Search(s) = r else {
+            panic!("expected search")
+        };
+        assert_eq!(s.model, "nmt");
+        assert_eq!(s.gpus, 8);
+        assert_eq!(s.cluster, DeviceKind::K80);
+        assert_eq!(s.evals, 10);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.chains, 2);
+        assert!(s.refresh);
+    }
+
+    #[test]
+    fn control_commands_parse() {
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2,3]",
+            r#"{"cmd":"search"}"#,
+            r#"{"model":"made-up-model"}"#,
+            r#"{"model":"rnnlm","gpus":0}"#,
+            r#"{"model":"rnnlm","evals":0}"#,
+            r#"{"model":"rnnlm","chains":0}"#,
+            r#"{"model":"rnnlm","gpus":100000}"#,
+            r#"{"model":"rnnlm","evals":99999999999}"#,
+            r#"{"model":"rnnlm","cluster":"tpu"}"#,
+            r#"{"model":"rnnlm","refresh":"yes"}"#,
+            r#"{"cmd":"frobnicate"}"#,
+            r#"{"cmd":7}"#,
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(!err.is_empty(), "no message for {bad:?}");
+            let resp = error_response(&err);
+            assert!(resp.contains("\"status\""), "unrenderable: {resp}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let r = parse_request(r#"{"model":"lenet","future_knob":123}"#).unwrap();
+        assert!(matches!(r, Request::Search(_)));
+    }
+}

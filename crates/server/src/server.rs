@@ -1,0 +1,578 @@
+//! The serving engine: request handling, the bounded worker pool, and the
+//! two front-ends (batch/oneshot streams and a Unix-domain socket).
+//!
+//! # Architecture
+//!
+//! ```text
+//!   stdin line / socket line
+//!        |  parse (cheap, on the connection thread)
+//!        v
+//!   bounded job queue  --->  worker 0..N   (each worker's searches own
+//!        |                                  their Simulators exclusively:
+//!        |                                  task graph, timeline, undo
+//!        v                                  journals are per-thread)
+//!   response line, in request order per connection
+//! ```
+//!
+//! Every search answer goes through the content-addressed
+//! [`StrategyCache`]:
+//!
+//! - **hit** — same graph + topology, searched at least as hard: the
+//!   stored record is structurally validated
+//!   ([`strategy_io::import_structural`]; op names are *not* re-checked,
+//!   matching the name-insensitive cache key) and served with **zero**
+//!   simulator evaluations;
+//! - **warm** — same graph, different topology or smaller budget: the
+//!   cached dump is remapped onto the request's topology
+//!   ([`strategy_io::remap_onto`]) and seeds
+//!   [`ParallelSearch::search_warm`], which typically reaches cold-search
+//!   quality in a fraction of the evaluations;
+//! - **cold** — full search from the data-parallel and expert seeds.
+//!
+//! Results always update the cache (and its on-disk file, atomically), so
+//! the daemon converges toward answering its steady-state traffic from
+//! memory.
+
+use crate::cache::{budget_class, CacheEntry, Lookup, StrategyCache};
+use crate::protocol::{self, Request, SearchRequest};
+use flexflow_baselines::expert;
+use flexflow_core::strategy_io::{self, StrategyDump, StrategyRecord};
+use flexflow_core::{Budget, ParallelSearch, SimConfig, Strategy};
+use flexflow_costmodel::MeasuredCostModel;
+use flexflow_device::{clusters, DeviceKind, Topology};
+use flexflow_opgraph::{graph_signature, zoo, OpGraph};
+use serde::Value;
+use serde_json::json;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads answering search requests (the pool bound).
+    pub workers: usize,
+    /// Cache persistence file; `None` keeps the cache in memory only.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            cache_path: None,
+        }
+    }
+}
+
+/// Traffic counters, updated lock-free by the workers.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Total requests handled (including errors).
+    pub requests: AtomicU64,
+    /// Search answers served straight from the cache.
+    pub hits: AtomicU64,
+    /// Search answers produced by warm-started search.
+    pub warm: AtomicU64,
+    /// Search answers produced by cold search.
+    pub cold: AtomicU64,
+    /// Requests answered with an error response.
+    pub errors: AtomicU64,
+}
+
+/// The strategy-serving daemon. One instance is shared by all workers and
+/// connections; the cache sits behind a mutex (lookups and inserts are
+/// microseconds — searches, the expensive part, run outside the lock).
+pub struct Server {
+    cfg: ServerConfig,
+    cache: Mutex<StrategyCache>,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+}
+
+/// How a search answer was produced (the response's `cache` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the cache, zero evaluations.
+    Hit,
+    /// Warm-started from a near-miss entry.
+    Warm,
+    /// Searched from scratch.
+    Cold,
+}
+
+impl CacheOutcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Warm => "warm",
+            CacheOutcome::Cold => "cold",
+        }
+    }
+}
+
+fn cluster_name(kind: DeviceKind) -> &'static str {
+    match kind {
+        DeviceKind::P100 => "p100",
+        DeviceKind::K80 => "k80",
+        DeviceKind::Test => "test",
+    }
+}
+
+impl Server {
+    /// Creates a server, loading the cache file if configured. A corrupt
+    /// cache file is reported on stderr and replaced by an empty cache —
+    /// a serving daemon must come up even when its disk state is bad.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let cache = match &cfg.cache_path {
+            None => StrategyCache::new(),
+            Some(path) => StrategyCache::load(path).unwrap_or_else(|e| {
+                eprintln!("flexflow serve: starting with an empty cache: {e}");
+                StrategyCache::new()
+            }),
+        };
+        Self {
+            cfg,
+            cache: Mutex::new(cache),
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The live traffic counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Number of cached strategies.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether a shutdown request has been accepted.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Handles one raw request line and returns the response line
+    /// (without trailing newline). Never panics on untrusted input.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        match protocol::parse_request(line) {
+            Err(e) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                protocol::error_response(&e)
+            }
+            Ok(Request::Stats) => self.stats_response(),
+            Ok(Request::Shutdown) => {
+                self.shutdown.store(true, Ordering::Release);
+                serde_json::to_string(&json!({"status": "ok", "shutting_down": true}))
+                    .expect("serialize response")
+            }
+            Ok(Request::Search(req)) => self.handle_search(&req),
+        }
+    }
+
+    fn stats_response(&self) -> String {
+        let s = &self.stats;
+        serde_json::to_string(&json!({
+            "status": "ok",
+            "entries": self.cache_len(),
+            "requests": s.requests.load(Ordering::Relaxed),
+            "hits": s.hits.load(Ordering::Relaxed),
+            "warm": s.warm.load(Ordering::Relaxed),
+            "cold": s.cold.load(Ordering::Relaxed),
+            "errors": s.errors.load(Ordering::Relaxed),
+        }))
+        .expect("serialize response")
+    }
+
+    /// Answers a search request from the cache when possible, otherwise by
+    /// (warm-started) search; updates the cache with whatever it learned.
+    fn handle_search(&self, req: &SearchRequest) -> String {
+        let (graph, topo) = build_workload(req);
+        let graph_sig = graph_signature(&graph);
+        let topo_sig = topo.signature();
+        let class = budget_class(req.evals);
+
+        // Phase 1 (under the lock, microseconds): classify the request and
+        // clone out whatever the cache can contribute. Entries are
+        // immutable once stored, so validation happens after the lock is
+        // released — hits must not serialize on graph-sized work.
+        let mut outcome = CacheOutcome::Cold;
+        let mut warm_dump: Option<StrategyDump> = None;
+        let mut hit: Option<(String, StrategyRecord)> = None;
+        if !req.refresh {
+            let cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            match cache.lookup(graph_sig, topo_sig, class) {
+                Lookup::Hit(entry) => {
+                    hit = entry.key().map(|k| (k.address(), entry.record.clone()));
+                }
+                Lookup::Warm(entry) => warm_dump = Some(entry.record.dump.clone()),
+                Lookup::Miss => {}
+            }
+        }
+
+        if let Some((address, record)) = hit {
+            // Validate before serving: a hash collision or corrupt record
+            // must degrade to a cold search, not a panic or a wrong
+            // answer. Validation is *structural* (shape, device range,
+            // config legality) — the cache key is the name-insensitive
+            // graph signature, so op names must not be re-checked here.
+            if record.version == strategy_io::FORMAT_VERSION
+                && strategy_io::import_structural(&graph, &topo, &record.dump).is_ok()
+            {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return self.search_response(
+                    req,
+                    CacheOutcome::Hit,
+                    class,
+                    record.cost_us,
+                    0,
+                    record.evals,
+                    &record.dump,
+                );
+            }
+            // Evict the invalid entry: `insert`'s lower-cost-wins rule
+            // would otherwise let a corrupt record with an optimistic
+            // cost pin this address and force a cold search on every
+            // future request.
+            let snapshot = {
+                let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+                (cache.remove(&address).is_some() && self.cfg.cache_path.is_some())
+                    .then(|| cache.snapshot_json())
+            };
+            self.persist(snapshot);
+        }
+
+        // Phase 2 (no lock): the actual search. Simulators live and die
+        // inside this call, owned by the calling worker thread.
+        let cost = MeasuredCostModel::paper_default();
+        let ps = ParallelSearch::with_chains(req.seed, req.chains);
+        let budget = Budget::evaluations(req.evals);
+        let warm_seed =
+            warm_dump.and_then(|dump| strategy_io::remap_onto(&graph, &topo, &dump).ok());
+        let result = match warm_seed {
+            Some(seed) => {
+                outcome = CacheOutcome::Warm;
+                ps.search_warm(&graph, &topo, &cost, seed, budget, SimConfig::default())
+            }
+            None => {
+                let initials = [
+                    Strategy::data_parallel(&graph, &topo),
+                    expert::strategy(&graph, &topo),
+                ];
+                ps.search(
+                    &graph,
+                    &topo,
+                    &cost,
+                    &initials,
+                    budget,
+                    SimConfig::default(),
+                )
+            }
+        };
+        match outcome {
+            CacheOutcome::Warm => self.stats.warm.fetch_add(1, Ordering::Relaxed),
+            _ => self.stats.cold.fetch_add(1, Ordering::Relaxed),
+        };
+
+        // Phase 3 (under the lock again): teach the cache, persist.
+        let record = strategy_io::export_record(
+            &graph,
+            &topo,
+            &result.best,
+            result.best_cost_us,
+            result.evals,
+        );
+        let dump = record.dump.clone();
+        let entry = CacheEntry {
+            budget_class: class,
+            model: req.model.clone(),
+            gpus: req.gpus,
+            cluster: cluster_name(req.cluster).to_string(),
+            record,
+        };
+        // Take a consistent snapshot under the lock, but keep the disk
+        // write (serialize + fsync + rename) outside it — concurrent hit
+        // lookups must never stall on I/O.
+        let snapshot = {
+            let mut cache = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+            (cache.insert(entry) && self.cfg.cache_path.is_some()).then(|| cache.snapshot_json())
+        };
+        self.persist(snapshot);
+
+        self.search_response(
+            req,
+            outcome,
+            class,
+            result.best_cost_us,
+            result.evals,
+            result.evals,
+            &dump,
+        )
+    }
+
+    /// Writes a cache snapshot taken under the lock out to disk, outside
+    /// the lock. `None` means nothing changed (or no cache file is
+    /// configured); persistence failures are logged, never fatal.
+    fn persist(&self, snapshot: Option<String>) {
+        if let (Some(json), Some(path)) = (snapshot, &self.cfg.cache_path) {
+            if let Err(e) = crate::cache::write_snapshot(path, &json) {
+                eprintln!("flexflow serve: cannot persist cache to {path:?}: {e}");
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search_response(
+        &self,
+        req: &SearchRequest,
+        outcome: CacheOutcome,
+        class: u32,
+        cost_us: f64,
+        evals: u64,
+        cached_evals: u64,
+        dump: &StrategyDump,
+    ) -> String {
+        serde_json::to_string(&json!({
+            "status": "ok",
+            "cache": outcome.as_str(),
+            "model": req.model,
+            "gpus": req.gpus,
+            "cluster": cluster_name(req.cluster),
+            "budget_class": class,
+            "cost_us": cost_us,
+            "evals": evals,
+            "cached_evals": cached_evals,
+            "strategy": dump,
+        }))
+        .expect("serialize response")
+    }
+
+    /// Batch ("oneshot") mode: reads every request line from `input`,
+    /// fans the parsed jobs across the worker pool, and writes one
+    /// response line per request **in input order**. Used by
+    /// `flexflow serve --oneshot`, the CLI smoke tests, and the
+    /// `serve_throughput` benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading `input` or writing `output`.
+    pub fn run_batch(&self, input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+        let lines: Vec<String> = input.lines().collect::<Result<_, _>>()?;
+        let responses = self.handle_batch(&lines);
+        for r in responses {
+            writeln!(output, "{r}")?;
+        }
+        output.flush()
+    }
+
+    /// The worker-pool core of [`Server::run_batch`]: answers each line,
+    /// preserving order, with at most `cfg.workers` searches in flight.
+    pub fn handle_batch(&self, lines: &[String]) -> Vec<String> {
+        let n = lines.len();
+        let mut responses: Vec<Option<String>> = vec![None; n];
+        if n == 0 {
+            return Vec::new();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|s| {
+            for _ in 0..self.cfg.workers.max(1).min(n) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let resp = self.handle_line(&lines[i]);
+                    results
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((i, resp));
+                });
+            }
+        });
+        for (i, r) in results.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            responses[i] = Some(r);
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
+    /// Socket mode: listens on a Unix-domain socket, one thread per
+    /// connection, searches dispatched through a bounded job queue onto
+    /// the worker pool. Responses stream back per connection in request
+    /// order. Returns when a client sends `{"cmd":"shutdown"}`; idle
+    /// connections notice the flag within half a second (reads are
+    /// timeout-based) and never block the shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/accept errors, and refuses to replace a
+    /// path that exists but is not a socket.
+    #[cfg(unix)]
+    pub fn run_socket(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::os::unix::net::{UnixListener, UnixStream};
+
+        // A stale socket file from a crashed daemon would fail the bind —
+        // but only ever delete actual sockets, not whatever file a typo'd
+        // --socket points at.
+        if path.exists() {
+            use std::os::unix::fs::FileTypeExt;
+            if std::fs::symlink_metadata(path)?.file_type().is_socket() {
+                std::fs::remove_file(path)?;
+            } else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    format!("{} exists and is not a socket", path.display()),
+                ));
+            }
+        }
+        let listener = UnixListener::bind(path)?;
+
+        struct Job {
+            line: String,
+            reply: mpsc::Sender<String>,
+        }
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(self.cfg.workers.max(1) * 4);
+        let job_rx = Mutex::new(job_rx);
+
+        std::thread::scope(|s| {
+            // The bounded pool: workers block on the queue, searches never
+            // oversubscribe beyond `cfg.workers`.
+            for _ in 0..self.cfg.workers.max(1) {
+                s.spawn(|| {
+                    loop {
+                        let job = {
+                            let rx = job_rx.lock().unwrap_or_else(|e| e.into_inner());
+                            rx.recv()
+                        };
+                        let Ok(job) = job else { break };
+                        // A hung-up client is not a server error.
+                        let _ = job.reply.send(self.handle_line(&job.line));
+                    }
+                });
+            }
+
+            let mut result = Ok(());
+            for stream in listener.incoming() {
+                if self.shutting_down() {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(e) => {
+                        // Raise the flag so live connection threads drain
+                        // on their next read timeout — otherwise the
+                        // scope join below would wedge on them and the
+                        // error would never surface.
+                        self.shutdown.store(true, Ordering::Release);
+                        result = Err(e);
+                        break;
+                    }
+                };
+                let job_tx = job_tx.clone();
+                let sock_path = path.to_path_buf();
+                s.spawn(move || {
+                    // Timeout-based reads: an idle client must not pin this
+                    // thread (and through it the whole scope) past a
+                    // shutdown — on every timeout the flag is re-checked.
+                    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+                    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    });
+                    let mut writer = std::io::BufWriter::new(stream);
+                    let mut line = String::new();
+                    loop {
+                        match reader.read_line(&mut line) {
+                            Ok(0) => break, // EOF: client hung up
+                            Ok(_) => {
+                                if !line.trim().is_empty() {
+                                    let (reply_tx, reply_rx) = mpsc::channel();
+                                    let job = Job {
+                                        line: std::mem::take(&mut line),
+                                        reply: reply_tx,
+                                    };
+                                    if job_tx.send(job).is_err() {
+                                        break;
+                                    }
+                                    let Ok(resp) = reply_rx.recv() else { break };
+                                    if writeln!(writer, "{resp}")
+                                        .and_then(|()| writer.flush())
+                                        .is_err()
+                                    {
+                                        break;
+                                    }
+                                }
+                                line.clear();
+                                if self.shutting_down() {
+                                    // Poke the accept loop awake so it
+                                    // observes the flag and exits.
+                                    let _ = UnixStream::connect(&sock_path);
+                                    break;
+                                }
+                            }
+                            // Timed out with no (complete) line: `line`
+                            // keeps any partial read and the next
+                            // read_line call appends to it.
+                            Err(e)
+                                if matches!(
+                                    e.kind(),
+                                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                                ) =>
+                            {
+                                if self.shutting_down() {
+                                    break;
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                });
+            }
+            // Closing the sender drains and stops the workers.
+            drop(job_tx);
+            result
+        })?;
+        std::fs::remove_file(path).ok();
+        Ok(())
+    }
+
+    /// Socket mode is Unix-only (Unix-domain sockets); this stub keeps
+    /// the `flexflow` binary compiling on other targets, where
+    /// `--oneshot` remains available.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`std::io::ErrorKind::Unsupported`].
+    #[cfg(not(unix))]
+    pub fn run_socket(&self, _path: &std::path::Path) -> std::io::Result<()> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "socket mode needs Unix domain sockets; use --oneshot on this platform",
+        ))
+    }
+}
+
+/// Builds the `(graph, topology)` pair a search request names — shared by
+/// the server and the benchmarks so cache keys line up.
+pub fn build_workload(req: &SearchRequest) -> (OpGraph, Topology) {
+    let batch = if req.model == "alexnet" { 256 } else { 64 };
+    (
+        zoo::by_name(&req.model, batch),
+        clusters::paper_cluster(req.cluster, req.gpus),
+    )
+}
+
+/// Convenience: extracts a named top-level field from a response line
+/// (test/bench helper — responses are flat JSON objects).
+pub fn response_field(line: &str, key: &str) -> Option<Value> {
+    let v: Value = serde_json::from_str(line).ok()?;
+    v.get_field(key).cloned()
+}

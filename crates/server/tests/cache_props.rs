@@ -1,0 +1,121 @@
+//! Property tests for the content-addressed cache key: the whole serving
+//! design rests on the key being (a) *stable* — surviving every
+//! serialize→deserialize boundary a record crosses — and (b) *canonical* —
+//! two isomorphic builder call sequences must address the same entry.
+
+use flexflow_core::strategy_io::{self, StrategyRecord};
+use flexflow_core::{soap::ConfigSpace, Strategy};
+use flexflow_device::clusters;
+use flexflow_opgraph::{graph_signature, OpGraph, OpKind};
+use flexflow_server::{budget_class, CacheEntry};
+use flexflow_tensor::TensorShape;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A two-tower MLP whose builder call order is controlled per layer by
+/// `order_bits`: bit `i` decides which tower's `i`-th layer is inserted
+/// first. Every value of `order_bits` yields the *same* dataflow graph,
+/// inserted in a different (valid) topological order, with different op
+/// names and layer-id numbering — exactly the variation the canonical
+/// signature must erase.
+fn two_tower_mlp(widths: &[u64], order_bits: u64, name_salt: u64) -> OpGraph {
+    let mut g = OpGraph::new(format!("mlp-{order_bits}"));
+    let x = g.add_input(format!("x{name_salt}"), TensorShape::new(&[8, 32]));
+    let mut heads = [x, x];
+    for (i, &w) in widths.iter().enumerate() {
+        let first = (order_bits >> i & 1) as usize;
+        for t in [first, 1 - first] {
+            let name = format!("t{t}l{i}s{name_salt}");
+            heads[t] = g
+                .add_op(OpKind::Linear { out_features: w }, &[heads[t]], name)
+                .unwrap();
+        }
+    }
+    g.add_op(OpKind::Add, &[heads[0], heads[1]], "merge")
+        .unwrap();
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Isomorphic builder call sequences (any insertion interleaving, any
+    /// names) produce the same graph signature, hence the same address.
+    #[test]
+    fn cache_key_is_insensitive_to_op_insertion_order(
+        w1 in 1u64..5,
+        w2 in 1u64..5,
+        w3 in 1u64..5,
+        order_a in 0u64..8,
+        order_b in 0u64..8,
+        salt in 0u64..1000,
+    ) {
+        let widths = [w1 * 8, w2 * 8, w3 * 8];
+        let a = two_tower_mlp(&widths, order_a, 0);
+        let b = two_tower_mlp(&widths, order_b, salt);
+        prop_assert_eq!(graph_signature(&a), graph_signature(&b));
+    }
+
+    /// A strategy record survives export → JSON → import → re-export with
+    /// its cache key (signatures + budget class) and payload intact.
+    #[test]
+    fn cache_key_is_stable_under_serde_roundtrips(
+        seed in 0u64..1000,
+        gpus in 1usize..5,
+        evals in 1u64..5000,
+        model_pick in 0usize..3,
+    ) {
+        let graph = match model_pick {
+            0 => flexflow_opgraph::zoo::lenet(64),
+            1 => flexflow_opgraph::zoo::rnnlm(64, 3),
+            _ => two_tower_mlp(&[16, 8], seed % 8, seed),
+        };
+        let topo = clusters::uniform_cluster(1, gpus, 16.0, 4.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let strategy = Strategy::random(&graph, &topo, ConfigSpace::Full, &mut rng);
+        let record = strategy_io::export_record(&graph, &topo, &strategy, 123.0, evals);
+
+        // Record-level JSON roundtrip.
+        let json = serde_json::to_string(&record).unwrap();
+        let back: StrategyRecord = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &record);
+
+        // Entry-level roundtrip (the form the cache file stores) keeps the
+        // content address bit-for-bit.
+        let entry = CacheEntry {
+            budget_class: budget_class(evals),
+            model: graph.name().to_string(),
+            gpus,
+            cluster: "test".into(),
+            record: back,
+        };
+        let entry_json = serde_json::to_string(&entry).unwrap();
+        let entry_back: CacheEntry = serde_json::from_str(&entry_json).unwrap();
+        let key = entry.key().expect("key parses");
+        let key_back = entry_back.key().expect("roundtripped key parses");
+        prop_assert_eq!(key.address(), key_back.address());
+
+        // And the strategy itself reimports identically: same signatures,
+        // same configs.
+        let restored = strategy_io::import_record(&graph, &topo, &entry_back.record).unwrap();
+        prop_assert_eq!(&restored, &strategy);
+        prop_assert_eq!(
+            key.graph_sig,
+            graph_signature(&graph),
+            "address matches a fresh graph hash"
+        );
+        prop_assert_eq!(key.topo_sig, topo.signature());
+    }
+
+    /// Budget classes are monotone and bucket powers of two together —
+    /// the property the hit rule (`entry.class >= request.class`) needs.
+    #[test]
+    fn budget_class_is_monotone(a in 1u64..100_000, b in 1u64..100_000) {
+        if a <= b {
+            prop_assert!(budget_class(a) <= budget_class(b));
+        } else {
+            prop_assert!(budget_class(a) >= budget_class(b));
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! End-to-end tests of the serving engine: hit/warm/cold classification,
+//! batch-mode ordering under the worker pool, persistence across daemon
+//! restarts, and the Unix-socket front-end.
+
+use flexflow_server::server::response_field;
+use flexflow_server::{Server, ServerConfig};
+
+fn field_str(resp: &str, key: &str) -> String {
+    response_field(resp, key)
+        .and_then(|v| v.as_str().map(str::to_string))
+        .unwrap_or_else(|| panic!("no string field {key:?} in {resp}"))
+}
+
+fn field_u64(resp: &str, key: &str) -> u64 {
+    response_field(resp, key)
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("no numeric field {key:?} in {resp}"))
+}
+
+fn field_f64(resp: &str, key: &str) -> f64 {
+    response_field(resp, key)
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("no numeric field {key:?} in {resp}"))
+}
+
+/// A fast search request: lenet on a 2-GPU node with a tiny budget.
+fn lenet_req(evals: u64, extra: &str) -> String {
+    format!(r#"{{"model":"lenet","gpus":2,"evals":{evals},"seed":3{extra}}}"#)
+}
+
+#[test]
+fn cold_then_hit_then_warm_lifecycle() {
+    let server = Server::new(ServerConfig::default());
+
+    // First contact: cold search.
+    let r1 = server.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r1, "status"), "ok");
+    assert_eq!(field_str(&r1, "cache"), "cold");
+    assert!(field_u64(&r1, "evals") > 0, "cold search must evaluate");
+    let cold_cost = field_f64(&r1, "cost_us");
+    assert!(cold_cost > 0.0);
+
+    // Same request: pure hit, zero simulator evaluations, same answer.
+    let r2 = server.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r2, "cache"), "hit");
+    assert_eq!(field_u64(&r2, "evals"), 0);
+    assert_eq!(field_f64(&r2, "cost_us").to_bits(), cold_cost.to_bits());
+    assert!(
+        field_u64(&r2, "cached_evals") > 0,
+        "hit reports the cached effort"
+    );
+
+    // Smaller budget, same model+topology: the harder-searched entry
+    // still answers (class 6 covers class 4).
+    let r3 = server.handle_line(&lenet_req(10, ""));
+    assert_eq!(field_str(&r3, "cache"), "hit");
+
+    // Larger budget: near-miss — warm-started search, which then caches
+    // its own (harder) entry.
+    let r4 = server.handle_line(&lenet_req(300, ""));
+    assert_eq!(field_str(&r4, "cache"), "warm");
+    assert!(field_u64(&r4, "evals") > 0);
+    assert!(
+        field_f64(&r4, "cost_us") <= cold_cost + 1e-9,
+        "warm start can only improve on its seed"
+    );
+
+    // Different topology, same graph: also warm (remapped seed).
+    let r5 = server.handle_line(r#"{"model":"lenet","gpus":4,"evals":40,"seed":3}"#);
+    assert_eq!(field_str(&r5, "cache"), "warm");
+
+    // refresh bypasses the cache but still answers.
+    let r6 = server.handle_line(&lenet_req(40, r#","refresh":true"#));
+    assert_eq!(field_str(&r6, "cache"), "cold");
+
+    // Stats reflect the traffic.
+    let stats = server.handle_line(r#"{"cmd":"stats"}"#);
+    assert_eq!(field_u64(&stats, "hits"), 2);
+    assert_eq!(field_u64(&stats, "warm"), 2);
+    assert_eq!(field_u64(&stats, "cold"), 2);
+    assert_eq!(field_u64(&stats, "requests"), 7);
+    assert!(field_u64(&stats, "entries") >= 2);
+}
+
+#[test]
+fn batch_mode_preserves_order_across_the_pool() {
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        cache_path: None,
+    });
+    let mut lines = vec![
+        lenet_req(30, ""),
+        "garbage".to_string(),
+        lenet_req(30, ""), // may hit or cold depending on scheduling; status ok either way
+        r#"{"cmd":"stats"}"#.to_string(),
+    ];
+    // Pad with more work than workers to exercise queuing.
+    for _ in 0..4 {
+        lines.push(lenet_req(25, ""));
+    }
+    let responses = server.handle_batch(&lines);
+    assert_eq!(responses.len(), lines.len());
+    assert_eq!(field_str(&responses[0], "status"), "ok");
+    assert_eq!(field_str(&responses[1], "status"), "error");
+    assert_eq!(field_str(&responses[2], "status"), "ok");
+    assert!(response_field(&responses[3], "requests").is_some());
+    for r in &responses[4..] {
+        assert_eq!(field_str(r, "status"), "ok");
+        assert_eq!(field_str(r, "model"), "lenet");
+    }
+}
+
+#[test]
+fn run_batch_writes_one_line_per_request() {
+    let server = Server::new(ServerConfig::default());
+    let input = format!("{}\n\n{}\n", lenet_req(20, ""), r#"{"cmd":"stats"}"#);
+    let mut out = Vec::new();
+    server
+        .run_batch(std::io::BufReader::new(input.as_bytes()), &mut out)
+        .unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // The blank line is a (malformed) request too: in-band error.
+    assert_eq!(lines.len(), 3);
+    assert_eq!(field_str(lines[0], "cache"), "cold");
+    assert_eq!(field_str(lines[1], "status"), "error");
+    assert!(response_field(lines[2], "entries").is_some());
+}
+
+#[test]
+fn cache_persists_across_server_restarts() {
+    let dir = std::env::temp_dir().join(format!("ff-serve-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_path = dir.join("strategies.json");
+
+    let cfg = ServerConfig {
+        workers: 1,
+        cache_path: Some(cache_path.clone()),
+    };
+    let first = Server::new(cfg.clone());
+    let r1 = first.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r1, "cache"), "cold");
+    assert!(cache_path.exists(), "cache file written on insert");
+    drop(first);
+
+    // A fresh daemon answers the same request from disk: zero evals.
+    let second = Server::new(cfg);
+    assert_eq!(second.cache_len(), 1);
+    let r2 = second.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r2, "cache"), "hit");
+    assert_eq!(field_u64(&r2, "evals"), 0);
+    assert_eq!(
+        field_f64(&r2, "cost_us").to_bits(),
+        field_f64(&r1, "cost_us").to_bits()
+    );
+
+    // A corrupt cache file must not stop the daemon from starting.
+    std::fs::write(&cache_path, "{ definitely not json").unwrap();
+    let third = Server::new(ServerConfig {
+        workers: 1,
+        cache_path: Some(cache_path.clone()),
+    });
+    assert_eq!(third.cache_len(), 0);
+    let r3 = third.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r3, "cache"), "cold");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_cache_entries_are_evicted_not_pinned() {
+    use flexflow_core::strategy_io::export_record;
+    use flexflow_core::Strategy;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::{graph_signature, zoo};
+    use flexflow_server::{budget_class, CacheEntry, StrategyCache};
+
+    let dir = std::env::temp_dir().join(format!("ff-serve-evict-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_path = dir.join("strategies.json");
+
+    // Hand-craft a poisoned entry at the exact address lenet@2GPU/40-evals
+    // resolves to: the signatures match, but the dump belongs to a
+    // different graph (wrong op count -> structural validation fails) and
+    // its cost is absurdly good, so `insert`'s lower-cost-wins rule would
+    // keep any honest replacement out forever if eviction didn't happen.
+    let lenet = zoo::lenet(64);
+    let topo = clusters::paper_cluster(flexflow_device::DeviceKind::P100, 2);
+    let rnnlm = zoo::rnnlm(64, 2);
+    let rnnlm_topo = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+    let mut record = export_record(
+        &rnnlm,
+        &rnnlm_topo,
+        &Strategy::data_parallel(&rnnlm, &rnnlm_topo),
+        0.001,
+        1,
+    );
+    record.graph_sig = flexflow_core::strategy_io::signature_hex(graph_signature(&lenet));
+    record.topo_sig = flexflow_core::strategy_io::signature_hex(topo.signature());
+    let mut cache = StrategyCache::new();
+    assert!(cache.insert(CacheEntry {
+        budget_class: budget_class(40),
+        model: "lenet".into(),
+        gpus: 2,
+        cluster: "p100".into(),
+        record,
+    }));
+    cache.save(&cache_path).unwrap();
+
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        cache_path: Some(cache_path),
+    });
+    // Lookup hits the poisoned entry, validation fails, the entry is
+    // evicted, and the request degrades to a cold search...
+    let r1 = server.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r1, "cache"), "cold");
+    // ...whose (honest) result now occupies the address: the next
+    // request is a real hit, not a cold search forever.
+    let r2 = server.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r2, "cache"), "hit");
+    assert_eq!(field_u64(&r2, "evals"), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn identical_requests_are_deterministic_across_fresh_servers() {
+    // Content-addressed caching only makes sense if the cold answer for a
+    // fixed (model, cluster, seed, budget) is reproducible.
+    let run = || {
+        let server = Server::new(ServerConfig::default());
+        let resp = server.handle_line(&lenet_req(60, ""));
+        (
+            field_f64(&resp, "cost_us").to_bits(),
+            response_field(&resp, "strategy").map(|v| serde_json::to_string(&v).unwrap()),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[cfg(unix)]
+#[test]
+fn socket_mode_serves_concurrent_clients() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("ff-serve-sock-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("flexflow.sock");
+
+    let server = Arc::new(Server::new(ServerConfig {
+        workers: 2,
+        cache_path: None,
+    }));
+
+    std::thread::scope(|s| {
+        let daemon = {
+            let server = Arc::clone(&server);
+            let sock = sock.clone();
+            s.spawn(move || server.run_socket(&sock))
+        };
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if sock.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let request_once = |line: &str| -> String {
+            let stream = UnixStream::connect(&sock).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut w = stream;
+            writeln!(w, "{line}").unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            resp.trim().to_string()
+        };
+
+        // Two clients in parallel, then a hit from a third.
+        let (a, b) = std::thread::scope(|inner| {
+            let ha = inner.spawn(|| request_once(&lenet_req(30, "")));
+            let hb =
+                inner.spawn(|| request_once(r#"{"model":"lenet","gpus":2,"evals":30,"seed":9}"#));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert_eq!(field_str(&a, "status"), "ok");
+        assert_eq!(field_str(&b, "status"), "ok");
+        let c = request_once(&lenet_req(30, ""));
+        assert_eq!(field_str(&c, "cache"), "hit");
+
+        // An idle client that never sends anything must not block the
+        // shutdown (connection reads are timeout-based).
+        let idle = UnixStream::connect(&sock).expect("idle connect");
+        let d = request_once(r#"{"cmd":"shutdown"}"#);
+        assert!(d.contains("shutting_down"));
+        daemon.join().unwrap().expect("socket loop exits cleanly");
+        drop(idle);
+    });
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn socket_mode_refuses_to_clobber_non_socket_paths() {
+    let dir = std::env::temp_dir().join(format!("ff-serve-clobber-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("precious.json");
+    std::fs::write(&path, "important data").unwrap();
+
+    let server = Server::new(ServerConfig::default());
+    let err = server.run_socket(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists, "{err}");
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        "important data",
+        "existing non-socket file must be untouched"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -34,8 +34,10 @@ pub mod dense;
 pub mod partition;
 pub mod rect;
 pub mod shape;
+pub mod stablehash;
 
 pub use dense::DenseTensor;
 pub use partition::{tile, tile_all, PartitionError};
 pub use rect::Rect;
 pub use shape::{DataType, TensorShape, MAX_DIMS};
+pub use stablehash::StableHasher;

@@ -1,0 +1,76 @@
+//! A stable 64-bit FNV-1a hasher for persisted content signatures.
+//!
+//! The op-graph and topology signatures (`flexflow-opgraph::signature`,
+//! `Topology::signature`) key the strategy server's *on-disk* cache, so
+//! they must never drift across Rust releases, platforms, or processes —
+//! guarantees [`std::hash::DefaultHasher`] explicitly does not make. Both
+//! crates hash through this one implementation so the primitive cannot
+//! fork; this module lives in `flexflow-tensor` because it is the crate
+//! at the bottom of the workspace DAG.
+
+/// 64-bit FNV-1a with a fixed, documented seed, domain-separated by an
+/// initial tag string.
+#[derive(Debug, Clone, Copy)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a hash over the given domain tag (e.g. `"flexflow.op.v1"`);
+    /// distinct domains cannot collide by construction order alone.
+    pub fn new(domain: &str) -> Self {
+        let mut h = Self(Self::OFFSET);
+        h.write_bytes(domain.as_bytes());
+        h
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian bytes) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The final hash value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_fnv1a_reference_vectors() {
+        // Classic FNV-1a test vectors (empty domain = plain FNV-1a).
+        let h = StableHasher::new("");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = StableHasher::new("");
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = StableHasher::new("");
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn domains_separate_and_u64s_differ_from_bytes_of_other_values() {
+        assert_ne!(
+            StableHasher::new("a").finish(),
+            StableHasher::new("b").finish()
+        );
+        let mut x = StableHasher::new("d");
+        x.write_u64(1);
+        let mut y = StableHasher::new("d");
+        y.write_u64(2);
+        assert_ne!(x.finish(), y.finish());
+    }
+}

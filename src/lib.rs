@@ -10,4 +10,5 @@ pub use flexflow_costmodel as costmodel;
 pub use flexflow_device as device;
 pub use flexflow_opgraph as opgraph;
 pub use flexflow_runtime as runtime;
+pub use flexflow_server as server;
 pub use flexflow_tensor as tensor;

@@ -6,6 +6,7 @@
 //!                         [--chains K] [--exchange-every N] [--legacy] [--verbose]
 //! flexflow simulate <model> [--gpus N] [--cluster p100|k80] [--strategy FILE]
 //! flexflow baselines <model> [--gpus N] [--cluster p100|k80]
+//! flexflow serve [--socket PATH] [--workers N] [--cache FILE] [--oneshot]
 //! ```
 //!
 //! `search` runs the parallel multi-chain driver by default (one chain
@@ -13,6 +14,12 @@
 //! reproducible result). `--legacy` forces the sequential single-chain
 //! reference driver, which `--chains 1` reproduces bit-for-bit — CI
 //! diffs the two.
+//!
+//! `serve` runs the strategy-serving daemon: line-delimited JSON requests
+//! (see `flexflow_server::protocol`) answered from a content-addressed
+//! strategy cache with warm-started search on near misses. `--oneshot`
+//! reads requests from stdin and writes responses to stdout (the test and
+//! scripting mode); otherwise the daemon listens on a Unix socket.
 
 use flexflow::baselines::{expert, model_parallel, optcnn};
 use flexflow::core::metrics::SimMetrics;
@@ -24,6 +31,7 @@ use flexflow::core::{
 use flexflow::costmodel::MeasuredCostModel;
 use flexflow::device::{clusters, DeviceKind, Topology};
 use flexflow::opgraph::{zoo, OpGraph};
+use flexflow::server::{Server, ServerConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -33,7 +41,8 @@ fn usage() -> ExitCode {
          [--evals N] [--seed N] [--out FILE]\n                          [--chains K] \
          [--exchange-every N] [--legacy] [--verbose]\n  flexflow simulate <model> [--gpus N] \
          [--cluster p100|k80] [--strategy FILE]\n  flexflow baselines <model> [--gpus N] \
-         [--cluster p100|k80]"
+         [--cluster p100|k80]\n  flexflow serve [--socket PATH] [--workers N] [--cache FILE] \
+         [--oneshot]"
     );
     ExitCode::from(2)
 }
@@ -130,6 +139,71 @@ fn build(o: &Options) -> (OpGraph, Topology) {
         zoo::by_name(&o.model, batch),
         clusters::paper_cluster(o.cluster, o.gpus),
     )
+}
+
+/// Reads and imports a strategy file, turning every failure mode (I/O,
+/// malformed JSON, shape/config mismatch) into a printable error.
+fn load_strategy(path: &str, graph: &OpGraph, topo: &Topology) -> Result<Strategy, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let dump: strategy_io::StrategyDump =
+        serde_json::from_str(&text).map_err(|e| format!("{path} is not a strategy file: {e}"))?;
+    strategy_io::import(graph, topo, &dump).map_err(|e| e.to_string())
+}
+
+/// The `serve` subcommand: parses its own flag set and runs the daemon.
+fn serve(args: &[String]) -> ExitCode {
+    let mut workers = 2usize;
+    let mut cache: Option<String> = None;
+    let mut socket = "flexflow.sock".to_string();
+    let mut oneshot = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--oneshot" => {
+                oneshot = true;
+                i += 1;
+            }
+            key @ ("--workers" | "--cache" | "--socket") => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("{key} needs a value");
+                    return ExitCode::from(2);
+                };
+                match key {
+                    "--workers" => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => workers = n,
+                        _ => {
+                            eprintln!("--workers must be a positive integer, got {value:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--cache" => cache = Some(value.clone()),
+                    _ => socket = value.clone(),
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let server = Server::new(ServerConfig {
+        workers,
+        cache_path: cache.map(std::path::PathBuf::from),
+    });
+    let result = if oneshot {
+        server.run_batch(std::io::stdin().lock(), std::io::stdout().lock())
+    } else {
+        eprintln!("flexflow serve: listening on {socket} ({workers} workers)");
+        server.run_socket(std::path::Path::new(&socket))
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn report(label: &str, graph: &OpGraph, topo: &Topology, s: &Strategy) {
@@ -246,11 +320,11 @@ fn main() -> ExitCode {
             }
             if let Some(path) = o.out {
                 let dump = strategy_io::export(&graph, &topo, &r.best);
-                std::fs::write(
-                    &path,
-                    serde_json::to_string_pretty(&dump).expect("serialize"),
-                )
-                .expect("write strategy file");
+                let json = serde_json::to_string_pretty(&dump).expect("serialize");
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write strategy file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
                 println!("strategy written to {path}");
             }
             ExitCode::SUCCESS
@@ -262,18 +336,16 @@ fn main() -> ExitCode {
             let (graph, topo) = build(&o);
             let s = match &o.strategy {
                 None => Strategy::data_parallel(&graph, &topo),
-                Some(path) => {
-                    let text = std::fs::read_to_string(path).expect("read strategy file");
-                    let dump: strategy_io::StrategyDump =
-                        serde_json::from_str(&text).expect("parse strategy file");
-                    match strategy_io::import(&graph, &topo, &dump) {
-                        Ok(s) => s,
-                        Err(e) => {
-                            eprintln!("cannot load strategy: {e}");
-                            return ExitCode::FAILURE;
-                        }
+                // Strategy files are untrusted input: unreadable paths,
+                // malformed JSON and illegal configurations must all exit
+                // nonzero with a message, never panic.
+                Some(path) => match load_strategy(path, &graph, &topo) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cannot load strategy: {e}");
+                        return ExitCode::FAILURE;
                     }
-                }
+                },
             };
             report("simulated", &graph, &topo, &s);
             ExitCode::SUCCESS
@@ -305,6 +377,7 @@ fn main() -> ExitCode {
             );
             ExitCode::SUCCESS
         }
+        "serve" => serve(&args[1..]),
         _ => usage(),
     }
 }

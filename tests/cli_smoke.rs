@@ -211,3 +211,173 @@ fn bad_usage_exits_nonzero() {
     let out = flexflow(&["search", "lenet", "--chains", "0"]);
     assert!(!out.status.success(), "--chains 0 must be rejected");
 }
+
+#[test]
+fn malformed_strategy_files_exit_nonzero_with_a_message() {
+    let dir = std::env::temp_dir().join(format!("flexflow-cli-badjson-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+
+    // Not JSON at all.
+    let garbled = path("garbled.json");
+    std::fs::write(&garbled, "{ this is not json").unwrap();
+    let out = flexflow(&["simulate", "lenet", "--strategy", &garbled]);
+    assert!(!out.status.success(), "malformed JSON must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("not a strategy file"),
+        "stderr should explain the parse failure:\n{stderr}"
+    );
+
+    // Valid JSON, wrong shape.
+    let shaped = path("wrong-shape.json");
+    std::fs::write(&shaped, r#"{"model":"lenet","num_devices":4}"#).unwrap();
+    let out = flexflow(&["simulate", "lenet", "--strategy", &shaped]);
+    assert!(!out.status.success(), "non-dump JSON must exit nonzero");
+
+    // A structurally valid dump with an illegal degree vector: the
+    // importer must reject it with an error, not panic.
+    let valid = path("valid.json");
+    stdout_of(&flexflow(&[
+        "search", "lenet", "--evals", "5", "--seed", "1", "--out", &valid,
+    ]));
+    let corrupted = std::fs::read_to_string(&valid).unwrap().replacen(
+        "\"degrees\": [",
+        "\"degrees\": [63, ",
+        1,
+    );
+    let bad_degrees = path("bad-degrees.json");
+    std::fs::write(&bad_degrees, corrupted).unwrap();
+    let out = flexflow(&["simulate", "lenet", "--strategy", &bad_degrees]);
+    assert!(!out.status.success(), "illegal dump must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot load strategy"),
+        "stderr should name the import failure:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must be an error, not a panic:\n{stderr}"
+    );
+
+    // Missing file.
+    let out = flexflow(&["simulate", "lenet", "--strategy", &path("nope.json")]);
+    assert!(!out.status.success(), "missing file must exit nonzero");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Runs `flexflow serve --oneshot --workers 1` over the given request
+/// lines and returns one response line per request.
+fn serve_oneshot(extra_args: &[&str], requests: &str) -> Vec<String> {
+    use std::io::Write;
+    let mut args = vec!["serve", "--oneshot", "--workers", "1"];
+    args.extend_from_slice(extra_args);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_flexflow"))
+        .args(&args)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn flexflow serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(requests.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("collect serve output");
+    assert!(
+        out.status.success(),
+        "serve exited with {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone())
+        .expect("serve output is UTF-8")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn serve_oneshot_answers_hit_warm_cold_and_errors_in_band() {
+    let requests = concat!(
+        r#"{"model":"lenet","gpus":2,"evals":40,"seed":5}"#,
+        "\n", // cold
+        r#"{"model":"lenet","gpus":2,"evals":40,"seed":5}"#,
+        "\n", // hit
+        r#"{"model":"lenet","gpus":2,"evals":300,"seed":5}"#,
+        "\n", // warm: bigger budget
+        r#"{"model":"lenet","gpus":4,"evals":40,"seed":5}"#,
+        "\n", // warm: other topology
+        r#"{"model":"made-up"}"#,
+        "\n", // in-band error
+        r#"{"cmd":"stats"}"#,
+        "\n",
+    );
+    let lines = serve_oneshot(&[], requests);
+    assert_eq!(lines.len(), 6, "one response per request:\n{lines:#?}");
+    for (i, expected) in [
+        r#""cache":"cold""#,
+        r#""cache":"hit""#,
+        r#""cache":"warm""#,
+        r#""cache":"warm""#,
+        r#""status":"error""#,
+    ]
+    .iter()
+    .enumerate()
+    {
+        assert!(
+            lines[i].contains(expected),
+            "response {i} should contain {expected}:\n{}",
+            lines[i]
+        );
+    }
+    // The hit answers without any simulator evaluations and repeats the
+    // cold answer's cost verbatim.
+    assert!(lines[1].contains(r#""evals":0"#), "{}", lines[1]);
+    let cost = |line: &str| {
+        line.split(r#""cost_us":"#)
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no cost_us in {line}"))
+    };
+    assert_eq!(cost(&lines[0]), cost(&lines[1]));
+    assert!(
+        lines[5].contains(r#""hits":1"#) && lines[5].contains(r#""warm":2"#),
+        "stats should reflect the traffic: {}",
+        lines[5]
+    );
+}
+
+#[test]
+fn serve_cache_file_survives_restarts() {
+    let dir = std::env::temp_dir().join(format!("flexflow-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let cache = dir.join("strategies.json");
+    let cache_arg = cache.to_str().unwrap();
+    let req = concat!(r#"{"model":"lenet","gpus":2,"evals":40,"seed":5}"#, "\n");
+
+    let first = serve_oneshot(&["--cache", cache_arg], req);
+    assert!(first[0].contains(r#""cache":"cold""#), "{}", first[0]);
+    assert!(cache.exists(), "cache file must be written");
+
+    // A fresh process answers the identical request from disk.
+    let second = serve_oneshot(&["--cache", cache_arg], req);
+    assert!(second[0].contains(r#""cache":"hit""#), "{}", second[0]);
+    assert!(second[0].contains(r#""evals":0"#), "{}", second[0]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = flexflow(&["serve", "--workers", "0"]);
+    assert!(!out.status.success(), "--workers 0 must be rejected");
+    let out = flexflow(&["serve", "--frobnicate"]);
+    assert!(!out.status.success(), "unknown serve flag must be rejected");
+    let out = flexflow(&["serve", "--cache"]);
+    assert!(!out.status.success(), "--cache without a value must fail");
+}
