@@ -1,6 +1,6 @@
 //! CI perf smoke + regression gate.
 //!
-//! Three workloads, one artifact (`BENCH_pr4.json` by default):
+//! Four workloads, one artifact (`BENCH_pr5.json` by default):
 //!
 //! 1. `proposal_evaluation` (full vs delta simulation, see
 //!    [`flexflow_bench::proposal_bench`]) once at 4/8/16 devices — the
@@ -10,7 +10,11 @@
 //!    proposals/sec and time-to-target-cost, the PR 3 trajectory;
 //! 3. `serve_throughput` (the strategy-serving daemon, see
 //!    [`flexflow_bench::serve_throughput`]) — cache-hit requests/sec and
-//!    warm-vs-cold evals-to-target on rnnlm@4GPU, the PR 4 trajectory.
+//!    warm-vs-cold evals-to-target on rnnlm@4GPU, the PR 4 trajectory;
+//! 4. `pipeline` (microbatch pipeline parallelism, see
+//!    [`flexflow_bench::pipeline_bench`]) — pipelined vs whole-batch best
+//!    search cost on rnnlm@4GPU, the PR 5 trajectory (fully
+//!    deterministic: single-chain searches under evaluation budgets).
 //!
 //! With `--check` the binary also gates the numbers and exits non-zero on
 //! a regression:
@@ -28,8 +32,12 @@
 //!   measured headroom is orders of magnitude above the bar);
 //! - warm-started search must reach the cold search's best cost (+1% of
 //!   the improvement gap) within ≤ 0.5x the cold evaluation count;
+//! - the pipelined search must find a strategy with **strictly lower**
+//!   simulated cost than the best `microbatches = 1` strategy on rnnlm
+//!   (the acceptance bar for the pipeline dimension: the warm start makes
+//!   ≤ structural, the gate demands the real win);
 //! - when a baseline artifact exists (`BENCH_SMOKE_BASELINE`, default
-//!   the committed `BENCH_pr3.json`), the *dimensionless ratios* —
+//!   the committed `BENCH_pr4.json`), the *dimensionless ratios* —
 //!   delta-vs-full per device count and 4-chain-vs-1-chain throughput —
 //!   must not regress by more than 20% against it. Absolute times are
 //!   never compared across machines; the throughput-ratio comparison is
@@ -39,10 +47,12 @@
 //! 15), `BENCH_SMOKE_SEARCH_EVALS` (throughput-run proposal budget,
 //! default 4000), `BENCH_SMOKE_SERVE_EVALS` (warm-vs-cold budget, default
 //! 2000), `BENCH_SMOKE_HIT_REQUESTS` (timed hit requests, default 2000),
-//! `BENCH_SMOKE_BASELINE` (baseline path, default `BENCH_pr3.json`),
-//! `BENCH_SMOKE_OUT` (output path, default `BENCH_pr4.json`).
+//! `BENCH_SMOKE_PIPELINE_EVALS` (pipeline comparison budget, default
+//! 1500), `BENCH_SMOKE_BASELINE` (baseline path, default
+//! `BENCH_pr4.json`), `BENCH_SMOKE_OUT` (output path, default
+//! `BENCH_pr5.json`).
 
-use flexflow_bench::{proposal_bench, search_throughput, serve_throughput};
+use flexflow_bench::{pipeline_bench, proposal_bench, search_throughput, serve_throughput};
 use flexflow_core::sim::{SimConfig, Simulator};
 use flexflow_core::strategy::Strategy;
 use flexflow_costmodel::MeasuredCostModel;
@@ -80,6 +90,8 @@ struct Report {
     serve_hits: serve_throughput::HitThroughput,
     /// Warm-vs-cold evals-to-target on rnnlm@4GPU (PR 4).
     serve_warm_vs_cold: serve_throughput::WarmVsCold,
+    /// Pipelined vs whole-batch best search cost on rnnlm@4GPU (PR 5).
+    pipeline: pipeline_bench::PipelineComparison,
 }
 
 /// The slice of a previous report the cross-run gate compares against —
@@ -137,9 +149,14 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2000)
         .max(1);
+    let pipeline_evals: u64 = std::env::var("BENCH_SMOKE_PIPELINE_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500)
+        .max(100);
     let baseline_path =
-        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr3.json".into());
-    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr4.json".into());
+        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr4.json".into());
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr5.json".into());
     let cores = flexflow_core::default_chains();
 
     // ---- workload 1: proposal_evaluation (full vs delta) ----
@@ -263,6 +280,17 @@ fn main() -> ExitCode {
         wvc.warm_ratio
     );
 
+    // ---- workload 4: pipeline (microbatch parallelism) ----
+    println!("\nbench smoke: pipeline (microbatch search on rnnlm@4GPU, {pipeline_evals} evals per search)");
+    let pipeline = pipeline_bench::rnnlm_4gpu(pipeline_evals, 1);
+    println!(
+        "whole-batch best {:.2} ms/iter; pipelined best {:.2} ms/iter (m = {}) -> ratio {:.3}",
+        pipeline.baseline_best_us / 1e3,
+        pipeline.pipelined_best_us / 1e3,
+        pipeline.pipelined_microbatches,
+        pipeline.cost_ratio
+    );
+
     // ---- artifact ----
     let report = Report {
         unix_epoch_secs: std::time::SystemTime::now()
@@ -279,13 +307,16 @@ fn main() -> ExitCode {
                target_cost_us. serve_throughput: cache-hit requests/sec through the \
                in-process Server request handler, plus warm-vs-cold evals-to-target \
                (warm seed = same search at half budget; target = cold best + 1% of the \
-               improvement gap over data parallelism)"
+               improvement gap over data parallelism). pipeline: single-chain search with \
+               max_microbatches=8 warm-started from the single-chain whole-batch best \
+               (deterministic; the gate demands a strict cost improvement)"
             .into(),
         results,
         search_throughput: search,
         target_cost_us,
         serve_hits: hits.clone(),
         serve_warm_vs_cold: wvc.clone(),
+        pipeline: pipeline.clone(),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json).expect("write bench smoke artifact");
@@ -332,6 +363,23 @@ fn main() -> ExitCode {
             wvc.cold_evals_to_target,
             wvc.target_cost_us / 1e3,
             wvc.warm_ratio
+        ));
+    }
+
+    // Pipeline gate: the microbatch dimension must strictly pay on the
+    // deep sequential model (the acceptance bar of the pipeline PR).
+    if pipeline.pipelined_best_us >= pipeline.baseline_best_us {
+        failures.push(format!(
+            "pipelined search found {:.2} ms/iter, not strictly below the \
+             whole-batch best {:.2} ms/iter",
+            pipeline.pipelined_best_us / 1e3,
+            pipeline.baseline_best_us / 1e3
+        ));
+    }
+    if pipeline.pipelined_microbatches <= 1 {
+        failures.push(format!(
+            "winning pipelined strategy uses m = {} (gate: m > 1)",
+            pipeline.pipelined_microbatches
         ));
     }
 
@@ -393,8 +441,11 @@ fn main() -> ExitCode {
     if failures.is_empty() {
         println!(
             "  PASS: delta-vs-full >= 1.5x at 4/8/16 devices, 4-chain {tp_ratio:.2}x, \
-             hits {:.0} req/s at 0 evals, warm ratio {:.3}",
-            hits.requests_per_s, wvc.warm_ratio
+             hits {:.0} req/s at 0 evals, warm ratio {:.3}, pipeline ratio {:.3} (m = {})",
+            hits.requests_per_s,
+            wvc.warm_ratio,
+            pipeline.cost_ratio,
+            pipeline.pipelined_microbatches
         );
         ExitCode::SUCCESS
     } else {

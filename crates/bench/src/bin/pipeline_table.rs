@@ -1,0 +1,75 @@
+//! Pipelined vs whole-batch best search cost on the deep sequential zoo
+//! models (the PR 5 headline table in EXPERIMENTS.md).
+//!
+//! For each `(model, gpus)` cell, a single-chain whole-batch search
+//! defines the best `microbatches = 1` cost, then a greedy pipelined
+//! polish (`max_microbatches = 8`) warm-started from it refines the
+//! strategy — see [`flexflow_bench::pipeline_bench`]. Everything is
+//! deterministic (evaluation budgets, fixed seeds), so the table
+//! reproduces exactly on any host.
+//!
+//! Knobs: `PIPELINE_EVALS` (budget per search, default 1500),
+//! `PIPELINE_SEED` (default 1).
+
+use flexflow_bench::{paper_cluster, pipeline_bench, row, write_json};
+use flexflow_device::DeviceKind;
+use flexflow_opgraph::zoo;
+
+fn main() {
+    let evals: u64 = std::env::var("PIPELINE_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500)
+        .max(100);
+    let seed: u64 = std::env::var("PIPELINE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    // The deep sequential models (unroll scaled to keep single-chain
+    // searches in seconds) on the paper's P100 nodes.
+    let cells: Vec<(&str, flexflow_opgraph::OpGraph, usize)> = vec![
+        ("rnnlm", zoo::rnnlm(64, 10), 4),
+        ("rnnlm", zoo::rnnlm(64, 10), 8),
+        ("nmt", zoo::nmt(64, 10), 4),
+        ("nmt", zoo::nmt(64, 10), 8),
+    ];
+
+    println!("Pipelined vs whole-batch best search cost ({evals} evals per search, seed {seed})");
+    let widths = [8usize, 5, 16, 16, 4, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "model".into(),
+                "gpus".into(),
+                "whole-batch(ms)".into(),
+                "pipelined(ms)".into(),
+                "m".into(),
+                "ratio".into(),
+            ],
+            &widths
+        )
+    );
+    let mut results = Vec::new();
+    for (name, graph, gpus) in &cells {
+        let topo = paper_cluster(DeviceKind::P100, *gpus);
+        let c = pipeline_bench::compare(name, graph, &topo, evals, seed);
+        println!(
+            "{}",
+            row(
+                &[
+                    c.model.clone(),
+                    c.gpus.to_string(),
+                    format!("{:.2}", c.baseline_best_us / 1e3),
+                    format!("{:.2}", c.pipelined_best_us / 1e3),
+                    c.pipelined_microbatches.to_string(),
+                    format!("{:.3}", c.cost_ratio),
+                ],
+                &widths
+            )
+        );
+        results.push(c);
+    }
+    write_json("pipeline_table", &results);
+}

@@ -568,6 +568,102 @@ pub mod serve_throughput {
     }
 }
 
+/// Workload + measurement helpers for the `pipeline` benchmark (the
+/// microbatch-parallelism half of `bench_smoke`, the PR 5 trajectory):
+/// does adding the pipeline dimension to the search space pay on deep
+/// sequential models?
+///
+/// The comparison is deterministic (single-chain searches, evaluation
+/// budgets, no wall-clock cutoffs): a whole-batch reference search
+/// defines the best `microbatches = 1` cost, then a **greedy pipelined
+/// polish** (`max_microbatches = 8`, hill-climbing acceptance)
+/// warm-started from that reference refines it. Warm-starting makes
+/// "pipelined ≤ whole-batch" structural (a search never returns worse
+/// than its seed), and greedy acceptance keeps the polish anchored to the
+/// seed's basin — a hot Metropolis walk diffuses away from the seed
+/// before the microbatch move lands, which is exactly the failure mode
+/// this phase must not have. The `--check` gate demands the strict
+/// improvement that inter-op pipelining actually delivers on
+/// stage-friendly models.
+pub mod pipeline_bench {
+    use flexflow_core::optimizer::{AcceptanceRule, Budget, ParallelSearch};
+    use flexflow_core::strategy::Strategy;
+    use flexflow_costmodel::MeasuredCostModel;
+    use flexflow_device::Topology;
+    use flexflow_opgraph::OpGraph;
+    use serde::Serialize;
+
+    /// Outcome of one pipelined-vs-whole-batch comparison.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct PipelineComparison {
+        /// Model the comparison ran on.
+        pub model: String,
+        /// Devices of the cluster.
+        pub gpus: usize,
+        /// Evaluation budget of each search.
+        pub evals: u64,
+        /// Best cost of the whole-batch (`m = 1`) reference search.
+        pub baseline_best_us: f64,
+        /// Best cost of the pipelined refinement.
+        pub pipelined_best_us: f64,
+        /// Microbatch count of the winning pipelined strategy.
+        pub pipelined_microbatches: u64,
+        /// `pipelined / baseline` (< 1 means pipelining won).
+        pub cost_ratio: f64,
+    }
+
+    /// Runs the comparison on one `(graph, topo)` workload.
+    pub fn compare(
+        model: &str,
+        graph: &OpGraph,
+        topo: &Topology,
+        evals: u64,
+        seed: u64,
+    ) -> PipelineComparison {
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = flexflow_core::SimConfig::default();
+        let budget = Budget {
+            max_evals: evals,
+            max_seconds: f64::INFINITY,
+            patience_fraction: 1.0,
+        };
+        let initials = [
+            Strategy::data_parallel(graph, topo),
+            flexflow_baselines::expert::strategy(graph, topo),
+        ];
+        let baseline =
+            ParallelSearch::with_chains(seed, 1).search(graph, topo, &cost, &initials, budget, cfg);
+        let mut ps = ParallelSearch::with_chains(seed ^ 0x51_F0, 1);
+        ps.max_microbatches = 8;
+        ps.acceptance = AcceptanceRule::Greedy;
+        let pipelined = ps.search_warm(graph, topo, &cost, baseline.best.clone(), budget, cfg);
+        PipelineComparison {
+            model: model.to_string(),
+            gpus: topo.num_devices(),
+            evals,
+            baseline_best_us: baseline.best_cost_us,
+            pipelined_best_us: pipelined.best_cost_us,
+            pipelined_microbatches: pipelined.best.microbatches(),
+            cost_ratio: pipelined.best_cost_us / baseline.best_cost_us,
+        }
+    }
+
+    /// The `bench_smoke` cell: rnnlm (batch 64, unroll 10 — the same
+    /// scaled model every other smoke workload uses) on the paper's
+    /// 4-GPU P100 node. The paper topology matters: its intra-node
+    /// links put the whole-batch optimum in the staged (model-parallel)
+    /// basin, the regime inter-op pipelining accelerates.
+    pub fn rnnlm_4gpu(evals: u64, seed: u64) -> PipelineComparison {
+        compare(
+            "rnnlm",
+            &super::proposal_bench::model(),
+            &super::paper_cluster(flexflow_device::DeviceKind::P100, 4),
+            evals,
+            seed,
+        )
+    }
+}
+
 /// Renders one aligned text table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

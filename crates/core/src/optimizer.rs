@@ -349,6 +349,22 @@ struct ChainParams {
     space: ConfigSpace,
     algorithm: SimAlgorithm,
     acceptance: AcceptanceRule,
+    max_microbatches: u64,
+}
+
+/// Share of proposals spent on microbatch-count changes when pipelining
+/// is enabled (`max_microbatches > 1`): one in eight. Microbatching is a
+/// single global knob next to hundreds of per-op configs, but a change to
+/// it re-times the whole graph, so it deserves far more than a
+/// one-in-`|ops|` draw.
+const MICROBATCH_PROPOSAL_ODDS: u64 = 8;
+
+/// One step of the proposal distribution: either one op's configuration
+/// is replaced (§6.2) or, when pipelining is enabled, the strategy-wide
+/// microbatch count changes.
+enum Proposal {
+    Config(flexflow_opgraph::OpId, crate::soap::ParallelConfig),
+    Microbatches(u64),
 }
 
 /// Read-only search inputs shared by every chain.
@@ -401,6 +417,15 @@ fn run_chain(
     assert!(!searchable.is_empty(), "graph has no searchable ops");
     let p = ctx.params;
     let t0 = ctx.t0;
+    // Microbatch proposals need at least two legal counts to move between;
+    // with pipelining disabled (the default) this is empty and the chain's
+    // RNG stream is untouched — bit-identical to the pre-pipeline search.
+    let mb_counts = if p.max_microbatches > 1 {
+        soap::legal_microbatch_counts(ctx.graph, p.max_microbatches)
+    } else {
+        Vec::new()
+    };
+    let mb_enabled = mb_counts.len() > 1;
 
     let mut best: Option<(Strategy, f64)> = None;
     let mut trace: Vec<(f64, f64)> = Vec::new();
@@ -414,6 +439,18 @@ fn run_chain(
     for init in ctx.initial {
         if cutoff {
             break;
+        }
+        // Clamp the seed to the caller's pipeline budget: a warm-start
+        // strategy may carry a microbatch count the caller cannot execute
+        // (pipelining disabled, a smaller cap, or a count that is illegal
+        // for this graph). Such seeds fall back to whole-batch execution
+        // — otherwise the chain would *return* a pipelined strategy the
+        // caller explicitly ruled out, since no proposal could ever
+        // change `m` back. Seeds within the budget pass through
+        // untouched, and pre-pipeline seeds (`m = 1`) are never altered.
+        let mut init = init.clone();
+        if init.microbatches() > 1 && !mb_counts.contains(&init.microbatches()) {
+            init.set_microbatches(1);
         }
         let mut sim = Simulator::new(ctx.graph, ctx.topo, ctx.cost, ctx.cfg, init.clone());
         let mut current_cost = sim.cost_us();
@@ -439,20 +476,48 @@ fn run_chain(
                     break;
                 }
             }
-            // Propose: one random op gets a fresh random configuration.
+            // Propose: one random op gets a fresh random configuration, or
+            // (when pipelining is enabled) the microbatch count changes.
             // Under Delta the apply is speculative (journaled); the
             // acceptance decision below commits or rolls it back.
-            let op = searchable[rng.gen_range(0..searchable.len())];
-            let proposal = soap::random_config(ctx.graph.op(op), ctx.topo, p.space, rng);
-            // Only the Full revert arm needs the old config; under
+            let proposal = if mb_enabled && rng.gen_range(0..MICROBATCH_PROPOSAL_ODDS) == 0 {
+                let current = sim.strategy().microbatches();
+                let choices: Vec<u64> = mb_counts
+                    .iter()
+                    .copied()
+                    .filter(|&c| c != current)
+                    .collect();
+                Proposal::Microbatches(choices[rng.gen_range(0..choices.len())])
+            } else {
+                let op = searchable[rng.gen_range(0..searchable.len())];
+                Proposal::Config(
+                    op,
+                    soap::random_config(ctx.graph.op(op), ctx.topo, p.space, rng),
+                )
+            };
+            // Only the Full revert arm needs the previous value; under
             // Delta the transaction itself remembers it for rollback.
-            let old =
-                (p.algorithm == SimAlgorithm::Full).then(|| sim.strategy().config(op).clone());
-            let new_cost = match p.algorithm {
-                SimAlgorithm::Delta => sim.apply(op, proposal),
-                SimAlgorithm::Full => {
+            let old = (p.algorithm == SimAlgorithm::Full).then(|| match &proposal {
+                Proposal::Config(op, _) => {
+                    Proposal::Config(*op, sim.strategy().config(*op).clone())
+                }
+                Proposal::Microbatches(_) => Proposal::Microbatches(sim.strategy().microbatches()),
+            });
+            let new_cost = match (p.algorithm, &proposal) {
+                (SimAlgorithm::Delta, Proposal::Config(op, config)) => {
+                    sim.apply(*op, config.clone())
+                }
+                (SimAlgorithm::Delta, Proposal::Microbatches(m)) => sim.apply_microbatches(*m),
+                (SimAlgorithm::Full, _) => {
                     let mut s = sim.strategy().clone();
-                    s.replace(op, proposal);
+                    match &proposal {
+                        Proposal::Config(op, config) => {
+                            s.replace(*op, config.clone());
+                        }
+                        Proposal::Microbatches(m) => {
+                            s.set_microbatches(*m);
+                        }
+                    }
                     sim.reset(s)
                 }
             };
@@ -497,7 +562,14 @@ fn run_chain(
                     }
                     SimAlgorithm::Full => {
                         let mut s = sim.strategy().clone();
-                        s.replace(op, old.expect("old config captured under Full"));
+                        match old.expect("old value captured under Full") {
+                            Proposal::Config(op, config) => {
+                                s.replace(op, config);
+                            }
+                            Proposal::Microbatches(m) => {
+                                s.set_microbatches(m);
+                            }
+                        }
                         sim.reset(s);
                     }
                 }
@@ -560,6 +632,10 @@ pub struct McmcOptimizer {
     pub algorithm: SimAlgorithm,
     /// How proposals are accepted.
     pub acceptance: AcceptanceRule,
+    /// Upper bound on the microbatch count the `ChangeMicrobatches`
+    /// proposal may draw (1 disables pipelining entirely — no extra RNG
+    /// draws, bit-identical to the pre-pipeline search).
+    pub max_microbatches: u64,
 }
 
 impl McmcOptimizer {
@@ -573,6 +649,7 @@ impl McmcOptimizer {
             space: ConfigSpace::Full,
             algorithm: SimAlgorithm::Delta,
             acceptance: AcceptanceRule::Metropolis,
+            max_microbatches: 1,
         }
     }
 
@@ -603,6 +680,7 @@ impl McmcOptimizer {
                 space: self.space,
                 algorithm: self.algorithm,
                 acceptance: self.acceptance,
+                max_microbatches: self.max_microbatches,
             },
             initial,
             t0,
@@ -668,6 +746,10 @@ pub struct ParallelSearch {
     pub algorithm: SimAlgorithm,
     /// How proposals are accepted.
     pub acceptance: AcceptanceRule,
+    /// Upper bound on the microbatch count the `ChangeMicrobatches`
+    /// proposal may draw (1 disables pipelining — see
+    /// [`McmcOptimizer::max_microbatches`]).
+    pub max_microbatches: u64,
 }
 
 impl ParallelSearch {
@@ -683,6 +765,7 @@ impl ParallelSearch {
             space: ConfigSpace::Full,
             algorithm: SimAlgorithm::Delta,
             acceptance: AcceptanceRule::Metropolis,
+            max_microbatches: 1,
         }
     }
 
@@ -706,6 +789,12 @@ impl ParallelSearch {
     /// candidate, a poor warm seed costs only evaluations, never quality
     /// relative to that seed; and with a single restart the whole budget
     /// goes to refining it.
+    ///
+    /// A seed whose microbatch count exceeds (or is illegal under)
+    /// [`ParallelSearch::max_microbatches`] is clamped back to
+    /// whole-batch execution before the search starts — the caller ruled
+    /// that pipeline depth out, so the chain must neither simulate nor
+    /// return it.
     pub fn search_warm(
         &self,
         graph: &OpGraph,
@@ -768,6 +857,7 @@ impl ParallelSearch {
                 space: self.space,
                 algorithm: self.algorithm,
                 acceptance: self.acceptance,
+                max_microbatches: self.max_microbatches,
             },
             initial,
             t0,
@@ -1286,6 +1376,125 @@ mod tests {
             instant.best_cost_us.to_bits(),
             seed_run.best_cost_us.to_bits()
         );
+    }
+
+    #[test]
+    fn microbatch_proposals_discover_pipelined_strategies() {
+        // A staged (one-op-chain-per-device) RNN is the textbook pipeline
+        // case: enabling microbatch proposals must strictly beat the
+        // whole-batch execution of the same seed, and the improvement must
+        // actually come from pipelining on at least some seeds (the
+        // cheaper single-op moves alone cannot overlap stages).
+        let g = zoo::rnnlm(64, 4);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let n = g.len();
+        let configs = g
+            .ids()
+            .map(|id| {
+                let dev = topo.device_id((id.index() * 4 / n).min(3));
+                crate::soap::ParallelConfig::on_device(g.op(id), dev)
+            })
+            .collect();
+        let staged = Strategy::from_configs(&g, configs);
+        let staged_cost =
+            Simulator::new(&g, &topo, &cost, SimConfig::default(), staged.clone()).cost_us();
+        let mut ps = ParallelSearch::with_chains(3, 1);
+        ps.max_microbatches = 8;
+        let r = ps.search_warm(
+            &g,
+            &topo,
+            &cost,
+            staged,
+            Budget::evaluations(200),
+            SimConfig::default(),
+        );
+        assert!(
+            r.best_cost_us < staged_cost,
+            "pipelined search must beat the staged whole-batch cost: {} vs {staged_cost}",
+            r.best_cost_us
+        );
+        assert!(
+            r.best.microbatches() > 1,
+            "the winning strategy should actually pipeline (m = {})",
+            r.best.microbatches()
+        );
+    }
+
+    #[test]
+    fn inert_microbatch_cap_never_perturbs_the_rng_stream() {
+        // The bit-identical-to-pre-pipeline guarantee hinges on the
+        // microbatch branch consuming ZERO extra RNG draws whenever it
+        // cannot fire. A batch of 7 admits only m ∈ {1, 7}, so capping at
+        // 6 leaves exactly one legal count — pipelining nominally enabled
+        // but inert — and the walk must be bit-identical to the disabled
+        // driver. A regression that draws per-proposal even when inert
+        // (e.g. hoisting the gen_range above the mb_enabled check) shifts
+        // every subsequent proposal and fails this test.
+        let g = zoo::lenet(7);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let inits = [Strategy::data_parallel(&g, &topo)];
+        let budget = Budget::evaluations(120);
+        let disabled = ParallelSearch::with_chains(9, 2).search(
+            &g,
+            &topo,
+            &cost,
+            &inits,
+            budget,
+            SimConfig::default(),
+        );
+        let mut ps = ParallelSearch::with_chains(9, 2);
+        ps.max_microbatches = 6;
+        let inert = ps.search(&g, &topo, &cost, &inits, budget, SimConfig::default());
+        assert_eq!(
+            disabled.best_cost_us.to_bits(),
+            inert.best_cost_us.to_bits()
+        );
+        assert_eq!(disabled.best, inert.best);
+        assert_eq!(disabled.accepted, inert.accepted);
+        assert_eq!(inert.best.microbatches(), 1);
+    }
+
+    #[test]
+    fn warm_seeds_beyond_the_microbatch_cap_are_clamped() {
+        // A cached strategy found with pipelining enabled must not leak
+        // into a search whose caller disabled (or lowered) the cap: the
+        // chain could never propose `m` back down, so it would return a
+        // strategy the caller declared unexecutable. The seed falls back
+        // to whole-batch execution instead.
+        let (g, topo, cost) = setup();
+        let warm = Strategy::data_parallel(&g, &topo).with_microbatches(4);
+        let r = ParallelSearch::with_chains(5, 1).search_warm(
+            &g,
+            &topo,
+            &cost,
+            warm.clone(),
+            Budget::evaluations(40),
+            SimConfig::default(),
+        );
+        assert_eq!(r.best.microbatches(), 1, "cap 1 must clamp an m=4 seed");
+
+        // Within the cap the seed's count survives: chasing the seed's
+        // own (pipelined) cost as the target, the cutoff fires before a
+        // single evaluation and hands back the m = 4 seed verbatim — a
+        // clamped seed would start from the (different) whole-batch cost.
+        let seed_cost =
+            Simulator::new(&g, &topo, &cost, SimConfig::default(), warm.clone()).cost_us();
+        let mut ps = ParallelSearch::with_chains(5, 1);
+        ps.max_microbatches = 8;
+        ps.target_cost_us = seed_cost;
+        let r = ps.search_warm(
+            &g,
+            &topo,
+            &cost,
+            warm,
+            Budget::evaluations(10_000),
+            SimConfig::default(),
+        );
+        assert_eq!(r.evals, 0, "the in-budget seed already meets the target");
+        assert_eq!(r.best.microbatches(), 4);
+        assert_eq!(r.best_cost_us.to_bits(), seed_cost.to_bits());
     }
 
     #[test]

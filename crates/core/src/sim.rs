@@ -713,11 +713,21 @@ pub struct Simulator<'a> {
     tg: TaskGraph,
     state: SimState,
     scratch: DeltaScratch,
-    /// Open speculative proposal: the changed op and its previous config.
-    txn: Option<(flexflow_opgraph::OpId, crate::soap::ParallelConfig)>,
+    /// Open speculative proposal and what undoing it must restore.
+    txn: Option<Pending>,
     /// Number of delta simulations performed.
     pub delta_sims: u64,
     telemetry: DeltaTelemetry,
+}
+
+/// What a pending speculative [`Simulator::apply`]/
+/// [`Simulator::apply_microbatches`] must restore on rollback (the graph
+/// and timeline restore themselves from their journals).
+enum Pending {
+    /// A single-op configuration change: the op and its previous config.
+    Config(flexflow_opgraph::OpId, crate::soap::ParallelConfig),
+    /// A microbatch-count change: the previous count.
+    Microbatches(u64),
 }
 
 impl<'a> Simulator<'a> {
@@ -802,7 +812,7 @@ impl<'a> Simulator<'a> {
         let old = self.strategy.replace(op, config);
         self.tg.begin_txn();
         self.state.begin_txn();
-        self.txn = Some((op, old));
+        self.txn = Some(Pending::Config(op, old));
         let report = self.tg.rebuild_op(
             self.graph,
             self.topo,
@@ -824,6 +834,34 @@ impl<'a> Simulator<'a> {
         cost
     }
 
+    /// Speculatively changes the strategy's microbatch count with a
+    /// journaled structural rebuild and returns the new cost. A
+    /// microbatch change touches every operation, so each op is rebuilt
+    /// under the open transaction (journaled graph surgery, slot-recycled
+    /// like any other rebuild) and the timeline is re-derived by a
+    /// journaled in-place sweep — the same adaptive path wide single-op
+    /// proposals already take. Like [`Simulator::apply`], the change
+    /// stays pending until [`Simulator::commit`] or
+    /// [`Simulator::rollback`], and rollback restores strategy, task
+    /// graph and timeline bit-for-bit.
+    pub fn apply_microbatches(&mut self, m: u64) -> f64 {
+        self.commit();
+        let old = self.strategy.set_microbatches(m);
+        self.tg.begin_txn();
+        self.state.begin_txn();
+        self.txn = Some(Pending::Microbatches(old));
+        self.tg
+            .rebuild_all(self.graph, self.topo, &self.strategy, self.cost, &self.cfg);
+        self.delta_sims += 1;
+        let cost = sweep_in_place(&self.tg, &mut self.state, &mut self.scratch);
+        self.telemetry.applies += 1;
+        self.telemetry.sweeps += 1;
+        let depth = self.tg.journal_depth() + self.state.journal_depth();
+        self.telemetry.journal_slots += depth as u64;
+        self.telemetry.max_journal_depth = self.telemetry.max_journal_depth.max(depth);
+        cost
+    }
+
     /// Keeps the pending [`Simulator::apply`], dropping its undo journal.
     /// No-op when nothing is pending.
     pub fn commit(&mut self) {
@@ -839,8 +877,15 @@ impl<'a> Simulator<'a> {
     /// their exact pre-`apply` state. Returns the (restored) cost. No-op
     /// when nothing is pending.
     pub fn rollback(&mut self) -> f64 {
-        if let Some((op, old)) = self.txn.take() {
-            self.strategy.replace(op, old);
+        if let Some(pending) = self.txn.take() {
+            match pending {
+                Pending::Config(op, old) => {
+                    self.strategy.replace(op, old);
+                }
+                Pending::Microbatches(old) => {
+                    self.strategy.set_microbatches(old);
+                }
+            }
             self.tg.rollback_txn();
             self.state.rollback_txn();
             self.telemetry.rollbacks += 1;

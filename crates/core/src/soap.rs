@@ -215,6 +215,26 @@ pub fn legal_degree_vectors(node: &OpNode, max_tasks: u64) -> Vec<Vec<u64>> {
     out
 }
 
+/// Enumerates the legal microbatch counts for `graph` up to `max`: every
+/// `m` that divides the sample extent (dimension 0) of **every** op's
+/// output tensor, so each of the `m` pipeline slabs covers the same number
+/// of samples on every operation. `1` (no pipelining) is always legal, so
+/// the result is never empty.
+pub fn legal_microbatch_counts(graph: &flexflow_opgraph::OpGraph, max: u64) -> Vec<u64> {
+    let min_batch = graph
+        .ids()
+        .map(|id| graph.op(id).output_shape().dim(0))
+        .min()
+        .unwrap_or(1);
+    (1..=max.max(1).min(min_batch))
+        .filter(|&m| {
+            graph
+                .ids()
+                .all(|id| graph.op(id).output_shape().dim(0).is_multiple_of(m))
+        })
+        .collect()
+}
+
 /// Enumerates the canonical configuration set for `node` on `topo`:
 /// every legal degree vector with at most `num_devices` tasks, each paired
 /// with every contiguous round-robin device block.

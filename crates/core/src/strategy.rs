@@ -7,10 +7,20 @@ use rand::Rng;
 use std::fmt;
 
 /// A parallelization strategy `S`: a [`ParallelConfig`] for every operation
-/// of an [`OpGraph`], chosen independently per op.
+/// of an [`OpGraph`], chosen independently per op, plus one strategy-wide
+/// **microbatch count** `m`.
+///
+/// With `m > 1` the training batch is split into `m` equal sample slabs
+/// that flow through the operator graph as a pipeline: each op runs once
+/// per microbatch, different ops may process different microbatches
+/// concurrently (inter-op pipeline parallelism, the third axis next to the
+/// intra-op S/A/P splits), and parameter gradients are accumulated across
+/// all microbatches before the per-iteration synchronization. `m = 1` is
+/// the classic whole-batch execution and the default everywhere.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Strategy {
     configs: Vec<ParallelConfig>,
+    microbatches: u64,
 }
 
 impl Strategy {
@@ -28,7 +38,32 @@ impl Strategy {
             graph.len(),
             configs.len()
         );
-        Self { configs }
+        Self {
+            configs,
+            microbatches: 1,
+        }
+    }
+
+    /// The strategy's microbatch count `m` (1 = no pipelining).
+    pub fn microbatches(&self) -> u64 {
+        self.microbatches
+    }
+
+    /// Sets the microbatch count, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn set_microbatches(&mut self, m: u64) -> u64 {
+        assert!(m >= 1, "microbatch count must be at least 1");
+        std::mem::replace(&mut self.microbatches, m)
+    }
+
+    /// Builder-style [`Strategy::set_microbatches`].
+    #[must_use]
+    pub fn with_microbatches(mut self, m: u64) -> Self {
+        self.set_microbatches(m);
+        self
     }
 
     /// The configuration of operation `id`.
@@ -61,7 +96,10 @@ impl Strategy {
             .ids()
             .map(|id| ParallelConfig::data_parallel(graph.op(id), topo))
             .collect();
-        Self { configs }
+        Self {
+            configs,
+            microbatches: 1,
+        }
     }
 
     /// Whole-model single-device execution.
@@ -71,7 +109,10 @@ impl Strategy {
             .ids()
             .map(|id| ParallelConfig::on_device(graph.op(id), dev))
             .collect();
-        Self { configs }
+        Self {
+            configs,
+            microbatches: 1,
+        }
     }
 
     /// A uniformly random strategy (used as an initial search candidate,
@@ -111,7 +152,10 @@ impl Strategy {
                 }
             })
             .collect();
-        Self { configs }
+        Self {
+            configs,
+            microbatches: 1,
+        }
     }
 
     /// Ids of operations the optimizer may reassign (everything except
@@ -127,6 +171,12 @@ impl Strategy {
     /// devices (used by the Fig. 13/14 case-study printers).
     pub fn describe(&self, graph: &OpGraph) -> String {
         let mut s = String::new();
+        if self.microbatches > 1 {
+            s.push_str(&format!(
+                "{:<24} {} microbatches\n",
+                "pipeline", self.microbatches
+            ));
+        }
         for id in graph.ids() {
             let node = graph.op(id);
             s.push_str(&format!("{:<24} {}\n", node.name(), self.config(id)));
@@ -137,7 +187,16 @@ impl Strategy {
 
 impl fmt::Display for Strategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Strategy({} ops)", self.configs.len())
+        if self.microbatches > 1 {
+            write!(
+                f,
+                "Strategy({} ops, {} microbatches)",
+                self.configs.len(),
+                self.microbatches
+            )
+        } else {
+            write!(f, "Strategy({} ops)", self.configs.len())
+        }
     }
 }
 

@@ -14,16 +14,24 @@
 //! how near-miss cache entries become warm-start seeds instead of dead
 //! weight.
 
-use crate::soap::ParallelConfig;
+use crate::soap::{self, ParallelConfig};
 use crate::strategy::Strategy;
 use flexflow_device::Topology;
 use flexflow_opgraph::{graph_signature, OpGraph, OpNode};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Version stamp written into every [`StrategyRecord`]; bump on any
 /// incompatible change to the dump layout or the signature definitions.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2 (PR 5) added the strategy-wide `microbatches` field to
+/// [`StrategyDump`]. v1 records deserialize with `microbatches = 1`
+/// (whole-batch execution, exactly what v1 strategies meant), so importers
+/// accept [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest record version importers still accept (see [`FORMAT_VERSION`]).
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Portable form of one op's configuration.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -37,14 +45,41 @@ pub struct OpConfigDump {
 }
 
 /// Portable form of a whole strategy.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+///
+/// `Deserialize` is hand-written (the vendored derive requires every
+/// field): `microbatches` defaults to 1 when absent, so v1 files written
+/// before the field existed keep loading.
+#[derive(Debug, Clone, Serialize, PartialEq)]
 pub struct StrategyDump {
     /// Model name the strategy was searched for.
     pub model: String,
     /// Number of devices of the topology it targets.
     pub num_devices: usize,
+    /// Strategy-wide microbatch count (1 = no pipelining; the v1 default).
+    pub microbatches: u64,
     /// Per-op configurations in op order.
     pub ops: Vec<OpConfigDump>,
+}
+
+impl Deserialize for StrategyDump {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        if v.as_object().is_none() {
+            return Err(DeError::expected("object", v));
+        }
+        let field = |name: &str| {
+            v.get_field(name)
+                .ok_or_else(|| DeError::missing_field(name))
+        };
+        Ok(Self {
+            model: Deserialize::deserialize_value(field("model")?)?,
+            num_devices: Deserialize::deserialize_value(field("num_devices")?)?,
+            microbatches: match v.get_field("microbatches") {
+                Some(m) => Deserialize::deserialize_value(m)?,
+                None => 1,
+            },
+            ops: Deserialize::deserialize_value(field("ops")?)?,
+        })
+    }
 }
 
 /// Why a dump failed to load against a graph/topology.
@@ -84,6 +119,13 @@ pub enum ImportError {
         /// Version this build supports.
         supported: u32,
     },
+    /// The dump's microbatch count is illegal for the rebuilt graph.
+    InvalidMicrobatches {
+        /// The offending count.
+        count: u64,
+        /// Explanation.
+        reason: String,
+    },
     /// The record's content signatures do not match the supplied
     /// graph/topology.
     SignatureMismatch {
@@ -116,6 +158,9 @@ impl fmt::Display for ImportError {
                 f,
                 "strategy record format v{record} is not supported (this build reads v{supported})"
             ),
+            ImportError::InvalidMicrobatches { count, reason } => {
+                write!(f, "microbatch count {count} is invalid: {reason}")
+            }
             ImportError::SignatureMismatch {
                 which,
                 record,
@@ -135,6 +180,7 @@ pub fn export(graph: &OpGraph, topo: &Topology, strategy: &Strategy) -> Strategy
     StrategyDump {
         model: graph.name().to_string(),
         num_devices: topo.num_devices(),
+        microbatches: strategy.microbatches(),
         ops: graph
             .ids()
             .map(|id| {
@@ -182,6 +228,20 @@ fn build_strategy(
             reason: format!("{} ops saved, graph has {}", dump.ops.len(), graph.len()),
         });
     }
+    if dump.microbatches == 0 {
+        return Err(ImportError::InvalidMicrobatches {
+            count: 0,
+            reason: "must be at least 1".into(),
+        });
+    }
+    if dump.microbatches > 1
+        && !soap::legal_microbatch_counts(graph, dump.microbatches).contains(&dump.microbatches)
+    {
+        return Err(ImportError::InvalidMicrobatches {
+            count: dump.microbatches,
+            reason: "must divide the sample extent of every operation".into(),
+        });
+    }
     let mut configs = Vec::with_capacity(graph.len());
     for (id, od) in graph.ids().zip(&dump.ops) {
         let node = graph.op(id);
@@ -202,7 +262,7 @@ fn build_strategy(
             .collect();
         configs.push(checked_config(node, od, devices)?);
     }
-    Ok(Strategy::from_configs(graph, configs))
+    Ok(Strategy::from_configs(graph, configs).with_microbatches(dump.microbatches))
 }
 
 /// Imports a dump against a freshly built graph and topology.
@@ -353,7 +413,7 @@ pub fn import_record(
     topo: &Topology,
     record: &StrategyRecord,
 ) -> Result<Strategy, ImportError> {
-    if record.version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&record.version) {
         return Err(ImportError::VersionMismatch {
             record: record.version,
             supported: FORMAT_VERSION,

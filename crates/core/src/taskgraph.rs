@@ -20,6 +20,21 @@
 //! communication tasks, so compute and communication overlap naturally
 //! (§5.1).
 //!
+//! When the strategy carries a microbatch count `m > 1`
+//! ([`crate::strategy::Strategy::microbatches`]), the batch is split into
+//! `m` sample slabs and each op's tiles are replicated once per slab:
+//! entry `(tile k, microbatch j)` computes tile `k`'s intersection with
+//! slab `j` on tile `k`'s device. Stage-ordering edges chain a tile's
+//! entries in microbatch order (a stage drains its microbatches in
+//! sequence), activations connect producer/consumer entries by geometric
+//! overlap exactly as in the whole-batch case (slabs are disjoint in the
+//! sample dimension, so each microbatch's dataflow wires independently),
+//! and parameter-synchronization tasks gain one dependency per microbatch
+//! entry of their shard — the gradient-accumulation edges that make the
+//! sync fire once per iteration. Inter-op *pipeline* parallelism then
+//! emerges in the simulator: while stage `i` runs microbatch `j`, stage
+//! `i+1` runs microbatch `j-1`.
+//!
 //! The graph supports **incremental surgery** ([`TaskGraph::rebuild_op`]):
 //! replacing one operation's configuration removes and recreates only the
 //! tasks attached to that op, which is what the delta simulation algorithm
@@ -175,20 +190,27 @@ impl Default for SimConfig {
     }
 }
 
-/// Memoized materialization of one `(op, config)` pair: the output tiles,
-/// their per-slot input requirements, and the execution unit / task time of
-/// each tile. Derived data only — re-proposing a recently seen
-/// configuration (the common case in an MCMC walk and in neighborhood
-/// sweeps) skips tile arithmetic and cost-model lookups entirely.
+/// Memoized materialization of one `(op, config)` pair under the current
+/// microbatch count: one entry per **task**, i.e. per `(tile, microbatch)`
+/// pair with a non-empty intersection of the tile and the microbatch's
+/// sample slab (with `m = 1` this is exactly one entry per tile, the
+/// classic whole-batch construction). Entries are ordered
+/// microbatch-major, tiles in task order within each microbatch. Derived
+/// data only — re-proposing a recently seen configuration (the common
+/// case in an MCMC walk and in neighborhood sweeps) skips tile arithmetic
+/// and cost-model lookups entirely.
 #[derive(Debug)]
 struct OpMaterial {
+    /// Output region of each entry (the tile clipped to its slab).
     tiles: Vec<Rect>,
-    /// `needs[k][slot]`: input rect of argument `slot` required by tile `k`.
+    /// `needs[e][slot]`: input rect of argument `slot` required by entry `e`.
     needs: Vec<Vec<Option<Rect>>>,
     units: Vec<ExecUnit>,
     exe_us: Vec<f64>,
-    /// Parameters touched per tile (for sync-shard accounting).
+    /// Parameters touched per entry (for sync-shard accounting).
     params: Vec<u64>,
+    /// Tile index `k` within the op's configuration (device owner).
+    tile_index: Vec<u32>,
 }
 
 /// Bound on the materialization memo; beyond it the cache is dropped
@@ -270,6 +292,11 @@ pub struct TaskGraph {
     mat_cache: HashMap<OpId, HashMap<ParallelConfig, Arc<OpMaterial>>>,
     /// Total entries across the two-level memo (drives eviction).
     mat_cache_entries: usize,
+    /// Microbatch count the memo was materialized under. A microbatch
+    /// change (rare next to per-op config proposals) invalidates every
+    /// entry, so the memo is cleared wholesale instead of keying each
+    /// entry on `m` — the hot per-config probe stays clone-free.
+    mat_cache_mb: u64,
 }
 
 /// Equality over the *logical* graph: slots, free list, bookkeeping and
@@ -308,31 +335,40 @@ impl TaskGraph {
             epoch: 0,
             mat_cache: HashMap::new(),
             mat_cache_entries: 0,
+            mat_cache_mb: strategy.microbatches(),
         };
-        let ctx = BuildCtx {
+        tg.run_build_passes(BuildCtx {
             graph,
             topo,
             strategy,
             cost,
             cfg,
-        };
-        for op in graph.ids() {
-            tg.create_compute_tasks(ctx, op);
+        });
+        tg
+    }
+
+    /// The three construction passes shared by [`TaskGraph::build`] and
+    /// [`TaskGraph::rebuild_all`]: compute tasks per op, tensor edges
+    /// (deduped per `(src, dst)` pair — `connect_edge` handles every
+    /// argument slot of `dst` fed by `src` at once, so multi-slot
+    /// consumption like `Add(x, x)` must not wire twice), and per-layer
+    /// parameter synchronization. Assumes the per-op/edge/sync
+    /// bookkeeping is empty for everything being built.
+    fn run_build_passes(&mut self, ctx: BuildCtx<'_>) {
+        for op in ctx.graph.ids() {
+            self.create_compute_tasks(ctx, op);
         }
         let mut seen = HashSet::new();
-        for (src, dst) in graph.edges() {
-            // connect_edge handles every argument slot of `dst` fed by
-            // `src` at once; dedup multi-slot consumption (e.g. Add(x, x)).
+        for (src, dst) in ctx.graph.edges() {
             if seen.insert((src, dst)) {
-                tg.connect_edge(ctx, src, dst);
+                self.connect_edge(ctx, src, dst);
             }
         }
-        if cfg.include_param_sync {
-            for layer in graph.layer_ids() {
-                tg.build_layer_sync(ctx, layer);
+        if ctx.cfg.include_param_sync {
+            for layer in ctx.graph.layer_ids() {
+                self.build_layer_sync(ctx, layer);
             }
         }
-        tg
     }
 
     /// Opens a transaction: every subsequent [`TaskGraph::rebuild_op`]
@@ -669,6 +705,66 @@ impl TaskGraph {
         report
     }
 
+    /// Rebuilds the **entire** task graph for the strategy's current
+    /// state — the structural counterpart of [`TaskGraph::rebuild_op`] for
+    /// proposals that re-time every operation at once (a microbatch-count
+    /// change). Every live task is doomed under the open journal, the
+    /// bookkeeping maps are journaled wholesale, and the same three
+    /// construction passes as [`TaskGraph::build`] run against the new
+    /// strategy, recycling the freed slots. Unlike a chain of per-op
+    /// `rebuild_op` calls this never wires an op against a neighbour whose
+    /// tasks still reflect the old microbatch count, and each tensor edge
+    /// is built exactly once.
+    ///
+    /// Inside an open transaction (see [`TaskGraph::begin_txn`]) the whole
+    /// demolition/reconstruction is journaled and rolls back exactly. The
+    /// caller re-simulates from scratch (no incremental report is
+    /// returned; a whole-graph change dirties the entire timeline anyway).
+    pub fn rebuild_all(
+        &mut self,
+        graph: &OpGraph,
+        topo: &Topology,
+        strategy: &Strategy,
+        cost: &dyn CostModel,
+        cfg: &SimConfig,
+    ) {
+        if self.journal.is_some() {
+            for op in graph.ids() {
+                self.j_save_op_tasks(op);
+            }
+            let keys: Vec<(OpId, OpId)> = self.edge_comms.keys().copied().collect();
+            for key in keys {
+                self.j_save_edge(key);
+            }
+            for layer in graph.layer_ids() {
+                self.j_save_sync(layer);
+            }
+        }
+        let doomed: Vec<TaskId> = self.iter().map(|(id, _)| id).collect();
+        for id in doomed {
+            self.j_save_slot(id);
+            self.tasks[id.index()] = None;
+            self.free.push(id);
+        }
+        self.alive = 0;
+        for tasks in &mut self.op_tasks {
+            tasks.clear();
+        }
+        self.edge_comms.clear();
+        for tasks in &mut self.sync_tasks {
+            tasks.clear();
+        }
+        self.created_log.clear();
+        self.run_build_passes(BuildCtx {
+            graph,
+            topo,
+            strategy,
+            cost,
+            cfg,
+        });
+        self.created_log.clear();
+    }
+
     fn alloc(&mut self, task: Task) -> TaskId {
         self.alive += 1;
         let id = if let Some(id) = self.free.pop() {
@@ -716,33 +812,63 @@ impl TaskGraph {
             .push(from);
     }
 
-    /// The memoized materialization of `op` under its current config (see
-    /// [`OpMaterial`]). One `op_signature` hash and one cost lookup per
-    /// tile on a miss; a pointer clone on a hit.
+    /// The memoized materialization of `op` under its current config and
+    /// the strategy's microbatch count (see [`OpMaterial`]). One
+    /// `op_signature` hash and one cost lookup per entry on a miss; a
+    /// pointer clone on a hit.
     fn materialize(&mut self, ctx: BuildCtx<'_>, op: OpId) -> Arc<OpMaterial> {
+        let m = ctx.strategy.microbatches();
+        if m != self.mat_cache_mb {
+            self.mat_cache.clear();
+            self.mat_cache_entries = 0;
+            self.mat_cache_mb = m;
+        }
         let config = ctx.strategy.config(op);
-        if let Some(m) = self
+        if let Some(mat) = self
             .mat_cache
             .get(&op)
             .and_then(|per_op| per_op.get(config))
         {
-            return Arc::clone(m);
+            return Arc::clone(mat);
         }
         let node = ctx.graph.op(op);
         let sig = ctx.cost.op_signature(node);
-        let tiles = config.tiles(node);
-        let needs: Vec<Vec<Option<Rect>>> = tiles.iter().map(|t| node.input_rects(t)).collect();
-        let mut units = Vec::with_capacity(tiles.len());
-        let mut exe_us = Vec::with_capacity(tiles.len());
-        let mut params = Vec::with_capacity(tiles.len());
-        for (k, tile) in tiles.iter().enumerate() {
-            let dev = config.device(k);
-            units.push(ExecUnit::Gpu(dev));
-            exe_us.push(
-                ctx.cost
-                    .task_time_us_sig(sig, node, tile, ctx.topo.device(dev).kind),
-            );
-            params.push(node.params_for_tile(tile));
+        let full_tiles = config.tiles(node);
+        // The microbatch slabs partition the sample dimension: slab `j`
+        // covers samples `[j*B/m, (j+1)*B/m)`. Legal counts divide B
+        // evenly (soap::legal_microbatch_counts); the floor arithmetic
+        // keeps construction total for any m, skipping empty slabs and
+        // empty tile∩slab intersections.
+        let batch = node.output_shape().dim(0);
+        let mut tiles = Vec::new();
+        let mut needs: Vec<Vec<Option<Rect>>> = Vec::new();
+        let mut units = Vec::new();
+        let mut exe_us = Vec::new();
+        let mut params = Vec::new();
+        let mut tile_index = Vec::new();
+        for j in 0..m {
+            let (slab_lo, slab_hi) = (j * batch / m, (j + 1) * batch / m);
+            if slab_lo >= slab_hi {
+                continue;
+            }
+            for (k, tile) in full_tiles.iter().enumerate() {
+                let lo = tile.lo()[0].max(slab_lo);
+                let hi = tile.hi()[0].min(slab_hi);
+                if lo >= hi {
+                    continue;
+                }
+                let sub = tile.with_dim(0, lo, hi);
+                let dev = config.device(k);
+                needs.push(node.input_rects(&sub));
+                units.push(ExecUnit::Gpu(dev));
+                exe_us.push(
+                    ctx.cost
+                        .task_time_us_sig(sig, node, &sub, ctx.topo.device(dev).kind),
+                );
+                params.push(node.params_for_tile(&sub));
+                tiles.push(sub);
+                tile_index.push(k as u32);
+            }
         }
         let mat = Arc::new(OpMaterial {
             tiles,
@@ -750,6 +876,7 @@ impl TaskGraph {
             units,
             exe_us,
             params,
+            tile_index,
         });
         if self.mat_cache_entries >= MAT_CACHE_CAP {
             self.mat_cache.clear();
@@ -766,16 +893,32 @@ impl TaskGraph {
     fn create_compute_tasks(&mut self, ctx: BuildCtx<'_>, op: OpId) {
         let mat = self.materialize(ctx, op);
         let mut ids = Vec::with_capacity(mat.exe_us.len());
-        for k in 0..mat.exe_us.len() {
+        for e in 0..mat.exe_us.len() {
             let id = self.alloc(Task {
-                kind: TaskKind::Compute { op, k: k as u32 },
-                unit: mat.units[k],
-                exe_us: mat.exe_us[k],
+                kind: TaskKind::Compute {
+                    op,
+                    k: mat.tile_index[e],
+                },
+                unit: mat.units[e],
+                exe_us: mat.exe_us[e],
                 preds: Vec::new(),
                 succs: Vec::new(),
-                seq: seq_key(0, op.index() as u64, k as u64, 0, 0),
+                seq: seq_key(0, op.index() as u64, e as u64, 0, 0),
             });
             ids.push(id);
+        }
+        // Stage-ordering edges: a pipeline stage processes its microbatches
+        // in order, so entry (tile k, microbatch j+1) waits for (k, j).
+        // Entries are microbatch-major, so the previous entry of the same
+        // tile is simply the last one seen for that tile index.
+        if ctx.strategy.microbatches() > 1 {
+            let mut last_of_tile: HashMap<u32, TaskId> = HashMap::new();
+            for (e, &id) in ids.iter().enumerate() {
+                if let Some(&prev) = last_of_tile.get(&mat.tile_index[e]) {
+                    self.add_edge_fresh(prev, id);
+                }
+                last_of_tile.insert(mat.tile_index[e], id);
+            }
         }
         self.op_tasks[op.index()] = ids;
     }
@@ -808,6 +951,12 @@ impl TaskGraph {
         // of this (src, dst) pair are created here and nowhere else, so a
         // per-call set is a complete dedup.
         let mut dep_seen: HashSet<(TaskId, TaskId)> = HashSet::new();
+        // Microbatch slabs are disjoint in the sample dimension and every
+        // operator's input rects preserve their output's sample interval,
+        // so entries of different microbatches never intersect: the
+        // geometric overlap test below wires each microbatch's dataflow
+        // independently, which is exactly the pipeline semantics.
+        let pipelined = ctx.strategy.microbatches() > 1;
         for (kj, &tj) in dst_tasks.iter().enumerate() {
             let needs = &dst_mat.needs[kj];
             for &slot in &slots {
@@ -816,8 +965,8 @@ impl TaskGraph {
                     let Some(overlap) = src_mat.tiles[ki].intersection(&need) else {
                         continue;
                     };
-                    let sdev = src_cfg.device(ki);
-                    let ddev = dst_cfg.device(kj);
+                    let sdev = src_cfg.device(src_mat.tile_index[ki] as usize);
+                    let ddev = dst_cfg.device(dst_mat.tile_index[kj] as usize);
                     if src_is_input || sdev == ddev {
                         if dep_seen.insert((ti, tj)) {
                             self.add_edge_fresh(ti, tj);
@@ -832,19 +981,34 @@ impl TaskGraph {
                         * ctx.cfg.activation_comm_multiplier;
                     let bytes = bytes.round() as u64;
                     let exe_us = channel.transfer_time_us(bytes);
+                    // The whole-batch packing (phase 1, `slot * 1000 + kj`)
+                    // is kept bit-identical for m = 1; pipelined graphs use
+                    // phase 3 with wider entry fields, since entry indices
+                    // (m * |c|) can exceed the 1000-per-slot stride.
+                    let seq = if pipelined {
+                        seq_key(
+                            3,
+                            dst.index() as u64,
+                            ((slot as u64) << 20) | kj as u64,
+                            ki as u64,
+                            src.index() as u64,
+                        )
+                    } else {
+                        seq_key(
+                            1,
+                            dst.index() as u64,
+                            (slot * 1000 + kj) as u64,
+                            ki as u64,
+                            src.index() as u64,
+                        )
+                    };
                     let c = self.alloc(Task {
                         kind: TaskKind::Comm { bytes },
                         unit: ExecUnit::Link(channel.link),
                         exe_us,
                         preds: Vec::new(),
                         succs: Vec::new(),
-                        seq: seq_key(
-                            1,
-                            dst.index() as u64,
-                            (slot * 1000 + kj) as u64,
-                            ki as u64,
-                            src.index() as u64,
-                        ),
+                        seq,
                     });
                     self.add_edge_fresh(ti, c);
                     self.add_edge_fresh(c, tj);
@@ -886,13 +1050,17 @@ impl TaskGraph {
                 .map(|p| p.dim)
                 .collect();
             let tasks = self.op_tasks[op.index()].clone();
-            for (k, &tid) in tasks.iter().enumerate() {
-                let tile = &mat.tiles[k];
+            // With microbatches every (tile, microbatch) entry of a shard's
+            // replica contributes an edge into the shard's sync tasks: the
+            // gradient-accumulation dependency — synchronization fires once
+            // per iteration, after the shard's last microbatch.
+            for (e, &tid) in tasks.iter().enumerate() {
+                let tile = &mat.tiles[e];
                 let key: ShardKey = pdims
                     .iter()
                     .map(|&d| (d, tile.lo()[d], tile.hi()[d]))
                     .collect();
-                let params = mat.params[k];
+                let params = mat.params[e];
                 if params == 0 {
                     continue;
                 }
@@ -900,7 +1068,11 @@ impl TaskGraph {
                     .entry(key)
                     .or_insert_with(|| (params, HashMap::new()));
                 entry.0 = entry.0.max(params);
-                entry.1.entry(config.device(k)).or_default().push(tid);
+                entry
+                    .1
+                    .entry(config.device(mat.tile_index[e] as usize))
+                    .or_default()
+                    .push(tid);
             }
         }
         let mut sync_ids: Vec<TaskId> = Vec::new();

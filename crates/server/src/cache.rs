@@ -30,7 +30,9 @@
 //! [`StrategyRecord`]s, reloaded on startup and rewritten atomically
 //! (temp file + rename) on every accepted insert.
 
-use flexflow_core::strategy_io::{parse_signature_hex, StrategyRecord, FORMAT_VERSION};
+use flexflow_core::strategy_io::{
+    parse_signature_hex, StrategyRecord, FORMAT_VERSION, MIN_FORMAT_VERSION,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -45,6 +47,32 @@ pub const CACHE_FILE_VERSION: u32 = 1;
 /// was searched at least as hard as the request asks.
 pub fn budget_class(evals: u64) -> u32 {
     64 - evals.max(1).leading_zeros()
+}
+
+/// Folds the request's microbatch cap into the budget class: the low byte
+/// is the [`budget_class`] of the evaluation budget, the high bits carry
+/// the exact microbatch cap **when pipelining is enabled** (`0` when
+/// `max_microbatches <= 1`, so every pre-pipeline cache entry and request
+/// keeps its original class value, and old cache files stay addressable).
+///
+/// The two components are compared differently by
+/// [`StrategyCache::lookup`]: eval classes order (searched harder answers
+/// softer), microbatch caps must match exactly — a strategy searched with
+/// pipelining may pick `m > 1`, which a non-pipelined requester cannot
+/// execute, and vice versa the pipelined requester wants the larger space
+/// actually searched.
+pub fn composite_class(evals: u64, max_microbatches: u64) -> u32 {
+    let mb = if max_microbatches > 1 {
+        u32::try_from(max_microbatches.min(255)).expect("capped at 255")
+    } else {
+        0
+    };
+    budget_class(evals) | (mb << 8)
+}
+
+/// Splits a [`composite_class`] into `(microbatch cap, eval class)`.
+fn split_class(class: u32) -> (u32, u32) {
+    (class >> 8, class & 0xff)
 }
 
 /// A fully resolved cache key.
@@ -165,7 +193,12 @@ impl StrategyCache {
         }
         let mut cache = Self::new();
         for entry in file.entries {
-            if entry.record.version == FORMAT_VERSION && entry.key().is_some() {
+            // Records from MIN_FORMAT_VERSION on still import (older dumps
+            // default to microbatches = 1), so pre-pipeline cache files
+            // keep serving.
+            if (MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&entry.record.version)
+                && entry.key().is_some()
+            {
                 cache.insert(entry);
             }
         }
@@ -202,6 +235,7 @@ impl StrategyCache {
     /// hardest-searched, then the cheapest — deterministic because the
     /// underlying map iterates in address order.
     pub fn lookup(&self, graph_sig: u64, topo_sig: u64, class: u32) -> Lookup<'_> {
+        let (want_mb, want_ev) = split_class(class);
         let mut hit: Option<(&CacheEntry, CacheKey)> = None;
         let mut warm: Option<(&CacheEntry, CacheKey)> = None;
         for entry in self.entries.values() {
@@ -209,14 +243,15 @@ impl StrategyCache {
             if key.graph_sig != graph_sig {
                 continue;
             }
-            if key.topo_sig == topo_sig && key.budget_class >= class {
+            let (got_mb, got_ev) = split_class(key.budget_class);
+            if key.topo_sig == topo_sig && got_mb == want_mb && got_ev >= want_ev {
                 let better = hit.is_none_or(|(best, bk)| {
                     (
-                        key.budget_class,
-                        std::cmp::Reverse(entry.record.cost_us.to_bits()),
-                    ) > (
                         bk.budget_class,
                         std::cmp::Reverse(best.record.cost_us.to_bits()),
+                    ) < (
+                        key.budget_class,
+                        std::cmp::Reverse(entry.record.cost_us.to_bits()),
                     )
                 });
                 if better {
@@ -224,9 +259,11 @@ impl StrategyCache {
                 }
             } else {
                 let rank = |e: &CacheEntry, k: CacheKey| {
+                    let (k_mb, k_ev) = split_class(k.budget_class);
                     (
                         k.topo_sig == topo_sig,
-                        k.budget_class,
+                        k_mb == want_mb,
+                        k_ev,
                         std::cmp::Reverse(e.record.cost_us.to_bits()),
                     )
                 };
@@ -332,6 +369,37 @@ mod tests {
         assert_eq!(budget_class(1025), 11);
         assert_eq!(budget_class(2048), 12);
         assert_eq!(budget_class(u64::MAX), 64);
+    }
+
+    #[test]
+    fn composite_class_separates_pipelined_requests() {
+        // Pipelining off: exactly the historical class, so pre-pipeline
+        // cache files keep their addresses.
+        assert_eq!(composite_class(1024, 1), budget_class(1024));
+        assert_eq!(composite_class(1024, 0), budget_class(1024));
+        // Pipelining on: the cap rides the high bits.
+        assert_eq!(composite_class(1024, 4), budget_class(1024) | (4 << 8));
+        assert_eq!(composite_class(7, 255), budget_class(7) | (255 << 8));
+        assert_eq!(composite_class(7, 10_000), budget_class(7) | (255 << 8));
+
+        // Hits require the microbatch component to match exactly: a
+        // harder-searched pipelined entry must NOT answer a plain
+        // request (its strategy may use m > 1) and vice versa.
+        let mut c = StrategyCache::new();
+        assert!(c.insert(entry(1, 2, composite_class(1024, 4), 100.0)));
+        assert!(matches!(
+            c.lookup(1, 2, composite_class(64, 1)),
+            Lookup::Warm(_)
+        ));
+        assert!(matches!(
+            c.lookup(1, 2, composite_class(64, 8)),
+            Lookup::Warm(_)
+        ));
+        // Same cap, softer eval budget: a hit.
+        assert!(matches!(
+            c.lookup(1, 2, composite_class(64, 4)),
+            Lookup::Hit(_)
+        ));
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub const MAX_GPUS: usize = 256;
 /// Cap on requested search chains per request.
 pub const MAX_CHAINS: usize = 64;
 
+/// Cap on the per-request microbatch cap (pipeline depth beyond the batch
+/// size buys nothing; 64 matches the largest paper cluster).
+pub const MAX_MICROBATCHES: u64 = 64;
+
 /// Models the server can build, in [`flexflow_opgraph::zoo::by_name`]'s
 /// vocabulary.
 pub const KNOWN_MODELS: [&str; 8] = [
@@ -77,6 +81,9 @@ pub struct SearchRequest {
     pub seed: u64,
     /// Parallel search chains.
     pub chains: usize,
+    /// Upper bound on the strategy's microbatch count (1 = pipelining
+    /// disabled, the default; part of the cache key's budget class).
+    pub microbatches: u64,
     /// Skip the cache lookup and force a fresh search (the result still
     /// updates the cache).
     pub refresh: bool,
@@ -92,6 +99,7 @@ impl SearchRequest {
             evals: 2000,
             seed: 42,
             chains: 1,
+            microbatches: 1,
             refresh: false,
         }
     }
@@ -160,6 +168,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 return Err("field \"chains\" must be at least 1".into());
             }
             r.chains = chains as usize;
+            field_u64(&v, "microbatches", MAX_MICROBATCHES, &mut r.microbatches)?;
+            if r.microbatches == 0 {
+                return Err("field \"microbatches\" must be at least 1".into());
+            }
             if let Some(c) = v.get_field("cluster") {
                 let name = c
                     .as_str()
@@ -200,7 +212,7 @@ mod tests {
         assert_eq!(r, Request::Search(SearchRequest::new("rnnlm")));
 
         let r = parse_request(
-            r#"{"cmd":"search","model":"nmt","gpus":8,"cluster":"k80","evals":10,"seed":7,"chains":2,"refresh":true}"#,
+            r#"{"cmd":"search","model":"nmt","gpus":8,"cluster":"k80","evals":10,"seed":7,"chains":2,"microbatches":4,"refresh":true}"#,
         )
         .unwrap();
         let Request::Search(s) = r else {
@@ -212,6 +224,7 @@ mod tests {
         assert_eq!(s.evals, 10);
         assert_eq!(s.seed, 7);
         assert_eq!(s.chains, 2);
+        assert_eq!(s.microbatches, 4);
         assert!(s.refresh);
     }
 
@@ -235,6 +248,8 @@ mod tests {
             r#"{"model":"rnnlm","gpus":0}"#,
             r#"{"model":"rnnlm","evals":0}"#,
             r#"{"model":"rnnlm","chains":0}"#,
+            r#"{"model":"rnnlm","microbatches":0}"#,
+            r#"{"model":"rnnlm","microbatches":1000}"#,
             r#"{"model":"rnnlm","gpus":100000}"#,
             r#"{"model":"rnnlm","evals":99999999999}"#,
             r#"{"model":"rnnlm","cluster":"tpu"}"#,

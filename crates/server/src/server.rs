@@ -33,7 +33,7 @@
 //! the daemon converges toward answering its steady-state traffic from
 //! memory.
 
-use crate::cache::{budget_class, CacheEntry, Lookup, StrategyCache};
+use crate::cache::{composite_class, CacheEntry, Lookup, StrategyCache};
 use crate::protocol::{self, Request, SearchRequest};
 use flexflow_baselines::expert;
 use flexflow_core::strategy_io::{self, StrategyDump, StrategyRecord};
@@ -56,6 +56,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Cache persistence file; `None` keeps the cache in memory only.
     pub cache_path: Option<PathBuf>,
+    /// Server-side floor on every request's microbatch cap: requests
+    /// asking for less (including the default 1) are raised to this value,
+    /// requests asking for more win. `1` (the default) leaves requests
+    /// untouched.
+    pub default_microbatches: u64,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +68,7 @@ impl Default for ServerConfig {
         Self {
             workers: 2,
             cache_path: None,
+            default_microbatches: 1,
         }
     }
 }
@@ -195,7 +201,14 @@ impl Server {
         let (graph, topo) = build_workload(req);
         let graph_sig = graph_signature(&graph);
         let topo_sig = topo.signature();
-        let class = budget_class(req.evals);
+        // The floor is clamped to the same bound the protocol enforces on
+        // requests: values past the cache key's microbatch component
+        // would conflate distinct caps into one class.
+        let max_microbatches = req
+            .microbatches
+            .max(self.cfg.default_microbatches)
+            .min(protocol::MAX_MICROBATCHES);
+        let class = composite_class(req.evals, max_microbatches);
 
         // Phase 1 (under the lock, microseconds): classify the request and
         // clone out whatever the cache can contribute. Entries are
@@ -221,7 +234,8 @@ impl Server {
             // answer. Validation is *structural* (shape, device range,
             // config legality) — the cache key is the name-insensitive
             // graph signature, so op names must not be re-checked here.
-            if record.version == strategy_io::FORMAT_VERSION
+            if (strategy_io::MIN_FORMAT_VERSION..=strategy_io::FORMAT_VERSION)
+                .contains(&record.version)
                 && strategy_io::import_structural(&graph, &topo, &record.dump).is_ok()
             {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
@@ -250,7 +264,8 @@ impl Server {
         // Phase 2 (no lock): the actual search. Simulators live and die
         // inside this call, owned by the calling worker thread.
         let cost = MeasuredCostModel::paper_default();
-        let ps = ParallelSearch::with_chains(req.seed, req.chains);
+        let mut ps = ParallelSearch::with_chains(req.seed, req.chains);
+        ps.max_microbatches = max_microbatches;
         let budget = Budget::evaluations(req.evals);
         let warm_seed =
             warm_dump.and_then(|dump| strategy_io::remap_onto(&graph, &topo, &dump).ok());
@@ -344,6 +359,7 @@ impl Server {
             "gpus": req.gpus,
             "cluster": cluster_name(req.cluster),
             "budget_class": class,
+            "microbatches": dump.microbatches,
             "cost_us": cost_us,
             "evals": evals,
             "cached_evals": cached_evals,

@@ -87,6 +87,7 @@ fn batch_mode_preserves_order_across_the_pool() {
     let server = Server::new(ServerConfig {
         workers: 4,
         cache_path: None,
+        ..ServerConfig::default()
     });
     let mut lines = vec![
         lenet_req(30, ""),
@@ -136,6 +137,7 @@ fn cache_persists_across_server_restarts() {
     let cfg = ServerConfig {
         workers: 1,
         cache_path: Some(cache_path.clone()),
+        ..ServerConfig::default()
     };
     let first = Server::new(cfg.clone());
     let r1 = first.handle_line(&lenet_req(40, ""));
@@ -159,6 +161,7 @@ fn cache_persists_across_server_restarts() {
     let third = Server::new(ServerConfig {
         workers: 1,
         cache_path: Some(cache_path.clone()),
+        ..ServerConfig::default()
     });
     assert_eq!(third.cache_len(), 0);
     let r3 = third.handle_line(&lenet_req(40, ""));
@@ -210,6 +213,7 @@ fn corrupt_cache_entries_are_evicted_not_pinned() {
     let server = Server::new(ServerConfig {
         workers: 1,
         cache_path: Some(cache_path),
+        ..ServerConfig::default()
     });
     // Lookup hits the poisoned entry, validation fails, the entry is
     // evicted, and the request degrades to a cold search...
@@ -253,6 +257,7 @@ fn socket_mode_serves_concurrent_clients() {
     let server = Arc::new(Server::new(ServerConfig {
         workers: 2,
         cache_path: None,
+        ..ServerConfig::default()
     }));
 
     std::thread::scope(|s| {
@@ -321,4 +326,124 @@ fn socket_mode_refuses_to_clobber_non_socket_paths() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pre_pipeline_v1_cache_files_still_serve_hits() {
+    use flexflow_core::strategy_io::{export_record, StrategyRecord};
+    use flexflow_core::Strategy;
+    use flexflow_device::clusters;
+    use flexflow_opgraph::zoo;
+
+    let dir = std::env::temp_dir().join(format!("ff-e2e-v1cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_path = dir.join("strategies.json");
+
+    // Fabricate a pre-PR5 cache file: a v1 record whose dump has NO
+    // `microbatches` field (the field did not exist), searched hard
+    // enough (class 10 covers 512..=1023 evals) to answer small budgets.
+    let graph = zoo::by_name("lenet", 64);
+    let topo = clusters::paper_cluster(flexflow_device::DeviceKind::P100, 2);
+    let s = Strategy::data_parallel(&graph, &topo);
+    let mut record: StrategyRecord = export_record(&graph, &topo, &s, 1234.5, 600);
+    record.version = 1;
+    let record_json = serde_json::to_string(&record)
+        .unwrap()
+        .replace(r#""microbatches":1,"#, "");
+    assert!(
+        !record_json.contains("microbatches"),
+        "v1 fixture must not carry the new field: {record_json}"
+    );
+    let entry_json = format!(
+        r#"{{"budget_class":10,"model":"lenet","gpus":2,"cluster":"p100","record":{record_json}}}"#
+    );
+    std::fs::write(
+        &cache_path,
+        format!(r#"{{"version":1,"entries":[{entry_json}]}}"#),
+    )
+    .unwrap();
+
+    // A fresh server over the old file answers the matching request as a
+    // hit: zero evaluations, the stored cost, microbatches defaulted to 1.
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        cache_path: Some(cache_path),
+        ..ServerConfig::default()
+    });
+    let resp = server.handle_line(r#"{"model":"lenet","gpus":2,"evals":40,"seed":9}"#);
+    assert_eq!(field_str(&resp, "status"), "ok", "{resp}");
+    assert_eq!(field_str(&resp, "cache"), "hit", "{resp}");
+    assert_eq!(field_u64(&resp, "evals"), 0);
+    assert_eq!(field_f64(&resp, "cost_us"), 1234.5);
+    assert_eq!(field_u64(&resp, "microbatches"), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pipelined_and_plain_requests_address_distinct_entries() {
+    let server = Server::new(ServerConfig::default());
+
+    // Prime the cache with a plain (non-pipelined) search.
+    let r1 = server.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r1, "cache"), "cold");
+
+    // The same request with pipelining enabled must NOT hit the plain
+    // entry (its search never explored microbatches); the plain entry
+    // still seeds it as a warm start.
+    let r2 = server.handle_line(&lenet_req(40, r#","microbatches":4"#));
+    assert_eq!(field_str(&r2, "cache"), "warm", "{r2}");
+    assert!(field_u64(&r2, "evals") > 0);
+
+    // Repeating the pipelined request now hits its own entry.
+    let r3 = server.handle_line(&lenet_req(40, r#","microbatches":4"#));
+    assert_eq!(field_str(&r3, "cache"), "hit", "{r3}");
+    assert_eq!(field_u64(&r3, "evals"), 0);
+
+    // And the plain request still hits the plain entry, not the
+    // pipelined one (whose strategy may use m > 1).
+    let r4 = server.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r4, "cache"), "hit", "{r4}");
+    assert_eq!(field_u64(&r4, "microbatches"), 1);
+}
+
+#[test]
+fn plain_requests_never_receive_pipelined_strategies() {
+    // Only a pipelined entry exists; a plain request warm-starts from it
+    // but must get (and cache) a whole-batch strategy back — the warm
+    // seed's microbatch count is clamped to the request's cap.
+    let server = Server::new(ServerConfig::default());
+    let r1 = server.handle_line(&lenet_req(40, r#","microbatches":4"#));
+    assert_eq!(field_str(&r1, "cache"), "cold");
+    let r2 = server.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r2, "cache"), "warm", "{r2}");
+    assert_eq!(
+        field_u64(&r2, "microbatches"),
+        1,
+        "a non-pipelined requester must never be handed m > 1: {r2}"
+    );
+    // The cached plain entry keeps serving plain hits at m = 1.
+    let r3 = server.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r3, "cache"), "hit", "{r3}");
+    assert_eq!(field_u64(&r3, "microbatches"), 1);
+}
+
+#[test]
+fn serve_default_microbatches_raises_the_request_floor() {
+    // A server started with --microbatches 4 searches the pipelined
+    // space even for requests that don't ask for it, and its entries
+    // carry the pipelined budget class.
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        cache_path: None,
+        default_microbatches: 4,
+    });
+    let r1 = server.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r1, "cache"), "cold");
+    // The same request hits the entry the floor produced.
+    let r2 = server.handle_line(&lenet_req(40, ""));
+    assert_eq!(field_str(&r2, "cache"), "hit", "{r2}");
+    // An explicitly larger cap wins over the floor: different class.
+    let r3 = server.handle_line(&lenet_req(40, r#","microbatches":8"#));
+    assert_ne!(field_str(&r3, "cache"), "hit", "{r3}");
 }

@@ -3,17 +3,25 @@
 //! ```text
 //! flexflow models
 //! flexflow search <model> [--gpus N] [--cluster p100|k80] [--evals N] [--seed N] [--out FILE]
-//!                         [--chains K] [--exchange-every N] [--legacy] [--verbose]
-//! flexflow simulate <model> [--gpus N] [--cluster p100|k80] [--strategy FILE]
+//!                         [--chains K] [--exchange-every N] [--microbatches M] [--warm FILE]
+//!                         [--legacy] [--verbose]
+//! flexflow simulate <model> [--gpus N] [--cluster p100|k80] [--strategy FILE] [--microbatches M]
 //! flexflow baselines <model> [--gpus N] [--cluster p100|k80]
-//! flexflow serve [--socket PATH] [--workers N] [--cache FILE] [--oneshot]
+//! flexflow serve [--socket PATH] [--workers N] [--cache FILE] [--microbatches M] [--oneshot]
 //! ```
 //!
 //! `search` runs the parallel multi-chain driver by default (one chain
 //! per available hardware thread; fix `--chains` and `--seed` for a
 //! reproducible result). `--legacy` forces the sequential single-chain
 //! reference driver, which `--chains 1` reproduces bit-for-bit — CI
-//! diffs the two.
+//! diffs the two; combining `--legacy` with the multi-chain knobs
+//! (`--chains > 1`, `--exchange-every`) is rejected as contradictory.
+//! `--microbatches M` enables pipeline parallelism: the search may split
+//! the batch into up to `M` microbatches and pipeline operator stages
+//! across devices. `--warm FILE` seeds every chain from a previously
+//! exported strategy instead of the data-parallel/expert defaults, so a
+//! pipelined refinement of a known-good strategy can never end worse
+//! than it.
 //!
 //! `serve` runs the strategy-serving daemon: line-delimited JSON requests
 //! (see `flexflow_server::protocol`) answered from a content-addressed
@@ -39,10 +47,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  flexflow models\n  flexflow search <model> [--gpus N] [--cluster p100|k80] \
          [--evals N] [--seed N] [--out FILE]\n                          [--chains K] \
-         [--exchange-every N] [--legacy] [--verbose]\n  flexflow simulate <model> [--gpus N] \
-         [--cluster p100|k80] [--strategy FILE]\n  flexflow baselines <model> [--gpus N] \
-         [--cluster p100|k80]\n  flexflow serve [--socket PATH] [--workers N] [--cache FILE] \
-         [--oneshot]"
+         [--exchange-every N] [--microbatches M] [--warm FILE]\n                          \
+         [--legacy] [--verbose]\n  flexflow simulate <model> [--gpus N] \
+         [--cluster p100|k80] [--strategy FILE] [--microbatches M]\n  flexflow baselines \
+         <model> [--gpus N] [--cluster p100|k80]\n  flexflow serve [--socket PATH] \
+         [--workers N] [--cache FILE] [--microbatches M] [--oneshot]"
     );
     ExitCode::from(2)
 }
@@ -59,6 +68,11 @@ struct Options {
     chains: usize,
     exchange_every: u64,
     legacy: bool,
+    /// `--microbatches M`: `None` when the flag was absent (so `simulate`
+    /// can tell "default off" from an explicit 1), capped max for search.
+    microbatches: Option<u64>,
+    /// `--warm FILE`: strategy file seeding the search.
+    warm: Option<String>,
 }
 
 fn parse(args: &[String]) -> Option<Options> {
@@ -74,6 +88,8 @@ fn parse(args: &[String]) -> Option<Options> {
         chains: default_chains(),
         exchange_every: 256,
         legacy: false,
+        microbatches: None,
+        warm: None,
     };
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut i = 1;
@@ -128,8 +144,38 @@ fn parse(args: &[String]) -> Option<Options> {
     if let Some(v) = flags.get("--exchange-every") {
         o.exchange_every = v.parse().ok()?;
     }
+    if let Some(v) = flags.get("--microbatches") {
+        let m: u64 = v.parse().ok()?;
+        if m == 0 {
+            eprintln!("--microbatches must be at least 1");
+            return None;
+        }
+        o.microbatches = Some(m);
+    }
+    // Contradictory combinations are rejected instead of silently
+    // picking a winner: the legacy sequential driver has exactly one
+    // chain and no exchange protocol, so multi-chain knobs next to
+    // --legacy mean the caller is confused about which driver runs.
+    if o.legacy {
+        if flags.contains_key("--chains") && o.chains > 1 {
+            eprintln!(
+                "--legacy runs the sequential single-chain driver; \
+                 it cannot honour --chains {} (drop one of the flags)",
+                o.chains
+            );
+            return None;
+        }
+        if flags.contains_key("--exchange-every") {
+            eprintln!(
+                "--legacy runs the sequential driver, which has no \
+                 best-strategy exchange; --exchange-every is contradictory"
+            );
+            return None;
+        }
+    }
     o.out = flags.get("--out").cloned();
     o.strategy = flags.get("--strategy").cloned();
+    o.warm = flags.get("--warm").cloned();
     Some(o)
 }
 
@@ -156,6 +202,7 @@ fn serve(args: &[String]) -> ExitCode {
     let mut cache: Option<String> = None;
     let mut socket = "flexflow.sock".to_string();
     let mut oneshot = false;
+    let mut microbatches = 1u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -163,7 +210,7 @@ fn serve(args: &[String]) -> ExitCode {
                 oneshot = true;
                 i += 1;
             }
-            key @ ("--workers" | "--cache" | "--socket") => {
+            key @ ("--workers" | "--cache" | "--socket" | "--microbatches") => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("{key} needs a value");
                     return ExitCode::from(2);
@@ -177,6 +224,24 @@ fn serve(args: &[String]) -> ExitCode {
                         }
                     },
                     "--cache" => cache = Some(value.clone()),
+                    // Same bounds as the protocol's "microbatches" field:
+                    // an unbounded server-side floor would overflow the
+                    // cache key's microbatch component and conflate
+                    // distinct caps into one class.
+                    "--microbatches" => match value.parse::<u64>() {
+                        Ok(m)
+                            if (1..=flexflow::server::protocol::MAX_MICROBATCHES).contains(&m) =>
+                        {
+                            microbatches = m;
+                        }
+                        _ => {
+                            eprintln!(
+                                "--microbatches must be in 1..={}, got {value:?}",
+                                flexflow::server::protocol::MAX_MICROBATCHES
+                            );
+                            return ExitCode::from(2);
+                        }
+                    },
                     _ => socket = value.clone(),
                 }
                 i += 2;
@@ -190,6 +255,7 @@ fn serve(args: &[String]) -> ExitCode {
     let server = Server::new(ServerConfig {
         workers,
         cache_path: cache.map(std::path::PathBuf::from),
+        default_microbatches: microbatches,
     });
     let result = if oneshot {
         server.run_batch(std::io::stdin().lock(), std::io::stdout().lock())
@@ -241,8 +307,9 @@ fn main() -> ExitCode {
             let cost = MeasuredCostModel::paper_default();
             let dp = Strategy::data_parallel(&graph, &topo);
             let ex = expert::strategy(&graph, &topo);
+            let max_microbatches = o.microbatches.unwrap_or(1);
             println!(
-                "searching {} on {} x {} ({} ops, {} evals, {})...",
+                "searching {} on {} x {} ({} ops, {} evals, {}{})...",
                 o.model,
                 o.gpus,
                 o.cluster,
@@ -252,12 +319,32 @@ fn main() -> ExitCode {
                     "legacy sequential driver".to_string()
                 } else {
                     format!("{} chains", o.chains)
+                },
+                if max_microbatches > 1 {
+                    format!(", up to {max_microbatches} microbatches")
+                } else {
+                    String::new()
                 }
             );
-            let initials = [dp.clone(), ex.clone()];
+            // --warm replaces the default seeds entirely: the search never
+            // returns worse than an initial candidate, so refining an
+            // exported strategy (e.g. re-searching it with pipelining
+            // enabled) is monotone by construction.
+            let initials: Vec<Strategy> = match &o.warm {
+                None => vec![dp.clone(), ex.clone()],
+                Some(path) => match load_strategy(path, &graph, &topo) {
+                    Ok(s) => vec![s],
+                    Err(e) => {
+                        eprintln!("cannot load warm-start strategy: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
             let budget = Budget::evaluations(o.evals);
             let r: SearchResult = if o.legacy {
-                McmcOptimizer::new(o.seed).search(
+                let mut opt = McmcOptimizer::new(o.seed);
+                opt.max_microbatches = max_microbatches;
+                opt.search(
                     &graph,
                     &topo,
                     &cost,
@@ -268,6 +355,7 @@ fn main() -> ExitCode {
             } else {
                 let mut ps = ParallelSearch::with_chains(o.seed, o.chains);
                 ps.exchange_every = o.exchange_every;
+                ps.max_microbatches = max_microbatches;
                 ps.search(
                     &graph,
                     &topo,
@@ -280,6 +368,12 @@ fn main() -> ExitCode {
             report("data parallelism", &graph, &topo, &dp);
             report("expert", &graph, &topo, &ex);
             report("flexflow", &graph, &topo, &r.best);
+            if r.best.microbatches() > 1 {
+                println!(
+                    "pipeline: best strategy uses {} microbatches",
+                    r.best.microbatches()
+                );
+            }
             if o.verbose {
                 let t = r.telemetry;
                 println!(
@@ -334,7 +428,7 @@ fn main() -> ExitCode {
                 return usage();
             };
             let (graph, topo) = build(&o);
-            let s = match &o.strategy {
+            let mut s = match &o.strategy {
                 None => Strategy::data_parallel(&graph, &topo),
                 // Strategy files are untrusted input: unreadable paths,
                 // malformed JSON and illegal configurations must all exit
@@ -347,6 +441,22 @@ fn main() -> ExitCode {
                     }
                 },
             };
+            // An explicit --microbatches overrides whatever the strategy
+            // (file) carries; absence leaves it untouched. The same
+            // legality rule as strategy files and the search applies —
+            // quoting a cost for a count the rest of the toolchain
+            // rejects would be a trap.
+            if let Some(m) = o.microbatches {
+                if !flexflow::core::soap::legal_microbatch_counts(&graph, m).contains(&m) {
+                    eprintln!(
+                        "--microbatches {m} is invalid for {}: the count must divide \
+                         the sample extent of every operation",
+                        o.model
+                    );
+                    return ExitCode::FAILURE;
+                }
+                s.set_microbatches(m);
+            }
             report("simulated", &graph, &topo, &s);
             ExitCode::SUCCESS
         }

@@ -381,3 +381,188 @@ fn serve_rejects_bad_flags() {
     let out = flexflow(&["serve", "--cache"]);
     assert!(!out.status.success(), "--cache without a value must fail");
 }
+
+#[test]
+fn contradictory_flag_combos_are_rejected_with_a_message() {
+    // --legacy runs the sequential single-chain driver: multi-chain
+    // knobs next to it are contradictions, not silently ignored.
+    let out = flexflow(&[
+        "search", "lenet", "--evals", "10", "--legacy", "--chains", "3",
+    ]);
+    assert!(
+        !out.status.success(),
+        "--legacy --chains 3 must be rejected"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--legacy") && stderr.contains("--chains"),
+        "stderr should name the conflicting flags:\n{stderr}"
+    );
+
+    let out = flexflow(&[
+        "search",
+        "lenet",
+        "--evals",
+        "10",
+        "--legacy",
+        "--exchange-every",
+        "16",
+    ]);
+    assert!(
+        !out.status.success(),
+        "--legacy --exchange-every must be rejected"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--exchange-every"), "{stderr}");
+
+    // --legacy --chains 1 is redundant but NOT contradictory: both name
+    // the single-chain execution, so it must keep working.
+    let out = flexflow(&[
+        "search", "lenet", "--evals", "10", "--legacy", "--chains", "1",
+    ]);
+    assert!(out.status.success(), "--legacy --chains 1 must be accepted");
+
+    let out = flexflow(&["search", "lenet", "--microbatches", "0"]);
+    assert!(!out.status.success(), "--microbatches 0 must be rejected");
+
+    // simulate applies the same legality rule as strategy files and the
+    // search: a count that does not divide the batch is refused, not
+    // silently simulated with uneven slabs.
+    let out = flexflow(&["simulate", "rnnlm", "--gpus", "4", "--microbatches", "7"]);
+    assert!(
+        !out.status.success(),
+        "--microbatches 7 (batch 64) must be rejected"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--microbatches 7") && stderr.contains("divide"),
+        "stderr should explain the legality rule:\n{stderr}"
+    );
+}
+
+#[test]
+fn microbatch_search_exports_and_simulate_accepts_pipelined_strategies() {
+    let dir = std::env::temp_dir().join(format!("flexflow-cli-mb-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let base = dir.join("base.json");
+    let pipe = dir.join("pipe.json");
+
+    // Non-pipelined baseline search.
+    let out = stdout_of(&flexflow(&[
+        "search",
+        "rnnlm",
+        "--gpus",
+        "4",
+        "--evals",
+        "30",
+        "--seed",
+        "11",
+        "--chains",
+        "1",
+        "--out",
+        base.to_str().unwrap(),
+    ]));
+    let cost = |text: &str, label: &str| {
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(label))
+            .unwrap_or_else(|| panic!("no {label} line:\n{text}"));
+        line.split_whitespace()
+            .nth(label.split_whitespace().count())
+            .and_then(|t| t.parse::<f64>().ok())
+            .unwrap_or_else(|| panic!("unparseable cost in {line}"))
+    };
+    let base_cost = cost(&out, "flexflow");
+
+    // Warm pipelined refinement can never end worse than its seed.
+    let out = stdout_of(&flexflow(&[
+        "search",
+        "rnnlm",
+        "--gpus",
+        "4",
+        "--evals",
+        "60",
+        "--seed",
+        "11",
+        "--chains",
+        "1",
+        "--microbatches",
+        "4",
+        "--warm",
+        base.to_str().unwrap(),
+        "--out",
+        pipe.to_str().unwrap(),
+    ]));
+    let pipe_cost = cost(&out, "flexflow");
+    assert!(
+        pipe_cost <= base_cost + 1e-9,
+        "pipelined warm search must not regress: {pipe_cost} vs {base_cost}"
+    );
+
+    // The exported dump carries the microbatch field and simulate loads
+    // it; an explicit --microbatches overrides the file's count.
+    let text = std::fs::read_to_string(&pipe).unwrap();
+    let dump: flexflow::core::strategy_io::StrategyDump =
+        serde_json::from_str(&text).expect("pipelined strategy file parses");
+    assert!(dump.microbatches >= 1);
+    let sim = stdout_of(&flexflow(&[
+        "simulate",
+        "rnnlm",
+        "--gpus",
+        "4",
+        "--strategy",
+        pipe.to_str().unwrap(),
+    ]));
+    assert!(parse_throughput(sim.lines().next().unwrap()) > 0.0);
+    let sim = stdout_of(&flexflow(&[
+        "simulate",
+        "rnnlm",
+        "--gpus",
+        "4",
+        "--strategy",
+        base.to_str().unwrap(),
+        "--microbatches",
+        "2",
+    ]));
+    assert!(parse_throughput(sim.lines().next().unwrap()) > 0.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pre_pipeline_strategy_files_still_load() {
+    // Strategy files written before the `microbatches` field existed must
+    // keep importing (defaulting to 1 = whole-batch execution).
+    let dir = std::env::temp_dir().join(format!("flexflow-cli-v1strat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("v1.json");
+    let fresh = dir.join("fresh.json");
+    stdout_of(&flexflow(&[
+        "search",
+        "lenet",
+        "--evals",
+        "5",
+        "--seed",
+        "1",
+        "--out",
+        fresh.to_str().unwrap(),
+    ]));
+    let text = std::fs::read_to_string(&fresh).unwrap();
+    assert!(text.contains("\"microbatches\""));
+    // Strip the field to fabricate a v1-era file.
+    let v1: String = text
+        .lines()
+        .filter(|l| !l.contains("\"microbatches\""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write(&path, v1).unwrap();
+    let out = stdout_of(&flexflow(&[
+        "simulate",
+        "lenet",
+        "--strategy",
+        path.to_str().unwrap(),
+    ]));
+    assert!(parse_throughput(out.lines().next().unwrap()) > 0.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
