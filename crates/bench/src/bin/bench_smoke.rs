@@ -1,6 +1,6 @@
 //! CI perf smoke + regression gate.
 //!
-//! Four workloads, one artifact (`BENCH_pr5.json` by default):
+//! Five workloads, one artifact (`BENCH_pr6.json` by default):
 //!
 //! 1. `proposal_evaluation` (full vs delta simulation, see
 //!    [`flexflow_bench::proposal_bench`]) once at 4/8/16 devices — the
@@ -14,7 +14,11 @@
 //! 4. `pipeline` (microbatch pipeline parallelism, see
 //!    [`flexflow_bench::pipeline_bench`]) — pipelined vs whole-batch best
 //!    search cost on rnnlm@4GPU, the PR 5 trajectory (fully
-//!    deterministic: single-chain searches under evaluation budgets).
+//!    deterministic: single-chain searches under evaluation budgets);
+//! 5. `sim_scaling` (hierarchical timelines, see
+//!    [`flexflow_bench::sim_scaling`]) — median delta-proposal cost on
+//!    gpt_small over hierarchical clusters of 16/64/256 devices, the
+//!    PR 6 trajectory.
 //!
 //! With `--check` the binary also gates the numbers and exits non-zero on
 //! a regression:
@@ -36,8 +40,12 @@
 //!   simulated cost than the best `microbatches = 1` strategy on rnnlm
 //!   (the acceptance bar for the pipeline dimension: the warm start makes
 //!   ≤ structural, the gate demands the real win);
+//! - the delta-proposal median's growth per device *doubling* across the
+//!   16/64/256 sweep must stay below 2.2x (a whole-cluster repair
+//!   frontier tracks the full timeline population and grows ~linearly
+//!   with devices; the island frontier must not);
 //! - when a baseline artifact exists (`BENCH_SMOKE_BASELINE`, default
-//!   the committed `BENCH_pr4.json`), the *dimensionless ratios* —
+//!   the committed `BENCH_pr5.json`), the *dimensionless ratios* —
 //!   delta-vs-full per device count and 4-chain-vs-1-chain throughput —
 //!   must not regress by more than 20% against it. Absolute times are
 //!   never compared across machines; the throughput-ratio comparison is
@@ -48,11 +56,14 @@
 //! default 4000), `BENCH_SMOKE_SERVE_EVALS` (warm-vs-cold budget, default
 //! 2000), `BENCH_SMOKE_HIT_REQUESTS` (timed hit requests, default 2000),
 //! `BENCH_SMOKE_PIPELINE_EVALS` (pipeline comparison budget, default
-//! 1500), `BENCH_SMOKE_BASELINE` (baseline path, default
-//! `BENCH_pr4.json`), `BENCH_SMOKE_OUT` (output path, default
-//! `BENCH_pr5.json`).
+//! 1500), `BENCH_SMOKE_SCALING_SAMPLES` (timed samples per sim_scaling
+//! cell, default 9), `BENCH_SMOKE_BASELINE` (baseline path, default
+//! `BENCH_pr5.json`), `BENCH_SMOKE_OUT` (output path, default
+//! `BENCH_pr6.json`).
 
-use flexflow_bench::{pipeline_bench, proposal_bench, search_throughput, serve_throughput};
+use flexflow_bench::{
+    pipeline_bench, proposal_bench, search_throughput, serve_throughput, sim_scaling,
+};
 use flexflow_core::sim::{SimConfig, Simulator};
 use flexflow_core::strategy::Strategy;
 use flexflow_costmodel::MeasuredCostModel;
@@ -92,16 +103,49 @@ struct Report {
     serve_warm_vs_cold: serve_throughput::WarmVsCold,
     /// Pipelined vs whole-batch best search cost on rnnlm@4GPU (PR 5).
     pipeline: pipeline_bench::PipelineComparison,
+    /// Delta-proposal medians on gpt_small over hierarchical clusters of
+    /// 16/64/256 devices (PR 6).
+    sim_scaling: Vec<sim_scaling::ScalingCell>,
+    /// Median growth per device doubling across consecutive sweep cells
+    /// (gated < 2.2x each).
+    sim_scaling_growth_per_doubling: Vec<f64>,
 }
 
 /// The slice of a previous report the cross-run gate compares against —
 /// only fields present in every artifact since `BENCH_pr3.json`, parsed
 /// leniently (extra fields in newer artifacts are ignored).
-#[derive(Deserialize)]
 struct Baseline {
     available_parallelism: usize,
     results: Vec<Cell>,
     search_throughput: Vec<search_throughput::Measurement>,
+    /// Absent in artifacts older than `BENCH_pr6.json`.
+    sim_scaling: Vec<sim_scaling::ScalingCell>,
+}
+
+// Hand-written like `StrategyDump`'s: the vendored derive requires every
+// field, but `sim_scaling` must default to empty so pre-PR 6 baseline
+// artifacts keep loading.
+impl serde::Deserialize for Baseline {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if v.as_object().is_none() {
+            return Err(serde::DeError::expected("object", v));
+        }
+        let field = |name: &str| {
+            v.get_field(name)
+                .ok_or_else(|| serde::DeError::missing_field(name))
+        };
+        Ok(Self {
+            available_parallelism: serde::Deserialize::deserialize_value(field(
+                "available_parallelism",
+            )?)?,
+            results: serde::Deserialize::deserialize_value(field("results")?)?,
+            search_throughput: serde::Deserialize::deserialize_value(field("search_throughput")?)?,
+            sim_scaling: match v.get_field("sim_scaling") {
+                Some(s) => serde::Deserialize::deserialize_value(s)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 fn timed<F: FnMut() -> f64>(samples: usize, mut f: F) -> (f64, f64, f64) {
@@ -154,9 +198,14 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1500)
         .max(100);
+    let scaling_samples: usize = std::env::var("BENCH_SMOKE_SCALING_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9)
+        .max(1);
     let baseline_path =
-        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr4.json".into());
-    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr5.json".into());
+        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr5.json".into());
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr6.json".into());
     let cores = flexflow_core::default_chains();
 
     // ---- workload 1: proposal_evaluation (full vs delta) ----
@@ -291,6 +340,36 @@ fn main() -> ExitCode {
         pipeline.cost_ratio
     );
 
+    // ---- workload 5: sim_scaling (hierarchical timelines) ----
+    println!(
+        "\nbench smoke: sim_scaling (gpt_small delta proposals, {scaling_samples} samples per cell)"
+    );
+    println!(
+        "{:>7} {:>9} {:>14} {:>12} {:>12}",
+        "gpus", "islands", "delta median", "min", "max"
+    );
+    let scaling: Vec<sim_scaling::ScalingCell> = sim_scaling::DEVICE_COUNTS
+        .iter()
+        .map(|&gpus| {
+            let cell = sim_scaling::measure(gpus, scaling_samples, 6);
+            println!(
+                "{:>7} {:>9} {:>12.1}us {:>10.1}us {:>10.1}us",
+                cell.gpus, cell.islands, cell.delta_median_us, cell.delta_min_us, cell.delta_max_us
+            );
+            cell
+        })
+        .collect();
+    let scaling_growth: Vec<f64> = scaling
+        .windows(2)
+        .map(|w| sim_scaling::growth_per_doubling(&w[0], &w[1]))
+        .collect();
+    for (w, g) in scaling.windows(2).zip(&scaling_growth) {
+        println!(
+            "growth per doubling {} -> {} devices: {g:.2}x",
+            w[0].gpus, w[1].gpus
+        );
+    }
+
     // ---- artifact ----
     let report = Report {
         unix_epoch_secs: std::time::SystemTime::now()
@@ -309,7 +388,11 @@ fn main() -> ExitCode {
                (warm seed = same search at half budget; target = cold best + 1% of the \
                improvement gap over data parallelism). pipeline: single-chain search with \
                max_microbatches=8 warm-started from the single-chain whole-batch best \
-               (deterministic; the gate demands a strict cost improvement)"
+               (deterministic; the gate demands a strict cost improvement). \
+               sim_scaling: median apply+rollback time of one degree-capped proposal on \
+               gpt_small (batch 64) over hierarchical P100 clusters (4-GPU NVLink islands, \
+               IB spine) at 16/64/256 devices; the gate bounds the median's growth per \
+               device doubling"
             .into(),
         results,
         search_throughput: search,
@@ -317,6 +400,8 @@ fn main() -> ExitCode {
         serve_hits: hits.clone(),
         serve_warm_vs_cold: wvc.clone(),
         pipeline: pipeline.clone(),
+        sim_scaling: scaling.clone(),
+        sim_scaling_growth_per_doubling: scaling_growth.clone(),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json).expect("write bench smoke artifact");
@@ -383,6 +468,18 @@ fn main() -> ExitCode {
         ));
     }
 
+    // Scaling gate: the island frontier must keep the delta-proposal
+    // median's growth per device doubling sublinear.
+    for (w, &g) in scaling.windows(2).zip(&scaling_growth) {
+        if g >= 2.2 {
+            failures.push(format!(
+                "delta-proposal median grows {g:.2}x per device doubling from \
+                 {} to {} devices (gate: < 2.2x)",
+                w[0].gpus, w[1].gpus
+            ));
+        }
+    }
+
     // Cross-run gate: dimensionless ratios vs the committed baseline
     // artifact, with a 20% noise allowance.
     match std::fs::read_to_string(&baseline_path) {
@@ -433,6 +530,26 @@ fn main() -> ExitCode {
                         }
                     }
                 }
+                // Growth-per-doubling is dimensionless too; compare when
+                // the baseline artifact already records the sweep.
+                for (bw, w) in base.sim_scaling.windows(2).zip(scaling.windows(2)) {
+                    if bw[0].gpus != w[0].gpus || bw[1].gpus != w[1].gpus {
+                        continue;
+                    }
+                    let base_g = sim_scaling::growth_per_doubling(&bw[0], &bw[1]);
+                    let g = sim_scaling::growth_per_doubling(&w[0], &w[1]);
+                    println!(
+                        "  scaling growth {}->{}: {g:.2}x/doubling now, {base_g:.2}x baseline",
+                        w[0].gpus, w[1].gpus
+                    );
+                    if g > 1.2 * base_g {
+                        failures.push(format!(
+                            "delta-proposal growth per doubling from {} to {} devices \
+                             regressed >20%: {g:.2}x vs baseline {base_g:.2}x",
+                            w[0].gpus, w[1].gpus
+                        ));
+                    }
+                }
             }
         },
     }
@@ -441,11 +558,17 @@ fn main() -> ExitCode {
     if failures.is_empty() {
         println!(
             "  PASS: delta-vs-full >= 1.5x at 4/8/16 devices, 4-chain {tp_ratio:.2}x, \
-             hits {:.0} req/s at 0 evals, warm ratio {:.3}, pipeline ratio {:.3} (m = {})",
+             hits {:.0} req/s at 0 evals, warm ratio {:.3}, pipeline ratio {:.3} (m = {}), \
+             scaling growth {} per doubling",
             hits.requests_per_s,
             wvc.warm_ratio,
             pipeline.cost_ratio,
-            pipeline.pipelined_microbatches
+            pipeline.pipelined_microbatches,
+            scaling_growth
+                .iter()
+                .map(|g| format!("{g:.2}x"))
+                .collect::<Vec<_>>()
+                .join("/")
         );
         ExitCode::SUCCESS
     } else {

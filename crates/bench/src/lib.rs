@@ -664,6 +664,129 @@ pub mod pipeline_bench {
     }
 }
 
+/// Workload + measurement helpers for the `sim_scaling` benchmark (the
+/// hierarchical-timeline half of `bench_smoke`, the PR 6 trajectory):
+/// does the per-island repair frontier keep delta evaluation affordable
+/// as the cluster doubles from 16 to 64 to 256 devices?
+///
+/// Each cell measures the steady-state rejected-proposal cost (apply +
+/// rollback, the [`proposal_bench::delta_once`] convention) on gpt_small
+/// over a hierarchical cluster of 4-GPU P100 NVLink islands joined by an
+/// InfiniBand spine. Proposal degrees are capped at 16 tasks — the same
+/// bound [`run_contenders`] and the search's random candidates apply on
+/// big clusters — so the cells differ only in cluster size. The quantity
+/// the `--check` gate bounds is the median's growth per device
+/// *doubling* (< 2.2x): with a whole-cluster repair frontier the
+/// rejected-proposal cost tracks the full timeline population, which
+/// doubles with the device count at fixed per-op degree; the island
+/// frontier keeps repair confined to the islands a proposal touches.
+pub mod sim_scaling {
+    use flexflow_core::sim::{SimConfig, Simulator};
+    use flexflow_core::soap::{random_config_capped, ConfigSpace};
+    use flexflow_core::strategy::Strategy;
+    use flexflow_costmodel::MeasuredCostModel;
+    use flexflow_device::{clusters, DeviceKind, Topology};
+    use flexflow_opgraph::{zoo, OpGraph, OpId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use serde::{Deserialize, Serialize};
+    use std::time::Instant;
+
+    /// The device counts of the scaling sweep (two doublings apart).
+    pub const DEVICE_COUNTS: [usize; 3] = [16, 64, 256];
+
+    /// Proposal degree cap (max tasks per op), matching the search's own
+    /// capped candidates so cells differ only in cluster size.
+    pub const DEGREE_CAP: u64 = 16;
+
+    /// The benchmark model: the transformer workload the 64+-device
+    /// clusters exist for.
+    pub fn model() -> OpGraph {
+        zoo::gpt_small(64)
+    }
+
+    /// The benchmark cluster: 4-GPU P100 NVLink islands on an IB spine.
+    pub fn cluster(gpus: usize) -> Topology {
+        clusters::hierarchical_cluster(DeviceKind::P100, gpus / 4, 4)
+    }
+
+    /// One measured device-count cell.
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    pub struct ScalingCell {
+        /// Devices of the cluster.
+        pub gpus: usize,
+        /// NVLink islands of the cluster.
+        pub islands: usize,
+        /// Median apply+rollback time of one capped proposal (µs).
+        pub delta_median_us: f64,
+        /// Fastest sample (µs).
+        pub delta_min_us: f64,
+        /// Slowest sample (µs).
+        pub delta_max_us: f64,
+        /// Timed samples behind the median.
+        pub samples: usize,
+    }
+
+    /// One capped delta proposal evaluated and reverted — the
+    /// steady-state rejected-proposal cost of an MCMC walk.
+    pub fn delta_once(sim: &mut Simulator, searchable: &[OpId], rng: &mut StdRng) -> f64 {
+        let op = searchable[rng.gen_range(0..searchable.len())];
+        let config = random_config_capped(
+            sim.graph().op(op),
+            sim.topology(),
+            ConfigSpace::Full,
+            DEGREE_CAP,
+            rng,
+        );
+        let c = sim.apply(op, config);
+        sim.rollback();
+        c
+    }
+
+    /// Measures one cell: `samples` capped proposals (after one warm-up)
+    /// from a fixed random capped strategy.
+    pub fn measure(gpus: usize, samples: usize, seed: u64) -> ScalingCell {
+        let graph = model();
+        let topo = cluster(gpus);
+        let cost = MeasuredCostModel::paper_default();
+        let searchable = Strategy::searchable_ops(&graph);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = Strategy::random_with_max_degree(
+            &graph,
+            &topo,
+            ConfigSpace::Full,
+            DEGREE_CAP,
+            &mut rng,
+        );
+        let mut sim = Simulator::new(&graph, &topo, &cost, SimConfig::default(), s);
+        let islands = topo.num_islands();
+        let _ = delta_once(&mut sim, &searchable, &mut rng); // warm-up
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let c = delta_once(&mut sim, &searchable, &mut rng);
+            assert!(c.is_finite() && c > 0.0, "proposal cost must be positive");
+            times.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        times.sort_by(f64::total_cmp);
+        ScalingCell {
+            gpus,
+            islands,
+            delta_median_us: times[times.len() / 2],
+            delta_min_us: times[0],
+            delta_max_us: times[times.len() - 1],
+            samples,
+        }
+    }
+
+    /// Median-cost growth per device doubling between two cells:
+    /// `(median_b / median_a) ^ (1 / log2(gpus_b / gpus_a))`.
+    pub fn growth_per_doubling(a: &ScalingCell, b: &ScalingCell) -> f64 {
+        let doublings = (b.gpus as f64 / a.gpus as f64).log2();
+        (b.delta_median_us / a.delta_median_us).powf(1.0 / doublings)
+    }
+}
+
 /// Renders one aligned text table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

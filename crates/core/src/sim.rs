@@ -11,6 +11,28 @@
 //! their timelines identical ("The full and delta simulation algorithms
 //! always produce the same timeline for a given task graph", §5.3) — a
 //! property the test-suite checks exhaustively.
+//!
+//! # Hierarchical timelines
+//!
+//! On multi-node clusters the delta repair frontier is **island-keyed**:
+//! every task carries the island of its execution unit ([`crate::taskgraph::Task::island`] —
+//! an NVLink/NVSwitch island on hierarchical topologies, a node on flat
+//! ones), and [`DeltaScratch`] holds one repair queue per island plus a
+//! shared cross-island queue for spine-link tasks. A frontier heap over
+//! the islands coordinates the queues, and a bounded horizon
+//! ([`REPAIR_HORIZON_US`]) lets an island drain its local work without a
+//! cross-island heap operation per task. The horizon changes only the
+//! *processing order* of the fixpoint iteration — never its result: the
+//! repair runs until no task's times would change, and that fixpoint is
+//! the unique full-simulation timeline. Flat topologies and `m = 1`
+//! strategies therefore simulate bit-identically to the pre-island code.
+//!
+//! Alongside the island frontier, the two whole-timeline scans the repair
+//! used to pay per proposal — the makespan recomputation and the dirty-
+//! suffix estimate — are replaced by per-unit walks that exploit the
+//! FIFO monotonicity of end times (`O(units)` and `O(suffix + units)`),
+//! so the cost of evaluating a proposal confined to one island no longer
+//! grows with the total task count of the other 63.
 
 use crate::metrics::DeltaTelemetry;
 use crate::taskgraph::{ExecUnit, RebuildReport, TaskGraph, TaskId};
@@ -80,6 +102,10 @@ pub struct SimState {
     /// empty per-unit maps (unschedule prunes them), so a rollback can
     /// restore the map set exactly.
     unit_order: HashMap<ExecUnit, BTreeMap<(u64, u128), TaskId>>,
+    /// Island of each unit ever scheduled on. A pure function of the
+    /// topology, so the cache only grows, is never stale, and needs no
+    /// journaling; excluded from equality like the other plumbing.
+    unit_island: HashMap<ExecUnit, u32>,
     makespan: f64,
     /// Number of times the delta algorithm bailed out to a full
     /// re-simulation because incremental repair would have cost more than
@@ -326,6 +352,9 @@ impl SimState {
     ) -> Option<TaskId> {
         self.save_slot(id.index());
         let k = key(ready, tg.task(id).seq);
+        self.unit_island
+            .entry(unit)
+            .or_insert_with(|| tg.task(id).island);
         self.unit_of[id.index()] = Some(unit);
         self.ready[id.index()] = ready;
         self.sched_key[id.index()] = k;
@@ -356,11 +385,47 @@ impl SimState {
             .map(|(_, &t)| t)
     }
 
-    fn recompute_makespan(&mut self, tg: &TaskGraph) {
-        self.makespan = tg
-            .iter()
-            .map(|(id, _)| self.end[id.index()])
+    /// Recomputes the makespan in `O(units)`: within one unit, end times
+    /// are monotone non-decreasing along FIFO order (`start = max(ready,
+    /// prev_end)` and `exe >= 0`), so each unit's maximum is its last
+    /// entry's end time. Exact — every live task is scheduled on some
+    /// unit once a repair reaches its fixpoint.
+    fn recompute_makespan(&mut self) {
+        self.makespan = self
+            .unit_order
+            .values()
+            .filter_map(|order| order.values().next_back())
+            .map(|&id| self.end[id.index()])
             .fold(0.0, f64::max);
+    }
+
+    /// Number of scheduled tasks whose end time is at least `t_min`, in
+    /// `O(suffix + units)`: the same FIFO monotonicity as
+    /// [`SimState::recompute_makespan`] lets each unit walk backwards and
+    /// stop at its first earlier task. Equals the count a whole-array scan
+    /// would produce, without touching the untouched timeline prefix.
+    ///
+    /// Unless `all_islands` is set, only units whose island is flagged in
+    /// `dirty` are counted: a repair seeded entirely inside one island
+    /// mostly stays there (frontier tightening stops propagation at
+    /// settled times), so remote islands' schedules should not push the
+    /// crossover toward a full sweep. The estimate errs toward repair;
+    /// the step budget still bounds the rare spill-over.
+    fn suffix_len(&self, t_min: f64, dirty: &[bool], all_islands: bool) -> usize {
+        let mut n = 0;
+        for (unit, order) in &self.unit_order {
+            if !all_islands && !dirty[self.unit_island[unit] as usize] {
+                continue;
+            }
+            for &id in order.values().rev() {
+                if self.end[id.index()] >= t_min {
+                    n += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        n
     }
 }
 
@@ -393,6 +458,7 @@ pub fn simulate_full(tg: &TaskGraph) -> SimState {
         let k = key(ready, t.seq);
         state.sched_key[id.index()] = k;
         state.unit_order.entry(t.unit).or_default().insert(k, id);
+        state.unit_island.entry(t.unit).or_insert(t.island);
         state.unit_of[id.index()] = Some(t.unit);
         state.makespan = state.makespan.max(end);
         processed += 1;
@@ -413,6 +479,13 @@ pub fn simulate_full(tg: &TaskGraph) -> SimState {
     state
 }
 
+/// `(ready, seq)` ordering key of a queued repair task (`ready` as sort
+/// bits, see [`key`]).
+type RepairKey = (u64, u128);
+
+/// One island's repair queue: a min-heap of queued tasks in key order.
+type IslandQueue = BinaryHeap<Reverse<(RepairKey, TaskId)>>;
+
 /// Reusable workspace for [`simulate_delta_with`]: the repair heap and the
 /// queued-dedup marker survive across calls, so steady-state repairs do no
 /// per-call allocation proportional to graph capacity. Owned per
@@ -429,16 +502,38 @@ pub fn simulate_full(tg: &TaskGraph) -> SimState {
 /// concurrent repairs, which `&mut` already makes unrepresentable.
 #[derive(Debug, Default)]
 pub struct DeltaScratch {
-    heap: BinaryHeap<Reverse<((u64, u128), TaskId)>>,
-    /// `queued[i] == epoch` → slot `i` is currently in the heap.
+    /// Per-island repair queues; the last index is the shared cross-island
+    /// frontier holding spine-link tasks (see
+    /// [`crate::taskgraph::TaskGraph::num_island_frontiers`]).
+    islands: Vec<IslandQueue>,
+    /// Frontier heap over the islands: one `(key, island)` entry per task
+    /// push. Entries whose task was already consumed by a horizon drain
+    /// are cancelled lazily via `drained`.
+    active: BinaryHeap<Reverse<(RepairKey, u32)>>,
+    /// Per-island count of tasks consumed by horizon drains whose frontier
+    /// entries are still in `active` (lazy deletion).
+    drained: Vec<u64>,
+    /// Island whose queue is currently open for horizon draining.
+    cur_island: Option<usize>,
+    /// `queued[i] == epoch` → slot `i` is currently in a repair queue.
     queued: Vec<u64>,
     epoch: u64,
-    /// Heap pops performed by the most recent repair (telemetry).
+    /// Queue pops performed by the most recent repair (telemetry).
     pub last_repair_steps: u64,
     /// Whether the most recent call chose an in-place full sweep over
     /// incremental repair (the adaptive wide-proposal path; telemetry).
     pub last_was_sweep: bool,
 }
+
+/// Cross-island coordination horizon of the repair frontier, in
+/// microseconds: once an island's queue is open, its tasks keep draining
+/// locally — one island-heap pop each, no frontier-heap traffic — as long
+/// as their ready times stay within this bound of the earliest task
+/// waiting on any other island. Spine latencies are single-digit
+/// microseconds, so 25 µs covers a few cross-island hops; the value tunes
+/// only queue locality, never results (the repair is a fixpoint iteration
+/// whose outcome is independent of processing order).
+pub const REPAIR_HORIZON_US: f64 = 25.0;
 
 impl DeltaScratch {
     #[inline]
@@ -449,8 +544,54 @@ impl DeltaScratch {
         }
         if let Some(t) = tg.get(id) {
             self.queued[i] = self.epoch;
-            self.heap.push(Reverse((key(state.ready[i], t.seq), id)));
+            let k = key(state.ready[i], t.seq);
+            self.islands[t.island as usize].push(Reverse((k, id)));
+            self.active.push(Reverse((k, t.island)));
         }
+    }
+
+    /// Dequeues the next task to repair. Exact `(ready, seq)` order across
+    /// islands, except that the open island may run ahead by up to
+    /// [`REPAIR_HORIZON_US`] — a locality optimization with no effect on
+    /// the repaired timeline.
+    fn pop(&mut self) -> Option<TaskId> {
+        if let Some(ci) = self.cur_island {
+            if let Some(&Reverse(((ready_bits, _), _))) = self.islands[ci].peek() {
+                let frontier = self
+                    .active
+                    .peek()
+                    .map_or(f64::INFINITY, |&Reverse(((b, _), _))| f64::from_bits(b));
+                if f64::from_bits(ready_bits) <= frontier + REPAIR_HORIZON_US {
+                    let Reverse((_, id)) = self.islands[ci].pop().expect("peeked");
+                    self.drained[ci] += 1;
+                    return Some(id);
+                }
+            }
+            self.cur_island = None;
+        }
+        while let Some(Reverse((_, isl))) = self.active.pop() {
+            let ci = isl as usize;
+            if self.drained[ci] > 0 {
+                // A horizon drain already consumed the task this frontier
+                // entry was pushed for.
+                self.drained[ci] -= 1;
+                continue;
+            }
+            let Reverse((_, id)) = self.islands[ci].pop().expect("frontier entry has a task");
+            self.cur_island = Some(ci);
+            return Some(id);
+        }
+        None
+    }
+
+    /// Empties every queue (call entry and the fallback bail-out).
+    fn clear_queues(&mut self) {
+        for h in &mut self.islands {
+            h.clear();
+        }
+        self.active.clear();
+        self.drained.fill(0);
+        self.cur_island = None;
     }
 }
 
@@ -483,7 +624,12 @@ pub fn simulate_delta_with(
     scratch: &mut DeltaScratch,
 ) -> f64 {
     state.ensure_capacity(tg.capacity());
-    scratch.heap.clear();
+    let frontiers = tg.num_island_frontiers();
+    if scratch.islands.len() < frontiers {
+        scratch.islands.resize_with(frontiers, BinaryHeap::new);
+        scratch.drained.resize(frontiers, 0);
+    }
+    scratch.clear_queues();
     scratch.epoch += 1;
     if scratch.queued.len() < tg.capacity() {
         scratch.queued.resize(tg.capacity(), 0);
@@ -497,21 +643,27 @@ pub fn simulate_delta_with(
     //    covers most of the schedule a journaled in-place full sweep is
     //    strictly cheaper — while still skipping the full graph *rebuild*,
     //    which is the structural half of delta's advantage. Estimate the
-    //    suffix from the earliest dirty ready time. The estimate scans the
-    //    slot arrays once — O(capacity) of branch-free f64 compares, the
-    //    same order as the makespan recomputation every repair already
-    //    pays, and far below one B-tree repositioning per dirty task.
+    //    suffix from the earliest dirty ready time via per-unit reverse
+    //    walks (O(suffix + units), exact — see SimState::suffix_len), so
+    //    a proposal confined to one island pays nothing for the other
+    //    islands' task counts.
     let n = tg.num_tasks();
     if n > 0 {
         let mut t_min = f64::INFINITY;
+        // Islands the structural change touches; the last flag is the
+        // cross-island frontier — spine traffic can propagate anywhere,
+        // so it forces the conservative whole-cluster estimate.
+        let mut dirty = vec![false; frontiers];
         for &id in report.removed.iter().chain(&report.pred_changed) {
             let i = id.index();
-            if state.unit_of[i].is_some() {
+            if let Some(unit) = state.unit_of[i] {
                 t_min = t_min.min(state.ready[i]);
+                dirty[state.unit_island[&unit] as usize] = true;
             }
         }
         for &id in &report.added {
             let t = tg.task(id);
+            dirty[t.island as usize] = true;
             let r = t
                 .preds
                 .iter()
@@ -520,13 +672,8 @@ pub fn simulate_delta_with(
             t_min = t_min.min(r);
         }
         if t_min.is_finite() {
-            let suffix = state
-                .end
-                .iter()
-                .zip(&state.unit_of)
-                .filter(|(&e, u)| u.is_some() && e >= t_min)
-                .count()
-                + report.added.len();
+            let all_islands = dirty[frontiers - 1];
+            let suffix = state.suffix_len(t_min, &dirty, all_islands) + report.added.len();
             // Crossover measured on the proposal_evaluation workload:
             // repair wins below roughly a third of the schedule.
             if 8 * suffix >= 3 * n {
@@ -578,14 +725,14 @@ pub fn simulate_delta_with(
     //    adaptive escape hatch rather than an error path.
     let budget = 8 * tg.num_tasks().max(64) as u64;
     let mut steps = 0u64;
-    while let Some(Reverse((_, id))) = scratch.heap.pop() {
+    while let Some(id) = scratch.pop() {
         scratch.queued[id.index()] = 0;
         let Some(t) = tg.get(id) else { continue };
         steps += 1;
         if steps > budget {
             // Safety valve: abandon incremental repair.
             scratch.last_repair_steps = steps;
-            scratch.heap.clear();
+            scratch.clear_queues();
             state.fallbacks += 1;
             return sweep_in_place(tg, state, scratch);
         }
@@ -634,7 +781,7 @@ pub fn simulate_delta_with(
         }
     }
     scratch.last_repair_steps = steps;
-    state.recompute_makespan(tg);
+    state.recompute_makespan();
     state.makespan
 }
 

@@ -372,6 +372,32 @@ mod tests {
     }
 
     #[test]
+    fn every_gpt_op_has_a_legal_config() {
+        // The transformer zoo must be searchable: every op offers at least
+        // the trivial vector, and the matmul-heavy ops offer a genuine
+        // tensor-parallel split within a 4-task budget.
+        let g = flexflow_opgraph::zoo::gpt_small(8);
+        for node in g.ops() {
+            let vecs = legal_degree_vectors(node, 4);
+            assert!(!vecs.is_empty(), "{} has no legal config", node.name());
+            assert!(vecs.iter().any(|v| v.iter().product::<u64>() == 1));
+            if matches!(
+                node.kind(),
+                OpKind::Linear { .. }
+                    | OpKind::Embedding { .. }
+                    | OpKind::MultiHeadAttention { .. }
+            ) {
+                let last = node.output_shape().ndims() - 1;
+                assert!(
+                    vecs.iter().any(|v| v[last] > 1),
+                    "{} lacks a parameter split",
+                    node.name()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn input_ops_only_split_samples() {
         let g = linear_graph();
         let node = g.op(g.ids().next().unwrap());

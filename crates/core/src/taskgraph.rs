@@ -139,6 +139,24 @@ pub struct Task {
     /// is independent of the delta-update history that produced its task
     /// graph, and the full and delta algorithms yield identical timelines.
     pub seq: u128,
+    /// Frontier index of the task's island: compute tasks and intra-island
+    /// links carry their island's index (`Topology::island_of`); spine
+    /// links (and any link whose routes straddle islands) carry
+    /// [`TaskGraph::num_island_frontiers`]` - 1`, the shared cross-island
+    /// frontier. On flat topologies islands degenerate to nodes. The delta
+    /// simulator keys its repair frontier on this, so a proposal confined
+    /// to one island never touches the other islands' queues.
+    pub island: u32,
+}
+
+/// The repair-frontier index of `unit` (see [`Task::island`]): the unit's
+/// island, or `num_islands` — the cross-island frontier — for links whose
+/// routes straddle islands.
+fn unit_island(topo: &Topology, num_islands: u32, unit: ExecUnit) -> u32 {
+    match unit {
+        ExecUnit::Gpu(d) => topo.island_of(d),
+        ExecUnit::Link(l) => topo.island_of_link(l).unwrap_or(num_islands),
+    }
 }
 
 /// Packs a stable ordering key. Fields must stay below 2^30.
@@ -297,6 +315,9 @@ pub struct TaskGraph {
     /// entry, so the memo is cleared wholesale instead of keying each
     /// entry on `m` — the hot per-config probe stays clone-free.
     mat_cache_mb: u64,
+    /// Island count of the topology the graph was built against (fixed for
+    /// the graph's lifetime: rebuilds always target the same topology).
+    num_islands: u32,
 }
 
 /// Equality over the *logical* graph: slots, free list, bookkeeping and
@@ -336,6 +357,7 @@ impl TaskGraph {
             mat_cache: HashMap::new(),
             mat_cache_entries: 0,
             mat_cache_mb: strategy.microbatches(),
+            num_islands: topo.num_islands() as u32,
         };
         tg.run_build_passes(BuildCtx {
             graph,
@@ -537,6 +559,13 @@ impl TaskGraph {
     /// Capacity of the slot table (including dead slots).
     pub fn capacity(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// Number of repair-frontier queues the delta simulator needs: one per
+    /// island of the build topology plus the shared cross-island frontier
+    /// (the last index, holding spine-link tasks).
+    pub fn num_island_frontiers(&self) -> usize {
+        self.num_islands as usize + 1
     }
 
     /// The task in a slot, or `None` if the slot is free.
@@ -904,6 +933,7 @@ impl TaskGraph {
                 preds: Vec::new(),
                 succs: Vec::new(),
                 seq: seq_key(0, op.index() as u64, e as u64, 0, 0),
+                island: unit_island(ctx.topo, self.num_islands, mat.units[e]),
             });
             ids.push(id);
         }
@@ -1009,6 +1039,11 @@ impl TaskGraph {
                         preds: Vec::new(),
                         succs: Vec::new(),
                         seq,
+                        island: unit_island(
+                            ctx.topo,
+                            self.num_islands,
+                            ExecUnit::Link(channel.link),
+                        ),
                     });
                     self.add_edge_fresh(ti, c);
                     self.add_edge_fresh(c, tj);
@@ -1106,6 +1141,7 @@ impl TaskGraph {
                         preds: Vec::new(),
                         succs: Vec::new(),
                         seq: seq_key(2, layer.index() as u64, shard_idx as u64, 2, i as u64),
+                        island: unit_island(topo, self.num_islands, ExecUnit::Link(channel.link)),
                     });
                     // The ring cannot start until every replica's gradient
                     // contribution is ready.
@@ -1133,6 +1169,7 @@ impl TaskGraph {
                     preds: Vec::new(),
                     succs: Vec::new(),
                     seq: seq_key(2, layer.index() as u64, shard_idx as u64, 0, r as u64),
+                    island: unit_island(topo, self.num_islands, ExecUnit::Link(channel.link)),
                 });
                 for &t in &replicas[&dev] {
                     self.add_edge_fresh(t, c);
@@ -1150,6 +1187,7 @@ impl TaskGraph {
                     preds: Vec::new(),
                     succs: Vec::new(),
                     seq: seq_key(2, layer.index() as u64, shard_idx as u64, 1, r as u64),
+                    island: unit_island(topo, self.num_islands, ExecUnit::Link(channel.link)),
                 });
                 for &p in &pushes {
                     self.add_edge_fresh(p, b);

@@ -225,6 +225,36 @@ fn delta_stays_exact_on_pipelined_graphs() {
 }
 
 #[test]
+fn pipelined_hierarchical_cost_matches_fresh_build() {
+    // Microbatch proposals on an islands-plus-spine cluster take the
+    // journaled in-place sweep path; each committed count must match a
+    // from-scratch build, and the pipeline must still engage.
+    use flexflow_device::DeviceKind;
+    let g = zoo::rnnlm(16, 2);
+    let topo = clusters::hierarchical_cluster(DeviceKind::P100, 2, 4);
+    let cost = MeasuredCostModel::paper_default();
+    let mut rng = StdRng::seed_from_u64(3);
+    let s = Strategy::random_with_max_degree(&g, &topo, ConfigSpace::Full, 4, &mut rng);
+    let mut sim = Simulator::new(&g, &topo, &cost, SimConfig::default(), s);
+    for m in legal_microbatch_counts(&g, 4) {
+        let c = sim.apply_microbatches(m);
+        sim.commit();
+        let fresh = simulate_full(&TaskGraph::build(
+            &g,
+            &topo,
+            sim.strategy(),
+            &cost,
+            &SimConfig::default(),
+        ));
+        assert!(
+            (c - fresh.makespan_us()).abs() < 1e-6,
+            "m={m}: {c} vs {}",
+            fresh.makespan_us()
+        );
+    }
+}
+
+#[test]
 fn legal_microbatch_counts_divide_every_sample_extent() {
     let g = zoo::rnnlm(64, 2);
     let counts = legal_microbatch_counts(&g, 64);

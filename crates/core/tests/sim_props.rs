@@ -11,12 +11,12 @@
 //!    sequence, the task graph and the timeline are bit-identical to their
 //!    pre-apply state, and committed walks still match a fresh build.
 
-use flexflow_core::sim::{simulate_delta, simulate_full, SimConfig, Simulator};
-use flexflow_core::soap::{random_config, ConfigSpace};
+use flexflow_core::sim::{simulate_delta, simulate_full, SimConfig, SimState, Simulator};
+use flexflow_core::soap::{random_config, ConfigSpace, ParallelConfig};
 use flexflow_core::strategy::Strategy;
-use flexflow_core::taskgraph::TaskGraph;
+use flexflow_core::taskgraph::{ExecUnit, TaskGraph};
 use flexflow_costmodel::MeasuredCostModel;
-use flexflow_device::{clusters, Topology};
+use flexflow_device::{clusters, DeviceKind, Topology};
 use flexflow_opgraph::{zoo, OpGraph, OpKind};
 use flexflow_tensor::TensorShape;
 use proptest::prelude::*;
@@ -101,6 +101,16 @@ proptest! {
     }
 
     #[test]
+    fn delta_matches_full_on_hierarchical_random_models(
+        seed in 0u64..500,
+        islands in 2usize..4,
+    ) {
+        let g = random_model(seed, 5);
+        let topo = clusters::hierarchical_cluster(DeviceKind::P100, islands, 4);
+        check_walk(&g, &topo, seed ^ 0x1517, 12);
+    }
+
+    #[test]
     fn apply_rollback_restores_state_bit_identically(seed in 0u64..500, depth in 3usize..10) {
         let g = random_model(seed, depth);
         let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
@@ -169,6 +179,130 @@ proptest! {
             }
         }
     }
+}
+
+/// Identity-keyed timeline fingerprint: tasks are identified by their
+/// stable `seq` key (a pure function of task identity), so timelines of
+/// graphs with different slot layouts compare bit-for-bit.
+fn timeline_fingerprint(tg: &TaskGraph, state: &SimState) -> Vec<(u128, ExecUnit, u64, u64, u64)> {
+    let mut v: Vec<_> = tg
+        .iter()
+        .map(|(id, t)| {
+            let (r, s, e) = state.times(id);
+            (t.seq, t.unit, r.to_bits(), s.to_bits(), e.to_bits())
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn delta_walk_is_bit_identical_to_full_on_flat_topologies() {
+    // The island-frontier refactor must leave flat, m = 1 timelines
+    // untouched: after a committed delta walk, every task's (ready, start,
+    // end) and unit matches a fresh full simulation bit for bit.
+    let topo = clusters::p100_cluster(1);
+    let cost = MeasuredCostModel::paper_default();
+    let cfg = SimConfig::default();
+    for g in [zoo::rnnlm(64, 2), zoo::nmt(32, 2), zoo::inception_v3(8)] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let searchable = Strategy::searchable_ops(&g);
+        let mut s = Strategy::data_parallel(&g, &topo);
+        let mut tg = TaskGraph::build(&g, &topo, &s, &cost, &cfg);
+        let mut state = simulate_full(&tg);
+        for _ in 0..10 {
+            let op = searchable[rng.gen_range(0..searchable.len())];
+            let config = random_config(g.op(op), &topo, ConfigSpace::Full, &mut rng);
+            s.replace(op, config);
+            let report = tg.rebuild_op(&g, &topo, &s, &cost, &cfg, op);
+            simulate_delta(&tg, &mut state, &report);
+        }
+        let fresh_tg = TaskGraph::build(&g, &topo, &s, &cost, &cfg);
+        let fresh = simulate_full(&fresh_tg);
+        assert!(
+            timeline_fingerprint(&tg, &state) == timeline_fingerprint(&fresh_tg, &fresh),
+            "{}: delta-evolved timeline differs from a fresh full simulation",
+            g.name()
+        );
+    }
+}
+
+#[test]
+fn delta_matches_full_on_hierarchical_clusters() {
+    // NVLink islands joined by an InfiniBand spine: the island-keyed
+    // repair frontier must stay exact across the spine.
+    let topo = clusters::hierarchical_cluster(DeviceKind::P100, 2, 4);
+    for g in [zoo::lenet(64), zoo::rnnlm(64, 2)] {
+        check_walk(&g, &topo, 23, 20);
+    }
+    let big = clusters::hierarchical_cluster(DeviceKind::A100, 4, 4);
+    check_walk(&zoo::rnnlm(64, 2), &big, 5, 10);
+}
+
+#[test]
+fn island_local_proposals_do_not_wake_remote_islands() {
+    // Two independent chains pinned to different islands: repairing a
+    // proposal on the small island-0 chain must not process the (much
+    // larger) island-1 chain's tasks, and must not be pushed onto the
+    // full-sweep path by their count.
+    let mut g = OpGraph::new("two-islands");
+    let xa = g.add_input("xa", TensorShape::new(&[16, 8]));
+    let xb = g.add_input("xb", TensorShape::new(&[16, 8]));
+    let mut a = xa;
+    for i in 0..4 {
+        a = g
+            .add_op(OpKind::Linear { out_features: 8 }, &[a], format!("a{i}"))
+            .unwrap();
+    }
+    let mut b = xb;
+    for i in 0..40 {
+        b = g
+            .add_op(OpKind::Linear { out_features: 8 }, &[b], format!("b{i}"))
+            .unwrap();
+    }
+    let topo = clusters::hierarchical_cluster(DeviceKind::P100, 2, 4);
+    let cost = MeasuredCostModel::paper_default();
+    // Chain a round-robins island 0 (devices 0..4), chain b island 1.
+    let configs = g
+        .ids()
+        .map(|id| {
+            let node = g.op(id);
+            let base = if node.name().ends_with('a') || node.name().starts_with('a') {
+                0
+            } else {
+                4
+            };
+            ParallelConfig::on_device(node, topo.device_id(base + id.index() % 4))
+        })
+        .collect();
+    let s = Strategy::from_configs(&g, configs);
+    let mut sim = Simulator::new(&g, &topo, &cost, SimConfig::default(), s);
+    let island1_tasks = sim
+        .task_graph()
+        .iter()
+        .filter(|(_, t)| t.island == 1)
+        .count();
+    assert!(island1_tasks >= 40, "chain b must dominate the task count");
+    let a2 = g.ids().find(|&i| g.op(i).name() == "a2").unwrap();
+    let c1 = sim.apply(a2, ParallelConfig::on_device(g.op(a2), topo.device_id(3)));
+    sim.commit();
+    let t = sim.telemetry();
+    assert_eq!(t.sweeps, 0, "a local proposal must not trigger a sweep");
+    assert!(
+        (t.repair_steps as usize) < island1_tasks,
+        "repair touched remote work: {} steps vs {} island-1 tasks",
+        t.repair_steps,
+        island1_tasks,
+    );
+    // ...and the repair is still exact.
+    let fresh = simulate_full(&TaskGraph::build(
+        &g,
+        &topo,
+        sim.strategy(),
+        &cost,
+        &SimConfig::default(),
+    ));
+    assert!((c1 - fresh.makespan_us()).abs() < 1e-6);
 }
 
 #[test]

@@ -87,6 +87,17 @@ pub fn profile(kind: DeviceKind) -> DeviceProfile {
             max_efficiency: 0.55,
             half_saturation_flops: 2.0e7,
         },
+        // A100 SXM: 19.5 fp32-tensor TFLOPs, 1555 GB/s HBM2e. Larger
+        // half-saturation than the paper-era parts: the device needs much
+        // bigger tiles to reach peak, which is what makes naive
+        // over-partitioning of transformer blocks unprofitable at scale.
+        DeviceKind::A100 => DeviceProfile {
+            peak_tflops: 19.5,
+            mem_bw_gb_s: 1555.0,
+            kernel_overhead_us: 6.0,
+            max_efficiency: 0.70,
+            half_saturation_flops: 8.0e7,
+        },
         DeviceKind::Test => DeviceProfile {
             peak_tflops: 5.0,
             mem_bw_gb_s: 500.0,
@@ -105,6 +116,10 @@ fn op_factor(kind: &OpKind) -> f64 {
         OpKind::Linear { .. } => 0.9,
         OpKind::LstmCell { .. } => 0.8,
         OpKind::Attention { .. } => 0.7,
+        // Fused batched matmuls: nearly GEMM-class utilization.
+        OpKind::MultiHeadAttention { .. } => 0.85,
+        OpKind::LayerNorm => 0.4,
+        OpKind::Gelu => 0.5,
         OpKind::Pool2d { .. } | OpKind::Pool1d { .. } => 0.5,
         OpKind::Softmax | OpKind::BatchNorm | OpKind::Tanh => 0.4,
         OpKind::Add | OpKind::Relu | OpKind::Concat { .. } | OpKind::Flatten => 0.5,

@@ -114,33 +114,179 @@ pub fn k80_cluster(nodes: usize) -> Topology {
     b.build()
 }
 
-/// A cluster for the given paper hardware flavour and total GPU count
-/// (rounded up to whole nodes of four GPUs).
+/// A cluster for the given paper hardware flavour and total GPU count.
 ///
-/// GPU counts of 1 and 2 build a single partially-populated node, matching
-/// the 1/2-GPU points of Fig. 7.
+/// GPU counts below [`GPUS_PER_NODE`] build a single partially-populated
+/// node, matching the 1/2-GPU points of Fig. 7; larger counts must be a
+/// whole number of nodes. Earlier revisions silently rounded any
+/// non-multiple down to one fully-connected node (`gpus = 6` produced a
+/// six-GPU "node" with no network), which misrepresented the hardware; now
+/// that is a clear error.
+///
+/// # Errors
+///
+/// Returns an error for `gpus == 0`, for [`DeviceKind::Test`] (use
+/// [`uniform_cluster`]), for [`DeviceKind::A100`] (paper clusters only
+/// cover the paper's hardware; use [`preset`] / [`hierarchical_cluster`]),
+/// and for `gpus > GPUS_PER_NODE` not divisible by [`GPUS_PER_NODE`].
+pub fn try_paper_cluster(kind: DeviceKind, gpus: usize) -> Result<Topology, String> {
+    if gpus == 0 {
+        return Err("need at least one GPU".into());
+    }
+    match kind {
+        DeviceKind::Test => Err("use uniform_cluster for Test devices".into()),
+        DeviceKind::A100 => {
+            Err("A100 clusters are hierarchical; use a preset such as `a100x64-ib`".into())
+        }
+        DeviceKind::P100 | DeviceKind::K80 => {
+            if gpus < GPUS_PER_NODE {
+                // Single partially-populated node (Fig. 7's 1/2-GPU points).
+                Ok(match kind {
+                    DeviceKind::P100 => truncate_single_node(kind, gpus, 20.0, 1.0, 16.0, "nvlink"),
+                    DeviceKind::K80 => truncate_single_node(kind, gpus, 10.0, 3.0, 12.0, "pcie"),
+                    _ => unreachable!(),
+                })
+            } else if gpus.is_multiple_of(GPUS_PER_NODE) {
+                Ok(match kind {
+                    DeviceKind::P100 => p100_cluster(gpus / GPUS_PER_NODE),
+                    DeviceKind::K80 => k80_cluster(gpus / GPUS_PER_NODE),
+                    _ => unreachable!(),
+                })
+            } else {
+                Err(format!(
+                    "{gpus} GPUs is not a whole number of {kind} nodes: paper clusters \
+                     have {GPUS_PER_NODE} GPUs per node (counts below {GPUS_PER_NODE} \
+                     build one partial node)"
+                ))
+            }
+        }
+    }
+}
+
+/// Panicking convenience wrapper around [`try_paper_cluster`].
 ///
 /// # Panics
 ///
-/// Panics if `gpus` is zero or `kind` is [`DeviceKind::Test`] (use
-/// [`uniform_cluster`] for synthetic devices).
+/// Panics on any input [`try_paper_cluster`] rejects.
 pub fn paper_cluster(kind: DeviceKind, gpus: usize) -> Topology {
-    assert!(gpus > 0, "need at least one GPU");
-    let full = match kind {
-        DeviceKind::P100 => p100_cluster(gpus.div_ceil(GPUS_PER_NODE)),
-        DeviceKind::K80 => k80_cluster(gpus.div_ceil(GPUS_PER_NODE)),
-        DeviceKind::Test => panic!("use uniform_cluster for Test devices"),
-    };
-    if gpus.is_multiple_of(GPUS_PER_NODE) {
-        full
-    } else {
-        // Rebuild keeping only the first `gpus` devices (single node case).
-        match kind {
-            DeviceKind::P100 => truncate_single_node(kind, gpus, 20.0, 1.0, 16.0, "nvlink"),
-            DeviceKind::K80 => truncate_single_node(kind, gpus, 10.0, 3.0, 12.0, "pcie"),
-            DeviceKind::Test => unreachable!(),
+    try_paper_cluster(kind, gpus).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Per-kind constants for [`hierarchical_cluster`]: intra-island link
+/// family/bandwidth/latency, spine bandwidth/latency, and device memory.
+fn island_constants(kind: DeviceKind) -> (&'static str, f64, f64, f64, f64, f64) {
+    match kind {
+        // NVLink islands joined by 100 Gb/s EDR InfiniBand.
+        DeviceKind::P100 => ("nvlink", 20.0, 1.0, 12.5, 5.0, 16.0),
+        // PCIe islands joined by 56 Gb/s InfiniBand.
+        DeviceKind::K80 => ("pcie", 10.0, 3.0, 7.0, 5.0, 12.0),
+        // NVSwitch islands (all-to-all 300 GB/s effective per direction)
+        // joined by 200 Gb/s HDR InfiniBand.
+        DeviceKind::A100 => ("nvswitch", 300.0, 0.7, 25.0, 3.0, 40.0),
+        DeviceKind::Test => ("intra", 16.0, 1.0, 4.0, 5.0, 16.0),
+    }
+}
+
+/// Default island width for [`preset`] names: NVSwitch spans 8 A100s, the
+/// paper-era parts island at the 4-GPU node.
+pub fn island_width(kind: DeviceKind) -> usize {
+    match kind {
+        DeviceKind::A100 => 8,
+        _ => GPUS_PER_NODE,
+    }
+}
+
+/// A hierarchical cluster: `islands` islands of `gpus_per_island` devices,
+/// each island fully connected by its fast fabric (NVLink / NVSwitch /
+/// PCIe), islands joined by an InfiniBand spine with one NIC per island
+/// (outbound traffic queues on the source island's NIC). Devices carry
+/// explicit island assignments, surfaced via [`Topology::island_of`].
+///
+/// # Panics
+///
+/// Panics if `islands` is zero or `gpus_per_island` is outside `2..=8`.
+pub fn hierarchical_cluster(kind: DeviceKind, islands: usize, gpus_per_island: usize) -> Topology {
+    assert!(islands > 0, "cluster needs at least one island");
+    assert!(
+        (2..=8).contains(&gpus_per_island),
+        "islands span 2-8 GPUs, got {gpus_per_island}"
+    );
+    let (family, intra_bw, intra_lat, spine_bw, spine_lat, mem) = island_constants(kind);
+    let total = islands * gpus_per_island;
+    let mut b = TopologyBuilder::new(format!("{kind}x{total}-ib").to_lowercase());
+    let mut gpus: Vec<Vec<DeviceId>> = Vec::with_capacity(islands);
+    for isl in 0..islands {
+        let ids: Vec<DeviceId> = (0..gpus_per_island)
+            .map(|_| b.add_device(kind, isl as u32, mem))
+            .collect();
+        for &id in &ids {
+            b.set_island(id, isl as u32);
+        }
+        for i in 0..gpus_per_island {
+            for j in (i + 1)..gpus_per_island {
+                let l = b.add_link(format!("{family}-i{isl}-g{i}-g{j}"), intra_bw, intra_lat);
+                b.connect_symmetric(ids[i], ids[j], l);
+            }
+        }
+        gpus.push(ids);
+    }
+    let nics: Vec<_> = (0..islands)
+        .map(|isl| b.add_link(format!("ib-i{isl}"), spine_bw, spine_lat))
+        .collect();
+    for s in 0..islands {
+        for d in 0..islands {
+            if s == d {
+                continue;
+            }
+            for &src in &gpus[s] {
+                for &dst in &gpus[d] {
+                    b.connect(src, dst, nics[s]);
+                }
+            }
         }
     }
+    b.build()
+}
+
+/// Example preset names accepted by [`preset`], for help text.
+pub const PRESET_EXAMPLES: [&str; 4] = ["p100x64-ib", "a100x64-ib", "a100x256-ib", "k80x128-ib"];
+
+/// Parses a hierarchical-cluster preset name of the form
+/// `<kind>x<gpus>-ib` (e.g. `p100x64-ib`, `a100x256-ib`) and builds it.
+/// The island width is 8 for A100 (NVSwitch) and 4 otherwise; `gpus` must
+/// be a positive multiple of that width.
+///
+/// # Errors
+///
+/// Returns a descriptive error for malformed names, unknown device kinds,
+/// or GPU counts that do not fill whole islands.
+pub fn preset(name: &str) -> Result<Topology, String> {
+    let err = || {
+        format!(
+            "unknown cluster preset `{name}`: expected `<kind>x<gpus>-ib` \
+             with kind one of p100/k80/a100, e.g. {}",
+            PRESET_EXAMPLES.join(", ")
+        )
+    };
+    let body = name.strip_suffix("-ib").ok_or_else(err)?;
+    let (kind_s, gpus_s) = body.split_once('x').ok_or_else(err)?;
+    let kind = match kind_s {
+        "p100" => DeviceKind::P100,
+        "k80" => DeviceKind::K80,
+        "a100" => DeviceKind::A100,
+        _ => return Err(err()),
+    };
+    let gpus: usize = gpus_s.parse().map_err(|_| err())?;
+    let width = island_width(kind);
+    if gpus == 0 || !gpus.is_multiple_of(width) {
+        return Err(format!(
+            "preset `{name}`: {gpus} GPUs does not fill whole {kind} islands \
+             of {width} (try {} or {})",
+            width * (gpus / width).max(1),
+            width * (gpus / width + 1)
+        ));
+    }
+    Ok(hierarchical_cluster(kind, gpus / width, width))
 }
 
 fn truncate_single_node(
@@ -294,5 +440,78 @@ mod tests {
         let intra = t.transfer_time_us(t.device_id(0), t.device_id(1), bytes);
         let inter = t.transfer_time_us(t.device_id(0), t.device_id(4), bytes);
         assert!(intra < inter);
+    }
+
+    #[test]
+    fn paper_cluster_rejects_ragged_node_counts() {
+        for gpus in [5, 6, 7, 9, 11, 13] {
+            let e = try_paper_cluster(DeviceKind::P100, gpus).unwrap_err();
+            assert!(e.contains("whole number"), "gpus={gpus}: {e}");
+            assert!(try_paper_cluster(DeviceKind::K80, gpus).is_err());
+        }
+        assert!(try_paper_cluster(DeviceKind::P100, 0).is_err());
+        assert!(try_paper_cluster(DeviceKind::Test, 4).is_err());
+        assert!(try_paper_cluster(DeviceKind::A100, 8).is_err());
+        for gpus in [1, 2, 3, 4, 8, 12, 16] {
+            let t = try_paper_cluster(DeviceKind::P100, gpus).unwrap();
+            assert_eq!(t.num_devices(), gpus);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn paper_cluster_panics_on_ragged_count() {
+        let _ = paper_cluster(DeviceKind::P100, 6);
+    }
+
+    #[test]
+    fn hierarchical_cluster_shape_and_islands() {
+        let t = hierarchical_cluster(DeviceKind::A100, 8, 8);
+        assert_eq!(t.num_devices(), 64);
+        assert_eq!(t.num_islands(), 8);
+        assert!(t.has_explicit_islands());
+        // 28 NVSwitch links per island + 1 NIC per island.
+        assert_eq!(t.num_links(), 8 * 28 + 8);
+        for d in t.device_ids() {
+            assert_eq!(t.island_of(d), (d.index() / 8) as u32);
+        }
+        let (g0, g1, g8) = (t.device_id(0), t.device_id(1), t.device_id(8));
+        let intra = t.channel(g0, g1).unwrap();
+        let spine = t.channel(g0, g8).unwrap();
+        assert_eq!(intra.bandwidth_gb_s, 300.0);
+        assert_eq!(spine.bandwidth_gb_s, 25.0);
+        // Intra links are island-local, NICs are spine.
+        assert_eq!(t.island_of_link(intra.link), Some(0));
+        assert_eq!(t.island_of_link(spine.link), None);
+        // Outbound spine traffic queues on the source island's NIC.
+        let other = t.channel(g1, g8).unwrap();
+        assert_eq!(spine.link, other.link);
+    }
+
+    #[test]
+    fn presets_parse_and_build() {
+        let t = preset("p100x64-ib").unwrap();
+        assert_eq!(t.num_devices(), 64);
+        assert_eq!(t.num_islands(), 16);
+        assert_eq!(t.name(), "p100x64-ib");
+        let t = preset("a100x256-ib").unwrap();
+        assert_eq!(t.num_devices(), 256);
+        assert_eq!(t.num_islands(), 32);
+        for bad in ["p100x64", "h100x64-ib", "a100x60-ib", "a100x0-ib", "x-ib"] {
+            assert!(preset(bad).is_err(), "{bad} should not parse");
+        }
+        for name in PRESET_EXAMPLES {
+            assert!(preset(name).is_ok(), "{name} must build");
+        }
+    }
+
+    #[test]
+    fn preset_signatures_differ_by_class_and_scale() {
+        let a = preset("a100x64-ib").unwrap().signature();
+        let p = preset("p100x64-ib").unwrap().signature();
+        let a2 = preset("a100x128-ib").unwrap().signature();
+        assert_ne!(a, p, "device class must be covered");
+        assert_ne!(a, a2, "scale must be covered");
+        assert_eq!(a, preset("a100x64-ib").unwrap().signature());
     }
 }

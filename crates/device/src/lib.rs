@@ -17,6 +17,13 @@
 //!   private PCIe switch, the rest over a shared switch, FDR InfiniBand
 //!   between nodes.
 //!
+//! Beyond the paper's evaluation hardware, [`clusters::hierarchical_cluster`]
+//! and the [`clusters::preset`] names (`p100x64-ib`, `a100x256-ib`, ...)
+//! build multi-island topologies — NVLink/NVSwitch islands joined by an
+//! InfiniBand spine — whose island structure is surfaced through
+//! [`Topology::island_of`] and used by the simulator's per-island
+//! sub-timelines.
+//!
 //! # Example
 //!
 //! ```

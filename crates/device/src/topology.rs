@@ -50,6 +50,10 @@ pub enum DeviceKind {
     /// NVIDIA Tesla K80 (one logical GPU of the dual-GPU board; the paper's
     /// second cluster).
     K80,
+    /// NVIDIA A100 (the hierarchical NVSwitch-island clusters; beyond the
+    /// paper's evaluation hardware but required by the transformer-era
+    /// workloads on 64-512 devices).
+    A100,
     /// A synthetic uniform device for tests and examples.
     Test,
 }
@@ -59,6 +63,7 @@ impl fmt::Display for DeviceKind {
         match self {
             DeviceKind::P100 => write!(f, "P100"),
             DeviceKind::K80 => write!(f, "K80"),
+            DeviceKind::A100 => write!(f, "A100"),
             DeviceKind::Test => write!(f, "TestGPU"),
         }
     }
@@ -120,6 +125,14 @@ pub struct Topology {
     devices: Vec<Device>,
     links: Vec<Link>,
     channels: HashMap<(DeviceId, DeviceId), Channel>,
+    /// Explicit island assignment per device, set by hierarchical builders.
+    /// `None` means the topology is flat and islands default to compute
+    /// nodes.
+    islands: Option<Vec<u32>>,
+    /// Per-link island classification, derived in `build()`: `Some(i)` when
+    /// the link only carries traffic between devices of island `i`,
+    /// `None` for spine links crossing islands.
+    link_island: Vec<Option<u32>>,
 }
 
 impl Topology {
@@ -217,6 +230,53 @@ impl Topology {
         }
     }
 
+    /// Whether islands were assigned explicitly by a hierarchical builder
+    /// (as opposed to defaulting to compute nodes).
+    pub fn has_explicit_islands(&self) -> bool {
+        self.islands.is_some()
+    }
+
+    /// The locality island a device belongs to.
+    ///
+    /// Hierarchical builders group devices into NVLink/NVSwitch islands
+    /// joined by an inter-island spine; for flat topologies the island is
+    /// the compute node. The simulator keeps one sub-timeline per island.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn island_of(&self, id: DeviceId) -> u32 {
+        match &self.islands {
+            Some(v) => v[id.index()],
+            None => self.devices[id.index()].node,
+        }
+    }
+
+    /// Number of distinct islands (max island index + 1).
+    pub fn num_islands(&self) -> usize {
+        match &self.islands {
+            Some(v) => v.iter().max().map_or(0, |m| *m as usize + 1),
+            None => self.num_nodes(),
+        }
+    }
+
+    /// The island a link is local to, or `None` for spine links whose
+    /// traffic crosses islands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn island_of_link(&self, id: LinkId) -> Option<u32> {
+        self.link_island[id.index()]
+    }
+
+    /// Device ids belonging to island `island`, in index order.
+    pub fn devices_in_island(&self, island: u32) -> Vec<DeviceId> {
+        self.device_ids()
+            .filter(|&d| self.island_of(d) == island)
+            .collect()
+    }
+
     /// A canonical content fingerprint of the topology, for keying the
     /// strategy-serving cache (`flexflow-server`).
     ///
@@ -255,6 +315,16 @@ impl Topology {
                 h.write_u64(ch.latency_us.to_bits());
                 h.write_u64(canon);
                 pair_index += 1;
+            }
+        }
+        // Island structure is hashed only when assigned explicitly, so
+        // every pre-existing flat topology keeps its pinned signature and
+        // on-disk server caches stay valid. Device classes are already
+        // covered above via each device's kind string.
+        if let Some(islands) = &self.islands {
+            h.write_bytes(b"islands.v1");
+            for &i in islands {
+                h.write_u64(u64::from(i));
             }
         }
         h.finish()
@@ -312,6 +382,7 @@ pub struct TopologyBuilder {
     devices: Vec<Device>,
     links: Vec<Link>,
     channels: HashMap<(DeviceId, DeviceId), Channel>,
+    islands: HashMap<DeviceId, u32>,
 }
 
 impl TopologyBuilder {
@@ -322,7 +393,19 @@ impl TopologyBuilder {
             devices: Vec::new(),
             links: Vec::new(),
             channels: HashMap::new(),
+            islands: HashMap::new(),
         }
+    }
+
+    /// Assigns a device to a locality island. Devices never assigned
+    /// explicitly default to their compute node's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is unknown.
+    pub fn set_island(&mut self, dev: DeviceId, island: u32) {
+        assert!(dev.index() < self.devices.len(), "unknown device {dev}");
+        self.islands.insert(dev, island);
     }
 
     /// Adds a compute device and returns its id.
@@ -410,11 +493,48 @@ impl TopologyBuilder {
                 }
             }
         }
+        let islands = if self.islands.is_empty() {
+            None
+        } else {
+            Some(
+                self.devices
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| {
+                        self.islands
+                            .get(&DeviceId(i as u32))
+                            .copied()
+                            .unwrap_or(d.node)
+                    })
+                    .collect::<Vec<u32>>(),
+            )
+        };
+        let island_of = |d: DeviceId| match &islands {
+            Some(v) => v[d.index()],
+            None => self.devices[d.index()].node,
+        };
+        // A link is local to island `i` iff every route queued on it stays
+        // within island `i`; anything else is spine. Links carrying no
+        // route at all are classified as spine too (harmlessly pessimistic).
+        let mut link_island: Vec<Option<u32>> = vec![None; self.links.len()];
+        let mut link_seen: Vec<bool> = vec![false; self.links.len()];
+        for ((src, dst), ch) in &self.channels {
+            let li = ch.link.index();
+            let route_island = (island_of(*src) == island_of(*dst)).then(|| island_of(*src));
+            if !link_seen[li] {
+                link_seen[li] = true;
+                link_island[li] = route_island;
+            } else if link_island[li] != route_island {
+                link_island[li] = None;
+            }
+        }
         Topology {
             name: self.name,
             devices: self.devices,
             links: self.links,
             channels: self.channels,
+            islands,
+            link_island,
         }
     }
 }
@@ -539,5 +659,71 @@ mod tests {
         let t = tiny();
         assert_eq!(t.signature(), t.signature());
         assert_eq!(t.signature(), 0xd62f_ddab_c026_1021);
+    }
+
+    #[test]
+    fn flat_topologies_default_islands_to_nodes() {
+        let mut b = TopologyBuilder::new("nodes");
+        let g0 = b.add_device(DeviceKind::Test, 0, 16.0);
+        let g1 = b.add_device(DeviceKind::Test, 1, 16.0);
+        let l = b.add_link("wire-0", 5.0, 1.0);
+        b.connect_symmetric(g0, g1, l);
+        let t = b.build();
+        assert!(!t.has_explicit_islands());
+        assert_eq!(t.island_of(g0), 0);
+        assert_eq!(t.island_of(g1), 1);
+        assert_eq!(t.num_islands(), 2);
+        // The only link carries cross-node (cross-island) traffic.
+        assert_eq!(t.island_of_link(LinkId(0)), None);
+    }
+
+    #[test]
+    fn explicit_islands_classify_links() {
+        // Two 2-GPU islands on one logical node, joined by a spine link.
+        let mut b = TopologyBuilder::new("isl");
+        let d: Vec<_> = (0..4)
+            .map(|_| b.add_device(DeviceKind::Test, 0, 16.0))
+            .collect();
+        for (i, &dev) in d.iter().enumerate() {
+            b.set_island(dev, (i / 2) as u32);
+        }
+        let l0 = b.add_link("intra-0", 20.0, 1.0);
+        let l1 = b.add_link("intra-1", 20.0, 1.0);
+        let spine = b.add_link("ib-0", 10.0, 5.0);
+        b.connect_symmetric(d[0], d[1], l0);
+        b.connect_symmetric(d[2], d[3], l1);
+        for i in 0..2 {
+            for j in 2..4 {
+                b.connect_symmetric(d[i], d[j], spine);
+            }
+        }
+        let t = b.build();
+        assert!(t.has_explicit_islands());
+        assert_eq!(t.num_islands(), 2);
+        assert_eq!(t.island_of(d[0]), 0);
+        assert_eq!(t.island_of(d[3]), 1);
+        assert_eq!(t.devices_in_island(1), vec![d[2], d[3]]);
+        assert_eq!(t.island_of_link(l0), Some(0));
+        assert_eq!(t.island_of_link(l1), Some(1));
+        assert_eq!(t.island_of_link(spine), None);
+    }
+
+    #[test]
+    fn signature_sees_island_structure_only_when_explicit() {
+        let build = |explicit: bool| {
+            let mut b = TopologyBuilder::new("t");
+            let g0 = b.add_device(DeviceKind::Test, 0, 16.0);
+            let g1 = b.add_device(DeviceKind::Test, 0, 16.0);
+            let l = b.add_link("wire-0", 10.0, 2.0);
+            b.connect_symmetric(g0, g1, l);
+            if explicit {
+                b.set_island(g0, 0);
+                b.set_island(g1, 1);
+            }
+            b.build()
+        };
+        // Flat build hashes exactly as before the island extension.
+        assert_eq!(build(false).signature(), 0xd62f_ddab_c026_1021);
+        assert_ne!(build(true).signature(), build(false).signature());
     }
 }

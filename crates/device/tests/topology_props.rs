@@ -66,17 +66,92 @@ proptest! {
     }
 
     #[test]
-    fn paper_cluster_truncation_counts(gpus in 1usize..=16) {
+    fn paper_cluster_validates_node_divisibility(gpus in 1usize..=16) {
         for kind in [DeviceKind::P100, DeviceKind::K80] {
-            let topo = clusters::paper_cluster(kind, gpus);
-            prop_assert_eq!(topo.num_devices(), gpus);
-            // single-GPU topologies still build (no channels needed)
-            if gpus >= 2 {
-                let ch = topo
-                    .channel(topo.device_id(0), topo.device_id(1))
-                    .unwrap();
-                prop_assert!(ch.bandwidth_gb_s > 0.0);
+            let built = clusters::try_paper_cluster(kind, gpus);
+            if gpus < clusters::GPUS_PER_NODE
+                || gpus.is_multiple_of(clusters::GPUS_PER_NODE)
+            {
+                let topo = built.unwrap();
+                prop_assert_eq!(topo.num_devices(), gpus);
+                // single-GPU topologies still build (no channels needed)
+                if gpus >= 2 {
+                    let ch = topo
+                        .channel(topo.device_id(0), topo.device_id(1))
+                        .unwrap();
+                    prop_assert!(ch.bandwidth_gb_s > 0.0);
+                }
+            } else {
+                // Ragged counts above one node used to silently build a
+                // fictitious fully-connected mega-node; now they error.
+                let e = built.unwrap_err();
+                prop_assert!(e.contains("whole number"), "{}", e);
             }
         }
+    }
+
+    #[test]
+    fn hierarchical_intra_island_routes_avoid_the_spine(
+        islands in 1usize..5,
+        width in 2usize..=8,
+        kind_sel in 0usize..3,
+    ) {
+        let kind = [DeviceKind::P100, DeviceKind::K80, DeviceKind::A100][kind_sel];
+        let topo = clusters::hierarchical_cluster(kind, islands, width);
+        prop_assert_eq!(topo.num_devices(), islands * width);
+        prop_assert_eq!(topo.num_islands(), islands);
+        for a in topo.device_ids() {
+            for b in topo.device_ids() {
+                if a == b { continue; }
+                let ch = topo.channel(a, b).unwrap();
+                let link_island = topo.island_of_link(ch.link);
+                if topo.island_of(a) == topo.island_of(b) {
+                    // Intra-island traffic must stay on the island fabric.
+                    prop_assert_eq!(link_island, Some(topo.island_of(a)));
+                } else {
+                    // Cross-island traffic must ride the spine.
+                    prop_assert_eq!(link_island, None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_routes_are_symmetric_in_cost(
+        islands in 1usize..5,
+        width in 2usize..=8,
+        bytes in 1u64..10_000_000,
+    ) {
+        let topo = clusters::hierarchical_cluster(DeviceKind::A100, islands, width);
+        for a in topo.device_ids() {
+            for b in topo.device_ids() {
+                let fwd = topo.transfer_time_us(a, b, bytes);
+                let rev = topo.transfer_time_us(b, a, bytes);
+                prop_assert!((fwd - rev).abs() < 1e-9, "{} vs {}", fwd, rev);
+            }
+        }
+    }
+
+    #[test]
+    fn island_of_partitions_the_devices(
+        islands in 1usize..6,
+        width in 2usize..=8,
+    ) {
+        let topo = clusters::hierarchical_cluster(DeviceKind::P100, islands, width);
+        // Every device belongs to exactly one island, islands are
+        // contiguous 0..n, and the per-island lists cover all devices
+        // without overlap.
+        let mut seen = vec![0usize; topo.num_islands()];
+        for d in topo.device_ids() {
+            let isl = topo.island_of(d) as usize;
+            prop_assert!(isl < topo.num_islands());
+            seen[isl] += 1;
+            prop_assert!(topo.devices_in_island(isl as u32).contains(&d));
+        }
+        prop_assert!(seen.iter().all(|&c| c == width));
+        let total: usize = (0..topo.num_islands())
+            .map(|i| topo.devices_in_island(i as u32).len())
+            .sum();
+        prop_assert_eq!(total, topo.num_devices());
     }
 }

@@ -197,6 +197,23 @@ pub enum OpKind {
         /// Hidden size `H`.
         hidden: u64,
     },
+    /// Layer normalization over the last (hidden) dimension of `[N, L, D]`
+    /// or `[N, D]`; parameters are the per-element scale and shift.
+    LayerNorm,
+    /// Element-wise GELU activation (transformer MLP blocks).
+    Gelu,
+    /// Multi-head self-attention over `[N, L, D]`: QKV projections, scaled
+    /// dot-product attention per head, and the output projection, fused as
+    /// one batched-matmul operator. Splitting the hidden dimension is the
+    /// Megatron/NeMo-style tensor-parallel split: each shard owns a
+    /// contiguous group of heads (columns of the QKV projections, rows of
+    /// the output projection).
+    MultiHeadAttention {
+        /// Number of attention heads (must divide `dim`).
+        heads: u64,
+        /// Model width `D`.
+        dim: u64,
+    },
 }
 
 impl OpKind {
@@ -219,6 +236,9 @@ impl OpKind {
             OpKind::Softmax => "softmax",
             OpKind::Flatten => "flatten",
             OpKind::Attention { .. } => "attention",
+            OpKind::LayerNorm => "layernorm",
+            OpKind::Gelu => "gelu",
+            OpKind::MultiHeadAttention { .. } => "mha",
         }
     }
 
@@ -306,12 +326,27 @@ impl OpKind {
                 Ok(TensorShape::new(&[x.dim(0), x.dim(1), lo]))
             }
             OpKind::Linear { out_features } => {
-                let x = self.only_input(inputs, 2)?;
-                Ok(TensorShape::new(&[x.dim(0), *out_features]))
+                // `[N, Cin] -> [N, out]`, or position-wise over sequences:
+                // `[N, L, D] -> [N, L, out]`.
+                if inputs.len() != 1 {
+                    return Err(self.arity_err(1, inputs.len()));
+                }
+                let x = inputs[0];
+                match x.ndims() {
+                    2 => Ok(TensorShape::new(&[x.dim(0), *out_features])),
+                    3 => Ok(TensorShape::new(&[x.dim(0), x.dim(1), *out_features])),
+                    _ => Err(self.incompat(format!("expected rank-2/3 input, got {x}"))),
+                }
             }
             OpKind::Embedding { dim, .. } => {
+                // `[N, 1] -> [N, dim]` (single token, the RNN zoo), or a
+                // whole sequence `[N, L] -> [N, L, dim]` for L > 1.
                 let x = self.only_input(inputs, 2)?;
-                Ok(TensorShape::new(&[x.dim(0), *dim]))
+                if x.dim(1) <= 1 {
+                    Ok(TensorShape::new(&[x.dim(0), *dim]))
+                } else {
+                    Ok(TensorShape::new(&[x.dim(0), x.dim(1), *dim]))
+                }
             }
             OpKind::LstmCell { hidden } => {
                 if inputs.len() != 2 {
@@ -399,6 +434,37 @@ impl OpKind {
                     }
                 }
                 Ok(TensorShape::new(&[inputs[0].dim(0), *hidden]))
+            }
+            OpKind::LayerNorm => {
+                if inputs.len() != 1 {
+                    return Err(self.arity_err(1, inputs.len()));
+                }
+                let x = inputs[0];
+                if x.ndims() < 2 {
+                    return Err(self.incompat(format!("expected rank >= 2 input, got {x}")));
+                }
+                Ok(x)
+            }
+            OpKind::Gelu => {
+                if inputs.len() != 1 {
+                    return Err(self.arity_err(1, inputs.len()));
+                }
+                Ok(inputs[0])
+            }
+            OpKind::MultiHeadAttention { heads, dim } => {
+                let x = self.only_input(inputs, 3)?;
+                if x.dim(2) != *dim {
+                    return Err(self.incompat(format!(
+                        "input width {} does not match model width {dim}",
+                        x.dim(2)
+                    )));
+                }
+                if *heads == 0 || !dim.is_multiple_of(*heads) {
+                    return Err(
+                        self.incompat(format!("heads {heads} must divide model width {dim}"))
+                    );
+                }
+                Ok(x)
             }
         }
     }
@@ -488,22 +554,24 @@ impl OpKind {
                     kind: Attribute,
                 },
             ],
-            // Table 1: matrix multiplication — S: sample; P: channel.
-            OpKind::Linear { .. } => vec![
-                sample,
-                ParallelDim {
-                    dim: 1,
+            // Table 1: matrix multiplication — S: sample; P: channel. For
+            // the position-wise rank-3 form the sequence dimension is an
+            // attribute and the output-feature dimension still carries the
+            // parameters (column split of `W`).
+            OpKind::Linear { .. } | OpKind::Embedding { .. } => {
+                let mut dims = vec![sample];
+                for d in 1..output.ndims() - 1 {
+                    dims.push(ParallelDim {
+                        dim: d,
+                        kind: Attribute,
+                    });
+                }
+                dims.push(ParallelDim {
+                    dim: output.ndims() - 1,
                     kind: Parameter,
-                },
-            ],
-            // Splitting the embedding width splits the table rows' columns.
-            OpKind::Embedding { .. } => vec![
-                sample,
-                ParallelDim {
-                    dim: 1,
-                    kind: Parameter,
-                },
-            ],
+                });
+                dims
+            }
             // Splitting the hidden dimension splits the 4H x (I + H) weights.
             OpKind::LstmCell { .. } => vec![
                 sample,
@@ -512,7 +580,7 @@ impl OpKind {
                     kind: Parameter,
                 },
             ],
-            OpKind::Concat { .. } | OpKind::Relu | OpKind::Tanh | OpKind::Add => {
+            OpKind::Concat { .. } | OpKind::Relu | OpKind::Tanh | OpKind::Add | OpKind::Gelu => {
                 let mut dims = vec![sample];
                 for d in 1..output.ndims() {
                     dims.push(ParallelDim {
@@ -522,6 +590,35 @@ impl OpKind {
                 }
                 dims
             }
+            // Per-element scale/shift along the hidden dimension: splitting
+            // it splits the parameters; sequence positions are attributes.
+            OpKind::LayerNorm => {
+                let mut dims = vec![sample];
+                for d in 1..output.ndims() - 1 {
+                    dims.push(ParallelDim {
+                        dim: d,
+                        kind: Attribute,
+                    });
+                }
+                dims.push(ParallelDim {
+                    dim: output.ndims() - 1,
+                    kind: Parameter,
+                });
+                dims
+            }
+            // S: sample; A: sequence position; P: hidden (head groups — the
+            // tensor-parallel split of the QKV/output projections).
+            OpKind::MultiHeadAttention { .. } => vec![
+                sample,
+                ParallelDim {
+                    dim: 1,
+                    kind: Attribute,
+                },
+                ParallelDim {
+                    dim: 2,
+                    kind: Parameter,
+                },
+            ],
             // Per-channel scale/shift: channel is a parameter dimension.
             OpKind::BatchNorm => {
                 let mut dims = vec![
@@ -579,10 +676,16 @@ impl OpKind {
                 out_channels * cin * kernel + out_channels
             }
             OpKind::Linear { out_features } => {
-                let cin = input_shapes[0].dim(1);
+                let x = input_shapes[0];
+                let cin = x.dim(x.ndims() - 1);
                 out_features * cin + out_features
             }
             OpKind::Embedding { vocab, dim } => vocab * dim,
+            OpKind::LayerNorm => {
+                let x = input_shapes[0];
+                2 * x.dim(x.ndims() - 1)
+            }
+            OpKind::MultiHeadAttention { dim, .. } => 4 * dim * dim + 4 * dim,
             OpKind::LstmCell { hidden } => {
                 let i = input_shapes[0].dim(1);
                 4 * hidden * (i + hidden) + 4 * hidden
@@ -609,11 +712,19 @@ impl OpKind {
                 co * cin * kernel + co
             }
             OpKind::Linear { .. } => {
-                let cin = input_shapes[0].dim(1);
-                let co = out.extent(1);
+                let x = input_shapes[0];
+                let cin = x.dim(x.ndims() - 1);
+                let co = out.extent(out.ndims() - 1);
                 co * cin + co
             }
-            OpKind::Embedding { vocab, .. } => vocab * out.extent(1),
+            OpKind::Embedding { vocab, .. } => vocab * out.extent(out.ndims() - 1),
+            OpKind::LayerNorm => 2 * out.extent(out.ndims() - 1),
+            // A head group's shard: its columns of the three QKV
+            // projections plus its rows of the output projection.
+            OpKind::MultiHeadAttention { dim, .. } => {
+                let hr = out.extent(2);
+                4 * dim * hr + 4 * hr
+            }
             OpKind::LstmCell { hidden } => {
                 let i = input_shapes[0].dim(1);
                 let hr = out.extent(1);
@@ -660,6 +771,18 @@ impl OpKind {
             OpKind::Add | OpKind::Relu => outvol,
             OpKind::Tanh => 4 * outvol,
             OpKind::BatchNorm => 4 * outvol,
+            // mean + variance + normalize + scale/shift per element.
+            OpKind::LayerNorm => 7 * outvol,
+            // tanh-approximation GELU.
+            OpKind::Gelu => 8 * outvol,
+            OpKind::MultiHeadAttention { dim, .. } => {
+                // Per output element of a head-group tile: its share of the
+                // QKV projections (3 x 2D MACs) and output projection
+                // (2D MACs), plus attention scores and the weighted sum
+                // over the full sequence (4L MACs within the shard's heads).
+                let l = input_shapes[0].dim(1);
+                outvol * (8 * dim + 4 * l)
+            }
             // exp + sum + divide over the full row for each tile.
             OpKind::Softmax => {
                 let n = out.extent(0);
@@ -789,14 +912,29 @@ impl OpKind {
                     &[out.hi()[0], out.hi()[1], l_hi],
                 ))]
             }
-            // Reduction over the full input row.
-            OpKind::Linear { .. } => {
+            // Reduction over the full input row; for the rank-3 form the
+            // sample/sequence intervals pass through and the hidden
+            // reduction dimension is read fully.
+            OpKind::Linear { .. } | OpKind::LayerNorm => {
                 let x = input_shapes[0];
-                vec![Some(Rect::new(&[out.lo()[0], 0], &[out.hi()[0], x.dim(1)]))]
+                let last = x.ndims() - 1;
+                let mut lo: Vec<u64> = out.lo()[..last].to_vec();
+                let mut hi: Vec<u64> = out.hi()[..last].to_vec();
+                lo.push(0);
+                hi.push(x.dim(last));
+                vec![Some(Rect::new(&lo, &hi))]
             }
             OpKind::Embedding { .. } => {
                 let x = input_shapes[0];
-                vec![Some(Rect::new(&[out.lo()[0], 0], &[out.hi()[0], x.dim(1)]))]
+                if out.ndims() == 2 {
+                    vec![Some(Rect::new(&[out.lo()[0], 0], &[out.hi()[0], x.dim(1)]))]
+                } else {
+                    // Sequence form: each output position reads its token.
+                    vec![Some(Rect::new(
+                        &[out.lo()[0], out.lo()[1]],
+                        &[out.hi()[0], out.hi()[1]],
+                    ))]
+                }
             }
             OpKind::LstmCell { hidden } => {
                 let x = input_shapes[0];
@@ -825,7 +963,16 @@ impl OpKind {
                 rects
             }
             OpKind::Add => vec![Some(*out), Some(*out)],
-            OpKind::Relu | OpKind::Tanh | OpKind::BatchNorm => vec![Some(*out)],
+            OpKind::Relu | OpKind::Tanh | OpKind::BatchNorm | OpKind::Gelu => vec![Some(*out)],
+            // Attention mixes every sequence position and (via the shared
+            // QKV projections) the full hidden width of its samples.
+            OpKind::MultiHeadAttention { .. } => {
+                let x = input_shapes[0];
+                vec![Some(Rect::new(
+                    &[out.lo()[0], 0, 0],
+                    &[out.hi()[0], x.dim(1), x.dim(2)],
+                ))]
+            }
             // Softmax needs the full row to compute the normalizer.
             OpKind::Softmax => {
                 let x = input_shapes[0];

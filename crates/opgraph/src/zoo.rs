@@ -126,6 +126,24 @@ pub fn model_metas() -> Vec<ModelMeta> {
             metric: MetricKind::None,
             default_batch: 64,
         },
+        ModelMeta {
+            name: "gpt_small",
+            description: "A 12-block decoder-only transformer (hidden 768)",
+            dataset: "Synthetic tokens",
+            reported: "-",
+            paper_measured: "-",
+            metric: MetricKind::None,
+            default_batch: 8,
+        },
+        ModelMeta {
+            name: "gpt_medium",
+            description: "A 24-block decoder-only transformer (hidden 1024)",
+            dataset: "Synthetic tokens",
+            reported: "-",
+            paper_measured: "-",
+            metric: MetricKind::None,
+            default_batch: 8,
+        },
     ]
 }
 
@@ -144,6 +162,8 @@ pub fn by_name(name: &str, batch: u64) -> OpGraph {
         "rnntc" => rnntc(batch, 40),
         "rnnlm" => rnnlm(batch, 40),
         "nmt" => nmt(batch, 40),
+        "gpt_small" => gpt_small(batch),
+        "gpt_medium" => gpt_medium(batch),
         other => panic!("unknown zoo model {other:?}"),
     }
 }
@@ -649,6 +669,92 @@ pub fn nmt(batch: u64, unroll: usize) -> OpGraph {
     g
 }
 
+// ---------------------------------------------------------------------------
+// GPT-style transformers
+// ---------------------------------------------------------------------------
+
+/// A GPT-style decoder-only transformer.
+///
+/// Rank-3 `[batch, seq, hidden]` activations flow through `layers`
+/// pre-norm blocks of multi-head attention and a 4x GELU MLP with residual
+/// adds, between a token embedding and a final layernorm + vocabulary
+/// projection. The embedding and the projection share one parameter layer
+/// (weight tying, as in GPT-2); hidden-dimension splits of the attention
+/// and MLP matmuls are the NeMo/Megatron-style tensor-parallel
+/// configurations, and they surface here as ordinary SOAP parameter
+/// dimensions.
+pub fn gpt(
+    name: &str,
+    batch: u64,
+    layers: usize,
+    hidden: u64,
+    heads: u64,
+    seq: u64,
+    vocab: u64,
+) -> OpGraph {
+    let mut g = OpGraph::new(name);
+    let tok = g.add_input(
+        "tokens",
+        TensorShape::with_dtype(&[batch, seq], DataType::I32),
+    );
+    // Weight tying: the embedding table and the LM head share this layer,
+    // so `total_params` counts the `vocab x hidden` matrix once.
+    let tied = g.fresh_layer();
+    let mut cur = g
+        .add_op_in_layer(
+            OpKind::Embedding { vocab, dim: hidden },
+            &[tok],
+            "embed",
+            tied,
+        )
+        .unwrap();
+    for l in 0..layers {
+        let ln1 = g
+            .add_op(OpKind::LayerNorm, &[cur], format!("h{l}_ln1"))
+            .unwrap();
+        let att = g
+            .add_op(
+                OpKind::MultiHeadAttention { heads, dim: hidden },
+                &[ln1],
+                format!("h{l}_attn"),
+            )
+            .unwrap();
+        let r1 = g
+            .add_op(OpKind::Add, &[att, cur], format!("h{l}_res1"))
+            .unwrap();
+        let ln2 = g
+            .add_op(OpKind::LayerNorm, &[r1], format!("h{l}_ln2"))
+            .unwrap();
+        let up = linear(&mut g, ln2, 4 * hidden, &format!("h{l}_mlp_up"));
+        let act = g.add_op(OpKind::Gelu, &[up], format!("h{l}_gelu")).unwrap();
+        let down = linear(&mut g, act, hidden, &format!("h{l}_mlp_down"));
+        cur = g
+            .add_op(OpKind::Add, &[down, r1], format!("h{l}_res2"))
+            .unwrap();
+    }
+    let lnf = g.add_op(OpKind::LayerNorm, &[cur], "ln_f").unwrap();
+    g.add_op_in_layer(
+        OpKind::Linear {
+            out_features: vocab,
+        },
+        &[lnf],
+        "lm_head",
+        tied,
+    )
+    .unwrap();
+    g
+}
+
+/// GPT-small: 12 blocks, hidden 768 (12 heads), sequence 512.
+pub fn gpt_small(batch: u64) -> OpGraph {
+    gpt("gpt_small", batch, 12, 768, 12, 512, 32_768)
+}
+
+/// GPT-medium: 24 blocks, hidden 1024 (16 heads), sequence 1024.
+pub fn gpt_medium(batch: u64) -> OpGraph {
+    gpt("gpt_medium", batch, 24, 1024, 16, 1024, 32_768)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -810,6 +916,67 @@ mod tests {
         let metas = model_metas();
         for name in EVAL_MODELS {
             assert!(metas.iter().any(|m| m.name == name), "{name} missing meta");
+        }
+    }
+
+    #[test]
+    fn gpt_small_structure() {
+        let g = gpt_small(8);
+        // 12 blocks x 8 ops + tokens/embed/ln_f/lm_head
+        assert_eq!(g.len(), 12 * 8 + 4);
+        let attn = g.ops().find(|o| o.name() == "h0_attn").unwrap();
+        assert_eq!(attn.output_shape().dims(), &[8, 512, 768]);
+        let up = g.ops().find(|o| o.name() == "h0_mlp_up").unwrap();
+        assert_eq!(up.output_shape().dims(), &[8, 512, 4 * 768]);
+        let head = g.ops().find(|o| o.name() == "lm_head").unwrap();
+        assert_eq!(head.output_shape().dims(), &[8, 512, 32_768]);
+    }
+
+    #[test]
+    fn gpt_ties_embedding_and_lm_head() {
+        let g = gpt_small(8);
+        let embed = g.ops().find(|o| o.name() == "embed").unwrap();
+        let head = g.ops().find(|o| o.name() == "lm_head").unwrap();
+        assert_eq!(embed.layer(), head.layer(), "tied weights share a layer");
+        // The tied vocab x hidden matrix is counted once: totals stay well
+        // under the sum of the two ops' own param counts plus the rest.
+        let untied: u64 = g.ops().map(|o| o.param_count()).sum();
+        assert!(g.total_params() < untied);
+        assert!(g.total_params() > embed.param_count());
+    }
+
+    #[test]
+    fn gpt_signature_is_stable_and_shape_sensitive() {
+        use crate::signature::graph_signature;
+        let a = gpt_small(8);
+        assert_eq!(graph_signature(&a), graph_signature(&gpt_small(8)));
+        assert_ne!(
+            graph_signature(&a),
+            graph_signature(&gpt_small(16)),
+            "batch size is part of the computation"
+        );
+        assert_ne!(graph_signature(&a), graph_signature(&gpt_medium(8)));
+        // Pin the value: persisted strategy caches key on it.
+        assert_eq!(
+            graph_signature(&a),
+            graph_signature(&by_name("gpt_small", 8))
+        );
+    }
+
+    #[test]
+    fn gpt_attention_and_mlp_expose_parameter_splits() {
+        use crate::op::DimKind;
+        let g = gpt_small(8);
+        for name in ["h0_attn", "h0_mlp_up", "h0_mlp_down", "embed", "lm_head"] {
+            let op = g.ops().find(|o| o.name() == name).unwrap();
+            let dims = op.parallel_dims();
+            assert!(
+                dims.iter().any(|d| d.kind == DimKind::Parameter),
+                "{name} must offer a tensor-parallel split"
+            );
+            // the hidden/vocab dimension is the parameter dimension
+            let p = dims.iter().find(|d| d.kind == DimKind::Parameter).unwrap();
+            assert_eq!(p.dim, op.output_shape().ndims() - 1);
         }
     }
 }

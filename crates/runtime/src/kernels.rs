@@ -107,7 +107,8 @@ pub fn init_weights(node: &OpNode, seed: u64) -> Vec<DenseTensor> {
             ]
         }
         OpKind::Linear { out_features } => {
-            let cin = node.input_shapes()[0].dim(1);
+            let x = node.input_shapes()[0];
+            let cin = x.dim(x.ndims() - 1);
             vec![
                 gen(TensorShape::new(&[cin, *out_features]), 1),
                 gen(TensorShape::new(&[*out_features]), 2),
@@ -133,6 +134,22 @@ pub fn init_weights(node: &OpNode, seed: u64) -> Vec<DenseTensor> {
         }
         OpKind::Attention { hidden } => {
             vec![gen(TensorShape::new(&[*hidden, *hidden]), 1)]
+        }
+        OpKind::LayerNorm => {
+            let x = node.input_shapes()[0];
+            let d = x.dim(x.ndims() - 1);
+            vec![
+                gen(TensorShape::new(&[d]), 1),
+                gen(TensorShape::new(&[d]), 2),
+            ]
+        }
+        OpKind::MultiHeadAttention { dim, .. } => {
+            // Q, K, V and output projections plus their biases.
+            let mut w: Vec<DenseTensor> = (1..=4)
+                .map(|salt| gen(TensorShape::new(&[*dim, *dim]), salt))
+                .collect();
+            w.extend((5..=8).map(|salt| gen(TensorShape::new(&[*dim]), salt)));
+            w
         }
         _ => vec![],
     }
@@ -276,14 +293,20 @@ pub fn compute_tile(
             });
         }
         OpKind::Linear { .. } => {
+            // Rank-2 `[N, Cin]` or position-wise rank-3 `[N, L, Cin]`: the
+            // last coordinate selects the output feature, the rest pass
+            // through.
             let x = inputs[0].as_ref().expect("linear input");
             let (w, b) = (&weights[0], &weights[1]);
-            let cin = node.input_shapes()[0].dim(1);
+            let in_shape = node.input_shapes()[0];
+            let cin = in_shape.dim(in_shape.ndims() - 1);
             for_each(&mut out, &lo, |g, o| {
-                let (n, j) = (g[0], g[1]);
+                let j = g[g.len() - 1];
                 let mut acc = b.at(&[j]);
+                let mut idx = g.to_vec();
                 for i in 0..cin {
-                    acc += x.at(&[n, i]) * w.at(&[i, j]);
+                    idx[g.len() - 1] = i;
+                    acc += x.at(&idx) * w.at(&[i, j]);
                 }
                 *o = acc;
             });
@@ -292,8 +315,14 @@ pub fn compute_tile(
             let tok = inputs[0].as_ref().expect("embedding tokens");
             let table = &weights[0];
             for_each(&mut out, &lo, |g, o| {
-                let (n, j) = (g[0], g[1]);
-                let t = tok.at(&[n, 0]) as u64 % vocab;
+                // `[N, dim]` from `[N, 1]` tokens, or the sequence form
+                // `[N, L, dim]` from `[N, L]` tokens.
+                let (tok_idx, j) = if g.len() == 2 {
+                    (vec![g[0], 0], g[1])
+                } else {
+                    (vec![g[0], g[1]], g[2])
+                };
+                let t = tok.at(&tok_idx) as u64 % vocab;
                 *o = table.at(&[t, j]);
             });
         }
@@ -424,6 +453,90 @@ pub fn compute_tile(
                     acc += ctx_i * wc.at(&[i, j]);
                 }
                 *o = acc.tanh();
+            });
+        }
+        OpKind::LayerNorm => {
+            let x = inputs[0].as_ref().expect("layernorm input");
+            let in_shape = node.input_shapes()[0];
+            let d = in_shape.dim(in_shape.ndims() - 1);
+            let (gamma, beta) = (&weights[0], &weights[1]);
+            for_each(&mut out, &lo, |g, o| {
+                let last = g.len() - 1;
+                let mut idx = g.to_vec();
+                let mut mean = 0.0f32;
+                for i in 0..d {
+                    idx[last] = i;
+                    mean += x.at(&idx);
+                }
+                mean /= d as f32;
+                let mut var = 0.0f32;
+                for i in 0..d {
+                    idx[last] = i;
+                    let v = x.at(&idx) - mean;
+                    var += v * v;
+                }
+                var /= d as f32;
+                let j = g[last];
+                *o = gamma.at(&[j]) * (x.at(g) - mean) / (var + 1e-5).sqrt() + beta.at(&[j]);
+            });
+        }
+        OpKind::Gelu => {
+            let x = inputs[0].as_ref().expect("gelu input");
+            for_each(&mut out, &lo, |g, o| {
+                let v = x.at(g);
+                // tanh approximation
+                let inner = 0.797_884_6 * (v + 0.044_715 * v * v * v);
+                *o = 0.5 * v * (1.0 + inner.tanh());
+            });
+        }
+        OpKind::MultiHeadAttention { heads, dim } => {
+            let x = inputs[0].as_ref().expect("mha input");
+            let l_total = node.input_shapes()[0].dim(1);
+            let (wq, wk, wv, wo) = (&weights[0], &weights[1], &weights[2], &weights[3]);
+            let (bq, bk, bv, bo) = (&weights[4], &weights[5], &weights[6], &weights[7]);
+            let hd = dim / heads;
+            // Projection of the full input row (n, t) onto column c of `w`.
+            let proj = |n: u64, t: u64, c: u64, w: &DenseTensor, b: &DenseTensor| {
+                let mut acc = b.at(&[c]);
+                for i in 0..*dim {
+                    acc += x.at(&[n, t, i]) * w.at(&[i, c]);
+                }
+                acc
+            };
+            for_each(&mut out, &lo, |g, o| {
+                let (n, l, j) = (g[0], g[1], g[2]);
+                let mut acc = bo.at(&[j]);
+                for h in 0..*heads {
+                    let base = h * hd;
+                    // scaled dot-product scores of query (n, l) against
+                    // every position, within head h's columns
+                    let mut scores = Vec::with_capacity(l_total as usize);
+                    let mut max = f32::NEG_INFINITY;
+                    for t in 0..l_total {
+                        let mut s = 0.0f32;
+                        for c in 0..hd {
+                            s += proj(n, l, base + c, wq, bq) * proj(n, t, base + c, wk, bk);
+                        }
+                        s /= (hd as f32).sqrt();
+                        max = max.max(s);
+                        scores.push(s);
+                    }
+                    let mut denom = 0.0f32;
+                    for s in &mut scores {
+                        *s = (*s - max).exp();
+                        denom += *s;
+                    }
+                    // context for head h, pushed through rows [base, base+hd)
+                    // of the output projection
+                    for c in 0..hd {
+                        let mut ctx = 0.0f32;
+                        for t in 0..l_total {
+                            ctx += scores[t as usize] / denom * proj(n, t, base + c, wv, bv);
+                        }
+                        acc += ctx * wo.at(&[base + c, j]);
+                    }
+                }
+                *o = acc;
             });
         }
     }

@@ -43,7 +43,7 @@ pub const MAX_MICROBATCHES: u64 = 64;
 
 /// Models the server can build, in [`flexflow_opgraph::zoo::by_name`]'s
 /// vocabulary.
-pub const KNOWN_MODELS: [&str; 8] = [
+pub const KNOWN_MODELS: [&str; 10] = [
     "lenet",
     "alexnet",
     "vgg16",
@@ -52,6 +52,8 @@ pub const KNOWN_MODELS: [&str; 8] = [
     "rnntc",
     "rnnlm",
     "nmt",
+    "gpt_small",
+    "gpt_medium",
 ];
 
 /// A parsed request line.
@@ -179,7 +181,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 r.cluster = match name {
                     "p100" => DeviceKind::P100,
                     "k80" => DeviceKind::K80,
-                    other => return Err(format!("unknown cluster {other:?} (p100|k80)")),
+                    "a100" => DeviceKind::A100,
+                    other => return Err(format!("unknown cluster {other:?} (p100|k80|a100)")),
                 };
             }
             if let Some(f) = v.get_field("refresh") {

@@ -123,6 +123,7 @@ fn cluster_name(kind: DeviceKind) -> &'static str {
     match kind {
         DeviceKind::P100 => "p100",
         DeviceKind::K80 => "k80",
+        DeviceKind::A100 => "a100",
         DeviceKind::Test => "test",
     }
 }
@@ -578,12 +579,21 @@ impl Server {
 
 /// Builds the `(graph, topology)` pair a search request names — shared by
 /// the server and the benchmarks so cache keys line up.
+///
+/// A100 requests build hierarchical NVSwitch-island clusters (paper
+/// clusters only cover the paper's hardware); P100/K80 requests keep the
+/// flat Fig. 6 builders so existing cache keys are untouched.
 pub fn build_workload(req: &SearchRequest) -> (OpGraph, Topology) {
     let batch = if req.model == "alexnet" { 256 } else { 64 };
-    (
-        zoo::by_name(&req.model, batch),
-        clusters::paper_cluster(req.cluster, req.gpus),
-    )
+    let topo = match req.cluster {
+        DeviceKind::A100 => {
+            let width = clusters::island_width(req.cluster);
+            clusters::preset(&format!("a100x{}-ib", req.gpus))
+                .unwrap_or_else(|e| panic!("{e} (gpus must be a multiple of {width})"))
+        }
+        _ => clusters::paper_cluster(req.cluster, req.gpus),
+    };
+    (zoo::by_name(&req.model, batch), topo)
 }
 
 /// Convenience: extracts a named top-level field from a response line

@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! flexflow models
-//! flexflow search <model> [--gpus N] [--cluster p100|k80] [--evals N] [--seed N] [--out FILE]
-//!                         [--chains K] [--exchange-every N] [--microbatches M] [--warm FILE]
-//!                         [--legacy] [--verbose]
-//! flexflow simulate <model> [--gpus N] [--cluster p100|k80] [--strategy FILE] [--microbatches M]
-//! flexflow baselines <model> [--gpus N] [--cluster p100|k80]
+//! flexflow search <model> [--gpus N] [--cluster p100|k80|PRESET] [--evals N] [--seed N]
+//!                         [--out FILE] [--chains K] [--exchange-every N] [--microbatches M]
+//!                         [--warm FILE] [--legacy] [--verbose]
+//! flexflow simulate <model> [--gpus N] [--cluster p100|k80|PRESET] [--strategy FILE]
+//!                           [--microbatches M]
+//! flexflow baselines <model> [--gpus N] [--cluster p100|k80|PRESET]
 //! flexflow serve [--socket PATH] [--workers N] [--cache FILE] [--microbatches M] [--oneshot]
 //! ```
 //!
@@ -22,6 +23,12 @@
 //! exported strategy instead of the data-parallel/expert defaults, so a
 //! pipelined refinement of a known-good strategy can never end worse
 //! than it.
+//!
+//! `--cluster` takes either a flat paper cluster kind (`p100`, `k80` —
+//! sized by `--gpus`, which must be a whole number of nodes) or a
+//! hierarchical preset name like `p100x64-ib` / `a100x256-ib` (NVLink
+//! islands joined by an InfiniBand spine; the name fixes the device
+//! count, so `--gpus` is rejected next to a preset).
 //!
 //! `serve` runs the strategy-serving daemon: line-delimited JSON requests
 //! (see `flexflow_server::protocol`) answered from a content-addressed
@@ -45,21 +52,39 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flexflow models\n  flexflow search <model> [--gpus N] [--cluster p100|k80] \
-         [--evals N] [--seed N] [--out FILE]\n                          [--chains K] \
-         [--exchange-every N] [--microbatches M] [--warm FILE]\n                          \
+        "usage:\n  flexflow models\n  flexflow search <model> [--gpus N] \
+         [--cluster p100|k80|PRESET] [--evals N] [--seed N] [--out FILE]\n                \
+         [--chains K] [--exchange-every N] [--microbatches M] [--warm FILE]\n            \
          [--legacy] [--verbose]\n  flexflow simulate <model> [--gpus N] \
-         [--cluster p100|k80] [--strategy FILE] [--microbatches M]\n  flexflow baselines \
-         <model> [--gpus N] [--cluster p100|k80]\n  flexflow serve [--socket PATH] \
-         [--workers N] [--cache FILE] [--microbatches M] [--oneshot]"
+         [--cluster p100|k80|PRESET] [--strategy FILE] [--microbatches M]\n  flexflow \
+         baselines <model> [--gpus N] [--cluster p100|k80|PRESET]\n  flexflow serve \
+         [--socket PATH] [--workers N] [--cache FILE] [--microbatches M] [--oneshot]\n\
+         \npresets are hierarchical clusters named <kind>x<gpus>-ib, e.g. {}",
+        clusters::PRESET_EXAMPLES.join(", ")
     );
     ExitCode::from(2)
+}
+
+/// What `--cluster` named: a flat paper cluster kind sized by `--gpus`,
+/// or a hierarchical preset (`<kind>x<gpus>-ib`) that fixes its own size.
+enum ClusterSpec {
+    Flat(DeviceKind),
+    Preset(String),
+}
+
+impl ClusterSpec {
+    fn label(&self) -> String {
+        match self {
+            ClusterSpec::Flat(kind) => kind.to_string(),
+            ClusterSpec::Preset(name) => name.clone(),
+        }
+    }
 }
 
 struct Options {
     model: String,
     gpus: usize,
-    cluster: DeviceKind,
+    cluster: ClusterSpec,
     evals: u64,
     seed: u64,
     out: Option<String>,
@@ -79,7 +104,7 @@ fn parse(args: &[String]) -> Option<Options> {
     let mut o = Options {
         model: args.first()?.clone(),
         gpus: 4,
-        cluster: DeviceKind::P100,
+        cluster: ClusterSpec::Flat(DeviceKind::P100),
         evals: 2000,
         seed: 42,
         out: None,
@@ -120,12 +145,28 @@ fn parse(args: &[String]) -> Option<Options> {
     }
     if let Some(v) = flags.get("--cluster") {
         o.cluster = match v.as_str() {
-            "p100" => DeviceKind::P100,
-            "k80" => DeviceKind::K80,
-            other => {
-                eprintln!("unknown cluster {other:?} (p100|k80)");
-                return None;
-            }
+            "p100" => ClusterSpec::Flat(DeviceKind::P100),
+            "k80" => ClusterSpec::Flat(DeviceKind::K80),
+            // Anything else must be a hierarchical preset; validate it now
+            // so a typo fails at the flag, not deep inside a subcommand.
+            other => match clusters::preset(other) {
+                Ok(topo) => {
+                    if flags.contains_key("--gpus") {
+                        eprintln!(
+                            "--cluster {other} fixes the device count at {}; \
+                             --gpus is contradictory next to a preset",
+                            topo.num_devices()
+                        );
+                        return None;
+                    }
+                    o.gpus = topo.num_devices();
+                    ClusterSpec::Preset(other.to_string())
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return None;
+                }
+            },
         };
     }
     if let Some(v) = flags.get("--evals") {
@@ -179,12 +220,16 @@ fn parse(args: &[String]) -> Option<Options> {
     Some(o)
 }
 
-fn build(o: &Options) -> (OpGraph, Topology) {
+/// Builds the workload and the cluster, turning every sizing error
+/// (ragged `--gpus`, zero devices, A100 without a preset) into a
+/// printable message instead of a panic.
+fn build(o: &Options) -> Result<(OpGraph, Topology), String> {
     let batch = if o.model == "alexnet" { 256 } else { 64 };
-    (
-        zoo::by_name(&o.model, batch),
-        clusters::paper_cluster(o.cluster, o.gpus),
-    )
+    let topo = match &o.cluster {
+        ClusterSpec::Flat(kind) => clusters::try_paper_cluster(*kind, o.gpus)?,
+        ClusterSpec::Preset(name) => clusters::preset(name)?,
+    };
+    Ok((zoo::by_name(&o.model, batch), topo))
 }
 
 /// Reads and imports a strategy file, turning every failure mode (I/O,
@@ -303,7 +348,13 @@ fn main() -> ExitCode {
             let Some(o) = parse(&args[1..]) else {
                 return usage();
             };
-            let (graph, topo) = build(&o);
+            let (graph, topo) = match build(&o) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("cannot build cluster: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let cost = MeasuredCostModel::paper_default();
             let dp = Strategy::data_parallel(&graph, &topo);
             let ex = expert::strategy(&graph, &topo);
@@ -312,7 +363,7 @@ fn main() -> ExitCode {
                 "searching {} on {} x {} ({} ops, {} evals, {}{})...",
                 o.model,
                 o.gpus,
-                o.cluster,
+                o.cluster.label(),
                 graph.len(),
                 o.evals,
                 if o.legacy {
@@ -427,7 +478,13 @@ fn main() -> ExitCode {
             let Some(o) = parse(&args[1..]) else {
                 return usage();
             };
-            let (graph, topo) = build(&o);
+            let (graph, topo) = match build(&o) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("cannot build cluster: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let mut s = match &o.strategy {
                 None => Strategy::data_parallel(&graph, &topo),
                 // Strategy files are untrusted input: unreadable paths,
@@ -464,7 +521,13 @@ fn main() -> ExitCode {
             let Some(o) = parse(&args[1..]) else {
                 return usage();
             };
-            let (graph, topo) = build(&o);
+            let (graph, topo) = match build(&o) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("cannot build cluster: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let cost = MeasuredCostModel::paper_default();
             report(
                 "data parallelism",

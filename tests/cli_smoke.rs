@@ -441,6 +441,75 @@ fn contradictory_flag_combos_are_rejected_with_a_message() {
 }
 
 #[test]
+fn ragged_gpu_counts_are_rejected_with_a_clear_error() {
+    // paper clusters have 4 GPUs per node; 6 is not a whole number of
+    // nodes and used to silently truncate to one fully-connected node.
+    let out = flexflow(&["simulate", "lenet", "--gpus", "6"]);
+    assert!(!out.status.success(), "--gpus 6 must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("whole number"),
+        "stderr should explain node divisibility:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must be an error, not a panic:\n{stderr}"
+    );
+    // Sub-node counts stay legal (the paper's 1/2-GPU points).
+    let out = flexflow(&["simulate", "lenet", "--gpus", "2"]);
+    assert!(out.status.success(), "--gpus 2 is one partial node");
+}
+
+#[test]
+fn cluster_presets_build_hierarchical_topologies() {
+    // A preset name sizes the cluster itself.
+    let out = stdout_of(&flexflow(&["simulate", "lenet", "--cluster", "p100x8-ib"]));
+    assert!(parse_throughput(out.lines().next().unwrap()) > 0.0);
+
+    // Search accepts presets too and reports the preset name.
+    let out = stdout_of(&flexflow(&[
+        "search",
+        "lenet",
+        "--cluster",
+        "p100x8-ib",
+        "--evals",
+        "20",
+        "--seed",
+        "2",
+        "--chains",
+        "1",
+    ]));
+    assert!(
+        out.contains("8 x p100x8-ib"),
+        "search header should name the preset:\n{out}"
+    );
+
+    // A typo'd preset fails at the flag with the example list.
+    let out = flexflow(&["simulate", "lenet", "--cluster", "p100x8"]);
+    assert!(!out.status.success(), "bad preset must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("p100x64-ib"),
+        "stderr should list preset examples:\n{stderr}"
+    );
+
+    // --gpus next to a preset is contradictory, not silently ignored.
+    let out = flexflow(&["simulate", "lenet", "--cluster", "p100x8-ib", "--gpus", "4"]);
+    assert!(!out.status.success(), "--gpus + preset must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("contradictory"), "{stderr}");
+
+    // Flat A100 clusters do not exist; the error points at presets.
+    let out = flexflow(&["simulate", "lenet", "--cluster", "a100"]);
+    assert!(!out.status.success(), "flat a100 must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("a100x64-ib"),
+        "stderr should point at a preset:\n{stderr}"
+    );
+}
+
+#[test]
 fn microbatch_search_exports_and_simulate_accepts_pipelined_strategies() {
     let dir = std::env::temp_dir().join(format!("flexflow-cli-mb-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");
