@@ -1,6 +1,6 @@
 //! CI perf smoke + regression gate.
 //!
-//! Five workloads, one artifact (`BENCH_pr6.json` by default):
+//! Six workloads, one artifact (`BENCH_pr8.json` by default):
 //!
 //! 1. `proposal_evaluation` (full vs delta simulation, see
 //!    [`flexflow_bench::proposal_bench`]) once at 4/8/16 devices — the
@@ -18,7 +18,12 @@
 //! 5. `sim_scaling` (hierarchical timelines, see
 //!    [`flexflow_bench::sim_scaling`]) — median delta-proposal cost on
 //!    gpt_small over hierarchical clusters of 16/64/256 devices, the
-//!    PR 6 trajectory.
+//!    PR 6 trajectory;
+//! 6. `param_sync` (searchable parameter synchronization, see
+//!    [`flexflow_bench::param_sync_bench`]) — ZeRO-1-sharded vs
+//!    all-reduce best search cost and per-device optimizer-state peak on
+//!    gpt_medium@64, the PR 8 trajectory (deterministic: single-chain
+//!    searches under evaluation budgets).
 //!
 //! With `--check` the binary also gates the numbers and exits non-zero on
 //! a regression:
@@ -44,6 +49,10 @@
 //!   16/64/256 sweep must stay below 2.2x (a whole-cluster repair
 //!   frontier tracks the full timeline population and grows ~linearly
 //!   with devices; the island frontier must not);
+//! - the sync-axis search must find a strategy with **strictly lower**
+//!   simulated cost than the best all-reduce-only strategy on
+//!   gpt_medium@64 *and* at least halve the per-device optimizer-state
+//!   peak (the acceptance bar for the parameter-sync dimension);
 //! - when a baseline artifact exists (`BENCH_SMOKE_BASELINE`, default
 //!   the committed `BENCH_pr5.json`), the *dimensionless ratios* —
 //!   delta-vs-full per device count and 4-chain-vs-1-chain throughput —
@@ -57,12 +66,14 @@
 //! 2000), `BENCH_SMOKE_HIT_REQUESTS` (timed hit requests, default 2000),
 //! `BENCH_SMOKE_PIPELINE_EVALS` (pipeline comparison budget, default
 //! 1500), `BENCH_SMOKE_SCALING_SAMPLES` (timed samples per sim_scaling
-//! cell, default 9), `BENCH_SMOKE_BASELINE` (baseline path, default
-//! `BENCH_pr5.json`), `BENCH_SMOKE_OUT` (output path, default
-//! `BENCH_pr6.json`).
+//! cell, default 9), `BENCH_SMOKE_SYNC_EVALS` (param_sync comparison
+//! budget, default 160), `BENCH_SMOKE_BASELINE` (baseline path, default
+//! `BENCH_pr6.json`), `BENCH_SMOKE_OUT` (output path, default
+//! `BENCH_pr8.json`).
 
 use flexflow_bench::{
-    pipeline_bench, proposal_bench, search_throughput, serve_throughput, sim_scaling,
+    param_sync_bench, pipeline_bench, proposal_bench, search_throughput, serve_throughput,
+    sim_scaling,
 };
 use flexflow_core::sim::{SimConfig, Simulator};
 use flexflow_core::strategy::Strategy;
@@ -109,6 +120,9 @@ struct Report {
     /// Median growth per device doubling across consecutive sweep cells
     /// (gated < 2.2x each).
     sim_scaling_growth_per_doubling: Vec<f64>,
+    /// Sync-axis vs all-reduce best search cost and optimizer-state peak
+    /// on gpt_medium@64 (PR 8).
+    param_sync: param_sync_bench::SyncComparison,
 }
 
 /// The slice of a previous report the cross-run gate compares against —
@@ -203,9 +217,14 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(9)
         .max(1);
+    let sync_evals: u64 = std::env::var("BENCH_SMOKE_SYNC_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(160)
+        .max(24);
     let baseline_path =
-        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr5.json".into());
-    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr6.json".into());
+        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr6.json".into());
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr8.json".into());
     let cores = flexflow_core::default_chains();
 
     // ---- workload 1: proposal_evaluation (full vs delta) ----
@@ -370,6 +389,25 @@ fn main() -> ExitCode {
         );
     }
 
+    // ---- workload 6: param_sync (searchable parameter sync) ----
+    println!(
+        "\nbench smoke: param_sync (sync-axis search on gpt_medium@64, {sync_evals} evals per search)"
+    );
+    let psync = param_sync_bench::gpt_medium_64gpu(sync_evals, 1);
+    println!(
+        "all-reduce best {:.2} ms/iter; zero1 seed {:.2} ms/iter; synced best {:.2} ms/iter \
+         -> ratio {:.3}",
+        psync.baseline_best_us / 1e3,
+        psync.zero1_seed_us / 1e3,
+        psync.synced_best_us / 1e3,
+        psync.cost_ratio
+    );
+    println!(
+        "optimizer-state peak: {:.1} MB/device all-reduce vs {:.1} MB/device synced",
+        psync.baseline_opt_state_peak_bytes as f64 / 1e6,
+        psync.synced_opt_state_peak_bytes as f64 / 1e6
+    );
+
     // ---- artifact ----
     let report = Report {
         unix_epoch_secs: std::time::SystemTime::now()
@@ -392,7 +430,10 @@ fn main() -> ExitCode {
                sim_scaling: median apply+rollback time of one degree-capped proposal on \
                gpt_small (batch 64) over hierarchical P100 clusters (4-GPU NVLink islands, \
                IB spine) at 16/64/256 devices; the gate bounds the median's growth per \
-               device doubling"
+               device doubling. param_sync: single-chain sync-axis search on gpt_medium@64 \
+               warm-started from the better of the all-reduce best and its ZeRO-1-everywhere \
+               rebuild (deterministic; the gate demands a strict cost improvement and a \
+               >= 2x lower per-device optimizer-state peak)"
             .into(),
         results,
         search_throughput: search,
@@ -402,6 +443,7 @@ fn main() -> ExitCode {
         pipeline: pipeline.clone(),
         sim_scaling: scaling.clone(),
         sim_scaling_growth_per_doubling: scaling_growth.clone(),
+        param_sync: psync.clone(),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json).expect("write bench smoke artifact");
@@ -478,6 +520,28 @@ fn main() -> ExitCode {
                 w[0].gpus, w[1].gpus
             ));
         }
+    }
+
+    // Param-sync gate: the sync axis must strictly pay on the
+    // data-parallel transformer, in time *and* in optimizer-state memory
+    // (the acceptance bar of the parameter-sync PR).
+    if psync.synced_best_us >= psync.baseline_best_us {
+        failures.push(format!(
+            "sync-axis search found {:.2} ms/iter, not strictly below the \
+             all-reduce best {:.2} ms/iter",
+            psync.synced_best_us / 1e3,
+            psync.baseline_best_us / 1e3
+        ));
+    }
+    if psync.baseline_opt_state_peak_bytes < 2 * psync.synced_opt_state_peak_bytes {
+        failures.push(format!(
+            "synced optimizer-state peak is {} bytes/device vs {} all-reduce \
+             (gate: >= 2x reduction)",
+            psync.synced_opt_state_peak_bytes, psync.baseline_opt_state_peak_bytes
+        ));
+    }
+    if !psync.custom_sync {
+        failures.push("winning synced strategy never departs from all-reduce".into());
     }
 
     // Cross-run gate: dimensionless ratios vs the committed baseline
@@ -559,7 +623,7 @@ fn main() -> ExitCode {
         println!(
             "  PASS: delta-vs-full >= 1.5x at 4/8/16 devices, 4-chain {tp_ratio:.2}x, \
              hits {:.0} req/s at 0 evals, warm ratio {:.3}, pipeline ratio {:.3} (m = {}), \
-             scaling growth {} per doubling",
+             scaling growth {} per doubling, sync ratio {:.3} at {:.1}x less opt state",
             hits.requests_per_s,
             wvc.warm_ratio,
             pipeline.cost_ratio,
@@ -568,7 +632,10 @@ fn main() -> ExitCode {
                 .iter()
                 .map(|g| format!("{g:.2}x"))
                 .collect::<Vec<_>>()
-                .join("/")
+                .join("/"),
+            psync.cost_ratio,
+            psync.baseline_opt_state_peak_bytes as f64
+                / psync.synced_opt_state_peak_bytes.max(1) as f64
         );
         ExitCode::SUCCESS
     } else {

@@ -7,7 +7,7 @@
 
 use flexflow_bench::{eval_model, sim_config};
 use flexflow_core::optimizer::{
-    default_chains, Budget, McmcOptimizer, ParallelSearch, SimAlgorithm,
+    default_chains, Budget, McmcOptimizer, SearchRequest, SimAlgorithm,
 };
 use flexflow_core::strategy::Strategy;
 use flexflow_costmodel::MeasuredCostModel;
@@ -84,20 +84,21 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(default_chains)
         .max(1);
-    let mut ps = ParallelSearch::with_chains(12, chains);
-    ps.exchange_every = 64;
-    let result = ps.search(
-        &graph,
-        &topo,
-        &cost,
-        &[Strategy::data_parallel(&graph, &topo)],
-        Budget {
-            max_evals: u64::MAX,
-            max_seconds: seconds,
-            patience_fraction: 1.0,
-        },
-        sim_config(),
-    );
+    let result = SearchRequest::new(12)
+        .chains(chains)
+        .exchange_every(64)
+        .run(
+            &graph,
+            &topo,
+            &cost,
+            &[Strategy::data_parallel(&graph, &topo)],
+            Budget {
+                max_evals: u64::MAX,
+                max_seconds: seconds,
+                patience_fraction: 1.0,
+            },
+            sim_config(),
+        );
     let name = format!("delta-par{chains}");
     println!(
         "\n{name} ({} chains): {} proposals evaluated (per chain: {:?}), best {:.2} ms",

@@ -1,0 +1,44 @@
+//! Renders the EXPERIMENTS.md parameter-synchronization table: data
+//! parallelism on the transformer rows (`gpt_small` / `gpt_medium`)
+//! across hierarchical clusters of 16 / 64 / 256 devices, with every
+//! weighted layer forced to one sync mode per column — all-reduce,
+//! ZeRO-1 sharding across all replicas, and a single parameter server
+//! on device 0.
+//!
+//! ```sh
+//! cargo run --release -p flexflow-bench --bin param_sync_table
+//! ```
+
+use flexflow_bench::param_sync_bench::{mode_cell, ModeCell};
+use flexflow_core::soap::ParamSync;
+
+fn main() {
+    let mut cells: Vec<ModeCell> = Vec::new();
+    println!(
+        "{:<11} {:>5} {:>10} {:>12} {:>18}",
+        "model", "gpus", "mode", "ms/iter", "opt-state MB/dev"
+    );
+    for model in ["gpt_small", "gpt_medium"] {
+        for gpus in [16usize, 64, 256] {
+            for mode in [
+                ParamSync::AllReduce,
+                ParamSync::ShardedZero1 {
+                    shards: gpus as u64,
+                },
+                ParamSync::ParamServer { server_device: 0 },
+            ] {
+                let c = mode_cell(model, gpus, mode);
+                println!(
+                    "{:<11} {:>5} {:>10} {:>12.2} {:>18.1}",
+                    c.model,
+                    c.gpus,
+                    c.mode,
+                    c.cost_us / 1e3,
+                    c.opt_state_peak_bytes as f64 / 1e6
+                );
+                cells.push(c);
+            }
+        }
+    }
+    flexflow_bench::write_json("param_sync_table", &cells);
+}

@@ -12,7 +12,7 @@ use flexflow_bench::sim_config;
 use flexflow_core::exhaustive::{
     canonical_space_size, check_local_optimality, polish_to_local_optimum, ExhaustiveSearch,
 };
-use flexflow_core::optimizer::{Budget, ParallelSearch};
+use flexflow_core::optimizer::{Budget, SearchRequest};
 use flexflow_core::soap::ConfigSpace;
 use flexflow_core::strategy::Strategy;
 use flexflow_costmodel::MeasuredCostModel;
@@ -72,21 +72,22 @@ fn main() {
         let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
         let space = canonical_space_size(&graph, &topo);
         // MCMC first (its result warm-starts the proof).
-        let mut opt = ParallelSearch::with_chains(84, chains);
-        opt.space = ConfigSpace::Canonical; // search the provable space
         let mut rng = StdRng::seed_from_u64(84);
         let initials = [
             Strategy::data_parallel(&graph, &topo),
             Strategy::random(&graph, &topo, ConfigSpace::Canonical, &mut rng),
         ];
-        let mcmc = opt.search(
-            &graph,
-            &topo,
-            &cost,
-            &initials,
-            Budget::evaluations(evals),
-            cfg,
-        );
+        let mcmc = SearchRequest::new(84)
+            .chains(chains)
+            .space(ConfigSpace::Canonical) // search the provable space
+            .run(
+                &graph,
+                &topo,
+                &cost,
+                &initials,
+                Budget::evaluations(evals),
+                cfg,
+            );
         println!(
             "  {name}: MCMC txns {} committed / {} rolled back ({} adaptive sweeps)",
             mcmc.telemetry.commits, mcmc.telemetry.rollbacks, mcmc.telemetry.sweeps
@@ -135,16 +136,17 @@ fn main() {
         for devices in [2usize, 4, 8] {
             let topo =
                 clusters::uniform_cluster(devices.div_ceil(4).max(1), devices.min(4), 16.0, 4.0);
-            let mut opt = ParallelSearch::with_chains(0x84 ^ devices as u64, chains);
-            opt.space = ConfigSpace::Canonical;
-            let mcmc = opt.search(
-                &graph,
-                &topo,
-                &cost,
-                &[Strategy::data_parallel(&graph, &topo)],
-                Budget::evaluations(evals),
-                cfg,
-            );
+            let mcmc = SearchRequest::new(0x84 ^ devices as u64)
+                .chains(chains)
+                .space(ConfigSpace::Canonical)
+                .run(
+                    &graph,
+                    &topo,
+                    &cost,
+                    &[Strategy::data_parallel(&graph, &topo)],
+                    Budget::evaluations(evals),
+                    cfg,
+                );
             // Polish: at harness budgets the raw chain may stop short of a
             // local optimum; a greedy neighborhood descent finishes the job
             // (the paper's 30-minute budgets settle on their own).

@@ -273,7 +273,7 @@ pub mod proposal_bench {
 /// `available_parallelism` so readers (and the `--check` gate) can judge
 /// the numbers in context.
 pub mod search_throughput {
-    use flexflow_core::optimizer::{Budget, ParallelSearch};
+    use flexflow_core::optimizer::{Budget, SearchRequest};
     use flexflow_core::strategy::Strategy;
     use flexflow_costmodel::MeasuredCostModel;
     use flexflow_device::{clusters, Topology};
@@ -323,9 +323,7 @@ pub mod search_throughput {
         let cost = MeasuredCostModel::paper_default();
         let dp = Strategy::data_parallel(&graph, &topo);
         let dp_cost = super::cost_of(&graph, &topo, &cost, &dp);
-        let mut ps = ParallelSearch::with_chains(seed, 1);
-        ps.exchange_every = 0;
-        let r = ps.search(
+        let r = SearchRequest::new(seed).chains(1).exchange_every(0).run(
             &graph,
             &topo,
             &cost,
@@ -350,39 +348,41 @@ pub mod search_throughput {
         let cfg = flexflow_core::SimConfig::default();
         let dp = Strategy::data_parallel(&graph, &topo);
 
-        let mut ps = ParallelSearch::with_chains(seed, chains);
-        ps.exchange_every = 64;
-        let throughput_run = ps.search(
-            &graph,
-            &topo,
-            &cost,
-            std::slice::from_ref(&dp),
-            Budget {
-                max_evals: total_evals,
-                max_seconds: f64::INFINITY,
-                patience_fraction: 1.0,
-            },
-            cfg,
-        );
+        let throughput_run = SearchRequest::new(seed)
+            .chains(chains)
+            .exchange_every(64)
+            .run(
+                &graph,
+                &topo,
+                &cost,
+                std::slice::from_ref(&dp),
+                Budget {
+                    max_evals: total_evals,
+                    max_seconds: f64::INFINITY,
+                    patience_fraction: 1.0,
+                },
+                cfg,
+            );
 
-        let mut ps = ParallelSearch::with_chains(seed, chains);
-        ps.exchange_every = 64;
-        ps.target_cost_us = target_us;
-        let target_run = ps.search(
-            &graph,
-            &topo,
-            &cost,
-            &[dp],
-            Budget {
-                // Generous cap so slow machines still terminate quickly
-                // once the target is hit; 8x the throughput budget bounds
-                // the worst case.
-                max_evals: total_evals * 8,
-                max_seconds: f64::INFINITY,
-                patience_fraction: 1.0,
-            },
-            cfg,
-        );
+        let target_run = SearchRequest::new(seed)
+            .chains(chains)
+            .exchange_every(64)
+            .target_cost_us(target_us)
+            .run(
+                &graph,
+                &topo,
+                &cost,
+                &[dp],
+                Budget {
+                    // Generous cap so slow machines still terminate quickly
+                    // once the target is hit; 8x the throughput budget bounds
+                    // the worst case.
+                    max_evals: total_evals * 8,
+                    max_seconds: f64::INFINITY,
+                    patience_fraction: 1.0,
+                },
+                cfg,
+            );
 
         Measurement {
             chains,
@@ -412,7 +412,7 @@ pub mod search_throughput {
 ///   (best + 1% of the improvement gap over data parallelism) so
 ///   "reaches the cold best" is a closed predicate on a continuous cost.
 pub mod serve_throughput {
-    use flexflow_core::optimizer::{Budget, ParallelSearch};
+    use flexflow_core::optimizer::{Budget, SearchRequest};
     use flexflow_core::strategy::Strategy;
     use flexflow_costmodel::MeasuredCostModel;
     use flexflow_server::server::response_field;
@@ -506,7 +506,7 @@ pub mod serve_throughput {
         };
 
         // Reference cold search: defines what "as good as cold" means.
-        let cold = ParallelSearch::with_chains(seed, 1).search(
+        let cold = SearchRequest::new(seed).chains(1).run(
             &graph,
             &topo,
             &cost,
@@ -517,20 +517,21 @@ pub mod serve_throughput {
         let target_cost_us = cold.best_cost_us + 0.01 * (dp_cost_us - cold.best_cost_us).max(0.0);
 
         // Cold evals-to-target: same seed, early-cutoff at the target.
-        let mut ps = ParallelSearch::with_chains(seed, 1);
-        ps.target_cost_us = target_cost_us;
-        let cold_chase = ps.search(
-            &graph,
-            &topo,
-            &cost,
-            std::slice::from_ref(&dp),
-            chase_budget,
-            cfg,
-        );
+        let cold_chase = SearchRequest::new(seed)
+            .chains(1)
+            .target_cost_us(target_cost_us)
+            .run(
+                &graph,
+                &topo,
+                &cost,
+                std::slice::from_ref(&dp),
+                chase_budget,
+                cfg,
+            );
 
         // The "cached" seed: the same request served at half the budget —
         // what a smaller-budget-class cache entry holds.
-        let warm_seed = ParallelSearch::with_chains(seed, 1).search(
+        let warm_seed = SearchRequest::new(seed).chains(1).run(
             &graph,
             &topo,
             &cost,
@@ -544,16 +545,17 @@ pub mod serve_throughput {
 
         // Warm chase: a *different* seed (no replaying the cold chain's
         // proposal stream) starting from the cached strategy.
-        let mut ps = ParallelSearch::with_chains(seed ^ 0x9E37_79B9, 1);
-        ps.target_cost_us = target_cost_us;
-        let warm_chase = ps.search_warm(
-            &graph,
-            &topo,
-            &cost,
-            warm_seed.best.clone(),
-            chase_budget,
-            cfg,
-        );
+        let warm_chase = SearchRequest::new(seed ^ 0x9E37_79B9)
+            .chains(1)
+            .target_cost_us(target_cost_us)
+            .run_warm(
+                &graph,
+                &topo,
+                &cost,
+                warm_seed.best.clone(),
+                chase_budget,
+                cfg,
+            );
 
         WarmVsCold {
             evals,
@@ -586,7 +588,7 @@ pub mod serve_throughput {
 /// improvement that inter-op pipelining actually delivers on
 /// stage-friendly models.
 pub mod pipeline_bench {
-    use flexflow_core::optimizer::{AcceptanceRule, Budget, ParallelSearch};
+    use flexflow_core::optimizer::{AcceptanceRule, Budget, SearchRequest};
     use flexflow_core::strategy::Strategy;
     use flexflow_costmodel::MeasuredCostModel;
     use flexflow_device::Topology;
@@ -631,12 +633,14 @@ pub mod pipeline_bench {
             Strategy::data_parallel(graph, topo),
             flexflow_baselines::expert::strategy(graph, topo),
         ];
-        let baseline =
-            ParallelSearch::with_chains(seed, 1).search(graph, topo, &cost, &initials, budget, cfg);
-        let mut ps = ParallelSearch::with_chains(seed ^ 0x51_F0, 1);
-        ps.max_microbatches = 8;
-        ps.acceptance = AcceptanceRule::Greedy;
-        let pipelined = ps.search_warm(graph, topo, &cost, baseline.best.clone(), budget, cfg);
+        let baseline = SearchRequest::new(seed)
+            .chains(1)
+            .run(graph, topo, &cost, &initials, budget, cfg);
+        let pipelined = SearchRequest::new(seed ^ 0x51_F0)
+            .chains(1)
+            .max_microbatches(8)
+            .acceptance(AcceptanceRule::Greedy)
+            .run_warm(graph, topo, &cost, baseline.best.clone(), budget, cfg);
         PipelineComparison {
             model: model.to_string(),
             gpus: topo.num_devices(),
@@ -784,6 +788,164 @@ pub mod sim_scaling {
     pub fn growth_per_doubling(a: &ScalingCell, b: &ScalingCell) -> f64 {
         let doublings = (b.gpus as f64 / a.gpus as f64).log2();
         (b.delta_median_us / a.delta_median_us).powf(1.0 / doublings)
+    }
+}
+
+/// Workload + measurement helpers for the `param_sync` benchmark (the
+/// sharded-update half of `bench_smoke`, the PR 8 trajectory): does the
+/// searchable parameter-sync axis pay on transformer-scale data
+/// parallelism?
+///
+/// The comparison is deterministic, mirroring [`pipeline_bench`]: a
+/// sync-axis-off reference search defines the best all-reduce cost, then
+/// the reference winner is rebuilt with ZeRO-1 sharding on every layer
+/// (a pure mode change — operator placement untouched) and a **greedy
+/// sync-axis polish** warm-starts from whichever of the two simulates
+/// faster. Warm-starting makes "synced ≤ all-reduce" structural; the
+/// `--check` gate demands the strict improvement that spreading the
+/// per-shard update over all replica-owned sub-shards delivers when the
+/// legacy parameter-server star serializes `2(R-1)·B` through one root.
+/// Optimizer-state placement is reported alongside cost: ZeRO-1 must cut
+/// the per-device Adam-state peak at least in half versus replicated
+/// all-reduce state.
+pub mod param_sync_bench {
+    use flexflow_core::memory;
+    use flexflow_core::optimizer::{AcceptanceRule, Budget, SearchRequest};
+    use flexflow_core::soap::ParamSync;
+    use flexflow_core::strategy::Strategy;
+    use flexflow_costmodel::MeasuredCostModel;
+    use flexflow_device::Topology;
+    use flexflow_opgraph::{zoo, OpGraph};
+    use serde::Serialize;
+
+    /// Outcome of one synced-vs-all-reduce comparison.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct SyncComparison {
+        /// Model the comparison ran on.
+        pub model: String,
+        /// Devices of the cluster.
+        pub gpus: usize,
+        /// Evaluation budget of each search.
+        pub evals: u64,
+        /// Best cost of the sync-axis-off (all-reduce-only) reference.
+        pub baseline_best_us: f64,
+        /// Cost of the reference winner rebuilt with ZeRO-1 everywhere.
+        pub zero1_seed_us: f64,
+        /// Best cost of the sync-axis polish.
+        pub synced_best_us: f64,
+        /// `synced / baseline` (< 1 means the sync axis won).
+        pub cost_ratio: f64,
+        /// Per-device optimizer-state peak of the reference winner (bytes).
+        pub baseline_opt_state_peak_bytes: u64,
+        /// Per-device optimizer-state peak of the synced winner (bytes).
+        pub synced_opt_state_peak_bytes: u64,
+        /// Whether the synced winner departs from all-reduce anywhere.
+        pub custom_sync: bool,
+    }
+
+    /// Runs the comparison on one `(graph, topo)` workload.
+    pub fn compare(
+        model: &str,
+        graph: &OpGraph,
+        topo: &Topology,
+        evals: u64,
+        seed: u64,
+    ) -> SyncComparison {
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = flexflow_core::SimConfig::default();
+        let budget = Budget {
+            max_evals: evals,
+            max_seconds: f64::INFINITY,
+            patience_fraction: 1.0,
+        };
+        let initials = [
+            Strategy::data_parallel(graph, topo),
+            flexflow_baselines::expert::strategy(graph, topo),
+        ];
+        let baseline = SearchRequest::new(seed)
+            .chains(1)
+            .run(graph, topo, &cost, &initials, budget, cfg);
+        let gpus = topo.num_devices();
+        // The structural seed: the same placement, every layer's update
+        // sharded across its replicas.
+        let zero1 = baseline
+            .best
+            .clone()
+            .with_param_sync_everywhere(ParamSync::ShardedZero1 {
+                shards: gpus as u64,
+            });
+        let zero1_seed_us = super::cost_of(graph, topo, &cost, &zero1);
+        let warm = if zero1_seed_us < baseline.best_cost_us {
+            zero1
+        } else {
+            baseline.best.clone()
+        };
+        let polished = SearchRequest::new(seed ^ 0x5EED)
+            .chains(1)
+            .param_sync(true)
+            .acceptance(AcceptanceRule::Greedy)
+            .run_warm(graph, topo, &cost, warm, budget, cfg);
+        let fp_base = memory::footprint(graph, topo, &baseline.best);
+        let fp_sync = memory::footprint(graph, topo, &polished.best);
+        SyncComparison {
+            model: model.to_string(),
+            gpus,
+            evals,
+            baseline_best_us: baseline.best_cost_us,
+            zero1_seed_us,
+            synced_best_us: polished.best_cost_us,
+            cost_ratio: polished.best_cost_us / baseline.best_cost_us,
+            baseline_opt_state_peak_bytes: fp_base.peak_opt_state().1,
+            synced_opt_state_peak_bytes: fp_sync.peak_opt_state().1,
+            custom_sync: polished.best.has_custom_param_sync(),
+        }
+    }
+
+    /// The `bench_smoke` cell: gpt_medium (batch 64) on the 64-device
+    /// hierarchical P100 cluster of [`super::sim_scaling`] — the
+    /// data-parallel transformer regime where replicated updates dominate
+    /// and ZeRO-1 has the most room.
+    pub fn gpt_medium_64gpu(evals: u64, seed: u64) -> SyncComparison {
+        compare(
+            "gpt_medium",
+            &zoo::gpt_medium(64),
+            &super::sim_scaling::cluster(64),
+            evals,
+            seed,
+        )
+    }
+
+    /// One forced-mode cell of the EXPERIMENTS.md sweep: the data-parallel
+    /// strategy with `mode` on every layer.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct ModeCell {
+        /// Model of the cell.
+        pub model: String,
+        /// Devices of the cluster.
+        pub gpus: usize,
+        /// Sync mode, in [`ParamSync`]'s token grammar.
+        pub mode: String,
+        /// Simulated iteration time (µs).
+        pub cost_us: f64,
+        /// Per-device optimizer-state peak (bytes).
+        pub opt_state_peak_bytes: u64,
+    }
+
+    /// Measures one `(model, gpus, mode)` cell on the hierarchical
+    /// cluster family.
+    pub fn mode_cell(model: &str, gpus: usize, mode: ParamSync) -> ModeCell {
+        let graph = zoo::by_name(model, 64);
+        let topo = super::sim_scaling::cluster(gpus);
+        let cost = MeasuredCostModel::paper_default();
+        let dp = Strategy::data_parallel(&graph, &topo).with_param_sync_everywhere(mode);
+        let fp = memory::footprint(&graph, &topo, &dp);
+        ModeCell {
+            model: model.to_string(),
+            gpus,
+            mode: mode.to_string(),
+            cost_us: super::cost_of(&graph, &topo, &cost, &dp),
+            opt_state_peak_bytes: fp.peak_opt_state().1,
+        }
     }
 }
 

@@ -57,9 +57,9 @@ pub use exhaustive::{ExhaustiveOutcome, ExhaustiveSearch};
 pub use metrics::SimMetrics;
 pub use optimizer::{
     default_chains, split_budget, AcceptanceRule, Budget, McmcOptimizer, ParallelSearch,
-    SearchResult, SharedBestCost, SimAlgorithm,
+    SearchRequest, SearchResult, SharedBestCost, SimAlgorithm,
 };
 pub use sim::{SimConfig, SimState, Simulator};
-pub use soap::{ConfigSpace, ParallelConfig};
+pub use soap::{ConfigSpace, ParallelConfig, ParamSync, SyncPlan};
 pub use strategy::Strategy;
 pub use taskgraph::{ExecUnit, Task, TaskGraph, TaskId, TaskKind};

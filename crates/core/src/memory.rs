@@ -8,7 +8,9 @@
 //! data parallelism stops scaling for very large models: every device
 //! holds a full replica).
 
+use crate::soap::{self, ParamSync};
 use crate::strategy::Strategy;
+use flexflow_costmodel::sync_cost;
 use flexflow_device::{DeviceId, Topology};
 use flexflow_opgraph::OpGraph;
 
@@ -21,10 +23,18 @@ pub struct MemoryFootprint {
     pub activations: Vec<u64>,
     /// Input-slice bytes per device (gathered remote tiles).
     pub gathers: Vec<u64>,
+    /// Optimizer-state bytes per device (Adam moments), placed by each
+    /// layer's [`ParamSync`] mode: replicated with the weights under
+    /// all-reduce, partitioned across shard owners under ZeRO-1, held by
+    /// the server under parameter-server sync. Reported separately from
+    /// [`MemoryFootprint::total`], which covers the per-iteration working
+    /// set the runtime sizes devices for.
+    pub opt_state: Vec<u64>,
 }
 
 impl MemoryFootprint {
-    /// Total bytes on a device.
+    /// Total working-set bytes on a device (excludes optimizer state; see
+    /// [`MemoryFootprint::opt_state`]).
     pub fn total(&self, dev: DeviceId) -> u64 {
         self.params[dev.index()] + self.activations[dev.index()] + self.gathers[dev.index()]
     }
@@ -33,6 +43,16 @@ impl MemoryFootprint {
     pub fn peak(&self) -> (usize, u64) {
         (0..self.params.len())
             .map(|i| (i, self.params[i] + self.activations[i] + self.gathers[i]))
+            .max_by_key(|&(_, b)| b)
+            .unwrap_or((0, 0))
+    }
+
+    /// The device holding the most optimizer state and its bytes.
+    pub fn peak_opt_state(&self) -> (usize, u64) {
+        self.opt_state
+            .iter()
+            .copied()
+            .enumerate()
             .max_by_key(|&(_, b)| b)
             .unwrap_or((0, 0))
     }
@@ -45,6 +65,7 @@ pub fn footprint(graph: &OpGraph, topo: &Topology, strategy: &Strategy) -> Memor
         params: vec![0; n],
         activations: vec![0; n],
         gathers: vec![0; n],
+        opt_state: vec![0; n],
     };
     let elem = 4u64;
     for id in graph.ids() {
@@ -60,6 +81,62 @@ pub fn footprint(graph: &OpGraph, topo: &Topology, strategy: &Strategy) -> Memor
             // gathered input slices
             for rect in node.input_rects(&tile).into_iter().flatten() {
                 fp.gathers[dev] += rect.volume() * elem;
+            }
+        }
+    }
+    // Optimizer state, placed by each layer's sync mode (resolved from
+    // the lowest-id member op, matching the task-graph builder).
+    for layer in graph.layer_ids() {
+        let mode = graph
+            .ids()
+            .find(|&id| graph.op(id).layer() == Some(layer))
+            .map(|id| strategy.param_sync(id))
+            .unwrap_or_default();
+        for (shard_idx, (params, devices)) in soap::layer_shards(graph, strategy, layer)
+            .into_iter()
+            .enumerate()
+        {
+            let bytes = sync_cost::OPT_STATE_BYTES_PER_PARAM * params;
+            let r = devices.len();
+            if r <= 1 {
+                // Unreplicated shards need no sync; the state lives with
+                // the single weight holder under every mode.
+                if let Some(d) = devices.first() {
+                    fp.opt_state[d.index()] += bytes;
+                }
+                continue;
+            }
+            match mode {
+                ParamSync::AllReduce => {
+                    for d in &devices {
+                        fp.opt_state[d.index()] += bytes;
+                    }
+                }
+                ParamSync::ShardedZero1 { shards } => {
+                    let k = shards.clamp(1, r as u64);
+                    for sub in 0..k {
+                        let owner = devices[(shard_idx + sub as usize) % r];
+                        fp.opt_state[owner.index()] += sync_cost::OPT_STATE_BYTES_PER_PARAM
+                            * sync_cost::zero1_subshard_params(params, k, sub);
+                    }
+                }
+                ParamSync::ParamServer { server_device } => {
+                    fp.opt_state[server_device % n] += bytes;
+                }
+            }
+        }
+    }
+    // Weighted ops outside any layer keep their state with the weights.
+    for id in graph.ids() {
+        let node = graph.op(id);
+        if node.layer().is_some() {
+            continue;
+        }
+        let config = strategy.config(id);
+        for k in 0..config.num_tasks() {
+            let p = node.params_for_tile(&config.tile(node, k));
+            if p > 0 {
+                fp.opt_state[config.device(k).index()] += sync_cost::OPT_STATE_BYTES_PER_PARAM * p;
             }
         }
     }
@@ -153,6 +230,68 @@ mod tests {
                 "{name} should fit a P100"
             );
         }
+    }
+
+    #[test]
+    fn allreduce_replicates_optimizer_state() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let dp = Strategy::data_parallel(&g, &topo);
+        let fp = footprint(&g, &topo, &dp);
+        // Data parallelism + all-reduce: every device carries the full
+        // Adam state (8 bytes per parameter), like the weights.
+        let full = sync_cost::OPT_STATE_BYTES_PER_PARAM * g.total_params();
+        for d in 0..4 {
+            assert_eq!(fp.opt_state[d], full);
+        }
+        // Optimizer state stays out of the working-set total.
+        assert_eq!(
+            fp.total(topo.device_id(0)),
+            fp.params[0] + fp.activations[0] + fp.gathers[0]
+        );
+    }
+
+    #[test]
+    fn zero1_shards_optimizer_state_across_replicas() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let dp = Strategy::data_parallel(&g, &topo);
+        let zero1 = dp
+            .clone()
+            .with_param_sync_everywhere(ParamSync::ShardedZero1 { shards: 4 });
+        let fp_ar = footprint(&g, &topo, &dp);
+        let fp_z = footprint(&g, &topo, &zero1);
+        // The state total is conserved (one copy across the cluster)...
+        assert_eq!(
+            fp_z.opt_state.iter().sum::<u64>(),
+            sync_cost::OPT_STATE_BYTES_PER_PARAM * g.total_params()
+        );
+        // ...so the per-device peak drops well below full replication.
+        assert!(
+            fp_ar.peak_opt_state().1 >= 2 * fp_z.peak_opt_state().1,
+            "allreduce {} vs zero1 {}",
+            fp_ar.peak_opt_state().1,
+            fp_z.peak_opt_state().1
+        );
+        // Working-set footprints are untouched by the sync mode.
+        assert_eq!(fp_ar.params, fp_z.params);
+        assert_eq!(fp_ar.activations, fp_z.activations);
+    }
+
+    #[test]
+    fn param_server_concentrates_optimizer_state() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let ps = Strategy::data_parallel(&g, &topo)
+            .with_param_sync_everywhere(ParamSync::ParamServer { server_device: 2 });
+        let fp = footprint(&g, &topo, &ps);
+        assert_eq!(
+            fp.opt_state[2],
+            sync_cost::OPT_STATE_BYTES_PER_PARAM * g.total_params()
+        );
+        assert_eq!(fp.opt_state[0], 0);
+        assert_eq!(fp.opt_state[1], 0);
+        assert_eq!(fp.opt_state[3], 0);
     }
 
     #[test]

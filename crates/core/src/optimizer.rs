@@ -23,7 +23,7 @@
 
 use crate::metrics::DeltaTelemetry;
 use crate::sim::{SimConfig, Simulator};
-use crate::soap::{self, ConfigSpace};
+use crate::soap::{self, ConfigSpace, ParamSync};
 use crate::strategy::Strategy;
 use flexflow_costmodel::CostModel;
 use flexflow_device::Topology;
@@ -350,6 +350,7 @@ struct ChainParams {
     algorithm: SimAlgorithm,
     acceptance: AcceptanceRule,
     max_microbatches: u64,
+    param_sync: bool,
 }
 
 /// Share of proposals spent on microbatch-count changes when pipelining
@@ -359,12 +360,22 @@ struct ChainParams {
 /// one-in-`|ops|` draw.
 const MICROBATCH_PROPOSAL_ODDS: u64 = 8;
 
-/// One step of the proposal distribution: either one op's configuration
-/// is replaced (§6.2) or, when pipelining is enabled, the strategy-wide
-/// microbatch count changes.
+/// Share of proposals spent on parameter-sync mode changes when the axis
+/// is enabled ([`SearchRequest::param_sync`]): one in eight of the
+/// proposals the microbatch branch passes over. Like microbatching, the
+/// sync mode is one knob per weighted *layer* next to hundreds of per-op
+/// configs, but flipping it re-times every gradient synchronization of
+/// that layer, so it deserves far more than a one-in-`|ops|` draw.
+const PARAM_SYNC_PROPOSAL_ODDS: u64 = 8;
+
+/// One step of the proposal distribution: one op's configuration is
+/// replaced (§6.2), or, when the respective axis is enabled, the
+/// strategy-wide microbatch count changes, or one weighted layer's
+/// parameter-sync mode changes.
 enum Proposal {
     Config(flexflow_opgraph::OpId, crate::soap::ParallelConfig),
     Microbatches(u64),
+    ParamSync(flexflow_opgraph::OpId, ParamSync),
 }
 
 /// Read-only search inputs shared by every chain.
@@ -426,6 +437,28 @@ fn run_chain(
         Vec::new()
     };
     let mb_enabled = mb_counts.len() > 1;
+    // Param-sync proposals need the axis enabled, sync tasks present in
+    // the build, at least one weighted layer to retune, and a cluster
+    // where parameters can be replicated at all. Otherwise the branch is
+    // inert and consumes ZERO RNG draws — bit-identical to the pre-axis
+    // search (the same guarantee the microbatch branch makes).
+    let sync_ops = if p.param_sync && ctx.cfg.include_param_sync {
+        soap::sync_ops(ctx.graph)
+    } else {
+        Vec::new()
+    };
+    let ps_enabled = !sync_ops.is_empty() && ctx.topo.num_devices() >= 2;
+    // ZeRO-1 shard counts worth proposing: powers of two in
+    // [2, num_devices] (sync_plan clamps to the replica count per layer,
+    // so an over-sharded draw degrades gracefully, but bounding by the
+    // cluster keeps proposals meaningful).
+    let zero1_shards: Vec<u64> = if ps_enabled {
+        std::iter::successors(Some(2u64), |k| k.checked_mul(2))
+            .take_while(|&k| k <= ctx.topo.num_devices() as u64)
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     let mut best: Option<(Strategy, f64)> = None;
     let mut trace: Vec<(f64, f64)> = Vec::new();
@@ -451,6 +484,13 @@ fn run_chain(
         let mut init = init.clone();
         if init.microbatches() > 1 && !mb_counts.contains(&init.microbatches()) {
             init.set_microbatches(1);
+        }
+        // Same rule for the sync axis: a warm seed carrying ZeRO/PS modes
+        // must not leak through a search whose caller disabled the axis —
+        // no proposal could ever change the modes back, so the chain would
+        // return a strategy the caller ruled out. Clamp to all-reduce.
+        if !ps_enabled && init.has_custom_param_sync() {
+            init = init.with_param_sync_everywhere(ParamSync::AllReduce);
         }
         let mut sim = Simulator::new(ctx.graph, ctx.topo, ctx.cost, ctx.cfg, init.clone());
         let mut current_cost = sim.cost_us();
@@ -488,6 +528,18 @@ fn run_chain(
                     .filter(|&c| c != current)
                     .collect();
                 Proposal::Microbatches(choices[rng.gen_range(0..choices.len())])
+            } else if ps_enabled && rng.gen_range(0..PARAM_SYNC_PROPOSAL_ODDS) == 0 {
+                let op = sync_ops[rng.gen_range(0..sync_ops.len())];
+                let mode = match rng.gen_range(0..3u32) {
+                    0 => ParamSync::AllReduce,
+                    1 => ParamSync::ShardedZero1 {
+                        shards: zero1_shards[rng.gen_range(0..zero1_shards.len())],
+                    },
+                    _ => ParamSync::ParamServer {
+                        server_device: rng.gen_range(0..ctx.topo.num_devices()),
+                    },
+                };
+                Proposal::ParamSync(op, mode)
             } else {
                 let op = searchable[rng.gen_range(0..searchable.len())];
                 Proposal::Config(
@@ -502,12 +554,18 @@ fn run_chain(
                     Proposal::Config(*op, sim.strategy().config(*op).clone())
                 }
                 Proposal::Microbatches(_) => Proposal::Microbatches(sim.strategy().microbatches()),
+                Proposal::ParamSync(op, _) => {
+                    Proposal::ParamSync(*op, sim.strategy().param_sync(*op))
+                }
             });
             let new_cost = match (p.algorithm, &proposal) {
                 (SimAlgorithm::Delta, Proposal::Config(op, config)) => {
                     sim.apply(*op, config.clone())
                 }
                 (SimAlgorithm::Delta, Proposal::Microbatches(m)) => sim.apply_microbatches(*m),
+                (SimAlgorithm::Delta, Proposal::ParamSync(op, mode)) => {
+                    sim.apply_param_sync(*op, *mode)
+                }
                 (SimAlgorithm::Full, _) => {
                     let mut s = sim.strategy().clone();
                     match &proposal {
@@ -516,6 +574,9 @@ fn run_chain(
                         }
                         Proposal::Microbatches(m) => {
                             s.set_microbatches(*m);
+                        }
+                        Proposal::ParamSync(op, mode) => {
+                            s.set_param_sync(*op, *mode);
                         }
                     }
                     sim.reset(s)
@@ -568,6 +629,9 @@ fn run_chain(
                             }
                             Proposal::Microbatches(m) => {
                                 s.set_microbatches(m);
+                            }
+                            Proposal::ParamSync(op, mode) => {
+                                s.set_param_sync(op, mode);
                             }
                         }
                         sim.reset(s);
@@ -636,6 +700,10 @@ pub struct McmcOptimizer {
     /// proposal may draw (1 disables pipelining entirely — no extra RNG
     /// draws, bit-identical to the pre-pipeline search).
     pub max_microbatches: u64,
+    /// Whether the `ChangeParamSync` proposal may retune per-layer
+    /// parameter synchronization (`false` disables the axis entirely —
+    /// no extra RNG draws, bit-identical to the pre-axis search).
+    pub param_sync: bool,
 }
 
 impl McmcOptimizer {
@@ -650,6 +718,7 @@ impl McmcOptimizer {
             algorithm: SimAlgorithm::Delta,
             acceptance: AcceptanceRule::Metropolis,
             max_microbatches: 1,
+            param_sync: false,
         }
     }
 
@@ -681,6 +750,7 @@ impl McmcOptimizer {
                 algorithm: self.algorithm,
                 acceptance: self.acceptance,
                 max_microbatches: self.max_microbatches,
+                param_sync: self.param_sync,
             },
             initial,
             t0,
@@ -750,6 +820,9 @@ pub struct ParallelSearch {
     /// proposal may draw (1 disables pipelining — see
     /// [`McmcOptimizer::max_microbatches`]).
     pub max_microbatches: u64,
+    /// Whether the `ChangeParamSync` proposal may retune per-layer
+    /// parameter synchronization (see [`McmcOptimizer::param_sync`]).
+    pub param_sync: bool,
 }
 
 impl ParallelSearch {
@@ -766,6 +839,7 @@ impl ParallelSearch {
             algorithm: SimAlgorithm::Delta,
             acceptance: AcceptanceRule::Metropolis,
             max_microbatches: 1,
+            param_sync: false,
         }
     }
 
@@ -774,6 +848,23 @@ impl ParallelSearch {
         Self {
             chains,
             ..Self::new(seed)
+        }
+    }
+
+    /// The [`SearchRequest`] equivalent to this driver's knobs — the
+    /// non-deprecated way to run the search these fields describe.
+    pub fn request(&self) -> SearchRequest {
+        SearchRequest {
+            seed: self.seed,
+            chains: self.chains,
+            exchange_every: self.exchange_every,
+            target_cost_us: self.target_cost_us,
+            beta_scale: self.beta_scale,
+            space: self.space,
+            algorithm: self.algorithm,
+            acceptance: self.acceptance,
+            max_microbatches: self.max_microbatches,
+            param_sync: self.param_sync,
         }
     }
 
@@ -794,7 +885,9 @@ impl ParallelSearch {
     /// [`ParallelSearch::max_microbatches`] is clamped back to
     /// whole-batch execution before the search starts — the caller ruled
     /// that pipeline depth out, so the chain must neither simulate nor
-    /// return it.
+    /// return it. Likewise a seed carrying non-all-reduce sync modes is
+    /// clamped when [`ParallelSearch::param_sync`] is off.
+    #[deprecated(note = "use SearchRequest::new(seed)...run_warm(...)")]
     pub fn search_warm(
         &self,
         graph: &OpGraph,
@@ -804,7 +897,8 @@ impl ParallelSearch {
         budget: Budget,
         cfg: SimConfig,
     ) -> SearchResult {
-        self.search(graph, topo, cost, &[warm], budget, cfg)
+        self.request()
+            .run_warm(graph, topo, cost, warm, budget, cfg)
     }
 
     /// Runs `chains` concurrent MCMC chains from every initial strategy
@@ -822,7 +916,178 @@ impl ParallelSearch {
     ///
     /// Panics if `chains` is zero, `initial` is empty, the graph has no
     /// searchable ops, or a chain thread panics.
+    #[deprecated(note = "use SearchRequest::new(seed)...run(...)")]
     pub fn search(
+        &self,
+        graph: &OpGraph,
+        topo: &Topology,
+        cost: &dyn CostModel,
+        initial: &[Strategy],
+        budget: Budget,
+        cfg: SimConfig,
+    ) -> SearchResult {
+        self.request().run(graph, topo, cost, initial, budget, cfg)
+    }
+}
+
+/// Builder-style description of one multi-chain MCMC search: every knob
+/// of [`ParallelSearch`] plus the parameter-sync axis, assembled with
+/// chained setters and executed with [`SearchRequest::run`] /
+/// [`SearchRequest::run_warm`].
+///
+/// This is the single entry point the drivers' public surfaces converge
+/// on — [`ParallelSearch::search`] and [`ParallelSearch::search_warm`]
+/// are thin deprecated shims over it — so new search knobs land here once
+/// instead of growing every call site's parameter list.
+///
+/// ```
+/// # use flexflow_core::{SearchRequest, Budget, SimConfig, Strategy};
+/// # use flexflow_costmodel::MeasuredCostModel;
+/// # use flexflow_device::clusters;
+/// # use flexflow_opgraph::zoo;
+/// let g = zoo::lenet(64);
+/// let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+/// let cost = MeasuredCostModel::paper_default();
+/// let dp = Strategy::data_parallel(&g, &topo);
+/// let r = SearchRequest::new(42)
+///     .chains(2)
+///     .max_microbatches(8)
+///     .param_sync(true)
+///     .run(&g, &topo, &cost, &[dp], Budget::evaluations(50), SimConfig::default());
+/// assert!(r.best_cost_us > 0.0);
+/// ```
+///
+/// Determinism matches [`ParallelSearch`]: for a fixed evaluation budget
+/// the result depends only on the request's fields, and `chains(1)`
+/// reproduces [`McmcOptimizer::search`] bit-for-bit for the same seed.
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// Base RNG seed; chain `c` is seeded `seed ^ c`.
+    pub seed: u64,
+    /// Number of chains (>= 1; [`default_chains`] by default).
+    pub chains: usize,
+    /// Evaluations between best-strategy exchange points (0 disables).
+    pub exchange_every: u64,
+    /// Early-cutoff target in microseconds (0.0 disables; non-zero trades
+    /// determinism for time-to-target).
+    pub target_cost_us: f64,
+    /// Acceptance temperature (see [`McmcOptimizer::beta_scale`]).
+    pub beta_scale: f64,
+    /// Which slice of the configuration space proposals are drawn from.
+    pub space: ConfigSpace,
+    /// Which simulation algorithm evaluates proposals.
+    pub algorithm: SimAlgorithm,
+    /// How proposals are accepted.
+    pub acceptance: AcceptanceRule,
+    /// Upper bound on proposed microbatch counts (1 disables pipelining).
+    pub max_microbatches: u64,
+    /// Whether parameter-sync mode proposals are drawn (`false` disables
+    /// the axis — zero extra RNG draws, bit-identical to pre-axis runs).
+    pub param_sync: bool,
+}
+
+impl SearchRequest {
+    /// A request with the evaluation defaults and one chain per available
+    /// hardware thread (the same defaults as [`ParallelSearch::new`]).
+    pub fn new(seed: u64) -> Self {
+        ParallelSearch::new(seed).request()
+    }
+
+    /// Sets the chain count.
+    #[must_use]
+    pub fn chains(mut self, chains: usize) -> Self {
+        self.chains = chains;
+        self
+    }
+
+    /// Sets the exchange period (0 disables the exchange).
+    #[must_use]
+    pub fn exchange_every(mut self, every: u64) -> Self {
+        self.exchange_every = every;
+        self
+    }
+
+    /// Sets the early-cutoff cost target in microseconds.
+    #[must_use]
+    pub fn target_cost_us(mut self, target: f64) -> Self {
+        self.target_cost_us = target;
+        self
+    }
+
+    /// Sets the acceptance temperature scale.
+    #[must_use]
+    pub fn beta_scale(mut self, scale: f64) -> Self {
+        self.beta_scale = scale;
+        self
+    }
+
+    /// Sets the proposal configuration space.
+    #[must_use]
+    pub fn space(mut self, space: ConfigSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Sets the simulation algorithm.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: SimAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the acceptance rule.
+    #[must_use]
+    pub fn acceptance(mut self, acceptance: AcceptanceRule) -> Self {
+        self.acceptance = acceptance;
+        self
+    }
+
+    /// Sets the microbatch-count cap (1 disables pipelining).
+    #[must_use]
+    pub fn max_microbatches(mut self, cap: u64) -> Self {
+        self.max_microbatches = cap;
+        self
+    }
+
+    /// Enables or disables the parameter-sync search axis.
+    #[must_use]
+    pub fn param_sync(mut self, enabled: bool) -> Self {
+        self.param_sync = enabled;
+        self
+    }
+
+    /// Warm-started [`SearchRequest::run`]: every chain restarts from
+    /// `warm` instead of the usual data-parallel/expert seeds (see
+    /// [`ParallelSearch::search_warm`] for the warm-start semantics and
+    /// the microbatch/param-sync clamping rules).
+    pub fn run_warm(
+        &self,
+        graph: &OpGraph,
+        topo: &Topology,
+        cost: &dyn CostModel,
+        warm: Strategy,
+        budget: Budget,
+        cfg: SimConfig,
+    ) -> SearchResult {
+        self.run(graph, topo, cost, &[warm], budget, cfg)
+    }
+
+    /// Runs `chains` concurrent MCMC chains from every initial strategy
+    /// and returns the globally best strategy found. The evaluation
+    /// budget is split across chains ([`split_budget`]), so the total
+    /// proposal count matches the sequential driver's for the same
+    /// budget. When the budget is smaller than the chain count the
+    /// effective chain count is capped at the budget (a zero-eval chain
+    /// would still pay one full simulator build per initial strategy
+    /// just to exit; the cap is a pure function of the inputs, so
+    /// determinism is unaffected) — `chain_evals` reports the effective
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` is zero, `initial` is empty, the graph has no
+    /// searchable ops, or a chain thread panics.
+    pub fn run(
         &self,
         graph: &OpGraph,
         topo: &Topology,
@@ -858,6 +1123,7 @@ impl ParallelSearch {
                 algorithm: self.algorithm,
                 acceptance: self.acceptance,
                 max_microbatches: self.max_microbatches,
+                param_sync: self.param_sync,
             },
             initial,
             t0,
@@ -936,6 +1202,7 @@ impl ParallelSearch {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use flexflow_costmodel::MeasuredCostModel;
@@ -1495,6 +1762,131 @@ mod tests {
         assert_eq!(r.evals, 0, "the in-budget seed already meets the target");
         assert_eq!(r.best.microbatches(), 4);
         assert_eq!(r.best_cost_us.to_bits(), seed_cost.to_bits());
+    }
+
+    #[test]
+    fn inert_param_sync_axis_never_perturbs_the_rng_stream() {
+        // Enabling the axis on a single-device cluster (no replication,
+        // so no sync retuning is possible) must leave the proposal stream
+        // untouched — the same zero-extra-draw guarantee the microbatch
+        // branch makes. A regression that draws per-proposal even when
+        // the branch cannot fire shifts every later proposal.
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 1, 16.0, 4.0);
+        let cost = MeasuredCostModel::paper_default();
+        let inits = [Strategy::data_parallel(&g, &topo)];
+        let budget = Budget::evaluations(120);
+        let off = SearchRequest::new(17).chains(2).run(
+            &g,
+            &topo,
+            &cost,
+            &inits,
+            budget,
+            SimConfig::default(),
+        );
+        let on = SearchRequest::new(17).chains(2).param_sync(true).run(
+            &g,
+            &topo,
+            &cost,
+            &inits,
+            budget,
+            SimConfig::default(),
+        );
+        assert_eq!(off.best_cost_us.to_bits(), on.best_cost_us.to_bits());
+        assert_eq!(off.best, on.best);
+        assert_eq!(off.accepted, on.accepted);
+        assert!(!on.best.has_custom_param_sync());
+    }
+
+    #[test]
+    fn param_sync_search_is_deterministic_and_never_worse() {
+        let (g, topo, cost) = setup();
+        let dp = Strategy::data_parallel(&g, &topo);
+        let dp_cost = Simulator::new(&g, &topo, &cost, SimConfig::default(), dp.clone()).cost_us();
+        let run = || {
+            SearchRequest::new(23).chains(2).param_sync(true).run(
+                &g,
+                &topo,
+                &cost,
+                std::slice::from_ref(&dp),
+                Budget::evaluations(200),
+                SimConfig::default(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert!(a.best_cost_us <= dp_cost + 1e-9);
+        assert_eq!(a.best_cost_us.to_bits(), b.best_cost_us.to_bits());
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.accepted, b.accepted);
+        // The telemetry invariant survives the new proposal kind: every
+        // evaluation is one transactional apply.
+        assert_eq!(a.telemetry.applies, a.evals);
+        assert_eq!(a.telemetry.commits, a.accepted);
+        assert_eq!(a.telemetry.rollbacks, a.evals - a.accepted);
+    }
+
+    #[test]
+    fn warm_seeds_with_custom_sync_are_clamped_when_axis_disabled() {
+        // A cached strategy carrying ZeRO modes must not leak through a
+        // search whose caller disabled the sync axis: no proposal could
+        // ever flip the modes back, so the chain would return a strategy
+        // the caller ruled out.
+        let (g, topo, cost) = setup();
+        let warm = Strategy::data_parallel(&g, &topo)
+            .with_param_sync_everywhere(ParamSync::ShardedZero1 { shards: 4 });
+        let r = SearchRequest::new(5).chains(1).run_warm(
+            &g,
+            &topo,
+            &cost,
+            warm.clone(),
+            Budget::evaluations(40),
+            SimConfig::default(),
+        );
+        assert!(
+            !r.best.has_custom_param_sync(),
+            "axis-off search must clamp a ZeRO seed to all-reduce"
+        );
+
+        // With the axis enabled the seed passes through: chasing the
+        // seed's own cost as the target, the cutoff fires before a single
+        // evaluation and hands back the ZeRO seed verbatim.
+        let seed_cost =
+            Simulator::new(&g, &topo, &cost, SimConfig::default(), warm.clone()).cost_us();
+        let r = SearchRequest::new(5)
+            .chains(1)
+            .param_sync(true)
+            .target_cost_us(seed_cost)
+            .run_warm(
+                &g,
+                &topo,
+                &cost,
+                warm,
+                Budget::evaluations(10_000),
+                SimConfig::default(),
+            );
+        assert_eq!(r.evals, 0, "the in-budget seed already meets the target");
+        assert!(r.best.has_custom_param_sync());
+        assert_eq!(r.best_cost_us.to_bits(), seed_cost.to_bits());
+    }
+
+    #[test]
+    fn search_request_shims_match_the_legacy_driver() {
+        // The deprecated ParallelSearch entry points and the request they
+        // delegate to must produce bit-identical results.
+        let (g, topo, cost) = setup();
+        let inits = [Strategy::data_parallel(&g, &topo)];
+        let budget = Budget::evaluations(100);
+        let mut ps = ParallelSearch::with_chains(31, 2);
+        ps.exchange_every = 16;
+        let legacy = ps.search(&g, &topo, &cost, &inits, budget, SimConfig::default());
+        let req = ps
+            .request()
+            .run(&g, &topo, &cost, &inits, budget, SimConfig::default());
+        assert_eq!(legacy.best_cost_us.to_bits(), req.best_cost_us.to_bits());
+        assert_eq!(legacy.best, req.best);
+        assert_eq!(legacy.evals, req.evals);
+        assert_eq!(legacy.chain_evals, req.chain_evals);
     }
 
     #[test]

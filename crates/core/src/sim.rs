@@ -875,6 +875,8 @@ enum Pending {
     Config(flexflow_opgraph::OpId, crate::soap::ParallelConfig),
     /// A microbatch-count change: the previous count.
     Microbatches(u64),
+    /// A parameter-sync mode change: the op and its previous mode.
+    ParamSync(flexflow_opgraph::OpId, crate::soap::ParamSync),
 }
 
 impl<'a> Simulator<'a> {
@@ -1009,6 +1011,56 @@ impl<'a> Simulator<'a> {
         cost
     }
 
+    /// Speculatively changes one op's parameter-sync mode
+    /// ([`crate::soap::ParamSync`]) with a journaled structural rebuild of
+    /// its layer's synchronization tasks and returns the new cost. Unlike
+    /// a microbatch change, a sync-mode change is *local*: only the
+    /// layer's sync chain is doomed and recreated
+    /// ([`TaskGraph::rebuild_layer_sync`]), so the timeline is repaired by
+    /// the island-keyed delta path rather than a full sweep. Like
+    /// [`Simulator::apply`], the change stays pending until
+    /// [`Simulator::commit`] or [`Simulator::rollback`], and rollback
+    /// restores strategy, task graph and timeline bit-for-bit.
+    ///
+    /// The proposal is effective when `op` is the mode source of its layer
+    /// (the lowest-id member, see [`crate::soap::sync_ops`]); ops without
+    /// a layer are accepted and are structural no-ops.
+    pub fn apply_param_sync(
+        &mut self,
+        op: flexflow_opgraph::OpId,
+        mode: crate::soap::ParamSync,
+    ) -> f64 {
+        self.commit();
+        let old = self.strategy.set_param_sync(op, mode);
+        self.tg.begin_txn();
+        self.state.begin_txn();
+        self.txn = Some(Pending::ParamSync(op, old));
+        let cost = if let Some(layer) = self.graph.op(op).layer() {
+            let report = self.tg.rebuild_layer_sync(
+                self.graph,
+                self.topo,
+                &self.strategy,
+                self.cost,
+                &self.cfg,
+                layer,
+            );
+            self.delta_sims += 1;
+            let fallbacks_before = self.state.fallbacks;
+            let cost = simulate_delta_with(&self.tg, &mut self.state, &report, &mut self.scratch);
+            self.telemetry.repair_steps += self.scratch.last_repair_steps;
+            self.telemetry.fallbacks += self.state.fallbacks - fallbacks_before;
+            self.telemetry.sweeps += u64::from(self.scratch.last_was_sweep);
+            cost
+        } else {
+            self.state.makespan_us()
+        };
+        self.telemetry.applies += 1;
+        let depth = self.tg.journal_depth() + self.state.journal_depth();
+        self.telemetry.journal_slots += depth as u64;
+        self.telemetry.max_journal_depth = self.telemetry.max_journal_depth.max(depth);
+        cost
+    }
+
     /// Keeps the pending [`Simulator::apply`], dropping its undo journal.
     /// No-op when nothing is pending.
     pub fn commit(&mut self) {
@@ -1031,6 +1083,9 @@ impl<'a> Simulator<'a> {
                 }
                 Pending::Microbatches(old) => {
                     self.strategy.set_microbatches(old);
+                }
+                Pending::ParamSync(op, old) => {
+                    self.strategy.set_param_sync(op, old);
                 }
             }
             self.tg.rollback_txn();

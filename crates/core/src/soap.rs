@@ -7,10 +7,229 @@
 //! order defines task numbering.
 
 use flexflow_device::{DeviceId, Topology};
-use flexflow_opgraph::{DimKind, OpNode};
+use flexflow_opgraph::{DimKind, LayerId, OpGraph, OpId, OpNode};
 use flexflow_tensor::{partition, Rect};
 use rand::Rng;
 use std::fmt;
+
+/// How one weighted operation's replicated parameter shards synchronize
+/// their gradients — the per-op strategy bit of the parameter-sync axis.
+///
+/// The paper fixes this dimension (a monolithic per-iteration reduction);
+/// here it joins the SOAP space: each weighted op may keep the classic
+/// whole-shard reduction ([`ParamSync::AllReduce`], the default and the
+/// bit-exact pre-axis behavior), shard the gradient reduction and the
+/// optimizer update ZeRO-1 style ([`ParamSync::ShardedZero1`]), or pin
+/// the reduction and the optimizer state to an explicit parameter-server
+/// device ([`ParamSync::ParamServer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParamSync {
+    /// Whole-shard reduction under the build-wide legacy algorithm
+    /// ([`crate::taskgraph::SimConfig::sync_mode`]): the PS star or ring
+    /// allreduce the pre-axis task graphs used. Optimizer state is
+    /// replicated on every replica.
+    #[default]
+    AllReduce,
+    /// ZeRO-1 sharded update: the shard is cut into `shards` equal
+    /// sub-shards, each owned by one replica. Gradients reduce-scatter to
+    /// the owners, owners update their optimizer-state slice, updated
+    /// parameters all-gather back. Same total traffic as the star, but
+    /// spread over `shards` roots, and optimizer-state memory divided by
+    /// the effective shard count.
+    ShardedZero1 {
+        /// Requested sub-shard count (clamped to the replica count).
+        shards: u64,
+    },
+    /// A fixed parameter-server device: every replica pushes its gradient
+    /// to the server (which may or may not hold a replica) and receives
+    /// the updated parameters back. Optimizer state lives on the server
+    /// only — at the price of contention on the server's links.
+    ParamServer {
+        /// Device index (modulo the topology size) acting as the server.
+        server_device: usize,
+    },
+}
+
+impl ParamSync {
+    /// Parses the compact textual form used by strategy files and the
+    /// `--param-sync` CLI flag: `allreduce`, `zero1:K`, or `ps:D`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown modes or malformed
+    /// arguments.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "allreduce" {
+            return Ok(Self::AllReduce);
+        }
+        if let Some(k) = s.strip_prefix("zero1:") {
+            let shards: u64 = k
+                .parse()
+                .map_err(|_| format!("invalid zero1 shard count {k:?}"))?;
+            if shards < 2 {
+                return Err(format!("zero1 needs at least 2 shards, got {shards}"));
+            }
+            return Ok(Self::ShardedZero1 { shards });
+        }
+        if let Some(d) = s.strip_prefix("ps:") {
+            let server_device: usize = d
+                .parse()
+                .map_err(|_| format!("invalid parameter-server device {d:?}"))?;
+            return Ok(Self::ParamServer { server_device });
+        }
+        Err(format!(
+            "unknown param-sync mode {s:?} (expected allreduce, zero1:K, or ps:D)"
+        ))
+    }
+}
+
+impl fmt::Display for ParamSync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::AllReduce => write!(f, "allreduce"),
+            Self::ShardedZero1 { shards } => write!(f, "zero1:{shards}"),
+            Self::ParamServer { server_device } => write!(f, "ps:{server_device}"),
+        }
+    }
+}
+
+/// Resolved synchronization schedule for **one** replicated parameter
+/// shard: what [`sync_plan`] hands to the task-graph builder, the cost
+/// helpers ([`flexflow_costmodel::sync_cost`]) and the memory model —
+/// the single entry point that replaced the per-callsite reimplementations
+/// of the shard schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPlan {
+    /// Parameter-server star rooted at the replica at index `root` of the
+    /// sorted replica device list: R-1 pushes in, R-1 broadcasts out.
+    Star {
+        /// Index into the sorted replica device list.
+        root: usize,
+    },
+    /// Ring allreduce over the sorted replicas: R transfers of
+    /// `2(R-1)/R` of the shard on distinct links.
+    Ring,
+    /// ZeRO-1: `shards` sub-shards (already clamped to the replica
+    /// count), sub-shard `s` owned by the replica at index
+    /// `(shard_idx + s) % R`; per sub-shard, R-1 reduce-scatter pushes to
+    /// the owner then R-1 all-gathers back.
+    Zero1 {
+        /// Effective sub-shard count (`>= 1`, `<= R`).
+        shards: u64,
+    },
+    /// Star rooted at a device holding no replica: R pushes in, R
+    /// broadcasts out, optimizer state on the server only.
+    ExternalStar {
+        /// The server device.
+        server: DeviceId,
+    },
+}
+
+/// Resolves the per-shard schedule for one replicated shard of a layer:
+/// the single decision point consumed by task-graph construction, the
+/// sync cost/volume helpers and the memory model.
+///
+/// `mode` is the layer's [`ParamSync`] (resolved from its lowest-id
+/// member op), `ring_fallback` carries the legacy build-wide
+/// [`crate::taskgraph::SyncMode`] choice that [`ParamSync::AllReduce`]
+/// defers to, and `replica_devices` is the shard's sorted replica list.
+pub fn sync_plan(
+    mode: ParamSync,
+    ring_fallback: bool,
+    layer_index: usize,
+    shard_idx: usize,
+    replica_devices: &[DeviceId],
+    topo: &Topology,
+) -> SyncPlan {
+    let r = replica_devices.len();
+    match mode {
+        ParamSync::AllReduce => {
+            if ring_fallback {
+                SyncPlan::Ring
+            } else {
+                // Sharded parameter server: layers/shards hash to
+                // different roots (the pre-axis schedule, bit-exact).
+                SyncPlan::Star {
+                    root: (layer_index + shard_idx) % r,
+                }
+            }
+        }
+        ParamSync::ShardedZero1 { shards } => SyncPlan::Zero1 {
+            shards: shards.clamp(1, r as u64),
+        },
+        ParamSync::ParamServer { server_device } => {
+            let server = topo.device_id(server_device % topo.num_devices());
+            match replica_devices.iter().position(|&d| d == server) {
+                Some(root) => SyncPlan::Star { root },
+                None => SyncPlan::ExternalStar { server },
+            }
+        }
+    }
+}
+
+/// Groups one layer's parameter shards by their parameter-dimension
+/// intervals and reports, per shard, the parameter count and the sorted
+/// replica device list — the replication structure the memory model needs,
+/// shared with task-graph construction (which additionally tracks the
+/// contributing task ids). Deterministically ordered by shard key.
+pub fn layer_shards(
+    graph: &OpGraph,
+    strategy: &crate::strategy::Strategy,
+    layer: LayerId,
+) -> Vec<(u64, Vec<DeviceId>)> {
+    use std::collections::HashMap;
+    type ShardKey = Vec<(usize, u64, u64)>;
+    let mut shards: HashMap<ShardKey, (u64, Vec<DeviceId>)> = HashMap::new();
+    for id in graph.ids() {
+        let node = graph.op(id);
+        if node.layer() != Some(layer) {
+            continue;
+        }
+        let config = strategy.config(id);
+        let pdims: Vec<usize> = node
+            .parallel_dims()
+            .iter()
+            .filter(|p| p.kind == DimKind::Parameter)
+            .map(|p| p.dim)
+            .collect();
+        for k in 0..config.num_tasks() {
+            let tile = config.tile(node, k);
+            let params = node.params_for_tile(&tile);
+            if params == 0 {
+                continue;
+            }
+            let key: ShardKey = pdims
+                .iter()
+                .map(|&d| (d, tile.lo()[d], tile.hi()[d]))
+                .collect();
+            let entry = shards.entry(key).or_insert_with(|| (params, Vec::new()));
+            entry.0 = entry.0.max(params);
+            let dev = config.device(k);
+            if !entry.1.contains(&dev) {
+                entry.1.push(dev);
+            }
+        }
+    }
+    let mut list: Vec<(ShardKey, (u64, Vec<DeviceId>))> = shards.into_iter().collect();
+    list.sort_by(|a, b| a.0.cmp(&b.0));
+    list.into_iter()
+        .map(|(_, (params, mut devs))| {
+            devs.sort();
+            (params, devs)
+        })
+        .collect()
+}
+
+/// Ids of the operations on which a [`ParamSync`] proposal is effective:
+/// the lowest-id member of every parameter-sharing layer (the member
+/// whose mode [`sync_plan`] resolution reads, so weight-tied layers have
+/// one deterministic mode source).
+pub fn sync_ops(graph: &OpGraph) -> Vec<OpId> {
+    graph
+        .layer_ids()
+        .filter_map(|layer| graph.ids().find(|&id| graph.op(id).layer() == Some(layer)))
+        .collect()
+}
 
 /// A parallelization configuration for one operation.
 ///

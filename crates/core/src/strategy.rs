@@ -1,6 +1,6 @@
 //! Parallelization strategies: one configuration per operation (paper §4).
 
-use crate::soap::{self, ConfigSpace, ParallelConfig};
+use crate::soap::{self, ConfigSpace, ParallelConfig, ParamSync};
 use flexflow_device::Topology;
 use flexflow_opgraph::{OpGraph, OpId, OpKind};
 use rand::Rng;
@@ -17,10 +17,16 @@ use std::fmt;
 /// intra-op S/A/P splits), and parameter gradients are accumulated across
 /// all microbatches before the per-iteration synchronization. `m = 1` is
 /// the classic whole-batch execution and the default everywhere.
+///
+/// Each op additionally carries a [`ParamSync`] mode — how its layer's
+/// replicated parameter shards synchronize ([`ParamSync::AllReduce`] is
+/// the pre-axis default; see [`crate::soap::sync_plan`]). Weight-tied
+/// layers resolve their mode from the lowest-id member op.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Strategy {
     configs: Vec<ParallelConfig>,
     microbatches: u64,
+    param_sync: Vec<ParamSync>,
 }
 
 impl Strategy {
@@ -38,9 +44,15 @@ impl Strategy {
             graph.len(),
             configs.len()
         );
+        Self::fresh(configs)
+    }
+
+    fn fresh(configs: Vec<ParallelConfig>) -> Self {
+        let n = configs.len();
         Self {
             configs,
             microbatches: 1,
+            param_sync: vec![ParamSync::AllReduce; n],
         }
     }
 
@@ -64,6 +76,44 @@ impl Strategy {
     pub fn with_microbatches(mut self, m: u64) -> Self {
         self.set_microbatches(m);
         self
+    }
+
+    /// The parameter-sync mode of operation `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn param_sync(&self, id: OpId) -> ParamSync {
+        self.param_sync[id.index()]
+    }
+
+    /// All per-op parameter-sync modes in op-id order.
+    pub fn param_syncs(&self) -> &[ParamSync] {
+        &self.param_sync
+    }
+
+    /// Sets the parameter-sync mode of `id`, returning the previous mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_param_sync(&mut self, id: OpId, mode: ParamSync) -> ParamSync {
+        std::mem::replace(&mut self.param_sync[id.index()], mode)
+    }
+
+    /// Builder-style [`Strategy::set_param_sync`] applied to every op.
+    #[must_use]
+    pub fn with_param_sync_everywhere(mut self, mode: ParamSync) -> Self {
+        for m in &mut self.param_sync {
+            *m = mode;
+        }
+        self
+    }
+
+    /// Whether any op carries a non-default (non-[`ParamSync::AllReduce`])
+    /// sync mode.
+    pub fn has_custom_param_sync(&self) -> bool {
+        self.param_sync.iter().any(|m| *m != ParamSync::AllReduce)
     }
 
     /// The configuration of operation `id`.
@@ -96,10 +146,7 @@ impl Strategy {
             .ids()
             .map(|id| ParallelConfig::data_parallel(graph.op(id), topo))
             .collect();
-        Self {
-            configs,
-            microbatches: 1,
-        }
+        Self::fresh(configs)
     }
 
     /// Whole-model single-device execution.
@@ -109,10 +156,7 @@ impl Strategy {
             .ids()
             .map(|id| ParallelConfig::on_device(graph.op(id), dev))
             .collect();
-        Self {
-            configs,
-            microbatches: 1,
-        }
+        Self::fresh(configs)
     }
 
     /// A uniformly random strategy (used as an initial search candidate,
@@ -152,10 +196,7 @@ impl Strategy {
                 }
             })
             .collect();
-        Self {
-            configs,
-            microbatches: 1,
-        }
+        Self::fresh(configs)
     }
 
     /// Ids of operations the optimizer may reassign (everything except
@@ -179,7 +220,16 @@ impl Strategy {
         }
         for id in graph.ids() {
             let node = graph.op(id);
-            s.push_str(&format!("{:<24} {}\n", node.name(), self.config(id)));
+            let sync = self.param_sync(id);
+            if sync == ParamSync::AllReduce {
+                s.push_str(&format!("{:<24} {}\n", node.name(), self.config(id)));
+            } else {
+                s.push_str(&format!(
+                    "{:<24} {} sync={sync}\n",
+                    node.name(),
+                    self.config(id)
+                ));
+            }
         }
         s
     }

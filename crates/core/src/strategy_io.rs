@@ -14,7 +14,7 @@
 //! how near-miss cache entries become warm-start seeds instead of dead
 //! weight.
 
-use crate::soap::{self, ParallelConfig};
+use crate::soap::{self, ParallelConfig, ParamSync};
 use crate::strategy::Strategy;
 use flexflow_device::Topology;
 use flexflow_opgraph::{graph_signature, OpGraph, OpNode};
@@ -25,10 +25,12 @@ use std::fmt;
 /// incompatible change to the dump layout or the signature definitions.
 ///
 /// v2 (PR 5) added the strategy-wide `microbatches` field to
-/// [`StrategyDump`]. v1 records deserialize with `microbatches = 1`
-/// (whole-batch execution, exactly what v1 strategies meant), so importers
-/// accept [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
-pub const FORMAT_VERSION: u32 = 2;
+/// [`StrategyDump`]. v3 (PR 8) added the per-op `param_sync` mode list.
+/// Earlier records deserialize with the fields' pre-existence semantics —
+/// `microbatches = 1` (whole-batch execution) and all-reduce
+/// synchronization everywhere, exactly what v1/v2 strategies meant — so
+/// importers accept [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Oldest record version importers still accept (see [`FORMAT_VERSION`]).
 pub const MIN_FORMAT_VERSION: u32 = 1;
@@ -47,8 +49,9 @@ pub struct OpConfigDump {
 /// Portable form of a whole strategy.
 ///
 /// `Deserialize` is hand-written (the vendored derive requires every
-/// field): `microbatches` defaults to 1 when absent, so v1 files written
-/// before the field existed keep loading.
+/// field): `microbatches` defaults to 1 and `param_sync` to empty (all
+/// ops all-reduce) when absent, so v1/v2 files written before the fields
+/// existed keep loading.
 #[derive(Debug, Clone, Serialize, PartialEq)]
 pub struct StrategyDump {
     /// Model name the strategy was searched for.
@@ -57,6 +60,10 @@ pub struct StrategyDump {
     pub num_devices: usize,
     /// Strategy-wide microbatch count (1 = no pipelining; the v1 default).
     pub microbatches: u64,
+    /// Per-op parameter-sync mode tokens in op order
+    /// ([`ParamSync::parse`] grammar: `allreduce`, `zero1:K`, `ps:D`).
+    /// Empty means all-reduce everywhere — the v1/v2 semantics.
+    pub param_sync: Vec<String>,
     /// Per-op configurations in op order.
     pub ops: Vec<OpConfigDump>,
 }
@@ -76,6 +83,10 @@ impl Deserialize for StrategyDump {
             microbatches: match v.get_field("microbatches") {
                 Some(m) => Deserialize::deserialize_value(m)?,
                 None => 1,
+            },
+            param_sync: match v.get_field("param_sync") {
+                Some(p) => Deserialize::deserialize_value(p)?,
+                None => Vec::new(),
             },
             ops: Deserialize::deserialize_value(field("ops")?)?,
         })
@@ -126,6 +137,14 @@ pub enum ImportError {
         /// Explanation.
         reason: String,
     },
+    /// A saved parameter-sync mode token is malformed, or the mode list's
+    /// length does not match the op count.
+    InvalidParamSync {
+        /// The offending token (or a summary for length mismatches).
+        value: String,
+        /// Explanation.
+        reason: String,
+    },
     /// The record's content signatures do not match the supplied
     /// graph/topology.
     SignatureMismatch {
@@ -161,6 +180,9 @@ impl fmt::Display for ImportError {
             ImportError::InvalidMicrobatches { count, reason } => {
                 write!(f, "microbatch count {count} is invalid: {reason}")
             }
+            ImportError::InvalidParamSync { value, reason } => {
+                write!(f, "param-sync mode {value:?} is invalid: {reason}")
+            }
             ImportError::SignatureMismatch {
                 which,
                 record,
@@ -181,6 +203,11 @@ pub fn export(graph: &OpGraph, topo: &Topology, strategy: &Strategy) -> Strategy
         model: graph.name().to_string(),
         num_devices: topo.num_devices(),
         microbatches: strategy.microbatches(),
+        param_sync: strategy
+            .param_syncs()
+            .iter()
+            .map(|m| m.to_string())
+            .collect(),
         ops: graph
             .ids()
             .map(|id| {
@@ -262,7 +289,33 @@ fn build_strategy(
             .collect();
         configs.push(checked_config(node, od, devices)?);
     }
-    Ok(Strategy::from_configs(graph, configs).with_microbatches(dump.microbatches))
+    let mut strategy = Strategy::from_configs(graph, configs).with_microbatches(dump.microbatches);
+    // v1/v2 dumps carry no mode list — all-reduce everywhere, exactly
+    // what those strategies meant. A v3 list must cover every op.
+    if !dump.param_sync.is_empty() {
+        if dump.param_sync.len() != graph.len() {
+            return Err(ImportError::InvalidParamSync {
+                value: format!("{} modes", dump.param_sync.len()),
+                reason: format!("graph has {} ops", graph.len()),
+            });
+        }
+        for (id, token) in graph.ids().zip(&dump.param_sync) {
+            let mode = ParamSync::parse(token).map_err(|reason| ImportError::InvalidParamSync {
+                value: token.clone(),
+                reason,
+            })?;
+            // Parameter-server placements follow the same device mapping
+            // as the configs (identity on import, folded on remap).
+            let mode = match mode {
+                ParamSync::ParamServer { server_device } => ParamSync::ParamServer {
+                    server_device: map_device(server_device),
+                },
+                other => other,
+            };
+            strategy.set_param_sync(id, mode);
+        }
+    }
+    Ok(strategy)
 }
 
 /// Imports a dump against a freshly built graph and topology.
@@ -649,6 +702,86 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn param_sync_modes_roundtrip_through_v3_dumps() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let mut s = Strategy::data_parallel(&g, &topo);
+        let ops = soap::sync_ops(&g);
+        s.set_param_sync(ops[0], ParamSync::ShardedZero1 { shards: 4 });
+        s.set_param_sync(ops[1], ParamSync::ParamServer { server_device: 2 });
+        let dump = export(&g, &topo, &s);
+        assert_eq!(dump.param_sync.len(), g.len());
+        let json = serde_json::to_string(&dump).unwrap();
+        let back: StrategyDump = serde_json::from_str(&json).unwrap();
+        let restored = import(&g, &topo, &back).unwrap();
+        assert_eq!(&restored, &s);
+        assert_eq!(
+            restored.param_sync(ops[0]),
+            ParamSync::ShardedZero1 { shards: 4 }
+        );
+    }
+
+    #[test]
+    fn pre_v3_dumps_without_param_sync_default_to_allreduce() {
+        // A v2-era JSON payload has no `param_sync` key at all; it must
+        // load as all-reduce everywhere — what every v1/v2 strategy meant.
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let dump = export(&g, &topo, &Strategy::data_parallel(&g, &topo));
+        let json = serde_json::to_string(&dump).unwrap();
+        let stripped = {
+            let mut v: Value = serde_json::from_str(&json).unwrap();
+            if let Value::Object(entries) = &mut v {
+                entries.retain(|(k, _)| k != "param_sync");
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        let back: StrategyDump = serde_json::from_str(&stripped).unwrap();
+        assert!(back.param_sync.is_empty());
+        let restored = import(&g, &topo, &back).unwrap();
+        assert!(!restored.has_custom_param_sync());
+    }
+
+    #[test]
+    fn malformed_param_sync_modes_are_rejected() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let good = export(&g, &topo, &Strategy::data_parallel(&g, &topo));
+
+        // Unknown token.
+        let mut bad = good.clone();
+        bad.param_sync[0] = "zero9:4".into();
+        let err = import(&g, &topo, &bad).unwrap_err();
+        assert!(matches!(err, ImportError::InvalidParamSync { .. }), "{err}");
+        assert!(err.to_string().contains("zero9"));
+
+        // Mode list shorter than the op count.
+        let mut bad = good;
+        bad.param_sync.pop();
+        assert!(matches!(
+            import(&g, &topo, &bad),
+            Err(ImportError::InvalidParamSync { .. })
+        ));
+    }
+
+    #[test]
+    fn remap_folds_param_server_placements() {
+        let g = zoo::lenet(64);
+        let big = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let small = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        let mut s = Strategy::data_parallel(&g, &big);
+        let op = soap::sync_ops(&g)[0];
+        s.set_param_sync(op, ParamSync::ParamServer { server_device: 3 });
+        let dump = export(&g, &big, &s);
+        let remapped = remap_onto(&g, &small, &dump).unwrap();
+        assert_eq!(
+            remapped.param_sync(op),
+            ParamSync::ParamServer { server_device: 1 },
+            "server index folds modulo the new device count"
+        );
     }
 
     #[test]

@@ -47,9 +47,9 @@
 //! proposal path of the MCMC optimizer, which previously needed either a
 //! second full repair or a clone of the whole structure.
 
-use crate::soap::ParallelConfig;
+use crate::soap::{ParallelConfig, SyncPlan};
 use crate::strategy::Strategy;
-use flexflow_costmodel::CostModel;
+use flexflow_costmodel::{sync_cost, CostModel};
 use flexflow_device::{DeviceId, LinkId, Topology};
 use flexflow_opgraph::{LayerId, OpGraph, OpId, OpKind};
 use flexflow_tensor::Rect;
@@ -1057,9 +1057,13 @@ impl TaskGraph {
         }
     }
 
-    /// Parameter-server synchronization for one parameter-sharing layer:
-    /// for every shard replicated on R > 1 devices, R-1 gradient pushes to
-    /// the lowest-id replica followed by R-1 broadcasts back.
+    /// Synchronization tasks for one parameter-sharing layer: every shard
+    /// replicated on R > 1 devices gets the task chain its resolved
+    /// [`SyncPlan`] prescribes — the legacy PS star or ring for
+    /// [`crate::soap::ParamSync::AllReduce`] (bit-identical to the pre-axis
+    /// construction), reduce-scatter + all-gather sub-shard chains for
+    /// ZeRO-1, or a fixed-server star. The layer's mode is the
+    /// [`crate::soap::ParamSync`] of its lowest-id member op.
     fn build_layer_sync(&mut self, ctx: BuildCtx<'_>, layer: LayerId) {
         let graph = ctx.graph;
         let topo = ctx.topo;
@@ -1115,6 +1119,9 @@ impl TaskGraph {
         type ShardEntry = (ShardKey, (u64, HashMap<DeviceId, Vec<TaskId>>));
         let mut shard_list: Vec<ShardEntry> = shards.into_iter().collect();
         shard_list.sort_by(|a, b| a.0.cmp(&b.0));
+        // The layer's sync mode: the lowest-id member is the deterministic
+        // mode source for weight-tied layers (see `soap::sync_ops`).
+        let mode = ctx.strategy.param_sync(members[0]);
         for (shard_idx, (_key, (params, replicas))) in shard_list.into_iter().enumerate() {
             if replicas.len() < 2 {
                 continue;
@@ -1122,84 +1129,314 @@ impl TaskGraph {
             let bytes = params * cfg.elem_bytes;
             let mut devices: Vec<DeviceId> = replicas.keys().copied().collect();
             devices.sort();
-            if cfg.sync_mode == SyncMode::Ring {
-                // Ring allreduce: each replica streams 2(R-1)/R of the
-                // shard to its ring successor; transfers proceed in
-                // parallel on distinct links and gate the iteration end.
-                let r = devices.len() as u64;
-                let ring_bytes = (2 * bytes * (r - 1)) / r;
-                for (i, &dev) in devices.iter().enumerate() {
-                    let next = devices[(i + 1) % devices.len()];
-                    let channel = topo.channel(dev, next).expect("replicas are distinct");
-                    let c = self.alloc(Task {
-                        kind: TaskKind::SyncComm {
-                            bytes: ring_bytes,
-                            layer,
-                        },
-                        unit: ExecUnit::Link(channel.link),
-                        exe_us: channel.transfer_time_us(ring_bytes),
-                        preds: Vec::new(),
-                        succs: Vec::new(),
-                        seq: seq_key(2, layer.index() as u64, shard_idx as u64, 2, i as u64),
-                        island: unit_island(topo, self.num_islands, ExecUnit::Link(channel.link)),
-                    });
-                    // The ring cannot start until every replica's gradient
-                    // contribution is ready.
-                    for tasks in replicas.values() {
-                        for &t in tasks {
+            let plan = crate::soap::sync_plan(
+                mode,
+                cfg.sync_mode == SyncMode::Ring,
+                layer.index(),
+                shard_idx,
+                &devices,
+                topo,
+            );
+            match plan {
+                SyncPlan::Ring => {
+                    // Ring allreduce: each replica streams 2(R-1)/R of the
+                    // shard to its ring successor; transfers proceed in
+                    // parallel on distinct links and gate the iteration end.
+                    let r = devices.len() as u64;
+                    let ring_bytes = sync_cost::ring_per_task_bytes(r, bytes);
+                    for (i, &dev) in devices.iter().enumerate() {
+                        let next = devices[(i + 1) % devices.len()];
+                        let channel = topo.channel(dev, next).expect("replicas are distinct");
+                        let c = self.alloc(Task {
+                            kind: TaskKind::SyncComm {
+                                bytes: ring_bytes,
+                                layer,
+                            },
+                            unit: ExecUnit::Link(channel.link),
+                            exe_us: channel.transfer_time_us(ring_bytes),
+                            preds: Vec::new(),
+                            succs: Vec::new(),
+                            seq: seq_key(2, layer.index() as u64, shard_idx as u64, 2, i as u64),
+                            island: unit_island(
+                                topo,
+                                self.num_islands,
+                                ExecUnit::Link(channel.link),
+                            ),
+                        });
+                        // The ring cannot start until every replica's
+                        // gradient contribution is ready.
+                        for tasks in replicas.values() {
+                            for &t in tasks {
+                                self.add_edge_fresh(t, c);
+                            }
+                        }
+                        sync_ids.push(c);
+                    }
+                }
+                SyncPlan::Star { root } => {
+                    let root = devices[root];
+                    // Gradient pushes to the root.
+                    let mut pushes: Vec<TaskId> = Vec::new();
+                    for (r, &dev) in devices.iter().enumerate().filter(|(_, &d)| d != root) {
+                        let channel = topo.channel(dev, root).expect("replicas are distinct");
+                        let c = self.alloc(Task {
+                            kind: TaskKind::SyncComm { bytes, layer },
+                            unit: ExecUnit::Link(channel.link),
+                            exe_us: channel.transfer_time_us(bytes),
+                            preds: Vec::new(),
+                            succs: Vec::new(),
+                            seq: seq_key(2, layer.index() as u64, shard_idx as u64, 0, r as u64),
+                            island: unit_island(
+                                topo,
+                                self.num_islands,
+                                ExecUnit::Link(channel.link),
+                            ),
+                        });
+                        for &t in &replicas[&dev] {
                             self.add_edge_fresh(t, c);
                         }
+                        pushes.push(c);
+                        sync_ids.push(c);
                     }
-                    sync_ids.push(c);
+                    // Broadcasts of the aggregated gradient back to the
+                    // replicas.
+                    for (r, &dev) in devices.iter().enumerate().filter(|(_, &d)| d != root) {
+                        let channel = topo.channel(root, dev).expect("replicas are distinct");
+                        let b = self.alloc(Task {
+                            kind: TaskKind::SyncComm { bytes, layer },
+                            unit: ExecUnit::Link(channel.link),
+                            exe_us: channel.transfer_time_us(bytes),
+                            preds: Vec::new(),
+                            succs: Vec::new(),
+                            seq: seq_key(2, layer.index() as u64, shard_idx as u64, 1, r as u64),
+                            island: unit_island(
+                                topo,
+                                self.num_islands,
+                                ExecUnit::Link(channel.link),
+                            ),
+                        });
+                        for &p in &pushes {
+                            self.add_edge_fresh(p, b);
+                        }
+                        // The root's own gradient must be ready before
+                        // broadcast.
+                        for &t in &replicas[&root] {
+                            self.add_edge_fresh(t, b);
+                        }
+                        sync_ids.push(b);
+                    }
                 }
-                continue;
-            }
-            // Shard the parameter server: different layers/shards hash to
-            // different roots so their synchronizations use different
-            // links, as sharded PS deployments do.
-            let root = devices[(layer.index() + shard_idx) % devices.len()];
-            // Gradient pushes to the root.
-            let mut pushes: Vec<TaskId> = Vec::new();
-            for (r, &dev) in devices.iter().enumerate().filter(|(_, &d)| d != root) {
-                let channel = topo.channel(dev, root).expect("replicas are distinct");
-                let c = self.alloc(Task {
-                    kind: TaskKind::SyncComm { bytes, layer },
-                    unit: ExecUnit::Link(channel.link),
-                    exe_us: channel.transfer_time_us(bytes),
-                    preds: Vec::new(),
-                    succs: Vec::new(),
-                    seq: seq_key(2, layer.index() as u64, shard_idx as u64, 0, r as u64),
-                    island: unit_island(topo, self.num_islands, ExecUnit::Link(channel.link)),
-                });
-                for &t in &replicas[&dev] {
-                    self.add_edge_fresh(t, c);
+                SyncPlan::Zero1 { shards } => {
+                    // ZeRO-1: cut the shard into `shards` balanced
+                    // sub-shards, each owned by a distinct replica. Per
+                    // sub-shard: R-1 reduce-scatter pushes to the owner
+                    // (which updates its optimizer-state slice), then R-1
+                    // all-gathers of the updated values back. Total volume
+                    // equals the star's 2(R-1)·B, but spread over `shards`
+                    // roots instead of one.
+                    let r = devices.len();
+                    for sub in 0..shards {
+                        let owner = devices[(shard_idx + sub as usize) % r];
+                        let sub_params = sync_cost::zero1_subshard_params(params, shards, sub);
+                        if sub_params == 0 {
+                            continue;
+                        }
+                        let sub_bytes = sub_params * cfg.elem_bytes;
+                        let mut pushes: Vec<TaskId> = Vec::new();
+                        for (ri, &dev) in devices.iter().enumerate().filter(|(_, &d)| d != owner) {
+                            let channel = topo.channel(dev, owner).expect("replicas are distinct");
+                            let c = self.alloc(Task {
+                                kind: TaskKind::SyncComm {
+                                    bytes: sub_bytes,
+                                    layer,
+                                },
+                                unit: ExecUnit::Link(channel.link),
+                                exe_us: channel.transfer_time_us(sub_bytes),
+                                preds: Vec::new(),
+                                succs: Vec::new(),
+                                seq: seq_key(
+                                    2,
+                                    layer.index() as u64,
+                                    shard_idx as u64,
+                                    3,
+                                    (sub << 10) | ri as u64,
+                                ),
+                                island: unit_island(
+                                    topo,
+                                    self.num_islands,
+                                    ExecUnit::Link(channel.link),
+                                ),
+                            });
+                            for &t in &replicas[&dev] {
+                                self.add_edge_fresh(t, c);
+                            }
+                            pushes.push(c);
+                            sync_ids.push(c);
+                        }
+                        for (ri, &dev) in devices.iter().enumerate().filter(|(_, &d)| d != owner) {
+                            let channel = topo.channel(owner, dev).expect("replicas are distinct");
+                            let b = self.alloc(Task {
+                                kind: TaskKind::SyncComm {
+                                    bytes: sub_bytes,
+                                    layer,
+                                },
+                                unit: ExecUnit::Link(channel.link),
+                                exe_us: channel.transfer_time_us(sub_bytes),
+                                preds: Vec::new(),
+                                succs: Vec::new(),
+                                seq: seq_key(
+                                    2,
+                                    layer.index() as u64,
+                                    shard_idx as u64,
+                                    4,
+                                    (sub << 10) | ri as u64,
+                                ),
+                                island: unit_island(
+                                    topo,
+                                    self.num_islands,
+                                    ExecUnit::Link(channel.link),
+                                ),
+                            });
+                            for &p in &pushes {
+                                self.add_edge_fresh(p, b);
+                            }
+                            // The owner's own gradient slice must be ready
+                            // before it can serve the updated values.
+                            for &t in &replicas[&owner] {
+                                self.add_edge_fresh(t, b);
+                            }
+                            sync_ids.push(b);
+                        }
+                    }
                 }
-                pushes.push(c);
-                sync_ids.push(c);
-            }
-            // Broadcasts of the aggregated gradient back to the replicas.
-            for (r, &dev) in devices.iter().enumerate().filter(|(_, &d)| d != root) {
-                let channel = topo.channel(root, dev).expect("replicas are distinct");
-                let b = self.alloc(Task {
-                    kind: TaskKind::SyncComm { bytes, layer },
-                    unit: ExecUnit::Link(channel.link),
-                    exe_us: channel.transfer_time_us(bytes),
-                    preds: Vec::new(),
-                    succs: Vec::new(),
-                    seq: seq_key(2, layer.index() as u64, shard_idx as u64, 1, r as u64),
-                    island: unit_island(topo, self.num_islands, ExecUnit::Link(channel.link)),
-                });
-                for &p in &pushes {
-                    self.add_edge_fresh(p, b);
+                SyncPlan::ExternalStar { server } => {
+                    // A parameter server holding no replica: all R replicas
+                    // push their gradients in and all R receive the updated
+                    // parameters back — 2R·B on the server's links, the
+                    // contention the cost model charges for PS placement.
+                    let mut pushes: Vec<TaskId> = Vec::new();
+                    for (ri, &dev) in devices.iter().enumerate() {
+                        let channel = topo.channel(dev, server).expect("server is remote");
+                        let c = self.alloc(Task {
+                            kind: TaskKind::SyncComm { bytes, layer },
+                            unit: ExecUnit::Link(channel.link),
+                            exe_us: channel.transfer_time_us(bytes),
+                            preds: Vec::new(),
+                            succs: Vec::new(),
+                            seq: seq_key(2, layer.index() as u64, shard_idx as u64, 0, ri as u64),
+                            island: unit_island(
+                                topo,
+                                self.num_islands,
+                                ExecUnit::Link(channel.link),
+                            ),
+                        });
+                        for &t in &replicas[&dev] {
+                            self.add_edge_fresh(t, c);
+                        }
+                        pushes.push(c);
+                        sync_ids.push(c);
+                    }
+                    for (ri, &dev) in devices.iter().enumerate() {
+                        let channel = topo.channel(server, dev).expect("server is remote");
+                        let b = self.alloc(Task {
+                            kind: TaskKind::SyncComm { bytes, layer },
+                            unit: ExecUnit::Link(channel.link),
+                            exe_us: channel.transfer_time_us(bytes),
+                            preds: Vec::new(),
+                            succs: Vec::new(),
+                            seq: seq_key(2, layer.index() as u64, shard_idx as u64, 1, ri as u64),
+                            island: unit_island(
+                                topo,
+                                self.num_islands,
+                                ExecUnit::Link(channel.link),
+                            ),
+                        });
+                        for &p in &pushes {
+                            self.add_edge_fresh(p, b);
+                        }
+                        sync_ids.push(b);
+                    }
                 }
-                // The root's own gradient must be ready before broadcast.
-                for &t in &replicas[&root] {
-                    self.add_edge_fresh(t, b);
-                }
-                sync_ids.push(b);
             }
         }
         self.sync_tasks[layer.index()] = sync_ids;
+    }
+
+    /// Replaces one layer's synchronization tasks for the strategy's
+    /// current per-op [`crate::soap::ParamSync`] modes — the structural
+    /// surgery behind `ChangeParamSync` proposals. Mirrors
+    /// [`TaskGraph::rebuild_op`]'s doom/retain/recreate shape but scoped to
+    /// the layer's sync list: compute and tensor-edge tasks are untouched,
+    /// so the returned report seeds a *local* delta repair (a sync change
+    /// confined to one island never drains the others' queues).
+    ///
+    /// Inside an open transaction every mutation is journaled and rolls
+    /// back exactly, like `rebuild_op`.
+    pub fn rebuild_layer_sync(
+        &mut self,
+        graph: &OpGraph,
+        topo: &Topology,
+        strategy: &Strategy,
+        cost: &dyn CostModel,
+        cfg: &SimConfig,
+        layer: LayerId,
+    ) -> RebuildReport {
+        let mut report = RebuildReport::default();
+        if !cfg.include_param_sync {
+            return report;
+        }
+        self.j_save_sync(layer);
+        let doomed: Vec<TaskId> = std::mem::take(&mut self.sync_tasks[layer.index()]);
+        let doomed_set: HashSet<TaskId> = doomed.iter().copied().collect();
+        let mut succ_touched: HashSet<TaskId> = HashSet::new();
+        let mut pred_touched: HashSet<TaskId> = HashSet::new();
+        for &id in &doomed {
+            self.j_save_slot(id);
+            let task = self.tasks[id.index()]
+                .take()
+                .unwrap_or_else(|| panic!("removing dead task {id}"));
+            self.alive -= 1;
+            self.free.push(id);
+            for p in task.preds {
+                if !doomed_set.contains(&p) {
+                    succ_touched.insert(p);
+                }
+            }
+            for s in task.succs {
+                if !doomed_set.contains(&s) {
+                    pred_touched.insert(s);
+                }
+            }
+        }
+        for &p in &succ_touched {
+            self.j_save_slot(p);
+            self.tasks[p.index()]
+                .as_mut()
+                .expect("survivor is live")
+                .succs
+                .retain(|t| !doomed_set.contains(t));
+        }
+        for &s in &pred_touched {
+            self.j_save_slot(s);
+            self.tasks[s.index()]
+                .as_mut()
+                .expect("survivor is live")
+                .preds
+                .retain(|t| !doomed_set.contains(t));
+            report.pred_changed.push(s);
+        }
+        let ctx = BuildCtx {
+            graph,
+            topo,
+            strategy,
+            cost,
+            cfg,
+        };
+        self.created_log.clear();
+        self.build_layer_sync(ctx, layer);
+        report.added = std::mem::take(&mut self.created_log);
+        report.removed = doomed;
+        report
     }
 }
 

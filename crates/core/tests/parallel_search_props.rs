@@ -13,7 +13,7 @@
 //!    (applies = commits + rollbacks = evals), and the whole result is
 //!    reproducible for a fixed `(seed, chains)` at any scheduling.
 
-use flexflow_core::optimizer::{split_budget, Budget, ParallelSearch, SharedBestCost};
+use flexflow_core::optimizer::{split_budget, Budget, SearchRequest, SharedBestCost};
 use flexflow_core::sim::SimConfig;
 use flexflow_core::strategy::Strategy;
 use flexflow_costmodel::MeasuredCostModel;
@@ -121,9 +121,7 @@ proptest! {
         let cost = MeasuredCostModel::paper_default();
         let initials = [Strategy::data_parallel(&graph, &topo)];
         let run = || {
-            let mut ps = ParallelSearch::with_chains(seed, chains);
-            ps.exchange_every = exchange_every;
-            ps.search(
+            SearchRequest::new(seed).chains(chains).exchange_every(exchange_every).run(
                 &graph,
                 &topo,
                 &cost,

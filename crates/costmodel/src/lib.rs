@@ -361,11 +361,113 @@ impl CostModel for MeasuredCostModel {
     }
 }
 
+/// Closed-form traffic and memory profiles of the parameter-sync modes.
+///
+/// One parameter shard of `P` parameters replicated on `R` devices must
+/// reduce `R` gradient copies and redistribute the updated values each
+/// iteration. The three modes move the same logical information with
+/// different link layouts and optimizer-state placement:
+///
+/// | mode          | total wire bytes        | roots      | opt-state/device |
+/// |---------------|-------------------------|------------|------------------|
+/// | PS star       | `2(R-1)·B`              | 1          | `8P` (each replica) |
+/// | ring          | `R · 2B(R-1)/R = 2(R-1)B` | R links  | `8P` (each replica) |
+/// | ZeRO-1 (`k`)  | `Σ_s 2(R-1)·B_s = 2(R-1)B` | k owners | `8·P/k_eff` |
+/// | external PS   | `2R·B`                  | 1 server   | `8P` (server only) |
+///
+/// where `B = P · elem_bytes` and the `8` is Adam's two fp32 moments per
+/// parameter ([`OPT_STATE_BYTES_PER_PARAM`]). These helpers are the single
+/// source of the byte math for task-graph construction
+/// (`flexflow_core::taskgraph`) and the memory model
+/// (`flexflow_core::memory`).
+pub mod sync_cost {
+    /// Optimizer-state bytes per parameter: Adam's first and second
+    /// moments in fp32.
+    pub const OPT_STATE_BYTES_PER_PARAM: u64 = 8;
+
+    /// Total bytes a PS-star sync of one shard moves over the wire:
+    /// `R-1` gradient pushes in plus `R-1` parameter broadcasts out.
+    pub fn star_total_bytes(replicas: u64, shard_bytes: u64) -> u64 {
+        2 * replicas.saturating_sub(1) * shard_bytes
+    }
+
+    /// Total bytes an *external* parameter server moves: all `R` replicas
+    /// push and all `R` receive (the server holds no replica of its own).
+    pub fn external_star_total_bytes(replicas: u64, shard_bytes: u64) -> u64 {
+        2 * replicas * shard_bytes
+    }
+
+    /// Bytes each of the `R` ring transfers carries: the classic
+    /// `2·B·(R-1)/R` of a bandwidth-optimal ring allreduce.
+    pub fn ring_per_task_bytes(replicas: u64, shard_bytes: u64) -> u64 {
+        if replicas == 0 {
+            return 0;
+        }
+        (2 * shard_bytes * (replicas - 1)) / replicas
+    }
+
+    /// Parameter count of ZeRO-1 sub-shard `s` of `shards` over a `params`
+    /// shard: the exact balanced integer partition, so
+    /// `Σ_s zero1_subshard_params(P, k, s) == P` and the three modes move
+    /// identical total volume.
+    pub fn zero1_subshard_params(params: u64, shards: u64, s: u64) -> u64 {
+        debug_assert!(s < shards);
+        params * (s + 1) / shards - params * s / shards
+    }
+
+    /// Per-device optimizer-state bytes for a shard of `params` parameters
+    /// under a ZeRO-1 split into `shards` sub-shards across `replicas`
+    /// replicas: the largest owned slice (sub-shard counts are balanced, so
+    /// this is the per-device peak).
+    pub fn zero1_opt_state_peak_bytes(params: u64, shards: u64, replicas: u64) -> u64 {
+        let k = shards.clamp(1, replicas.max(1));
+        // Owner i holds ceil-or-floor slices; the peak is sub-shard 0's
+        // size when k divides unevenly, i.e. the max over one period.
+        (0..k)
+            .map(|s| zero1_subshard_params(params, k, s))
+            .max()
+            .unwrap_or(0)
+            * OPT_STATE_BYTES_PER_PARAM
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use flexflow_opgraph::OpGraph;
     use flexflow_tensor::TensorShape;
+
+    #[test]
+    fn sync_volumes_agree_across_modes() {
+        use sync_cost::*;
+        for r in 2u64..=8 {
+            for p in [1u64, 7, 1000, 12_345] {
+                let b = p * 4;
+                let star = star_total_bytes(r, b);
+                for k in 1..=r {
+                    let zero1: u64 = (0..k)
+                        .map(|s| 2 * (r - 1) * zero1_subshard_params(p, k, s) * 4)
+                        .sum();
+                    assert_eq!(zero1, star, "r={r} p={p} k={k}");
+                }
+                // Ring total within integer-division slack of the star.
+                let ring_total = r * ring_per_task_bytes(r, b);
+                assert!(ring_total <= star && star - ring_total < r * 4);
+            }
+        }
+    }
+
+    #[test]
+    fn zero1_partition_is_exact_and_balanced() {
+        use sync_cost::*;
+        let total: u64 = (0..3).map(|s| zero1_subshard_params(10, 3, s)).sum();
+        assert_eq!(total, 10);
+        let sizes: Vec<u64> = (0..3).map(|s| zero1_subshard_params(10, 3, s)).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        assert_eq!(zero1_opt_state_peak_bytes(10, 3, 8), 4 * 8);
+        // Shard counts clamp to the replica count.
+        assert_eq!(zero1_opt_state_peak_bytes(12, 64, 4), 3 * 8);
+    }
 
     fn linear_node() -> (OpGraph, usize) {
         let mut g = OpGraph::new("m");

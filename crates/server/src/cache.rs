@@ -49,30 +49,33 @@ pub fn budget_class(evals: u64) -> u32 {
     64 - evals.max(1).leading_zeros()
 }
 
-/// Folds the request's microbatch cap into the budget class: the low byte
-/// is the [`budget_class`] of the evaluation budget, the high bits carry
-/// the exact microbatch cap **when pipelining is enabled** (`0` when
-/// `max_microbatches <= 1`, so every pre-pipeline cache entry and request
-/// keeps its original class value, and old cache files stay addressable).
+/// Folds the request's search-axis knobs into the budget class: the low
+/// byte is the [`budget_class`] of the evaluation budget, bits 8..16
+/// carry the exact microbatch cap **when pipelining is enabled** (`0`
+/// when `max_microbatches <= 1`), and bit 16 marks a search with the
+/// parameter-sync axis enabled (`0` when off — so every pre-pipeline and
+/// pre-param-sync cache entry and request keeps its original class value,
+/// and old cache files stay addressable).
 ///
-/// The two components are compared differently by
-/// [`StrategyCache::lookup`]: eval classes order (searched harder answers
-/// softer), microbatch caps must match exactly — a strategy searched with
-/// pipelining may pick `m > 1`, which a non-pipelined requester cannot
-/// execute, and vice versa the pipelined requester wants the larger space
-/// actually searched.
-pub fn composite_class(evals: u64, max_microbatches: u64) -> u32 {
+/// The components are compared differently by [`StrategyCache::lookup`]:
+/// eval classes order (searched harder answers softer), the microbatch
+/// cap and param-sync flag must match exactly — a strategy searched with
+/// either axis enabled may use settings (`m > 1`, ZeRO/PS sync) the
+/// plainer requester cannot execute, and vice versa the axis-enabled
+/// requester wants the larger space actually searched.
+pub fn composite_class(evals: u64, max_microbatches: u64, param_sync: bool) -> u32 {
     let mb = if max_microbatches > 1 {
         u32::try_from(max_microbatches.min(255)).expect("capped at 255")
     } else {
         0
     };
-    budget_class(evals) | (mb << 8)
+    budget_class(evals) | (mb << 8) | (u32::from(param_sync) << 16)
 }
 
-/// Splits a [`composite_class`] into `(microbatch cap, eval class)`.
-fn split_class(class: u32) -> (u32, u32) {
-    (class >> 8, class & 0xff)
+/// Splits a [`composite_class`] into
+/// `(param-sync flag, microbatch cap, eval class)`.
+fn split_class(class: u32) -> (u32, u32, u32) {
+    (class >> 16, (class >> 8) & 0xff, class & 0xff)
 }
 
 /// A fully resolved cache key.
@@ -235,7 +238,7 @@ impl StrategyCache {
     /// hardest-searched, then the cheapest — deterministic because the
     /// underlying map iterates in address order.
     pub fn lookup(&self, graph_sig: u64, topo_sig: u64, class: u32) -> Lookup<'_> {
-        let (want_mb, want_ev) = split_class(class);
+        let (want_ps, want_mb, want_ev) = split_class(class);
         let mut hit: Option<(&CacheEntry, CacheKey)> = None;
         let mut warm: Option<(&CacheEntry, CacheKey)> = None;
         for entry in self.entries.values() {
@@ -243,8 +246,12 @@ impl StrategyCache {
             if key.graph_sig != graph_sig {
                 continue;
             }
-            let (got_mb, got_ev) = split_class(key.budget_class);
-            if key.topo_sig == topo_sig && got_mb == want_mb && got_ev >= want_ev {
+            let (got_ps, got_mb, got_ev) = split_class(key.budget_class);
+            if key.topo_sig == topo_sig
+                && got_ps == want_ps
+                && got_mb == want_mb
+                && got_ev >= want_ev
+            {
                 let better = hit.is_none_or(|(best, bk)| {
                     (
                         bk.budget_class,
@@ -259,9 +266,10 @@ impl StrategyCache {
                 }
             } else {
                 let rank = |e: &CacheEntry, k: CacheKey| {
-                    let (k_mb, k_ev) = split_class(k.budget_class);
+                    let (k_ps, k_mb, k_ev) = split_class(k.budget_class);
                     (
                         k.topo_sig == topo_sig,
+                        k_ps == want_ps,
                         k_mb == want_mb,
                         k_ev,
                         std::cmp::Reverse(e.record.cost_us.to_bits()),
@@ -375,31 +383,84 @@ mod tests {
     fn composite_class_separates_pipelined_requests() {
         // Pipelining off: exactly the historical class, so pre-pipeline
         // cache files keep their addresses.
-        assert_eq!(composite_class(1024, 1), budget_class(1024));
-        assert_eq!(composite_class(1024, 0), budget_class(1024));
+        assert_eq!(composite_class(1024, 1, false), budget_class(1024));
+        assert_eq!(composite_class(1024, 0, false), budget_class(1024));
         // Pipelining on: the cap rides the high bits.
-        assert_eq!(composite_class(1024, 4), budget_class(1024) | (4 << 8));
-        assert_eq!(composite_class(7, 255), budget_class(7) | (255 << 8));
-        assert_eq!(composite_class(7, 10_000), budget_class(7) | (255 << 8));
+        assert_eq!(
+            composite_class(1024, 4, false),
+            budget_class(1024) | (4 << 8)
+        );
+        assert_eq!(composite_class(7, 255, false), budget_class(7) | (255 << 8));
+        assert_eq!(
+            composite_class(7, 10_000, false),
+            budget_class(7) | (255 << 8)
+        );
 
         // Hits require the microbatch component to match exactly: a
         // harder-searched pipelined entry must NOT answer a plain
         // request (its strategy may use m > 1) and vice versa.
         let mut c = StrategyCache::new();
-        assert!(c.insert(entry(1, 2, composite_class(1024, 4), 100.0)));
+        assert!(c.insert(entry(1, 2, composite_class(1024, 4, false), 100.0)));
         assert!(matches!(
-            c.lookup(1, 2, composite_class(64, 1)),
+            c.lookup(1, 2, composite_class(64, 1, false)),
             Lookup::Warm(_)
         ));
         assert!(matches!(
-            c.lookup(1, 2, composite_class(64, 8)),
+            c.lookup(1, 2, composite_class(64, 8, false)),
             Lookup::Warm(_)
         ));
         // Same cap, softer eval budget: a hit.
         assert!(matches!(
-            c.lookup(1, 2, composite_class(64, 4)),
+            c.lookup(1, 2, composite_class(64, 4, false)),
             Lookup::Hit(_)
         ));
+    }
+
+    #[test]
+    fn composite_class_separates_param_sync_requests() {
+        // Axis off: exactly the historical class, so pre-PR8 cache files
+        // keep their addresses.
+        assert_eq!(composite_class(1024, 1, false), budget_class(1024));
+        // Axis on: the flag rides bit 16, orthogonal to the microbatch cap.
+        assert_eq!(
+            composite_class(1024, 1, true),
+            budget_class(1024) | (1 << 16)
+        );
+        assert_eq!(
+            composite_class(1024, 4, true),
+            budget_class(1024) | (4 << 8) | (1 << 16)
+        );
+
+        // The bugfix this class guards: an entry searched WITH the sync
+        // axis may carry ZeRO/PS modes a plain requester cannot execute,
+        // so a mismatched flag must demote the near-miss to a warm seed —
+        // never serve it as a hit (the pre-fix behavior treated the
+        // harder-searched entry as directly servable).
+        let mut c = StrategyCache::new();
+        assert!(c.insert(entry(1, 2, composite_class(1024, 1, true), 100.0)));
+        assert!(matches!(
+            c.lookup(1, 2, composite_class(64, 1, false)),
+            Lookup::Warm(_)
+        ));
+        // And the mirror image: an axis-on request must not be served an
+        // axis-off entry as a hit (it wants the larger space searched).
+        assert!(c.insert(entry(3, 2, composite_class(1024, 1, false), 100.0)));
+        assert!(matches!(
+            c.lookup(3, 2, composite_class(64, 1, true)),
+            Lookup::Warm(_)
+        ));
+        // Matching flag: a hit as usual.
+        assert!(matches!(
+            c.lookup(1, 2, composite_class(64, 1, true)),
+            Lookup::Hit(_)
+        ));
+        // Among equally-foreign topologies, same-flag warm candidates
+        // outrank mismatched ones.
+        assert!(c.insert(entry(1, 9, composite_class(1024, 1, false), 90.0)));
+        let Lookup::Warm(w) = c.lookup(1, 7, composite_class(64, 1, true)) else {
+            panic!("expected warm")
+        };
+        assert_eq!(w.budget_class, composite_class(1024, 1, true));
     }
 
     #[test]

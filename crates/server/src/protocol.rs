@@ -86,6 +86,10 @@ pub struct SearchRequest {
     /// Upper bound on the strategy's microbatch count (1 = pipelining
     /// disabled, the default; part of the cache key's budget class).
     pub microbatches: u64,
+    /// Whether the search may retune per-layer parameter synchronization
+    /// (ZeRO-1 sharding, parameter-server placement; off by default —
+    /// part of the cache key's budget class).
+    pub param_sync: bool,
     /// Skip the cache lookup and force a fresh search (the result still
     /// updates the cache).
     pub refresh: bool,
@@ -102,6 +106,7 @@ impl SearchRequest {
             seed: 42,
             chains: 1,
             microbatches: 1,
+            param_sync: false,
             refresh: false,
         }
     }
@@ -185,6 +190,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     other => return Err(format!("unknown cluster {other:?} (p100|k80|a100)")),
                 };
             }
+            if let Some(f) = v.get_field("param_sync") {
+                r.param_sync = f
+                    .as_bool()
+                    .ok_or_else(|| "field \"param_sync\" must be a boolean".to_string())?;
+            }
             if let Some(f) = v.get_field("refresh") {
                 r.refresh = f
                     .as_bool()
@@ -215,7 +225,7 @@ mod tests {
         assert_eq!(r, Request::Search(SearchRequest::new("rnnlm")));
 
         let r = parse_request(
-            r#"{"cmd":"search","model":"nmt","gpus":8,"cluster":"k80","evals":10,"seed":7,"chains":2,"microbatches":4,"refresh":true}"#,
+            r#"{"cmd":"search","model":"nmt","gpus":8,"cluster":"k80","evals":10,"seed":7,"chains":2,"microbatches":4,"param_sync":true,"refresh":true}"#,
         )
         .unwrap();
         let Request::Search(s) = r else {
@@ -228,7 +238,15 @@ mod tests {
         assert_eq!(s.seed, 7);
         assert_eq!(s.chains, 2);
         assert_eq!(s.microbatches, 4);
+        assert!(s.param_sync);
         assert!(s.refresh);
+
+        // Absent: off, matching pre-PR8 requests.
+        let r = parse_request(r#"{"model":"nmt"}"#).unwrap();
+        let Request::Search(s) = r else {
+            panic!("expected search")
+        };
+        assert!(!s.param_sync);
     }
 
     #[test]
@@ -257,6 +275,7 @@ mod tests {
             r#"{"model":"rnnlm","evals":99999999999}"#,
             r#"{"model":"rnnlm","cluster":"tpu"}"#,
             r#"{"model":"rnnlm","refresh":"yes"}"#,
+            r#"{"model":"rnnlm","param_sync":"yes"}"#,
             r#"{"cmd":"frobnicate"}"#,
             r#"{"cmd":7}"#,
         ] {

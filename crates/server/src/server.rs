@@ -37,7 +37,7 @@ use crate::cache::{composite_class, CacheEntry, Lookup, StrategyCache};
 use crate::protocol::{self, Request, SearchRequest};
 use flexflow_baselines::expert;
 use flexflow_core::strategy_io::{self, StrategyDump, StrategyRecord};
-use flexflow_core::{Budget, ParallelSearch, SimConfig, Strategy};
+use flexflow_core::{Budget, SimConfig, Strategy};
 use flexflow_costmodel::MeasuredCostModel;
 use flexflow_device::{clusters, DeviceKind, Topology};
 use flexflow_opgraph::{graph_signature, zoo, OpGraph};
@@ -209,7 +209,7 @@ impl Server {
             .microbatches
             .max(self.cfg.default_microbatches)
             .min(protocol::MAX_MICROBATCHES);
-        let class = composite_class(req.evals, max_microbatches);
+        let class = composite_class(req.evals, max_microbatches, req.param_sync);
 
         // Phase 1 (under the lock, microseconds): classify the request and
         // clone out whatever the cache can contribute. Entries are
@@ -265,22 +265,24 @@ impl Server {
         // Phase 2 (no lock): the actual search. Simulators live and die
         // inside this call, owned by the calling worker thread.
         let cost = MeasuredCostModel::paper_default();
-        let mut ps = ParallelSearch::with_chains(req.seed, req.chains);
-        ps.max_microbatches = max_microbatches;
+        let search = flexflow_core::SearchRequest::new(req.seed)
+            .chains(req.chains)
+            .max_microbatches(max_microbatches)
+            .param_sync(req.param_sync);
         let budget = Budget::evaluations(req.evals);
         let warm_seed =
             warm_dump.and_then(|dump| strategy_io::remap_onto(&graph, &topo, &dump).ok());
         let result = match warm_seed {
             Some(seed) => {
                 outcome = CacheOutcome::Warm;
-                ps.search_warm(&graph, &topo, &cost, seed, budget, SimConfig::default())
+                search.run_warm(&graph, &topo, &cost, seed, budget, SimConfig::default())
             }
             None => {
                 let initials = [
                     Strategy::data_parallel(&graph, &topo),
                     expert::strategy(&graph, &topo),
                 ];
-                ps.search(
+                search.run(
                     &graph,
                     &topo,
                     &cost,
@@ -361,6 +363,7 @@ impl Server {
             "cluster": cluster_name(req.cluster),
             "budget_class": class,
             "microbatches": dump.microbatches,
+            "param_sync": req.param_sync,
             "cost_us": cost_us,
             "evals": evals,
             "cached_evals": cached_evals,

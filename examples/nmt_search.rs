@@ -11,7 +11,7 @@ use flexflow::baselines::expert;
 use flexflow::core::metrics::SimMetrics;
 use flexflow::core::sim::{simulate_full, SimConfig};
 use flexflow::core::taskgraph::TaskGraph;
-use flexflow::core::{Budget, ParallelSearch, Strategy};
+use flexflow::core::{Budget, ParallelSearch, SearchRequest, Strategy};
 use flexflow::costmodel::MeasuredCostModel;
 use flexflow::device::clusters;
 use flexflow::opgraph::zoo;
@@ -59,7 +59,7 @@ fn main() {
         opt.chains, opt.exchange_every
     );
     let initials: Vec<Strategy> = contenders.into_iter().map(|(_, s)| s).collect();
-    let result = opt.search(
+    let result = SearchRequest::new(7).chains(opt.chains).run(
         &graph,
         &topo,
         &cost,

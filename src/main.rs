@@ -4,9 +4,9 @@
 //! flexflow models
 //! flexflow search <model> [--gpus N] [--cluster p100|k80|PRESET] [--evals N] [--seed N]
 //!                         [--out FILE] [--chains K] [--exchange-every N] [--microbatches M]
-//!                         [--warm FILE] [--legacy] [--verbose]
+//!                         [--param-sync MODE] [--warm FILE] [--legacy] [--verbose]
 //! flexflow simulate <model> [--gpus N] [--cluster p100|k80|PRESET] [--strategy FILE]
-//!                           [--microbatches M]
+//!                           [--microbatches M] [--param-sync MODE]
 //! flexflow baselines <model> [--gpus N] [--cluster p100|k80|PRESET]
 //! flexflow serve [--socket PATH] [--workers N] [--cache FILE] [--microbatches M] [--oneshot]
 //! ```
@@ -23,6 +23,15 @@
 //! exported strategy instead of the data-parallel/expert defaults, so a
 //! pipelined refinement of a known-good strategy can never end worse
 //! than it.
+//!
+//! `--param-sync MODE` controls per-layer parameter synchronization.
+//! `search` opens the sync axis to the optimizer (proposals may retune
+//! each layer between all-reduce, ZeRO-1 sharding and parameter-server
+//! placement); a concrete mode — `allreduce`, `zero1:K` (K shards) or
+//! `ps:D` (server on device D) — overrides the default on every initial
+//! candidate and still lets the search retune per layer. Under
+//! `simulate`, a concrete mode is applied to every layer of the
+//! simulated strategy (`search` is rejected there: nothing searches).
 //!
 //! `--cluster` takes either a flat paper cluster kind (`p100`, `k80` —
 //! sized by `--gpus`, which must be a whole number of nodes) or a
@@ -41,7 +50,8 @@ use flexflow::core::metrics::SimMetrics;
 use flexflow::core::sim::{simulate_full, SimConfig};
 use flexflow::core::taskgraph::TaskGraph;
 use flexflow::core::{
-    default_chains, strategy_io, Budget, McmcOptimizer, ParallelSearch, SearchResult, Strategy,
+    default_chains, strategy_io, Budget, McmcOptimizer, ParamSync, SearchRequest, SearchResult,
+    Strategy,
 };
 use flexflow::costmodel::MeasuredCostModel;
 use flexflow::device::{clusters, DeviceKind, Topology};
@@ -55,8 +65,9 @@ fn usage() -> ExitCode {
         "usage:\n  flexflow models\n  flexflow search <model> [--gpus N] \
          [--cluster p100|k80|PRESET] [--evals N] [--seed N] [--out FILE]\n                \
          [--chains K] [--exchange-every N] [--microbatches M] [--warm FILE]\n            \
-         [--legacy] [--verbose]\n  flexflow simulate <model> [--gpus N] \
-         [--cluster p100|k80|PRESET] [--strategy FILE] [--microbatches M]\n  flexflow \
+         [--param-sync search|allreduce|zero1:K|ps:D] [--legacy] [--verbose]\n  flexflow \
+         simulate <model> [--gpus N] [--cluster p100|k80|PRESET] [--strategy FILE]\n     \
+         [--microbatches M] [--param-sync allreduce|zero1:K|ps:D]\n  flexflow \
          baselines <model> [--gpus N] [--cluster p100|k80|PRESET]\n  flexflow serve \
          [--socket PATH] [--workers N] [--cache FILE] [--microbatches M] [--oneshot]\n\
          \npresets are hierarchical clusters named <kind>x<gpus>-ib, e.g. {}",
@@ -96,8 +107,20 @@ struct Options {
     /// `--microbatches M`: `None` when the flag was absent (so `simulate`
     /// can tell "default off" from an explicit 1), capped max for search.
     microbatches: Option<u64>,
+    /// `--param-sync MODE`: `None` when absent (pre-PR8 behaviour).
+    param_sync: Option<ParamSyncFlag>,
     /// `--warm FILE`: strategy file seeding the search.
     warm: Option<String>,
+}
+
+/// What `--param-sync` asked for.
+#[derive(Clone, Copy)]
+enum ParamSyncFlag {
+    /// Open the sync axis to the optimizer without fixing a default.
+    Search,
+    /// Override every layer's default mode (the axis still opens under
+    /// `search`; `simulate` applies it verbatim).
+    Fixed(ParamSync),
 }
 
 fn parse(args: &[String]) -> Option<Options> {
@@ -114,6 +137,7 @@ fn parse(args: &[String]) -> Option<Options> {
         exchange_every: 256,
         legacy: false,
         microbatches: None,
+        param_sync: None,
         warm: None,
     };
     let mut flags: HashMap<String, String> = HashMap::new();
@@ -192,6 +216,19 @@ fn parse(args: &[String]) -> Option<Options> {
             return None;
         }
         o.microbatches = Some(m);
+    }
+    if let Some(v) = flags.get("--param-sync") {
+        o.param_sync = Some(if v == "search" {
+            ParamSyncFlag::Search
+        } else {
+            match ParamSync::parse(v) {
+                Ok(mode) => ParamSyncFlag::Fixed(mode),
+                Err(e) => {
+                    eprintln!("--param-sync: {e}");
+                    return None;
+                }
+            }
+        });
     }
     // Contradictory combinations are rejected instead of silently
     // picking a winner: the legacy sequential driver has exactly one
@@ -359,8 +396,20 @@ fn main() -> ExitCode {
             let dp = Strategy::data_parallel(&graph, &topo);
             let ex = expert::strategy(&graph, &topo);
             let max_microbatches = o.microbatches.unwrap_or(1);
+            if let Some(ParamSyncFlag::Fixed(ParamSync::ParamServer { server_device })) =
+                o.param_sync
+            {
+                if server_device >= topo.num_devices() {
+                    eprintln!(
+                        "--param-sync ps:{server_device} names a device outside the \
+                         {}-GPU cluster",
+                        topo.num_devices()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
             println!(
-                "searching {} on {} x {} ({} ops, {} evals, {}{})...",
+                "searching {} on {} x {} ({} ops, {} evals, {}{}{})...",
                 o.model,
                 o.gpus,
                 o.cluster.label(),
@@ -375,13 +424,18 @@ fn main() -> ExitCode {
                     format!(", up to {max_microbatches} microbatches")
                 } else {
                     String::new()
+                },
+                match o.param_sync {
+                    None => String::new(),
+                    Some(ParamSyncFlag::Search) => ", sync axis open".to_string(),
+                    Some(ParamSyncFlag::Fixed(mode)) => format!(", sync axis open from {mode}"),
                 }
             );
             // --warm replaces the default seeds entirely: the search never
             // returns worse than an initial candidate, so refining an
             // exported strategy (e.g. re-searching it with pipelining
             // enabled) is monotone by construction.
-            let initials: Vec<Strategy> = match &o.warm {
+            let mut initials: Vec<Strategy> = match &o.warm {
                 None => vec![dp.clone(), ex.clone()],
                 Some(path) => match load_strategy(path, &graph, &topo) {
                     Ok(s) => vec![s],
@@ -391,10 +445,21 @@ fn main() -> ExitCode {
                     }
                 },
             };
+            // A concrete --param-sync mode overrides the default on every
+            // initial candidate; the axis then stays open so the search
+            // can still retune individual layers away from it.
+            if let Some(ParamSyncFlag::Fixed(mode)) = o.param_sync {
+                initials = initials
+                    .into_iter()
+                    .map(|s| s.with_param_sync_everywhere(mode))
+                    .collect();
+            }
+            let param_sync_axis = o.param_sync.is_some();
             let budget = Budget::evaluations(o.evals);
             let r: SearchResult = if o.legacy {
                 let mut opt = McmcOptimizer::new(o.seed);
                 opt.max_microbatches = max_microbatches;
+                opt.param_sync = param_sync_axis;
                 opt.search(
                     &graph,
                     &topo,
@@ -404,17 +469,19 @@ fn main() -> ExitCode {
                     SimConfig::default(),
                 )
             } else {
-                let mut ps = ParallelSearch::with_chains(o.seed, o.chains);
-                ps.exchange_every = o.exchange_every;
-                ps.max_microbatches = max_microbatches;
-                ps.search(
-                    &graph,
-                    &topo,
-                    &cost,
-                    &initials,
-                    budget,
-                    SimConfig::default(),
-                )
+                SearchRequest::new(o.seed)
+                    .chains(o.chains)
+                    .exchange_every(o.exchange_every)
+                    .max_microbatches(max_microbatches)
+                    .param_sync(param_sync_axis)
+                    .run(
+                        &graph,
+                        &topo,
+                        &cost,
+                        &initials,
+                        budget,
+                        SimConfig::default(),
+                    )
             };
             report("data parallelism", &graph, &topo, &dp);
             report("expert", &graph, &topo, &ex);
@@ -424,6 +491,9 @@ fn main() -> ExitCode {
                     "pipeline: best strategy uses {} microbatches",
                     r.best.microbatches()
                 );
+            }
+            if r.best.has_custom_param_sync() {
+                println!("param-sync: best strategy departs from all-reduce");
             }
             if o.verbose {
                 let t = r.telemetry;
@@ -513,6 +583,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 s.set_microbatches(m);
+            }
+            match o.param_sync {
+                None => {}
+                Some(ParamSyncFlag::Search) => {
+                    eprintln!(
+                        "--param-sync search only applies to the search subcommand; \
+                         simulate needs a concrete mode (allreduce|zero1:K|ps:D)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(ParamSyncFlag::Fixed(mode)) => {
+                    if let ParamSync::ParamServer { server_device } = mode {
+                        if server_device >= topo.num_devices() {
+                            eprintln!(
+                                "--param-sync ps:{server_device} names a device outside \
+                                 the {}-GPU cluster",
+                                topo.num_devices()
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    s = s.with_param_sync_everywhere(mode);
+                }
             }
             report("simulated", &graph, &topo, &s);
             ExitCode::SUCCESS

@@ -635,3 +635,133 @@ fn pre_pipeline_strategy_files_still_load() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn param_sync_search_exports_modes_and_simulate_accepts_them() {
+    let dir = std::env::temp_dir().join(format!("flexflow-cli-psync-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("zero1.json");
+
+    // A fixed --param-sync mode seeds every candidate with it and opens
+    // the sync axis; the export carries the per-op mode tokens.
+    let out = stdout_of(&flexflow(&[
+        "search",
+        "lenet",
+        "--evals",
+        "20",
+        "--seed",
+        "9",
+        "--chains",
+        "1",
+        "--param-sync",
+        "zero1:4",
+        "--out",
+        path.to_str().unwrap(),
+    ]));
+    assert!(
+        out.contains("sync axis open from zero1:4"),
+        "search banner missing the sync-axis note:\n{out}"
+    );
+    assert!(
+        out.contains("param-sync: best strategy departs from all-reduce"),
+        "zero1-seeded search should report a custom sync layout:\n{out}"
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        text.contains("\"param_sync\""),
+        "export missing param_sync:\n{text}"
+    );
+    let dump: flexflow::core::strategy_io::StrategyDump =
+        serde_json::from_str(&text).expect("param-sync strategy file parses");
+    assert!(!dump.param_sync.is_empty());
+    assert!(
+        dump.param_sync.iter().any(|t| t.starts_with("zero1:")),
+        "expected zero1 tokens in {:?}",
+        dump.param_sync
+    );
+
+    // Simulate loads the file, and a concrete --param-sync override works.
+    let sim = stdout_of(&flexflow(&[
+        "simulate",
+        "lenet",
+        "--strategy",
+        path.to_str().unwrap(),
+    ]));
+    assert!(parse_throughput(sim.lines().next().unwrap()) > 0.0);
+    let sim = stdout_of(&flexflow(&["simulate", "lenet", "--param-sync", "ps:1"]));
+    assert!(parse_throughput(sim.lines().next().unwrap()) > 0.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn param_sync_flag_rejects_bad_modes() {
+    // Unknown mode grammar.
+    let out = flexflow(&["search", "lenet", "--evals", "5", "--param-sync", "zero9:4"]);
+    assert!(!out.status.success(), "zero9:4 must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown param-sync mode"), "stderr:\n{err}");
+
+    // Parameter-server device outside the cluster.
+    let out = flexflow(&["search", "lenet", "--evals", "5", "--param-sync", "ps:99"]);
+    assert!(
+        !out.status.success(),
+        "ps:99 on a 4-GPU cluster must be rejected"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("outside the 4-GPU cluster"), "stderr:\n{err}");
+
+    // `search` is a search-only value; simulate needs a concrete mode.
+    let out = flexflow(&["simulate", "lenet", "--param-sync", "search"]);
+    assert!(
+        !out.status.success(),
+        "simulate --param-sync search must be rejected"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("only applies to the search subcommand"),
+        "stderr:\n{err}"
+    );
+}
+
+#[test]
+fn pre_param_sync_strategy_files_still_load() {
+    // Strategy files written before the `param_sync` field existed must
+    // keep importing (defaulting to all-reduce everywhere). The field is
+    // a multi-line array in pretty output, so fabricate the old format by
+    // dropping the key from the parsed value rather than filtering lines.
+    let dir = std::env::temp_dir().join(format!("flexflow-cli-v2strat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("v2.json");
+    let fresh = dir.join("fresh.json");
+    stdout_of(&flexflow(&[
+        "search",
+        "lenet",
+        "--evals",
+        "5",
+        "--seed",
+        "1",
+        "--param-sync",
+        "zero1:2",
+        "--out",
+        fresh.to_str().unwrap(),
+    ]));
+    let text = std::fs::read_to_string(&fresh).unwrap();
+    assert!(text.contains("\"param_sync\""));
+    let mut v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    if let serde_json::Value::Object(entries) = &mut v {
+        entries.retain(|(k, _)| k != "param_sync");
+    }
+    let v2 = serde_json::to_string(&v).unwrap();
+    assert!(!v2.contains("param_sync"));
+    std::fs::write(&path, v2).unwrap();
+    let out = stdout_of(&flexflow(&[
+        "simulate",
+        "lenet",
+        "--strategy",
+        path.to_str().unwrap(),
+    ]));
+    assert!(parse_throughput(out.lines().next().unwrap()) > 0.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
