@@ -1,6 +1,6 @@
 //! Baseline parallelization approaches the paper compares against (§8.2):
 //!
-//! - [`model_parallel`] — contiguous layer partitions, one device each
+//! - [`model_parallel()`] — contiguous layer partitions, one device each
 //!   (§2, "Model parallelism");
 //! - [`expert`] — the expert-designed strategies: "one weird trick" for
 //!   CNNs \[27\] and the per-node data parallelism + per-layer device

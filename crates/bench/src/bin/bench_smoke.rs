@@ -1,6 +1,6 @@
 //! CI perf smoke + regression gate.
 //!
-//! Six workloads, one artifact (`BENCH_pr8.json` by default):
+//! Seven workloads, one artifact (`BENCH_pr9.json` by default):
 //!
 //! 1. `proposal_evaluation` (full vs delta simulation, see
 //!    [`flexflow_bench::proposal_bench`]) once at 4/8/16 devices — the
@@ -23,7 +23,12 @@
 //!    [`flexflow_bench::param_sync_bench`]) — ZeRO-1-sharded vs
 //!    all-reduce best search cost and per-device optimizer-state peak on
 //!    gpt_medium@64, the PR 8 trajectory (deterministic: single-chain
-//!    searches under evaluation budgets).
+//!    searches under evaluation budgets);
+//! 7. `memory` (memory-aware search, see
+//!    [`flexflow_bench::memory_bench`]) — the OOM-infeasible → feasible
+//!    flip on gpt_medium@16 under the P100's 16 GB budgets, the PR 9
+//!    trajectory (deterministic: a single-chain greedy budgeted polish of
+//!    the recompute + ZeRO-1 structural seed).
 //!
 //! With `--check` the binary also gates the numbers and exits non-zero on
 //! a regression:
@@ -53,6 +58,11 @@
 //!   simulated cost than the best all-reduce-only strategy on
 //!   gpt_medium@64 *and* at least halve the per-device optimizer-state
 //!   peak (the acceptance bar for the parameter-sync dimension);
+//! - the memory flip must hold both ways: data-parallel gpt_medium@16
+//!   must **exceed** the 16 GB budget (the cell exists because the model
+//!   does not fit) and the budgeted-search winner must **fit** it while
+//!   actually recomputing somewhere (the acceptance bar for the memory
+//!   dimension);
 //! - when a baseline artifact exists (`BENCH_SMOKE_BASELINE`, default
 //!   the committed `BENCH_pr5.json`), the *dimensionless ratios* —
 //!   delta-vs-full per device count and 4-chain-vs-1-chain throughput —
@@ -67,13 +77,14 @@
 //! `BENCH_SMOKE_PIPELINE_EVALS` (pipeline comparison budget, default
 //! 1500), `BENCH_SMOKE_SCALING_SAMPLES` (timed samples per sim_scaling
 //! cell, default 9), `BENCH_SMOKE_SYNC_EVALS` (param_sync comparison
-//! budget, default 160), `BENCH_SMOKE_BASELINE` (baseline path, default
-//! `BENCH_pr6.json`), `BENCH_SMOKE_OUT` (output path, default
-//! `BENCH_pr8.json`).
+//! budget, default 160), `BENCH_SMOKE_MEM_EVALS` (memory-flip polish
+//! budget, default 120), `BENCH_SMOKE_BASELINE` (baseline path, default
+//! `BENCH_pr8.json`), `BENCH_SMOKE_OUT` (output path, default
+//! `BENCH_pr9.json`).
 
 use flexflow_bench::{
-    param_sync_bench, pipeline_bench, proposal_bench, search_throughput, serve_throughput,
-    sim_scaling,
+    memory_bench, param_sync_bench, pipeline_bench, proposal_bench, search_throughput,
+    serve_throughput, sim_scaling,
 };
 use flexflow_core::sim::{SimConfig, Simulator};
 use flexflow_core::strategy::Strategy;
@@ -123,6 +134,9 @@ struct Report {
     /// Sync-axis vs all-reduce best search cost and optimizer-state peak
     /// on gpt_medium@64 (PR 8).
     param_sync: param_sync_bench::SyncComparison,
+    /// OOM-infeasible → feasible flip on gpt_medium@16 under 16 GB
+    /// budgets (PR 9).
+    memory: memory_bench::MemoryComparison,
 }
 
 /// The slice of a previous report the cross-run gate compares against —
@@ -222,9 +236,14 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(160)
         .max(24);
+    let mem_evals: u64 = std::env::var("BENCH_SMOKE_MEM_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120)
+        .max(24);
     let baseline_path =
-        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr6.json".into());
-    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr8.json".into());
+        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr8.json".into());
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr9.json".into());
     let cores = flexflow_core::default_chains();
 
     // ---- workload 1: proposal_evaluation (full vs delta) ----
@@ -408,6 +427,31 @@ fn main() -> ExitCode {
         psync.synced_opt_state_peak_bytes as f64 / 1e6
     );
 
+    // ---- workload 7: memory (OOM-infeasible -> feasible flip) ----
+    println!(
+        "\nbench smoke: memory (budgeted search on gpt_medium@16 under 16 GB, \
+         {mem_evals} polish evals)"
+    );
+    let mem = memory_bench::gpt_medium_16gpu(mem_evals, 1);
+    println!(
+        "data parallel peaks at {:.1} MB/device ({}); fitted winner peaks at {:.1} MB/device \
+         ({}) under a {:.1} MB budget",
+        mem.dp_peak_bytes as f64 / (1u64 << 20) as f64,
+        if mem.dp_feasible { "fits" } else { "OOM" },
+        mem.fitted_peak_bytes as f64 / (1u64 << 20) as f64,
+        if mem.fitted_feasible { "fits" } else { "OOM" },
+        mem.budget_bytes as f64 / (1u64 << 20) as f64
+    );
+    println!(
+        "fitting costs {:.2} ms/iter vs the un-runnable {:.2} ms/iter ({:.2}x; \
+         {} recomputed ops, custom sync: {})",
+        mem.fitted_cost_us / 1e3,
+        mem.dp_cost_us / 1e3,
+        mem.slowdown_ratio,
+        mem.recompute_ops,
+        mem.custom_sync
+    );
+
     // ---- artifact ----
     let report = Report {
         unix_epoch_secs: std::time::SystemTime::now()
@@ -433,7 +477,11 @@ fn main() -> ExitCode {
                device doubling. param_sync: single-chain sync-axis search on gpt_medium@64 \
                warm-started from the better of the all-reduce best and its ZeRO-1-everywhere \
                rebuild (deterministic; the gate demands a strict cost improvement and a \
-               >= 2x lower per-device optimizer-state peak)"
+               >= 2x lower per-device optimizer-state peak). memory: single-chain greedy \
+               budgeted polish on gpt_medium@16 under the P100's 16 GB per-device budgets, \
+               warm-started from data parallelism with recompute everywhere and ZeRO-1 \
+               sharding (deterministic; the gate demands the OOM-infeasible -> feasible \
+               flip: plain data parallelism must overflow, the winner must fit)"
             .into(),
         results,
         search_throughput: search,
@@ -444,6 +492,7 @@ fn main() -> ExitCode {
         sim_scaling: scaling.clone(),
         sim_scaling_growth_per_doubling: scaling_growth.clone(),
         param_sync: psync.clone(),
+        memory: mem.clone(),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json).expect("write bench smoke artifact");
@@ -544,6 +593,27 @@ fn main() -> ExitCode {
         failures.push("winning synced strategy never departs from all-reduce".into());
     }
 
+    // Memory gate: the flip must hold both ways — the cell exists because
+    // plain data parallelism does not fit, and the budgeted search must
+    // turn it into a strategy that does, using the recompute lever.
+    if mem.dp_feasible {
+        failures.push(format!(
+            "data-parallel gpt_medium@16 fits the budget ({} <= {} bytes/device); \
+             the flip cell has lost its OOM-infeasible side",
+            mem.dp_peak_bytes, mem.budget_bytes
+        ));
+    }
+    if !mem.fitted_feasible {
+        failures.push(format!(
+            "budgeted search failed to fit gpt_medium@16: winner peaks at {} \
+             bytes/device over a {} byte budget",
+            mem.fitted_peak_bytes, mem.budget_bytes
+        ));
+    }
+    if mem.recompute_ops == 0 {
+        failures.push("fitted winner never recomputes (gate: recompute_ops > 0)".into());
+    }
+
     // Cross-run gate: dimensionless ratios vs the committed baseline
     // artifact, with a 20% noise allowance.
     match std::fs::read_to_string(&baseline_path) {
@@ -623,7 +693,8 @@ fn main() -> ExitCode {
         println!(
             "  PASS: delta-vs-full >= 1.5x at 4/8/16 devices, 4-chain {tp_ratio:.2}x, \
              hits {:.0} req/s at 0 evals, warm ratio {:.3}, pipeline ratio {:.3} (m = {}), \
-             scaling growth {} per doubling, sync ratio {:.3} at {:.1}x less opt state",
+             scaling growth {} per doubling, sync ratio {:.3} at {:.1}x less opt state, \
+             memory flip OOM->fit at {:.1} MB/device",
             hits.requests_per_s,
             wvc.warm_ratio,
             pipeline.cost_ratio,
@@ -635,7 +706,8 @@ fn main() -> ExitCode {
                 .join("/"),
             psync.cost_ratio,
             psync.baseline_opt_state_peak_bytes as f64
-                / psync.synced_opt_state_peak_bytes.max(1) as f64
+                / psync.synced_opt_state_peak_bytes.max(1) as f64,
+            mem.fitted_peak_bytes as f64 / (1u64 << 20) as f64
         );
         ExitCode::SUCCESS
     } else {

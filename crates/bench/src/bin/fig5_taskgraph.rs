@@ -58,6 +58,7 @@ fn dump(
             TaskKind::Compute { op, k } => format!("{}:{}", g.op(op).name(), k + 1),
             TaskKind::Comm { .. } => "xfer".to_string(),
             TaskKind::SyncComm { .. } => "sync".to_string(),
+            TaskKind::Recompute { op, k } => format!("rc:{}:{}", g.op(op).name(), k + 1),
         };
         let (r, s, e) = state.times(id);
         if t.exe_us == 0.0 {

@@ -1,0 +1,37 @@
+//! Renders the EXPERIMENTS.md memory table: peak per-device memory of
+//! data parallelism on the transformer rows across the paper's P100
+//! clusters, with the two memory levers — activation recomputation and
+//! ZeRO-1 optimizer-state sharding — toggled per column, and each cell
+//! verdicted against the P100's 16 GB.
+//!
+//! ```sh
+//! cargo run --release -p flexflow-bench --bin mem_table
+//! ```
+
+use flexflow_bench::memory_bench::{lever_cell, MemoryCell};
+
+fn main() {
+    let mut cells: Vec<MemoryCell> = Vec::new();
+    println!(
+        "{:<11} {:>5} {:>20} {:>12} {:>10} {:>8}",
+        "model", "gpus", "levers", "peak MB/dev", "ms/iter", "fits?"
+    );
+    for model in ["rnnlm", "gpt_small", "gpt_medium"] {
+        for gpus in [4usize, 16] {
+            for (recompute, zero1) in [(false, false), (false, true), (true, false), (true, true)] {
+                let c = lever_cell(model, gpus, recompute, zero1);
+                println!(
+                    "{:<11} {:>5} {:>20} {:>12.1} {:>10.2} {:>8}",
+                    c.model,
+                    c.gpus,
+                    c.levers,
+                    c.peak_bytes as f64 / (1u64 << 20) as f64,
+                    c.cost_us / 1e3,
+                    if c.feasible { "yes" } else { "OOM" }
+                );
+                cells.push(c);
+            }
+        }
+    }
+    flexflow_bench::write_json("mem_table", &cells);
+}

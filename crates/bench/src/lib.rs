@@ -949,6 +949,202 @@ pub mod param_sync_bench {
     }
 }
 
+/// Workload + measurement helpers for the `memory` benchmark (the
+/// memory-aware-search half of `bench_smoke`, the PR 9 trajectory): can
+/// the budgeted search fit a model that is OOM-infeasible under plain
+/// data parallelism onto the same cluster?
+///
+/// The flip is deterministic, mirroring [`param_sync_bench`]: the
+/// data-parallel strategy's peak per-device memory is checked against the
+/// cluster's hardware budgets (gated **infeasible** — the cell exists
+/// because the model does not fit), then a structural seed — the same
+/// placement with activation recomputation on every op and the optimizer
+/// state ZeRO-1-sharded across the replicas — is polished by a **greedy
+/// budgeted search** with the recompute and sync axes open and the
+/// per-device budget steering acceptance. The `--check` gate demands the
+/// polished winner actually fit (gated **feasible**): memory-aware search
+/// must turn an un-runnable workload into a runnable one, the tentpole
+/// claim of the memory axis.
+pub mod memory_bench {
+    use flexflow_core::memory::{self, MemBudget};
+    use flexflow_core::optimizer::{AcceptanceRule, Budget, SearchRequest};
+    use flexflow_core::soap::ParamSync;
+    use flexflow_core::strategy::Strategy;
+    use flexflow_costmodel::MeasuredCostModel;
+    use flexflow_device::Topology;
+    use flexflow_opgraph::{zoo, OpGraph};
+    use serde::Serialize;
+
+    /// Outcome of one OOM-infeasible → feasible flip.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct MemoryComparison {
+        /// Model the flip ran on.
+        pub model: String,
+        /// Devices of the cluster.
+        pub gpus: usize,
+        /// Smallest per-device budget of the cell (bytes).
+        pub budget_bytes: u64,
+        /// Evaluation budget of the polish search.
+        pub evals: u64,
+        /// Peak per-device bytes of plain data parallelism.
+        pub dp_peak_bytes: u64,
+        /// Whether data parallelism fits the budget (gated `false`).
+        pub dp_feasible: bool,
+        /// Peak per-device bytes of the budgeted-search winner.
+        pub fitted_peak_bytes: u64,
+        /// Whether the winner fits the budget (gated `true`).
+        pub fitted_feasible: bool,
+        /// Simulated iteration time of data parallelism (µs) — what the
+        /// model *would* cost if it fit, the flip's reference point.
+        pub dp_cost_us: f64,
+        /// Simulated iteration time of the fitted winner (µs).
+        pub fitted_cost_us: f64,
+        /// `fitted / dp` — the compute price paid for fitting (recompute
+        /// re-runs forward passes; ≥ 1 is expected, not gated).
+        pub slowdown_ratio: f64,
+        /// Ops the winner recomputes.
+        pub recompute_ops: usize,
+        /// Whether the winner departs from all-reduce anywhere.
+        pub custom_sync: bool,
+    }
+
+    /// Runs the flip on one `(graph, topo, budget)` workload.
+    pub fn compare(
+        model: &str,
+        graph: &OpGraph,
+        topo: &Topology,
+        budget: &MemBudget,
+        evals: u64,
+        seed: u64,
+    ) -> MemoryComparison {
+        let cost = MeasuredCostModel::paper_default();
+        let cfg = flexflow_core::SimConfig::default();
+        let gpus = topo.num_devices();
+        let dp = Strategy::data_parallel(graph, topo);
+        let fp_dp = memory::footprint(graph, topo, &dp);
+        let dp_feasible = memory::budget_violation(&fp_dp, topo, budget).is_none();
+
+        // The structural seed: same placement, activations recomputed
+        // everywhere, optimizer state sharded across the replicas — the
+        // two memory levers at their maximum settings.
+        let seeded = dp
+            .clone()
+            .with_recompute_everywhere(true)
+            .with_param_sync_everywhere(ParamSync::ShardedZero1 {
+                shards: gpus as u64,
+            });
+        let polished = SearchRequest::new(seed)
+            .chains(1)
+            .param_sync(true)
+            .recompute(true)
+            .mem_budget(Some(budget.clone()))
+            .acceptance(AcceptanceRule::Greedy)
+            .run_warm(
+                graph,
+                topo,
+                &cost,
+                seeded,
+                Budget {
+                    max_evals: evals,
+                    max_seconds: f64::INFINITY,
+                    patience_fraction: 1.0,
+                },
+                cfg,
+            );
+        let fp_fit = memory::footprint(graph, topo, &polished.best);
+        // Physical simulated costs (never the search's penalized
+        // objective): the flip compares execution times.
+        let dp_cost_us = super::cost_of(graph, topo, &cost, &dp);
+        let fitted_cost_us = super::cost_of(graph, topo, &cost, &polished.best);
+        MemoryComparison {
+            model: model.to_string(),
+            gpus,
+            budget_bytes: topo.device_ids().map(|d| budget.cap(d)).min().unwrap_or(0),
+            evals,
+            dp_peak_bytes: fp_dp.peak_with_state().1,
+            dp_feasible,
+            fitted_peak_bytes: fp_fit.peak_with_state().1,
+            fitted_feasible: memory::budget_violation(&fp_fit, topo, budget).is_none(),
+            dp_cost_us,
+            fitted_cost_us,
+            slowdown_ratio: fitted_cost_us / dp_cost_us,
+            recompute_ops: polished.best.recomputes().iter().filter(|&&on| on).count(),
+            custom_sync: polished.best.has_custom_param_sync(),
+        }
+    }
+
+    /// The `bench_smoke` cell: gpt_medium (batch 64) on the paper's
+    /// 16-GPU P100 cluster under the hardware's own 16 GB budgets.
+    /// Data-parallel gpt_medium stores every layer's activations for the
+    /// whole batch and replicates the Adam state — ~17.7 GB per device,
+    /// past 16 GB — while the recomputing, ZeRO-1-sharded winner fits
+    /// with room to spare (~9.7 GB). On 4 GPUs no lever helps: the
+    /// replicated weights alone overflow, which is why the flip cell
+    /// needs the wider cluster.
+    pub fn gpt_medium_16gpu(evals: u64, seed: u64) -> MemoryComparison {
+        let topo = super::paper_cluster(flexflow_device::DeviceKind::P100, 16);
+        let budget = MemBudget::device_defaults(&topo);
+        compare(
+            "gpt_medium",
+            &zoo::gpt_medium(64),
+            &topo,
+            &budget,
+            evals,
+            seed,
+        )
+    }
+
+    /// One row of the EXPERIMENTS.md memory table: the data-parallel
+    /// placement with the given memory levers applied everywhere.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct MemoryCell {
+        /// Model of the cell.
+        pub model: String,
+        /// Devices of the P100 cluster.
+        pub gpus: usize,
+        /// The levers: `stored|recompute` × `allreduce|zero1`.
+        pub levers: String,
+        /// Peak per-device bytes (weights + optimizer state + live
+        /// activations).
+        pub peak_bytes: u64,
+        /// Simulated iteration time (µs).
+        pub cost_us: f64,
+        /// Whether the cell fits the P100's 16 GB.
+        pub feasible: bool,
+    }
+
+    /// Measures one `(model, gpus, recompute, zero1)` cell on the paper's
+    /// P100 cluster family under the hardware's own budgets.
+    pub fn lever_cell(model: &str, gpus: usize, recompute: bool, zero1: bool) -> MemoryCell {
+        let graph = zoo::by_name(model, 64);
+        let topo = super::paper_cluster(flexflow_device::DeviceKind::P100, gpus);
+        let budget = MemBudget::device_defaults(&topo);
+        let cost = MeasuredCostModel::paper_default();
+        let mut s = Strategy::data_parallel(&graph, &topo);
+        if recompute {
+            s = s.with_recompute_everywhere(true);
+        }
+        if zero1 {
+            s = s.with_param_sync_everywhere(ParamSync::ShardedZero1 {
+                shards: gpus as u64,
+            });
+        }
+        let fp = memory::footprint(&graph, &topo, &s);
+        MemoryCell {
+            model: model.to_string(),
+            gpus,
+            levers: format!(
+                "{}+{}",
+                if recompute { "recompute" } else { "stored" },
+                if zero1 { "zero1" } else { "allreduce" }
+            ),
+            peak_bytes: fp.peak_with_state().1,
+            cost_us: super::cost_of(&graph, &topo, &cost, &s),
+            feasible: memory::budget_violation(&fp, &topo, &budget).is_none(),
+        }
+    }
+}
+
 /// Renders one aligned text table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

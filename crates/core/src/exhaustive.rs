@@ -3,7 +3,7 @@
 //! discovered strategies with the global optimal strategies for small
 //! executions", using depth-first search with A*-style pruning).
 //!
-//! The enumerated space is [`ConfigSpace::Canonical`] (every legal degree
+//! The enumerated space is [`crate::soap::ConfigSpace::Canonical`] (every legal degree
 //! vector paired with every contiguous device block) — the same space the
 //! local-optimality neighborhood uses. The lower bound is admissible: any
 //! schedule's makespan is at least the longest dependency chain where each

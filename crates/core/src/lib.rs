@@ -41,8 +41,27 @@
 //! );
 //! assert!(result.best_cost_us > 0.0);
 //! ```
+//!
+//! # Transactional proposal evaluation
+//!
+//! Both drivers evaluate proposals through [`Simulator`]'s speculative
+//! `apply*` / `commit` / `rollback` API. The contract: every `apply*`
+//! opens one transaction on the task graph and the timeline, each
+//! mutation journals the *first-touch* prior state of whatever it
+//! overwrites, and `rollback` replays the journals backwards — restoring
+//! graph, timeline and strategy **bit-for-bit** (pinned by the
+//! `rollback_restores_*` tests). Rejected MCMC proposals therefore cost
+//! one delta repair plus a journal replay instead of a rebuild.
+//!
+//! # Memory as a search constraint
+//!
+//! [`memory`] estimates each device's peak bytes (weights + optimizer
+//! state + live activations) and [`memory::check_budget`] verdicts a
+//! strategy against per-device budgets; the search penalizes infeasible
+//! proposals and the per-op recompute bit ([`Strategy::recompute`])
+//! trades forward FLOPs for activation memory.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 pub mod exhaustive;
 pub mod memory;
 pub mod metrics;

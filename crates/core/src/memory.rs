@@ -1,4 +1,4 @@
-//! Device-memory feasibility checking.
+//! Device-memory feasibility checking and search-time budgets.
 //!
 //! The FlexFlow runtime can only execute a strategy if every device can
 //! hold its share of the model: parameters of the tasks placed on it,
@@ -7,14 +7,42 @@
 //! — the check real systems apply before launching (and one reason pure
 //! data parallelism stops scaling for very large models: every device
 //! holds a full replica).
+//!
+//! Since PR 9 memory is also a *search* constraint: a [`MemBudget`] caps
+//! every device's **peak** bytes — weights + gradients + optimizer state
+//! (placed by each layer's [`ParamSync`] mode, so ZeRO-1 sharding lowers
+//! it) + live activations — and [`check_budget`] reports the first
+//! overflowing device. Strategies can trade compute for memory with the
+//! per-op recompute bit ([`Strategy::recompute`]): a recomputing op stores
+//! no activations across the backward pass, only its largest transient
+//! microbatch slab, which is what the accounting below charges.
 
 use crate::soap::{self, ParamSync};
 use crate::strategy::Strategy;
 use flexflow_costmodel::sync_cost;
 use flexflow_device::{DeviceId, Topology};
-use flexflow_opgraph::OpGraph;
+use flexflow_opgraph::{OpGraph, OpKind};
+use std::fmt;
 
 /// Estimated per-device memory footprint of a strategy, in bytes.
+///
+/// ```
+/// use flexflow_core::{memory, Strategy};
+/// use flexflow_device::clusters;
+/// use flexflow_opgraph::zoo;
+///
+/// let graph = zoo::lenet(64);
+/// let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+/// let dp = Strategy::data_parallel(&graph, &topo);
+/// let fp = memory::footprint(&graph, &topo, &dp);
+/// // Data parallelism replicates the weights: every device carries them.
+/// assert!(fp.params.iter().all(|&b| b > 0));
+/// let (dev, bytes) = fp.peak();
+/// assert_eq!(fp.total(topo.device_id(dev)), bytes);
+/// // Recomputation drops stored activations, so peak memory never rises.
+/// let rc = dp.with_recompute_everywhere(true);
+/// assert!(memory::footprint(&graph, &topo, &rc).peak().1 <= bytes);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemoryFootprint {
     /// Parameter bytes per device (weights + a same-size gradient buffer).
@@ -56,6 +84,26 @@ impl MemoryFootprint {
             .max_by_key(|&(_, b)| b)
             .unwrap_or((0, 0))
     }
+
+    /// True peak bytes on a device: the working set *plus* the optimizer
+    /// state resident there — what a memory budget must cover.
+    pub fn total_with_state(&self, dev: DeviceId) -> u64 {
+        self.total(dev) + self.opt_state[dev.index()]
+    }
+
+    /// The most loaded device by [`MemoryFootprint::total_with_state`] and
+    /// its peak bytes.
+    pub fn peak_with_state(&self) -> (usize, u64) {
+        (0..self.params.len())
+            .map(|i| {
+                (
+                    i,
+                    self.params[i] + self.activations[i] + self.gathers[i] + self.opt_state[i],
+                )
+            })
+            .max_by_key(|&(_, b)| b)
+            .unwrap_or((0, 0))
+    }
 }
 
 /// Estimates the per-device footprint of `strategy`.
@@ -68,21 +116,40 @@ pub fn footprint(graph: &OpGraph, topo: &Topology, strategy: &Strategy) -> Memor
         opt_state: vec![0; n],
     };
     let elem = 4u64;
+    let m = strategy.microbatches().max(1);
+    // Largest transient recompute slab per device: recompute re-runs of
+    // distinct entries on one device execute serially, so only the biggest
+    // re-materialized slab is live at any moment.
+    let mut rc_transient = vec![0u64; n];
     for id in graph.ids() {
         let node = graph.op(id);
         let config = strategy.config(id);
+        // The recompute bit is inert on Input ops (the data loader stores
+        // no activations), matching the task-graph lowering.
+        let recompute = strategy.recompute(id) && !matches!(node.kind(), OpKind::Input { .. });
         for k in 0..config.num_tasks() {
             let dev = config.device(k).index();
             let tile = config.tile(node, k);
             // weights + gradients
             fp.params[dev] += 2 * node.params_for_tile(&tile) * elem;
-            // forward activation kept for the backward pass
-            fp.activations[dev] += tile.volume() * elem;
+            if recompute {
+                // Activations are dropped after the forward pass; the
+                // backward pass re-materializes one microbatch slab at a
+                // time, so only that slab is transiently live.
+                let slab = (tile.volume() * elem).div_ceil(m);
+                rc_transient[dev] = rc_transient[dev].max(slab);
+            } else {
+                // forward activation kept for the backward pass
+                fp.activations[dev] += tile.volume() * elem;
+            }
             // gathered input slices
             for rect in node.input_rects(&tile).into_iter().flatten() {
                 fp.gathers[dev] += rect.volume() * elem;
             }
         }
+    }
+    for (dev, &slab) in rc_transient.iter().enumerate() {
+        fp.activations[dev] += slab;
     }
     // Optimizer state, placed by each layer's sync mode (resolved from
     // the lowest-id member op, matching the task-graph builder).
@@ -141,6 +208,130 @@ pub fn footprint(graph: &OpGraph, topo: &Topology, strategy: &Strategy) -> Memor
         }
     }
     fp
+}
+
+/// Per-device memory budgets in bytes — the capacities a strategy's peak
+/// footprint ([`MemoryFootprint::total_with_state`]) must fit under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemBudget {
+    caps: Vec<u64>,
+}
+
+impl MemBudget {
+    /// A uniform budget of `mb` MiB on every device — the `--mem-budget
+    /// <MB>` CLI override.
+    pub fn uniform_mb(topo: &Topology, mb: u64) -> Self {
+        Self::uniform_bytes(topo, mb * (1 << 20))
+    }
+
+    /// A uniform budget of exactly `bytes` on every device (byte-granular
+    /// caps for tests and tooling; the CLI speaks MiB).
+    pub fn uniform_bytes(topo: &Topology, bytes: u64) -> Self {
+        Self {
+            caps: vec![bytes; topo.num_devices()],
+        }
+    }
+
+    /// Each device's hardware default: its [`flexflow_device::DeviceKind`]
+    /// capacity ([`flexflow_device::DeviceKind::default_memory_gb`]).
+    pub fn device_defaults(topo: &Topology) -> Self {
+        Self {
+            caps: topo
+                .device_ids()
+                .map(|d| {
+                    let dev = topo.device(d);
+                    (dev.kind.default_memory_gb() * (1u64 << 30) as f64) as u64
+                })
+                .collect(),
+        }
+    }
+
+    /// The budget of one device in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is out of range for the topology the budget
+    /// was built against.
+    pub fn cap(&self, dev: DeviceId) -> u64 {
+        self.caps[dev.index()]
+    }
+}
+
+/// A device whose peak footprint exceeds its budget — the OOM-infeasible
+/// verdict of [`check_budget`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OomViolation {
+    /// The overflowing device.
+    pub device: DeviceId,
+    /// Peak bytes the strategy needs there (working set + optimizer
+    /// state).
+    pub needed: u64,
+    /// The device's budget in bytes.
+    pub capacity: u64,
+}
+
+impl OomViolation {
+    /// Bytes over budget.
+    pub fn overflow(&self) -> u64 {
+        self.needed - self.capacity
+    }
+}
+
+impl fmt::Display for OomViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: needs {:.1} MB, budget {:.1} MB",
+            self.device,
+            self.needed as f64 / (1 << 20) as f64,
+            self.capacity as f64 / (1 << 20) as f64
+        )
+    }
+}
+
+/// Checks a strategy's **peak** per-device footprint (working set plus
+/// optimizer state) against a [`MemBudget`], returning the worst
+/// overflowing device.
+///
+/// # Errors
+///
+/// Returns the device with the largest overflow when any device exceeds
+/// its budget.
+pub fn check_budget(
+    graph: &OpGraph,
+    topo: &Topology,
+    strategy: &Strategy,
+    budget: &MemBudget,
+) -> Result<(), OomViolation> {
+    let fp = footprint(graph, topo, strategy);
+    budget_violation(&fp, topo, budget).map_or(Ok(()), Err)
+}
+
+/// The worst budget overflow of an already-computed footprint, if any —
+/// the allocation-free core of [`check_budget`] for callers that reuse the
+/// footprint (the search accept step).
+pub fn budget_violation(
+    fp: &MemoryFootprint,
+    topo: &Topology,
+    budget: &MemBudget,
+) -> Option<OomViolation> {
+    let mut worst: Option<OomViolation> = None;
+    for dev in topo.device_ids() {
+        let needed = fp.total_with_state(dev);
+        let capacity = budget.cap(dev);
+        if needed > capacity
+            && worst
+                .as_ref()
+                .is_none_or(|w| needed - capacity > w.overflow())
+        {
+            worst = Some(OomViolation {
+                device: dev,
+                needed,
+                capacity,
+            });
+        }
+    }
+    worst
 }
 
 /// Checks that every device's footprint fits its memory.
@@ -292,6 +483,59 @@ mod tests {
         assert_eq!(fp.opt_state[0], 0);
         assert_eq!(fp.opt_state[1], 0);
         assert_eq!(fp.opt_state[3], 0);
+    }
+
+    #[test]
+    fn recompute_drops_stored_activations_and_never_raises_peak() {
+        let g = zoo::alexnet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let dp = Strategy::data_parallel(&g, &topo);
+        let rc = dp.clone().with_recompute_everywhere(true);
+        let fp = footprint(&g, &topo, &dp);
+        let fp_rc = footprint(&g, &topo, &rc);
+        for d in 0..4 {
+            assert!(
+                fp_rc.activations[d] < fp.activations[d],
+                "device {d}: {} !< {}",
+                fp_rc.activations[d],
+                fp.activations[d]
+            );
+        }
+        assert!(fp_rc.peak_with_state().1 <= fp.peak_with_state().1);
+        // Weights, gathers and optimizer state are untouched by the bit.
+        assert_eq!(fp.params, fp_rc.params);
+        assert_eq!(fp.gathers, fp_rc.gathers);
+        assert_eq!(fp.opt_state, fp_rc.opt_state);
+    }
+
+    #[test]
+    fn budget_check_reports_worst_overflowing_device() {
+        let g = zoo::alexnet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let dp = Strategy::data_parallel(&g, &topo);
+        // A 1 MiB budget cannot hold AlexNet under data parallelism.
+        let tiny = MemBudget::uniform_mb(&topo, 1);
+        let err = check_budget(&g, &topo, &dp, &tiny).unwrap_err();
+        assert!(err.needed > err.capacity);
+        assert!(err.overflow() > 0);
+        assert!(err.to_string().contains("MB"));
+        // The hardware defaults (16 GiB Test devices) hold it comfortably.
+        let defaults = MemBudget::device_defaults(&topo);
+        assert_eq!(defaults.cap(topo.device_id(0)), 16 << 30);
+        assert!(check_budget(&g, &topo, &dp, &defaults).is_ok());
+    }
+
+    #[test]
+    fn microbatches_shrink_the_recompute_slab() {
+        let g = zoo::alexnet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let rc = Strategy::data_parallel(&g, &topo).with_recompute_everywhere(true);
+        let rc4 = rc.clone().with_microbatches(4);
+        let fp1 = footprint(&g, &topo, &rc);
+        let fp4 = footprint(&g, &topo, &rc4);
+        for d in 0..4 {
+            assert!(fp4.activations[d] <= fp1.activations[d]);
+        }
     }
 
     #[test]

@@ -104,6 +104,10 @@ impl SimMetrics {
                     m.comm_us += t.exe_us;
                     m.num_comm_tasks += 1;
                 }
+                TaskKind::Recompute { .. } => {
+                    m.compute_us += t.exe_us;
+                    m.num_compute_tasks += 1;
+                }
             }
         }
         m

@@ -21,6 +21,7 @@
 //!   time-to-target cutoff, and a deterministic round-synchronized
 //!   best-strategy exchange (a coarse parallel-tempering analogue).
 
+use crate::memory::{self, MemBudget};
 use crate::metrics::DeltaTelemetry;
 use crate::sim::{SimConfig, Simulator};
 use crate::soap::{self, ConfigSpace, ParamSync};
@@ -351,6 +352,7 @@ struct ChainParams {
     acceptance: AcceptanceRule,
     max_microbatches: u64,
     param_sync: bool,
+    recompute: bool,
 }
 
 /// Share of proposals spent on microbatch-count changes when pipelining
@@ -368,14 +370,38 @@ const MICROBATCH_PROPOSAL_ODDS: u64 = 8;
 /// that layer, so it deserves far more than a one-in-`|ops|` draw.
 const PARAM_SYNC_PROPOSAL_ODDS: u64 = 8;
 
+/// Share of proposals spent flipping one op's activation-recompute bit
+/// when the axis is enabled ([`SearchRequest::recompute`]): one in eight
+/// of the proposals the microbatch and param-sync branches pass over.
+/// Recompute trades forward FLOPs for activation memory, so it only pays
+/// off under a memory budget — but the flip must stay cheap to explore so
+/// budget-constrained chains can walk out of OOM territory quickly.
+const RECOMPUTE_PROPOSAL_ODDS: u64 = 8;
+
+/// Additive cost penalty (microseconds) for a strategy that overflows the
+/// caller's per-device memory budget, on top of
+/// [`OOM_PENALTY_PER_MIB_US`] per overflowing MiB. The base dwarfs every
+/// realistic makespan, so any feasible strategy beats any infeasible one,
+/// while the per-MiB term keeps the penalty monotone in the overflow — an
+/// infeasible chain still descends toward feasibility instead of
+/// random-walking on a flat plateau.
+const OOM_PENALTY_US: f64 = 1e12;
+
+/// Gradient of the OOM penalty: microseconds added per MiB of overflow.
+/// Steep enough that shrinking the overflow outweighs the compute time a
+/// recompute flip costs, shallow enough that the per-MiB terms never
+/// approach the feasible/infeasible gap [`OOM_PENALTY_US`] provides.
+const OOM_PENALTY_PER_MIB_US: f64 = 1e3;
+
 /// One step of the proposal distribution: one op's configuration is
 /// replaced (§6.2), or, when the respective axis is enabled, the
-/// strategy-wide microbatch count changes, or one weighted layer's
-/// parameter-sync mode changes.
+/// strategy-wide microbatch count changes, one weighted layer's
+/// parameter-sync mode changes, or one op's recompute bit flips.
 enum Proposal {
     Config(flexflow_opgraph::OpId, crate::soap::ParallelConfig),
     Microbatches(u64),
     ParamSync(flexflow_opgraph::OpId, ParamSync),
+    Recompute(flexflow_opgraph::OpId, bool),
 }
 
 /// Read-only search inputs shared by every chain.
@@ -387,6 +413,10 @@ struct ChainCtx<'a> {
     params: ChainParams,
     initial: &'a [Strategy],
     t0: Instant,
+    /// Per-device memory budget: strategies whose peak footprint overflows
+    /// it are penalized in the accept step (`None` leaves costs untouched
+    /// — bit-identical to the unbudgeted search).
+    mem_budget: Option<&'a MemBudget>,
 }
 
 /// Cross-chain coordination handles (absent for the sequential driver).
@@ -459,6 +489,39 @@ fn run_chain(
     } else {
         Vec::new()
     };
+    // Recompute proposals flip one non-input op's recompute bit. With the
+    // axis disabled (the default) the list is empty and the branch is
+    // inert — ZERO RNG draws, bit-identical to the pre-recompute search
+    // (the same guarantee the microbatch and param-sync branches make).
+    let rc_ops: Vec<flexflow_opgraph::OpId> = if p.recompute {
+        ctx.graph
+            .ids()
+            .filter(|&id| {
+                !matches!(
+                    ctx.graph.op(id).kind(),
+                    flexflow_opgraph::OpKind::Input { .. }
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let rc_enabled = !rc_ops.is_empty();
+    // Memory-budget penalty: infeasible strategies cost OOM_PENALTY_US
+    // plus one microsecond per overflowing MiB. With no budget set the
+    // closure is a constant 0.0 and the accept step is untouched.
+    let oom_penalty = |s: &Strategy| -> f64 {
+        let Some(budget) = ctx.mem_budget else {
+            return 0.0;
+        };
+        let fp = memory::footprint(ctx.graph, ctx.topo, s);
+        match memory::budget_violation(&fp, ctx.topo, budget) {
+            Some(v) => {
+                OOM_PENALTY_US + v.overflow() as f64 / (1u64 << 20) as f64 * OOM_PENALTY_PER_MIB_US
+            }
+            None => 0.0,
+        }
+    };
 
     let mut best: Option<(Strategy, f64)> = None;
     let mut trace: Vec<(f64, f64)> = Vec::new();
@@ -492,9 +555,17 @@ fn run_chain(
         if !ps_enabled && init.has_custom_param_sync() {
             init = init.with_param_sync_everywhere(ParamSync::AllReduce);
         }
+        // And for the recompute axis: a warm seed carrying recompute bits
+        // falls back to stored activations when the axis is closed.
+        if !rc_enabled && init.has_recompute() {
+            init = init.with_recompute_everywhere(false);
+        }
         let mut sim = Simulator::new(ctx.graph, ctx.topo, ctx.cost, ctx.cfg, init.clone());
-        let mut current_cost = sim.cost_us();
-        let initial_cost = current_cost;
+        // Beta is normalized by the *physical* initial cost so one
+        // temperature suits all models; the OOM penalty only enters the
+        // comparison costs, never the temperature.
+        let initial_cost = sim.cost_us();
+        let mut current_cost = initial_cost + oom_penalty(sim.strategy());
         if best.as_ref().is_none_or(|(_, c)| current_cost < *c) {
             best = Some((init.clone(), current_cost));
             trace.push((t0.elapsed().as_secs_f64(), current_cost));
@@ -540,6 +611,9 @@ fn run_chain(
                     },
                 };
                 Proposal::ParamSync(op, mode)
+            } else if rc_enabled && rng.gen_range(0..RECOMPUTE_PROPOSAL_ODDS) == 0 {
+                let op = rc_ops[rng.gen_range(0..rc_ops.len())];
+                Proposal::Recompute(op, !sim.strategy().recompute(op))
             } else {
                 let op = searchable[rng.gen_range(0..searchable.len())];
                 Proposal::Config(
@@ -557,8 +631,11 @@ fn run_chain(
                 Proposal::ParamSync(op, _) => {
                     Proposal::ParamSync(*op, sim.strategy().param_sync(*op))
                 }
+                Proposal::Recompute(op, _) => {
+                    Proposal::Recompute(*op, sim.strategy().recompute(*op))
+                }
             });
-            let new_cost = match (p.algorithm, &proposal) {
+            let raw_cost = match (p.algorithm, &proposal) {
                 (SimAlgorithm::Delta, Proposal::Config(op, config)) => {
                     sim.apply(*op, config.clone())
                 }
@@ -566,6 +643,7 @@ fn run_chain(
                 (SimAlgorithm::Delta, Proposal::ParamSync(op, mode)) => {
                     sim.apply_param_sync(*op, *mode)
                 }
+                (SimAlgorithm::Delta, Proposal::Recompute(op, on)) => sim.apply_recompute(*op, *on),
                 (SimAlgorithm::Full, _) => {
                     let mut s = sim.strategy().clone();
                     match &proposal {
@@ -578,10 +656,16 @@ fn run_chain(
                         Proposal::ParamSync(op, mode) => {
                             s.set_param_sync(*op, *mode);
                         }
+                        Proposal::Recompute(op, on) => {
+                            s.set_recompute(*op, *on);
+                        }
                     }
                     sim.reset(s)
                 }
             };
+            // The post-apply strategy is the proposal; penalize it if it
+            // overflows the budget (a no-op without one).
+            let new_cost = raw_cost + oom_penalty(sim.strategy());
             evals += 1;
             restart_evals += 1;
 
@@ -633,6 +717,9 @@ fn run_chain(
                             Proposal::ParamSync(op, mode) => {
                                 s.set_param_sync(op, mode);
                             }
+                            Proposal::Recompute(op, on) => {
+                                s.set_recompute(op, on);
+                            }
                         }
                         sim.reset(s);
                     }
@@ -654,7 +741,8 @@ fn run_chain(
                     let global = sh.exchange.rendezvous(chain, *lb_cost, lb_strategy);
                     if let Some((gbits, gstrat)) = global {
                         if gbits < local_bits {
-                            let adopted_cost = sim.reset(gstrat.clone());
+                            let adopted_cost =
+                                sim.reset(gstrat.clone()) + oom_penalty(sim.strategy());
                             current_cost = adopted_cost;
                             best = Some((gstrat, adopted_cost));
                             since_improvement = 0;
@@ -704,6 +792,14 @@ pub struct McmcOptimizer {
     /// parameter synchronization (`false` disables the axis entirely —
     /// no extra RNG draws, bit-identical to the pre-axis search).
     pub param_sync: bool,
+    /// Whether the `ChangeRecompute` proposal may flip per-op activation
+    /// recomputation (`false` disables the axis entirely — no extra RNG
+    /// draws, bit-identical to the pre-recompute search).
+    pub recompute: bool,
+    /// Per-device memory budget: proposals whose peak footprint overflows
+    /// it are penalized in the accept step (`None` disables the check —
+    /// costs are bit-identical to the unbudgeted search).
+    pub mem_budget: Option<MemBudget>,
 }
 
 impl McmcOptimizer {
@@ -719,6 +815,8 @@ impl McmcOptimizer {
             acceptance: AcceptanceRule::Metropolis,
             max_microbatches: 1,
             param_sync: false,
+            recompute: false,
+            mem_budget: None,
         }
     }
 
@@ -751,9 +849,11 @@ impl McmcOptimizer {
                 acceptance: self.acceptance,
                 max_microbatches: self.max_microbatches,
                 param_sync: self.param_sync,
+                recompute: self.recompute,
             },
             initial,
             t0,
+            mem_budget: self.mem_budget.as_ref(),
         };
         let out = run_chain(&ctx, budget, &mut self.rng, None, 0);
         SearchResult {
@@ -780,7 +880,7 @@ pub fn default_chains() -> usize {
 /// and undo journals — the per-thread transaction state that makes this
 /// embarrassingly parallel), run under [`std::thread::scope`] and
 /// coordinated only through a [`SharedBestCost`] cell and the periodic
-/// best-strategy [`Exchange`].
+/// best-strategy `Exchange`.
 ///
 /// # Determinism
 ///
@@ -823,6 +923,11 @@ pub struct ParallelSearch {
     /// Whether the `ChangeParamSync` proposal may retune per-layer
     /// parameter synchronization (see [`McmcOptimizer::param_sync`]).
     pub param_sync: bool,
+    /// Whether the `ChangeRecompute` proposal may flip per-op activation
+    /// recomputation (see [`McmcOptimizer::recompute`]).
+    pub recompute: bool,
+    /// Per-device memory budget (see [`McmcOptimizer::mem_budget`]).
+    pub mem_budget: Option<MemBudget>,
 }
 
 impl ParallelSearch {
@@ -840,6 +945,8 @@ impl ParallelSearch {
             acceptance: AcceptanceRule::Metropolis,
             max_microbatches: 1,
             param_sync: false,
+            recompute: false,
+            mem_budget: None,
         }
     }
 
@@ -865,6 +972,8 @@ impl ParallelSearch {
             acceptance: self.acceptance,
             max_microbatches: self.max_microbatches,
             param_sync: self.param_sync,
+            recompute: self.recompute,
+            mem_budget: self.mem_budget.clone(),
         }
     }
 
@@ -942,6 +1051,7 @@ impl ParallelSearch {
 ///
 /// ```
 /// # use flexflow_core::{SearchRequest, Budget, SimConfig, Strategy};
+/// # use flexflow_core::memory::MemBudget;
 /// # use flexflow_costmodel::MeasuredCostModel;
 /// # use flexflow_device::clusters;
 /// # use flexflow_opgraph::zoo;
@@ -953,6 +1063,8 @@ impl ParallelSearch {
 ///     .chains(2)
 ///     .max_microbatches(8)
 ///     .param_sync(true)
+///     .recompute(true)
+///     .mem_budget(Some(MemBudget::device_defaults(&topo)))
 ///     .run(&g, &topo, &cost, &[dp], Budget::evaluations(50), SimConfig::default());
 /// assert!(r.best_cost_us > 0.0);
 /// ```
@@ -984,6 +1096,14 @@ pub struct SearchRequest {
     /// Whether parameter-sync mode proposals are drawn (`false` disables
     /// the axis — zero extra RNG draws, bit-identical to pre-axis runs).
     pub param_sync: bool,
+    /// Whether recompute-bit proposals are drawn (`false` disables the
+    /// axis — zero extra RNG draws, bit-identical to pre-recompute runs).
+    pub recompute: bool,
+    /// Per-device memory budget: proposals whose peak footprint overflows
+    /// it are penalized in the accept step, so the search walks back into
+    /// (or as close as possible to) feasible territory. `None` disables
+    /// the check entirely.
+    pub mem_budget: Option<MemBudget>,
 }
 
 impl SearchRequest {
@@ -1056,6 +1176,20 @@ impl SearchRequest {
         self
     }
 
+    /// Enables or disables the activation-recompute search axis.
+    #[must_use]
+    pub fn recompute(mut self, enabled: bool) -> Self {
+        self.recompute = enabled;
+        self
+    }
+
+    /// Sets (or clears) the per-device memory budget the search enforces.
+    #[must_use]
+    pub fn mem_budget(mut self, budget: Option<MemBudget>) -> Self {
+        self.mem_budget = budget;
+        self
+    }
+
     /// Warm-started [`SearchRequest::run`]: every chain restarts from
     /// `warm` instead of the usual data-parallel/expert seeds (see
     /// [`ParallelSearch::search_warm`] for the warm-start semantics and
@@ -1124,9 +1258,11 @@ impl SearchRequest {
                 acceptance: self.acceptance,
                 max_microbatches: self.max_microbatches,
                 param_sync: self.param_sync,
+                recompute: self.recompute,
             },
             initial,
             t0,
+            mem_budget: self.mem_budget.as_ref(),
         };
 
         let outcomes: Vec<ChainOutcome> = std::thread::scope(|s| {
@@ -1868,6 +2004,155 @@ mod tests {
         assert_eq!(r.evals, 0, "the in-budget seed already meets the target");
         assert!(r.best.has_custom_param_sync());
         assert_eq!(r.best_cost_us.to_bits(), seed_cost.to_bits());
+    }
+
+    #[test]
+    fn recompute_search_is_deterministic_and_never_worse() {
+        let (g, topo, cost) = setup();
+        let dp = Strategy::data_parallel(&g, &topo);
+        let dp_cost = Simulator::new(&g, &topo, &cost, SimConfig::default(), dp.clone()).cost_us();
+        let run = || {
+            SearchRequest::new(29).chains(2).recompute(true).run(
+                &g,
+                &topo,
+                &cost,
+                std::slice::from_ref(&dp),
+                Budget::evaluations(200),
+                SimConfig::default(),
+            )
+        };
+        let a = run();
+        let b = run();
+        // Without a memory budget, recompute only costs time, so the
+        // search must never return worse than the seed.
+        assert!(a.best_cost_us <= dp_cost + 1e-9);
+        assert_eq!(a.best_cost_us.to_bits(), b.best_cost_us.to_bits());
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.accepted, b.accepted);
+        // Every evaluation stays one transactional apply under Delta.
+        assert_eq!(a.telemetry.applies, a.evals);
+        assert_eq!(a.telemetry.commits, a.accepted);
+        assert_eq!(a.telemetry.rollbacks, a.evals - a.accepted);
+    }
+
+    #[test]
+    fn warm_seeds_with_recompute_are_clamped_when_axis_disabled() {
+        // A cached strategy carrying recompute bits must not leak through
+        // a search whose caller closed the axis: no proposal could ever
+        // flip the bits back, so the chain would return a strategy the
+        // caller ruled out.
+        let (g, topo, cost) = setup();
+        let warm = Strategy::data_parallel(&g, &topo).with_recompute_everywhere(true);
+        let r = SearchRequest::new(5).chains(1).run_warm(
+            &g,
+            &topo,
+            &cost,
+            warm.clone(),
+            Budget::evaluations(40),
+            SimConfig::default(),
+        );
+        assert!(
+            !r.best.has_recompute(),
+            "axis-off search must clamp a recompute seed to stored activations"
+        );
+
+        // With the axis open the seed passes through: chasing the seed's
+        // own cost as the target, the cutoff fires before a single
+        // evaluation and hands back the recompute seed verbatim.
+        let seed_cost =
+            Simulator::new(&g, &topo, &cost, SimConfig::default(), warm.clone()).cost_us();
+        let r = SearchRequest::new(5)
+            .chains(1)
+            .recompute(true)
+            .target_cost_us(seed_cost)
+            .run_warm(
+                &g,
+                &topo,
+                &cost,
+                warm,
+                Budget::evaluations(10_000),
+                SimConfig::default(),
+            );
+        assert_eq!(r.evals, 0, "the in-budget seed already meets the target");
+        assert!(r.best.has_recompute());
+        assert_eq!(r.best_cost_us.to_bits(), seed_cost.to_bits());
+    }
+
+    #[test]
+    fn mem_budget_steers_the_search_to_feasible_strategies() {
+        // Pick a per-device cap between the data-parallel peak and the
+        // recompute-everywhere peak: the seed starts OOM-infeasible, and
+        // only strategies that recompute enough of their activations fit.
+        // The search must walk out of the infeasible region.
+        let (g, topo, cost) = setup();
+        let dp = Strategy::data_parallel(&g, &topo);
+        let rc = dp.clone().with_recompute_everywhere(true);
+        let dp_peak = memory::footprint(&g, &topo, &dp).peak_with_state().1;
+        let rc_peak = memory::footprint(&g, &topo, &rc).peak_with_state().1;
+        assert!(
+            rc_peak < dp_peak,
+            "recompute must shrink the peak: {rc_peak} vs {dp_peak}"
+        );
+        let cap = rc_peak + (dp_peak - rc_peak) / 2;
+        let budget = MemBudget::uniform_bytes(&topo, cap);
+        assert!(memory::check_budget(&g, &topo, &dp, &budget).is_err());
+        assert!(memory::check_budget(&g, &topo, &rc, &budget).is_ok());
+
+        let r = SearchRequest::new(77)
+            .chains(2)
+            .recompute(true)
+            .mem_budget(Some(budget.clone()))
+            .run(
+                &g,
+                &topo,
+                &cost,
+                std::slice::from_ref(&dp),
+                Budget::evaluations(600),
+                SimConfig::default(),
+            );
+        assert!(
+            memory::check_budget(&g, &topo, &r.best, &budget).is_ok(),
+            "search must end on a budget-feasible strategy"
+        );
+        assert!(
+            r.best_cost_us < OOM_PENALTY_US,
+            "the reported best cost must be penalty-free"
+        );
+        assert!(
+            r.best.has_recompute(),
+            "feasibility here requires recompute"
+        );
+    }
+
+    #[test]
+    fn absent_mem_budget_is_bit_identical_to_the_unbudgeted_search() {
+        // `mem_budget(None)` must not perturb costs, acceptance, or the
+        // RNG stream — the explicit form of the pre-budget guarantee.
+        let (g, topo, cost) = setup();
+        let inits = [Strategy::data_parallel(&g, &topo)];
+        let budget = Budget::evaluations(150);
+        let plain = SearchRequest::new(19).chains(2).run(
+            &g,
+            &topo,
+            &cost,
+            &inits,
+            budget,
+            SimConfig::default(),
+        );
+        let explicit = SearchRequest::new(19).chains(2).mem_budget(None).run(
+            &g,
+            &topo,
+            &cost,
+            &inits,
+            budget,
+            SimConfig::default(),
+        );
+        assert_eq!(
+            plain.best_cost_us.to_bits(),
+            explicit.best_cost_us.to_bits()
+        );
+        assert_eq!(plain.best, explicit.best);
+        assert_eq!(plain.accepted, explicit.accepted);
     }
 
     #[test]

@@ -877,6 +877,8 @@ enum Pending {
     Microbatches(u64),
     /// A parameter-sync mode change: the op and its previous mode.
     ParamSync(flexflow_opgraph::OpId, crate::soap::ParamSync),
+    /// A recompute-bit flip: the op and its previous bit.
+    Recompute(flexflow_opgraph::OpId, bool),
 }
 
 impl<'a> Simulator<'a> {
@@ -1061,6 +1063,43 @@ impl<'a> Simulator<'a> {
         cost
     }
 
+    /// Speculatively flips one op's recompute bit
+    /// ([`crate::strategy::Strategy::recompute`]) with a journaled
+    /// structural rebuild of the op and returns the new cost. The rebuild
+    /// reuses the [`TaskGraph::rebuild_op`] surgery — the op's compute,
+    /// recompute, tensor-edge and layer-sync tasks are doomed and
+    /// recreated for the new bit — so the timeline is repaired by the
+    /// island-keyed delta path. Like [`Simulator::apply`], the change
+    /// stays pending until [`Simulator::commit`] or
+    /// [`Simulator::rollback`], and rollback restores strategy, task graph
+    /// and timeline bit-for-bit.
+    pub fn apply_recompute(&mut self, op: flexflow_opgraph::OpId, on: bool) -> f64 {
+        self.commit();
+        let old = self.strategy.set_recompute(op, on);
+        self.tg.begin_txn();
+        self.state.begin_txn();
+        self.txn = Some(Pending::Recompute(op, old));
+        let report = self.tg.rebuild_op(
+            self.graph,
+            self.topo,
+            &self.strategy,
+            self.cost,
+            &self.cfg,
+            op,
+        );
+        self.delta_sims += 1;
+        let fallbacks_before = self.state.fallbacks;
+        let cost = simulate_delta_with(&self.tg, &mut self.state, &report, &mut self.scratch);
+        self.telemetry.applies += 1;
+        self.telemetry.repair_steps += self.scratch.last_repair_steps;
+        self.telemetry.fallbacks += self.state.fallbacks - fallbacks_before;
+        self.telemetry.sweeps += u64::from(self.scratch.last_was_sweep);
+        let depth = self.tg.journal_depth() + self.state.journal_depth();
+        self.telemetry.journal_slots += depth as u64;
+        self.telemetry.max_journal_depth = self.telemetry.max_journal_depth.max(depth);
+        cost
+    }
+
     /// Keeps the pending [`Simulator::apply`], dropping its undo journal.
     /// No-op when nothing is pending.
     pub fn commit(&mut self) {
@@ -1086,6 +1125,9 @@ impl<'a> Simulator<'a> {
                 }
                 Pending::ParamSync(op, old) => {
                     self.strategy.set_param_sync(op, old);
+                }
+                Pending::Recompute(op, old) => {
+                    self.strategy.set_recompute(op, old);
                 }
             }
             self.tg.rollback_txn();

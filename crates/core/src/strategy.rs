@@ -22,11 +22,18 @@ use std::fmt;
 /// replicated parameter shards synchronize ([`ParamSync::AllReduce`] is
 /// the pre-axis default; see [`crate::soap::sync_plan`]). Weight-tied
 /// layers resolve their mode from the lowest-id member op.
+///
+/// Finally, each op carries a **recompute** bit: when set, the op's stored
+/// forward activations are dropped after the forward pass and re-computed
+/// just before its backward pass needs them, trading extra forward FLOPs
+/// for peak activation memory (the classic gradient-checkpointing
+/// trade-off). `false` everywhere is the pre-axis default.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Strategy {
     configs: Vec<ParallelConfig>,
     microbatches: u64,
     param_sync: Vec<ParamSync>,
+    recompute: Vec<bool>,
 }
 
 impl Strategy {
@@ -53,6 +60,7 @@ impl Strategy {
             configs,
             microbatches: 1,
             param_sync: vec![ParamSync::AllReduce; n],
+            recompute: vec![false; n],
         }
     }
 
@@ -114,6 +122,44 @@ impl Strategy {
     /// sync mode.
     pub fn has_custom_param_sync(&self) -> bool {
         self.param_sync.iter().any(|m| *m != ParamSync::AllReduce)
+    }
+
+    /// Whether operation `id` recomputes its forward activations before the
+    /// backward pass instead of storing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn recompute(&self, id: OpId) -> bool {
+        self.recompute[id.index()]
+    }
+
+    /// All per-op recompute bits in op-id order.
+    pub fn recomputes(&self) -> &[bool] {
+        &self.recompute
+    }
+
+    /// Sets the recompute bit of `id`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_recompute(&mut self, id: OpId, on: bool) -> bool {
+        std::mem::replace(&mut self.recompute[id.index()], on)
+    }
+
+    /// Builder-style [`Strategy::set_recompute`] applied to every op.
+    #[must_use]
+    pub fn with_recompute_everywhere(mut self, on: bool) -> Self {
+        for r in &mut self.recompute {
+            *r = on;
+        }
+        self
+    }
+
+    /// Whether any op carries the recompute bit.
+    pub fn has_recompute(&self) -> bool {
+        self.recompute.iter().any(|&r| r)
     }
 
     /// The configuration of operation `id`.
@@ -221,11 +267,12 @@ impl Strategy {
         for id in graph.ids() {
             let node = graph.op(id);
             let sync = self.param_sync(id);
+            let rc = if self.recompute(id) { " recompute" } else { "" };
             if sync == ParamSync::AllReduce {
-                s.push_str(&format!("{:<24} {}\n", node.name(), self.config(id)));
+                s.push_str(&format!("{:<24} {}{rc}\n", node.name(), self.config(id)));
             } else {
                 s.push_str(&format!(
-                    "{:<24} {} sync={sync}\n",
+                    "{:<24} {} sync={sync}{rc}\n",
                     node.name(),
                     self.config(id)
                 ));

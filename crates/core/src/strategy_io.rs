@@ -26,11 +26,13 @@ use std::fmt;
 ///
 /// v2 (PR 5) added the strategy-wide `microbatches` field to
 /// [`StrategyDump`]. v3 (PR 8) added the per-op `param_sync` mode list.
-/// Earlier records deserialize with the fields' pre-existence semantics —
-/// `microbatches = 1` (whole-batch execution) and all-reduce
-/// synchronization everywhere, exactly what v1/v2 strategies meant — so
-/// importers accept [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
-pub const FORMAT_VERSION: u32 = 3;
+/// v4 (PR 9) added the per-op `recompute` bit list. Earlier records
+/// deserialize with the fields' pre-existence semantics —
+/// `microbatches = 1` (whole-batch execution), all-reduce
+/// synchronization everywhere, and no activation recomputation, exactly
+/// what v1–v3 strategies meant — so importers accept
+/// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Oldest record version importers still accept (see [`FORMAT_VERSION`]).
 pub const MIN_FORMAT_VERSION: u32 = 1;
@@ -49,9 +51,9 @@ pub struct OpConfigDump {
 /// Portable form of a whole strategy.
 ///
 /// `Deserialize` is hand-written (the vendored derive requires every
-/// field): `microbatches` defaults to 1 and `param_sync` to empty (all
-/// ops all-reduce) when absent, so v1/v2 files written before the fields
-/// existed keep loading.
+/// field): `microbatches` defaults to 1, `param_sync` to empty (all ops
+/// all-reduce), and `recompute` to empty (no recomputation) when absent,
+/// so v1–v3 files written before the fields existed keep loading.
 #[derive(Debug, Clone, Serialize, PartialEq)]
 pub struct StrategyDump {
     /// Model name the strategy was searched for.
@@ -64,6 +66,9 @@ pub struct StrategyDump {
     /// ([`ParamSync::parse`] grammar: `allreduce`, `zero1:K`, `ps:D`).
     /// Empty means all-reduce everywhere — the v1/v2 semantics.
     pub param_sync: Vec<String>,
+    /// Per-op activation-recompute bits in op order. Empty means stored
+    /// activations everywhere — the v1–v3 semantics.
+    pub recompute: Vec<bool>,
     /// Per-op configurations in op order.
     pub ops: Vec<OpConfigDump>,
 }
@@ -88,6 +93,10 @@ impl Deserialize for StrategyDump {
                 Some(p) => Deserialize::deserialize_value(p)?,
                 None => Vec::new(),
             },
+            recompute: match v.get_field("recompute") {
+                Some(r) => Deserialize::deserialize_value(r)?,
+                None => Vec::new(),
+            },
             ops: Deserialize::deserialize_value(field("ops")?)?,
         })
     }
@@ -110,10 +119,18 @@ pub enum ImportError {
     },
     /// The dump references more devices than the topology has.
     TopologyTooSmall {
+        /// Name of the op whose configuration references the highest
+        /// device index (the offending placement a user must fix).
+        op: String,
         /// Devices required by the dump.
         needed: usize,
         /// Devices available.
         available: usize,
+    },
+    /// The recompute bit list's length does not match the op count.
+    InvalidRecompute {
+        /// Explanation.
+        reason: String,
     },
     /// An op's saved configuration is not a legal [`ParallelConfig`] for
     /// the rebuilt graph (bad degree vector, wrong device-list length).
@@ -166,10 +183,19 @@ impl fmt::Display for ImportError {
             ImportError::GraphShapeMismatch { reason } => {
                 write!(f, "graph does not match the saved strategy: {reason}")
             }
-            ImportError::TopologyTooSmall { needed, available } => write!(
+            ImportError::TopologyTooSmall {
+                op,
+                needed,
+                available,
+            } => write!(
                 f,
-                "strategy needs {needed} devices but the topology has {available}"
+                "op {op:?} places a task on device {}, but the topology has only \
+                 {available} devices (strategy needs {needed})",
+                needed - 1
             ),
+            ImportError::InvalidRecompute { reason } => {
+                write!(f, "recompute bit list is invalid: {reason}")
+            }
             ImportError::InvalidConfig { op, reason } => {
                 write!(f, "op {op:?} has an invalid saved configuration: {reason}")
             }
@@ -208,6 +234,7 @@ pub fn export(graph: &OpGraph, topo: &Topology, strategy: &Strategy) -> Strategy
             .iter()
             .map(|m| m.to_string())
             .collect(),
+        recompute: strategy.recomputes().to_vec(),
         ops: graph
             .ids()
             .map(|id| {
@@ -305,14 +332,46 @@ fn build_strategy(
                 reason,
             })?;
             // Parameter-server placements follow the same device mapping
-            // as the configs (identity on import, folded on remap).
+            // as the configs (identity on import, folded on remap) — and
+            // the mapped index must exist: sync_plan would otherwise wrap
+            // it silently, executing a placement the file never named.
             let mode = match mode {
-                ParamSync::ParamServer { server_device } => ParamSync::ParamServer {
-                    server_device: map_device(server_device),
-                },
+                ParamSync::ParamServer { server_device } => {
+                    let mapped = map_device(server_device);
+                    if mapped >= topo.num_devices() {
+                        return Err(ImportError::InvalidParamSync {
+                            value: token.clone(),
+                            reason: format!(
+                                "op {:?}: server device {server_device} is out of range for a \
+                                 {}-device topology",
+                                graph.op(id).name(),
+                                topo.num_devices()
+                            ),
+                        });
+                    }
+                    ParamSync::ParamServer {
+                        server_device: mapped,
+                    }
+                }
                 other => other,
             };
             strategy.set_param_sync(id, mode);
+        }
+    }
+    // v1–v3 dumps carry no recompute list — stored activations everywhere.
+    // A v4 list must cover every op.
+    if !dump.recompute.is_empty() {
+        if dump.recompute.len() != graph.len() {
+            return Err(ImportError::InvalidRecompute {
+                reason: format!(
+                    "{} bits saved, graph has {} ops",
+                    dump.recompute.len(),
+                    graph.len()
+                ),
+            });
+        }
+        for (id, &on) in graph.ids().zip(&dump.recompute) {
+            strategy.set_recompute(id, on);
         }
     }
     Ok(strategy)
@@ -344,17 +403,22 @@ pub fn import(
 /// [`import_structural`]); [`remap_onto`] instead folds indices into
 /// range.
 fn check_device_range(topo: &Topology, dump: &StrategyDump) -> Result<(), ImportError> {
-    let max_dev = dump
-        .ops
-        .iter()
-        .flat_map(|o| o.devices.iter().copied())
-        .max()
-        .unwrap_or(0);
-    if max_dev >= topo.num_devices() {
-        return Err(ImportError::TopologyTooSmall {
-            needed: max_dev + 1,
-            available: topo.num_devices(),
-        });
+    let mut worst: Option<(usize, &str)> = None;
+    for o in &dump.ops {
+        for &d in &o.devices {
+            if worst.is_none_or(|(w, _)| d > w) {
+                worst = Some((d, o.op.as_str()));
+            }
+        }
+    }
+    if let Some((max_dev, op)) = worst {
+        if max_dev >= topo.num_devices() {
+            return Err(ImportError::TopologyTooSmall {
+                op: op.to_string(),
+                needed: max_dev + 1,
+                available: topo.num_devices(),
+            });
+        }
     }
     Ok(())
 }
@@ -765,6 +829,107 @@ mod tests {
             import(&g, &topo, &bad),
             Err(ImportError::InvalidParamSync { .. })
         ));
+    }
+
+    #[test]
+    fn recompute_bits_roundtrip_through_v4_dumps() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let mut s = Strategy::data_parallel(&g, &topo);
+        let op = soap::sync_ops(&g)[0];
+        s.set_recompute(op, true);
+        let dump = export(&g, &topo, &s);
+        assert_eq!(dump.recompute.len(), g.len());
+        let json = serde_json::to_string(&dump).unwrap();
+        let back: StrategyDump = serde_json::from_str(&json).unwrap();
+        let restored = import(&g, &topo, &back).unwrap();
+        assert_eq!(&restored, &s);
+        assert!(restored.recompute(op));
+    }
+
+    #[test]
+    fn pre_v4_dumps_without_recompute_default_to_stored_activations() {
+        // A v3-era JSON payload has no `recompute` key at all; it must
+        // load bit-identically to what the strategy meant then — no
+        // recomputation anywhere.
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let s = Strategy::data_parallel(&g, &topo);
+        let json = serde_json::to_string(&export(&g, &topo, &s)).unwrap();
+        let stripped = {
+            let mut v: Value = serde_json::from_str(&json).unwrap();
+            if let Value::Object(entries) = &mut v {
+                entries.retain(|(k, _)| k != "recompute");
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        let back: StrategyDump = serde_json::from_str(&stripped).unwrap();
+        assert!(back.recompute.is_empty());
+        let restored = import(&g, &topo, &back).unwrap();
+        assert!(!restored.has_recompute());
+        assert_eq!(&restored, &s);
+    }
+
+    #[test]
+    fn wrong_length_recompute_lists_are_rejected() {
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let mut bad = export(&g, &topo, &Strategy::data_parallel(&g, &topo));
+        bad.recompute.pop();
+        let err = import(&g, &topo, &bad).unwrap_err();
+        assert!(matches!(err, ImportError::InvalidRecompute { .. }), "{err}");
+    }
+
+    #[test]
+    fn device_range_errors_name_the_offending_op() {
+        let g = zoo::lenet(64);
+        let big = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let small = clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        let dump = export(&g, &big, &Strategy::data_parallel(&g, &big));
+        let err = import(&g, &small, &dump).unwrap_err();
+        let ImportError::TopologyTooSmall {
+            op,
+            needed,
+            available,
+        } = &err
+        else {
+            panic!("expected TopologyTooSmall, got {err}");
+        };
+        assert_eq!(*needed, 4);
+        assert_eq!(*available, 2);
+        assert!(
+            dump.ops.iter().any(|o| &o.op == op),
+            "error must name a real op, got {op:?}"
+        );
+        // The rendered message carries both the op and the device index.
+        let msg = err.to_string();
+        assert!(msg.contains(op.as_str()), "{msg}");
+        assert!(msg.contains("device 3"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_param_server_placements_are_rejected_with_the_op_name() {
+        // `ps:D` with D beyond the topology used to slip through identity
+        // imports and wrap silently inside sync_plan. It must be a
+        // descriptive error naming the op and the bad index instead.
+        let g = zoo::lenet(64);
+        let topo = clusters::uniform_cluster(1, 4, 16.0, 4.0);
+        let op = soap::sync_ops(&g)[0];
+        let mut dump = export(&g, &topo, &Strategy::data_parallel(&g, &topo));
+        let idx = g.ids().position(|id| id == op).unwrap();
+        dump.param_sync[idx] = "ps:7".into();
+        let err = import(&g, &topo, &dump).unwrap_err();
+        assert!(matches!(err, ImportError::InvalidParamSync { .. }), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains(g.op(op).name()), "{msg}");
+        assert!(msg.contains('7'), "{msg}");
+
+        // remap_onto folds the placement into range instead of erroring.
+        let remapped = remap_onto(&g, &topo, &dump).unwrap();
+        assert_eq!(
+            remapped.param_sync(op),
+            ParamSync::ParamServer { server_device: 3 }
+        );
     }
 
     #[test]

@@ -115,6 +115,17 @@ pub enum TaskKind {
         /// The parameter-sharing layer being synchronized.
         layer: LayerId,
     },
+    /// Re-execution of entry `k`'s forward pass before its backward pass,
+    /// for operations whose strategy sets the recompute bit
+    /// ([`crate::strategy::Strategy::recompute`]): the stored forward
+    /// activations were dropped to save memory, so the forward work runs
+    /// again on the same device just before the gradients are needed.
+    Recompute {
+        /// The operation being recomputed.
+        op: OpId,
+        /// Task index within the op's configuration.
+        k: u32,
+    },
 }
 
 /// One node of the task graph. Fields mirror the construction-time
@@ -265,6 +276,8 @@ struct GraphJournal {
     edge_comms: Vec<EdgeCommSave>,
     /// Sync-task lists of touched layers.
     sync_tasks: Vec<(LayerId, Vec<TaskId>)>,
+    /// Recompute-task lists of rebuilt ops.
+    rc_tasks: Vec<(OpId, Vec<TaskId>)>,
     /// Free-list length at `begin_txn`.
     free_len: usize,
     /// Free-list low-water mark during the txn: entries of the original
@@ -296,6 +309,10 @@ pub struct TaskGraph {
     edge_comms: HashMap<(OpId, OpId), Vec<TaskId>>,
     /// Synchronization tasks per layer (indexed by layer id).
     sync_tasks: Vec<Vec<TaskId>>,
+    /// Recompute tasks per op (indexed by op id; empty unless the op's
+    /// strategy sets the recompute bit). Parallel to `op_tasks`: entry `e`
+    /// of the op has recompute task `rc_tasks[op][e]`.
+    rc_tasks: Vec<Vec<TaskId>>,
     alive: usize,
     /// Open transaction, if any (see [`TaskGraph::begin_txn`]).
     journal: Option<GraphJournal>,
@@ -331,6 +348,7 @@ impl PartialEq for TaskGraph {
             && self.op_tasks == other.op_tasks
             && self.edge_comms == other.edge_comms
             && self.sync_tasks == other.sync_tasks
+            && self.rc_tasks == other.rc_tasks
     }
 }
 
@@ -350,6 +368,7 @@ impl TaskGraph {
             op_tasks: vec![Vec::new(); graph.len()],
             edge_comms: HashMap::new(),
             sync_tasks: vec![Vec::new(); graph.num_layers()],
+            rc_tasks: vec![Vec::new(); graph.len()],
             alive: 0,
             journal: None,
             slot_epoch: Vec::new(),
@@ -450,6 +469,9 @@ impl TaskGraph {
         for (layer, old) in j.sync_tasks {
             self.sync_tasks[layer.index()] = old;
         }
+        for (op, old) in j.rc_tasks {
+            self.rc_tasks[op.index()] = old;
+        }
         // Restore the free list: drop everything the txn pushed (all above
         // the low-water mark) and re-push the consumed original entries.
         self.free.truncate(j.free_low);
@@ -536,6 +558,21 @@ impl TaskGraph {
             .push((key, old));
     }
 
+    fn j_save_rc(&mut self, op: OpId) {
+        let Some(j) = self.journal.as_ref() else {
+            return;
+        };
+        if j.rc_tasks.iter().any(|(o, _)| *o == op) {
+            return;
+        }
+        let old = self.rc_tasks[op.index()].clone();
+        self.journal
+            .as_mut()
+            .expect("txn open")
+            .rc_tasks
+            .push((op, old));
+    }
+
     fn j_save_sync(&mut self, layer: LayerId) {
         let Some(j) = self.journal.as_ref() else {
             return;
@@ -597,6 +634,13 @@ impl TaskGraph {
         &self.op_tasks[op.index()]
     }
 
+    /// Recompute tasks of an operation — parallel to
+    /// [`TaskGraph::tasks_of_op`] when the op's strategy sets the recompute
+    /// bit, empty otherwise.
+    pub fn recompute_tasks_of_op(&self, op: OpId) -> &[TaskId] {
+        &self.rc_tasks[op.index()]
+    }
+
     /// Replaces operation `op`'s configuration inside `strategy` context:
     /// removes the op's compute tasks, every communication task on its
     /// tensor edges, and the synchronization tasks of its layer; then
@@ -629,6 +673,7 @@ impl TaskGraph {
         // an open transaction).
         if self.journal.is_some() {
             self.j_save_op_tasks(op);
+            self.j_save_rc(op);
             for &src in node.inputs() {
                 self.j_save_edge((src, op));
             }
@@ -643,6 +688,7 @@ impl TaskGraph {
         }
         // 1. Collect and remove everything attached to `op`.
         let mut doomed: Vec<TaskId> = self.op_tasks[op.index()].clone();
+        doomed.extend(std::mem::take(&mut self.rc_tasks[op.index()]));
         for &src in node.inputs() {
             if let Some(comms) = self.edge_comms.remove(&(src, op)) {
                 doomed.extend(comms);
@@ -760,6 +806,7 @@ impl TaskGraph {
         if self.journal.is_some() {
             for op in graph.ids() {
                 self.j_save_op_tasks(op);
+                self.j_save_rc(op);
             }
             let keys: Vec<(OpId, OpId)> = self.edge_comms.keys().copied().collect();
             for key in keys {
@@ -781,6 +828,9 @@ impl TaskGraph {
         }
         self.edge_comms.clear();
         for tasks in &mut self.sync_tasks {
+            tasks.clear();
+        }
+        for tasks in &mut self.rc_tasks {
             tasks.clear();
         }
         self.created_log.clear();
@@ -950,6 +1000,34 @@ impl TaskGraph {
                 last_of_tile.insert(mat.tile_index[e], id);
             }
         }
+        // Recompute lowering: one extra forward re-execution per entry on
+        // the entry's own device, gating the gradients' availability. The
+        // compute task keeps its combined fwd+bwd time (the backward work
+        // is unchanged); the recompute task adds the re-run forward
+        // fraction of it. Input ops model the data loader and store no
+        // activations, so the bit is inert on them.
+        let node = ctx.graph.op(op);
+        if ctx.strategy.recompute(op) && !matches!(node.kind(), OpKind::Input { .. }) {
+            let mut rc_ids = Vec::with_capacity(ids.len());
+            for (e, &cid) in ids.iter().enumerate() {
+                let rid = self.alloc(Task {
+                    kind: TaskKind::Recompute {
+                        op,
+                        k: mat.tile_index[e],
+                    },
+                    unit: mat.units[e],
+                    exe_us: mat.exe_us[e] * flexflow_costmodel::RECOMPUTE_FWD_FRACTION,
+                    preds: Vec::new(),
+                    succs: Vec::new(),
+                    seq: seq_key(4, op.index() as u64, e as u64, 0, 0),
+                    island: unit_island(ctx.topo, self.num_islands, mat.units[e]),
+                });
+                self.add_edge_fresh(cid, rid);
+                rc_ids.push(rid);
+            }
+            self.j_save_rc(op);
+            self.rc_tasks[op.index()] = rc_ids;
+        }
         self.op_tasks[op.index()] = ids;
     }
 
@@ -1089,11 +1167,16 @@ impl TaskGraph {
                 .map(|p| p.dim)
                 .collect();
             let tasks = self.op_tasks[op.index()].clone();
+            // Recomputing ops surface their gradients only after the
+            // re-executed forward pass: the recompute task (parallel to the
+            // entry list) replaces the compute task as the sync source.
+            let rc = self.rc_tasks[op.index()].clone();
             // With microbatches every (tile, microbatch) entry of a shard's
             // replica contributes an edge into the shard's sync tasks: the
             // gradient-accumulation dependency — synchronization fires once
             // per iteration, after the shard's last microbatch.
-            for (e, &tid) in tasks.iter().enumerate() {
+            for (e, &ctid) in tasks.iter().enumerate() {
+                let tid = if rc.is_empty() { ctid } else { rc[e] };
                 let tile = &mat.tiles[e];
                 let key: ShardKey = pdims
                     .iter()
@@ -1717,6 +1800,7 @@ mod tests {
                         TaskKind::Compute { .. } => 0u8,
                         TaskKind::Comm { .. } => 1,
                         TaskKind::SyncComm { .. } => 2,
+                        TaskKind::Recompute { .. } => 3,
                     };
                     (d, t.unit, t.exe_us.to_bits())
                 })

@@ -41,7 +41,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 use flexflow_device::DeviceKind;
 use flexflow_opgraph::{OpKind, OpNode};
 use flexflow_tensor::Rect;
@@ -49,6 +49,18 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fraction of a combined forward+backward task time attributable to the
+/// forward pass alone, under the conventional backward/forward work ratio
+/// of 2.0 (backward computes both input and weight gradients):
+/// `1 / (1 + 2.0)`.
+///
+/// Activation recomputation re-executes an operator's *forward* pass just
+/// before its gradients are needed, so the extra task it inserts costs
+/// this fraction of the op's full per-iteration `exeTime`. Kept here, next
+/// to [`AnalyticCostModel`]'s default multiplier, so the two can never
+/// drift apart silently.
+pub const RECOMPUTE_FWD_FRACTION: f64 = 1.0 / 3.0;
 
 /// Performance profile of a device flavour.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -376,7 +388,7 @@ impl CostModel for MeasuredCostModel {
 /// | external PS   | `2R·B`                  | 1 server   | `8P` (server only) |
 ///
 /// where `B = P · elem_bytes` and the `8` is Adam's two fp32 moments per
-/// parameter ([`OPT_STATE_BYTES_PER_PARAM`]). These helpers are the single
+/// parameter ([`sync_cost::OPT_STATE_BYTES_PER_PARAM`]). These helpers are the single
 /// source of the byte math for task-graph construction
 /// (`flexflow_core::taskgraph`) and the memory model
 /// (`flexflow_core::memory`).

@@ -256,6 +256,17 @@ pub const PRESET_EXAMPLES: [&str; 4] = ["p100x64-ib", "a100x64-ib", "a100x256-ib
 /// The island width is 8 for A100 (NVSwitch) and 4 otherwise; `gpus` must
 /// be a positive multiple of that width.
 ///
+/// ```
+/// use flexflow_device::clusters;
+///
+/// // 64 A100s = 8 NVSwitch islands of 8, joined by an InfiniBand spine.
+/// let topo = clusters::preset("a100x64-ib").unwrap();
+/// assert_eq!(topo.num_devices(), 64);
+/// assert_eq!(topo.num_islands(), 8);
+/// // Malformed names are a descriptive error, not a panic.
+/// assert!(clusters::preset("h100x64-ib").is_err());
+/// ```
+///
 /// # Errors
 ///
 /// Returns a descriptive error for malformed names, unknown device kinds,

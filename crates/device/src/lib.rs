@@ -37,7 +37,7 @@
 //! assert!(intra.bandwidth_gb_s > inter.bandwidth_gb_s);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 pub mod clusters;
 pub mod topology;
 

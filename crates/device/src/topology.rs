@@ -58,6 +58,27 @@ pub enum DeviceKind {
     Test,
 }
 
+impl DeviceKind {
+    /// The default device-memory capacity in GiB for this hardware flavour,
+    /// matching the values the cluster builders in [`crate::clusters`] stamp
+    /// on every [`Device`] they create (P100 16 GiB, K80 12 GiB, A100 40 GiB,
+    /// Test 16 GiB).
+    ///
+    /// Memory-budget checks use this as the per-device ceiling when no
+    /// explicit `--mem-budget` override is given. It intentionally mirrors —
+    /// rather than replaces — the builders' literals: [`Topology::signature`]
+    /// hashes each device's `memory_gb` bits, so the builders keep their own
+    /// constants to guarantee pinned signatures never drift.
+    pub fn default_memory_gb(self) -> f64 {
+        match self {
+            DeviceKind::P100 => 16.0,
+            DeviceKind::K80 => 12.0,
+            DeviceKind::A100 => 40.0,
+            DeviceKind::Test => 16.0,
+        }
+    }
+}
+
 impl fmt::Display for DeviceKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -78,6 +99,14 @@ pub struct Device {
     pub node: u32,
     /// Device memory in GiB (used for strategy feasibility checks).
     pub memory_gb: f64,
+}
+
+impl Device {
+    /// Device memory capacity in bytes (GiB → bytes), the unit the
+    /// memory-footprint and budget checks work in.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.memory_gb * (1u64 << 30) as f64) as u64
+    }
 }
 
 /// A hardware connection, modelled as a communication device with a FIFO

@@ -52,30 +52,42 @@ pub fn budget_class(evals: u64) -> u32 {
 /// Folds the request's search-axis knobs into the budget class: the low
 /// byte is the [`budget_class`] of the evaluation budget, bits 8..16
 /// carry the exact microbatch cap **when pipelining is enabled** (`0`
-/// when `max_microbatches <= 1`), and bit 16 marks a search with the
-/// parameter-sync axis enabled (`0` when off — so every pre-pipeline and
-/// pre-param-sync cache entry and request keeps its original class value,
-/// and old cache files stay addressable).
+/// when `max_microbatches <= 1`), bit 16 marks a search with the
+/// parameter-sync axis enabled, and bit 17 one with the
+/// activation-recompute axis enabled (`0` when off — so every
+/// pre-pipeline, pre-param-sync and pre-recompute cache entry and request
+/// keeps its original class value, and old cache files stay addressable).
 ///
 /// The components are compared differently by [`StrategyCache::lookup`]:
-/// eval classes order (searched harder answers softer), the microbatch
-/// cap and param-sync flag must match exactly — a strategy searched with
-/// either axis enabled may use settings (`m > 1`, ZeRO/PS sync) the
-/// plainer requester cannot execute, and vice versa the axis-enabled
-/// requester wants the larger space actually searched.
-pub fn composite_class(evals: u64, max_microbatches: u64, param_sync: bool) -> u32 {
+/// eval classes order (searched harder answers softer), while the
+/// microbatch cap, param-sync flag and recompute flag must match exactly
+/// — a strategy searched with any axis enabled may use settings (`m > 1`,
+/// ZeRO/PS sync, recompute bits) the plainer requester cannot execute,
+/// and vice versa the axis-enabled requester wants the larger space
+/// actually searched.
+pub fn composite_class(
+    evals: u64,
+    max_microbatches: u64,
+    param_sync: bool,
+    recompute: bool,
+) -> u32 {
     let mb = if max_microbatches > 1 {
         u32::try_from(max_microbatches.min(255)).expect("capped at 255")
     } else {
         0
     };
-    budget_class(evals) | (mb << 8) | (u32::from(param_sync) << 16)
+    budget_class(evals) | (mb << 8) | (u32::from(param_sync) << 16) | (u32::from(recompute) << 17)
 }
 
 /// Splits a [`composite_class`] into
-/// `(param-sync flag, microbatch cap, eval class)`.
-fn split_class(class: u32) -> (u32, u32, u32) {
-    (class >> 16, (class >> 8) & 0xff, class & 0xff)
+/// `(recompute flag, param-sync flag, microbatch cap, eval class)`.
+fn split_class(class: u32) -> (u32, u32, u32, u32) {
+    (
+        (class >> 17) & 1,
+        (class >> 16) & 1,
+        (class >> 8) & 0xff,
+        class & 0xff,
+    )
 }
 
 /// A fully resolved cache key.
@@ -238,7 +250,7 @@ impl StrategyCache {
     /// hardest-searched, then the cheapest — deterministic because the
     /// underlying map iterates in address order.
     pub fn lookup(&self, graph_sig: u64, topo_sig: u64, class: u32) -> Lookup<'_> {
-        let (want_ps, want_mb, want_ev) = split_class(class);
+        let (want_rc, want_ps, want_mb, want_ev) = split_class(class);
         let mut hit: Option<(&CacheEntry, CacheKey)> = None;
         let mut warm: Option<(&CacheEntry, CacheKey)> = None;
         for entry in self.entries.values() {
@@ -246,8 +258,9 @@ impl StrategyCache {
             if key.graph_sig != graph_sig {
                 continue;
             }
-            let (got_ps, got_mb, got_ev) = split_class(key.budget_class);
+            let (got_rc, got_ps, got_mb, got_ev) = split_class(key.budget_class);
             if key.topo_sig == topo_sig
+                && got_rc == want_rc
                 && got_ps == want_ps
                 && got_mb == want_mb
                 && got_ev >= want_ev
@@ -266,9 +279,10 @@ impl StrategyCache {
                 }
             } else {
                 let rank = |e: &CacheEntry, k: CacheKey| {
-                    let (k_ps, k_mb, k_ev) = split_class(k.budget_class);
+                    let (k_rc, k_ps, k_mb, k_ev) = split_class(k.budget_class);
                     (
                         k.topo_sig == topo_sig,
+                        k_rc == want_rc,
                         k_ps == want_ps,
                         k_mb == want_mb,
                         k_ev,
@@ -383,16 +397,19 @@ mod tests {
     fn composite_class_separates_pipelined_requests() {
         // Pipelining off: exactly the historical class, so pre-pipeline
         // cache files keep their addresses.
-        assert_eq!(composite_class(1024, 1, false), budget_class(1024));
-        assert_eq!(composite_class(1024, 0, false), budget_class(1024));
+        assert_eq!(composite_class(1024, 1, false, false), budget_class(1024));
+        assert_eq!(composite_class(1024, 0, false, false), budget_class(1024));
         // Pipelining on: the cap rides the high bits.
         assert_eq!(
-            composite_class(1024, 4, false),
+            composite_class(1024, 4, false, false),
             budget_class(1024) | (4 << 8)
         );
-        assert_eq!(composite_class(7, 255, false), budget_class(7) | (255 << 8));
         assert_eq!(
-            composite_class(7, 10_000, false),
+            composite_class(7, 255, false, false),
+            budget_class(7) | (255 << 8)
+        );
+        assert_eq!(
+            composite_class(7, 10_000, false, false),
             budget_class(7) | (255 << 8)
         );
 
@@ -400,18 +417,18 @@ mod tests {
         // harder-searched pipelined entry must NOT answer a plain
         // request (its strategy may use m > 1) and vice versa.
         let mut c = StrategyCache::new();
-        assert!(c.insert(entry(1, 2, composite_class(1024, 4, false), 100.0)));
+        assert!(c.insert(entry(1, 2, composite_class(1024, 4, false, false), 100.0)));
         assert!(matches!(
-            c.lookup(1, 2, composite_class(64, 1, false)),
+            c.lookup(1, 2, composite_class(64, 1, false, false)),
             Lookup::Warm(_)
         ));
         assert!(matches!(
-            c.lookup(1, 2, composite_class(64, 8, false)),
+            c.lookup(1, 2, composite_class(64, 8, false, false)),
             Lookup::Warm(_)
         ));
         // Same cap, softer eval budget: a hit.
         assert!(matches!(
-            c.lookup(1, 2, composite_class(64, 4, false)),
+            c.lookup(1, 2, composite_class(64, 4, false, false)),
             Lookup::Hit(_)
         ));
     }
@@ -420,14 +437,14 @@ mod tests {
     fn composite_class_separates_param_sync_requests() {
         // Axis off: exactly the historical class, so pre-PR8 cache files
         // keep their addresses.
-        assert_eq!(composite_class(1024, 1, false), budget_class(1024));
+        assert_eq!(composite_class(1024, 1, false, false), budget_class(1024));
         // Axis on: the flag rides bit 16, orthogonal to the microbatch cap.
         assert_eq!(
-            composite_class(1024, 1, true),
+            composite_class(1024, 1, true, false),
             budget_class(1024) | (1 << 16)
         );
         assert_eq!(
-            composite_class(1024, 4, true),
+            composite_class(1024, 4, true, false),
             budget_class(1024) | (4 << 8) | (1 << 16)
         );
 
@@ -437,30 +454,75 @@ mod tests {
         // never serve it as a hit (the pre-fix behavior treated the
         // harder-searched entry as directly servable).
         let mut c = StrategyCache::new();
-        assert!(c.insert(entry(1, 2, composite_class(1024, 1, true), 100.0)));
+        assert!(c.insert(entry(1, 2, composite_class(1024, 1, true, false), 100.0)));
         assert!(matches!(
-            c.lookup(1, 2, composite_class(64, 1, false)),
+            c.lookup(1, 2, composite_class(64, 1, false, false)),
             Lookup::Warm(_)
         ));
         // And the mirror image: an axis-on request must not be served an
         // axis-off entry as a hit (it wants the larger space searched).
-        assert!(c.insert(entry(3, 2, composite_class(1024, 1, false), 100.0)));
+        assert!(c.insert(entry(3, 2, composite_class(1024, 1, false, false), 100.0)));
         assert!(matches!(
-            c.lookup(3, 2, composite_class(64, 1, true)),
+            c.lookup(3, 2, composite_class(64, 1, true, false)),
             Lookup::Warm(_)
         ));
         // Matching flag: a hit as usual.
         assert!(matches!(
-            c.lookup(1, 2, composite_class(64, 1, true)),
+            c.lookup(1, 2, composite_class(64, 1, true, false)),
             Lookup::Hit(_)
         ));
         // Among equally-foreign topologies, same-flag warm candidates
         // outrank mismatched ones.
-        assert!(c.insert(entry(1, 9, composite_class(1024, 1, false), 90.0)));
-        let Lookup::Warm(w) = c.lookup(1, 7, composite_class(64, 1, true)) else {
+        assert!(c.insert(entry(1, 9, composite_class(1024, 1, false, false), 90.0)));
+        let Lookup::Warm(w) = c.lookup(1, 7, composite_class(64, 1, true, false)) else {
             panic!("expected warm")
         };
-        assert_eq!(w.budget_class, composite_class(1024, 1, true));
+        assert_eq!(w.budget_class, composite_class(1024, 1, true, false));
+    }
+
+    #[test]
+    fn composite_class_separates_recompute_requests() {
+        // Axis off: exactly the historical class, so pre-PR9 cache files
+        // keep their addresses.
+        assert_eq!(composite_class(1024, 1, false, false), budget_class(1024));
+        // Axis on: the flag rides bit 17, orthogonal to both the
+        // microbatch cap and the param-sync flag.
+        assert_eq!(
+            composite_class(1024, 1, false, true),
+            budget_class(1024) | (1 << 17)
+        );
+        assert_eq!(
+            composite_class(1024, 4, true, true),
+            budget_class(1024) | (4 << 8) | (1 << 16) | (1 << 17)
+        );
+
+        // An entry searched WITH the recompute axis may carry recompute
+        // bits a plain requester cannot execute, so a mismatched flag
+        // demotes the near-miss to a warm seed — never a hit.
+        let mut c = StrategyCache::new();
+        assert!(c.insert(entry(1, 2, composite_class(1024, 1, false, true), 100.0)));
+        assert!(matches!(
+            c.lookup(1, 2, composite_class(64, 1, false, false)),
+            Lookup::Warm(_)
+        ));
+        // Mirror image: an axis-on request is not served an axis-off hit.
+        assert!(c.insert(entry(3, 2, composite_class(1024, 1, false, false), 100.0)));
+        assert!(matches!(
+            c.lookup(3, 2, composite_class(64, 1, false, true)),
+            Lookup::Warm(_)
+        ));
+        // Matching flag: a hit as usual.
+        assert!(matches!(
+            c.lookup(1, 2, composite_class(64, 1, false, true)),
+            Lookup::Hit(_)
+        ));
+        // Among equally-foreign topologies, same-flag warm candidates
+        // outrank mismatched ones.
+        assert!(c.insert(entry(1, 9, composite_class(1024, 1, false, false), 90.0)));
+        let Lookup::Warm(w) = c.lookup(1, 7, composite_class(64, 1, false, true)) else {
+            panic!("expected warm")
+        };
+        assert_eq!(w.budget_class, composite_class(1024, 1, false, true));
     }
 
     #[test]

@@ -90,6 +90,9 @@ pub struct SearchRequest {
     /// (ZeRO-1 sharding, parameter-server placement; off by default —
     /// part of the cache key's budget class).
     pub param_sync: bool,
+    /// Whether the search may toggle per-op activation recomputation
+    /// (off by default — part of the cache key's budget class).
+    pub recompute: bool,
     /// Skip the cache lookup and force a fresh search (the result still
     /// updates the cache).
     pub refresh: bool,
@@ -107,6 +110,7 @@ impl SearchRequest {
             chains: 1,
             microbatches: 1,
             param_sync: false,
+            recompute: false,
             refresh: false,
         }
     }
@@ -195,6 +199,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .as_bool()
                     .ok_or_else(|| "field \"param_sync\" must be a boolean".to_string())?;
             }
+            if let Some(f) = v.get_field("recompute") {
+                r.recompute = f
+                    .as_bool()
+                    .ok_or_else(|| "field \"recompute\" must be a boolean".to_string())?;
+            }
             if let Some(f) = v.get_field("refresh") {
                 r.refresh = f
                     .as_bool()
@@ -225,7 +234,7 @@ mod tests {
         assert_eq!(r, Request::Search(SearchRequest::new("rnnlm")));
 
         let r = parse_request(
-            r#"{"cmd":"search","model":"nmt","gpus":8,"cluster":"k80","evals":10,"seed":7,"chains":2,"microbatches":4,"param_sync":true,"refresh":true}"#,
+            r#"{"cmd":"search","model":"nmt","gpus":8,"cluster":"k80","evals":10,"seed":7,"chains":2,"microbatches":4,"param_sync":true,"recompute":true,"refresh":true}"#,
         )
         .unwrap();
         let Request::Search(s) = r else {
@@ -239,14 +248,16 @@ mod tests {
         assert_eq!(s.chains, 2);
         assert_eq!(s.microbatches, 4);
         assert!(s.param_sync);
+        assert!(s.recompute);
         assert!(s.refresh);
 
-        // Absent: off, matching pre-PR8 requests.
+        // Absent: off, matching pre-PR8/PR9 requests.
         let r = parse_request(r#"{"model":"nmt"}"#).unwrap();
         let Request::Search(s) = r else {
             panic!("expected search")
         };
         assert!(!s.param_sync);
+        assert!(!s.recompute);
     }
 
     #[test]
@@ -276,6 +287,7 @@ mod tests {
             r#"{"model":"rnnlm","cluster":"tpu"}"#,
             r#"{"model":"rnnlm","refresh":"yes"}"#,
             r#"{"model":"rnnlm","param_sync":"yes"}"#,
+            r#"{"model":"rnnlm","recompute":"yes"}"#,
             r#"{"cmd":"frobnicate"}"#,
             r#"{"cmd":7}"#,
         ] {

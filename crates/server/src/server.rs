@@ -24,9 +24,10 @@
 //!   simulator evaluations;
 //! - **warm** — same graph, different topology or smaller budget: the
 //!   cached dump is remapped onto the request's topology
-//!   ([`strategy_io::remap_onto`]) and seeds
-//!   [`ParallelSearch::search_warm`], which typically reaches cold-search
-//!   quality in a fraction of the evaluations;
+//!   ([`strategy_io::remap_onto`]) and seeds a warm search
+//!   ([`flexflow_core::optimizer::SearchRequest::run_warm`]), which
+//!   typically reaches cold-search quality in a fraction of the
+//!   evaluations;
 //! - **cold** — full search from the data-parallel and expert seeds.
 //!
 //! Results always update the cache (and its on-disk file, atomically), so
@@ -209,7 +210,7 @@ impl Server {
             .microbatches
             .max(self.cfg.default_microbatches)
             .min(protocol::MAX_MICROBATCHES);
-        let class = composite_class(req.evals, max_microbatches, req.param_sync);
+        let class = composite_class(req.evals, max_microbatches, req.param_sync, req.recompute);
 
         // Phase 1 (under the lock, microseconds): classify the request and
         // clone out whatever the cache can contribute. Entries are
@@ -268,7 +269,8 @@ impl Server {
         let search = flexflow_core::SearchRequest::new(req.seed)
             .chains(req.chains)
             .max_microbatches(max_microbatches)
-            .param_sync(req.param_sync);
+            .param_sync(req.param_sync)
+            .recompute(req.recompute);
         let budget = Budget::evaluations(req.evals);
         let warm_seed =
             warm_dump.and_then(|dump| strategy_io::remap_onto(&graph, &topo, &dump).ok());
@@ -364,6 +366,7 @@ impl Server {
             "budget_class": class,
             "microbatches": dump.microbatches,
             "param_sync": req.param_sync,
+            "recompute": req.recompute,
             "cost_us": cost_us,
             "evals": evals,
             "cached_evals": cached_evals,

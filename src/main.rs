@@ -4,9 +4,11 @@
 //! flexflow models
 //! flexflow search <model> [--gpus N] [--cluster p100|k80|PRESET] [--evals N] [--seed N]
 //!                         [--out FILE] [--chains K] [--exchange-every N] [--microbatches M]
-//!                         [--param-sync MODE] [--warm FILE] [--legacy] [--verbose]
+//!                         [--param-sync MODE] [--recompute search|off] [--mem-budget MB|device]
+//!                         [--warm FILE] [--legacy] [--verbose]
 //! flexflow simulate <model> [--gpus N] [--cluster p100|k80|PRESET] [--strategy FILE]
-//!                           [--microbatches M] [--param-sync MODE]
+//!                           [--microbatches M] [--param-sync MODE] [--recompute off]
+//!                           [--mem-budget MB|device]
 //! flexflow baselines <model> [--gpus N] [--cluster p100|k80|PRESET]
 //! flexflow serve [--socket PATH] [--workers N] [--cache FILE] [--microbatches M] [--oneshot]
 //! ```
@@ -33,6 +35,17 @@
 //! `simulate`, a concrete mode is applied to every layer of the
 //! simulated strategy (`search` is rejected there: nothing searches).
 //!
+//! `--recompute search` opens the activation-recomputation axis: the
+//! search may mark individual operators to drop their stored forward
+//! activations and re-run the forward pass before the backward pass,
+//! trading FLOPs for peak memory. `--mem-budget` sets a per-device peak
+//! memory budget — a size in MB applied uniformly, or the word `device`
+//! for each device kind's hardware default (16 GB P100, 12 GB K80,
+//! 40 GB A100). Under `search`, OOM-infeasible proposals are penalized so
+//! the search steers toward strategies that fit; under `simulate`, the
+//! strategy's peak per-device memory is reported and an over-budget
+//! strategy exits nonzero with the offending device named.
+//!
 //! `--cluster` takes either a flat paper cluster kind (`p100`, `k80` —
 //! sized by `--gpus`, which must be a whole number of nodes) or a
 //! hierarchical preset name like `p100x64-ib` / `a100x256-ib` (NVLink
@@ -46,6 +59,7 @@
 //! scripting mode); otherwise the daemon listens on a Unix socket.
 
 use flexflow::baselines::{expert, model_parallel, optcnn};
+use flexflow::core::memory;
 use flexflow::core::metrics::SimMetrics;
 use flexflow::core::sim::{simulate_full, SimConfig};
 use flexflow::core::taskgraph::TaskGraph;
@@ -65,9 +79,11 @@ fn usage() -> ExitCode {
         "usage:\n  flexflow models\n  flexflow search <model> [--gpus N] \
          [--cluster p100|k80|PRESET] [--evals N] [--seed N] [--out FILE]\n                \
          [--chains K] [--exchange-every N] [--microbatches M] [--warm FILE]\n            \
-         [--param-sync search|allreduce|zero1:K|ps:D] [--legacy] [--verbose]\n  flexflow \
+         [--param-sync search|allreduce|zero1:K|ps:D] [--recompute search|off]\n         \
+         [--mem-budget MB|device] [--legacy] [--verbose]\n  flexflow \
          simulate <model> [--gpus N] [--cluster p100|k80|PRESET] [--strategy FILE]\n     \
-         [--microbatches M] [--param-sync allreduce|zero1:K|ps:D]\n  flexflow \
+         [--microbatches M] [--param-sync allreduce|zero1:K|ps:D] [--recompute off]\n    \
+         [--mem-budget MB|device]\n  flexflow \
          baselines <model> [--gpus N] [--cluster p100|k80|PRESET]\n  flexflow serve \
          [--socket PATH] [--workers N] [--cache FILE] [--microbatches M] [--oneshot]\n\
          \npresets are hierarchical clusters named <kind>x<gpus>-ib, e.g. {}",
@@ -111,6 +127,10 @@ struct Options {
     param_sync: Option<ParamSyncFlag>,
     /// `--warm FILE`: strategy file seeding the search.
     warm: Option<String>,
+    /// `--recompute search|off`: `None` when absent (pre-PR9 behaviour).
+    recompute: Option<RecomputeFlag>,
+    /// `--mem-budget MB|device`: `None` when absent (unconstrained).
+    mem_budget: Option<MemBudgetFlag>,
 }
 
 /// What `--param-sync` asked for.
@@ -121,6 +141,39 @@ enum ParamSyncFlag {
     /// Override every layer's default mode (the axis still opens under
     /// `search`; `simulate` applies it verbatim).
     Fixed(ParamSync),
+}
+
+/// What `--recompute` asked for.
+#[derive(Clone, Copy, PartialEq)]
+enum RecomputeFlag {
+    /// Open the recomputation axis to the optimizer.
+    Search,
+    /// Keep the axis closed; under `simulate`, additionally strip any
+    /// recompute bits the strategy file carries.
+    Off,
+}
+
+/// What `--mem-budget` asked for.
+#[derive(Clone, Copy)]
+enum MemBudgetFlag {
+    /// A uniform per-device budget in MB.
+    UniformMb(u64),
+    /// Each device kind's hardware default capacity.
+    DeviceDefaults,
+}
+
+impl MemBudgetFlag {
+    fn build(self, topo: &Topology) -> memory::MemBudget {
+        match self {
+            MemBudgetFlag::UniformMb(mb) => memory::MemBudget::uniform_mb(topo, mb),
+            MemBudgetFlag::DeviceDefaults => memory::MemBudget::device_defaults(topo),
+        }
+    }
+}
+
+/// Bytes in binary MB, matching [`memory::OomViolation`]'s rendering.
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 20) as f64
 }
 
 fn parse(args: &[String]) -> Option<Options> {
@@ -139,6 +192,8 @@ fn parse(args: &[String]) -> Option<Options> {
         microbatches: None,
         param_sync: None,
         warm: None,
+        recompute: None,
+        mem_budget: None,
     };
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut i = 1;
@@ -225,6 +280,32 @@ fn parse(args: &[String]) -> Option<Options> {
                 Ok(mode) => ParamSyncFlag::Fixed(mode),
                 Err(e) => {
                     eprintln!("--param-sync: {e}");
+                    return None;
+                }
+            }
+        });
+    }
+    if let Some(v) = flags.get("--recompute") {
+        o.recompute = Some(match v.as_str() {
+            "search" => RecomputeFlag::Search,
+            "off" => RecomputeFlag::Off,
+            other => {
+                eprintln!("--recompute must be \"search\" or \"off\", got {other:?}");
+                return None;
+            }
+        });
+    }
+    if let Some(v) = flags.get("--mem-budget") {
+        o.mem_budget = Some(if v == "device" {
+            MemBudgetFlag::DeviceDefaults
+        } else {
+            match v.parse::<u64>() {
+                Ok(mb) if mb >= 1 => MemBudgetFlag::UniformMb(mb),
+                _ => {
+                    eprintln!(
+                        "--mem-budget takes a size in MB (at least 1) or the word \
+                         \"device\", got {v:?}"
+                    );
                     return None;
                 }
             }
@@ -408,8 +489,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            let recompute_axis = o.recompute == Some(RecomputeFlag::Search);
+            let mem_budget = o.mem_budget.map(|f| f.build(&topo));
             println!(
-                "searching {} on {} x {} ({} ops, {} evals, {}{}{})...",
+                "searching {} on {} x {} ({} ops, {} evals, {}{}{}{}{})...",
                 o.model,
                 o.gpus,
                 o.cluster.label(),
@@ -429,6 +512,17 @@ fn main() -> ExitCode {
                     None => String::new(),
                     Some(ParamSyncFlag::Search) => ", sync axis open".to_string(),
                     Some(ParamSyncFlag::Fixed(mode)) => format!(", sync axis open from {mode}"),
+                },
+                if recompute_axis {
+                    ", recompute axis open"
+                } else {
+                    ""
+                },
+                match o.mem_budget {
+                    None => String::new(),
+                    Some(MemBudgetFlag::UniformMb(mb)) => format!(", {mb} MB budget/device"),
+                    Some(MemBudgetFlag::DeviceDefaults) =>
+                        ", device-default memory budgets".to_string(),
                 }
             );
             // --warm replaces the default seeds entirely: the search never
@@ -460,6 +554,8 @@ fn main() -> ExitCode {
                 let mut opt = McmcOptimizer::new(o.seed);
                 opt.max_microbatches = max_microbatches;
                 opt.param_sync = param_sync_axis;
+                opt.recompute = recompute_axis;
+                opt.mem_budget = mem_budget.clone();
                 opt.search(
                     &graph,
                     &topo,
@@ -474,6 +570,8 @@ fn main() -> ExitCode {
                     .exchange_every(o.exchange_every)
                     .max_microbatches(max_microbatches)
                     .param_sync(param_sync_axis)
+                    .recompute(recompute_axis)
+                    .mem_budget(mem_budget.clone())
                     .run(
                         &graph,
                         &topo,
@@ -494,6 +592,26 @@ fn main() -> ExitCode {
             }
             if r.best.has_custom_param_sync() {
                 println!("param-sync: best strategy departs from all-reduce");
+            }
+            if r.best.has_recompute() {
+                println!(
+                    "recompute: best strategy recomputes activations on {} ops",
+                    r.best.recomputes().iter().filter(|&&on| on).count()
+                );
+            }
+            let mut over_budget = false;
+            if let Some(budget) = &mem_budget {
+                let fp = memory::footprint(&graph, &topo, &r.best);
+                let (dev, bytes) = fp.peak_with_state();
+                println!(
+                    "memory: peak device {dev} needs {:.1} MB (budget {:.1} MB)",
+                    mib(bytes),
+                    mib(budget.cap(topo.device_ids().nth(dev).expect("peak device exists")))
+                );
+                if let Some(v) = memory::budget_violation(&fp, &topo, budget) {
+                    eprintln!("memory: no feasible strategy found — {v}");
+                    over_budget = true;
+                }
             }
             if o.verbose {
                 let t = r.telemetry;
@@ -542,7 +660,11 @@ fn main() -> ExitCode {
                 }
                 println!("strategy written to {path}");
             }
-            ExitCode::SUCCESS
+            if over_budget {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         "simulate" => {
             let Some(o) = parse(&args[1..]) else {
@@ -605,6 +727,30 @@ fn main() -> ExitCode {
                         }
                     }
                     s = s.with_param_sync_everywhere(mode);
+                }
+            }
+            match o.recompute {
+                None => {}
+                Some(RecomputeFlag::Search) => {
+                    eprintln!(
+                        "--recompute search only applies to the search subcommand; \
+                         simulate takes \"off\" to strip a strategy file's recompute bits"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(RecomputeFlag::Off) => s = s.with_recompute_everywhere(false),
+            }
+            if let Some(budget) = o.mem_budget.map(|f| f.build(&topo)) {
+                let fp = memory::footprint(&graph, &topo, &s);
+                let (dev, bytes) = fp.peak_with_state();
+                println!(
+                    "memory: peak device {dev} needs {:.1} MB (budget {:.1} MB)",
+                    mib(bytes),
+                    mib(budget.cap(topo.device_ids().nth(dev).expect("peak device exists")))
+                );
+                if let Some(v) = memory::budget_violation(&fp, &topo, &budget) {
+                    eprintln!("OOM: {v}");
+                    return ExitCode::FAILURE;
                 }
             }
             report("simulated", &graph, &topo, &s);

@@ -765,3 +765,151 @@ fn pre_param_sync_strategy_files_still_load() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A strategy exported for a bigger cluster must be rejected on a smaller
+/// one with an error that *names the offending op and device index* — the
+/// user's actionable handle — and the same goes for an out-of-range
+/// parameter-server placement. Both flow through `cannot load strategy:`.
+#[test]
+fn out_of_range_strategies_name_the_offending_op_and_device() {
+    let dir = std::env::temp_dir().join(format!("flexflow-cli-range-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("big.json");
+    stdout_of(&flexflow(&[
+        "search",
+        "lenet",
+        "--gpus",
+        "4",
+        "--evals",
+        "5",
+        "--seed",
+        "1",
+        "--out",
+        path.to_str().unwrap(),
+    ]));
+
+    // Device indices 0..4 cannot map onto a 2-GPU topology.
+    let out = flexflow(&[
+        "simulate",
+        "lenet",
+        "--gpus",
+        "2",
+        "--strategy",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        !out.status.success(),
+        "oversized strategy must exit nonzero"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load strategy"), "{stderr}");
+    assert!(
+        stderr.contains("places a task on device 3"),
+        "error must name the offending device index:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("only 2 devices"),
+        "error must name the topology size:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("op \""),
+        "error must name the offending op:\n{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // A parameter-server placement beyond the topology is the same story
+    // on the sync axis: the token and the out-of-range index are named.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let ps = dir.join("ps-out-of-range.json");
+    std::fs::write(&ps, text.replacen("\"allreduce\"", "\"ps:7\"", 1)).unwrap();
+    let out = flexflow(&[
+        "simulate",
+        "lenet",
+        "--gpus",
+        "4",
+        "--strategy",
+        ps.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "ps:7 on 4 GPUs must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load strategy"), "{stderr}");
+    assert!(stderr.contains("ps:7"), "{stderr}");
+    assert!(
+        stderr.contains("server device 7 is out of range"),
+        "error must name the out-of-range server device:\n{stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The memory flags end-to-end: a fitting simulate reports the peak and
+/// budget on stdout, an impossible budget reports `OOM:` and exits
+/// nonzero, the recompute axis round-trips through export/import, and
+/// malformed flag values are rejected with a message.
+#[test]
+fn mem_budget_and_recompute_flags_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("flexflow-cli-mem-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    // lenet fits the device-default budget with room to spare.
+    let out = stdout_of(&flexflow(&["simulate", "lenet", "--mem-budget", "device"]));
+    let mem_line = out
+        .lines()
+        .find(|l| l.starts_with("memory: peak device"))
+        .unwrap_or_else(|| panic!("no memory line:\n{out}"));
+    assert!(mem_line.contains("budget"), "{mem_line}");
+    assert!(out.lines().any(|l| l.starts_with("simulated")));
+
+    // Nothing fits in one megabyte.
+    let out = flexflow(&["simulate", "lenet", "--mem-budget", "1"]);
+    assert!(!out.status.success(), "1 MB budget must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("OOM:"), "{stderr}");
+
+    // The recompute axis survives the export/import round trip, and
+    // `--recompute off` strips it back out of a loaded file.
+    let path = dir.join("rc.json");
+    let out = stdout_of(&flexflow(&[
+        "search",
+        "lenet",
+        "--evals",
+        "40",
+        "--seed",
+        "3",
+        "--recompute",
+        "search",
+        "--out",
+        path.to_str().unwrap(),
+    ]));
+    assert!(
+        out.contains("recompute axis open"),
+        "banner must announce the axis:\n{out}"
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"recompute\""), "v4 dump carries the bits");
+    stdout_of(&flexflow(&[
+        "simulate",
+        "lenet",
+        "--strategy",
+        path.to_str().unwrap(),
+        "--recompute",
+        "off",
+    ]));
+
+    // Flag vocabulary is policed.
+    for bad in [
+        &["simulate", "lenet", "--recompute", "search"][..],
+        &["simulate", "lenet", "--recompute", "banana"],
+        &["search", "lenet", "--evals", "5", "--mem-budget", "0"],
+        &["search", "lenet", "--evals", "5", "--mem-budget", "lots"],
+    ] {
+        let out = flexflow(bad);
+        assert!(!out.status.success(), "{bad:?} must exit nonzero");
+        assert!(
+            !out.stderr.is_empty(),
+            "{bad:?} must explain itself on stderr"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
