@@ -1,6 +1,6 @@
 //! CI perf smoke + regression gate.
 //!
-//! Seven workloads, one artifact (`BENCH_pr9.json` by default):
+//! Eight workloads, one artifact (`BENCH_pr10.json` by default):
 //!
 //! 1. `proposal_evaluation` (full vs delta simulation, see
 //!    [`flexflow_bench::proposal_bench`]) once at 4/8/16 devices — the
@@ -28,7 +28,13 @@
 //!    [`flexflow_bench::memory_bench`]) — the OOM-infeasible → feasible
 //!    flip on gpt_medium@16 under the P100's 16 GB budgets, the PR 9
 //!    trajectory (deterministic: a single-chain greedy budgeted polish of
-//!    the recompute + ZeRO-1 structural seed).
+//!    the recompute + ZeRO-1 structural seed);
+//! 8. `concurrent_serve` (the production serving stack, see
+//!    [`flexflow_bench::serve_throughput::concurrent_serve`]) — aggregate
+//!    cache-hit throughput from parallel clients through the nonblocking
+//!    TCP front end vs the same volume over one PR 4-style Unix-socket
+//!    connection, plus LRU-bound churn on the sharded store and the
+//!    polish daemon's monotone-upgrade gain, the PR 10 trajectory.
 //!
 //! With `--check` the binary also gates the numbers and exits non-zero on
 //! a regression:
@@ -63,6 +69,12 @@
 //!   does not fit) and the budgeted-search winner must **fit** it while
 //!   actually recomputing somewhere (the acceptance bar for the memory
 //!   dimension);
+//! - concurrent TCP clients must aggregate at least the single-connection
+//!   Unix-socket hit throughput measured in the same run (the front end
+//!   must not serialize independent connections), the sharded store must
+//!   never exceed its entry bound under churn while actually evicting,
+//!   and polish must publish at least one strictly-better strategy and
+//!   never a worse one;
 //! - when a baseline artifact exists (`BENCH_SMOKE_BASELINE`, default
 //!   the committed `BENCH_pr5.json`), the *dimensionless ratios* —
 //!   delta-vs-full per device count and 4-chain-vs-1-chain throughput —
@@ -78,9 +90,12 @@
 //! 1500), `BENCH_SMOKE_SCALING_SAMPLES` (timed samples per sim_scaling
 //! cell, default 9), `BENCH_SMOKE_SYNC_EVALS` (param_sync comparison
 //! budget, default 160), `BENCH_SMOKE_MEM_EVALS` (memory-flip polish
-//! budget, default 120), `BENCH_SMOKE_BASELINE` (baseline path, default
-//! `BENCH_pr8.json`), `BENCH_SMOKE_OUT` (output path, default
-//! `BENCH_pr9.json`).
+//! budget, default 120), `BENCH_SMOKE_TCP_CLIENTS` (concurrent TCP
+//! clients, default 4), `BENCH_SMOKE_TCP_REQUESTS` (hit requests per TCP
+//! client, default 250), `BENCH_SMOKE_CHURN_INSERTS` (churn insert count,
+//! default 600), `BENCH_SMOKE_POLISH_EVALS` (polish base budget, default
+//! 12), `BENCH_SMOKE_BASELINE` (baseline path, default `BENCH_pr9.json`),
+//! `BENCH_SMOKE_OUT` (output path, default `BENCH_pr10.json`).
 
 use flexflow_bench::{
     memory_bench, param_sync_bench, pipeline_bench, proposal_bench, search_throughput,
@@ -137,6 +152,13 @@ struct Report {
     /// OOM-infeasible → feasible flip on gpt_medium@16 under 16 GB
     /// budgets (PR 9).
     memory: memory_bench::MemoryComparison,
+    /// Concurrent-TCP vs single-connection Unix-socket hit throughput
+    /// (PR 10).
+    serve_concurrent: serve_throughput::ConcurrentServe,
+    /// LRU-bound churn on the sharded store (PR 10).
+    cache_churn: serve_throughput::CacheChurn,
+    /// Polish-daemon monotone-upgrade gain (PR 10).
+    polish_gain: serve_throughput::PolishGain,
 }
 
 /// The slice of a previous report the cross-run gate compares against —
@@ -241,9 +263,29 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(120)
         .max(24);
+    let tcp_clients: usize = std::env::var("BENCH_SMOKE_TCP_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let tcp_requests: u64 = std::env::var("BENCH_SMOKE_TCP_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250)
+        .max(1);
+    let churn_inserts: u64 = std::env::var("BENCH_SMOKE_CHURN_INSERTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600)
+        .max(100);
+    let polish_evals: u64 = std::env::var("BENCH_SMOKE_POLISH_EVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+        .max(4);
     let baseline_path =
-        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr8.json".into());
-    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr9.json".into());
+        std::env::var("BENCH_SMOKE_BASELINE").unwrap_or_else(|_| "BENCH_pr9.json".into());
+    let out = std::env::var("BENCH_SMOKE_OUT").unwrap_or_else(|_| "BENCH_pr10.json".into());
     let cores = flexflow_core::default_chains();
 
     // ---- workload 1: proposal_evaluation (full vs delta) ----
@@ -452,6 +494,41 @@ fn main() -> ExitCode {
         mem.custom_sync
     );
 
+    // ---- workload 8: concurrent_serve (TCP front end + LRU + polish) ----
+    println!(
+        "\nbench smoke: concurrent_serve ({tcp_clients} TCP clients x {tcp_requests} hits \
+         vs one Unix-socket connection; churn {churn_inserts} inserts into 64 slots; \
+         polish from {polish_evals} evals)"
+    );
+    let cserve = serve_throughput::concurrent_serve(tcp_clients, tcp_requests);
+    println!(
+        "unix single-connection: {:.0} hits/s; tcp x{}: {:.0} hits/s aggregate \
+         ({:.2}x, {} busy)",
+        cserve.unix_single_rps,
+        cserve.tcp_clients,
+        cserve.tcp_concurrent_rps,
+        cserve.concurrency_speedup,
+        cserve.tcp_busy
+    );
+    let churn = serve_throughput::cache_churn(churn_inserts, 64);
+    println!(
+        "churn: {} accepted of {} inserts, peak {} entries (bound 64), \
+         {} evictions, {} bound violations",
+        churn.accepted, churn.inserts, churn.peak_entries, churn.evictions,
+        churn.bound_violations
+    );
+    let polish = serve_throughput::polish_gain(polish_evals, 11, 2);
+    println!(
+        "polish: {:.2} -> {:.2} ms/iter ({:.1}% better) in {} rounds, \
+         {} published, {} evals",
+        polish.cost_before_us / 1e3,
+        polish.cost_after_us / 1e3,
+        polish.improvement_pct,
+        polish.rounds_run,
+        polish.published,
+        polish.polish_evals
+    );
+
     // ---- artifact ----
     let report = Report {
         unix_epoch_secs: std::time::SystemTime::now()
@@ -481,7 +558,15 @@ fn main() -> ExitCode {
                budgeted polish on gpt_medium@16 under the P100's 16 GB per-device budgets, \
                warm-started from data parallelism with recompute everywhere and ZeRO-1 \
                sharding (deterministic; the gate demands the OOM-infeasible -> feasible \
-               flip: plain data parallelism must overflow, the winner must fit)"
+               flip: plain data parallelism must overflow, the winner must fit). \
+               concurrent_serve: aggregate cache-hit throughput from parallel TCP \
+               clients through the nonblocking front end vs the same total volume \
+               over one Unix-socket connection in the same process (the gate demands \
+               concurrency not lose to a single connection); cache_churn hammers a \
+               64-entry sharded LRU store far past its bound; polish_gain replays \
+               the polish daemon's escalating re-search of the hottest entry \
+               (deterministic; the gate demands a strict improvement, never a \
+               regression)"
             .into(),
         results,
         search_throughput: search,
@@ -493,6 +578,9 @@ fn main() -> ExitCode {
         sim_scaling_growth_per_doubling: scaling_growth.clone(),
         param_sync: psync.clone(),
         memory: mem.clone(),
+        serve_concurrent: cserve.clone(),
+        cache_churn: churn.clone(),
+        polish_gain: polish.clone(),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json).expect("write bench smoke artifact");
@@ -614,6 +702,45 @@ fn main() -> ExitCode {
         failures.push("fitted winner never recomputes (gate: recompute_ops > 0)".into());
     }
 
+    // Concurrent-serve gates: the nonblocking front end must let parallel
+    // clients aggregate at least what one Unix-socket connection gets,
+    // the LRU bound must hold absolutely under churn, and polish must
+    // strictly pay without ever publishing a regression.
+    if cserve.tcp_concurrent_rps < cserve.unix_single_rps {
+        failures.push(format!(
+            "concurrent TCP serves {:.0} hits/s aggregate, below the \
+             single-connection Unix-socket {:.0} hits/s",
+            cserve.tcp_concurrent_rps, cserve.unix_single_rps
+        ));
+    }
+    if churn.bound_violations != 0 {
+        failures.push(format!(
+            "sharded store exceeded its entry bound after {} inserts \
+             (peak {} > {})",
+            churn.bound_violations, churn.peak_entries, churn.max_entries
+        ));
+    }
+    if churn.evictions == 0 {
+        failures.push("churn produced zero LRU evictions (bound never enforced)".into());
+    }
+    if polish.published < 1 {
+        failures.push("polish never published an upgrade (gate: >= 1)".into());
+    }
+    if polish.cost_after_us > polish.cost_before_us {
+        failures.push(format!(
+            "polish left the cache worse: {:.2} -> {:.2} ms/iter",
+            polish.cost_before_us / 1e3,
+            polish.cost_after_us / 1e3
+        ));
+    }
+    if polish.cost_after_us >= polish.cost_before_us {
+        failures.push(format!(
+            "polish never strictly improved the hot entry ({:.2} ms/iter before \
+             and after)",
+            polish.cost_before_us / 1e3
+        ));
+    }
+
     // Cross-run gate: dimensionless ratios vs the committed baseline
     // artifact, with a 20% noise allowance.
     match std::fs::read_to_string(&baseline_path) {
@@ -694,7 +821,8 @@ fn main() -> ExitCode {
             "  PASS: delta-vs-full >= 1.5x at 4/8/16 devices, 4-chain {tp_ratio:.2}x, \
              hits {:.0} req/s at 0 evals, warm ratio {:.3}, pipeline ratio {:.3} (m = {}), \
              scaling growth {} per doubling, sync ratio {:.3} at {:.1}x less opt state, \
-             memory flip OOM->fit at {:.1} MB/device",
+             memory flip OOM->fit at {:.1} MB/device, tcp x{} {:.2}x vs unix, \
+             churn bound held with {} evictions, polish {:.1}% better",
             hits.requests_per_s,
             wvc.warm_ratio,
             pipeline.cost_ratio,
@@ -707,7 +835,11 @@ fn main() -> ExitCode {
             psync.cost_ratio,
             psync.baseline_opt_state_peak_bytes as f64
                 / psync.synced_opt_state_peak_bytes.max(1) as f64,
-            mem.fitted_peak_bytes as f64 / (1u64 << 20) as f64
+            mem.fitted_peak_bytes as f64 / (1u64 << 20) as f64,
+            cserve.tcp_clients,
+            cserve.concurrency_speedup,
+            churn.evictions,
+            polish.improvement_pct
         );
         ExitCode::SUCCESS
     } else {

@@ -568,6 +568,381 @@ pub mod serve_throughput {
             warm_ratio: warm_chase.evals as f64 / cold_chase.evals.max(1) as f64,
         }
     }
+
+    /// Socket-level serving comparison: single-connection hit throughput
+    /// over the PR 4 Unix-socket path vs aggregate hit throughput from
+    /// concurrent clients through the nonblocking TCP front end. Both
+    /// sides run in the same process with the same worker count and the
+    /// same total request volume, so the ratio is host-independent.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct ConcurrentServe {
+        /// Requests pumped through the single Unix-socket connection.
+        pub unix_requests: u64,
+        /// Wall-clock seconds for the Unix-socket side.
+        pub unix_elapsed_s: f64,
+        /// Single-connection Unix-socket hits/sec (the PR 4 number).
+        pub unix_single_rps: f64,
+        /// Concurrent TCP clients.
+        pub tcp_clients: u64,
+        /// Hit requests per TCP client.
+        pub tcp_requests_per_client: u64,
+        /// Requests answered `ok` across every client.
+        pub tcp_ok: u64,
+        /// In-band `busy` backpressure answers (not counted as served).
+        pub tcp_busy: u64,
+        /// Wall-clock seconds from first client start to last client done.
+        pub tcp_elapsed_s: f64,
+        /// Aggregate served hits/sec across all TCP clients.
+        pub tcp_concurrent_rps: f64,
+        /// `tcp_concurrent_rps / unix_single_rps` (gated >= 1.0).
+        pub concurrency_speedup: f64,
+    }
+
+    /// Primes a connection's server with one cold search, then pumps
+    /// `requests` identical hit requests through it, returning the
+    /// elapsed seconds for the hit phase only.
+    fn pump(
+        mut reader: impl std::io::BufRead,
+        mut writer: impl std::io::Write,
+        line: &str,
+        requests: u64,
+    ) -> (f64, u64, u64) {
+        let mut resp = String::new();
+        let mut ok = 0u64;
+        let mut busy = 0u64;
+        // One write per request: two small writes (payload then newline)
+        // ping-pong badly with Nagle + delayed ACK on TCP loopback.
+        let msg = format!("{line}\n");
+        let t0 = Instant::now();
+        for _ in 0..requests {
+            writer.write_all(msg.as_bytes()).expect("write request");
+            resp.clear();
+            reader.read_line(&mut resp).expect("read response");
+            assert!(!resp.is_empty(), "server closed the connection");
+            if resp.contains(r#""status":"busy""#) {
+                busy += 1;
+            } else {
+                assert!(resp.contains(r#""status":"ok""#), "{resp}");
+                ok += 1;
+            }
+        }
+        (t0.elapsed().as_secs_f64(), ok, busy)
+    }
+
+    /// Measures the single-connection Unix-socket side.
+    #[cfg(unix)]
+    fn unix_single(line: &str, requests: u64) -> (f64, u64) {
+        use std::os::unix::net::UnixStream;
+        let server = std::sync::Arc::new(Server::new(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        }));
+        let dir = std::env::temp_dir().join(format!("ff-bench-sock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let sock = dir.join("serve.sock");
+        let elapsed = std::thread::scope(|s| {
+            let daemon = {
+                let server = std::sync::Arc::clone(&server);
+                let sock = sock.clone();
+                s.spawn(move || server.run_socket(&sock))
+            };
+            for _ in 0..1000 {
+                if sock.exists() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let stream = UnixStream::connect(&sock).expect("connect unix socket");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = stream;
+            // Prime the cache (cold), then time the hit traffic.
+            use std::io::{BufRead, Write};
+            writeln!(writer, "{line}").expect("prime");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("prime response");
+            assert!(resp.contains(r#""cache":"cold""#), "prime must be cold: {resp}");
+            let (elapsed, ok, busy) = pump(&mut reader, &mut writer, line, requests);
+            assert_eq!(busy, 0, "a single connection never overflows the queue");
+            assert_eq!(ok, requests);
+            writeln!(writer, r#"{{"cmd":"shutdown"}}"#).expect("shutdown");
+            resp.clear();
+            reader.read_line(&mut resp).expect("shutdown response");
+            daemon.join().unwrap().expect("socket loop exits cleanly");
+            elapsed
+        });
+        std::fs::remove_dir_all(&dir).ok();
+        (elapsed, requests)
+    }
+
+    /// Non-Unix fallback: the same single-connection measurement over a
+    /// loopback TCP connection (the closest available stand-in).
+    #[cfg(not(unix))]
+    fn unix_single(line: &str, requests: u64) -> (f64, u64) {
+        let server = std::sync::Arc::new(Server::new(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        }));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let elapsed = std::thread::scope(|s| {
+            let daemon = {
+                let server = std::sync::Arc::clone(&server);
+                s.spawn(move || server.serve_listener(listener))
+            };
+            let stream = std::net::TcpStream::connect(addr).expect("connect");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = stream;
+            use std::io::{BufRead, Write};
+            writeln!(writer, "{line}").expect("prime");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("prime response");
+            let (elapsed, _, _) = pump(&mut reader, &mut writer, line, requests);
+            writeln!(writer, r#"{{"cmd":"shutdown"}}"#).expect("shutdown");
+            resp.clear();
+            reader.read_line(&mut resp).ok();
+            daemon.join().unwrap().expect("tcp loop exits cleanly");
+            elapsed
+        });
+        (elapsed, requests)
+    }
+
+    /// Runs the comparison: `clients × requests_per_client` hit requests
+    /// concurrently over TCP vs the same total volume over one Unix
+    /// socket connection.
+    pub fn concurrent_serve(clients: usize, requests_per_client: u64) -> ConcurrentServe {
+        let line = r#"{"model":"lenet","gpus":2,"evals":60,"seed":11}"#;
+        let total = clients as u64 * requests_per_client;
+        let (unix_elapsed_s, unix_requests) = unix_single(line, total);
+
+        // Concurrent TCP side: fresh server, same workers, every client
+        // pipelines hits against the primed cache.
+        let server = std::sync::Arc::new(Server::new(ServerConfig {
+            workers: 2,
+            max_connections: clients + 4,
+            ..ServerConfig::default()
+        }));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let (tcp_elapsed_s, tcp_ok, tcp_busy) = std::thread::scope(|s| {
+            let daemon = {
+                let server = std::sync::Arc::clone(&server);
+                s.spawn(move || server.serve_listener(listener))
+            };
+            // Prime once so every timed request is a hit.
+            {
+                let stream = std::net::TcpStream::connect(&addr).expect("connect");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+                let mut writer = stream;
+                use std::io::{BufRead, Write};
+                writeln!(writer, "{line}").expect("prime");
+                let mut resp = String::new();
+                reader.read_line(&mut resp).expect("prime response");
+                assert!(resp.contains(r#""cache":"cold""#), "prime must be cold: {resp}");
+            }
+            let t0 = Instant::now();
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let addr = addr.clone();
+                    s.spawn(move || {
+                        let stream = std::net::TcpStream::connect(&addr).expect("connect");
+                        stream.set_nodelay(true).expect("nodelay");
+                        let reader =
+                            std::io::BufReader::new(stream.try_clone().expect("clone"));
+                        pump(reader, stream, line, requests_per_client)
+                    })
+                })
+                .collect();
+            let mut ok = 0u64;
+            let mut busy = 0u64;
+            for h in handles {
+                let (_, client_ok, client_busy) = h.join().expect("client thread");
+                ok += client_ok;
+                busy += client_busy;
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            // Shut the front end down cleanly.
+            let stream = std::net::TcpStream::connect(&addr).expect("connect");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = stream;
+            use std::io::{BufRead, Write};
+            writeln!(writer, r#"{{"cmd":"shutdown"}}"#).expect("shutdown");
+            let mut resp = String::new();
+            reader.read_line(&mut resp).ok();
+            daemon.join().unwrap().expect("tcp loop exits cleanly");
+            (elapsed, ok, busy)
+        });
+
+        let unix_single_rps = unix_requests as f64 / unix_elapsed_s.max(1e-9);
+        let tcp_concurrent_rps = tcp_ok as f64 / tcp_elapsed_s.max(1e-9);
+        ConcurrentServe {
+            unix_requests,
+            unix_elapsed_s,
+            unix_single_rps,
+            tcp_clients: clients as u64,
+            tcp_requests_per_client: requests_per_client,
+            tcp_ok,
+            tcp_busy,
+            tcp_elapsed_s,
+            tcp_concurrent_rps,
+            concurrency_speedup: tcp_concurrent_rps / unix_single_rps.max(1e-9),
+        }
+    }
+
+    /// LRU-bound churn: the sharded store is hammered with inserts far
+    /// past its entry bound, and the bound must hold after every single
+    /// insert (`bound_violations` gated == 0) while eviction does real
+    /// work (`evictions` gated > 0).
+    #[derive(Debug, Clone, Serialize)]
+    pub struct CacheChurn {
+        /// Insert attempts.
+        pub inserts: u64,
+        /// Inserts the store accepted (lower-cost-wins filter).
+        pub accepted: u64,
+        /// Configured entry bound.
+        pub max_entries: usize,
+        /// Largest entry count observed after any insert.
+        pub peak_entries: usize,
+        /// Entries alive at the end.
+        pub final_entries: usize,
+        /// LRU evictions across all shards.
+        pub evictions: u64,
+        /// Inserts after which `len() > max_entries` (gated == 0).
+        pub bound_violations: u64,
+    }
+
+    /// Churns `inserts` entries with cycling signatures through a store
+    /// bounded at `max_entries`.
+    pub fn cache_churn(inserts: u64, max_entries: usize) -> CacheChurn {
+        use flexflow_core::strategy_io::{export_record, signature_hex};
+        use flexflow_server::{CacheBounds, CacheEntry, ShardedStore, StrategyStore};
+        let graph = flexflow_opgraph::zoo::lenet(64);
+        let topo = flexflow_device::clusters::uniform_cluster(1, 2, 16.0, 4.0);
+        let dp = Strategy::data_parallel(&graph, &topo);
+        let store = ShardedStore::in_memory(8, CacheBounds::entries(max_entries));
+        let mut accepted = 0u64;
+        let mut peak = 0usize;
+        let mut violations = 0u64;
+        for i in 0..inserts {
+            // Descending costs so revisited addresses replace in place;
+            // cycling signatures force steady eviction pressure.
+            let mut record = export_record(&graph, &topo, &dp, 1e9 - i as f64, 50);
+            record.graph_sig = signature_hex(i % 97);
+            record.topo_sig = signature_hex(i % 13);
+            let entry = CacheEntry {
+                budget_class: (i % 7 + 1) as u32,
+                model: "lenet".into(),
+                gpus: 2,
+                cluster: "p100".into(),
+                record,
+            };
+            if store.insert(entry) {
+                accepted += 1;
+            }
+            let len = store.len();
+            peak = peak.max(len);
+            if len > max_entries {
+                violations += 1;
+            }
+        }
+        let evictions = store.shard_stats().iter().map(|s| s.evictions).sum();
+        CacheChurn {
+            inserts,
+            accepted,
+            max_entries,
+            peak_entries: peak,
+            final_entries: store.len(),
+            evictions,
+            bound_violations: violations,
+        }
+    }
+
+    /// What the polish daemon buys: re-searching the hottest cache entry
+    /// at escalating budgets must never publish a worse strategy and is
+    /// expected to strictly improve an under-searched entry.
+    #[derive(Debug, Clone, Serialize)]
+    pub struct PolishGain {
+        /// Evaluation budget of the original (under-searched) request.
+        pub base_evals: u64,
+        /// Polish rounds executed.
+        pub rounds_run: u64,
+        /// Upgrades published (gated >= 1).
+        pub published: u64,
+        /// Cached cost before any polish (µs/iter).
+        pub cost_before_us: f64,
+        /// Cached cost after polish (µs/iter, gated <= before).
+        pub cost_after_us: f64,
+        /// `1 - after/before` as a percentage.
+        pub improvement_pct: f64,
+        /// Simulator evaluations polish spent in total.
+        pub polish_evals: u64,
+    }
+
+    /// Primes a server with one under-searched entry, heats it, and runs
+    /// the polish loop by hand (exactly what the daemon thread does
+    /// between sleeps).
+    pub fn polish_gain(base_evals: u64, seed: u64, max_rounds: u32) -> PolishGain {
+        use flexflow_server::polish::{self, PolishConfig, PolishOutcome};
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let line = format!(r#"{{"model":"rnnlm","gpus":4,"evals":{base_evals},"seed":{seed}}}"#);
+        let cold = server.handle_line(&line);
+        assert!(cold.contains(r#""cache":"cold""#), "{cold}");
+        // A hit heats the entry so `hottest()` proposes it.
+        let hit = server.handle_line(&line);
+        assert!(hit.contains(r#""cache":"hit""#), "{hit}");
+        let cost_at = |server: &Server| {
+            server
+                .store()
+                .hottest()
+                .expect("entry exists")
+                .entry
+                .record
+                .cost_us
+        };
+        let cost_before_us = cost_at(&server);
+        let cfg = PolishConfig {
+            max_rounds,
+            max_evals: base_evals * 32,
+            ..PolishConfig::default()
+        };
+        let mut rounds_run = 0u64;
+        let mut published = 0u64;
+        for _ in 0..max_rounds {
+            match polish::step(&server, &cfg) {
+                PolishOutcome::Published {
+                    cost_before,
+                    cost_after,
+                    ..
+                } => {
+                    assert!(
+                        cost_after <= cost_before,
+                        "polish published a worse strategy"
+                    );
+                    published += 1;
+                }
+                PolishOutcome::NoImprovement { .. } => {}
+                PolishOutcome::Idle => break,
+                other => panic!("unexpected polish outcome: {other:?}"),
+            }
+            rounds_run += 1;
+        }
+        let cost_after_us = cost_at(&server);
+        PolishGain {
+            base_evals,
+            rounds_run,
+            published,
+            cost_before_us,
+            cost_after_us,
+            improvement_pct: (1.0 - cost_after_us / cost_before_us.max(1e-9)) * 100.0,
+            polish_evals: server
+                .stats()
+                .polish_evals
+                .load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
 }
 
 /// Workload + measurement helpers for the `pipeline` benchmark (the

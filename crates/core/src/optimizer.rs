@@ -77,6 +77,25 @@ impl Budget {
             patience_fraction: 0.5,
         }
     }
+
+    /// An escalated evaluation budget for re-polishing an already-searched
+    /// strategy: `base_evals` doubled once per completed polish `round`
+    /// (round 0 ⇒ 2×, round 1 ⇒ 4×, …), saturating at `cap_evals`.
+    ///
+    /// The serving daemon's background polish loop uses this to spend idle
+    /// cycles re-searching hot cache entries at geometrically growing
+    /// budgets, so each pass explores meaningfully beyond the previous one
+    /// without ever exceeding the configured ceiling. A zero `base_evals`
+    /// is treated as 1 so escalation always makes forward progress.
+    pub fn escalated(base_evals: u64, round: u32, cap_evals: u64) -> Self {
+        let base = base_evals.max(1);
+        let evals = round
+            .checked_add(1)
+            .and_then(|shift| base.checked_shl(shift))
+            .unwrap_or(u64::MAX)
+            .min(cap_evals.max(1));
+        Self::evaluations(evals)
+    }
 }
 
 /// Splits a search [`Budget`] across `chains` parallel chains.
@@ -977,66 +996,6 @@ impl ParallelSearch {
         }
     }
 
-    /// Warm-started search: every chain restarts from `warm` *instead of*
-    /// the usual data-parallel/expert seeds.
-    ///
-    /// `warm` is typically a cached strategy for the same op graph —
-    /// possibly found on a different topology and rebound via
-    /// [`crate::strategy_io::remap_onto`], or found under a smaller
-    /// evaluation budget — which starts the Markov chains deep inside the
-    /// good region of the space rather than at data parallelism. Because
-    /// the search never returns a strategy worse than its initial
-    /// candidate, a poor warm seed costs only evaluations, never quality
-    /// relative to that seed; and with a single restart the whole budget
-    /// goes to refining it.
-    ///
-    /// A seed whose microbatch count exceeds (or is illegal under)
-    /// [`ParallelSearch::max_microbatches`] is clamped back to
-    /// whole-batch execution before the search starts — the caller ruled
-    /// that pipeline depth out, so the chain must neither simulate nor
-    /// return it. Likewise a seed carrying non-all-reduce sync modes is
-    /// clamped when [`ParallelSearch::param_sync`] is off.
-    #[deprecated(note = "use SearchRequest::new(seed)...run_warm(...)")]
-    pub fn search_warm(
-        &self,
-        graph: &OpGraph,
-        topo: &Topology,
-        cost: &dyn CostModel,
-        warm: Strategy,
-        budget: Budget,
-        cfg: SimConfig,
-    ) -> SearchResult {
-        self.request()
-            .run_warm(graph, topo, cost, warm, budget, cfg)
-    }
-
-    /// Runs `chains` concurrent MCMC chains from every initial strategy
-    /// and returns the globally best strategy found. The evaluation
-    /// budget is split across chains ([`split_budget`]), so the total
-    /// proposal count matches the sequential driver's for the same
-    /// budget. When the budget is smaller than the chain count the
-    /// effective chain count is capped at the budget (a zero-eval chain
-    /// would still pay one full simulator build per initial strategy
-    /// just to exit; the cap is a pure function of the inputs, so
-    /// determinism is unaffected) — `chain_evals` reports the effective
-    /// count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `chains` is zero, `initial` is empty, the graph has no
-    /// searchable ops, or a chain thread panics.
-    #[deprecated(note = "use SearchRequest::new(seed)...run(...)")]
-    pub fn search(
-        &self,
-        graph: &OpGraph,
-        topo: &Topology,
-        cost: &dyn CostModel,
-        initial: &[Strategy],
-        budget: Budget,
-        cfg: SimConfig,
-    ) -> SearchResult {
-        self.request().run(graph, topo, cost, initial, budget, cfg)
-    }
 }
 
 /// Builder-style description of one multi-chain MCMC search: every knob
@@ -1045,9 +1004,9 @@ impl ParallelSearch {
 /// [`SearchRequest::run_warm`].
 ///
 /// This is the single entry point the drivers' public surfaces converge
-/// on — [`ParallelSearch::search`] and [`ParallelSearch::search_warm`]
-/// are thin deprecated shims over it — so new search knobs land here once
-/// instead of growing every call site's parameter list.
+/// on (the old `ParallelSearch::search`/`search_warm` methods were
+/// deleted once every caller migrated), so new search knobs land here
+/// once instead of growing every call site's parameter list.
 ///
 /// ```
 /// # use flexflow_core::{SearchRequest, Budget, SimConfig, Strategy};
@@ -1191,9 +1150,24 @@ impl SearchRequest {
     }
 
     /// Warm-started [`SearchRequest::run`]: every chain restarts from
-    /// `warm` instead of the usual data-parallel/expert seeds (see
-    /// [`ParallelSearch::search_warm`] for the warm-start semantics and
-    /// the microbatch/param-sync clamping rules).
+    /// `warm` instead of the usual data-parallel/expert seeds.
+    ///
+    /// `warm` is typically a cached strategy for the same op graph —
+    /// possibly found on a different topology and rebound via
+    /// [`crate::strategy_io::remap_onto`], or found under a smaller
+    /// evaluation budget — which starts the Markov chains deep inside the
+    /// good region of the space rather than at data parallelism. Because
+    /// the search never returns a strategy worse than its initial
+    /// candidate, a poor warm seed costs only evaluations, never quality
+    /// relative to that seed; and with a single restart the whole budget
+    /// goes to refining it.
+    ///
+    /// A seed whose microbatch count exceeds (or is illegal under)
+    /// [`SearchRequest::max_microbatches`] is clamped back to whole-batch
+    /// execution before the search starts — the caller ruled that
+    /// pipeline depth out, so the chain must neither simulate nor return
+    /// it. Likewise a seed carrying non-all-reduce sync modes is clamped
+    /// when [`SearchRequest::param_sync`] is off.
     pub fn run_warm(
         &self,
         graph: &OpGraph,
@@ -1338,7 +1312,6 @@ impl SearchRequest {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use flexflow_costmodel::MeasuredCostModel;
@@ -1564,7 +1537,7 @@ mod tests {
         let budget = Budget::evaluations(150);
         let seq =
             McmcOptimizer::new(42).search(&g, &topo, &cost, &inits, budget, SimConfig::default());
-        let par = ParallelSearch::with_chains(42, 1).search(
+        let par = ParallelSearch::with_chains(42, 1).request().run(
             &g,
             &topo,
             &cost,
@@ -1593,7 +1566,7 @@ mod tests {
         let run = || {
             let mut ps = ParallelSearch::with_chains(7, 4);
             ps.exchange_every = 16; // force several exchange rounds
-            ps.search(&g, &topo, &cost, &inits, budget, SimConfig::default())
+            ps.request().run(&g, &topo, &cost, &inits, budget, SimConfig::default())
         };
         let a = run();
         let b = run();
@@ -1609,7 +1582,7 @@ mod tests {
         let (g, topo, cost) = setup();
         let dp = Strategy::data_parallel(&g, &topo);
         let dp_cost = Simulator::new(&g, &topo, &cost, SimConfig::default(), dp.clone()).cost_us();
-        let r = ParallelSearch::with_chains(3, 3).search(
+        let r = ParallelSearch::with_chains(3, 3).request().run(
             &g,
             &topo,
             &cost,
@@ -1631,7 +1604,7 @@ mod tests {
         let inits = [Strategy::data_parallel(&g, &topo)];
         let mut ps = ParallelSearch::with_chains(11, 4);
         ps.exchange_every = 32;
-        let r = ps.search(
+        let r = ps.request().run(
             &g,
             &topo,
             &cost,
@@ -1660,7 +1633,7 @@ mod tests {
         // must notice and stop well short of the eval budget.
         let mut ps = ParallelSearch::with_chains(5, 2);
         ps.target_cost_us = dp_cost * 2.0;
-        let r = ps.search(
+        let r = ps.request().run(
             &g,
             &topo,
             &cost,
@@ -1700,7 +1673,7 @@ mod tests {
         // 3 evals across 8 requested chains: only 3 chains are worth
         // spinning up (a 0-eval chain still pays full simulator builds).
         let (g, topo, cost) = setup();
-        let r = ParallelSearch::with_chains(1, 8).search(
+        let r = ParallelSearch::with_chains(1, 8).request().run(
             &g,
             &topo,
             &cost,
@@ -1741,7 +1714,7 @@ mod tests {
         let dp = Strategy::data_parallel(&g, &topo);
 
         // A short cold search produces the "cached" seed.
-        let seed_run = ParallelSearch::with_chains(13, 1).search(
+        let seed_run = ParallelSearch::with_chains(13, 1).request().run(
             &g,
             &topo,
             &cost,
@@ -1751,7 +1724,7 @@ mod tests {
         );
 
         // Warm-started search never returns worse than its seed.
-        let warm = ParallelSearch::with_chains(14, 1).search_warm(
+        let warm = ParallelSearch::with_chains(14, 1).request().run_warm(
             &g,
             &topo,
             &cost,
@@ -1766,7 +1739,7 @@ mod tests {
         // property the serve bench gate quantifies.
         let mut ps = ParallelSearch::with_chains(15, 1);
         ps.target_cost_us = seed_run.best_cost_us;
-        let instant = ps.search_warm(
+        let instant = ps.request().run_warm(
             &g,
             &topo,
             &cost,
@@ -1804,7 +1777,7 @@ mod tests {
             Simulator::new(&g, &topo, &cost, SimConfig::default(), staged.clone()).cost_us();
         let mut ps = ParallelSearch::with_chains(3, 1);
         ps.max_microbatches = 8;
-        let r = ps.search_warm(
+        let r = ps.request().run_warm(
             &g,
             &topo,
             &cost,
@@ -1839,7 +1812,7 @@ mod tests {
         let cost = MeasuredCostModel::paper_default();
         let inits = [Strategy::data_parallel(&g, &topo)];
         let budget = Budget::evaluations(120);
-        let disabled = ParallelSearch::with_chains(9, 2).search(
+        let disabled = ParallelSearch::with_chains(9, 2).request().run(
             &g,
             &topo,
             &cost,
@@ -1849,7 +1822,7 @@ mod tests {
         );
         let mut ps = ParallelSearch::with_chains(9, 2);
         ps.max_microbatches = 6;
-        let inert = ps.search(&g, &topo, &cost, &inits, budget, SimConfig::default());
+        let inert = ps.request().run(&g, &topo, &cost, &inits, budget, SimConfig::default());
         assert_eq!(
             disabled.best_cost_us.to_bits(),
             inert.best_cost_us.to_bits()
@@ -1868,7 +1841,7 @@ mod tests {
         // to whole-batch execution instead.
         let (g, topo, cost) = setup();
         let warm = Strategy::data_parallel(&g, &topo).with_microbatches(4);
-        let r = ParallelSearch::with_chains(5, 1).search_warm(
+        let r = ParallelSearch::with_chains(5, 1).request().run_warm(
             &g,
             &topo,
             &cost,
@@ -1887,7 +1860,7 @@ mod tests {
         let mut ps = ParallelSearch::with_chains(5, 1);
         ps.max_microbatches = 8;
         ps.target_cost_us = seed_cost;
-        let r = ps.search_warm(
+        let r = ps.request().run_warm(
             &g,
             &topo,
             &cost,
@@ -2156,22 +2129,48 @@ mod tests {
     }
 
     #[test]
-    fn search_request_shims_match_the_legacy_driver() {
-        // The deprecated ParallelSearch entry points and the request they
-        // delegate to must produce bit-identical results.
-        let (g, topo, cost) = setup();
-        let inits = [Strategy::data_parallel(&g, &topo)];
-        let budget = Budget::evaluations(100);
+    fn parallel_search_request_copies_every_knob() {
+        // ParallelSearch::request() is the migration path off the (now
+        // deleted) search/search_warm shims: it must carry every field
+        // over verbatim so a converted caller runs the identical search.
         let mut ps = ParallelSearch::with_chains(31, 2);
         ps.exchange_every = 16;
-        let legacy = ps.search(&g, &topo, &cost, &inits, budget, SimConfig::default());
-        let req = ps
-            .request()
-            .run(&g, &topo, &cost, &inits, budget, SimConfig::default());
-        assert_eq!(legacy.best_cost_us.to_bits(), req.best_cost_us.to_bits());
-        assert_eq!(legacy.best, req.best);
-        assert_eq!(legacy.evals, req.evals);
-        assert_eq!(legacy.chain_evals, req.chain_evals);
+        ps.target_cost_us = 123.5;
+        ps.beta_scale = 7.0;
+        ps.space = ConfigSpace::Canonical;
+        ps.algorithm = SimAlgorithm::Full;
+        ps.acceptance = AcceptanceRule::Annealed { anneal_factor: 4.0 };
+        ps.max_microbatches = 8;
+        ps.param_sync = true;
+        ps.recompute = true;
+        let req = ps.request();
+        assert_eq!(req.seed, ps.seed);
+        assert_eq!(req.chains, ps.chains);
+        assert_eq!(req.exchange_every, ps.exchange_every);
+        assert_eq!(req.target_cost_us, ps.target_cost_us);
+        assert_eq!(req.beta_scale, ps.beta_scale);
+        assert_eq!(req.space, ps.space);
+        assert_eq!(req.algorithm, ps.algorithm);
+        assert_eq!(req.acceptance, ps.acceptance);
+        assert_eq!(req.max_microbatches, ps.max_microbatches);
+        assert_eq!(req.param_sync, ps.param_sync);
+        assert_eq!(req.recompute, ps.recompute);
+        assert!(req.mem_budget.is_none());
+    }
+
+    #[test]
+    fn escalated_budgets_double_per_round_and_saturate() {
+        assert_eq!(Budget::escalated(100, 0, 1_000_000).max_evals, 200);
+        assert_eq!(Budget::escalated(100, 1, 1_000_000).max_evals, 400);
+        assert_eq!(Budget::escalated(100, 3, 1_000_000).max_evals, 1600);
+        // The cap binds once doubling passes it.
+        assert_eq!(Budget::escalated(100, 20, 50_000).max_evals, 50_000);
+        // A zero-eval seed still escalates (treated as 1).
+        assert_eq!(Budget::escalated(0, 0, 1_000_000).max_evals, 2);
+        // Shift overflow saturates instead of wrapping.
+        assert_eq!(Budget::escalated(u64::MAX / 2, 63, u64::MAX).max_evals, u64::MAX);
+        // Escalated budgets keep the paper's patience defaults.
+        assert_eq!(Budget::escalated(100, 0, 1_000).patience_fraction, 0.5);
     }
 
     #[test]

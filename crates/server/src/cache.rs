@@ -22,13 +22,15 @@
 //! same graph and topology searched at least as hard — servable with zero
 //! simulator evaluations), **warm** (an entry for the same graph on a
 //! different topology, or searched less hard — a seed for
-//! [`ParallelSearch::search_warm`](flexflow_core::ParallelSearch::search_warm)
+//! [`SearchRequest::run_warm`](flexflow_core::SearchRequest::run_warm)
 //! after [`strategy_io::remap_onto`](flexflow_core::strategy_io::remap_onto)),
 //! or **miss**.
 //!
-//! Entries persist as a single JSON file of versioned, signature-stamped
+//! Entries persist as JSON files of versioned, signature-stamped
 //! [`StrategyRecord`]s, reloaded on startup and rewritten atomically
-//! (temp file + rename) on every accepted insert.
+//! (temp file + rename) on every accepted insert. This module is the
+//! single-map primitive; [`crate::store`] layers sharding, LRU bounds and
+//! the [`StrategyStore`](crate::store::StrategyStore) trait on top of it.
 
 use flexflow_core::strategy_io::{
     parse_signature_hex, StrategyRecord, FORMAT_VERSION, MIN_FORMAT_VERSION,
@@ -81,7 +83,7 @@ pub fn composite_class(
 
 /// Splits a [`composite_class`] into
 /// `(recompute flag, param-sync flag, microbatch cap, eval class)`.
-fn split_class(class: u32) -> (u32, u32, u32, u32) {
+pub(crate) fn split_class(class: u32) -> (u32, u32, u32, u32) {
     (
         (class >> 17) & 1,
         (class >> 16) & 1,
@@ -330,6 +332,11 @@ impl StrategyCache {
     /// All entries in address order.
     pub fn entries(&self) -> impl Iterator<Item = (&String, &CacheEntry)> {
         self.entries.iter()
+    }
+
+    /// The entry stored at a content address, if any.
+    pub fn get(&self, address: &str) -> Option<&CacheEntry> {
+        self.entries.get(address)
     }
 }
 

@@ -1,19 +1,28 @@
-//! The wire protocol: line-delimited JSON requests and responses.
+//! The wire protocol: a versioned envelope over line-delimited JSON.
 //!
 //! One request per line, one response line per request, in order. The
-//! protocol is deliberately tiny and self-describing so `nc -U` and shell
-//! pipelines are first-class clients:
+//! protocol is deliberately tiny and self-describing so `nc` and shell
+//! pipelines are first-class clients. Two envelope versions coexist:
 //!
 //! ```text
+//! v1 (no "v" field — every PR 4-era client keeps working unchanged):
 //! {"cmd":"search","model":"rnnlm","gpus":4,"evals":2000,"seed":42}
 //! {"cmd":"stats"}
-//! {"cmd":"shutdown"}
+//!
+//! v2 (explicit version, "verb" instead of "cmd"):
+//! {"v":2,"verb":"search","model":"rnnlm","gpus":4,"evals":2000}
+//! {"v":2,"verb":"stats"}
+//! {"v":2,"verb":"shutdown"}
 //! ```
 //!
-//! Every `search` field except `model` is optional; `cmd` itself defaults
-//! to `"search"`, so `{"model":"rnnlm"}` is a complete request. Unknown
-//! fields are ignored (forward compatibility); malformed lines produce an
-//! in-band `{"status":"error",...}` response, never a dead connection.
+//! An absent `"v"` means v1 semantics: `cmd` defaults to `"search"`, so
+//! `{"model":"rnnlm"}` is a complete request, and responses carry no `v`
+//! marker. A `"v":2` envelope requires an explicit `"verb"` and its
+//! responses echo `"v":2`; the body fields of `search` are identical in
+//! both versions. Unknown *fields* are ignored in every version (forward
+//! compatibility); an unknown *version* is an error. Malformed lines
+//! produce an in-band `{"status":"error",...}` response, never a dead
+//! connection.
 //!
 //! Responses to `search` report how the answer was produced:
 //!
@@ -26,6 +35,9 @@
 
 use flexflow_device::DeviceKind;
 use serde::Value;
+
+/// Newest envelope version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Cap on the per-request evaluation budget: a typo'd `"evals": 1e12`
 /// must not wedge a worker for hours.
@@ -55,6 +67,17 @@ pub const KNOWN_MODELS: [&str; 10] = [
     "gpt_small",
     "gpt_medium",
 ];
+
+/// A parsed request line plus the envelope version it arrived under —
+/// the server shapes its response (the `"v"` marker, the stats payload)
+/// to match the client's dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Envelope version: 1 (implicit, legacy) or 2 (explicit `"v":2`).
+    pub version: u32,
+    /// The request carried inside.
+    pub request: Request,
+}
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,24 +152,61 @@ fn field_u64(v: &Value, key: &str, max: u64, out: &mut u64) -> Result<(), String
     Ok(())
 }
 
-/// Parses one request line.
+/// Parses one request line into its envelope.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message for malformed JSON, unknown commands
-/// or models, and out-of-range fields. The server ships the message back
-/// in-band as an error response.
-pub fn parse_request(line: &str) -> Result<Request, String> {
+/// Returns a human-readable message for malformed JSON, unsupported
+/// envelope versions, unknown verbs or models, and out-of-range fields.
+/// The server ships the message back in-band as an error response.
+pub fn parse_envelope(line: &str) -> Result<Envelope, String> {
     let v: Value = serde_json::from_str(line).map_err(|e| format!("malformed request: {e}"))?;
     if v.as_object().is_none() {
         return Err("request must be a JSON object".into());
     }
-    let cmd = match v.get_field("cmd") {
-        None => "search",
-        Some(c) => c
-            .as_str()
-            .ok_or_else(|| "field \"cmd\" must be a string".to_string())?,
+    let version = match v.get_field("v") {
+        None => 1,
+        Some(f) => {
+            let n = f
+                .as_u64()
+                .ok_or_else(|| "field \"v\" must be a positive integer".to_string())?;
+            if !(1..=u64::from(PROTOCOL_VERSION)).contains(&n) {
+                return Err(format!(
+                    "unsupported protocol version {n} (this build speaks 1..={PROTOCOL_VERSION})"
+                ));
+            }
+            u32::try_from(n).expect("bounded above")
+        }
     };
+    let cmd = if version >= 2 {
+        // v2 is explicit: the verb is spelled out, no default.
+        v.get_field("verb")
+            .ok_or_else(|| "a v2 envelope needs a string field \"verb\"".to_string())?
+            .as_str()
+            .ok_or_else(|| "field \"verb\" must be a string".to_string())?
+    } else {
+        match v.get_field("cmd") {
+            None => "search",
+            Some(c) => c
+                .as_str()
+                .ok_or_else(|| "field \"cmd\" must be a string".to_string())?,
+        }
+    };
+    let request = parse_verb(&v, cmd, version)?;
+    Ok(Envelope { version, request })
+}
+
+/// Parses one request line, discarding the envelope version (v1-era
+/// convenience; [`parse_envelope`] is the full-fidelity entry point).
+///
+/// # Errors
+///
+/// Same as [`parse_envelope`].
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    parse_envelope(line).map(|e| e.request)
+}
+
+fn parse_verb(v: &Value, cmd: &str, version: u32) -> Result<Request, String> {
     match cmd {
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
@@ -163,23 +223,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             let mut r = SearchRequest::new(model);
             let mut gpus = r.gpus as u64;
-            field_u64(&v, "gpus", MAX_GPUS as u64, &mut gpus)?;
+            field_u64(v, "gpus", MAX_GPUS as u64, &mut gpus)?;
             if gpus == 0 {
                 return Err("field \"gpus\" must be at least 1".into());
             }
             r.gpus = gpus as usize;
-            field_u64(&v, "evals", MAX_EVALS, &mut r.evals)?;
+            field_u64(v, "evals", MAX_EVALS, &mut r.evals)?;
             if r.evals == 0 {
                 return Err("field \"evals\" must be at least 1".into());
             }
-            field_u64(&v, "seed", u64::MAX, &mut r.seed)?;
+            field_u64(v, "seed", u64::MAX, &mut r.seed)?;
             let mut chains = r.chains as u64;
-            field_u64(&v, "chains", MAX_CHAINS as u64, &mut chains)?;
+            field_u64(v, "chains", MAX_CHAINS as u64, &mut chains)?;
             if chains == 0 {
                 return Err("field \"chains\" must be at least 1".into());
             }
             r.chains = chains as usize;
-            field_u64(&v, "microbatches", MAX_MICROBATCHES, &mut r.microbatches)?;
+            field_u64(v, "microbatches", MAX_MICROBATCHES, &mut r.microbatches)?;
             if r.microbatches == 0 {
                 return Err("field \"microbatches\" must be at least 1".into());
             }
@@ -211,9 +271,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Search(r))
         }
+        other if version >= 2 => Err(format!("unknown verb {other:?} (search|stats|shutdown)")),
         other => Err(format!("unknown cmd {other:?} (search|stats|shutdown)")),
     }
 }
+
+/// Cap on a single request line's size in bytes: strategy requests are a
+/// few hundred bytes, so anything larger is a broken or hostile client
+/// that must not grow server buffers without bound.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
 
 /// Renders an in-band error response line (without trailing newline).
 pub fn error_response(message: &str) -> String {
@@ -222,6 +288,17 @@ pub fn error_response(message: &str) -> String {
         "error": message,
     }))
     .expect("serialize error response")
+}
+
+/// Renders an in-band backpressure response line (without trailing
+/// newline): the job queue is full, the client should back off and retry
+/// rather than the server growing an unbounded backlog.
+pub fn busy_response(message: &str) -> String {
+    serde_json::to_string(&serde_json::json!({
+        "status": "busy",
+        "error": message,
+    }))
+    .expect("serialize busy response")
 }
 
 #[cfg(test)]
@@ -302,5 +379,49 @@ mod tests {
     fn unknown_fields_are_ignored() {
         let r = parse_request(r#"{"model":"lenet","future_knob":123}"#).unwrap();
         assert!(matches!(r, Request::Search(_)));
+    }
+
+    #[test]
+    fn envelopes_without_a_version_marker_are_v1() {
+        let e = parse_envelope(r#"{"model":"rnnlm"}"#).unwrap();
+        assert_eq!(e.version, 1);
+        assert_eq!(e.request, Request::Search(SearchRequest::new("rnnlm")));
+        let e = parse_envelope(r#"{"cmd":"stats"}"#).unwrap();
+        assert_eq!(e.version, 1);
+        assert_eq!(e.request, Request::Stats);
+    }
+
+    #[test]
+    fn v2_envelopes_use_the_verb_field() {
+        let e = parse_envelope(r#"{"v":2,"verb":"search","model":"rnnlm","gpus":8}"#).unwrap();
+        assert_eq!(e.version, 2);
+        let Request::Search(s) = e.request else {
+            panic!("expected search")
+        };
+        assert_eq!(s.gpus, 8);
+        let e = parse_envelope(r#"{"v":2,"verb":"stats"}"#).unwrap();
+        assert_eq!(e.request, Request::Stats);
+        let e = parse_envelope(r#"{"v":2,"verb":"shutdown"}"#).unwrap();
+        assert_eq!(e.request, Request::Shutdown);
+    }
+
+    #[test]
+    fn v2_envelope_errors_are_in_band() {
+        // A v2 envelope must spell its verb: the v1 "cmd"/default-search
+        // leniency does not carry over.
+        for bad in [
+            r#"{"v":2,"model":"rnnlm"}"#,
+            r#"{"v":2,"cmd":"stats"}"#,
+            r#"{"v":2,"verb":7}"#,
+            r#"{"v":2,"verb":"frobnicate"}"#,
+        ] {
+            let err = parse_envelope(bad).unwrap_err();
+            assert!(!err.is_empty(), "no message for {bad:?}");
+        }
+        // Unknown future versions name the supported range.
+        let err = parse_envelope(r#"{"v":3,"verb":"stats"}"#).unwrap_err();
+        assert!(err.contains("1..=2"), "{err}");
+        let err = parse_envelope(r#"{"v":"two","verb":"stats"}"#).unwrap_err();
+        assert!(!err.is_empty());
     }
 }

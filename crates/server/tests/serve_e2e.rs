@@ -142,7 +142,14 @@ fn cache_persists_across_server_restarts() {
     let first = Server::new(cfg.clone());
     let r1 = first.handle_line(&lenet_req(40, ""));
     assert_eq!(field_str(&r1, "cache"), "cold");
-    assert!(cache_path.exists(), "cache file written on insert");
+    // The sharded store persists to sibling shard files, not the root
+    // path (which stays free for legacy-file migration).
+    assert!(
+        !cache_path.exists(),
+        "the legacy path is never written by the sharded store"
+    );
+    let shard_files: Vec<_> = flexflow_server::store::existing_shard_files(&cache_path);
+    assert!(!shard_files.is_empty(), "shard file written on insert");
     drop(first);
 
     // A fresh daemon answers the same request from disk: zero evals.
@@ -156,8 +163,9 @@ fn cache_persists_across_server_restarts() {
         field_f64(&r1, "cost_us").to_bits()
     );
 
-    // A corrupt cache file must not stop the daemon from starting.
-    std::fs::write(&cache_path, "{ definitely not json").unwrap();
+    // A corrupt shard file must not stop the daemon from starting: it
+    // comes up with an empty cache and re-learns.
+    std::fs::write(&shard_files[0], "{ definitely not json").unwrap();
     let third = Server::new(ServerConfig {
         workers: 1,
         cache_path: Some(cache_path.clone()),
@@ -437,6 +445,7 @@ fn serve_default_microbatches_raises_the_request_floor() {
         workers: 1,
         cache_path: None,
         default_microbatches: 4,
+        ..ServerConfig::default()
     });
     let r1 = server.handle_line(&lenet_req(40, ""));
     assert_eq!(field_str(&r1, "cache"), "cold");

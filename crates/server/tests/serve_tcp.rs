@@ -1,0 +1,383 @@
+//! End-to-end tests of the TCP front end and the polish daemon: the
+//! nonblocking readiness loop under concurrent client load (no lost or
+//! reordered responses), graceful shutdown that drains in-flight jobs
+//! and flushes every dirty shard, versioned-envelope responses, and the
+//! polish daemon's monotone-upgrade guarantee.
+
+use flexflow_server::polish::{self, PolishConfig, PolishOutcome};
+use flexflow_server::server::response_field;
+use flexflow_server::store::StoreLookup;
+use flexflow_server::{CacheBounds, Server, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn field_str(resp: &str, key: &str) -> String {
+    response_field(resp, key)
+        .and_then(|v| v.as_str().map(str::to_string))
+        .unwrap_or_else(|| panic!("no string field {key:?} in {resp}"))
+}
+
+fn field_u64(resp: &str, key: &str) -> u64 {
+    response_field(resp, key)
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("no numeric field {key:?} in {resp}"))
+}
+
+/// Binds an OS-assigned port and returns the listener plus its address.
+fn ephemeral_listener() -> (TcpListener, String) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    (listener, addr)
+}
+
+/// One client conversation: send every line, read one response per line,
+/// in order.
+fn converse(addr: &str, lines: &[String]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut responses = Vec::with_capacity(lines.len());
+    for line in lines {
+        writeln!(writer, "{line}").expect("write request");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read response");
+        assert!(!resp.is_empty(), "connection closed mid-conversation");
+        responses.push(resp.trim().to_string());
+    }
+    responses
+}
+
+#[test]
+fn tcp_hammer_no_lost_responses_under_concurrent_load() {
+    const CLIENTS: usize = 6;
+    const REQUESTS: usize = 8;
+
+    let server = Arc::new(Server::new(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    }));
+    let (listener, addr) = ephemeral_listener();
+
+    std::thread::scope(|s| {
+        let daemon = {
+            let server = Arc::clone(&server);
+            s.spawn(move || server.serve_listener(listener))
+        };
+
+        // Warm the cache so the burst is mostly hits (fast) with a few
+        // searches mixed in; every client interleaves search and stats.
+        let prime = converse(&addr, &[r#"{"model":"lenet","gpus":2,"evals":25,"seed":1}"#.into()]);
+        assert_eq!(field_str(&prime[0], "status"), "ok");
+
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            let addr = addr.clone();
+            handles.push(s.spawn(move || {
+                let mut lines = Vec::new();
+                for r in 0..REQUESTS {
+                    if (c + r) % 3 == 0 {
+                        lines.push(r#"{"v":2,"verb":"stats"}"#.to_string());
+                    } else {
+                        lines.push(r#"{"model":"lenet","gpus":2,"evals":25,"seed":1}"#.to_string());
+                    }
+                }
+                converse(&addr, &lines)
+            }));
+        }
+        let mut total_busy = 0u64;
+        for h in handles {
+            let responses = h.join().expect("client thread");
+            // NO LOST RESPONSES: one response per request, in order.
+            assert_eq!(responses.len(), REQUESTS);
+            for resp in &responses {
+                let status = field_str(resp, "status");
+                // Busy is a legal in-band backpressure answer; anything
+                // else must be a success.
+                match status.as_str() {
+                    "ok" => {}
+                    "busy" => total_busy += 1,
+                    other => panic!("unexpected status {other:?}: {resp}"),
+                }
+            }
+        }
+        // The server's own busy counter agrees with what clients saw.
+        let stats = converse(&addr, &[r#"{"v":2,"verb":"stats"}"#.into()]);
+        assert!(field_u64(&stats[0], "busy") >= total_busy);
+
+        let bye = converse(&addr, &[r#"{"v":2,"verb":"shutdown"}"#.into()]);
+        assert!(bye[0].contains("shutting_down"), "{}", bye[0]);
+        daemon.join().unwrap().expect("tcp loop exits cleanly");
+    });
+}
+
+#[test]
+fn tcp_responses_carry_the_envelope_version() {
+    let server = Server::new(ServerConfig::default());
+    // v1 requests get v1 responses: byte-compatible with PR 4 clients,
+    // no version marker.
+    let v1 = server.handle_line(r#"{"cmd":"stats"}"#);
+    assert!(response_field(&v1, "v").is_none(), "{v1}");
+    // v2 requests get stamped responses, with "v" leading the object.
+    let v2 = server.handle_line(r#"{"v":2,"verb":"stats"}"#);
+    assert_eq!(field_u64(&v2, "v"), 2);
+    assert!(v2.starts_with(r#"{"v":2,"#), "{v2}");
+    // Same stats payload either way.
+    assert!(response_field(&v1, "entries").is_some());
+    assert!(response_field(&v2, "entries").is_some());
+    // The stats verb reports the per-shard counter table and latency
+    // histogram the tentpole promises.
+    assert!(response_field(&v2, "shards").is_some(), "{v2}");
+    assert!(response_field(&v2, "latency_p99_us").is_some(), "{v2}");
+    assert!(response_field(&v2, "eval_debt").is_some(), "{v2}");
+}
+
+#[test]
+fn shutdown_mid_burst_drains_jobs_and_reloads_the_cache_intact() {
+    let dir = std::env::temp_dir().join(format!("ff-tcp-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_path = dir.join("strategies.json");
+
+    let cfg = ServerConfig {
+        workers: 2,
+        cache_path: Some(cache_path.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(Server::new(cfg.clone()));
+    let (listener, addr) = ephemeral_listener();
+
+    // Distinct (gpus, evals) pairs -> distinct cache addresses, so every
+    // drained search shows up as its own entry after the reload.
+    let burst: Vec<String> = [(2, 20), (2, 40), (2, 100), (4, 20), (4, 40), (4, 100)]
+        .iter()
+        .map(|(gpus, evals)| {
+            format!(r#"{{"model":"lenet","gpus":{gpus},"evals":{evals},"seed":7}}"#)
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        let daemon = {
+            let server = Arc::clone(&server);
+            s.spawn(move || server.serve_listener(listener))
+        };
+        // Fire the whole burst on one connection, then — without reading
+        // a single response — send shutdown from another. The server
+        // must drain every accepted job and answer all of them.
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        for line in &burst {
+            writeln!(writer, "{line}").unwrap();
+        }
+        // Give the front end a moment to accept the burst into the
+        // queue, then kill the server mid-flight.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let bye = converse(&addr, &[r#"{"v":2,"verb":"shutdown"}"#.into()]);
+        assert!(bye[0].contains("shutting_down"), "{}", bye[0]);
+
+        let mut answered = 0;
+        let mut resp = String::new();
+        while reader.read_line(&mut resp).unwrap_or(0) > 0 {
+            let line = resp.trim();
+            if !line.is_empty() {
+                let status = field_str(line, "status");
+                assert!(
+                    status == "ok" || status == "busy" || status == "error",
+                    "{line}"
+                );
+                answered += 1;
+            }
+            resp.clear();
+        }
+        assert_eq!(answered, burst.len(), "every accepted request answered");
+        daemon.join().unwrap().expect("clean exit");
+    });
+
+    // Every search the old server completed is on disk: a fresh server
+    // answers the completed subset as hits. Cold and warm searches both
+    // insert at their own budget-class address, so both count. (Busy- or
+    // shutdown-refused requests were never accepted, so they are
+    // legitimately absent.)
+    let stats = server.stats();
+    let completed = stats.cold.load(std::sync::atomic::Ordering::Relaxed)
+        + stats.warm.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(completed > 0, "at least one search completed before exit");
+    drop(server);
+    let reloaded = Server::new(cfg);
+    assert_eq!(
+        reloaded.cache_len() as u64,
+        completed,
+        "flushed shards reload intact"
+    );
+    let r = reloaded.handle_line(r#"{"model":"lenet","gpus":2,"evals":20,"seed":0}"#);
+    assert_eq!(field_str(&r, "cache"), "hit", "{r}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn polish_upgrades_are_monotone_and_escalate() {
+    // Prime a server with a cheap search, then run polish steps by hand:
+    // the cached cost must never increase, must strictly improve at
+    // least once (a 12-eval rnnlm search is far from converged), and the
+    // recorded effort must grow every round.
+    let server = Server::new(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let r1 = server.handle_line(r#"{"model":"rnnlm","gpus":4,"evals":12,"seed":11}"#);
+    assert_eq!(field_str(&r1, "status"), "ok", "{r1}");
+    assert_eq!(field_str(&r1, "cache"), "cold");
+
+    let cost_at = |server: &Server| -> (f64, u64) {
+        let hot = server.store().hottest().expect("entry exists");
+        (hot.entry.record.cost_us, hot.entry.record.evals)
+    };
+    // Heat the entry so hottest() proposes it.
+    let r2 = server.handle_line(r#"{"model":"rnnlm","gpus":4,"evals":12,"seed":11}"#);
+    assert_eq!(field_str(&r2, "cache"), "hit");
+
+    let (mut cost, mut evals) = cost_at(&server);
+    let cfg = PolishConfig {
+        max_rounds: 2,
+        max_evals: 200,
+        ..PolishConfig::default()
+    };
+    let mut improved = false;
+    let mut published = 0;
+    for _ in 0..cfg.max_rounds {
+        match polish::step(&server, &cfg) {
+            PolishOutcome::Published {
+                cost_before,
+                cost_after,
+                ..
+            } => {
+                assert!(
+                    cost_after <= cost_before,
+                    "polish published a worse strategy: {cost_after} > {cost_before}"
+                );
+                if cost_after < cost_before {
+                    improved = true;
+                }
+                published += 1;
+            }
+            PolishOutcome::NoImprovement { .. } => {}
+            PolishOutcome::Idle => break,
+            other => panic!("unexpected polish outcome: {other:?}"),
+        }
+        let (now, now_evals) = cost_at(&server);
+        assert!(now <= cost + 1e-9, "cached cost increased: {now} > {cost}");
+        assert!(now_evals >= evals, "recorded effort must not shrink");
+        cost = now;
+        evals = now_evals;
+    }
+    assert!(published >= 1, "polish published at least one upgrade");
+    assert!(
+        improved,
+        "a 12-eval rnnlm search must leave room for polish to strictly improve"
+    );
+    assert!(server.stats().polish_runs.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+
+    // The polished entry still answers the original request — as a hit,
+    // at the polished (better or equal) cost.
+    let r3 = server.handle_line(r#"{"model":"rnnlm","gpus":4,"evals":12,"seed":11}"#);
+    assert_eq!(field_str(&r3, "cache"), "hit", "{r3}");
+}
+
+#[test]
+fn connection_limit_answers_in_band_instead_of_hanging() {
+    let server = Arc::new(Server::new(ServerConfig {
+        workers: 1,
+        max_connections: 1,
+        ..ServerConfig::default()
+    }));
+    let (listener, addr) = ephemeral_listener();
+    std::thread::scope(|s| {
+        let daemon = {
+            let server = Arc::clone(&server);
+            s.spawn(move || server.serve_listener(listener))
+        };
+        // First connection occupies the single slot.
+        let keeper = TcpStream::connect(&addr).expect("connect");
+        // Wait until the readiness loop has registered it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let refused = loop {
+            let stream = TcpStream::connect(&addr).expect("connect");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            // Over-limit connections get exactly one busy line then EOF;
+            // if the keeper wasn't registered yet, this connection took
+            // the slot and reads block — use a timeout to retry.
+            reader
+                .get_ref()
+                .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+                .unwrap();
+            match reader.read_line(&mut line) {
+                Ok(n) if n > 0 => break line,
+                _ => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "no refusal within the deadline"
+                    );
+                }
+            }
+        };
+        assert_eq!(field_str(refused.trim(), "status"), "busy", "{refused}");
+        drop(keeper);
+
+        // The shutdown connection races the server noticing the keeper's
+        // EOF and freeing its slot — a busy refusal here is legal, so
+        // retry until the slot opens up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let bye = loop {
+            let bye = converse(&addr, &[r#"{"cmd":"shutdown"}"#.into()]);
+            if field_str(&bye[0], "status") != "busy" {
+                break bye;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "keeper slot never freed: {}",
+                bye[0]
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        assert!(bye[0].contains("shutting_down"), "{}", bye[0]);
+        daemon.join().unwrap().expect("clean exit");
+    });
+}
+
+#[test]
+fn server_handle_builder_wires_the_whole_product() {
+    // The one-stop builder: bounded sharded store + workers + polish.
+    let handle = ServerHandle::builder()
+        .workers(1)
+        .shards(4)
+        .cache_bounds(CacheBounds::entries(8))
+        .polish(PolishConfig {
+            interval_ms: 5,
+            ..PolishConfig::default()
+        })
+        .build();
+    let r = handle.handle_line(r#"{"model":"lenet","gpus":2,"evals":25,"seed":2}"#);
+    assert_eq!(field_str(&r, "cache"), "cold");
+    let r = handle.handle_line(r#"{"model":"lenet","gpus":2,"evals":25,"seed":2}"#);
+    assert_eq!(field_str(&r, "cache"), "hit");
+    // The daemon thread is alive behind the handle; give it a beat and
+    // confirm it ran without ever publishing a worse answer.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let server = Arc::clone(handle.server());
+    let hot = server.store().hottest().expect("entry exists");
+    let r = handle.handle_line(r#"{"model":"lenet","gpus":2,"evals":25,"seed":2}"#);
+    assert_eq!(field_str(&r, "cache"), "hit", "{r}");
+    let hit_cost = response_field(&r, "cost_us").and_then(|v| v.as_f64()).unwrap();
+    assert!(hit_cost <= hot.entry.record.cost_us + 1e-9);
+    drop(handle); // joins the daemon
+
+    // The store lookup API is part of the public surface the builder
+    // wires: the entry is still addressable directly.
+    let key = hot.entry.key().expect("key");
+    assert!(matches!(
+        server.store().lookup(key.graph_sig, key.topo_sig, key.budget_class),
+        StoreLookup::Hit { .. }
+    ));
+}

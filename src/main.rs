@@ -10,7 +10,9 @@
 //!                           [--microbatches M] [--param-sync MODE] [--recompute off]
 //!                           [--mem-budget MB|device]
 //! flexflow baselines <model> [--gpus N] [--cluster p100|k80|PRESET]
-//! flexflow serve [--socket PATH] [--workers N] [--cache FILE] [--microbatches M] [--oneshot]
+//! flexflow serve [--socket PATH | --tcp HOST:PORT | --oneshot] [--workers N] [--cache FILE]
+//!                [--microbatches M] [--shards N] [--cache-entries N] [--cache-bytes B]
+//!                [--max-conns N] [--no-polish]
 //! ```
 //!
 //! `search` runs the parallel multi-chain driver by default (one chain
@@ -53,10 +55,16 @@
 //! count, so `--gpus` is rejected next to a preset).
 //!
 //! `serve` runs the strategy-serving daemon: line-delimited JSON requests
-//! (see `flexflow_server::protocol`) answered from a content-addressed
-//! strategy cache with warm-started search on near misses. `--oneshot`
-//! reads requests from stdin and writes responses to stdout (the test and
-//! scripting mode); otherwise the daemon listens on a Unix socket.
+//! (see `flexflow_server::protocol`) answered from a sharded,
+//! LRU-bounded content-addressed strategy cache with warm-started search
+//! on near misses. `--oneshot` reads requests from stdin and writes
+//! responses to stdout (the test and scripting mode); `--tcp HOST:PORT`
+//! runs the nonblocking TCP front end (connection-limited with in-band
+//! `busy` backpressure); otherwise the daemon listens on a Unix socket.
+//! `--cache-entries`/`--cache-bytes` bound the cache (LRU eviction);
+//! `--shards` sets the lock/file sharding. Long-lived front ends run a
+//! background polish daemon that re-searches the hottest cache entries
+//! at escalating budgets during idle cycles (`--no-polish` disables it).
 
 use flexflow::baselines::{expert, model_parallel, optcnn};
 use flexflow::core::memory;
@@ -70,7 +78,7 @@ use flexflow::core::{
 use flexflow::costmodel::MeasuredCostModel;
 use flexflow::device::{clusters, DeviceKind, Topology};
 use flexflow::opgraph::{zoo, OpGraph};
-use flexflow::server::{Server, ServerConfig};
+use flexflow::server::{CacheBounds, ServerHandle};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -85,7 +93,9 @@ fn usage() -> ExitCode {
          [--microbatches M] [--param-sync allreduce|zero1:K|ps:D] [--recompute off]\n    \
          [--mem-budget MB|device]\n  flexflow \
          baselines <model> [--gpus N] [--cluster p100|k80|PRESET]\n  flexflow serve \
-         [--socket PATH] [--workers N] [--cache FILE] [--microbatches M] [--oneshot]\n\
+         [--socket PATH | --tcp HOST:PORT | --oneshot] [--workers N] [--cache FILE]\n         \
+         [--microbatches M] [--shards N] [--cache-entries N] [--cache-bytes B]\n         \
+         [--max-conns N] [--no-polish]\n\
          \npresets are hierarchical clusters named <kind>x<gpus>-ib, e.g. {}",
         clusters::PRESET_EXAMPLES.join(", ")
     );
@@ -364,8 +374,14 @@ fn serve(args: &[String]) -> ExitCode {
     let mut workers = 2usize;
     let mut cache: Option<String> = None;
     let mut socket = "flexflow.sock".to_string();
+    let mut tcp: Option<String> = None;
     let mut oneshot = false;
     let mut microbatches = 1u64;
+    let mut shards = 8usize;
+    let mut cache_entries: Option<usize> = None;
+    let mut cache_bytes: Option<u64> = None;
+    let mut max_conns = 64usize;
+    let mut no_polish = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -373,7 +389,12 @@ fn serve(args: &[String]) -> ExitCode {
                 oneshot = true;
                 i += 1;
             }
-            key @ ("--workers" | "--cache" | "--socket" | "--microbatches") => {
+            "--no-polish" => {
+                no_polish = true;
+                i += 1;
+            }
+            key @ ("--workers" | "--cache" | "--socket" | "--tcp" | "--microbatches"
+            | "--shards" | "--cache-entries" | "--cache-bytes" | "--max-conns") => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("{key} needs a value");
                     return ExitCode::from(2);
@@ -387,6 +408,7 @@ fn serve(args: &[String]) -> ExitCode {
                         }
                     },
                     "--cache" => cache = Some(value.clone()),
+                    "--tcp" => tcp = Some(value.clone()),
                     // Same bounds as the protocol's "microbatches" field:
                     // an unbounded server-side floor would overflow the
                     // cache key's microbatch component and conflate
@@ -405,6 +427,34 @@ fn serve(args: &[String]) -> ExitCode {
                             return ExitCode::from(2);
                         }
                     },
+                    "--shards" => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => shards = n,
+                        _ => {
+                            eprintln!("--shards must be a positive integer, got {value:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--cache-entries" => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => cache_entries = Some(n),
+                        _ => {
+                            eprintln!("--cache-entries must be a positive integer, got {value:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--cache-bytes" => match value.parse::<u64>() {
+                        Ok(n) if n >= 1 => cache_bytes = Some(n),
+                        _ => {
+                            eprintln!("--cache-bytes must be a positive integer, got {value:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--max-conns" => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => max_conns = n,
+                        _ => {
+                            eprintln!("--max-conns must be a positive integer, got {value:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
                     _ => socket = value.clone(),
                 }
                 i += 2;
@@ -415,16 +465,46 @@ fn serve(args: &[String]) -> ExitCode {
             }
         }
     }
-    let server = Server::new(ServerConfig {
-        workers,
-        cache_path: cache.map(std::path::PathBuf::from),
-        default_microbatches: microbatches,
-    });
+    if tcp.is_some() && oneshot {
+        eprintln!("--tcp and --oneshot are contradictory: pick one front end");
+        return ExitCode::from(2);
+    }
+    let mut bounds = CacheBounds::unbounded();
+    if let Some(n) = cache_entries {
+        bounds.max_entries = n;
+    }
+    if let Some(b) = cache_bytes {
+        bounds.max_bytes = b;
+    }
+    let mut builder = ServerHandle::builder()
+        .workers(workers)
+        .default_microbatches(microbatches)
+        .shards(shards)
+        .cache_bounds(bounds)
+        .max_connections(max_conns);
+    if let Some(path) = &cache {
+        builder = builder.cache_path(path);
+    }
+    // The polish daemon spends idle worker cycles re-searching hot
+    // entries; it only makes sense for a long-lived front end.
+    if !oneshot && !no_polish {
+        builder = builder.polish(flexflow::server::PolishConfig::default());
+    }
+    let mut handle = match &tcp {
+        Some(addr) => {
+            eprintln!("flexflow serve: listening on tcp {addr} ({workers} workers)");
+            builder.tcp(addr.clone()).build()
+        }
+        None if !oneshot => {
+            eprintln!("flexflow serve: listening on {socket} ({workers} workers)");
+            builder.socket(&socket).build()
+        }
+        None => builder.build(),
+    };
     let result = if oneshot {
-        server.run_batch(std::io::stdin().lock(), std::io::stdout().lock())
+        handle.run_batch(std::io::stdin().lock(), std::io::stdout().lock())
     } else {
-        eprintln!("flexflow serve: listening on {socket} ({workers} workers)");
-        server.run_socket(std::path::Path::new(&socket))
+        handle.run()
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
